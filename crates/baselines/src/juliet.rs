@@ -1,0 +1,165 @@
+//! A Juliet-style fixed UB test corpus (paper §4.3).
+//!
+//! NIST's Juliet suite contains thousands of small, templated test cases
+//! per CWE. The paper selects the 16,344 sanitizer-detectable ones and finds
+//! that **none** exposes a sanitizer FN bug — the patterns are too simple
+//! and too uniform. This module generates the same flavor of corpus:
+//! straightforward single-UB programs from fixed templates, parameterized
+//! over a few sizes and types.
+
+use ubfuzz_minic::{parse, pretty, Program, UbKind};
+
+/// One Juliet-style test case.
+#[derive(Debug, Clone)]
+pub struct JulietCase {
+    /// CWE-style name, e.g. `"CWE121_stack_overflow_size3"`.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The UB it contains.
+    pub kind: UbKind,
+}
+
+fn case(name: String, src: &str, kind: UbKind) -> JulietCase {
+    let mut program = parse(src).unwrap_or_else(|e| panic!("juliet template {name}: {e}"));
+    pretty::relocate(&mut program);
+    JulietCase { name, program, kind }
+}
+
+/// Builds the corpus (deterministic, ~40 cases).
+pub fn juliet_suite() -> Vec<JulietCase> {
+    let mut out = Vec::new();
+    // CWE-121: stack-based buffer overflow.
+    for n in [3usize, 5, 8] {
+        out.push(case(
+            format!("CWE121_stack_overflow_size{n}"),
+            &format!(
+                "int main(void) {{ int buf[{n}]; int i = {n}; buf[i] = 1; return buf[0]; }}"
+            ),
+            UbKind::BufOverflowArray,
+        ));
+        out.push(case(
+            format!("CWE121_stack_overflow_loop{n}"),
+            &format!(
+                "int main(void) {{ int buf[{n}]; for (int i = 0; i <= {n}; i = i + 1) {{ buf[i] = i; }} return buf[0]; }}"
+            ),
+            UbKind::BufOverflowArray,
+        ));
+    }
+    // CWE-122: heap-based buffer overflow.
+    for n in [4usize, 8] {
+        out.push(case(
+            format!("CWE122_heap_overflow_size{n}"),
+            &format!(
+                "int main(void) {{ int *p = (int*)malloc({}); p[{n}] = 1; return 0; }}",
+                n * 4
+            ),
+            UbKind::BufOverflowPtr,
+        ));
+    }
+    // CWE-416: use after free.
+    for n in [8usize, 16] {
+        out.push(case(
+            format!("CWE416_use_after_free_{n}"),
+            &format!(
+                "int main(void) {{ int *p = (int*)malloc({n}); *p = 1; free(p); return *p; }}"
+            ),
+            UbKind::UseAfterFree,
+        ));
+    }
+    // CWE-562 flavored: use after scope.
+    out.push(case(
+        "CWE562_use_after_scope".to_string(),
+        "int g;
+         int main(void) {
+            int *p = &g;
+            { int local = 7; p = &local; }
+            return *p;
+         }",
+        UbKind::UseAfterScope,
+    ));
+    // CWE-476: null pointer dereference.
+    for via_field in [false, true] {
+        let src = if via_field {
+            "struct s { int a; int b; };
+             int main(void) { struct s *p = (struct s*)0; return p->b; }"
+        } else {
+            "int main(void) { int *p = (int*)0; return *p; }"
+        };
+        out.push(case(
+            format!("CWE476_null_deref_{}", if via_field { "field" } else { "plain" }),
+            src,
+            UbKind::NullDeref,
+        ));
+    }
+    // CWE-190: integer overflow.
+    for (label, expr) in [
+        ("add", "x + 1"),
+        ("mul", "x * 2"),
+        ("sub", "(-x) - 2"),
+    ] {
+        out.push(case(
+            format!("CWE190_int_overflow_{label}"),
+            &format!(
+                "int x = 2147483647; int main(void) {{ int y = {expr}; return y; }}"
+            ),
+            UbKind::IntOverflow,
+        ));
+    }
+    // CWE-369: divide by zero.
+    for op in ["/", "%"] {
+        out.push(case(
+            format!("CWE369_div_by_zero_{}", if op == "/" { "div" } else { "rem" }),
+            &format!("int x = 100; int z = 0; int main(void) {{ return x {op} z; }}"),
+            UbKind::DivByZero,
+        ));
+    }
+    // CWE-1335 flavored: shift out of range.
+    for amt in [32i64, 40, -1] {
+        out.push(case(
+            format!("CWE1335_shift_{amt}"),
+            &format!("int x = 1; int s = {amt}; int main(void) {{ return x << s; }}"),
+            UbKind::ShiftOverflow,
+        ));
+    }
+    // CWE-457: use of uninitialized variable.
+    out.push(case(
+        "CWE457_uninit_branch".to_string(),
+        "int main(void) { int x; if (x) { return 1; } return 0; }",
+        UbKind::UninitUse,
+    ));
+    out.push(case(
+        "CWE457_uninit_loop".to_string(),
+        "int main(void) { int n; while (n) { n = 0; } return 0; }",
+        UbKind::UninitUse,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_interp::run_program;
+
+    #[test]
+    fn corpus_is_nonempty_and_covers_kinds() {
+        let suite = juliet_suite();
+        assert!(suite.len() >= 20);
+        let kinds: std::collections::HashSet<UbKind> =
+            suite.iter().map(|c| c.kind).collect();
+        for k in UbKind::GENERATABLE {
+            assert!(kinds.contains(&k), "Juliet covers {k}");
+        }
+    }
+
+    #[test]
+    fn every_case_exhibits_its_labelled_ub() {
+        for c in juliet_suite() {
+            let outcome = run_program(&c.program);
+            let ev = outcome
+                .ub()
+                .unwrap_or_else(|| panic!("{}: expected UB, got {outcome:?}", c.name));
+            assert_eq!(ev.kind, c.kind, "{}", c.name);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `ubfuzz-baselines` — the two baseline generators of paper §4.3 plus the
+//! Juliet-style test suite.
+//!
+//! * [`music`]: a MUSIC-like AST mutator. Syntactically valid mutants with
+//!   no semantic guarantee — most contain no UB at all (Table 4: 4% UB).
+//! * The Csmith-NoSafe baseline is [`ubfuzz_seedgen`] with
+//!   `SeedOptions::safe_math = false` (re-exported here for convenience).
+//! * [`juliet`]: a small corpus of fixed, self-contained UB programs in the
+//!   style of NIST's Juliet suite — simple, well-known patterns that
+//!   exercise sanitizers but not their corner cases (§4.3 finds zero
+//!   sanitizer bugs with it).
+
+pub mod juliet;
+pub mod music;
+
+pub use juliet::{juliet_suite, JulietCase};
+pub use music::{mutate, MutationKind};
+
+/// Csmith-NoSafe options (paper §4.3): memory safety intact, arithmetic
+/// guards removed.
+pub fn nosafe_options() -> ubfuzz_seedgen::SeedOptions {
+    ubfuzz_seedgen::SeedOptions { safe_math: false, ..ubfuzz_seedgen::SeedOptions::default() }
+}

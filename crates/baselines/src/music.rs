@@ -1,0 +1,248 @@
+//! MUSIC-style AST mutation (paper §4.3 baseline).
+//!
+//! MUSIC mutates a valid program's AST into syntactically valid mutants with
+//! no guarantee about semantics. The operators here mirror MUSIC's classic
+//! mutation classes: arithmetic/relational operator replacement, constant
+//! replacement, statement deletion, condition negation, and — particularly
+//! UB-prone in this code base — deletion of the masking idioms that make
+//! seed arithmetic safe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::visit::{walk_block_mut, walk_expr_mut, VisitMut};
+use ubfuzz_minic::{pretty, Program};
+
+/// The mutation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Arithmetic operator replacement (`+` ↔ `-`, `*` ↔ `/`, …).
+    Aor,
+    /// Relational operator replacement (`<` ↔ `<=`, `==` ↔ `!=`, …).
+    Ror,
+    /// Integer constant replacement.
+    ConstReplace,
+    /// Statement deletion.
+    StmtDelete,
+    /// Condition negation.
+    CondNegate,
+    /// Drop one side of a bitwise-and mask (`x & m` → `x`).
+    MaskDrop,
+}
+
+impl MutationKind {
+    /// All classes.
+    pub const ALL: [MutationKind; 6] = [
+        MutationKind::Aor,
+        MutationKind::Ror,
+        MutationKind::ConstReplace,
+        MutationKind::StmtDelete,
+        MutationKind::CondNegate,
+        MutationKind::MaskDrop,
+    ];
+}
+
+/// Applies 1–2 random mutations to a copy of `seed`. The result is
+/// syntactically valid but may not type-check, may loop forever, or may
+/// contain UB — exactly the MUSIC contract.
+pub fn mutate(seed: &Program, rng_seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut p = seed.clone();
+    let n = 1 + (rng.gen_range(0..3) == 0) as usize;
+    for _ in 0..n {
+        let kind = MutationKind::ALL[rng.gen_range(0..MutationKind::ALL.len())];
+        apply(&mut p, kind, &mut rng);
+    }
+    p.assign_ids();
+    pretty::relocate(&mut p);
+    p
+}
+
+fn apply(p: &mut Program, kind: MutationKind, rng: &mut StdRng) {
+    // Count applicable sites first, then mutate the chosen one.
+    let total = count_sites(p, kind);
+    if total == 0 {
+        return;
+    }
+    let target = rng.gen_range(0..total);
+    let replacement_const: i64 = match rng.gen_range(0..4) {
+        0 => 0,
+        1 => -1,
+        2 => rng.gen_range(-100..100),
+        _ => [64, 1 << 16, i32::MAX as i64, 5][rng.gen_range(0..4)],
+    };
+    let mut m = Mutator { kind, target, seen: 0, replacement_const, done: false };
+    m.visit_program_mut(p);
+}
+
+fn count_sites(p: &Program, kind: MutationKind) -> usize {
+    let mut m = Mutator {
+        kind,
+        target: usize::MAX,
+        seen: 0,
+        replacement_const: 0,
+        done: false,
+    };
+    let mut q = p.clone();
+    m.visit_program_mut(&mut q);
+    m.seen
+}
+
+struct Mutator {
+    kind: MutationKind,
+    target: usize,
+    seen: usize,
+    replacement_const: i64,
+    done: bool,
+}
+
+impl Mutator {
+    fn hit(&mut self) -> bool {
+        let is_target = self.seen == self.target && !self.done;
+        self.seen += 1;
+        if is_target {
+            self.done = true;
+        }
+        is_target
+    }
+}
+
+impl VisitMut for Mutator {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        match self.kind {
+            MutationKind::Aor => {
+                if let ExprKind::Binary(op, ..) = &mut e.kind {
+                    if op.is_arith() && self.hit() {
+                        *op = match op {
+                            BinOp::Add => BinOp::Sub,
+                            BinOp::Sub => BinOp::Mul,
+                            BinOp::Mul => BinOp::Div,
+                            BinOp::Div => BinOp::Rem,
+                            _ => BinOp::Add,
+                        };
+                    }
+                }
+            }
+            MutationKind::Ror => {
+                if let ExprKind::Binary(op, ..) = &mut e.kind {
+                    if op.is_comparison() && self.hit() {
+                        *op = match op {
+                            BinOp::Lt => BinOp::Le,
+                            BinOp::Le => BinOp::Gt,
+                            BinOp::Gt => BinOp::Ge,
+                            BinOp::Ge => BinOp::Eq,
+                            BinOp::Eq => BinOp::Ne,
+                            _ => BinOp::Lt,
+                        };
+                    }
+                }
+            }
+            MutationKind::ConstReplace => {
+                if let ExprKind::IntLit(v, ty) = &mut e.kind {
+                    if self.hit() {
+                        *v = ty.wrap(self.replacement_const as i128);
+                    }
+                }
+            }
+            MutationKind::MaskDrop => {
+                let is_mask = matches!(
+                    &e.kind,
+                    ExprKind::Binary(BinOp::BitAnd, _, r) if matches!(r.kind, ExprKind::IntLit(..))
+                );
+                if is_mask && self.hit() {
+                    if let ExprKind::Binary(_, l, _) = std::mem::replace(
+                        &mut e.kind,
+                        ExprKind::IntLit(0, ubfuzz_minic::IntType::INT),
+                    ) {
+                        let inner = *l;
+                        e.kind = inner.kind;
+                    }
+                }
+            }
+            MutationKind::CondNegate | MutationKind::StmtDelete => {}
+        }
+        walk_expr_mut(self, e);
+    }
+
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        if self.kind == MutationKind::CondNegate {
+            if let StmtKind::If(c, ..) | StmtKind::While(c, _) = &mut s.kind {
+                if self.hit() {
+                    let old = std::mem::replace(
+                        c,
+                        Expr::new(ExprKind::IntLit(0, ubfuzz_minic::IntType::INT)),
+                    );
+                    *c = Expr::new(ExprKind::Unary(UnOp::Not, Box::new(old)));
+                }
+            }
+        }
+        ubfuzz_minic::visit::walk_stmt_mut(self, s);
+    }
+
+    fn visit_block_mut(&mut self, b: &mut Block) {
+        if self.kind == MutationKind::StmtDelete {
+            let mut idx = None;
+            for (i, s) in b.stmts.iter().enumerate() {
+                // Deleting declarations or returns breaks syntax invariants
+                // too often to be interesting.
+                if matches!(s.kind, StmtKind::Expr(_) | StmtKind::If(..) | StmtKind::Block(_))
+                    && self.hit()
+                {
+                    idx = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = idx {
+                b.stmts.remove(i);
+            }
+        }
+        walk_block_mut(self, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_interp::{run_with_config, ExecConfig, Outcome};
+    use ubfuzz_minic::typecheck;
+    use ubfuzz_seedgen::{generate_seed, SeedOptions};
+
+    #[test]
+    fn mutants_differ_and_are_deterministic() {
+        let seed = generate_seed(3, &SeedOptions::default());
+        let a = mutate(&seed, 7);
+        let b = mutate(&seed, 7);
+        let c = mutate(&seed, 8);
+        assert_eq!(pretty::print(&a), pretty::print(&b));
+        assert_ne!(pretty::print(&a), pretty::print(&c));
+    }
+
+    #[test]
+    fn most_mutants_do_not_contain_ub() {
+        // The Table 4 phenomenon: MUSIC produces mostly UB-free programs.
+        let mut ub = 0;
+        let mut clean = 0;
+        let mut invalid = 0;
+        // Mutation can turn a terminating loop into a multi-million-step
+        // one; a tight budget keeps the test fast (those runs count as
+        // invalid, like the campaign's timeout bucket).
+        let cfg = ExecConfig { step_limit: 200_000, ..ExecConfig::default() };
+        for s in 0..15 {
+            let seed = generate_seed(s, &SeedOptions::default());
+            for m in 0..10 {
+                let p = mutate(&seed, m);
+                if typecheck(&p).is_err() {
+                    invalid += 1;
+                    continue;
+                }
+                match run_with_config(&p, &cfg).0 {
+                    Outcome::Ub(_) => ub += 1,
+                    Outcome::Exit { .. } => clean += 1,
+                    _ => invalid += 1,
+                }
+            }
+        }
+        assert!(clean > ub * 2, "mostly clean: {clean} clean vs {ub} ub ({invalid} invalid)");
+        assert!(ub > 0, "some mutants do exhibit UB");
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's figures: `make_figures --figure 7|9|10|11 [--seeds N]`.
+//! `--figure 0` prints all of them.
+
+use ubfuzz::report;
+use ubfuzz_bench::arg_value;
+use ubfuzz_simcc::defects::DefectRegistry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let figure = arg_value(&args, "--figure", 0);
+    let seeds = arg_value(&args, "--seeds", 30);
+    let registry = DefectRegistry::full();
+    match figure {
+        9 => print!("{}", report::fig9()),
+        7 | 10 | 11 => {
+            let stats = report::default_campaign(seeds);
+            match figure {
+                7 => print!("{}", report::fig7(&stats)),
+                10 => print!("{}", report::fig10(&stats, &registry)),
+                _ => print!("{}", report::fig11(&stats, &registry)),
+            }
+        }
+        _ => {
+            let stats = report::default_campaign(seeds);
+            print!("{}", report::fig7(&stats));
+            print!("{}", report::fig9());
+            print!("{}", report::fig10(&stats, &registry));
+            print!("{}", report::fig11(&stats, &registry));
+        }
+    }
+}

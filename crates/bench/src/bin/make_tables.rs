@@ -1,0 +1,40 @@
+//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6 [--seeds N]`.
+//! `--table 0` prints all of them plus the §4.4 oracle statistics.
+//! `--ablation` prints the §4.4 oracle ablation (naive vs crash-site
+//! mapping in the pristine world) instead.
+
+use ubfuzz::report;
+use ubfuzz_bench::arg_value;
+use ubfuzz_simcc::defects::DefectRegistry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table = arg_value(&args, "--table", 0);
+    let seeds = arg_value(&args, "--seeds", 30);
+    if args.iter().any(|a| a == "--ablation") {
+        print!("{}", report::oracle_ablation(seeds));
+        return;
+    }
+    let campaign = || report::default_campaign(seeds);
+    match table {
+        2 => print!("{}", report::table2()),
+        3 => {
+            let stats = campaign();
+            print!("{}", report::table3(&stats));
+            print!("{}", report::oracle_stats(&stats));
+        }
+        4 => print!("{}", report::table4(&report::generator_comparison(seeds.min(200)))),
+        5 => print!("{}", report::coverage_experiment(seeds.min(20))),
+        6 => print!("{}", report::table6(&campaign())),
+        _ => {
+            print!("{}", report::table2());
+            let stats = campaign();
+            print!("{}", report::table3(&stats));
+            print!("{}", report::table4(&report::generator_comparison((seeds / 3).max(2))));
+            print!("{}", report::coverage_experiment((seeds / 6).max(2)));
+            print!("{}", report::table6(&stats));
+            print!("{}", report::oracle_stats(&stats));
+            let _ = DefectRegistry::full();
+        }
+    }
+}

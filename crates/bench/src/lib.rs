@@ -1,0 +1,36 @@
+//! `ubfuzz-bench` — the benchmark harness that regenerates every table and
+//! figure of the paper's evaluation section.
+//!
+//! Two binaries drive the experiments (sizes are laptop-scale by default;
+//! pass `--seeds N` to push further):
+//!
+//! * `make_tables --table 2|3|4|5|6 [--seeds N]`
+//! * `make_figures --figure 7|9|10|11 [--seeds N]`
+//!
+//! The Criterion benches in `benches/paper.rs` measure the cost of each
+//! pipeline stage (seed generation, UB generation, compilation at every
+//! level, VM execution, crash-site mapping) so the throughput numbers in
+//! EXPERIMENTS.md can be reproduced.
+
+/// Parses `--flag value` style arguments with a default.
+pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["prog", "--seeds", "42", "--table", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--seeds", 5), 42);
+        assert_eq!(arg_value(&args, "--table", 0), 3);
+        assert_eq!(arg_value(&args, "--missing", 7), 7);
+    }
+}

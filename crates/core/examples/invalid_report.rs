@@ -1,0 +1,62 @@
+//! Reproduces the paper's Figure 8: the one *invalid* report. GCC -O3
+//! legitimately extends an inner-scope variable's lifetime out of the loop,
+//! removing the use-after-scope while keeping the crash site executable —
+//! so crash-site mapping wrongly flags a sanitizer bug, which the GCC
+//! developers then mark invalid.
+//!
+//! ```sh
+//! cargo run -p ubfuzz --example invalid_report
+//! ```
+
+use ubfuzz::minic::parse;
+use ubfuzz::oracle::{crash_site_mapping, Verdict};
+use ubfuzz::simcc::defects::DefectRegistry;
+use ubfuzz::simcc::pipeline::{compile, CompileConfig};
+use ubfuzz::simcc::target::{OptLevel, Vendor};
+use ubfuzz::simcc::Sanitizer;
+
+const FIGURE8: &str = "
+int a;
+int b;
+int main(void) {
+    int *s = &a;
+    for (b = 0; b <= 3; b = b + 1) {
+        int i = *s;
+        s = &i;
+    }
+    *s = b;
+    return 0;
+}";
+
+fn main() {
+    let program = parse(FIGURE8).expect("Figure 8 parses");
+    println!("{FIGURE8}\n");
+    // Ground truth: the program does contain a use-after-scope.
+    let gt = ubfuzz::interp::run_program(&program);
+    println!("ground truth: {:?}\n", gt.ub().map(|e| (e.kind, e.loc)));
+    let registry = DefectRegistry::full();
+    let bc = compile(
+        &program,
+        &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &registry),
+    )
+    .unwrap();
+    let bn = compile(
+        &program,
+        &CompileConfig::dev(Vendor::Gcc, OptLevel::O3, Some(Sanitizer::Asan), &registry),
+    )
+    .unwrap();
+    match crash_site_mapping(&bc, &bn) {
+        Some(m) => {
+            println!("oracle verdict: {:?} (crash site {} still executed at -O3)", m.verdict, m.crash_site);
+            if m.verdict == Verdict::SanitizerBug {
+                println!(
+                    "attribution: defects={:?} legit_transforms={:?}",
+                    bn.san.applied_defects, bn.san.legit_transforms
+                );
+                println!("=> no defect applied, but a legitimate -O3 transformation did:");
+                println!("   this report would be filed and marked INVALID (Table 3).");
+            }
+        }
+        None => println!("no discrepancy (GCC -O3 did not transform the loop)"),
+    }
+}

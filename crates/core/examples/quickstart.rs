@@ -1,0 +1,70 @@
+//! Quickstart: the whole UBfuzz pipeline on one seed program.
+//!
+//! ```sh
+//! cargo run -p ubfuzz --example quickstart
+//! ```
+
+use ubfuzz::minic::pretty;
+use ubfuzz::oracle::{crash_site_mapping, Verdict};
+use ubfuzz::seedgen::{generate_seed, SeedOptions};
+use ubfuzz::simcc::defects::DefectRegistry;
+use ubfuzz::simcc::pipeline::{compile, CompileConfig};
+use ubfuzz::simcc::target::{OptLevel, Vendor};
+use ubfuzz::simcc::{san, Sanitizer};
+use ubfuzz::simvm::run_module;
+use ubfuzz::ubgen::{generate_all, GenOptions};
+
+fn main() {
+    // 1. A valid, UB-free seed program (the Csmith role).
+    let seed = generate_seed(11, &SeedOptions::default());
+    println!("=== seed program (valid, UB-free) ===\n{}", pretty::print(&seed));
+
+    // 2. Shadow statement insertion: one-UB mutants of the seed.
+    let ub_programs = generate_all(&seed, &GenOptions::default());
+    println!("generated {} UB programs:", ub_programs.len());
+    for u in &ub_programs {
+        println!("  - {:<22} at {:<7} {}", u.kind.name(), u.ub_loc.to_string(), u.description);
+    }
+
+    // 3. Differential testing of one UB program across compilers/levels.
+    let registry = DefectRegistry::full();
+    let Some(u) = ub_programs.first() else { return };
+    println!("\n=== differential testing: {} ===", u.kind);
+    let mut crashing = None;
+    let mut normal = None;
+    for sanitizer in san::sanitizers_for(u.kind) {
+        for vendor in Vendor::ALL {
+            if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
+                continue;
+            }
+            for opt in OptLevel::ALL {
+                let cfg = CompileConfig::dev(vendor, opt, Some(sanitizer), &registry);
+                let m = compile(&u.program, &cfg).expect("compiles");
+                let r = run_module(&m);
+                println!("  {vendor:<4} {opt} {sanitizer:<5} -> {r:?}");
+                if r.is_report() && crashing.is_none() {
+                    crashing = Some(m);
+                } else if r.is_normal_exit() && normal.is_none() {
+                    normal = Some(m);
+                }
+            }
+        }
+    }
+
+    // 4. Crash-site mapping (Algorithm 2) on the first discrepancy.
+    if let (Some(bc), Some(bn)) = (crashing, normal) {
+        if let Some(mapping) = crash_site_mapping(&bc, &bn) {
+            println!("\ncrash site {} -> {:?}", mapping.crash_site, mapping.verdict);
+            match mapping.verdict {
+                Verdict::SanitizerBug => {
+                    println!("=> sanitizer false-negative bug (would be reported)")
+                }
+                Verdict::OptimizationArtifact => {
+                    println!("=> compiler optimization removed the UB (dropped)")
+                }
+            }
+        }
+    } else {
+        println!("\nno discrepancy on this program — every compiler caught it");
+    }
+}

@@ -1,0 +1,454 @@
+//! The automated testing loop (paper §4.1 "Testing process") plus bug
+//! deduplication/attribution.
+
+use std::collections::{BTreeMap, HashSet};
+use ubfuzz_minic::{pretty, Program, UbKind};
+use ubfuzz_oracle::{crash_site_mapping, Verdict};
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
+use ubfuzz_simcc::{san, Module, Sanitizer};
+use ubfuzz_simvm::{run_module, RunResult};
+use ubfuzz_ubgen::{GenOptions, UbProgram};
+
+/// Which generator feeds the campaign (the §4.3 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorChoice {
+    /// UBfuzz shadow-statement insertion (the paper's tool).
+    Ubfuzz,
+    /// MUSIC-style mutation baseline.
+    Music,
+    /// Csmith-NoSafe baseline.
+    CsmithNoSafe,
+    /// The Juliet-style fixed corpus.
+    Juliet,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// First seed index.
+    pub first_seed: u64,
+    /// Number of seed programs.
+    pub seeds: usize,
+    /// Seed generator options.
+    pub seed_options: SeedOptions,
+    /// UB generator options.
+    pub gen_options: GenOptions,
+    /// The defect world under test.
+    pub registry: DefectRegistry,
+    /// Which generator to drive (paper §4.3 swaps baselines in).
+    pub generator: GeneratorChoice,
+    /// Reduce bug-triggering programs before reporting.
+    pub reduce: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            first_seed: 0,
+            seeds: 20,
+            seed_options: SeedOptions::default(),
+            gen_options: GenOptions::default(),
+            registry: DefectRegistry::full(),
+            generator: GeneratorChoice::Ubfuzz,
+            reduce: false,
+        }
+    }
+}
+
+/// One deduplicated bug found by the campaign.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// Vendor whose sanitizer missed (or mis-reported) the UB.
+    pub vendor: Vendor,
+    /// The sanitizer.
+    pub sanitizer: Sanitizer,
+    /// Ground-truth UB kind of the triggering programs.
+    pub kind: UbKind,
+    /// Attribution: ground-truth defect id (the analogue of the paper's
+    /// root-cause analysis), or `None` for the invalid-report case.
+    pub defect_id: Option<&'static str>,
+    /// True when attribution found no defect but a legitimate transform —
+    /// the paper's one "Invalid" report.
+    pub invalid: bool,
+    /// True for wrong-report bugs (report fired with wrong line info).
+    pub wrong_report: bool,
+    /// Optimization levels observed to miss the UB.
+    pub missed_at: Vec<OptLevel>,
+    /// A (possibly reduced) triggering program.
+    pub test_case: String,
+    /// Number of triggering programs deduplicated into this bug.
+    pub duplicates: usize,
+}
+
+/// Aggregate campaign statistics (feeds Tables 3/4/6 and Figs. 7/10/11).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Seeds consumed.
+    pub seeds: usize,
+    /// UB programs generated (per kind).
+    pub ub_programs: BTreeMap<UbKind, usize>,
+    /// Programs whose compilations produced discrepant sanitizer reports.
+    pub discrepancies: usize,
+    /// Discrepancies selected by crash-site mapping as sanitizer bugs.
+    pub selected: usize,
+    /// Discrepancies dropped as optimization artifacts.
+    pub dropped: usize,
+    /// Deduplicated bugs.
+    pub bugs: Vec<FoundBug>,
+}
+
+impl CampaignStats {
+    /// Total generated UB programs.
+    pub fn total_programs(&self) -> usize {
+        self.ub_programs.values().sum()
+    }
+}
+
+/// The compilers the campaign tests: both vendors' development heads at
+/// every optimization level the paper enables.
+fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
+    let mut out = Vec::new();
+    for vendor in Vendor::ALL {
+        if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
+            continue;
+        }
+        for opt in OptLevel::ALL {
+            out.push((CompilerId::dev(vendor), opt));
+        }
+    }
+    out
+}
+
+/// Runs the full loop: generate seeds → generate UB programs → differential
+/// testing → crash-site mapping → dedup/attribution.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
+    let mut stats = CampaignStats::default();
+    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
+    for s in 0..cfg.seeds {
+        let seed_id = cfg.first_seed + s as u64;
+        stats.seeds += 1;
+        let programs = generate_programs(cfg, seed_id);
+        for u in programs {
+            *stats.ub_programs.entry(u.kind).or_default() += 1;
+            test_one(cfg, &u, &mut stats, &mut bug_index);
+        }
+    }
+    stats
+}
+
+fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbProgram> {
+    match cfg.generator {
+        GeneratorChoice::Ubfuzz => {
+            let seed = generate_seed(seed_id, &cfg.seed_options);
+            let mut opts = cfg.gen_options.clone();
+            opts.rng_seed = seed_id.wrapping_mul(31).wrapping_add(7);
+            ubfuzz_ubgen::generate_all(&seed, &opts)
+        }
+        GeneratorChoice::Music => {
+            let seed = generate_seed(seed_id, &cfg.seed_options);
+            (0..14)
+                .filter_map(|m| {
+                    let p = ubfuzz_baselines::music::mutate(&seed, seed_id * 100 + m);
+                    classify(p)
+                })
+                .collect()
+        }
+        GeneratorChoice::CsmithNoSafe => {
+            let p = generate_seed(seed_id, &ubfuzz_baselines::nosafe_options());
+            classify(p).into_iter().collect()
+        }
+        GeneratorChoice::Juliet => {
+            if seed_id == cfg.first_seed {
+                ubfuzz_baselines::juliet_suite()
+                    .into_iter()
+                    .map(|c| UbProgram {
+                        program: c.program.clone(),
+                        kind: c.kind,
+                        ub_loc: ground_truth_loc(&c.program).unwrap_or_default(),
+                        ub_node: ubfuzz_minic::NodeId::DUMMY,
+                        description: c.name,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+fn ground_truth_loc(p: &Program) -> Option<ubfuzz_minic::Loc> {
+    ubfuzz_interp::run_program(p).ub().map(|ev| ev.loc)
+}
+
+/// Classifies a baseline-generated program with the reference interpreter
+/// (the role sanitizers play for MUSIC in §4.3, footnote 4); `None` when the
+/// program has no UB, does not terminate or is invalid.
+fn classify(p: Program) -> Option<UbProgram> {
+    let outcome = ubfuzz_interp::run_program(&p);
+    let ev = outcome.ub()?;
+    Some(UbProgram {
+        kind: ev.kind,
+        ub_loc: ev.loc,
+        ub_node: ev.node,
+        description: format!("baseline-generated {}", ev.kind),
+        program: p,
+    })
+}
+
+fn test_one(
+    cfg: &CampaignConfig,
+    u: &UbProgram,
+    stats: &mut CampaignStats,
+    bug_index: &mut BTreeMap<String, usize>,
+) {
+    for sanitizer in san::sanitizers_for(u.kind) {
+        let matrix = test_matrix(sanitizer);
+        let mut compiled: Vec<(CompilerId, OptLevel, Module, RunResult)> = Vec::new();
+        for (compiler, opt) in matrix {
+            let ccfg = CompileConfig {
+                compiler,
+                opt,
+                sanitizer: Some(sanitizer),
+                registry: &cfg.registry,
+            };
+            let Ok(module) = compile(&u.program, &ccfg) else { continue };
+            let result = run_module(&module);
+            compiled.push((compiler, opt, module, result));
+        }
+        let reporting: Vec<usize> = (0..compiled.len())
+            .filter(|&i| compiled[i].3.is_report())
+            .collect();
+        let normal: Vec<usize> = (0..compiled.len())
+            .filter(|&i| compiled[i].3.is_normal_exit())
+            .collect();
+        // Wrong-report detection: the sanitizer reported, but the report
+        // points *before* the UB site (two of the paper's 31 bugs carry
+        // wrong report information). Reports at later lines are legitimate:
+        // the optimizer may have removed a dead UB access and the sanitizer
+        // then correctly blames the next one.
+        for &i in &reporting {
+            let (compiler, opt, module, result) = &compiled[i];
+            let report = result.report().expect("reporting index");
+            if report.kind.matches_ub(u.kind) && report.loc.line < u.ub_loc.line {
+                record_bug(
+                    cfg,
+                    stats,
+                    bug_index,
+                    BugObservation {
+                        vendor: compiler.vendor,
+                        sanitizer,
+                        kind: u.kind,
+                        module,
+                        opt: *opt,
+                        wrong_report: true,
+                        program: &u.program,
+                    },
+                );
+            }
+        }
+        if reporting.is_empty() || normal.is_empty() {
+            continue;
+        }
+        stats.discrepancies += 1;
+        let bc = &compiled[reporting[0]].2;
+        let mut any_selected = false;
+        for &ni in &normal {
+            let (compiler, opt, bn, _) = &compiled[ni];
+            let Some(mapping) = crash_site_mapping(bc, bn) else { continue };
+            match mapping.verdict {
+                Verdict::SanitizerBug => {
+                    any_selected = true;
+                    record_bug(
+                        cfg,
+                        stats,
+                        bug_index,
+                        BugObservation {
+                            vendor: compiler.vendor,
+                            sanitizer,
+                            kind: u.kind,
+                            module: bn,
+                            opt: *opt,
+                            wrong_report: false,
+                            program: &u.program,
+                        },
+                    );
+                }
+                Verdict::OptimizationArtifact => {}
+            }
+        }
+        if any_selected {
+            stats.selected += 1;
+        } else {
+            stats.dropped += 1;
+        }
+    }
+}
+
+struct BugObservation<'a> {
+    vendor: Vendor,
+    sanitizer: Sanitizer,
+    kind: UbKind,
+    module: &'a Module,
+    opt: OptLevel,
+    wrong_report: bool,
+    program: &'a Program,
+}
+
+fn record_bug(
+    cfg: &CampaignConfig,
+    stats: &mut CampaignStats,
+    bug_index: &mut BTreeMap<String, usize>,
+    obs: BugObservation<'_>,
+) {
+    // Attribution = the defects the vendor's passes recorded in the module
+    // (the analogue of the paper's root-cause analysis with developers).
+    let applied: HashSet<&'static str> =
+        obs.module.san.applied_defects.iter().map(|(id, _)| *id).collect();
+    let legit = !obs.module.san.legit_transforms.is_empty();
+    let mut keys: Vec<(Option<&'static str>, bool)> = Vec::new();
+    if obs.wrong_report {
+        // Attribute wrong reports to the wrong-line defects if applied.
+        let wl = applied
+            .iter()
+            .find(|id| {
+                DefectRegistry::get(id)
+                    .is_some_and(|d| d.category == ubfuzz_simcc::DefectCategory::WrongLineInfo)
+            })
+            .copied();
+        keys.push((wl, false));
+    } else if applied.is_empty() {
+        keys.push((None, legit));
+    } else {
+        // Attribute to defects matching the observed sanitizer + kind when
+        // possible; otherwise to all applied defects.
+        let matching: Vec<&'static str> = applied
+            .iter()
+            .filter(|id| {
+                DefectRegistry::get(id).is_some_and(|d| {
+                    d.sanitizer == obs.sanitizer && d.ub_kind == obs.kind
+                })
+            })
+            .copied()
+            .collect();
+        if matching.is_empty() {
+            for id in applied {
+                keys.push((Some(id), false));
+            }
+        } else {
+            for id in matching {
+                keys.push((Some(id), false));
+            }
+        }
+    }
+    for (defect_id, invalid) in keys {
+        let key = match defect_id {
+            Some(id) => format!("defect:{id}"),
+            None if invalid => format!("invalid:{}:{}:{}", obs.vendor, obs.sanitizer, obs.kind),
+            None => format!("unknown:{}:{}:{}", obs.vendor, obs.sanitizer, obs.kind),
+        };
+        if let Some(&i) = bug_index.get(&key) {
+            let bug = &mut stats.bugs[i];
+            bug.duplicates += 1;
+            if !bug.missed_at.contains(&obs.opt) {
+                bug.missed_at.push(obs.opt);
+            }
+            continue;
+        }
+        let test_case = if cfg.reduce {
+            let sanitizer = obs.sanitizer;
+            let registry = cfg.registry.clone();
+            let vendor = obs.vendor;
+            let opt = obs.opt;
+            let mut pred = move |q: &Program| {
+                let ccfg = CompileConfig {
+                    compiler: CompilerId::dev(vendor),
+                    opt,
+                    sanitizer: Some(sanitizer),
+                    registry: &registry,
+                };
+                match compile(q, &ccfg) {
+                    Ok(m) => {
+                        run_module(&m).is_normal_exit()
+                            && !ubfuzz_interp::run_program(q).is_clean_exit()
+                    }
+                    Err(_) => false,
+                }
+            };
+            if pred(obs.program) {
+                pretty::print(&ubfuzz_reduce::reduce(obs.program, &mut pred))
+            } else {
+                pretty::print(obs.program)
+            }
+        } else {
+            pretty::print(obs.program)
+        };
+        bug_index.insert(key, stats.bugs.len());
+        stats.bugs.push(FoundBug {
+            vendor: obs.vendor,
+            sanitizer: obs.sanitizer,
+            kind: obs.kind,
+            defect_id,
+            invalid,
+            wrong_report: obs.wrong_report,
+            missed_at: vec![obs.opt],
+            test_case,
+            duplicates: 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_finds_real_bugs() {
+        let cfg = CampaignConfig { seeds: 6, ..CampaignConfig::default() };
+        let stats = run_campaign(&cfg);
+        assert!(stats.total_programs() > 10, "programs: {}", stats.total_programs());
+        assert!(stats.discrepancies > 0);
+        assert!(!stats.bugs.is_empty(), "bugs found");
+        // Every attributed bug maps to a real defect of the right vendor.
+        for bug in &stats.bugs {
+            if let Some(id) = bug.defect_id {
+                let d = DefectRegistry::get(id).expect("known defect");
+                assert_eq!(d.vendor, bug.vendor, "{id}");
+                assert_eq!(d.sanitizer, bug.sanitizer, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn pristine_world_finds_nothing() {
+        let cfg = CampaignConfig {
+            seeds: 4,
+            registry: DefectRegistry::pristine(),
+            ..CampaignConfig::default()
+        };
+        let stats = run_campaign(&cfg);
+        let real: Vec<_> = stats.bugs.iter().filter(|b| !b.invalid).collect();
+        assert!(
+            real.is_empty(),
+            "correct sanitizers yield no FN bugs: {:?}",
+            real.iter().map(|b| (&b.defect_id, b.vendor, b.kind)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn juliet_campaign_finds_no_bugs() {
+        // §4.3: the fixed Juliet corpus exposes no sanitizer FN bugs.
+        let cfg = CampaignConfig {
+            seeds: 1,
+            generator: GeneratorChoice::Juliet,
+            ..CampaignConfig::default()
+        };
+        let stats = run_campaign(&cfg);
+        assert!(stats.total_programs() >= 20);
+        let real: Vec<_> =
+            stats.bugs.iter().filter(|b| !b.invalid && !b.wrong_report).collect();
+        assert!(real.is_empty(), "{:?}", real.iter().map(|b| b.defect_id).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,95 @@
+//! The bug-tracker survey behind the paper's Fig. 9 and the "how significant
+//! are the results" analysis (§4.2).
+//!
+//! The paper manually surveyed all sanitizer false-negative reports in the
+//! GCC and LLVM trackers since the first stable sanitizer releases (GCC 5,
+//! 2015; LLVM 5, 2017): 40 reports for GCC of which UBfuzz found 16 (40%),
+//! and 24 for LLVM of which UBfuzz found 14 (58%). This module records that
+//! dataset so Fig. 9 can be regenerated; it is survey data, not something an
+//! experiment can recompute.
+
+use ubfuzz_simcc::target::Vendor;
+
+/// Per-year tracker counts of sanitizer FN reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YearCount {
+    /// Calendar year.
+    pub year: u32,
+    /// FN reports filed that year.
+    pub total: u32,
+    /// Of those, reports filed by the UBfuzz campaign.
+    pub by_ubfuzz: u32,
+}
+
+/// GCC tracker: 40 FN reports 2015–2023, 16 by UBfuzz (all in the final
+/// campaign year).
+pub const GCC_HISTORY: &[YearCount] = &[
+    YearCount { year: 2015, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2016, total: 3, by_ubfuzz: 0 },
+    YearCount { year: 2017, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2018, total: 3, by_ubfuzz: 0 },
+    YearCount { year: 2019, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2020, total: 4, by_ubfuzz: 0 },
+    YearCount { year: 2021, total: 3, by_ubfuzz: 0 },
+    YearCount { year: 2022, total: 12, by_ubfuzz: 9 },
+    YearCount { year: 2023, total: 9, by_ubfuzz: 7 },
+];
+
+/// LLVM tracker: 24 FN reports 2017–2023, 14 by UBfuzz.
+pub const LLVM_HISTORY: &[YearCount] = &[
+    YearCount { year: 2017, total: 1, by_ubfuzz: 0 },
+    YearCount { year: 2018, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2019, total: 1, by_ubfuzz: 0 },
+    YearCount { year: 2020, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2021, total: 2, by_ubfuzz: 0 },
+    YearCount { year: 2022, total: 9, by_ubfuzz: 8 },
+    YearCount { year: 2023, total: 7, by_ubfuzz: 6 },
+];
+
+/// The survey for one vendor.
+pub fn history(vendor: Vendor) -> &'static [YearCount] {
+    match vendor {
+        Vendor::Gcc => GCC_HISTORY,
+        Vendor::Llvm => LLVM_HISTORY,
+    }
+}
+
+/// Total FN reports ever filed for a vendor.
+pub fn total_reports(vendor: Vendor) -> u32 {
+    history(vendor).iter().map(|y| y.total).sum()
+}
+
+/// FN reports filed by the UBfuzz campaign for a vendor.
+pub fn ubfuzz_reports(vendor: Vendor) -> u32 {
+    history(vendor).iter().map(|y| y.by_ubfuzz).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        assert_eq!(total_reports(Vendor::Gcc), 40, "paper: 40 GCC FN reports");
+        assert_eq!(ubfuzz_reports(Vendor::Gcc), 16, "paper: UBfuzz found 16 (40%)");
+        assert_eq!(total_reports(Vendor::Llvm), 24, "paper: 24 LLVM FN reports");
+        assert_eq!(ubfuzz_reports(Vendor::Llvm), 14, "paper: UBfuzz found 14 (58%)");
+    }
+
+    #[test]
+    fn ubfuzz_share_percentages() {
+        let gcc = ubfuzz_reports(Vendor::Gcc) as f64 / total_reports(Vendor::Gcc) as f64;
+        let llvm = ubfuzz_reports(Vendor::Llvm) as f64 / total_reports(Vendor::Llvm) as f64;
+        assert!((gcc - 0.40).abs() < 0.01);
+        assert!((llvm - 0.583).abs() < 0.01);
+    }
+
+    #[test]
+    fn yearly_invariants() {
+        for v in Vendor::ALL {
+            for y in history(v) {
+                assert!(y.by_ubfuzz <= y.total, "{v} {}", y.year);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `ubfuzz` — the UBfuzz testing framework (ASPLOS 2024 reproduction).
+//!
+//! The facade crate ties the whole pipeline together (paper §4.1, "Testing
+//! process"):
+//!
+//! 1. generate a valid seed program ([`ubfuzz_seedgen`], the Csmith role);
+//! 2. mutate it into UB programs via shadow statement insertion
+//!    ([`ubfuzz_ubgen`]);
+//! 3. compile every UB program with multiple sanitizer-enabled compilers
+//!    ([`ubfuzz_simcc`]) and execute the binaries ([`ubfuzz_simvm`]);
+//! 4. on a discrepant sanitizer report, run crash-site mapping
+//!    ([`ubfuzz_oracle`]) to separate sanitizer FN bugs from optimization
+//!    artifacts;
+//! 5. reduce ([`ubfuzz_reduce`]), deduplicate and report.
+//!
+//! The [`campaign`] module is the automated loop; [`history`] holds the
+//! bug-tracker survey data behind the paper's Fig. 9; [`report`] renders
+//! every table and figure of the evaluation section.
+
+pub mod campaign;
+pub mod history;
+pub mod report;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignStats, FoundBug};
+
+pub use ubfuzz_baselines as baselines;
+pub use ubfuzz_interp as interp;
+pub use ubfuzz_minic as minic;
+pub use ubfuzz_oracle as oracle;
+pub use ubfuzz_reduce as reduce;
+pub use ubfuzz_seedgen as seedgen;
+pub use ubfuzz_simcc as simcc;
+pub use ubfuzz_simvm as simvm;
+pub use ubfuzz_ubgen as ubgen;

@@ -1,0 +1,97 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use ubfuzz_interp::run_program;
+use ubfuzz_minic::{parse, pretty};
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::target::{OptLevel, Vendor};
+use ubfuzz_simvm::{run_module, RunResult};
+use ubfuzz_ubgen::{generate_all, GenOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Seeds are UB-free, terminate, and round-trip through the printer.
+    #[test]
+    fn seeds_are_valid_and_roundtrip(seed in 0u64..5000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        prop_assert!(run_program(&p).is_clean_exit());
+        // Printing reaches a fixed point after one round-trip (negative
+        // literals reparse as unary minus), so compare second vs third form.
+        let text1 = pretty::print(&p);
+        let p2 = parse(&text1).unwrap();
+        let text2 = pretty::print(&p2);
+        let p3 = parse(&text2).unwrap();
+        prop_assert_eq!(&text2, &pretty::print(&p3));
+        // And the round-trip preserves semantics exactly.
+        prop_assert_eq!(run_program(&p), run_program(&p3));
+    }
+
+    /// Compilation at any level preserves the observable behavior of
+    /// UB-free programs (interpreter vs VM differential).
+    #[test]
+    fn optimization_preserves_seed_semantics(seed in 0u64..3000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let gt = match run_program(&p) {
+            ubfuzz_interp::Outcome::Exit { output, .. } => output,
+            other => return Err(TestCaseError::fail(format!("seed not clean: {other:?}"))),
+        };
+        let reg = DefectRegistry::full();
+        for vendor in Vendor::ALL {
+            for opt in OptLevel::ALL {
+                let cfg = CompileConfig::dev(vendor, opt, None, &reg);
+                let m = compile(&p, &cfg).unwrap();
+                match run_module(&m) {
+                    RunResult::Exit { output, .. } => {
+                        prop_assert_eq!(
+                            &output, &gt,
+                            "{} {} diverges", vendor, opt
+                        );
+                    }
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "{vendor} {opt}: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every UBfuzz-generated program contains exactly the intended UB kind
+    /// (the Table 4 "no `No UB` column" property).
+    #[test]
+    fn generated_programs_contain_intended_ub(seed in 0u64..2000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        for u in generate_all(&p, &GenOptions { max_per_kind: 3, ..GenOptions::default() }) {
+            let outcome = run_program(&u.program);
+            let ev = outcome.ub().ok_or_else(|| {
+                TestCaseError::fail(format!("{}: {outcome:?}", u.description))
+            })?;
+            prop_assert_eq!(ev.kind, u.kind);
+        }
+    }
+
+    /// Sanitizer instrumentation never breaks UB-free programs (no false
+    /// positives in the pristine world).
+    #[test]
+    fn pristine_sanitizers_have_no_false_positives(seed in 0u64..2000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let reg = DefectRegistry::pristine();
+        for vendor in Vendor::ALL {
+            for sanitizer in [ubfuzz_simcc::Sanitizer::Asan, ubfuzz_simcc::Sanitizer::Ubsan] {
+                for opt in [OptLevel::O0, OptLevel::O2] {
+                    let cfg = CompileConfig::dev(vendor, opt, Some(sanitizer), &reg);
+                    let m = compile(&p, &cfg).unwrap();
+                    let r = run_module(&m);
+                    prop_assert!(
+                        r.is_normal_exit(),
+                        "{} {} {}: false positive {:?}", vendor, sanitizer, opt, r
+                    );
+                }
+            }
+        }
+    }
+}

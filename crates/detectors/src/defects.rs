@@ -1,0 +1,192 @@
+//! Injected defects for the non-sanitizer detectors.
+//!
+//! The sanitizer study needs a system under test with *known* false-negative
+//! bugs ([`ubfuzz_simcc::defects`]); extending UBfuzz to Memcheck-style and
+//! CppCheck-style tools (§4.7) needs the same. Each entry here is a
+//! realistically-shaped implementation bug in one of the two detectors —
+//! the mechanism classes are borrowed from real Valgrind and CppCheck issue
+//! trackers (partial-word validity tracking, quarantine recycling, range
+//! checks testing only the first byte, analysis bailing out on loops or on
+//! address-taken variables).
+//!
+//! The engines consult [`DetectorDefectRegistry::active`] at each would-be
+//! check and record applications in their run result — ground truth for
+//! attribution, never consulted by the campaign's oracle.
+
+use ubfuzz_minic::UbKind;
+
+/// Which detector a defect lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DetectorTool {
+    /// The Memcheck-style dynamic binary instrumentation tool.
+    Memcheck,
+    /// The CppCheck/Infer-style static analyzer.
+    StaticAnalyzer,
+}
+
+impl DetectorTool {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorTool::Memcheck => "Memcheck",
+            DetectorTool::StaticAnalyzer => "StaticCheck",
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected detector defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorDefect {
+    /// Stable identifier, e.g. `"memcheck-d01"`.
+    pub id: &'static str,
+    /// The tool it lives in.
+    pub tool: DetectorTool,
+    /// The UB kind whose detection it breaks.
+    pub ub_kind: UbKind,
+    /// One-line root-cause description.
+    pub description: &'static str,
+}
+
+/// The corpus: four Memcheck defects, three static-analyzer defects.
+pub const DETECTOR_DEFECTS: [DetectorDefect; 7] = [
+    DetectorDefect {
+        id: "memcheck-d01",
+        tool: DetectorTool::Memcheck,
+        ub_kind: UbKind::UninitUse,
+        description: "8-byte loads mark the destination fully defined when any \
+                      source byte is defined (partial-word V-bit collapse)",
+    },
+    DetectorDefect {
+        id: "memcheck-d02",
+        tool: DetectorTool::Memcheck,
+        ub_kind: UbKind::UseAfterFree,
+        description: "free quarantine holds a single block; a second free \
+                      recycles the first block's shadow as addressable",
+    },
+    DetectorDefect {
+        id: "memcheck-d03",
+        tool: DetectorTool::Memcheck,
+        ub_kind: UbKind::BufOverflowPtr,
+        description: "multi-byte accesses check only the first byte's A-bit, \
+                      missing accesses that straddle the end of a heap block",
+    },
+    DetectorDefect {
+        id: "memcheck-d04",
+        tool: DetectorTool::Memcheck,
+        ub_kind: UbKind::UninitUse,
+        description: "aggregate copies (struct assignment) mark the destination \
+                      defined instead of copying source V-bits",
+    },
+    DetectorDefect {
+        id: "static-d01",
+        tool: DetectorTool::StaticAnalyzer,
+        ub_kind: UbKind::UninitUse,
+        description: "address-taken variables are assumed initialized \
+                      (&x anywhere suppresses the uninitialized-use check)",
+    },
+    DetectorDefect {
+        id: "static-d02",
+        tool: DetectorTool::StaticAnalyzer,
+        ub_kind: UbKind::DivByZero,
+        description: "divisions on the right-hand side of short-circuit \
+                      operators are not visited",
+    },
+    DetectorDefect {
+        id: "static-d03",
+        tool: DetectorTool::StaticAnalyzer,
+        ub_kind: UbKind::BufOverflowArray,
+        description: "interval widening after a loop drops the lower bound, \
+                      losing negative-index out-of-bounds facts",
+    },
+];
+
+/// An on/off world of detector defects, mirroring
+/// [`ubfuzz_simcc::defects::DefectRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorDefectRegistry {
+    enabled: Vec<&'static str>,
+}
+
+impl DetectorDefectRegistry {
+    /// All injected defects active (the default system under test).
+    pub fn full() -> DetectorDefectRegistry {
+        DetectorDefectRegistry { enabled: DETECTOR_DEFECTS.iter().map(|d| d.id).collect() }
+    }
+
+    /// No defects active (correct detectors, for ablation and oracle
+    /// soundness tests).
+    pub fn pristine() -> DetectorDefectRegistry {
+        DetectorDefectRegistry { enabled: Vec::new() }
+    }
+
+    /// A world with exactly the given defects active.
+    pub fn with_only(ids: &[&'static str]) -> DetectorDefectRegistry {
+        let enabled = DETECTOR_DEFECTS
+            .iter()
+            .map(|d| d.id)
+            .filter(|id| ids.contains(id))
+            .collect();
+        DetectorDefectRegistry { enabled }
+    }
+
+    /// Whether the defect with `id` is active.
+    pub fn active(&self, id: &str) -> bool {
+        self.enabled.contains(&id)
+    }
+
+    /// Looks up a defect by id.
+    pub fn get(id: &str) -> Option<&'static DetectorDefect> {
+        DETECTOR_DEFECTS.iter().find(|d| d.id == id)
+    }
+
+    /// All defects of one tool.
+    pub fn for_tool(tool: DetectorTool) -> Vec<&'static DetectorDefect> {
+        DETECTOR_DEFECTS.iter().filter(|d| d.tool == tool).collect()
+    }
+}
+
+impl Default for DetectorDefectRegistry {
+    fn default() -> DetectorDefectRegistry {
+        DetectorDefectRegistry::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for d in DETECTOR_DEFECTS {
+            assert!(seen.insert(d.id), "duplicate id {}", d.id);
+            assert_eq!(DetectorDefectRegistry::get(d.id).unwrap().id, d.id);
+        }
+        assert!(DetectorDefectRegistry::get("no-such-defect").is_none());
+    }
+
+    #[test]
+    fn registry_worlds() {
+        let full = DetectorDefectRegistry::full();
+        let pristine = DetectorDefectRegistry::pristine();
+        for d in DETECTOR_DEFECTS {
+            assert!(full.active(d.id));
+            assert!(!pristine.active(d.id));
+        }
+        let only = DetectorDefectRegistry::with_only(&["memcheck-d02"]);
+        assert!(only.active("memcheck-d02"));
+        assert!(!only.active("memcheck-d01"));
+    }
+
+    #[test]
+    fn both_tools_have_defects() {
+        assert!(!DetectorDefectRegistry::for_tool(DetectorTool::Memcheck).is_empty());
+        assert!(!DetectorDefectRegistry::for_tool(DetectorTool::StaticAnalyzer).is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! `ubfuzz-detectors` — UB detectors *other than* compiler sanitizers, for
+//! the paper's generality study (§4.7).
+//!
+//! The UBfuzz paper focuses on sanitizers but explicitly argues that the same
+//! framework — shadow-statement UB generation plus report-site mapping —
+//! applies to other detector families:
+//!
+//! > *"Dynamic tools such as Dr. Memory and Valgrind can detect memory
+//! > errors \[...\]. Static tools such as CppCheck and Infer can detect null
+//! > pointer dereferences, integer overflows, etc. In principle, our
+//! > approach can also be used to test these detectors."* (§4.7)
+//!
+//! This crate builds both families as systems under test:
+//!
+//! * [`memcheck`] — a Valgrind/Memcheck-style **dynamic binary
+//!   instrumentation** (DBI) engine. Unlike sanitizers it never sees source
+//!   or IR at compile time: it executes a fully compiled, *uninstrumented*
+//!   [`ubfuzz_simcc::Module`] and maintains its own addressability (A-bit)
+//!   and validity (V-bit) shadow state, heap-block registry, free
+//!   quarantine, and leak checker. Its characteristic blind spots — no
+//!   stack- or global-buffer-overflow detection — are modelled faithfully.
+//! * [`staticcheck`] — a CppCheck/Infer-style **static analyzer** over
+//!   [`ubfuzz_minic`] ASTs: flow-sensitive constant/null/interval/
+//!   definedness dataflow that reports UB without running the program.
+//! * [`defects`] — the injected-defect corpus for both tools, mirroring the
+//!   role [`ubfuzz_simcc::defects`] plays for sanitizers: known,
+//!   realistically-shaped false-negative bugs the campaign must rediscover.
+//! * [`campaign`] — the UBfuzz loop retargeted at these detectors,
+//!   including the report-site mapping oracle for the dynamic tool (the
+//!   optimizer can still delete UB before Memcheck runs the binary, so the
+//!   crash-site-mapping problem reappears unchanged).
+//!
+//! # Example
+//!
+//! ```
+//! use ubfuzz_detectors::memcheck::{self, MemcheckConfig};
+//! use ubfuzz_simcc::defects::DefectRegistry;
+//! use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+//! use ubfuzz_simcc::target::{OptLevel, Vendor};
+//!
+//! // Heap use-after-free: invisible to the compiler, caught by the DBI tool.
+//! let p = ubfuzz_minic::parse(
+//!     "int main(void) { int *p = (int*)malloc(8); *p = 1; free(p); return *p; }",
+//! ).unwrap();
+//! let reg = DefectRegistry::pristine();
+//! let module = compile(
+//!     &p,
+//!     &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &reg),
+//! ).unwrap();
+//! let run = memcheck::run(&module, &MemcheckConfig::default());
+//! assert!(run.result.report().is_some());
+//! ```
+
+pub mod campaign;
+pub mod defects;
+pub mod memcheck;
+pub mod report;
+pub mod staticcheck;
+
+pub use campaign::{
+    run_memcheck_campaign, run_static_campaign, DetectorCampaignConfig, DetectorCampaignStats,
+    DetectorFoundBug,
+};
+pub use defects::{DetectorDefect, DetectorDefectRegistry, DetectorTool};
+pub use memcheck::{MemcheckConfig, MemcheckRun};
+pub use report::{DetectorReport, DetectorReportKind, DetectorResult};
+pub use staticcheck::{analyze, StaticConfig, StaticFinding};

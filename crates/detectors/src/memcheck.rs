@@ -1,0 +1,794 @@
+//! A Valgrind/Memcheck-style dynamic binary instrumentation engine.
+//!
+//! Memcheck differs from sanitizers in exactly the ways that matter for the
+//! generality study (§4.7):
+//!
+//! * **No compiler cooperation.** The engine executes a fully compiled,
+//!   *uninstrumented* [`Module`] — whatever the optimizer left of the
+//!   program. The paper's core difficulty therefore reappears: the
+//!   optimizer can delete UB before the tool ever runs, so differential
+//!   results across optimization levels need the report-site mapping oracle.
+//! * **Its own shadow state.** Per-byte *A-bits* (addressability) and
+//!   *V-bits* (validity/definedness) are maintained by the tool, not by
+//!   compiler-inserted checks.
+//! * **Characteristic blind spots.** Stack and global buffer overflows are
+//!   *not* detected (the whole frame and the bytes around globals are
+//!   addressable, as on real hardware under Valgrind); lexical scopes are
+//!   not tracked, so use-after-scope inside a live frame is silent. Heap
+//!   errors — overflow into the red zone, use-after-free, invalid free,
+//!   leaks — are the tool's home turf.
+//!
+//! Errors do not stop execution: Memcheck reports and continues, so one run
+//! can yield several reports. Reports are deduplicated by `(kind, site)`
+//! like the real tool's suppression of repeated contexts.
+
+use std::collections::HashSet;
+use ubfuzz_minic::Loc;
+use ubfuzz_simcc::ir::{BinKind, Func, Instr, Module, Op, Operand, RegId, Term};
+use ubfuzz_simcc::passes::{fold_bin, fold_un};
+use ubfuzz_simvm::Trace;
+
+use crate::defects::DetectorDefectRegistry;
+use crate::report::{DetectorReport, DetectorReportKind, DetectorResult};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct MemcheckConfig {
+    /// Maximum executed instructions.
+    pub step_limit: u64,
+    /// The defect world (usually [`DetectorDefectRegistry::full`]).
+    pub registry: DetectorDefectRegistry,
+    /// Run the leak checker at exit.
+    pub leak_check: bool,
+}
+
+impl Default for MemcheckConfig {
+    fn default() -> MemcheckConfig {
+        MemcheckConfig {
+            step_limit: 4_000_000,
+            registry: DetectorDefectRegistry::full(),
+            leak_check: true,
+        }
+    }
+}
+
+/// Everything one Memcheck run produced.
+#[derive(Debug, Clone)]
+pub struct MemcheckRun {
+    /// Termination state plus in-run error reports.
+    pub result: DetectorResult,
+    /// Leak-checker findings (separate from in-run errors, as in the real
+    /// tool's end-of-run summary).
+    pub leaks: Vec<DetectorReport>,
+    /// Executed `(line, offset)` sites — the input to report-site mapping.
+    pub trace: Trace,
+    /// Ground-truth defect applications `(defect id, site)`. Attribution
+    /// only; the campaign oracle never reads this.
+    pub applied_defects: Vec<(&'static str, Loc)>,
+}
+
+/// Runs `module` under the Memcheck engine.
+pub fn run(module: &Module, cfg: &MemcheckConfig) -> MemcheckRun {
+    let mut engine = Engine::new(module, cfg);
+    let result = engine.boot();
+    let leaks = if cfg.leak_check { engine.leak_report() } else { Vec::new() };
+    MemcheckRun {
+        result,
+        leaks,
+        trace: std::mem::take(&mut engine.trace),
+        applied_defects: std::mem::take(&mut engine.applied),
+    }
+}
+
+const NULL_GUARD: usize = 4096;
+const GAP: usize = 32;
+
+/// Per-byte addressability state (the A-bit plus the freed distinction the
+/// real tool keeps in its block registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abit {
+    /// Not legally addressable.
+    NoAccess,
+    /// Legally addressable.
+    Ok,
+    /// Inside a block that has been `free`d.
+    Freed,
+}
+
+struct HeapBlock {
+    start: usize,
+    size: usize,
+    freed: bool,
+    alloc_loc: Loc,
+}
+
+struct Frame {
+    regs: Vec<i64>,
+    /// V-bit per register: true = defined.
+    vbit: Vec<bool>,
+    slot_addr: Vec<usize>,
+}
+
+enum Stop {
+    Crash(Loc),
+    Timeout,
+    Error(String),
+}
+
+struct Engine<'m> {
+    m: &'m Module,
+    cfg: &'m MemcheckConfig,
+    mem: Vec<u8>,
+    abit: Vec<Abit>,
+    /// V-bit per byte: true = defined.
+    vbit: Vec<bool>,
+    global_addr: Vec<usize>,
+    heap: Vec<HeapBlock>,
+    output: Vec<i64>,
+    reports: Vec<DetectorReport>,
+    seen: HashSet<(DetectorReportKind, Loc)>,
+    applied: Vec<(&'static str, Loc)>,
+    trace: Trace,
+    steps: u64,
+    depth: usize,
+}
+
+impl<'m> Engine<'m> {
+    fn new(m: &'m Module, cfg: &'m MemcheckConfig) -> Engine<'m> {
+        Engine {
+            m,
+            cfg,
+            mem: vec![0xBE; NULL_GUARD],
+            abit: vec![Abit::NoAccess; NULL_GUARD],
+            vbit: vec![false; NULL_GUARD],
+            global_addr: Vec::new(),
+            heap: Vec::new(),
+            output: Vec::new(),
+            reports: Vec::new(),
+            seen: HashSet::new(),
+            applied: Vec::new(),
+            trace: Trace::default(),
+            steps: 0,
+            depth: 0,
+        }
+    }
+
+    /// Appends a region of `size` bytes plus the inter-allocation gap.
+    /// Returns the region start. `a`/`v` are the initial shadow states of
+    /// the region proper; the gap's shadow is set by the caller.
+    fn alloc_region(&mut self, size: usize, a: Abit, v: bool) -> usize {
+        let start = self.mem.len();
+        self.mem.resize(start + size + GAP, 0xBE);
+        self.abit.resize(start + size, a);
+        self.abit.resize(self.mem.len(), Abit::NoAccess);
+        self.vbit.resize(start + size, v);
+        self.vbit.resize(self.mem.len(), true);
+        start
+    }
+
+    fn set_abit(&mut self, start: usize, len: usize, a: Abit) {
+        let end = (start + len).min(self.abit.len());
+        for b in &mut self.abit[start.min(end)..end] {
+            *b = a;
+        }
+    }
+
+    fn report(&mut self, kind: DetectorReportKind, loc: Loc) {
+        if self.seen.insert((kind, loc)) {
+            self.reports.push(DetectorReport { kind, loc });
+        }
+    }
+
+    fn defect(&mut self, id: &'static str, loc: Loc) -> bool {
+        if self.cfg.registry.active(id) {
+            self.applied.push((id, loc));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn boot(&mut self) -> DetectorResult {
+        for g in &self.m.globals {
+            // Globals and their surrounding gaps are plain static memory to
+            // the tool: addressable and defined (the global-overflow blind
+            // spot).
+            let a = self.alloc_region(g.size as usize, Abit::Ok, true);
+            self.set_abit(a + g.size as usize, GAP, Abit::Ok);
+            self.global_addr.push(a);
+            let init_len = g.init.len().min(g.size as usize);
+            self.mem[a..a + init_len].copy_from_slice(&g.init[..init_len]);
+            for b in &mut self.mem[a + init_len..a + g.size as usize] {
+                *b = 0;
+            }
+        }
+        for (gi, g) in self.m.globals.iter().enumerate() {
+            for (off, target, addend) in &g.relocs {
+                let v = (self.global_addr[*target] as i64 + addend) as u64;
+                let at = self.global_addr[gi] + *off as usize;
+                self.mem[at..at + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        let Some(main) = self.m.func("main") else {
+            return DetectorResult::Error("no main".into());
+        };
+        match self.call(main, &[]) {
+            Ok((status, _)) => DetectorResult::Finished {
+                status,
+                output: std::mem::take(&mut self.output),
+                reports: std::mem::take(&mut self.reports),
+            },
+            Err(Stop::Crash(loc)) => {
+                DetectorResult::Crashed { reports: std::mem::take(&mut self.reports), loc }
+            }
+            Err(Stop::Timeout) => DetectorResult::Timeout,
+            Err(Stop::Error(e)) => DetectorResult::Error(e),
+        }
+    }
+
+    fn leak_report(&self) -> Vec<DetectorReport> {
+        self.heap
+            .iter()
+            .filter(|h| !h.freed)
+            .map(|h| DetectorReport {
+                kind: DetectorReportKind::LeakDefinitelyLost,
+                loc: h.alloc_loc,
+            })
+            .collect()
+    }
+
+    fn call(&mut self, f: &'m Func, args: &[(i64, bool)]) -> Result<(i64, bool), Stop> {
+        self.depth += 1;
+        if self.depth > 64 {
+            self.depth -= 1;
+            return Err(Stop::Error("call depth exceeded".into()));
+        }
+        let mut frame = Frame {
+            regs: vec![0; f.next_reg as usize],
+            vbit: vec![true; f.next_reg as usize],
+            slot_addr: Vec::with_capacity(f.slots.len()),
+        };
+        for (i, &(v, defined)) in args.iter().enumerate() {
+            if let Some(&r) = f.params.get(i) {
+                frame.regs[r as usize] = v;
+                frame.vbit[r as usize] = defined;
+            }
+        }
+        // The whole frame — slots *and* the gaps between them — becomes
+        // addressable at once: the tool sees one stack adjustment, not
+        // individual variables. Slot bytes start undefined.
+        for s in &f.slots {
+            let a = self.alloc_region(s.size as usize, Abit::Ok, false);
+            self.set_abit(a + s.size as usize, GAP, Abit::Ok);
+            frame.slot_addr.push(a);
+        }
+        let mut bb = 0usize;
+        let result = loop {
+            let block = &f.blocks[bb];
+            let mut stop = None;
+            for ins in &block.instrs {
+                self.steps += 1;
+                if self.steps > self.cfg.step_limit {
+                    stop = Some(Stop::Timeout);
+                    break;
+                }
+                if ins.loc.is_known() {
+                    self.trace.executed.insert(ins.loc);
+                    self.trace.last = ins.loc;
+                }
+                if let Err(e) = self.exec(&mut frame, ins) {
+                    stop = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = stop {
+                break Err(e);
+            }
+            match block.term.as_ref() {
+                Some(Term::Jmp(t)) => bb = *t,
+                Some(Term::Br { cond, then_bb, else_bb }) => {
+                    let (v, defined) = self.value(&frame, *cond);
+                    if !defined {
+                        // "Conditional jump or move depends on uninitialised
+                        // value(s)" — attributed to the last executed site.
+                        self.report(DetectorReportKind::UninitCondition, self.trace.last);
+                    }
+                    bb = if v != 0 { *then_bb } else { *else_bb };
+                }
+                Some(Term::Ret(v)) => {
+                    let rv = match v {
+                        Some(o) => self.value(&frame, *o),
+                        None => (0, true),
+                    };
+                    // Frame teardown: everything this frame made addressable
+                    // goes back to no-access (use-after-return is caught).
+                    for (s, &a) in f.slots.iter().zip(&frame.slot_addr) {
+                        self.set_abit(a, s.size as usize + GAP, Abit::NoAccess);
+                    }
+                    break Ok(rv);
+                }
+                None => break Err(Stop::Error("missing terminator".into())),
+            }
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn value(&self, frame: &Frame, o: Operand) -> (i64, bool) {
+        match o {
+            Operand::Imm(v) => (v, true),
+            Operand::Reg(r) => (frame.regs[r as usize], frame.vbit[r as usize]),
+        }
+    }
+
+    fn set(&self, frame: &mut Frame, dst: Option<RegId>, v: i64, defined: bool) {
+        if let Some(d) = dst {
+            frame.regs[d as usize] = v;
+            frame.vbit[d as usize] = defined;
+        }
+    }
+
+    fn check_mapped(&self, addr: i64, size: usize, loc: Loc) -> Result<usize, Stop> {
+        if addr < 0 || (addr as usize) + size > self.mem.len() {
+            return Err(Stop::Crash(loc));
+        }
+        Ok(addr as usize)
+    }
+
+    /// The A-bit check on an access range. Returns the resolved base
+    /// address; reports (but does not stop) on invalid or freed bytes.
+    fn check_access(
+        &mut self,
+        addr: i64,
+        size: usize,
+        write: bool,
+        loc: Loc,
+    ) -> Result<usize, Stop> {
+        if addr >= 0 && (addr as usize) < NULL_GUARD {
+            // Dereferencing (near) null is an unmapped page: report, then
+            // the process dies on the signal, as under the real tool.
+            self.report(
+                if write {
+                    DetectorReportKind::InvalidWrite
+                } else {
+                    DetectorReportKind::InvalidRead
+                },
+                loc,
+            );
+            return Err(Stop::Crash(loc));
+        }
+        let a = self.check_mapped(addr, size, loc)?;
+        // memcheck-d03: only the first byte's A-bit is consulted for
+        // multi-byte accesses.
+        let range = if size > 1 && self.defect("memcheck-d03", loc) { 1 } else { size };
+        let mut invalid = false;
+        let mut freed = false;
+        for i in 0..range {
+            match self.abit[a + i] {
+                Abit::NoAccess => invalid = true,
+                Abit::Freed => freed = true,
+                Abit::Ok => {}
+            }
+        }
+        if freed {
+            self.report(DetectorReportKind::UseAfterFree, loc);
+        } else if invalid {
+            self.report(
+                if write {
+                    DetectorReportKind::InvalidWrite
+                } else {
+                    DetectorReportKind::InvalidRead
+                },
+                loc,
+            );
+        }
+        Ok(a)
+    }
+
+    fn exec(&mut self, frame: &mut Frame, ins: &Instr) -> Result<(), Stop> {
+        let loc = ins.loc;
+        match &ins.op {
+            Op::Const(v) => self.set(frame, ins.dst, *v, true),
+            Op::Bin { op, a, b, ty } => {
+                let (va, da) = self.value(frame, *a);
+                let (vb, db) = self.value(frame, *b);
+                let defined = da && db;
+                let v = match op {
+                    BinKind::Div | BinKind::Rem => {
+                        if !db {
+                            self.report(DetectorReportKind::UninitValueUse, loc);
+                        }
+                        let wb = ty.wrap(vb as i128);
+                        if wb == 0 {
+                            return Err(Stop::Crash(loc));
+                        }
+                        let wa = ty.wrap(va as i128);
+                        if ty.signed && wa == ty.min_value() && wb == -1 {
+                            return Err(Stop::Crash(loc));
+                        }
+                        fold_bin(*op, va, vb, *ty).expect("division handled")
+                    }
+                    BinKind::Shl | BinKind::Shr => {
+                        let bits = ty.promoted().width.bits() as i64;
+                        let masked = vb & (bits - 1);
+                        fold_bin(*op, va, masked, *ty).expect("masked shift folds")
+                    }
+                    _ => fold_bin(*op, va, vb, *ty).expect("total op"),
+                };
+                self.set(frame, ins.dst, v, defined);
+            }
+            Op::Un { op, a, ty } => {
+                let (va, da) = self.value(frame, *a);
+                self.set(frame, ins.dst, fold_un(*op, va, *ty), da);
+            }
+            Op::Cast { a, to } => {
+                let (va, da) = self.value(frame, *a);
+                self.set(frame, ins.dst, to.wrap(va as i128) as i64, da);
+            }
+            Op::AddrLocal(s) => self.set(frame, ins.dst, frame.slot_addr[*s] as i64, true),
+            Op::AddrGlobal(g) => self.set(frame, ins.dst, self.global_addr[*g] as i64, true),
+            Op::PtrAdd { base, offset, scale } => {
+                let (vb, db) = self.value(frame, *base);
+                let (vo, d2) = self.value(frame, *offset);
+                self.set(frame, ins.dst, vb.wrapping_add(vo.wrapping_mul(*scale)), db && d2);
+            }
+            Op::Load { addr, size, signed } => {
+                let (va, _) = self.value(frame, *addr);
+                let a = self.check_access(va, *size as usize, false, loc)?;
+                let mut raw: u64 = 0;
+                for (i, b) in self.mem[a..a + *size as usize].iter().enumerate() {
+                    raw |= (*b as u64) << (8 * i);
+                }
+                let v = if *signed {
+                    let shift = 64 - 8 * (*size as u32);
+                    ((raw << shift) as i64) >> shift
+                } else {
+                    raw as i64
+                };
+                let src = &self.vbit[a..a + *size as usize];
+                // memcheck-d01: 8-byte loads collapse partial definedness to
+                // "fully defined" when any byte is defined.
+                let defined = if *size == 8 && src.iter().any(|d| *d) && src.iter().any(|d| !*d)
+                {
+                    self.defect("memcheck-d01", loc)
+                } else {
+                    src.iter().all(|d| *d)
+                };
+                self.set(frame, ins.dst, v, defined);
+            }
+            Op::Store { addr, val, size } => {
+                let (va, _) = self.value(frame, *addr);
+                let (vv, dv) = self.value(frame, *val);
+                let a = self.check_access(va, *size as usize, true, loc)?;
+                let bytes = (vv as u64).to_le_bytes();
+                self.mem[a..a + *size as usize].copy_from_slice(&bytes[..*size as usize]);
+                for d in &mut self.vbit[a..a + *size as usize] {
+                    *d = dv;
+                }
+            }
+            Op::MemCopy { dst, src, len } => {
+                let (vd, _) = self.value(frame, *dst);
+                let (vs, _) = self.value(frame, *src);
+                let s = self.check_access(vs, *len as usize, false, loc)?;
+                let d = self.check_access(vd, *len as usize, true, loc)?;
+                let bytes: Vec<u8> = self.mem[s..s + *len as usize].to_vec();
+                self.mem[d..d + *len as usize].copy_from_slice(&bytes);
+                // memcheck-d04: aggregate copies mark the destination defined
+                // instead of copying V-bits.
+                if self.defect("memcheck-d04", loc) {
+                    for b in &mut self.vbit[d..d + *len as usize] {
+                        *b = true;
+                    }
+                } else {
+                    let sh: Vec<bool> = self.vbit[s..s + *len as usize].to_vec();
+                    self.vbit[d..d + *len as usize].copy_from_slice(&sh);
+                }
+            }
+            Op::Call { callee, args } => {
+                let vals: Vec<(i64, bool)> =
+                    args.iter().map(|x| self.value(frame, *x)).collect();
+                let cf = self
+                    .m
+                    .func(callee)
+                    .ok_or_else(|| Stop::Error(format!("unknown function {callee}")))?;
+                let (v, d) = self.call(cf, &vals)?;
+                self.set(frame, ins.dst, v, d);
+            }
+            Op::Malloc { size } => {
+                let (vs, _) = self.value(frame, *size);
+                let size = vs.clamp(0, 1 << 20) as usize;
+                let start = self.alloc_region(size, Abit::Ok, false);
+                self.heap.push(HeapBlock { start, size, freed: false, alloc_loc: loc });
+                self.set(frame, ins.dst, start as i64, true);
+            }
+            Op::Free { addr } => {
+                let (va, _) = self.value(frame, *addr);
+                if va == 0 {
+                    return Ok(());
+                }
+                let Some(idx) = self.heap.iter().position(|h| h.start == va as usize) else {
+                    self.report(DetectorReportKind::InvalidFree, loc);
+                    return Ok(());
+                };
+                if self.heap[idx].freed {
+                    self.report(DetectorReportKind::InvalidFree, loc);
+                    return Ok(());
+                }
+                self.heap[idx].freed = true;
+                let (start, size) = (self.heap[idx].start, self.heap[idx].size);
+                self.set_abit(start, size, Abit::Freed);
+                // memcheck-d02: a one-deep quarantine — this free recycles
+                // the shadow of the previously freed block, whose stale uses
+                // then go unreported.
+                if let Some(prev) = self
+                    .heap
+                    .iter()
+                    .rposition(|h| h.freed && h.start != start)
+                {
+                    if self.defect("memcheck-d02", loc) {
+                        let (ps, pz) = (self.heap[prev].start, self.heap[prev].size);
+                        self.set_abit(ps, pz, Abit::Ok);
+                        for d in &mut self.vbit[ps..ps + pz] {
+                            *d = true;
+                        }
+                    }
+                }
+            }
+            Op::Print { val } => {
+                let (v, d) = self.value(frame, *val);
+                if !d {
+                    self.report(DetectorReportKind::UninitValueUse, loc);
+                }
+                self.output.push(v);
+            }
+            // Lexical scope markers are invisible to a binary-level tool.
+            Op::LifetimeStart(_) | Op::LifetimeEnd(_) => {}
+            // Sanitizer instructions only appear in instrumented modules,
+            // which the campaign never hands to Memcheck; treat as no-ops.
+            op if op.is_sanitizer_op() => {}
+            other => return Err(Stop::Error(format!("unhandled op {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+    use ubfuzz_simcc::target::{OptLevel, Vendor};
+
+    fn module_at(src: &str, opt: OptLevel) -> Module {
+        let p = parse(src).unwrap();
+        let reg = DefectRegistry::pristine();
+        compile(&p, &CompileConfig::dev(Vendor::Gcc, opt, None, &reg)).unwrap()
+    }
+
+    fn run_pristine(src: &str, opt: OptLevel) -> MemcheckRun {
+        let cfg = MemcheckConfig {
+            registry: DetectorDefectRegistry::pristine(),
+            ..MemcheckConfig::default()
+        };
+        run(&module_at(src, opt), &cfg)
+    }
+
+    #[test]
+    fn clean_program_has_no_reports() {
+        let r = run_pristine(
+            "int main(void) { int x = 3; print_value(x + 4); return 0; }",
+            OptLevel::O0,
+        );
+        assert!(r.result.is_clean(), "{:?}", r.result);
+        assert!(r.leaks.is_empty());
+        match r.result {
+            DetectorResult::Finished { output, .. } => assert_eq!(output, vec![7]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn heap_overflow_is_reported() {
+        let r = run_pristine(
+            "int main(void) { int *p = (int*)malloc(8); p[2] = 5; free(p); return 0; }",
+            OptLevel::O0,
+        );
+        assert_eq!(r.result.report().map(|x| x.kind), Some(DetectorReportKind::InvalidWrite));
+    }
+
+    #[test]
+    fn use_after_free_is_reported() {
+        let r = run_pristine(
+            "int main(void) { int *p = (int*)malloc(8); *p = 1; free(p); return *p; }",
+            OptLevel::O0,
+        );
+        assert_eq!(r.result.report().map(|x| x.kind), Some(DetectorReportKind::UseAfterFree));
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let r = run_pristine(
+            "int main(void) { int *p = (int*)malloc(8); free(p); free(p); return 0; }",
+            OptLevel::O0,
+        );
+        assert_eq!(r.result.report().map(|x| x.kind), Some(DetectorReportKind::InvalidFree));
+    }
+
+    #[test]
+    fn uninit_branch_is_reported() {
+        let r = run_pristine(
+            "int main(void) { int x; if (x) { return 1; } return 0; }",
+            OptLevel::O0,
+        );
+        assert_eq!(
+            r.result.report().map(|x| x.kind),
+            Some(DetectorReportKind::UninitCondition)
+        );
+    }
+
+    #[test]
+    fn stack_overflow_is_a_blind_spot() {
+        // The defining difference from ASan: in-frame overflow is silent.
+        let r = run_pristine(
+            "int main(void) { int buf[2]; int i = 2; buf[i] = 7; return buf[0]; }",
+            OptLevel::O0,
+        );
+        assert!(r.result.is_clean(), "Memcheck does not see stack overflow: {:?}", r.result);
+    }
+
+    #[test]
+    fn global_overflow_is_a_blind_spot() {
+        let r = run_pristine(
+            "int g[2]; int main(void) { int i = 2; g[i] = 7; return g[0]; }",
+            OptLevel::O0,
+        );
+        assert!(r.result.is_clean(), "{:?}", r.result);
+    }
+
+    #[test]
+    fn use_after_scope_in_live_frame_is_silent() {
+        let r = run_pristine(
+            "int g;
+             int main(void) {
+                int *p = &g;
+                { int local = 7; p = &local; }
+                return *p;
+             }",
+            OptLevel::O0,
+        );
+        assert!(r.result.is_clean(), "no lexical scope tracking: {:?}", r.result);
+    }
+
+    #[test]
+    fn null_deref_reports_then_crashes() {
+        let r = run_pristine(
+            "int main(void) { int *p = (int*)0; return *p; }",
+            OptLevel::O0,
+        );
+        match &r.result {
+            DetectorResult::Crashed { reports, .. } => {
+                assert_eq!(reports.first().map(|x| x.kind), Some(DetectorReportKind::InvalidRead));
+            }
+            other => panic!("expected crash: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaks_are_summarized_separately() {
+        let r = run_pristine(
+            "int main(void) { int *p = (int*)malloc(16); *p = 1; return *p; }",
+            OptLevel::O0,
+        );
+        assert!(r.result.is_clean(), "{:?}", r.result);
+        assert_eq!(r.leaks.len(), 1);
+        assert_eq!(r.leaks[0].kind, DetectorReportKind::LeakDefinitelyLost);
+    }
+
+    #[test]
+    fn reports_do_not_stop_execution() {
+        let r = run_pristine(
+            "int main(void) {
+                int *p = (int*)malloc(4);
+                p[1] = 1;
+                p[2] = 2;
+                free(p);
+                print_value(9);
+                return 0;
+             }",
+            OptLevel::O0,
+        );
+        match &r.result {
+            DetectorResult::Finished { output, reports, .. } => {
+                assert_eq!(output, &vec![9], "execution continued past the errors");
+                assert!(!reports.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defect_d02_misses_stale_use_after_second_free() {
+        let src = "
+            int main(void) {
+                int *a = (int*)malloc(8);
+                int *b = (int*)malloc(8);
+                *a = 1;
+                free(a);
+                free(b);
+                return *a;
+            }";
+        // Pristine: the stale read of *a is caught.
+        let clean = run_pristine(src, OptLevel::O0);
+        assert_eq!(
+            clean.result.report().map(|x| x.kind),
+            Some(DetectorReportKind::UseAfterFree)
+        );
+        // Defective: freeing b recycles a's shadow; the read goes silent.
+        let cfg = MemcheckConfig {
+            registry: DetectorDefectRegistry::with_only(&["memcheck-d02"]),
+            ..MemcheckConfig::default()
+        };
+        let buggy = run(&module_at(src, OptLevel::O0), &cfg);
+        assert!(buggy.result.is_clean(), "{:?}", buggy.result);
+        assert!(buggy.applied_defects.iter().any(|(id, _)| *id == "memcheck-d02"));
+    }
+
+    #[test]
+    fn defect_d03_misses_straddling_access() {
+        // A 4-byte write at offset 6 of an 8-byte block: first byte is
+        // in-bounds, bytes 8..10 are in the red zone.
+        let src = "
+            int main(void) {
+                char *p = (char*)malloc(8);
+                int *q = (int*)(p + 6);
+                *q = 5;
+                free(p);
+                return 0;
+            }";
+        let clean = run_pristine(src, OptLevel::O0);
+        assert_eq!(
+            clean.result.report().map(|x| x.kind),
+            Some(DetectorReportKind::InvalidWrite)
+        );
+        let cfg = MemcheckConfig {
+            registry: DetectorDefectRegistry::with_only(&["memcheck-d03"]),
+            ..MemcheckConfig::default()
+        };
+        let buggy = run(&module_at(src, OptLevel::O0), &cfg);
+        assert!(buggy.result.is_clean(), "{:?}", buggy.result);
+    }
+
+    #[test]
+    fn trace_records_executed_sites() {
+        let r = run_pristine("int main(void) { int x = 1; return x; }", OptLevel::O0);
+        assert!(!r.trace.executed.is_empty());
+        assert!(r.trace.last.is_known());
+    }
+
+    #[test]
+    fn optimizer_can_hide_ub_from_the_tool() {
+        // The §4.7 analogue of Fig. 3: a dead heap overflow is deleted at
+        // -O2 before Memcheck ever sees the binary.
+        let src = "
+            int g;
+            int main(void) {
+                int *p = (int*)malloc(8);
+                p[3] = 1;
+                free(p);
+                g = 7;
+                print_value(g);
+                return 0;
+            }";
+        let o0 = run_pristine(src, OptLevel::O0);
+        assert!(!o0.result.is_clean(), "visible at -O0");
+        let o2 = run_pristine(src, OptLevel::O2);
+        // Whether -O2 removes the store depends on the pipeline; what must
+        // hold is that a clean -O2 run and a reporting -O0 run is *not* a
+        // tool bug — exactly what report-site mapping decides.
+        if o2.result.is_clean() {
+            let site = o0.result.report().unwrap().loc;
+            assert!(!o2.trace.contains(site), "site was optimized away");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Report vocabulary shared by the non-sanitizer detectors.
+
+use std::fmt;
+use ubfuzz_minic::{Loc, UbKind};
+
+/// What a detector reported — the union of Memcheck's error taxonomy and the
+/// static analyzer's finding categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorReportKind {
+    /// Memcheck: `Invalid read of size N` (unaddressable byte).
+    InvalidRead,
+    /// Memcheck: `Invalid write of size N`.
+    InvalidWrite,
+    /// Memcheck: access `inside a block of size N free'd`.
+    UseAfterFree,
+    /// Memcheck: `Invalid free() / delete / delete[]`.
+    InvalidFree,
+    /// Memcheck: `Conditional jump or move depends on uninitialised
+    /// value(s)`.
+    UninitCondition,
+    /// Memcheck: uninitialised value used in an arithmetic trap position
+    /// (divisor) or passed to output.
+    UninitValueUse,
+    /// Memcheck leak summary: `definitely lost: N bytes in M blocks`.
+    LeakDefinitelyLost,
+    /// Static analyzer: null pointer dereference.
+    StaticNullDeref,
+    /// Static analyzer: division by zero.
+    StaticDivByZero,
+    /// Static analyzer: array index out of bounds.
+    StaticOutOfBounds,
+    /// Static analyzer: signed integer overflow.
+    StaticIntOverflow,
+    /// Static analyzer: shift amount out of range.
+    StaticShiftOob,
+    /// Static analyzer: use of uninitialized variable.
+    StaticUninitUse,
+}
+
+impl DetectorReportKind {
+    /// The message the real tool prints for this error class.
+    pub fn message(self) -> &'static str {
+        match self {
+            DetectorReportKind::InvalidRead => "Invalid read",
+            DetectorReportKind::InvalidWrite => "Invalid write",
+            DetectorReportKind::UseAfterFree => "Invalid access inside a free'd block",
+            DetectorReportKind::InvalidFree => "Invalid free()",
+            DetectorReportKind::UninitCondition => {
+                "Conditional jump or move depends on uninitialised value(s)"
+            }
+            DetectorReportKind::UninitValueUse => "Use of uninitialised value",
+            DetectorReportKind::LeakDefinitelyLost => "definitely lost",
+            DetectorReportKind::StaticNullDeref => "null pointer dereference",
+            DetectorReportKind::StaticDivByZero => "division by zero",
+            DetectorReportKind::StaticOutOfBounds => "array index out of bounds",
+            DetectorReportKind::StaticIntOverflow => "signed integer overflow",
+            DetectorReportKind::StaticShiftOob => "shift amount out of range",
+            DetectorReportKind::StaticUninitUse => "uninitialized variable",
+        }
+    }
+
+    /// True when this report plausibly detects the given ground-truth UB
+    /// kind. Memcheck's taxonomy is coarser than the C standard's: heap
+    /// overflow and use-after-scope both surface as invalid reads/writes.
+    pub fn matches_ub(self, kind: UbKind) -> bool {
+        use UbKind::*;
+        match self {
+            DetectorReportKind::InvalidRead | DetectorReportKind::InvalidWrite => matches!(
+                kind,
+                BufOverflowArray | BufOverflowPtr | UseAfterScope | NullDeref | UseAfterFree
+            ),
+            DetectorReportKind::UseAfterFree => matches!(kind, UseAfterFree | InvalidFree),
+            DetectorReportKind::InvalidFree => kind == InvalidFree,
+            DetectorReportKind::UninitCondition | DetectorReportKind::UninitValueUse => {
+                kind == UninitUse
+            }
+            DetectorReportKind::LeakDefinitelyLost => false,
+            DetectorReportKind::StaticNullDeref => kind == NullDeref,
+            DetectorReportKind::StaticDivByZero => kind == DivByZero,
+            DetectorReportKind::StaticOutOfBounds => {
+                matches!(kind, BufOverflowArray | BufOverflowPtr)
+            }
+            DetectorReportKind::StaticIntOverflow => kind == IntOverflow,
+            DetectorReportKind::StaticShiftOob => kind == ShiftOverflow,
+            DetectorReportKind::StaticUninitUse => kind == UninitUse,
+        }
+    }
+}
+
+impl fmt::Display for DetectorReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// One detector error report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorReport {
+    /// Error class.
+    pub kind: DetectorReportKind,
+    /// Source location the tool attributes the error to.
+    pub loc: Loc,
+}
+
+impl fmt::Display for DetectorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "=={}== at {}", self.kind.message(), self.loc)
+    }
+}
+
+/// Outcome of running a program under a dynamic detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorResult {
+    /// The program ran to completion; `reports` holds every error the tool
+    /// printed along the way (Memcheck does not stop at the first error).
+    Finished {
+        /// `main`'s exit status.
+        status: i64,
+        /// Program output (`print_value` values), in order.
+        output: Vec<i64>,
+        /// Errors reported during the run, in order.
+        reports: Vec<DetectorReport>,
+    },
+    /// The program crashed under the tool (e.g. SIGSEGV on an unmapped
+    /// access the tool reported but could not recover from, or SIGFPE).
+    Crashed {
+        /// Errors reported before the crash.
+        reports: Vec<DetectorReport>,
+        /// Where the crash happened.
+        loc: Loc,
+    },
+    /// Step budget exhausted.
+    Timeout,
+    /// Malformed module.
+    Error(String),
+}
+
+impl DetectorResult {
+    /// The first error report, if any — the detector's analogue of the
+    /// sanitizer "crash" in the paper's differential scheme.
+    pub fn report(&self) -> Option<&DetectorReport> {
+        match self {
+            DetectorResult::Finished { reports, .. } | DetectorResult::Crashed { reports, .. } => {
+                reports.first()
+            }
+            _ => None,
+        }
+    }
+
+    /// All reports.
+    pub fn reports(&self) -> &[DetectorReport] {
+        match self {
+            DetectorResult::Finished { reports, .. } | DetectorResult::Crashed { reports, .. } => {
+                reports
+            }
+            _ => &[],
+        }
+    }
+
+    /// True when the run finished with zero error reports (the detector's
+    /// "exits normally").
+    pub fn is_clean(&self) -> bool {
+        matches!(self, DetectorResult::Finished { reports, .. } if reports.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_messages_are_distinct_and_nonempty() {
+        let kinds = [
+            DetectorReportKind::InvalidRead,
+            DetectorReportKind::InvalidWrite,
+            DetectorReportKind::UseAfterFree,
+            DetectorReportKind::InvalidFree,
+            DetectorReportKind::UninitCondition,
+            DetectorReportKind::UninitValueUse,
+            DetectorReportKind::LeakDefinitelyLost,
+            DetectorReportKind::StaticNullDeref,
+            DetectorReportKind::StaticDivByZero,
+            DetectorReportKind::StaticOutOfBounds,
+            DetectorReportKind::StaticIntOverflow,
+            DetectorReportKind::StaticShiftOob,
+            DetectorReportKind::StaticUninitUse,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(!k.message().is_empty());
+            assert!(seen.insert(k.message()), "duplicate message {}", k.message());
+        }
+    }
+
+    #[test]
+    fn memcheck_taxonomy_is_coarse() {
+        // An invalid write can be the symptom of several UB kinds...
+        assert!(DetectorReportKind::InvalidWrite.matches_ub(UbKind::BufOverflowPtr));
+        assert!(DetectorReportKind::InvalidWrite.matches_ub(UbKind::UseAfterScope));
+        // ...but never of pure value UB.
+        assert!(!DetectorReportKind::InvalidWrite.matches_ub(UbKind::IntOverflow));
+        assert!(!DetectorReportKind::LeakDefinitelyLost.matches_ub(UbKind::UseAfterFree));
+    }
+
+    #[test]
+    fn static_taxonomy_is_exact() {
+        assert!(DetectorReportKind::StaticDivByZero.matches_ub(UbKind::DivByZero));
+        assert!(!DetectorReportKind::StaticDivByZero.matches_ub(UbKind::NullDeref));
+    }
+
+    #[test]
+    fn result_accessors() {
+        let clean = DetectorResult::Finished { status: 0, output: vec![], reports: vec![] };
+        assert!(clean.is_clean());
+        assert!(clean.report().is_none());
+
+        let r = DetectorReport {
+            kind: DetectorReportKind::InvalidRead,
+            loc: ubfuzz_minic::Loc::new(3, 1),
+        };
+        let dirty = DetectorResult::Finished {
+            status: 0,
+            output: vec![],
+            reports: vec![r.clone()],
+        };
+        assert!(!dirty.is_clean());
+        assert_eq!(dirty.report(), Some(&r));
+        assert_eq!(dirty.reports().len(), 1);
+        assert!(r.to_string().contains("Invalid read"));
+    }
+}

@@ -1,0 +1,1045 @@
+//! A CppCheck/Infer-style static analyzer for the C subset.
+//!
+//! The second detector family of the paper's generality discussion (§4.7):
+//! a tool that reports UB *without running the program*, from a
+//! flow-sensitive abstract interpretation of the AST. The abstract domain
+//! is deliberately the one those tools actually use — per-variable constant
+//! intervals, pointer null-ness, and definite-uninitialized facts — and the
+//! reporting policy is "definite errors on some syntactic path", which is
+//! why static tools have both false positives (a reported path may be
+//! dynamically dead) and false negatives (facts are lost at joins and
+//! loops).
+//!
+//! Detected classes (the §4.7 list): null pointer dereference, division by
+//! zero, out-of-bounds array access, signed integer overflow, shift out of
+//! range, use of uninitialized variables.
+
+use std::collections::{HashMap, HashSet};
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::typeck::{typecheck, TypeMap};
+use ubfuzz_minic::types::{IntType, Type};
+use ubfuzz_minic::{Loc, Program, UbKind};
+
+use crate::defects::DetectorDefectRegistry;
+use crate::report::{DetectorReport, DetectorReportKind};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct StaticConfig {
+    /// The defect world (usually [`DetectorDefectRegistry::full`]).
+    pub registry: DetectorDefectRegistry,
+}
+
+/// The result of analyzing one program.
+#[derive(Debug, Clone)]
+pub struct StaticFinding {
+    /// Findings, in source order of discovery, deduplicated by
+    /// `(kind, location)`.
+    pub findings: Vec<DetectorReport>,
+    /// Ground-truth defect applications (attribution only).
+    pub applied_defects: Vec<(&'static str, Loc)>,
+}
+
+impl StaticFinding {
+    /// True when any finding plausibly detects `kind`.
+    pub fn detects(&self, kind: UbKind) -> bool {
+        self.findings.iter().any(|f| f.kind.matches_ub(kind))
+    }
+}
+
+/// The UB kinds this analyzer claims to detect (its product documentation,
+/// the analogue of Table 2 for the static tool).
+pub fn static_supports(kind: UbKind) -> bool {
+    matches!(
+        kind,
+        UbKind::NullDeref
+            | UbKind::DivByZero
+            | UbKind::BufOverflowArray
+            | UbKind::IntOverflow
+            | UbKind::ShiftOverflow
+            | UbKind::UninitUse
+    )
+}
+
+/// Analyzes `main` of `program` (intraprocedural, like the fast default
+/// modes of the real tools).
+pub fn analyze(program: &Program, cfg: &StaticConfig) -> StaticFinding {
+    let Ok(tmap) = typecheck(program) else {
+        return StaticFinding { findings: Vec::new(), applied_defects: Vec::new() };
+    };
+    let mut a = Analyzer {
+        tmap: &tmap,
+        cfg,
+        findings: Vec::new(),
+        seen: HashSet::new(),
+        applied: Vec::new(),
+        addr_taken: HashSet::new(),
+    };
+    // Globals are initialized (zero or explicitly); model their declared
+    // constants so `int z = 0; ... x / z` is caught across the boundary.
+    let mut state = State::default();
+    for g in &program.globals {
+        state.vars.insert(g.name.clone(), a.global_abs(g));
+    }
+    if let Some(main) = program.function("main") {
+        a.collect_addr_taken(&main.body);
+        a.exec_block(&main.body, &mut state, true);
+    }
+    StaticFinding { findings: a.findings, applied_defects: a.applied }
+}
+
+/// Abstract value of one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Abs {
+    /// Integer in `[lo, hi]`.
+    Int(i128, i128),
+    /// Pointer known to be null.
+    Null,
+    /// Pointer known to be valid (e.g. `&x`, `malloc` in this world).
+    NonNull,
+    /// Declared, never assigned.
+    Uninit,
+    /// Anything.
+    Any,
+}
+
+impl Abs {
+    fn constant(v: i128) -> Abs {
+        Abs::Int(v, v)
+    }
+
+    fn as_const(self) -> Option<i128> {
+        match self {
+            Abs::Int(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: Abs) -> Abs {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Abs::Int(l1, h1), Abs::Int(l2, h2)) => Abs::Int(l1.min(l2), h1.max(h2)),
+            (Abs::Null | Abs::NonNull, Abs::Null | Abs::NonNull) => Abs::Any,
+            // A maybe-uninitialized value is not *definitely* uninitialized:
+            // the definite-error policy drops the fact at the join.
+            _ => Abs::Any,
+        }
+    }
+}
+
+/// Per-program-point variable state.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct State {
+    vars: HashMap<String, Abs>,
+}
+
+impl State {
+    fn join_with(&mut self, other: &State) {
+        let keys: Vec<String> = self.vars.keys().chain(other.vars.keys()).cloned().collect();
+        for k in keys {
+            let a = self.vars.get(&k).copied().unwrap_or(Abs::Any);
+            let b = other.vars.get(&k).copied().unwrap_or(Abs::Any);
+            self.vars.insert(k, a.join(b));
+        }
+    }
+
+    fn havoc_assigned(&mut self, assigned: &HashSet<String>, widen_all_lower: bool) {
+        for (name, v) in self.vars.iter_mut() {
+            if assigned.contains(name) {
+                *v = Abs::Any;
+            } else if widen_all_lower {
+                // static-d03: widening is (wrongly) applied to every integer
+                // variable and clamps the lower bound at 0.
+                if let Abs::Int(_, hi) = *v {
+                    *v = Abs::Int(0, (i128::MAX / 4).min(hi.max(0)));
+                }
+            }
+        }
+    }
+}
+
+struct Analyzer<'p> {
+    tmap: &'p TypeMap,
+    cfg: &'p StaticConfig,
+    findings: Vec<DetectorReport>,
+    seen: HashSet<(DetectorReportKind, Loc)>,
+    applied: Vec<(&'static str, Loc)>,
+    addr_taken: HashSet<String>,
+}
+
+impl<'p> Analyzer<'p> {
+    fn report(&mut self, kind: DetectorReportKind, loc: Loc) {
+        if self.seen.insert((kind, loc)) {
+            self.findings.push(DetectorReport { kind, loc });
+        }
+    }
+
+    fn defect(&mut self, id: &'static str, loc: Loc) -> bool {
+        if self.cfg.registry.active(id) {
+            self.applied.push((id, loc));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn global_abs(&self, d: &Decl) -> Abs {
+        match &d.ty {
+            Type::Ptr(_) => match &d.init {
+                None => Abs::Null, // zero-initialized pointer
+                Some(Init::Expr(e)) => match &e.kind {
+                    ExprKind::IntLit(0, _) => Abs::Null,
+                    ExprKind::Cast(_, inner)
+                        if matches!(inner.kind, ExprKind::IntLit(0, _)) =>
+                    {
+                        Abs::Null
+                    }
+                    ExprKind::AddrOf(_) => Abs::NonNull,
+                    _ => Abs::Any,
+                },
+                _ => Abs::Any,
+            },
+            _ if d.ty.is_int() => match &d.init {
+                None => Abs::constant(0),
+                Some(Init::Expr(e)) =>
+
+                    match &e.kind {
+                        ExprKind::IntLit(v, _) => Abs::constant(*v),
+                        _ => Abs::Any,
+                    },
+                _ => Abs::Any,
+            },
+            _ => Abs::Any,
+        }
+    }
+
+    fn collect_addr_taken(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.collect_addr_taken_stmt(s);
+        }
+    }
+
+    fn collect_addr_taken_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                if let Some(init) = &d.init {
+                    self.collect_addr_taken_init(init);
+                }
+            }
+            StmtKind::Expr(e) | StmtKind::Return(Some(e)) => self.collect_addr_taken_expr(e),
+            StmtKind::If(c, t, f) => {
+                self.collect_addr_taken_expr(c);
+                self.collect_addr_taken(t);
+                if let Some(f) = f {
+                    self.collect_addr_taken(f);
+                }
+            }
+            StmtKind::While(c, b) => {
+                self.collect_addr_taken_expr(c);
+                self.collect_addr_taken(b);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.collect_addr_taken_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.collect_addr_taken_expr(c);
+                }
+                if let Some(st) = step {
+                    self.collect_addr_taken_expr(st);
+                }
+                self.collect_addr_taken(body);
+            }
+            StmtKind::Block(b) => self.collect_addr_taken(b),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+
+    fn collect_addr_taken_init(&mut self, init: &Init) {
+        match init {
+            Init::Expr(e) => self.collect_addr_taken_expr(e),
+            Init::List(items) => {
+                for it in items {
+                    self.collect_addr_taken_init(it);
+                }
+            }
+        }
+    }
+
+    fn collect_addr_taken_expr(&mut self, e: &Expr) {
+        if let ExprKind::AddrOf(inner) = &e.kind {
+            if let ExprKind::Var(name) = &inner.kind {
+                self.addr_taken.insert(name.clone());
+            }
+        }
+        match &e.kind {
+            ExprKind::IntLit(..) | ExprKind::Var(_) => {}
+            ExprKind::Unary(_, a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::Deref(a)
+            | ExprKind::Cast(_, a)
+            | ExprKind::PreInc(a)
+            | ExprKind::PreDec(a)
+            | ExprKind::Member(a, _)
+            | ExprKind::Arrow(a, _) => self.collect_addr_taken_expr(a),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::CompoundAssign(_, a, b)
+            | ExprKind::Index(a, b) => {
+                self.collect_addr_taken_expr(a);
+                self.collect_addr_taken_expr(b);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    self.collect_addr_taken_expr(a);
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.collect_addr_taken_expr(c);
+                self.collect_addr_taken_expr(t);
+                self.collect_addr_taken_expr(f);
+            }
+        }
+    }
+
+    /// Statements assigned anywhere in a block (for loop havoc).
+    fn assigned_vars(b: &Block, out: &mut HashSet<String>) {
+        for s in &b.stmts {
+            Self::assigned_vars_stmt(s, out);
+        }
+    }
+
+    fn assigned_vars_stmt(s: &Stmt, out: &mut HashSet<String>) {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                out.insert(d.name.clone());
+            }
+            StmtKind::Expr(e) | StmtKind::Return(Some(e)) => Self::assigned_vars_expr(e, out),
+            StmtKind::If(c, t, f) => {
+                Self::assigned_vars_expr(c, out);
+                Self::assigned_vars(t, out);
+                if let Some(f) = f {
+                    Self::assigned_vars(f, out);
+                }
+            }
+            StmtKind::While(c, b) => {
+                Self::assigned_vars_expr(c, out);
+                Self::assigned_vars(b, out);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    Self::assigned_vars_stmt(i, out);
+                }
+                if let Some(c) = cond {
+                    Self::assigned_vars_expr(c, out);
+                }
+                if let Some(st) = step {
+                    Self::assigned_vars_expr(st, out);
+                }
+                Self::assigned_vars(body, out);
+            }
+            StmtKind::Block(b) => Self::assigned_vars(b, out),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+
+    fn assigned_vars_expr(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
+            ExprKind::Assign(l, r) | ExprKind::CompoundAssign(_, l, r) => {
+                if let ExprKind::Var(n) = &l.kind {
+                    out.insert(n.clone());
+                }
+                Self::assigned_vars_expr(l, out);
+                Self::assigned_vars_expr(r, out);
+            }
+            ExprKind::PreInc(l) | ExprKind::PreDec(l) => {
+                if let ExprKind::Var(n) = &l.kind {
+                    out.insert(n.clone());
+                }
+                Self::assigned_vars_expr(l, out);
+            }
+            ExprKind::IntLit(..) | ExprKind::Var(_) => {}
+            ExprKind::Unary(_, a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::Deref(a)
+            | ExprKind::Cast(_, a)
+            | ExprKind::Member(a, _)
+            | ExprKind::Arrow(a, _) => Self::assigned_vars_expr(a, out),
+            ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                Self::assigned_vars_expr(a, out);
+                Self::assigned_vars_expr(b, out);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    Self::assigned_vars_expr(a, out);
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                Self::assigned_vars_expr(c, out);
+                Self::assigned_vars_expr(t, out);
+                Self::assigned_vars_expr(f, out);
+            }
+        }
+    }
+
+    fn exec_block(&mut self, b: &Block, state: &mut State, reporting: bool) {
+        for s in &b.stmts {
+            self.exec_stmt(s, state, reporting);
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, state: &mut State, reporting: bool) {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                let abs = match (&d.init, &d.ty) {
+                    (None, Type::Array(..)) | (None, Type::Struct(_)) => Abs::Any,
+                    (None, _) => Abs::Uninit,
+                    (Some(Init::Expr(e)), _) => self.eval(e, state, reporting),
+                    (Some(Init::List(items)), _) => {
+                        for it in items {
+                            self.eval_init(it, state, reporting);
+                        }
+                        Abs::Any
+                    }
+                };
+                state.vars.insert(d.name.clone(), abs);
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, state, reporting);
+            }
+            StmtKind::If(c, t, f) => {
+                let cv = self.eval(c, state, reporting);
+                match cv.as_const() {
+                    Some(0) => {
+                        if let Some(f) = f {
+                            self.exec_block(f, state, reporting);
+                        }
+                    }
+                    Some(_) => self.exec_block(t, state, reporting),
+                    None => {
+                        let mut t_state = state.clone();
+                        self.exec_block(t, &mut t_state, reporting);
+                        if let Some(f) = f {
+                            self.exec_block(f, state, reporting);
+                        }
+                        state.join_with(&t_state);
+                    }
+                }
+            }
+            StmtKind::While(c, body) => {
+                self.exec_loop(Some(c), None, body, state, reporting);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.exec_stmt(i, state, reporting);
+                }
+                self.exec_loop(cond.as_ref(), step.as_ref(), body, state, reporting);
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.eval(e, state, reporting);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.exec_block(b, state, reporting),
+        }
+    }
+
+    fn exec_loop(
+        &mut self,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Block,
+        state: &mut State,
+        reporting: bool,
+    ) {
+        if let Some(c) = cond {
+            let cv = self.eval(c, state, reporting);
+            if cv.as_const() == Some(0) {
+                return; // loop never entered; facts survive
+            }
+        }
+        // One reporting pass through the body (errors on the first
+        // iteration are definite), then havoc everything the loop assigns.
+        let mut body_state = state.clone();
+        self.exec_block(body, &mut body_state, reporting);
+        if let Some(st) = step {
+            self.eval(st, &mut body_state, false);
+        }
+        let mut assigned = HashSet::new();
+        Self::assigned_vars(body, &mut assigned);
+        if let Some(st) = step {
+            Self::assigned_vars_expr(st, &mut assigned);
+        }
+        state.join_with(&body_state);
+        let loc = body.stmts.first().map_or(Loc::UNKNOWN, |s| s.loc);
+        let widen_all = !assigned.is_empty() && self.defect("static-d03", loc);
+        state.havoc_assigned(&assigned, widen_all);
+    }
+
+    fn eval_init(&mut self, init: &Init, state: &mut State, reporting: bool) {
+        match init {
+            Init::Expr(e) => {
+                self.eval(e, state, reporting);
+            }
+            Init::List(items) => {
+                for it in items {
+                    self.eval_init(it, state, reporting);
+                }
+            }
+        }
+    }
+
+    /// The type of an expression node, if the checker recorded one.
+    fn ty(&self, e: &Expr) -> Option<&Type> {
+        self.tmap.get(&e.id)
+    }
+
+    fn int_ty(&self, e: &Expr) -> IntType {
+        self.ty(e).and_then(|t| t.as_int()).unwrap_or(IntType::INT)
+    }
+
+    /// Abstractly evaluates `e`, reporting definite errors when `reporting`.
+    fn eval(&mut self, e: &Expr, state: &mut State, reporting: bool) -> Abs {
+        match &e.kind {
+            ExprKind::IntLit(v, _) => Abs::constant(*v),
+            ExprKind::Var(name) => {
+                let abs = state.vars.get(name).copied().unwrap_or(Abs::Any);
+                if abs == Abs::Uninit && reporting {
+                    // static-d01: &x anywhere in the function suppresses the
+                    // definitely-uninitialized fact.
+                    if self.addr_taken.contains(name)
+                        && self.defect("static-d01", e.loc) {
+                            return Abs::Any;
+                        }
+                    self.report(DetectorReportKind::StaticUninitUse, e.loc);
+                }
+                abs
+            }
+            ExprKind::Unary(op, a) => {
+                let va = self.eval(a, state, reporting);
+                match (op, va) {
+                    (UnOp::Neg, Abs::Int(lo, hi)) => {
+                        let ty = self.int_ty(e);
+                        if reporting
+                            && lo == hi
+                            && ty.signed
+                            && lo == ty.min_value()
+                        {
+                            self.report(DetectorReportKind::StaticIntOverflow, e.loc);
+                        }
+                        Abs::Int(hi.saturating_neg(), lo.saturating_neg())
+                    }
+                    (UnOp::Not, Abs::Int(lo, hi)) => {
+                        if lo == hi {
+                            Abs::constant(i128::from(lo == 0))
+                        } else {
+                            Abs::Int(0, 1)
+                        }
+                    }
+                    _ => Abs::Any,
+                }
+            }
+            ExprKind::Binary(op, a, b) => self.eval_binary(e, *op, a, b, state, reporting),
+            ExprKind::Assign(l, r) => {
+                let rv = self.eval(r, state, reporting);
+                self.eval_lvalue_effects(l, state, reporting);
+                if let ExprKind::Var(n) = &l.kind {
+                    state.vars.insert(n.clone(), rv);
+                } else {
+                    // A store through memory may alias any address-taken var.
+                    self.havoc_addr_taken(state);
+                }
+                rv
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                let lv = self.eval(l, state, reporting);
+                let rv = self.eval(r, state, reporting);
+                let out = self.eval_int_op(e, *op, lv, rv, reporting);
+                if let ExprKind::Var(n) = &l.kind {
+                    state.vars.insert(n.clone(), out);
+                } else {
+                    self.havoc_addr_taken(state);
+                }
+                out
+            }
+            ExprKind::PreInc(l) | ExprKind::PreDec(l) => {
+                let inc = matches!(e.kind, ExprKind::PreInc(_));
+                let lv = self.eval(l, state, reporting);
+                let one = Abs::constant(1);
+                let op = if inc { BinOp::Add } else { BinOp::Sub };
+                let out = self.eval_int_op(e, op, lv, one, reporting);
+                if let ExprKind::Var(n) = &l.kind {
+                    state.vars.insert(n.clone(), out);
+                } else {
+                    self.havoc_addr_taken(state);
+                }
+                out
+            }
+            ExprKind::Index(base, idx) => {
+                let iv = self.eval(idx, state, reporting);
+                self.eval(base, state, reporting);
+                if reporting {
+                    self.check_index(base, idx, iv);
+                }
+                Abs::Any
+            }
+            ExprKind::Member(a, _) => {
+                self.eval(a, state, reporting);
+                Abs::Any
+            }
+            ExprKind::Arrow(p, _) | ExprKind::Deref(p) => {
+                let pv = self.eval(p, state, reporting);
+                if reporting && pv == Abs::Null {
+                    self.report(DetectorReportKind::StaticNullDeref, e.loc);
+                }
+                Abs::Any
+            }
+            ExprKind::AddrOf(inner) => {
+                // &lvalue evaluates the lvalue's subexpressions but not its
+                // value; the result is a valid pointer.
+                self.eval_lvalue_effects(inner, state, reporting);
+                Abs::NonNull
+            }
+            ExprKind::Cast(to, a) => {
+                let va = self.eval(a, state, reporting);
+                match (to, va) {
+                    (Type::Ptr(_), Abs::Int(0, 0)) => Abs::Null,
+                    (Type::Ptr(_), v @ (Abs::Null | Abs::NonNull)) => v,
+                    (Type::Ptr(_), _) => Abs::Any,
+                    (t, Abs::Int(lo, hi)) if t.is_int() => {
+                        let ity = t.as_int().expect("int type");
+                        if ity.contains(lo) && ity.contains(hi) {
+                            Abs::Int(lo, hi)
+                        } else {
+                            Abs::Int(ity.min_value(), ity.max_value())
+                        }
+                    }
+                    _ => Abs::Any,
+                }
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.eval(a, state, reporting);
+                }
+                match name.as_str() {
+                    "malloc" => Abs::NonNull,
+                    "free" | "print_value" => Abs::Any,
+                    _ => {
+                        // An unknown callee may write through any pointer it
+                        // can reach.
+                        self.havoc_addr_taken(state);
+                        Abs::Any
+                    }
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                let cv = self.eval(c, state, reporting);
+                match cv.as_const() {
+                    Some(0) => self.eval(f, state, reporting),
+                    Some(_) => self.eval(t, state, reporting),
+                    None => {
+                        let mut ts = state.clone();
+                        let tv = self.eval(t, &mut ts, reporting);
+                        let fv = self.eval(f, state, reporting);
+                        state.join_with(&ts);
+                        tv.join(fv)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates an lvalue for its side conditions (index/deref checks)
+    /// without treating it as a use of the variable's *value*.
+    fn eval_lvalue_effects(&mut self, l: &Expr, state: &mut State, reporting: bool) {
+        match &l.kind {
+            ExprKind::Var(_) => {}
+            ExprKind::Index(base, idx) => {
+                let iv = self.eval(idx, state, reporting);
+                self.eval_lvalue_effects(base, state, reporting);
+                if reporting {
+                    self.check_index(base, idx, iv);
+                }
+            }
+            ExprKind::Member(a, _) => self.eval_lvalue_effects(a, state, reporting),
+            ExprKind::Arrow(p, _) | ExprKind::Deref(p) => {
+                let pv = self.eval(p, state, reporting);
+                if reporting && pv == Abs::Null {
+                    self.report(DetectorReportKind::StaticNullDeref, l.loc);
+                }
+            }
+            _ => {
+                self.eval(l, state, reporting);
+            }
+        }
+    }
+
+    fn havoc_addr_taken(&mut self, state: &mut State) {
+        let names: Vec<String> = self
+            .addr_taken
+            .iter()
+            .filter(|n| state.vars.contains_key(*n))
+            .cloned()
+            .collect();
+        for n in names {
+            state.vars.insert(n, Abs::Any);
+        }
+    }
+
+    fn check_index(&mut self, base: &Expr, idx: &Expr, iv: Abs) {
+        let Some(Type::Array(_, n)) = self.ty(base) else { return };
+        let n = *n as i128;
+        if let Abs::Int(lo, hi) = iv {
+            // Definite error only: the whole interval is out of bounds.
+            if hi < 0 || lo >= n {
+                self.report(DetectorReportKind::StaticOutOfBounds, idx.loc);
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        state: &mut State,
+        reporting: bool,
+    ) -> Abs {
+        match op {
+            BinOp::LogAnd | BinOp::LogOr => {
+                let va = self.eval(a, state, reporting);
+                let short = match (op, va.as_const()) {
+                    (BinOp::LogAnd, Some(0)) => Some(Abs::constant(0)),
+                    (BinOp::LogOr, Some(v)) if v != 0 => Some(Abs::constant(1)),
+                    _ => None,
+                };
+                if let Some(v) = short {
+                    return v; // RHS definitely not evaluated
+                }
+                let definite = matches!(
+                    (op, va.as_const()),
+                    (BinOp::LogAnd, Some(v)) if v != 0
+                ) || matches!(
+                    (op, va.as_const()),
+                    (BinOp::LogOr, Some(0))
+                );
+                // static-d02: the RHS of a short-circuit operator is never
+                // visited, even when the LHS proves it executes.
+                if self.defect("static-d02", e.loc) {
+                    return Abs::Int(0, 1);
+                }
+                let vb = self.eval(b, state, reporting && definite);
+                match (va.as_const(), vb.as_const()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            BinOp::LogAnd => (x != 0 && y != 0) as i128,
+                            _ => (x != 0 || y != 0) as i128,
+                        };
+                        Abs::constant(r)
+                    }
+                    _ => Abs::Int(0, 1),
+                }
+            }
+            _ => {
+                let va = self.eval(a, state, reporting);
+                let vb = self.eval(b, state, reporting);
+                self.eval_int_op(e, op, va, vb, reporting)
+            }
+        }
+    }
+
+    /// Integer transfer function with definite-error checks.
+    fn eval_int_op(&mut self, e: &Expr, op: BinOp, va: Abs, vb: Abs, reporting: bool) -> Abs {
+        let ty = self.int_ty(e);
+        let (ca, cb) = (va.as_const(), vb.as_const());
+        match op {
+            BinOp::Div | BinOp::Rem => {
+                if reporting && cb == Some(0) {
+                    self.report(DetectorReportKind::StaticDivByZero, e.loc);
+                }
+                if reporting
+                    && ty.signed
+                    && ca == Some(ty.min_value())
+                    && cb == Some(-1)
+                {
+                    self.report(DetectorReportKind::StaticIntOverflow, e.loc);
+                }
+                match (ca, cb) {
+                    (Some(x), Some(y)) if y != 0 && !(x == ty.min_value() && y == -1) => {
+                        let v = if op == BinOp::Div { x / y } else { x % y };
+                        Abs::constant(v)
+                    }
+                    _ => Abs::Any,
+                }
+            }
+            BinOp::Shl | BinOp::Shr => {
+                let bits = i128::from(ty.promoted().width.bits());
+                if reporting {
+                    if let Some(amt) = cb {
+                        if amt < 0 || amt >= bits {
+                            self.report(DetectorReportKind::StaticShiftOob, e.loc);
+                        }
+                    }
+                }
+                match (ca, cb) {
+                    (Some(x), Some(y)) if (0..bits).contains(&y) => {
+                        let v = if op == BinOp::Shl { x << y } else { x >> y };
+                        if ty.contains(v) {
+                            Abs::constant(v)
+                        } else {
+                            Abs::Any
+                        }
+                    }
+                    _ => Abs::Any,
+                }
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                let exact = match (op, ca, cb) {
+                    (BinOp::Add, Some(x), Some(y)) => Some(x + y),
+                    (BinOp::Sub, Some(x), Some(y)) => Some(x - y),
+                    (BinOp::Mul, Some(x), Some(y)) => x.checked_mul(y),
+                    _ => None,
+                };
+                if let Some(v) = exact {
+                    let promoted = ty.promoted();
+                    if reporting && promoted.signed && !promoted.contains(v) {
+                        self.report(DetectorReportKind::StaticIntOverflow, e.loc);
+                    }
+                    return if ty.contains(v) { Abs::constant(v) } else { Abs::Any };
+                }
+                match (va, vb) {
+                    (Abs::Int(l1, h1), Abs::Int(l2, h2)) => {
+                        let (lo, hi) = match op {
+                            BinOp::Add => (l1.saturating_add(l2), h1.saturating_add(h2)),
+                            BinOp::Sub => (l1.saturating_sub(h2), h1.saturating_sub(l2)),
+                            _ => return Abs::Any,
+                        };
+                        Abs::Int(lo, hi)
+                    }
+                    _ => Abs::Any,
+                }
+            }
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => match (ca, cb) {
+                (Some(x), Some(y)) => {
+                    let v = match op {
+                        BinOp::BitAnd => x & y,
+                        BinOp::BitOr => x | y,
+                        _ => x ^ y,
+                    };
+                    Abs::constant(v)
+                }
+                _ => Abs::Any,
+            },
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                match (ca, cb) {
+                    (Some(x), Some(y)) => {
+                        let v = match op {
+                            BinOp::Lt => x < y,
+                            BinOp::Le => x <= y,
+                            BinOp::Gt => x > y,
+                            BinOp::Ge => x >= y,
+                            BinOp::Eq => x == y,
+                            _ => x != y,
+                        };
+                        Abs::constant(i128::from(v))
+                    }
+                    _ => Abs::Int(0, 1),
+                }
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("handled in eval_binary"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+
+    fn findings(src: &str) -> Vec<DetectorReportKind> {
+        let p = parse(src).unwrap();
+        let cfg = StaticConfig { registry: DetectorDefectRegistry::pristine() };
+        analyze(&p, &cfg).findings.iter().map(|f| f.kind).collect()
+    }
+
+    fn findings_with(src: &str, ids: &[&'static str]) -> Vec<DetectorReportKind> {
+        let p = parse(src).unwrap();
+        let cfg = StaticConfig { registry: DetectorDefectRegistry::with_only(ids) };
+        analyze(&p, &cfg).findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_yields_nothing() {
+        assert!(findings("int main(void) { int x = 1; return x + 1; }").is_empty());
+    }
+
+    #[test]
+    fn constant_null_deref_found() {
+        let f = findings("int main(void) { int *p = (int*)0; return *p; }");
+        assert_eq!(f, vec![DetectorReportKind::StaticNullDeref]);
+    }
+
+    #[test]
+    fn null_through_global_found() {
+        let f = findings("int *p; int main(void) { return *p; }");
+        assert_eq!(f, vec![DetectorReportKind::StaticNullDeref]);
+    }
+
+    #[test]
+    fn constant_div_by_zero_found() {
+        let f = findings("int main(void) { int z = 0; return 5 / z; }");
+        assert_eq!(f, vec![DetectorReportKind::StaticDivByZero]);
+    }
+
+    #[test]
+    fn constant_oob_index_found() {
+        let f = findings("int main(void) { int a[3]; int i = 5; a[i] = 1; return 0; }");
+        assert!(f.contains(&DetectorReportKind::StaticOutOfBounds), "{f:?}");
+    }
+
+    #[test]
+    fn negative_index_found() {
+        let f = findings("int main(void) { int a[3]; int i = 0 - 2; a[i] = 1; return 0; }");
+        assert!(f.contains(&DetectorReportKind::StaticOutOfBounds), "{f:?}");
+    }
+
+    #[test]
+    fn int_overflow_found() {
+        let f = findings("int main(void) { int x = 2147483647; return x + 1; }");
+        assert!(f.contains(&DetectorReportKind::StaticIntOverflow), "{f:?}");
+    }
+
+    #[test]
+    fn shift_oob_found() {
+        let f = findings("int main(void) { int x = 1; int s = 40; return x << s; }");
+        assert!(f.contains(&DetectorReportKind::StaticShiftOob), "{f:?}");
+    }
+
+    #[test]
+    fn uninit_use_found() {
+        let f = findings("int main(void) { int x; if (x) { return 1; } return 0; }");
+        assert!(f.contains(&DetectorReportKind::StaticUninitUse), "{f:?}");
+    }
+
+    #[test]
+    fn joins_lose_uninit_facts() {
+        // Maybe-initialized is not reported (definite-error policy). The
+        // `opaque` call makes the branch condition genuinely unknown.
+        let f = findings(
+            "int opaque(int x) { return x + x; }
+             int main(void) {
+                int x;
+                if (opaque(1)) { x = 1; }
+                return x;
+             }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_branch_facts_join() {
+        // x is 1 or 3 after the if; neither side is out of bounds for a[4].
+        let f = findings(
+            "int opaque(int x) { return x + x; }
+             int main(void) {
+                int a[4];
+                int x = 1;
+                if (opaque(1)) { x = 3; }
+                a[x] = 1;
+                return a[1];
+             }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn loop_havocs_assigned_vars_only() {
+        // i is assigned in the loop (index fact lost); k is not (fact kept,
+        // and k = 9 is out of bounds for a[4]).
+        let f = findings(
+            "int opaque(int x) { return x + x; }
+             int main(void) {
+                int a[4];
+                int k = 9;
+                for (int i = 0; i < opaque(2); i = i + 1) { a[1] = i; }
+                a[k] = 2;
+                return 0;
+             }",
+        );
+        assert_eq!(f, vec![DetectorReportKind::StaticOutOfBounds]);
+    }
+
+    #[test]
+    fn division_on_proven_path_of_shortcircuit_found() {
+        let f = findings("int main(void) { int z = 0; int t = 1; return t && (5 / z); }");
+        assert!(f.contains(&DetectorReportKind::StaticDivByZero), "{f:?}");
+    }
+
+    #[test]
+    fn division_on_unproven_path_not_definite() {
+        let f = findings(
+            "int opaque(int x) { return x + x; }
+             int main(void) { int z = 0; return opaque(1) && (5 / z); }",
+        );
+        assert!(f.is_empty(), "RHS may never execute: {f:?}");
+    }
+
+    #[test]
+    fn defect_d01_suppresses_uninit_for_addr_taken() {
+        let src = "
+            int main(void) {
+                int x;
+                int *p = &x;
+                print_value(*p);
+                if (x) { return 1; }
+                return 0;
+            }";
+        let clean = findings(src);
+        assert!(clean.contains(&DetectorReportKind::StaticUninitUse), "{clean:?}");
+        let buggy = findings_with(src, &["static-d01"]);
+        assert!(!buggy.contains(&DetectorReportKind::StaticUninitUse), "{buggy:?}");
+    }
+
+    #[test]
+    fn defect_d02_skips_shortcircuit_rhs() {
+        let src = "int main(void) { int z = 0; int t = 1; return t && (5 / z); }";
+        let buggy = findings_with(src, &["static-d02"]);
+        assert!(!buggy.contains(&DetectorReportKind::StaticDivByZero), "{buggy:?}");
+    }
+
+    #[test]
+    fn defect_d03_widening_drops_negative_facts() {
+        let src = "
+            int opaque(int x) { return x + x; }
+            int main(void) {
+                int a[4];
+                int k = 0 - 2;
+                for (int i = 0; i < opaque(2); i = i + 1) { a[1] = i; }
+                a[k] = 2;
+                return 0;
+            }";
+        let clean = findings(src);
+        assert!(clean.contains(&DetectorReportKind::StaticOutOfBounds), "{clean:?}");
+        let buggy = findings_with(src, &["static-d03"]);
+        assert!(!buggy.contains(&DetectorReportKind::StaticOutOfBounds), "{buggy:?}");
+    }
+
+    #[test]
+    fn supports_matrix() {
+        assert!(static_supports(UbKind::NullDeref));
+        assert!(static_supports(UbKind::DivByZero));
+        assert!(!static_supports(UbKind::UseAfterFree));
+        assert!(!static_supports(UbKind::UseAfterScope));
+    }
+
+    #[test]
+    fn detects_maps_kind_through_taxonomy() {
+        let p = parse("int main(void) { int *p = (int*)0; return *p; }").unwrap();
+        let cfg = StaticConfig { registry: DetectorDefectRegistry::pristine() };
+        let r = analyze(&p, &cfg);
+        assert!(r.detects(UbKind::NullDeref));
+        assert!(!r.detects(UbKind::DivByZero));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the §4.7 detectors (proptest).
+//!
+//! The invariants mirror the sanitizer-world properties in
+//! `crates/core/tests/properties.rs`, adapted to what a DBI engine and a
+//! static analyzer respectively promise:
+//!
+//! * Memcheck is an *execution engine* first — on UB-free programs it must
+//!   compute exactly the reference interpreter's observable behavior, with
+//!   zero error reports, in every defect world.
+//! * Detector defects are *false-negative* defects — they may only
+//!   suppress reports, never invent them.
+//! * Every in-run Memcheck report lies on the engine's own executed-site
+//!   trace — the premise report-site mapping (Algorithm 2) relies on.
+
+use proptest::prelude::*;
+use ubfuzz_detectors::campaign::memcheck_supports;
+use ubfuzz_detectors::defects::DetectorDefectRegistry;
+use ubfuzz_detectors::memcheck::{self, MemcheckConfig};
+use ubfuzz_detectors::report::DetectorResult;
+use ubfuzz_detectors::staticcheck::{analyze, StaticConfig};
+use ubfuzz_interp::run_program;
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::target::{OptLevel, Vendor};
+use ubfuzz_ubgen::{generate_all, GenOptions};
+
+fn pristine_tool() -> MemcheckConfig {
+    MemcheckConfig { registry: DetectorDefectRegistry::pristine(), ..MemcheckConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// On UB-free seeds, Memcheck computes the interpreter's observable
+    /// behavior exactly and reports nothing — at every level, in both
+    /// defect worlds (defects affect reporting, never execution).
+    #[test]
+    fn memcheck_executes_seeds_faithfully_with_no_false_positives(seed in 0u64..2000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let gt = match run_program(&p) {
+            ubfuzz_interp::Outcome::Exit { output, .. } => output,
+            other => return Err(TestCaseError::fail(format!("seed not clean: {other:?}"))),
+        };
+        let reg = DefectRegistry::pristine();
+        for tool in [MemcheckConfig::default(), pristine_tool()] {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let m = compile(&p, &CompileConfig::dev(Vendor::Gcc, opt, None, &reg)).unwrap();
+                let run = memcheck::run(&m, &tool);
+                match &run.result {
+                    DetectorResult::Finished { output, reports, .. } => {
+                        prop_assert!(reports.is_empty(), "{}: false positive {:?}", opt, reports);
+                        prop_assert_eq!(output, &gt, "{} diverges from the interpreter", opt);
+                    }
+                    other => return Err(TestCaseError::fail(format!("{opt}: {other:?}"))),
+                }
+            }
+        }
+    }
+
+    /// Injected Memcheck defects only suppress reports: on the same binary,
+    /// the defective world's report set is a subset of the pristine one's.
+    #[test]
+    fn memcheck_defects_only_suppress_reports(seed in 0u64..1000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let creg = DefectRegistry::pristine();
+        let full = MemcheckConfig::default();
+        let pristine = pristine_tool();
+        for u in generate_all(&p, &GenOptions { max_per_kind: 2, ..GenOptions::default() })
+            .into_iter()
+            .filter(|u| memcheck_supports(u.kind))
+        {
+            let Ok(m) =
+                compile(&u.program, &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &creg))
+            else {
+                continue;
+            };
+            let rf = memcheck::run(&m, &full);
+            let rp = memcheck::run(&m, &pristine);
+            for rep in rf.result.reports() {
+                prop_assert!(
+                    rp.result.reports().contains(rep),
+                    "defect invented report {} on {}", rep, u.description
+                );
+            }
+        }
+    }
+
+    /// Every in-run Memcheck report's site appears in the engine's own
+    /// executed-site trace — the report-site-mapping premise.
+    #[test]
+    fn memcheck_reports_lie_on_the_executed_trace(seed in 0u64..1000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let creg = DefectRegistry::pristine();
+        let tool = pristine_tool();
+        for u in generate_all(&p, &GenOptions { max_per_kind: 2, ..GenOptions::default() })
+            .into_iter()
+            .filter(|u| memcheck_supports(u.kind))
+        {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                let Ok(m) =
+                    compile(&u.program, &CompileConfig::dev(Vendor::Gcc, opt, None, &creg))
+                else {
+                    continue;
+                };
+                let run = memcheck::run(&m, &tool);
+                for rep in run.result.reports() {
+                    prop_assert!(
+                        run.trace.contains(rep.loc),
+                        "{}: report {} off-trace on {}", opt, rep, u.description
+                    );
+                }
+            }
+        }
+    }
+
+    /// The static analyzer is deterministic, and its injected defects only
+    /// suppress findings — on seeds and on every generated UB mutant.
+    #[test]
+    fn static_defects_only_suppress_findings(seed in 0u64..2000) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let full_cfg = StaticConfig::default();
+        let pristine_cfg = StaticConfig { registry: DetectorDefectRegistry::pristine() };
+        let mut programs = vec![p.clone()];
+        programs.extend(
+            generate_all(&p, &GenOptions { max_per_kind: 1, ..GenOptions::default() })
+                .into_iter()
+                .map(|u| u.program),
+        );
+        for prog in &programs {
+            let full = analyze(prog, &full_cfg);
+            let again = analyze(prog, &full_cfg);
+            prop_assert_eq!(&full.findings, &again.findings, "analysis is nondeterministic");
+            let pristine = analyze(prog, &pristine_cfg);
+            for f in &full.findings {
+                prop_assert!(
+                    pristine.findings.contains(f),
+                    "defect invented finding {}", f
+                );
+            }
+        }
+    }
+}

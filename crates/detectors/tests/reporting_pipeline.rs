@@ -1,0 +1,73 @@
+//! The §4.7 reporting pipeline end to end: find a detector FN bug, then
+//! reduce the triggering program C-Reduce-style before "filing" it — the
+//! same post-processing the paper applies to every sanitizer bug.
+
+use ubfuzz_detectors::campaign::trigger_corpus;
+use ubfuzz_detectors::defects::{DetectorDefectRegistry, DetectorTool};
+use ubfuzz_detectors::memcheck::{self, MemcheckConfig};
+use ubfuzz_detectors::staticcheck::{analyze, StaticConfig};
+use ubfuzz_minic::{parse, pretty, Program, UbKind};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::target::{OptLevel, Vendor};
+
+fn corpus_program(tool: DetectorTool, id: &str) -> (Program, UbKind) {
+    let (_, kind, src) = trigger_corpus(tool)
+        .into_iter()
+        .find(|(name, _, _)| *name == id)
+        .expect("trigger exists");
+    let mut p = parse(src).expect("trigger parses");
+    pretty::relocate(&mut p);
+    (p, kind)
+}
+
+fn stmt_weight(p: &Program) -> usize {
+    pretty::print(p).lines().count()
+}
+
+/// The memcheck-d02 bug report: pristine Memcheck reports the
+/// use-after-free, the defective quarantine misses it. The reduced program
+/// must keep exactly that discrepancy.
+#[test]
+fn memcheck_bug_report_survives_reduction() {
+    let (program, kind) = corpus_program(DetectorTool::Memcheck, "memcheck-d02");
+    let creg = DefectRegistry::pristine();
+    let defective = MemcheckConfig::default();
+    let pristine =
+        MemcheckConfig { registry: DetectorDefectRegistry::pristine(), ..MemcheckConfig::default() };
+    let mut interesting = |p: &Program| {
+        // The reducer may produce programs outside the compiler subset;
+        // those are simply not interesting.
+        let Ok(m) = compile(p, &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &creg))
+        else {
+            return false;
+        };
+        let good = memcheck::run(&m, &pristine);
+        let bad = memcheck::run(&m, &defective);
+        good.result.reports().iter().any(|r| r.kind.matches_ub(kind))
+            && !bad.result.reports().iter().any(|r| r.kind.matches_ub(kind))
+    };
+    assert!(interesting(&program), "premise: the corpus program triggers the defect");
+    let reduced = ubfuzz_reduce::reduce(&program, &mut interesting);
+    assert!(interesting(&reduced), "reduction must preserve interestingness");
+    assert!(
+        stmt_weight(&reduced) <= stmt_weight(&program),
+        "reduction must not grow the program"
+    );
+}
+
+/// The static-d02 bug report: the defective analyzer skips divisions behind
+/// short-circuit operators. Reduction keeps the one-line essence.
+#[test]
+fn static_bug_report_survives_reduction() {
+    let (program, kind) = corpus_program(DetectorTool::StaticAnalyzer, "static-d02");
+    let defective = StaticConfig::default();
+    let pristine = StaticConfig { registry: DetectorDefectRegistry::pristine() };
+    let mut interesting = |p: &Program| {
+        analyze(p, &pristine).detects(kind) && !analyze(p, &defective).detects(kind)
+    };
+    assert!(interesting(&program), "premise: the corpus program triggers the defect");
+    let reduced = ubfuzz_reduce::reduce(&program, &mut interesting);
+    assert!(interesting(&reduced));
+    assert!(stmt_weight(&reduced) <= stmt_weight(&program));
+}

@@ -1,0 +1,1592 @@
+//! The tree-walking evaluator.
+//!
+//! One engine serves both roles described in the crate docs: ground-truth
+//! UB detection (run with an empty watch set) and execution profiling (run
+//! with the matcher's watch set and read back the [`ExecProfile`]).
+
+use crate::memory::{AccessErr, Memory, ObjId, Storage};
+use crate::profile::{ExecProfile, ObjRecord, PointeeRecord, ValueRecord};
+use crate::ub::{Outcome, UbEvent, UbKind};
+use crate::value::{PtrVal, TVal, Value};
+use std::collections::{HashMap, HashSet};
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::typeck::{typecheck, TypeMap};
+use ubfuzz_minic::types::{IntType, Type};
+use ubfuzz_minic::{Loc, NodeId};
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum number of statement executions before [`Outcome::StepLimit`].
+    pub step_limit: u64,
+    /// Expression ids whose values are recorded into the profile.
+    pub watch: HashSet<NodeId>,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig { step_limit: 2_000_000, watch: HashSet::new(), max_call_depth: 64 }
+    }
+}
+
+/// Runs `program` to completion with default limits and no profiling.
+pub fn run_program(program: &Program) -> Outcome {
+    run_with_config(program, &ExecConfig::default()).0
+}
+
+/// Runs `program` under `cfg`, returning the outcome and the execution
+/// profile (allocation records are always collected; expression values only
+/// for watched ids).
+pub fn run_with_config(program: &Program, cfg: &ExecConfig) -> (Outcome, ExecProfile) {
+    let tmap = match typecheck(program) {
+        Ok(m) => m,
+        Err(e) => return (Outcome::Invalid(e.to_string()), ExecProfile::new()),
+    };
+    let mut interp = Interp {
+        program,
+        tmap,
+        mem: Memory::new(),
+        frames: Vec::new(),
+        globals: HashMap::new(),
+        time: 0,
+        steps: 0,
+        output: Vec::new(),
+        cfg,
+        profile: ExecProfile::new(),
+        frame_names: vec!["<globals>".to_string()],
+        next_frame: 1,
+        heap_count: 0,
+    };
+    let outcome = interp.run();
+    let mut profile = std::mem::take(&mut interp.profile);
+    // Fold final object state into the profile.
+    for (i, o) in interp.mem.objects().iter().enumerate() {
+        profile.objects.push(ObjRecord {
+            obj: ObjId(i as u32),
+            name: o.name.clone(),
+            storage: o.storage,
+            size: o.size(),
+            scope_depth: o.scope_depth,
+            frame: o.frame,
+            fn_name: interp
+                .frame_names
+                .get(o.frame as usize)
+                .cloned()
+                .unwrap_or_default(),
+            decl_node: o.decl_node,
+            alloc_time: o.alloc_time,
+            dead_time: o.dead_time,
+            freed_time: o.freed_time,
+        });
+    }
+    (outcome, profile)
+}
+
+/// Control-flow escape from a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(TVal),
+}
+
+/// Hard stop of the whole execution.
+enum Stop {
+    Ub(UbEvent),
+    StepLimit,
+    Invalid(String),
+}
+
+type EResult<T> = Result<T, Stop>;
+
+/// How an access was written in the source — decides whether an
+/// out-of-bounds access is `BufOverflow(Array)` or `BufOverflow(Pointer)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessOrigin {
+    Array,
+    Pointer,
+}
+
+/// A resolved lvalue.
+struct Place {
+    ptr: PtrVal,
+    ty: Type,
+    origin: AccessOrigin,
+}
+
+struct FrameEnv {
+    id: u32,
+    scopes: Vec<HashMap<String, ObjId>>,
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    tmap: TypeMap,
+    mem: Memory,
+    frames: Vec<FrameEnv>,
+    globals: HashMap<String, ObjId>,
+    time: u64,
+    steps: u64,
+    output: Vec<i64>,
+    cfg: &'p ExecConfig,
+    profile: ExecProfile,
+    frame_names: Vec<String>,
+    next_frame: u32,
+    heap_count: u32,
+}
+
+impl<'p> Interp<'p> {
+    fn run(&mut self) -> Outcome {
+        match self.run_inner() {
+            Ok(status) => Outcome::Exit { status, output: std::mem::take(&mut self.output) },
+            Err(Stop::Ub(e)) => Outcome::Ub(e),
+            Err(Stop::StepLimit) => Outcome::StepLimit,
+            Err(Stop::Invalid(m)) => Outcome::Invalid(m),
+        }
+    }
+
+    fn run_inner(&mut self) -> EResult<i64> {
+        self.alloc_globals()?;
+        let main = self
+            .program
+            .function("main")
+            .ok_or_else(|| Stop::Invalid("no main function".into()))?;
+        let ret = self.call(main, Vec::new(), Loc::UNKNOWN)?;
+        if ret.taint {
+            return Err(self.ub_at(
+                UbKind::UninitUse,
+                Loc::UNKNOWN,
+                NodeId::DUMMY,
+                "main returns an uninitialized value",
+            ));
+        }
+        Ok(IntType::INT.wrap(ret.v.as_i128()) as i64)
+    }
+
+    fn structs(&self) -> &'p [ubfuzz_minic::types::StructDef] {
+        &self.program.structs
+    }
+
+    fn sizeof(&self, ty: &Type) -> usize {
+        ty.size_of(self.structs())
+    }
+
+    fn alloc_globals(&mut self) -> EResult<()> {
+        for g in &self.program.globals {
+            let size = self.sizeof(&g.ty);
+            let id = self.mem.alloc(Storage::Global, size, &g.name, NodeId::DUMMY, 0, 0, self.time);
+            self.globals.insert(g.name.clone(), id);
+        }
+        // Initialize in order; later initializers may take addresses of
+        // earlier globals (Csmith-style `struct a *c = b;`).
+        for g in &self.program.globals {
+            if let Some(init) = &g.init {
+                let id = self.globals[&g.name];
+                let ty = g.ty.clone();
+                self.store_init(id, 0, &ty, init)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn store_init(&mut self, obj: ObjId, off: i64, ty: &Type, init: &Init) -> EResult<()> {
+        match (init, ty) {
+            (Init::Expr(e), _) => {
+                let v = self.eval(e)?;
+                self.store_scalar(obj, off, ty, v, e.loc, e.id, AccessOrigin::Pointer)
+            }
+            (Init::List(items), Type::Array(elem, n)) => {
+                let es = self.sizeof(elem);
+                for (i, it) in items.iter().take(*n).enumerate() {
+                    self.store_init(obj, off + (i * es) as i64, elem, it)?;
+                }
+                // Remaining elements: zero-initialized per C.
+                for i in items.len()..*n {
+                    self.zero_fill(obj, off + (i * es) as i64, elem)?;
+                }
+                Ok(())
+            }
+            (Init::List(items), Type::Struct(idx)) => {
+                let fields: Vec<(usize, Type)> = {
+                    let def = &self.structs()[*idx];
+                    let mut acc = 0usize;
+                    def.fields
+                        .iter()
+                        .map(|(_, t)| {
+                            let o = acc;
+                            acc += t.size_of(self.structs());
+                            (o, t.clone())
+                        })
+                        .collect()
+                };
+                for (i, (foff, fty)) in fields.iter().enumerate() {
+                    match items.get(i) {
+                        Some(it) => self.store_init(obj, off + *foff as i64, fty, it)?,
+                        None => self.zero_fill(obj, off + *foff as i64, fty)?,
+                    }
+                }
+                Ok(())
+            }
+            (Init::List(items), _) if items.len() == 1 => {
+                self.store_init(obj, off, ty, &items[0])
+            }
+            (Init::List(_), _) => Err(Stop::Invalid("list initializer for scalar".into())),
+        }
+    }
+
+    fn zero_fill(&mut self, obj: ObjId, off: i64, ty: &Type) -> EResult<()> {
+        let size = self.sizeof(ty);
+        self.mem
+            .write_bytes(obj, off, &vec![0u8; size])
+            .map_err(|e| self.access_stop(e, Loc::UNKNOWN, NodeId::DUMMY, AccessOrigin::Array, true))
+    }
+
+    // ---- frames and scopes -------------------------------------------------
+
+    fn frame(&mut self) -> &mut FrameEnv {
+        self.frames.last_mut().expect("active frame")
+    }
+
+    fn depth(&self) -> u32 {
+        self.frames.last().map_or(0, |f| f.scopes.len() as u32)
+    }
+
+    fn push_scope(&mut self) {
+        self.frame().scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let frame_id = self.frame().id;
+        let depth = self.depth();
+        self.frame().scopes.pop();
+        self.mem.kill_scope(frame_id, depth, self.time);
+    }
+
+    fn declare_local(&mut self, name: &str, ty: &Type, decl_node: NodeId) -> ObjId {
+        let size = self.sizeof(ty);
+        let depth = self.depth();
+        let frame_id = self.frame().id;
+        let id = self.mem.alloc(Storage::Stack, size, name, decl_node, depth, frame_id, self.time);
+        self.frame()
+            .scopes
+            .last_mut()
+            .expect("scope present")
+            .insert(name.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<(ObjId, Type)> {
+        if let Some(f) = self.frames.last() {
+            for scope in f.scopes.iter().rev() {
+                if let Some(&id) = scope.get(name) {
+                    return Some((id, self.var_type(name, Some(id))));
+                }
+            }
+        }
+        self.globals.get(name).map(|&id| (id, self.var_type(name, Some(id))))
+    }
+
+    /// Static type of a variable: locals are recovered from the declaring
+    /// statement captured at allocation; globals from the program.
+    fn var_type(&self, name: &str, _obj: Option<ObjId>) -> Type {
+        // Fast path via globals table; locals resolved through tmap at the
+        // Var expression — this helper is only used when we already have the
+        // object and just need a type for storage conversions, which callers
+        // obtain from the expression's static type instead. Returning the
+        // global's type or int is sufficient here.
+        self.program
+            .globals
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.ty.clone())
+            .unwrap_or_else(Type::int)
+    }
+
+    // ---- statement execution ----------------------------------------------
+
+    fn tick(&mut self, s: &Stmt) -> EResult<()> {
+        self.time += 1;
+        self.steps += 1;
+        self.profile.stmt_first_exec.entry(s.id).or_insert(self.time);
+        if self.steps > self.cfg.step_limit {
+            Err(Stop::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_block(&mut self, b: &Block) -> EResult<Flow> {
+        self.push_scope();
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => {
+                    flow = other;
+                    break;
+                }
+            }
+        }
+        self.pop_scope();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> EResult<Flow> {
+        self.tick(s)?;
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                let id = self.declare_local(&d.name, &d.ty, s.id);
+                if let Some(init) = &d.init {
+                    let ty = d.ty.clone();
+                    self.store_init(id, 0, &ty, init)?;
+                    self.profile.var_writes.entry(d.name.clone()).or_default().push(self.time);
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If(c, t, f) => {
+                let cv = self.eval(c)?;
+                self.check_branch_taint(&cv, c)?;
+                if cv.v.is_truthy() {
+                    self.exec_block(t)
+                } else if let Some(f) = f {
+                    self.exec_block(f)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While(c, b) => {
+                loop {
+                    self.steps += 1;
+                    if self.steps > self.cfg.step_limit {
+                        return Err(Stop::StepLimit);
+                    }
+                    let cv = self.eval(c)?;
+                    self.check_branch_taint(&cv, c)?;
+                    if !cv.v.is_truthy() {
+                        break;
+                    }
+                    match self.exec_block(b)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.push_scope();
+                if let Some(i) = init {
+                    match self.exec_stmt(i)? {
+                        Flow::Normal => {}
+                        other => {
+                            self.pop_scope();
+                            return Ok(other);
+                        }
+                    }
+                }
+                let mut result = Flow::Normal;
+                loop {
+                    self.steps += 1;
+                    if self.steps > self.cfg.step_limit {
+                        self.pop_scope();
+                        return Err(Stop::StepLimit);
+                    }
+                    if let Some(c) = cond {
+                        let cv = match self.eval(c) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.pop_scope();
+                                return Err(e);
+                            }
+                        };
+                        if let Err(e) = self.check_branch_taint(&cv, c) {
+                            self.pop_scope();
+                            return Err(e);
+                        }
+                        if !cv.v.is_truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body) {
+                        Ok(Flow::Break) => break,
+                        Ok(Flow::Return(v)) => {
+                            result = Flow::Return(v);
+                            break;
+                        }
+                        Ok(Flow::Normal | Flow::Continue) => {}
+                        Err(e) => {
+                            self.pop_scope();
+                            return Err(e);
+                        }
+                    }
+                    if let Some(st) = step {
+                        if let Err(e) = self.eval(st) {
+                            self.pop_scope();
+                            return Err(e);
+                        }
+                    }
+                }
+                self.pop_scope();
+                Ok(result)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => TVal::clean(Value::zero()),
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(b) => self.exec_block(b),
+        }
+    }
+
+    fn check_branch_taint(&mut self, v: &TVal, e: &Expr) -> EResult<()> {
+        if v.taint {
+            Err(self.ub_at(
+                UbKind::UninitUse,
+                e.loc,
+                e.id,
+                "branch depends on uninitialized value",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- calls --------------------------------------------------------------
+
+    fn call(&mut self, f: &'p Function, args: Vec<TVal>, loc: Loc) -> EResult<TVal> {
+        if self.frames.len() >= self.cfg.max_call_depth {
+            return Err(Stop::Invalid(format!("call depth exceeded at {loc}")));
+        }
+        let frame_id = self.next_frame;
+        self.next_frame += 1;
+        self.frame_names.push(f.name.clone());
+        self.frames.push(FrameEnv { id: frame_id, scopes: Vec::new() });
+        self.push_scope(); // parameter scope (depth 1)
+        for ((name, ty), arg) in f.params.iter().zip(args) {
+            let id = self.declare_local(name, ty, NodeId::DUMMY);
+            let tyc = ty.clone();
+            self.store_scalar(id, 0, &tyc, arg, loc, NodeId::DUMMY, AccessOrigin::Pointer)?;
+        }
+        let flow = self.exec_block(&f.body)?;
+        self.pop_scope(); // kill parameters
+        self.frames.pop();
+        match flow {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(TVal::clean(Value::zero())),
+        }
+    }
+
+    // ---- places and accesses -------------------------------------------------
+
+    fn static_type(&self, e: &Expr) -> Type {
+        self.tmap.get(&e.id).cloned().unwrap_or_else(Type::int)
+    }
+
+    fn place(&mut self, e: &Expr) -> EResult<Place> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                let (obj, _) = self
+                    .lookup(name)
+                    .ok_or_else(|| Stop::Invalid(format!("unknown variable {name}")))?;
+                Ok(Place {
+                    ptr: PtrVal::Obj { obj, off: 0 },
+                    ty: self.static_type(e),
+                    origin: AccessOrigin::Array,
+                })
+            }
+            ExprKind::Deref(inner) => {
+                let p = self.eval(inner)?;
+                if p.taint {
+                    return Err(self.ub_at(
+                        UbKind::UninitUse,
+                        e.loc,
+                        e.id,
+                        "dereference of uninitialized pointer",
+                    ));
+                }
+                let ptr = p
+                    .v
+                    .as_ptr()
+                    .ok_or_else(|| Stop::Invalid("dereference of non-pointer value".into()))?;
+                Ok(Place { ptr, ty: self.static_type(e), origin: AccessOrigin::Pointer })
+            }
+            ExprKind::Index(base, idx) => {
+                let base_ty = self.static_type(base);
+                let origin = if matches!(base_ty, Type::Array(..)) {
+                    AccessOrigin::Array
+                } else {
+                    AccessOrigin::Pointer
+                };
+                let base_ptr = if matches!(base_ty, Type::Array(..)) {
+                    self.place(base)?.ptr
+                } else {
+                    let bv = self.eval(base)?;
+                    bv.v.as_ptr()
+                        .ok_or_else(|| Stop::Invalid("indexing non-pointer".into()))?
+                };
+                let iv = self.eval(idx)?;
+                if iv.taint {
+                    return Err(self.ub_at(
+                        UbKind::UninitUse,
+                        idx.loc,
+                        idx.id,
+                        "array index is uninitialized",
+                    ));
+                }
+                let elem = self.static_type(e);
+                let es = self.sizeof(&elem) as i64;
+                let off = iv.v.as_i128() as i64;
+                Ok(Place { ptr: base_ptr.offset_by(off.wrapping_mul(es)), ty: elem, origin })
+            }
+            ExprKind::Member(base, field) => {
+                let pl = self.place(base)?;
+                let (foff, fty) = self.field_of(&pl.ty, field, e.loc)?;
+                Ok(Place { ptr: pl.ptr.offset_by(foff as i64), ty: fty, origin: pl.origin })
+            }
+            ExprKind::Arrow(base, field) => {
+                let bv = self.eval(base)?;
+                if bv.taint {
+                    return Err(self.ub_at(
+                        UbKind::UninitUse,
+                        e.loc,
+                        e.id,
+                        "-> through uninitialized pointer",
+                    ));
+                }
+                let ptr = bv
+                    .v
+                    .as_ptr()
+                    .ok_or_else(|| Stop::Invalid("-> on non-pointer value".into()))?;
+                let pointee = self
+                    .static_type(base)
+                    .decayed()
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| Stop::Invalid("-> on non-pointer type".into()))?;
+                let (foff, fty) = self.field_of(&pointee, field, e.loc)?;
+                Ok(Place {
+                    ptr: ptr.offset_by(foff as i64),
+                    ty: fty,
+                    origin: AccessOrigin::Pointer,
+                })
+            }
+            _ => Err(Stop::Invalid(format!("not an lvalue at {}", e.loc))),
+        }
+    }
+
+    fn field_of(&self, ty: &Type, field: &str, loc: Loc) -> EResult<(usize, Type)> {
+        match ty {
+            Type::Struct(idx) => {
+                let def = &self.structs()[*idx];
+                def.field_offset(field, self.structs())
+                    .map(|(o, t)| (o, t.clone()))
+                    .ok_or_else(|| Stop::Invalid(format!("no field {field} at {loc}")))
+            }
+            _ => Err(Stop::Invalid(format!("member access on non-struct at {loc}"))),
+        }
+    }
+
+    fn ub_at(&self, kind: UbKind, loc: Loc, node: NodeId, detail: impl Into<String>) -> Stop {
+        Stop::Ub(UbEvent { kind, loc, node, detail: detail.into() })
+    }
+
+    fn access_stop(
+        &self,
+        err: AccessErr,
+        loc: Loc,
+        node: NodeId,
+        origin: AccessOrigin,
+        is_write: bool,
+    ) -> Stop {
+        let rw = if is_write { "write" } else { "read" };
+        match err {
+            AccessErr::OutOfBounds { off, len, size, name, storage } => {
+                let kind = match origin {
+                    AccessOrigin::Array => UbKind::BufOverflowArray,
+                    AccessOrigin::Pointer => UbKind::BufOverflowPtr,
+                };
+                let region = match storage {
+                    Storage::Global => "global",
+                    Storage::Stack => "stack",
+                    Storage::Heap => "heap",
+                };
+                self.ub_at(
+                    kind,
+                    loc,
+                    node,
+                    format!("{region}-buffer-overflow: {rw} of {len} bytes at offset {off} of `{name}` (size {size})"),
+                )
+            }
+            AccessErr::Freed { name } => self.ub_at(
+                UbKind::UseAfterFree,
+                loc,
+                node,
+                format!("heap-use-after-free: {rw} through `{name}`"),
+            ),
+            AccessErr::Dead { name } => self.ub_at(
+                UbKind::UseAfterScope,
+                loc,
+                node,
+                format!("stack-use-after-scope: {rw} of `{name}`"),
+            ),
+        }
+    }
+
+    fn resolve_ptr(
+        &self,
+        ptr: PtrVal,
+        loc: Loc,
+        node: NodeId,
+        origin: AccessOrigin,
+    ) -> EResult<(ObjId, i64)> {
+        match ptr {
+            PtrVal::Null => {
+                Err(self.ub_at(UbKind::NullDeref, loc, node, "null pointer dereference"))
+            }
+            PtrVal::Wild(v) => {
+                // Accesses within the null page are null dereferences (the
+                // `p->field` case: a small field offset added to null).
+                if v.unsigned_abs() < 4096 {
+                    return Err(self.ub_at(
+                        UbKind::NullDeref,
+                        loc,
+                        node,
+                        format!("null pointer dereference (address {v:#x})"),
+                    ));
+                }
+                let kind = match origin {
+                    AccessOrigin::Array => UbKind::BufOverflowArray,
+                    AccessOrigin::Pointer => UbKind::BufOverflowPtr,
+                };
+                Err(self.ub_at(kind, loc, node, format!("access through wild pointer {v:#x}")))
+            }
+            PtrVal::Obj { obj, off } => Ok((obj, off)),
+        }
+    }
+
+    fn load_scalar(&mut self, pl: &Place, loc: Loc, node: NodeId) -> EResult<TVal> {
+        match &pl.ty {
+            Type::Array(..) => {
+                // Array lvalue used as value: decay to pointer to first element.
+                Ok(TVal::clean(Value::Ptr(pl.ptr)))
+            }
+            Type::Int(it) => {
+                let (obj, off) = self.resolve_ptr(pl.ptr, loc, node, pl.origin)?;
+                let (bytes, init) = self
+                    .mem
+                    .read_bytes(obj, off, it.width.bytes())
+                    .map_err(|e| self.access_stop(e, loc, node, pl.origin, false))?;
+                let mut raw: u64 = 0;
+                for (i, b) in bytes.iter().enumerate() {
+                    raw |= (*b as u64) << (8 * i);
+                }
+                let v = it.wrap(raw as i128);
+                Ok(TVal { v: Value::Int(v, *it), taint: !init })
+            }
+            Type::Ptr(_) => {
+                let (obj, off) = self.resolve_ptr(pl.ptr, loc, node, pl.origin)?;
+                let (p, init) = self
+                    .mem
+                    .read_ptr(obj, off)
+                    .map_err(|e| self.access_stop(e, loc, node, pl.origin, false))?;
+                Ok(TVal { v: Value::Ptr(p), taint: !init })
+            }
+            Type::Struct(_) | Type::Void => {
+                Err(Stop::Invalid(format!("cannot load aggregate at {loc}")))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn store_scalar(
+        &mut self,
+        obj: ObjId,
+        off: i64,
+        ty: &Type,
+        val: TVal,
+        loc: Loc,
+        node: NodeId,
+        origin: AccessOrigin,
+    ) -> EResult<()> {
+        match ty {
+            Type::Int(it) => {
+                let raw = it.wrap(match val.v {
+                    Value::Int(v, _) => v,
+                    Value::Ptr(p) => p.to_raw() as i128,
+                });
+                let bytes = (raw as u64).to_le_bytes();
+                self.mem
+                    .write_bytes(obj, off, &bytes[..it.width.bytes()])
+                    .map_err(|e| self.access_stop(e, loc, node, origin, true))?;
+                if val.taint {
+                    // Storing a tainted value re-poisons the destination.
+                    let o = self.mem.object_mut(obj);
+                    let s = off as usize;
+                    for b in &mut o.init[s..s + it.width.bytes()] {
+                        *b = false;
+                    }
+                }
+                Ok(())
+            }
+            Type::Ptr(_) => {
+                let p = match val.v {
+                    Value::Ptr(p) => p,
+                    Value::Int(0, _) => PtrVal::Null,
+                    Value::Int(v, _) => PtrVal::Wild(v as i64),
+                };
+                self.mem
+                    .write_ptr(obj, off, p)
+                    .map_err(|e| self.access_stop(e, loc, node, origin, true))
+            }
+            Type::Array(..) | Type::Struct(_) | Type::Void => {
+                Err(Stop::Invalid(format!("cannot store aggregate scalar at {loc}")))
+            }
+        }
+    }
+
+    // ---- expression evaluation ------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> EResult<TVal> {
+        let v = self.eval_inner(e)?;
+        if self.cfg.watch.contains(&e.id) {
+            let pointee = match v.v {
+                Value::Ptr(PtrVal::Obj { obj, off }) => {
+                    let o = self.mem.object(obj);
+                    Some(PointeeRecord {
+                        obj,
+                        off,
+                        obj_size: o.size(),
+                        storage: o.storage,
+                        status: o.status,
+                        obj_name: o.name.clone(),
+                        decl_node: o.decl_node,
+                        scope_depth: o.scope_depth,
+                        frame: o.frame,
+                    })
+                }
+                _ => None,
+            };
+            let int = match v.v {
+                Value::Int(i, _) => Some(i),
+                Value::Ptr(_) => None,
+            };
+            self.profile.record_value(
+                e.id,
+                ValueRecord { time: self.time, int, tainted: v.taint, pointee },
+            );
+        }
+        Ok(v)
+    }
+
+    fn eval_inner(&mut self, e: &Expr) -> EResult<TVal> {
+        match &e.kind {
+            ExprKind::IntLit(v, ty) => Ok(TVal::clean(Value::Int(ty.wrap(*v), *ty))),
+            ExprKind::Var(_)
+            | ExprKind::Index(..)
+            | ExprKind::Member(..)
+            | ExprKind::Arrow(..)
+            | ExprKind::Deref(_) => {
+                let pl = self.place(e)?;
+                self.load_scalar(&pl, e.loc, e.id)
+            }
+            ExprKind::Unary(op, a) => {
+                let av = self.eval(a)?;
+                let (v, ty) = match av.v {
+                    Value::Int(v, t) => (v, t.promoted()),
+                    Value::Ptr(p) => {
+                        // Only `!p` is meaningful on pointers.
+                        if *op == UnOp::Not {
+                            return Ok(TVal {
+                                v: Value::Int(i128::from(p.is_null()), IntType::INT),
+                                taint: av.taint,
+                            });
+                        }
+                        (p.to_raw() as i128, IntType::LONG)
+                    }
+                };
+                let r = match op {
+                    UnOp::Not => i128::from(v == 0),
+                    UnOp::BitNot => ty.wrap(!v),
+                    UnOp::Neg => {
+                        let n = -v;
+                        if ty.signed && !ty.contains(n) {
+                            return Err(self.ub_at(
+                                UbKind::IntOverflow,
+                                e.loc,
+                                e.id,
+                                format!("negation of {v} overflows {ty}"),
+                            ));
+                        }
+                        ty.wrap(n)
+                    }
+                };
+                Ok(TVal { v: Value::Int(r, ty), taint: av.taint })
+            }
+            ExprKind::Binary(op, a, b) => self.eval_binary(e, *op, a, b),
+            ExprKind::Assign(l, r) => {
+                let lty = self.static_type(l);
+                if matches!(lty, Type::Struct(_)) {
+                    // Aggregate copy: both sides are places.
+                    let lp = self.place(l)?;
+                    let rp = self.place(r)?;
+                    let size = self.sizeof(&lty);
+                    let (dobj, doff) = self.resolve_ptr(lp.ptr, l.loc, l.id, lp.origin)?;
+                    let (sobj, soff) = self.resolve_ptr(rp.ptr, r.loc, r.id, rp.origin)?;
+                    // Read side first (matches sanitizer check order for
+                    // `*c = *b`: the load is checked before the store).
+                    self.mem
+                        .read_bytes(sobj, soff, size)
+                        .map_err(|er| self.access_stop(er, r.loc, r.id, rp.origin, false))?;
+                    self.mem
+                        .copy(dobj, doff, sobj, soff, size)
+                        .map_err(|er| self.access_stop(er, l.loc, l.id, lp.origin, true))?;
+                    return Ok(TVal::clean(Value::zero()));
+                }
+                let rv = self.eval(r)?;
+                let lp = self.place(l)?;
+                let (obj, off) = self.resolve_ptr(lp.ptr, l.loc, l.id, lp.origin)?;
+                let lty2 = lp.ty.clone();
+                let origin = lp.origin;
+                self.store_scalar(obj, off, &lty2, rv, l.loc, l.id, origin)?;
+                if let ExprKind::Var(name) = &l.kind {
+                    self.profile.var_writes.entry(name.clone()).or_default().push(self.time);
+                }
+                Ok(rv)
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                let rv = self.eval(r)?;
+                let lp = self.place(l)?;
+                let cur = self.load_scalar(&lp, l.loc, l.id)?;
+                let combined = self.apply_binop(e, *op, cur, rv, Some(&lp.ty))?;
+                let (obj, off) = self.resolve_ptr(lp.ptr, l.loc, l.id, lp.origin)?;
+                let ty = lp.ty.clone();
+                let origin = lp.origin;
+                self.store_scalar(obj, off, &ty, combined, l.loc, l.id, origin)?;
+                if let ExprKind::Var(name) = &l.kind {
+                    self.profile.var_writes.entry(name.clone()).or_default().push(self.time);
+                }
+                Ok(combined)
+            }
+            ExprKind::PreInc(a) | ExprKind::PreDec(a) => {
+                let delta: i128 = if matches!(e.kind, ExprKind::PreInc(_)) { 1 } else { -1 };
+                let pl = self.place(a)?;
+                let cur = self.load_scalar(&pl, a.loc, a.id)?;
+                let newv = match cur.v {
+                    Value::Int(v, t) => {
+                        let r = v + delta;
+                        let pt = t.promoted();
+                        if pt.signed && !pt.contains(r) {
+                            return Err(self.ub_at(
+                                UbKind::IntOverflow,
+                                e.loc,
+                                e.id,
+                                format!("{}{} overflows {pt}", if delta > 0 { "++" } else { "--" }, v),
+                            ));
+                        }
+                        TVal { v: Value::Int(t.wrap(r), t), taint: cur.taint }
+                    }
+                    Value::Ptr(p) => {
+                        let es = self.sizeof(pl.ty.pointee().unwrap_or(&Type::Void)) as i64;
+                        TVal { v: Value::Ptr(p.offset_by(delta as i64 * es)), taint: cur.taint }
+                    }
+                };
+                let (obj, off) = self.resolve_ptr(pl.ptr, a.loc, a.id, pl.origin)?;
+                let ty = pl.ty.clone();
+                let origin = pl.origin;
+                self.store_scalar(obj, off, &ty, newv, a.loc, a.id, origin)?;
+                if let ExprKind::Var(name) = &a.kind {
+                    self.profile.var_writes.entry(name.clone()).or_default().push(self.time);
+                }
+                Ok(newv)
+            }
+            ExprKind::AddrOf(a) => {
+                let pl = self.place(a)?;
+                Ok(TVal::clean(Value::Ptr(pl.ptr)))
+            }
+            ExprKind::Cast(ty, a) => {
+                let av = self.eval(a)?;
+                let v = match (ty, av.v) {
+                    (Type::Int(it), Value::Int(v, _)) => Value::Int(it.wrap(v), *it),
+                    (Type::Int(it), Value::Ptr(p)) => Value::Int(it.wrap(p.to_raw() as i128), *it),
+                    (Type::Ptr(_), Value::Int(0, _)) => Value::Ptr(PtrVal::Null),
+                    (Type::Ptr(_), Value::Int(v, _)) => Value::Ptr(PtrVal::Wild(v as i64)),
+                    (Type::Ptr(_), Value::Ptr(p)) => Value::Ptr(p),
+                    (Type::Void, v) => v,
+                    (Type::Array(..) | Type::Struct(_), v) => v,
+                };
+                Ok(TVal { v, taint: av.taint })
+            }
+            ExprKind::Call(name, args) => self.eval_call(e, name, args),
+            ExprKind::Cond(c, t, f) => {
+                let cv = self.eval(c)?;
+                self.check_branch_taint(&cv, c)?;
+                if cv.v.is_truthy() {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, e: &Expr, op: BinOp, a: &Expr, b: &Expr) -> EResult<TVal> {
+        match op {
+            BinOp::LogAnd => {
+                let av = self.eval(a)?;
+                self.check_branch_taint(&av, a)?;
+                if !av.v.is_truthy() {
+                    return Ok(TVal::clean(Value::Int(0, IntType::INT)));
+                }
+                let bv = self.eval(b)?;
+                self.check_branch_taint(&bv, b)?;
+                Ok(TVal::clean(Value::Int(i128::from(bv.v.is_truthy()), IntType::INT)))
+            }
+            BinOp::LogOr => {
+                let av = self.eval(a)?;
+                self.check_branch_taint(&av, a)?;
+                if av.v.is_truthy() {
+                    return Ok(TVal::clean(Value::Int(1, IntType::INT)));
+                }
+                let bv = self.eval(b)?;
+                self.check_branch_taint(&bv, b)?;
+                Ok(TVal::clean(Value::Int(i128::from(bv.v.is_truthy()), IntType::INT)))
+            }
+            _ => {
+                let av = self.eval(a)?;
+                let bv = self.eval(b)?;
+                // Pointer arithmetic and comparisons.
+                if let (Value::Ptr(pa), BinOp::Sub, Value::Ptr(pb)) = (av.v, op, bv.v) {
+                    let es = self.sizeof(
+                        self.static_type(a).decayed().pointee().unwrap_or(&Type::Void),
+                    ) as i64;
+                    let diff = match (pa, pb) {
+                        (PtrVal::Obj { obj: oa, off: fa }, PtrVal::Obj { obj: ob, off: fb })
+                            if oa == ob =>
+                        {
+                            (fa - fb) / es.max(1)
+                        }
+                        // C17 6.5.6p9: both operands must point into (or one
+                        // past) the same object (CWE-469, paper §3.2.4).
+                        (PtrVal::Obj { obj: oa, .. }, PtrVal::Obj { obj: ob, .. })
+                            if oa != ob =>
+                        {
+                            return Err(self.ub_at(
+                                UbKind::PtrDiff,
+                                e.loc,
+                                e.id,
+                                "subtraction of pointers into different objects",
+                            ));
+                        }
+                        _ => (pa.to_raw() - pb.to_raw()) / es.max(1),
+                    };
+                    return Ok(TVal {
+                        v: Value::Int(diff as i128, IntType::LONG),
+                        taint: av.taint || bv.taint,
+                    });
+                }
+                if matches!(av.v, Value::Ptr(_)) || matches!(bv.v, Value::Ptr(_)) {
+                    if op.is_comparison() {
+                        let (ra, rb) = (av.v.as_i128(), bv.v.as_i128());
+                        let r = match op {
+                            BinOp::Eq => ra == rb,
+                            BinOp::Ne => ra != rb,
+                            BinOp::Lt => ra < rb,
+                            BinOp::Le => ra <= rb,
+                            BinOp::Gt => ra > rb,
+                            BinOp::Ge => ra >= rb,
+                            _ => unreachable!(),
+                        };
+                        return Ok(TVal {
+                            v: Value::Int(i128::from(r), IntType::INT),
+                            taint: av.taint || bv.taint,
+                        });
+                    }
+                    if matches!(op, BinOp::Add | BinOp::Sub) {
+                        // ptr ± int
+                        let (p, delta, pexpr) = match (av.v, bv.v) {
+                            (Value::Ptr(p), Value::Int(d, _)) => (p, d, a),
+                            (Value::Int(d, _), Value::Ptr(p)) => (p, d, b),
+                            _ => return Err(Stop::Invalid("pointer arithmetic shape".into())),
+                        };
+                        let es = self.sizeof(
+                            self.static_type(pexpr).decayed().pointee().unwrap_or(&Type::Void),
+                        ) as i64;
+                        let signed = if op == BinOp::Sub { -(delta as i64) } else { delta as i64 };
+                        return Ok(TVal {
+                            v: Value::Ptr(p.offset_by(signed.wrapping_mul(es))),
+                            taint: av.taint || bv.taint,
+                        });
+                    }
+                    return Err(Stop::Invalid(format!("invalid pointer op {op:?} at {}", e.loc)));
+                }
+                self.apply_binop(e, op, av, bv, None)
+            }
+        }
+    }
+
+    /// Integer binary operation with UB checks. `store_ty` is set for
+    /// compound assignments, where C computes in the promoted type.
+    fn apply_binop(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        av: TVal,
+        bv: TVal,
+        _store_ty: Option<&Type>,
+    ) -> EResult<TVal> {
+        let (va, ta) = match av.v {
+            Value::Int(v, t) => (v, t),
+            Value::Ptr(p) => {
+                // Pointer compound ops (`p += k`) route through here.
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    if let Value::Int(d, _) = bv.v {
+                        let delta = if op == BinOp::Sub { -(d as i64) } else { d as i64 };
+                        return Ok(TVal {
+                            v: Value::Ptr(p.offset_by(delta * 8)),
+                            taint: av.taint || bv.taint,
+                        });
+                    }
+                }
+                return Err(Stop::Invalid("pointer in integer op".into()));
+            }
+        };
+        let (vb, tb) = match bv.v {
+            Value::Int(v, t) => (v, t),
+            Value::Ptr(_) => return Err(Stop::Invalid("pointer rhs in integer op".into())),
+        };
+        let taint = av.taint || bv.taint;
+        if op.is_comparison() {
+            // Usual arithmetic conversions (C17 6.5.8p3): promote and
+            // convert to the common type before comparing — an `int`
+            // compared against an `unsigned int` compares unsigned.
+            let ty = ta.unify(tb);
+            let va = ty.wrap(va);
+            let vb = ty.wrap(vb);
+            let r = match op {
+                BinOp::Eq => va == vb,
+                BinOp::Ne => va != vb,
+                BinOp::Lt => va < vb,
+                BinOp::Le => va <= vb,
+                BinOp::Gt => va > vb,
+                BinOp::Ge => va >= vb,
+                _ => unreachable!(),
+            };
+            return Ok(TVal { v: Value::Int(i128::from(r), IntType::INT), taint });
+        }
+        if op.is_shift() {
+            let ty = ta.promoted();
+            let bits = ty.width.bits() as i128;
+            if vb < 0 || vb >= bits {
+                return Err(self.ub_at(
+                    UbKind::ShiftOverflow,
+                    e.loc,
+                    e.id,
+                    format!("shift amount {vb} out of range for {ty}"),
+                ));
+            }
+            let r = match op {
+                BinOp::Shl => ty.wrap(va << vb),
+                BinOp::Shr => {
+                    if ty.signed {
+                        va >> vb
+                    } else {
+                        ty.wrap(((va as u128) >> vb) as i128)
+                    }
+                }
+                _ => unreachable!(),
+            };
+            return Ok(TVal { v: Value::Int(r, ty), taint });
+        }
+        let ty = ta.unify(tb);
+        // Convert operands into the common type (wrapping conversion).
+        let va = ty.wrap(va);
+        let vb = ty.wrap(vb);
+        let exact = match op {
+            BinOp::Add => va.checked_add(vb),
+            BinOp::Sub => va.checked_sub(vb),
+            BinOp::Mul => va.checked_mul(vb),
+            BinOp::Div | BinOp::Rem => {
+                if vb == 0 {
+                    if taint {
+                        return Err(self.ub_at(
+                            UbKind::UninitUse,
+                            e.loc,
+                            e.id,
+                            "division by uninitialized value",
+                        ));
+                    }
+                    return Err(self.ub_at(
+                        UbKind::DivByZero,
+                        e.loc,
+                        e.id,
+                        format!("{} by zero", if op == BinOp::Div { "division" } else { "remainder" }),
+                    ));
+                }
+                if ty.signed && va == ty.min_value() && vb == -1 {
+                    return Err(self.ub_at(
+                        UbKind::IntOverflow,
+                        e.loc,
+                        e.id,
+                        format!("{}/{} overflows {ty}", va, vb),
+                    ));
+                }
+                if op == BinOp::Div {
+                    va.checked_div(vb)
+                } else {
+                    va.checked_rem(vb)
+                }
+            }
+            BinOp::BitAnd => Some(va & vb),
+            BinOp::BitOr => Some(va | vb),
+            BinOp::BitXor => Some(va ^ vb),
+            _ => unreachable!("handled above"),
+        };
+        let exact = exact.expect("i128 arithmetic cannot overflow here");
+        if ty.signed && op.is_arith() && !ty.contains(exact) {
+            return Err(self.ub_at(
+                UbKind::IntOverflow,
+                e.loc,
+                e.id,
+                format!("{va} {} {vb} overflows {ty}", op.symbol()),
+            ));
+        }
+        Ok(TVal { v: Value::Int(ty.wrap(exact), ty), taint })
+    }
+
+    fn eval_call(&mut self, e: &Expr, name: &str, args: &[Expr]) -> EResult<TVal> {
+        match name {
+            "malloc" => {
+                let n = self.eval(&args[0])?;
+                let size = (n.v.as_i128().clamp(0, 1 << 20)) as usize;
+                self.heap_count += 1;
+                let hname = format!("malloc#{}", self.heap_count);
+                let id = self.mem.alloc(Storage::Heap, size, &hname, e.id, 0, 0, self.time);
+                Ok(TVal::clean(Value::Ptr(PtrVal::Obj { obj: id, off: 0 })))
+            }
+            "free" => {
+                let p = self.eval(&args[0])?;
+                match p.v.as_ptr() {
+                    Some(PtrVal::Null) => Ok(TVal::clean(Value::zero())),
+                    Some(PtrVal::Obj { obj, off: 0 }) => {
+                        self.mem.free(obj, self.time).map_err(|_| {
+                            self.ub_at(
+                                UbKind::InvalidFree,
+                                e.loc,
+                                e.id,
+                                "invalid or double free",
+                            )
+                        })?;
+                        Ok(TVal::clean(Value::zero()))
+                    }
+                    _ => Err(self.ub_at(
+                        UbKind::InvalidFree,
+                        e.loc,
+                        e.id,
+                        "free of non-heap or interior pointer",
+                    )),
+                }
+            }
+            "print_value" => {
+                let v = self.eval(&args[0])?;
+                if v.taint {
+                    return Err(self.ub_at(
+                        UbKind::UninitUse,
+                        e.loc,
+                        e.id,
+                        "printing an uninitialized value",
+                    ));
+                }
+                self.output.push(IntType::LONG.wrap(v.v.as_i128()) as i64);
+                Ok(TVal::clean(Value::zero()))
+            }
+            _ => {
+                let f = self
+                    .program
+                    .function(name)
+                    .ok_or_else(|| Stop::Invalid(format!("unknown function {name}")))?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.call(f, vals, e.loc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+
+    fn run(src: &str) -> Outcome {
+        run_program(&parse(src).unwrap())
+    }
+
+    fn expect_ub(src: &str, kind: UbKind) {
+        match run(src) {
+            Outcome::Ub(ev) => assert_eq!(ev.kind, kind, "detail: {}", ev.detail),
+            other => panic!("expected {kind}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        match run("int main(void) { int x = 6; print_value(x * 7); return x; }") {
+            Outcome::Exit { status, output } => {
+                assert_eq!(status, 6);
+                assert_eq!(output, vec![42]);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn control_flow_and_loops() {
+        match run(
+            "int main(void) {
+                int acc = 0;
+                for (int i = 0; i < 5; i = i + 1) { if (i % 2 == 0) { acc += i; } }
+                while (acc > 4) { acc -= 1; }
+                return acc;
+             }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 4),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn functions_and_params() {
+        match run(
+            "int add(int a, int b) { return a + b; }
+             int main(void) { return add(20, 22); }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 42),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1_program_has_stack_buffer_overflow() {
+        // The paper's Fig. 1: d+k with k=2 overflows b[2].
+        expect_ub(
+            "struct a { int x; };
+             struct a b[2];
+             struct a *c = b;
+             struct a *d = b;
+             int k = 0;
+             int main(void) {
+                *c = *b;
+                k = 2;
+                *c = *(d + k);
+                return c->x;
+             }",
+            UbKind::BufOverflowPtr,
+        );
+    }
+
+    #[test]
+    fn array_overflow_is_array_kind() {
+        expect_ub(
+            "int a[5]; int main(void) { int x = 1; x = 5; a[x] = 1; return 0; }",
+            UbKind::BufOverflowArray,
+        );
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        expect_ub(
+            "int main(void) {
+                int *p = (int*)malloc(8);
+                *p = 3;
+                free(p);
+                return *p;
+             }",
+            UbKind::UseAfterFree,
+        );
+    }
+
+    #[test]
+    fn double_free_detected() {
+        expect_ub(
+            "int main(void) { int *p = (int*)malloc(8); free(p); free(p); return 0; }",
+            UbKind::InvalidFree,
+        );
+    }
+
+    #[test]
+    fn use_after_scope_detected() {
+        // Paper Fig. 8 shape: pointer keeps inner-scope address.
+        expect_ub(
+            "int a; int b;
+             int main(void) {
+                int *s = &a;
+                for (b = 0; b <= 3; b = b + 1) {
+                    int i = *s;
+                    s = &i;
+                }
+                *s = b;
+                return 0;
+             }",
+            UbKind::UseAfterScope,
+        );
+    }
+
+    #[test]
+    fn null_deref_detected() {
+        expect_ub("int main(void) { int *a = 0; ++(*a); return 0; }", UbKind::NullDeref);
+    }
+
+    #[test]
+    fn signed_overflow_detected() {
+        expect_ub(
+            "int main(void) { int x = 2147483647; int y = 1; return x + y; }",
+            UbKind::IntOverflow,
+        );
+        expect_ub("int main(void) { int x = -2147483647 - 1; return -x; }", UbKind::IntOverflow);
+    }
+
+    #[test]
+    fn unsigned_wraps_without_ub() {
+        match run("int main(void) { unsigned int x = 4294967295U; x = x + 1U; return (int)x; }") {
+            Outcome::Exit { status, .. } => assert_eq!(status, 0),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn shift_and_div_ub() {
+        expect_ub("int main(void) { int x = 1; int y = 40; return x << y; }", UbKind::ShiftOverflow);
+        expect_ub("int main(void) { int x = 1; int y = -1; return x >> y; }", UbKind::ShiftOverflow);
+        expect_ub("int main(void) { int x = 7; int y = 0; return x / y; }", UbKind::DivByZero);
+        expect_ub("int main(void) { int x = 7; int y = 0; return x % y; }", UbKind::DivByZero);
+    }
+
+    #[test]
+    fn uninit_branch_detected() {
+        expect_ub(
+            "int main(void) { int x; if (x + 1) { return 1; } return 0; }",
+            UbKind::UninitUse,
+        );
+    }
+
+    #[test]
+    fn uninit_via_char_sub_detected() {
+        // Paper Fig. 12f shape.
+        expect_ub(
+            "int main(void) { unsigned char a; if (a - 1) { print_value(1); } return 1; }",
+            UbKind::UninitUse,
+        );
+    }
+
+    #[test]
+    fn struct_copy_works() {
+        match run(
+            "struct s { int x; int y; };
+             struct s a; struct s b;
+             int main(void) {
+                a.x = 7; a.y = 35;
+                b = a;
+                return b.x + b.y;
+             }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 42),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn global_address_initializers() {
+        match run(
+            "int g[4] = {1, 2, 3, 4};
+             int *p = g;
+             int main(void) { return *(p + 2); }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 3),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_hits() {
+        let p = parse("int main(void) { while (1) { } return 0; }").unwrap();
+        let cfg = ExecConfig { step_limit: 1000, ..ExecConfig::default() };
+        let (o, _) = run_with_config(&p, &cfg);
+        assert_eq!(o, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn profile_records_values_and_objects() {
+        let p = parse(
+            "int a[3] = {10, 20, 30};
+             int main(void) { int i = 1; int x = a[i]; print_value(x); return 0; }",
+        )
+        .unwrap();
+        // Watch the `i` index expression inside a[i].
+        let mut watch = HashSet::new();
+        ubfuzz_minic::visit::for_each_expr(&p, |e| {
+            if let ExprKind::Var(n) = &e.kind {
+                if n == "i" {
+                    watch.insert(e.id);
+                }
+            }
+        });
+        let cfg = ExecConfig { watch, ..ExecConfig::default() };
+        let (o, prof) = run_with_config(&p, &cfg);
+        assert!(o.is_clean_exit());
+        let vals: Vec<i128> = prof.values.values().flatten().filter_map(|r| r.int).collect();
+        assert!(vals.contains(&1));
+        assert!(prof.objects.iter().any(|ob| ob.name == "a" && ob.size == 12));
+        assert!(prof.objects.iter().any(|ob| ob.name == "i" && ob.storage == Storage::Stack));
+    }
+
+    #[test]
+    fn profile_pointer_records_pointee() {
+        let p = parse(
+            "int g[4];
+             int main(void) { int *q = &g[1]; print_value(*q); return 0; }",
+        )
+        .unwrap();
+        let mut watch = HashSet::new();
+        ubfuzz_minic::visit::for_each_expr(&p, |e| {
+            if let ExprKind::Var(n) = &e.kind {
+                if n == "q" {
+                    watch.insert(e.id);
+                }
+            }
+        });
+        let cfg = ExecConfig { watch, ..ExecConfig::default() };
+        let (o, prof) = run_with_config(&p, &cfg);
+        assert!(o.is_clean_exit(), "{o:?}");
+        let rec = prof.values.values().flatten().find(|r| r.pointee.is_some()).unwrap();
+        let pe = rec.pointee.as_ref().unwrap();
+        assert_eq!(pe.obj_size, 16);
+        assert_eq!(pe.off, 4);
+        assert_eq!(pe.obj_name, "g");
+        assert_eq!(pe.storage, Storage::Global);
+    }
+
+    #[test]
+    fn scope_depths_recorded_for_inner_locals() {
+        let p = parse(
+            "int main(void) {
+                int outer = 0;
+                { int inner = 1; outer = inner; }
+                return outer;
+             }",
+        )
+        .unwrap();
+        let (o, prof) = run_with_config(&p, &ExecConfig::default());
+        assert!(o.is_clean_exit());
+        let outer = prof.objects.iter().find(|ob| ob.name == "outer").unwrap();
+        let inner = prof.objects.iter().find(|ob| ob.name == "inner").unwrap();
+        assert!(inner.scope_depth > outer.scope_depth);
+        assert!(inner.dead_time.is_some(), "inner died at scope exit");
+    }
+
+    #[test]
+    fn loop_local_dies_each_iteration() {
+        let p = parse(
+            "int main(void) {
+                int n = 0;
+                for (int i = 0; i < 3; i = i + 1) { int t = i; n += t; }
+                return n;
+             }",
+        )
+        .unwrap();
+        let (o, prof) = run_with_config(&p, &ExecConfig::default());
+        assert!(o.is_clean_exit());
+        let t_instances: Vec<_> = prof.objects.iter().filter(|ob| ob.name == "t").collect();
+        assert_eq!(t_instances.len(), 3, "fresh object per iteration");
+        assert!(t_instances.iter().all(|ob| ob.dead_time.is_some()));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        match run(
+            "int main(void) {
+                int x = 0;
+                int z = 3;
+                int r = (z == 3) || (1 / x);
+                return r;
+             }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 1),
+            o => panic!("short-circuit should avoid division: {o:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_uninit_bytes() {
+        // Uninitialized reads (not used in branches) produce 0xBE-patterned
+        // deterministic values when laundered through assignment.
+        let src = "int main(void) { int x; int y = x; y = y ^ y; return y; }";
+        let a = run(src);
+        let b = run(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comparisons_use_usual_arithmetic_conversions() {
+        // Regression (found by interpreter-vs-VM differential testing): an
+        // `int` compared against an `unsigned int` converts to unsigned
+        // (C17 6.5.8p3), so a negative left operand compares large.
+        match run(
+            "unsigned int g = 0U;
+             int main(void) {
+                int neg = -202;
+                print_value(neg >= g);
+                print_value(-1 == 4294967295U);
+                print_value((long)-1 < 0UL);
+                return 0;
+             }",
+        ) {
+            Outcome::Exit { output, .. } => assert_eq!(output, vec![1, 1, 0]),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn same_object_pointer_difference_is_defined() {
+        // C17 6.5.6p9: both pointers into the same array — the difference
+        // is the element distance.
+        match run(
+            "int a[5];
+             int main(void) {
+                int *p = a;
+                int d = (int)((p + 3) - p);
+                return d;
+             }",
+        ) {
+            Outcome::Exit { status, .. } => assert_eq!(status, 3),
+            o => panic!("same-object diff is defined: {o:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_object_pointer_difference_is_ub() {
+        // The §3.2.4 extension kind (CWE-469).
+        expect_ub(
+            "int a;
+             int b;
+             int main(void) {
+                int *p = &a;
+                int *q = &b;
+                int d = (int)(p - q);
+                return d;
+             }",
+            UbKind::PtrDiff,
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! `ubfuzz-interp` — reference interpreter and profiler for the C subset.
+//!
+//! The UBfuzz paper needs three capabilities that a real testing campaign
+//! gets from running instrumented binaries on hardware; this crate provides
+//! all three on top of [`ubfuzz_minic`] ASTs:
+//!
+//! 1. **Ground-truth UB detection.** The interpreter models every object
+//!    byte-for-byte with provenance-carrying pointers, initialization bits
+//!    and scope lifetimes, so it can decide *precisely* whether a program
+//!    execution contains undefined behavior and of which Table-1 kind. The
+//!    Table 4 experiment ("how many generated programs actually contain
+//!    UB?") uses this as its oracle.
+//! 2. **Execution profiling** (paper §3.2.2, Definition 1). Running a seed
+//!    with a watch-set of expression node ids yields an [`ExecProfile`]
+//!    recording expression values, pointee memory ranges, allocation/free
+//!    events and scope information — the `dprof` consumed by the
+//!    `Q_liv`/`Q_val`/`Q_mem`/`Q_scp` queries of the shadow-statement
+//!    synthesizers.
+//! 3. **Deterministic semantics for differential checks.** Uninitialized
+//!    stack and heap bytes read as the fixed `0xBE` fill so that interpreter
+//!    and VM runs of the same (even buggy) program can be compared.
+//!
+//! # Example
+//!
+//! ```
+//! use ubfuzz_interp::{run_program, Outcome};
+//! use ubfuzz_minic::parse;
+//!
+//! let p = parse("int main(void) { print_value(6 * 7); return 0; }").unwrap();
+//! match run_program(&p) {
+//!     Outcome::Exit { status, output } => {
+//!         assert_eq!(status, 0);
+//!         assert_eq!(output, vec![42]);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+pub mod eval;
+pub mod memory;
+pub mod profile;
+pub mod ub;
+pub mod value;
+
+pub use eval::{run_program, run_with_config, ExecConfig};
+pub use memory::{Memory, ObjId, Object, Status, Storage};
+pub use profile::{ExecProfile, ObjRecord, PointeeRecord, ValueRecord};
+pub use ub::{Outcome, UbEvent, UbKind};
+pub use value::{PtrVal, Value};

@@ -1,0 +1,409 @@
+//! Byte-accurate object memory with provenance, init bits and lifetimes.
+//!
+//! Every global, local, parameter and heap allocation is a distinct
+//! [`Object`] holding raw bytes, per-byte initialization bits, and a side
+//! table of stored pointer provenance. Lifetime transitions (`free`, scope
+//! exit) flip the object's [`Status`]; accesses are validated against bounds
+//! *and* status, which is exactly the information needed to classify an
+//! invalid access as buffer-overflow, use-after-free or use-after-scope.
+
+use crate::value::PtrVal;
+use std::collections::HashMap;
+use ubfuzz_minic::NodeId;
+
+/// Index of an object within a [`Memory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// Storage class of an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// File-scope variable; zero-initialized, lives for the whole run.
+    Global,
+    /// Block-scope variable or parameter.
+    Stack,
+    /// `malloc` allocation.
+    Heap,
+}
+
+/// Lifetime state of an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Accessible.
+    Alive,
+    /// Heap object that has been freed.
+    Freed,
+    /// Stack object whose scope (or frame) has ended.
+    Dead,
+}
+
+/// What went wrong with a memory access; the interpreter maps this to a
+/// Table-1 UB kind using the access's syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessErr {
+    /// The range `[off, off+len)` is not within the object.
+    OutOfBounds {
+        /// Attempted offset.
+        off: i64,
+        /// Attempted length.
+        len: usize,
+        /// Object size.
+        size: usize,
+        /// Name of the object.
+        name: String,
+        /// Storage class of the object.
+        storage: Storage,
+    },
+    /// The object was freed.
+    Freed {
+        /// Name of the object.
+        name: String,
+    },
+    /// The object's scope has ended.
+    Dead {
+        /// Name of the object.
+        name: String,
+    },
+}
+
+/// A single allocation.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Storage class.
+    pub storage: Storage,
+    /// Lifetime state.
+    pub status: Status,
+    /// Raw bytes (uninitialized bytes hold [`Memory::FILL`]).
+    pub data: Vec<u8>,
+    /// Per-byte initialization bits.
+    pub init: Vec<bool>,
+    /// Pointer provenance for 8-byte-aligned stored pointers, keyed by offset.
+    ptr_at: HashMap<usize, PtrVal>,
+    /// Variable name (or `"malloc"` for heap blocks).
+    pub name: String,
+    /// Declaring statement, when the object comes from a declaration.
+    pub decl_node: NodeId,
+    /// Lexical scope depth at allocation (0 = globals).
+    pub scope_depth: u32,
+    /// Call-frame sequence number (0 = globals).
+    pub frame: u32,
+    /// Logical time of allocation.
+    pub alloc_time: u64,
+    /// Logical time the scope ended, if it has.
+    pub dead_time: Option<u64>,
+    /// Logical time of `free`, if any.
+    pub freed_time: Option<u64>,
+}
+
+impl Object {
+    /// Object size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// The object store.
+#[derive(Debug, Default)]
+pub struct Memory {
+    objects: Vec<Object>,
+}
+
+impl Memory {
+    /// Fill byte for uninitialized memory — deterministic garbage, so that
+    /// executions that *miss* a UB check still behave identically across the
+    /// interpreter and the VM.
+    pub const FILL: u8 = 0xBE;
+
+    /// An empty store.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Allocates an object. Globals are zero-initialized; stack and heap
+    /// objects are filled with [`Memory::FILL`] and marked uninitialized.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc(
+        &mut self,
+        storage: Storage,
+        size: usize,
+        name: &str,
+        decl_node: NodeId,
+        scope_depth: u32,
+        frame: u32,
+        now: u64,
+    ) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        let (fill, init) = match storage {
+            Storage::Global => (0u8, true),
+            _ => (Memory::FILL, false),
+        };
+        self.objects.push(Object {
+            storage,
+            status: Status::Alive,
+            data: vec![fill; size],
+            init: vec![init; size],
+            ptr_at: HashMap::new(),
+            name: name.to_string(),
+            decl_node,
+            scope_depth,
+            frame,
+            alloc_time: now,
+            dead_time: None,
+            freed_time: None,
+        });
+        id
+    }
+
+    /// Immutable access to an object.
+    pub fn object(&self, id: ObjId) -> &Object {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable access to an object.
+    pub fn object_mut(&mut self, id: ObjId) -> &mut Object {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// All objects, for profiling.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// Number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    fn check(&self, id: ObjId, off: i64, len: usize) -> Result<(), AccessErr> {
+        let o = self.object(id);
+        match o.status {
+            Status::Freed => return Err(AccessErr::Freed { name: o.name.clone() }),
+            Status::Dead => return Err(AccessErr::Dead { name: o.name.clone() }),
+            Status::Alive => {}
+        }
+        if off < 0 || (off as usize).saturating_add(len) > o.size() {
+            return Err(AccessErr::OutOfBounds {
+                off,
+                len,
+                size: o.size(),
+                name: o.name.clone(),
+                storage: o.storage,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes; the bool is true when *all* bytes were initialized.
+    pub fn read_bytes(&self, id: ObjId, off: i64, len: usize) -> Result<(Vec<u8>, bool), AccessErr> {
+        self.check(id, off, len)?;
+        let o = self.object(id);
+        let s = off as usize;
+        let all_init = o.init[s..s + len].iter().all(|&b| b);
+        Ok((o.data[s..s + len].to_vec(), all_init))
+    }
+
+    /// Writes raw bytes and marks them initialized; clobbers any overlapping
+    /// stored pointer provenance.
+    pub fn write_bytes(&mut self, id: ObjId, off: i64, bytes: &[u8]) -> Result<(), AccessErr> {
+        self.check(id, off, bytes.len())?;
+        let o = self.object_mut(id);
+        let s = off as usize;
+        o.data[s..s + bytes.len()].copy_from_slice(bytes);
+        for b in &mut o.init[s..s + bytes.len()] {
+            *b = true;
+        }
+        let end = s + bytes.len();
+        o.ptr_at.retain(|&k, _| k + 8 <= s || k >= end);
+        Ok(())
+    }
+
+    /// Stores a pointer (8 bytes plus provenance).
+    pub fn write_ptr(&mut self, id: ObjId, off: i64, p: PtrVal) -> Result<(), AccessErr> {
+        let raw = p.to_raw().to_le_bytes();
+        self.write_bytes(id, off, &raw)?;
+        self.object_mut(id).ptr_at.insert(off as usize, p);
+        Ok(())
+    }
+
+    /// Loads a pointer: provenance if intact, otherwise the raw integer is
+    /// reinterpreted (null for zero, wild otherwise). The bool reports
+    /// initialization, as for [`Memory::read_bytes`].
+    pub fn read_ptr(&self, id: ObjId, off: i64) -> Result<(PtrVal, bool), AccessErr> {
+        let (bytes, init) = self.read_bytes(id, off, 8)?;
+        if let Some(p) = self.object(id).ptr_at.get(&(off as usize)) {
+            return Ok((*p, init));
+        }
+        let raw = i64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        let p = if raw == 0 { PtrVal::Null } else { PtrVal::Wild(raw) };
+        Ok((p, init))
+    }
+
+    /// Copies `len` bytes between objects (struct assignment), preserving
+    /// init bits and pointer provenance where aligned.
+    pub fn copy(
+        &mut self,
+        dst: ObjId,
+        dst_off: i64,
+        src: ObjId,
+        src_off: i64,
+        len: usize,
+    ) -> Result<(), AccessErr> {
+        self.check(src, src_off, len)?;
+        self.check(dst, dst_off, len)?;
+        let (bytes, init_bits, ptrs) = {
+            let s = self.object(src);
+            let so = src_off as usize;
+            let ptrs: Vec<(usize, PtrVal)> = s
+                .ptr_at
+                .iter()
+                .filter(|(&k, _)| k >= so && k + 8 <= so + len)
+                .map(|(&k, &v)| (k - so, v))
+                .collect();
+            (
+                s.data[so..so + len].to_vec(),
+                s.init[so..so + len].to_vec(),
+                ptrs,
+            )
+        };
+        let d = self.object_mut(dst);
+        let doff = dst_off as usize;
+        d.data[doff..doff + len].copy_from_slice(&bytes);
+        d.init[doff..doff + len].copy_from_slice(&init_bits);
+        d.ptr_at.retain(|&k, _| k + 8 <= doff || k >= doff + len);
+        for (k, v) in ptrs {
+            d.ptr_at.insert(doff + k, v);
+        }
+        Ok(())
+    }
+
+    /// Frees a heap object. Errors (caller reports [`crate::UbKind::InvalidFree`])
+    /// if the object is not heap-allocated or already freed.
+    pub fn free(&mut self, id: ObjId, now: u64) -> Result<(), AccessErr> {
+        let o = self.object_mut(id);
+        if o.storage != Storage::Heap || o.status != Status::Alive {
+            return Err(AccessErr::Freed { name: o.name.clone() });
+        }
+        o.status = Status::Freed;
+        o.freed_time = Some(now);
+        Ok(())
+    }
+
+    /// Marks every alive stack object allocated in frame `frame` at depth
+    /// ≥ `depth` as dead (scope or frame exit).
+    pub fn kill_scope(&mut self, frame: u32, depth: u32, now: u64) {
+        for o in &mut self.objects {
+            if o.storage == Storage::Stack
+                && o.status == Status::Alive
+                && o.frame == frame
+                && o.scope_depth >= depth
+            {
+                o.status = Status::Dead;
+                o.dead_time = Some(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with(size: usize, storage: Storage) -> (Memory, ObjId) {
+        let mut m = Memory::new();
+        let id = m.alloc(storage, size, "x", NodeId(1), 1, 1, 0);
+        (m, id)
+    }
+
+    #[test]
+    fn globals_are_zero_initialized() {
+        let (m, id) = mem_with(4, Storage::Global);
+        let (bytes, init) = m.read_bytes(id, 0, 4).unwrap();
+        assert_eq!(bytes, vec![0; 4]);
+        assert!(init);
+    }
+
+    #[test]
+    fn stack_is_uninitialized_garbage() {
+        let (m, id) = mem_with(4, Storage::Stack);
+        let (bytes, init) = m.read_bytes(id, 0, 4).unwrap();
+        assert_eq!(bytes, vec![Memory::FILL; 4]);
+        assert!(!init);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let (mut m, id) = mem_with(8, Storage::Stack);
+        m.write_bytes(id, 2, &[1, 2, 3]).unwrap();
+        let (bytes, init) = m.read_bytes(id, 2, 3).unwrap();
+        assert_eq!(bytes, vec![1, 2, 3]);
+        assert!(init);
+        let (_, init2) = m.read_bytes(id, 0, 8).unwrap();
+        assert!(!init2, "untouched bytes stay uninitialized");
+    }
+
+    #[test]
+    fn oob_is_detected_with_details() {
+        let (m, id) = mem_with(8, Storage::Stack);
+        match m.read_bytes(id, 8, 4) {
+            Err(AccessErr::OutOfBounds { off, len, size, .. }) => {
+                assert_eq!((off, len, size), (8, 4, 8));
+            }
+            other => panic!("expected OOB, got {other:?}"),
+        }
+        assert!(m.read_bytes(id, -1, 1).is_err());
+        assert!(m.read_bytes(id, 5, 4).is_err());
+    }
+
+    #[test]
+    fn freed_and_dead_are_detected() {
+        let mut m = Memory::new();
+        let h = m.alloc(Storage::Heap, 8, "malloc", NodeId(0), 0, 0, 1);
+        m.free(h, 2).unwrap();
+        assert!(matches!(m.read_bytes(h, 0, 1), Err(AccessErr::Freed { .. })));
+        assert!(m.free(h, 3).is_err(), "double free rejected");
+
+        let s = m.alloc(Storage::Stack, 4, "v", NodeId(0), 2, 1, 4);
+        m.kill_scope(1, 2, 5);
+        assert!(matches!(m.read_bytes(s, 0, 1), Err(AccessErr::Dead { .. })));
+        assert_eq!(m.object(s).dead_time, Some(5));
+    }
+
+    #[test]
+    fn pointer_provenance_survives_store_and_copy() {
+        let mut m = Memory::new();
+        let a = m.alloc(Storage::Stack, 16, "a", NodeId(0), 1, 1, 0);
+        let b = m.alloc(Storage::Stack, 16, "b", NodeId(0), 1, 1, 0);
+        let target = PtrVal::Obj { obj: b, off: 4 };
+        m.write_ptr(a, 0, target).unwrap();
+        assert_eq!(m.read_ptr(a, 0).unwrap().0, target);
+        m.copy(b, 8, a, 0, 8).unwrap();
+        assert_eq!(m.read_ptr(b, 8).unwrap().0, target);
+    }
+
+    #[test]
+    fn overwriting_clobbers_provenance() {
+        let mut m = Memory::new();
+        let a = m.alloc(Storage::Stack, 16, "a", NodeId(0), 1, 1, 0);
+        m.write_ptr(a, 0, PtrVal::Obj { obj: a, off: 0 }).unwrap();
+        m.write_bytes(a, 4, &[0xFF]).unwrap();
+        let (p, _) = m.read_ptr(a, 0).unwrap();
+        assert!(matches!(p, PtrVal::Wild(_)), "provenance destroyed: {p:?}");
+    }
+
+    #[test]
+    fn kill_scope_only_touches_matching_frame_and_depth() {
+        let mut m = Memory::new();
+        let outer = m.alloc(Storage::Stack, 4, "outer", NodeId(0), 1, 1, 0);
+        let inner = m.alloc(Storage::Stack, 4, "inner", NodeId(0), 2, 1, 0);
+        let other_frame = m.alloc(Storage::Stack, 4, "of", NodeId(0), 2, 2, 0);
+        m.kill_scope(1, 2, 9);
+        assert_eq!(m.object(outer).status, Status::Alive);
+        assert_eq!(m.object(inner).status, Status::Dead);
+        assert_eq!(m.object(other_frame).status, Status::Alive);
+    }
+}

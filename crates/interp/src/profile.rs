@@ -1,0 +1,193 @@
+//! Execution profiles — the paper's `dprof` (§3.2.2, Definition 1).
+//!
+//! > Given a program P, an input I, and the target expression list E, the
+//! > execution profile records (1) all the values of expressions in E
+//! > observed, and (2) all the allocated and freed stack and heap memory
+//! > address ranges.
+//!
+//! Plus the scope extension the paper obtains from Clang LibTooling: every
+//! object records its lexical scope depth, declaring statement and frame, so
+//! `Q_scp` queries are answerable. The four queries of the paper are exposed
+//! as [`ExecProfile::q_liv`], [`ExecProfile::q_val`], [`ExecProfile::q_mem`]
+//! and [`ExecProfile::q_scp`].
+
+use crate::memory::{ObjId, Status, Storage};
+use std::collections::HashMap;
+use ubfuzz_minic::NodeId;
+
+/// Upper bound on recorded occurrences per watched expression; the shadow
+/// statement synthesizers use the *first* occurrence (the UB fires on first
+/// execution), so a small bound loses nothing.
+pub const MAX_OCCURRENCES: usize = 4;
+
+/// Snapshot of the object a watched pointer expression referred to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointeeRecord {
+    /// The pointee object.
+    pub obj: ObjId,
+    /// Byte offset of the pointer into the object.
+    pub off: i64,
+    /// Object size in bytes (the paper's `BufferRange`).
+    pub obj_size: usize,
+    /// Storage class.
+    pub storage: Storage,
+    /// Lifetime status at observation time.
+    pub status: Status,
+    /// Object (variable) name.
+    pub obj_name: String,
+    /// Declaring statement of the object, when any.
+    pub decl_node: NodeId,
+    /// Lexical scope depth of the object.
+    pub scope_depth: u32,
+    /// Call frame of the object.
+    pub frame: u32,
+}
+
+/// One observed value of a watched expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRecord {
+    /// Logical time (statement counter) of the observation.
+    pub time: u64,
+    /// Integer value, when the expression is an integer.
+    pub int: Option<i128>,
+    /// True if the value was derived from uninitialized memory.
+    pub tainted: bool,
+    /// Pointee snapshot, when the expression is a pointer.
+    pub pointee: Option<PointeeRecord>,
+}
+
+/// Lifetime record of one allocation (stack, heap or global).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjRecord {
+    /// The object.
+    pub obj: ObjId,
+    /// Variable name (`"malloc#k"` for heap blocks).
+    pub name: String,
+    /// Storage class.
+    pub storage: Storage,
+    /// Size in bytes.
+    pub size: usize,
+    /// Lexical scope depth at allocation.
+    pub scope_depth: u32,
+    /// Call frame of the allocation.
+    pub frame: u32,
+    /// Function containing the allocation (empty for globals).
+    pub fn_name: String,
+    /// Declaring statement, when from a declaration.
+    pub decl_node: NodeId,
+    /// Allocation time.
+    pub alloc_time: u64,
+    /// Scope-exit time, if the scope ended.
+    pub dead_time: Option<u64>,
+    /// `free` time, if freed.
+    pub freed_time: Option<u64>,
+}
+
+/// The execution profile `dprof`.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Observed values per watched expression (at most
+    /// [`MAX_OCCURRENCES`] each).
+    pub values: HashMap<NodeId, Vec<ValueRecord>>,
+    /// First execution time of every statement that ran.
+    pub stmt_first_exec: HashMap<NodeId, u64>,
+    /// Times at which each named variable was written (direct writes only).
+    pub var_writes: HashMap<String, Vec<u64>>,
+    /// Every allocation performed by the run.
+    pub objects: Vec<ObjRecord>,
+}
+
+impl ExecProfile {
+    /// An empty profile.
+    pub fn new() -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// `Q_liv`: was the watched expression observed in the live region?
+    pub fn q_liv(&self, e: NodeId) -> bool {
+        self.values.get(&e).is_some_and(|v| !v.is_empty())
+    }
+
+    /// `Q_val`: the first observed integer value of the expression.
+    pub fn q_val(&self, e: NodeId) -> Option<i128> {
+        self.values.get(&e)?.first()?.int
+    }
+
+    /// `Q_mem`: the first observed pointee (memory range) of a pointer
+    /// expression; `None` for never-observed or non-pointer expressions.
+    pub fn q_mem(&self, e: NodeId) -> Option<&PointeeRecord> {
+        self.values.get(&e)?.first()?.pointee.as_ref()
+    }
+
+    /// `Q_scp`: scope depth of the first pointee of the expression.
+    pub fn q_scp(&self, e: NodeId) -> Option<u32> {
+        self.q_mem(e).map(|p| p.scope_depth)
+    }
+
+    /// First execution time of statement `s`, if it ran.
+    pub fn stmt_time(&self, s: NodeId) -> Option<u64> {
+        self.stmt_first_exec.get(&s).copied()
+    }
+
+    /// True if variable `name` was written in the half-open time interval
+    /// `(after, before)`. The use-after-scope synthesizer uses this to check
+    /// that a leaked pointer survives up to the target dereference.
+    pub fn var_written_between(&self, name: &str, after: u64, before: u64) -> bool {
+        self.var_writes
+            .get(name)
+            .is_some_and(|ts| ts.iter().any(|&t| t > after && t < before))
+    }
+
+    /// The record for a given object id, if allocated during the run.
+    pub fn object(&self, obj: ObjId) -> Option<&ObjRecord> {
+        self.objects.iter().find(|o| o.obj == obj)
+    }
+
+    /// Records one observation, enforcing [`MAX_OCCURRENCES`].
+    pub fn record_value(&mut self, e: NodeId, rec: ValueRecord) {
+        let v = self.values.entry(e).or_default();
+        if v.len() < MAX_OCCURRENCES {
+            v.push(rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time: u64, int: i128) -> ValueRecord {
+        ValueRecord { time, int: Some(int), tainted: false, pointee: None }
+    }
+
+    #[test]
+    fn queries_read_first_occurrence() {
+        let mut p = ExecProfile::new();
+        let id = NodeId(4);
+        p.record_value(id, rec(10, 42));
+        p.record_value(id, rec(11, 43));
+        assert!(p.q_liv(id));
+        assert_eq!(p.q_val(id), Some(42));
+        assert!(!p.q_liv(NodeId(5)));
+        assert_eq!(p.q_val(NodeId(5)), None);
+    }
+
+    #[test]
+    fn occurrences_are_capped() {
+        let mut p = ExecProfile::new();
+        let id = NodeId(1);
+        for i in 0..20 {
+            p.record_value(id, rec(i, i as i128));
+        }
+        assert_eq!(p.values[&id].len(), MAX_OCCURRENCES);
+    }
+
+    #[test]
+    fn var_write_window() {
+        let mut p = ExecProfile::new();
+        p.var_writes.insert("p".into(), vec![5, 9]);
+        assert!(p.var_written_between("p", 4, 6));
+        assert!(!p.var_written_between("p", 5, 9));
+        assert!(!p.var_written_between("q", 0, 100));
+    }
+}

@@ -1,0 +1,78 @@
+//! Undefined-behavior taxonomy and execution outcomes.
+
+use std::fmt;
+use ubfuzz_minic::{Loc, NodeId};
+
+pub use ubfuzz_minic::ubkind::UbKind;
+
+/// A detected undefined behavior: what, where, and on which node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UbEvent {
+    /// The UB kind.
+    pub kind: UbKind,
+    /// Source position of the offending expression.
+    pub loc: Loc,
+    /// Node id of the offending expression (when known).
+    pub node: NodeId,
+    /// Human-readable detail ("write of 4 bytes at offset 8 of `b` (size 8)").
+    pub detail: String,
+}
+
+impl fmt::Display for UbEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.loc, self.detail)
+    }
+}
+
+/// Result of interpreting a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Exit {
+        /// `main`'s return value, truncated to an exit status byte.
+        status: i64,
+        /// Values printed through `print_value`, in order.
+        output: Vec<i64>,
+    },
+    /// Undefined behavior detected; execution stopped at the first event.
+    Ub(UbEvent),
+    /// The step budget was exhausted (treated as a hang).
+    StepLimit,
+    /// A structural failure (e.g. call to an unknown function); programs
+    /// that type-check never produce this.
+    Invalid(String),
+}
+
+impl Outcome {
+    /// The UB event, if this outcome is [`Outcome::Ub`].
+    pub fn ub(&self) -> Option<&UbEvent> {
+        match self {
+            Outcome::Ub(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True if the program ran to completion without UB.
+    pub fn is_clean_exit(&self) -> bool {
+        matches!(self, Outcome::Exit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let ev = UbEvent {
+            kind: UbKind::DivByZero,
+            loc: Loc::new(3, 1),
+            node: NodeId(5),
+            detail: "x / 0".into(),
+        };
+        let o = Outcome::Ub(ev.clone());
+        assert_eq!(o.ub(), Some(&ev));
+        assert!(!o.is_clean_exit());
+        assert!(Outcome::Exit { status: 0, output: vec![] }.is_clean_exit());
+    }
+}

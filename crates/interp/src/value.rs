@@ -1,0 +1,155 @@
+//! Runtime values: integers with taint, and provenance-carrying pointers.
+
+use crate::memory::ObjId;
+use ubfuzz_minic::types::IntType;
+
+/// A pointer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrVal {
+    /// The null pointer.
+    Null,
+    /// A pointer into object `obj` at byte offset `off`. The offset may be
+    /// out of bounds — C permits *forming* most such pointers; the UB is
+    /// flagged on access, exactly where sanitizers check.
+    Obj {
+        /// Target object.
+        obj: ObjId,
+        /// Byte offset from the object base (may be negative or past the end).
+        off: i64,
+    },
+    /// A pointer forged from an integer; any dereference is UB.
+    Wild(i64),
+}
+
+impl PtrVal {
+    /// True for the null pointer.
+    pub fn is_null(self) -> bool {
+        matches!(self, PtrVal::Null)
+    }
+
+    /// A deterministic integer rendering (for pointer-to-int casts and
+    /// equality of wild pointers). Object pointers map into a synthetic
+    /// address space that is stable across runs.
+    pub fn to_raw(self) -> i64 {
+        match self {
+            PtrVal::Null => 0,
+            PtrVal::Obj { obj, off } => 0x1000_0000 + (obj.0 as i64) * 0x1_0000 + off,
+            PtrVal::Wild(v) => v,
+        }
+    }
+
+    /// Pointer arithmetic: advance by `delta` bytes.
+    pub fn offset_by(self, delta: i64) -> PtrVal {
+        match self {
+            PtrVal::Null => {
+                if delta == 0 {
+                    PtrVal::Null
+                } else {
+                    PtrVal::Wild(delta)
+                }
+            }
+            PtrVal::Obj { obj, off } => PtrVal::Obj { obj, off: off.wrapping_add(delta) },
+            PtrVal::Wild(v) => PtrVal::Wild(v.wrapping_add(delta)),
+        }
+    }
+}
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer of the given type; the payload is always within range.
+    Int(i128, IntType),
+    /// A pointer.
+    Ptr(PtrVal),
+}
+
+impl Value {
+    /// Integer zero of type `int`.
+    pub fn zero() -> Value {
+        Value::Int(0, IntType::INT)
+    }
+
+    /// The integer payload, widened; pointers render via [`PtrVal::to_raw`].
+    pub fn as_i128(&self) -> i128 {
+        match self {
+            Value::Int(v, _) => *v,
+            Value::Ptr(p) => p.to_raw() as i128,
+        }
+    }
+
+    /// Scalar truthiness (C semantics).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v, _) => *v != 0,
+            Value::Ptr(p) => !p.is_null(),
+        }
+    }
+
+    /// The pointer payload, if this is a pointer.
+    pub fn as_ptr(&self) -> Option<PtrVal> {
+        match self {
+            Value::Ptr(p) => Some(*p),
+            Value::Int(0, _) => Some(PtrVal::Null),
+            _ => None,
+        }
+    }
+}
+
+/// A value plus its taint bit (true = derived from uninitialized memory).
+/// Taint propagates through every operator, MSan-style, and is reported only
+/// at *uses* (branch conditions, division, dereference, output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TVal {
+    /// The value.
+    pub v: Value,
+    /// True if derived from uninitialized memory.
+    pub taint: bool,
+}
+
+impl TVal {
+    /// An untainted value.
+    pub fn clean(v: Value) -> TVal {
+        TVal { v, taint: false }
+    }
+
+    /// A tainted value.
+    pub fn tainted(v: Value) -> TVal {
+        TVal { v, taint: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptr_arithmetic_tracks_offsets() {
+        let p = PtrVal::Obj { obj: ObjId(3), off: 4 };
+        assert_eq!(p.offset_by(8), PtrVal::Obj { obj: ObjId(3), off: 12 });
+        assert_eq!(p.offset_by(-8), PtrVal::Obj { obj: ObjId(3), off: -4 });
+        assert!(PtrVal::Null.is_null());
+        assert_eq!(PtrVal::Null.offset_by(0), PtrVal::Null);
+    }
+
+    #[test]
+    fn raw_addresses_are_deterministic() {
+        let a = PtrVal::Obj { obj: ObjId(1), off: 0 }.to_raw();
+        let b = PtrVal::Obj { obj: ObjId(1), off: 0 }.to_raw();
+        assert_eq!(a, b);
+        assert_ne!(a, PtrVal::Obj { obj: ObjId(2), off: 0 }.to_raw());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::zero().is_truthy());
+        assert!(Value::Int(-1, IntType::INT).is_truthy());
+        assert!(!Value::Ptr(PtrVal::Null).is_truthy());
+        assert!(Value::Ptr(PtrVal::Obj { obj: ObjId(0), off: 0 }).is_truthy());
+    }
+
+    #[test]
+    fn int_zero_converts_to_null() {
+        assert_eq!(Value::zero().as_ptr(), Some(PtrVal::Null));
+        assert_eq!(Value::Int(7, IntType::INT).as_ptr(), None);
+    }
+}

@@ -1,0 +1,503 @@
+//! Abstract syntax tree for the C subset.
+//!
+//! Every [`Expr`] and [`Stmt`] carries a [`NodeId`] (stable identity used by
+//! the profiler and the UB generator) and a [`Loc`] (the `(line, offset)`
+//! position assigned by [`crate::pretty::relocate`], consumed by crash-site
+//! mapping).
+
+use crate::loc::{Loc, NodeId};
+use crate::types::{IntType, StructDef, Type};
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise complement `~x`.
+    BitNot,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms are
+/// included as `LogAnd`/`LogOr`, which evaluate lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinOp {
+    /// True for `+ - * / %` — the operators eligible for the paper's
+    /// signed-integer-overflow shadow statements (Table 1 restricts to
+    /// arithmetic `op`).
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem)
+    }
+
+    /// True for comparison operators, whose result is always `int` 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for `<<` and `>>`.
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::Shr)
+    }
+
+    /// The C token for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Stable identity within the program.
+    pub id: NodeId,
+    /// Source position (assigned by relocation).
+    pub loc: Loc,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal with its type (e.g. `5`, `255UL`).
+    IntLit(i128, IntType),
+    /// Variable reference, resolved lexically.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation. Short-circuit operators evaluate lazily.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Simple assignment `lhs = rhs`; yields the stored value.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    CompoundAssign(BinOp, Box<Expr>, Box<Expr>),
+    /// Pre-increment `++lvalue`. Lowered to a read-modify-write; the paper's
+    /// Fig. 12e bug (LLVM UBSan missing the null check on `++(*a)`) keys on
+    /// this construct surviving as an RMW.
+    PreInc(Box<Expr>),
+    /// Pre-decrement `--lvalue`.
+    PreDec(Box<Expr>),
+    /// Array subscript `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct member access `s.field`.
+    Member(Box<Expr>, String),
+    /// Struct member access through a pointer `p->field`.
+    Arrow(Box<Expr>, String),
+    /// Address-of `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// Dereference `*ptr`.
+    Deref(Box<Expr>),
+    /// Cast `(type)expr`.
+    Cast(Type, Box<Expr>),
+    /// Function call. Builtins: `malloc`, `free`, `print_value`.
+    Call(String, Vec<Expr>),
+    /// Conditional `cond ? then : else`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Creates an expression with dummy id and unknown location; use
+    /// [`Program::assign_ids`] or insert via helpers that mint fresh ids.
+    pub fn new(kind: ExprKind) -> Expr {
+        Expr { id: NodeId::DUMMY, loc: Loc::UNKNOWN, kind }
+    }
+
+    /// True if this expression is a syntactic lvalue.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::Var(_)
+                | ExprKind::Index(..)
+                | ExprKind::Member(..)
+                | ExprKind::Arrow(..)
+                | ExprKind::Deref(_)
+        )
+    }
+}
+
+/// An initializer for a declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// Scalar initializer.
+    Expr(Expr),
+    /// Brace-enclosed list for arrays and structs. May be shorter than the
+    /// aggregate; the remainder is zero-initialized (C semantics).
+    List(Vec<Init>),
+}
+
+/// A declaration (global or local): `type name = init;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer. Globals without one are zero-initialized;
+    /// locals without one are uninitialized (the raw material for the
+    /// use-of-uninitialized-memory shadow statement).
+    pub init: Option<Init>,
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Stable identity within the program.
+    pub id: NodeId,
+    /// Source position (assigned by relocation).
+    pub loc: Loc,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration.
+    Decl(Decl),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If(Expr, Block, Option<Block>),
+    /// `while (cond) { .. }`.
+    While(Expr, Block),
+    /// `for (init; cond; step) { .. }` — init is a declaration or an
+    /// expression statement; all three clauses are optional.
+    For {
+        /// Loop initializer.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; absent means `1`.
+        cond: Option<Expr>,
+        /// Loop step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block — an inner scope. Scope boundaries matter: the
+    /// use-after-scope shadow statement leaks an inner-scope address past the
+    /// closing brace (paper Table 1 row 4, Figs. 8 and 12c).
+    Block(Block),
+}
+
+impl Stmt {
+    /// Creates a statement with dummy id and unknown location.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { id: NodeId::DUMMY, loc: Loc::UNKNOWN, kind }
+    }
+}
+
+/// A `{ ... }` block; establishes a scope.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Block {
+        Block { stmts: Vec::new() }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name; `main` is the entry point.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters in order.
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Block,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Struct definitions, referenced by index from [`Type::Struct`].
+    pub structs: Vec<StructDef>,
+    /// Global variable declarations, in order.
+    pub globals: Vec<Decl>,
+    /// Function definitions; execution starts at `main`.
+    pub functions: Vec<Function>,
+    /// Next unassigned [`NodeId`]; see [`Program::fresh_id`].
+    pub next_id: u32,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program { structs: Vec::new(), globals: Vec::new(), functions: Vec::new(), next_id: 1 }
+    }
+
+    /// Mints a fresh node id, unique within this program.
+    pub fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Returns the function named `name`, if any.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable access to the function named `name`.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Returns the index of the struct with tag `name`.
+    pub fn struct_index(&self, name: &str) -> Option<usize> {
+        self.structs.iter().position(|s| s.name == name)
+    }
+
+    /// Walks the whole tree and assigns fresh ids to every node whose id is
+    /// [`NodeId::DUMMY`], leaving already-assigned ids untouched.
+    pub fn assign_ids(&mut self) {
+        let mut next = self.next_id;
+        {
+            let mut assign = |id: &mut NodeId| {
+                if *id == NodeId::DUMMY {
+                    *id = NodeId(next);
+                    next += 1;
+                }
+            };
+            for g in &mut self.globals {
+                if let Some(init) = &mut g.init {
+                    assign_init(init, &mut assign);
+                }
+            }
+            for f in &mut self.functions {
+                assign_block(&mut f.body, &mut assign);
+            }
+        }
+        self.next_id = next;
+    }
+}
+
+fn assign_init(init: &mut Init, assign: &mut impl FnMut(&mut NodeId)) {
+    match init {
+        Init::Expr(e) => assign_expr(e, assign),
+        Init::List(items) => {
+            for it in items {
+                assign_init(it, assign);
+            }
+        }
+    }
+}
+
+fn assign_expr(e: &mut Expr, assign: &mut impl FnMut(&mut NodeId)) {
+    assign(&mut e.id);
+    match &mut e.kind {
+        ExprKind::IntLit(..) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, a)
+        | ExprKind::AddrOf(a)
+        | ExprKind::Deref(a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::PreInc(a)
+        | ExprKind::PreDec(a)
+        | ExprKind::Member(a, _)
+        | ExprKind::Arrow(a, _) => assign_expr(a, assign),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::CompoundAssign(_, a, b)
+        | ExprKind::Index(a, b) => {
+            assign_expr(a, assign);
+            assign_expr(b, assign);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                assign_expr(a, assign);
+            }
+        }
+        ExprKind::Cond(c, t, f) => {
+            assign_expr(c, assign);
+            assign_expr(t, assign);
+            assign_expr(f, assign);
+        }
+    }
+}
+
+fn assign_stmt(s: &mut Stmt, assign: &mut impl FnMut(&mut NodeId)) {
+    assign(&mut s.id);
+    match &mut s.kind {
+        StmtKind::Decl(d) => {
+            if let Some(init) = &mut d.init {
+                assign_init(init, assign);
+            }
+        }
+        StmtKind::Expr(e) => assign_expr(e, assign),
+        StmtKind::If(c, t, f) => {
+            assign_expr(c, assign);
+            assign_block(t, assign);
+            if let Some(f) = f {
+                assign_block(f, assign);
+            }
+        }
+        StmtKind::While(c, b) => {
+            assign_expr(c, assign);
+            assign_block(b, assign);
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                assign_stmt(i, assign);
+            }
+            if let Some(c) = cond {
+                assign_expr(c, assign);
+            }
+            if let Some(st) = step {
+                assign_expr(st, assign);
+            }
+            assign_block(body, assign);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                assign_expr(e, assign);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => assign_block(b, assign),
+    }
+}
+
+fn assign_block(b: &mut Block, assign: &mut impl FnMut(&mut NodeId)) {
+    for s in &mut b.stmts {
+        assign_stmt(s, assign);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let mut p = Program::new();
+        let a = p.fresh_id();
+        let b = p.fresh_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assign_ids_fills_dummies_only() {
+        let mut p = Program::new();
+        let fixed = p.fresh_id();
+        let mut e = Expr::new(ExprKind::Binary(
+            BinOp::Add,
+            Box::new(Expr::new(ExprKind::IntLit(1, IntType::INT))),
+            Box::new(Expr::new(ExprKind::IntLit(2, IntType::INT))),
+        ));
+        e.id = fixed;
+        p.functions.push(Function {
+            name: "main".into(),
+            ret: Type::int(),
+            params: vec![],
+            body: Block { stmts: vec![Stmt::new(StmtKind::Expr(e))] },
+        });
+        p.assign_ids();
+        let f = p.function("main").unwrap();
+        let stmt = &f.body.stmts[0];
+        assert_ne!(stmt.id, NodeId::DUMMY);
+        if let StmtKind::Expr(e) = &stmt.kind {
+            assert_eq!(e.id, fixed);
+            if let ExprKind::Binary(_, a, b) = &e.kind {
+                assert_ne!(a.id, NodeId::DUMMY);
+                assert_ne!(b.id, NodeId::DUMMY);
+                assert_ne!(a.id, b.id);
+            } else {
+                panic!("shape");
+            }
+        } else {
+            panic!("shape");
+        }
+    }
+
+    #[test]
+    fn lvalue_classification() {
+        let v = Expr::new(ExprKind::Var("x".into()));
+        assert!(v.is_lvalue());
+        let lit = Expr::new(ExprKind::IntLit(3, IntType::INT));
+        assert!(!lit.is_lvalue());
+        let deref = Expr::new(ExprKind::Deref(Box::new(Expr::new(ExprKind::Var("p".into())))));
+        assert!(deref.is_lvalue());
+    }
+
+    #[test]
+    fn binop_classes() {
+        assert!(BinOp::Add.is_arith());
+        assert!(!BinOp::Shl.is_arith());
+        assert!(BinOp::Shl.is_shift());
+        assert!(BinOp::Eq.is_comparison());
+        assert_eq!(BinOp::Shr.symbol(), ">>");
+    }
+}

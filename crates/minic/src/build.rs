@@ -1,0 +1,219 @@
+//! Concise AST constructors.
+//!
+//! The generators (seed generator, UB generator, baselines, test suites)
+//! build a lot of syntax; these helpers keep that code readable. All nodes
+//! are created with [`crate::NodeId::DUMMY`] — callers run
+//! [`crate::Program::assign_ids`] once the tree is assembled.
+//!
+//! ```
+//! use ubfuzz_minic::build::*;
+//! use ubfuzz_minic::types::Type;
+//!
+//! // a[i] = a[i] + 1;
+//! let stmt = expr_stmt(assign(
+//!     index(var("a"), var("i")),
+//!     add(index(var("a"), var("i")), lit(1)),
+//! ));
+//! ```
+
+use crate::ast::*;
+use crate::types::{IntType, Type};
+
+/// `int` literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::new(ExprKind::IntLit(v as i128, IntType::INT))
+}
+
+/// Literal of an explicit integer type.
+pub fn lit_ty(v: i128, ty: IntType) -> Expr {
+    Expr::new(ExprKind::IntLit(v, ty))
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::new(ExprKind::Var(name.to_string()))
+}
+
+/// Binary operation.
+pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::new(ExprKind::Binary(op, Box::new(a), Box::new(b)))
+}
+
+/// `a + b`.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Add, a, b)
+}
+
+/// `a - b`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Sub, a, b)
+}
+
+/// `a * b`.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mul, a, b)
+}
+
+/// `a / b`.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Div, a, b)
+}
+
+/// `a < b`.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Lt, a, b)
+}
+
+/// `a == b`.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Eq, a, b)
+}
+
+/// Unary operation.
+pub fn un(op: UnOp, a: Expr) -> Expr {
+    Expr::new(ExprKind::Unary(op, Box::new(a)))
+}
+
+/// `lhs = rhs`.
+pub fn assign(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::new(ExprKind::Assign(Box::new(lhs), Box::new(rhs)))
+}
+
+/// `++lvalue`.
+pub fn pre_inc(lvalue: Expr) -> Expr {
+    Expr::new(ExprKind::PreInc(Box::new(lvalue)))
+}
+
+/// `base[idx]`.
+pub fn index(base: Expr, idx: Expr) -> Expr {
+    Expr::new(ExprKind::Index(Box::new(base), Box::new(idx)))
+}
+
+/// `s.field`.
+pub fn member(base: Expr, field: &str) -> Expr {
+    Expr::new(ExprKind::Member(Box::new(base), field.to_string()))
+}
+
+/// `p->field`.
+pub fn arrow(base: Expr, field: &str) -> Expr {
+    Expr::new(ExprKind::Arrow(Box::new(base), field.to_string()))
+}
+
+/// `&lvalue`.
+pub fn addr_of(lvalue: Expr) -> Expr {
+    Expr::new(ExprKind::AddrOf(Box::new(lvalue)))
+}
+
+/// `*ptr`.
+pub fn deref(ptr: Expr) -> Expr {
+    Expr::new(ExprKind::Deref(Box::new(ptr)))
+}
+
+/// `(ty)expr`.
+pub fn cast(ty: Type, e: Expr) -> Expr {
+    Expr::new(ExprKind::Cast(ty, Box::new(e)))
+}
+
+/// Function call.
+pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::new(ExprKind::Call(name.to_string(), args))
+}
+
+/// `cond ? t : f`.
+pub fn cond(c: Expr, t: Expr, f: Expr) -> Expr {
+    Expr::new(ExprKind::Cond(Box::new(c), Box::new(t), Box::new(f)))
+}
+
+/// Expression statement.
+pub fn expr_stmt(e: Expr) -> Stmt {
+    Stmt::new(StmtKind::Expr(e))
+}
+
+/// Local declaration statement.
+pub fn decl_stmt(name: &str, ty: Type, init: Option<Expr>) -> Stmt {
+    Stmt::new(StmtKind::Decl(Decl {
+        name: name.to_string(),
+        ty,
+        init: init.map(Init::Expr),
+    }))
+}
+
+/// Local array/struct declaration with a list initializer.
+pub fn decl_list_stmt(name: &str, ty: Type, items: Vec<Expr>) -> Stmt {
+    Stmt::new(StmtKind::Decl(Decl {
+        name: name.to_string(),
+        ty,
+        init: Some(Init::List(items.into_iter().map(Init::Expr).collect())),
+    }))
+}
+
+/// `return e;`.
+pub fn ret(e: Option<Expr>) -> Stmt {
+    Stmt::new(StmtKind::Return(e))
+}
+
+/// `if (c) { then } else { els }`.
+pub fn if_stmt(c: Expr, then: Vec<Stmt>, els: Option<Vec<Stmt>>) -> Stmt {
+    Stmt::new(StmtKind::If(c, Block { stmts: then }, els.map(|s| Block { stmts: s })))
+}
+
+/// `while (c) { body }`.
+pub fn while_stmt(c: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::While(c, Block { stmts: body }))
+}
+
+/// A nested `{ ... }` scope.
+pub fn block_stmt(body: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::Block(Block { stmts: body }))
+}
+
+/// The canonical bounded loop `for (int i = from; i < to; i = i + step)`,
+/// which the seed generator emits to guarantee termination.
+pub fn counted_for(i: &str, from: i64, to: i64, step: i64, body: Vec<Stmt>) -> Stmt {
+    Stmt::new(StmtKind::For {
+        init: Some(Box::new(decl_stmt(i, Type::int(), Some(lit(from))))),
+        cond: Some(lt(var(i), lit(to))),
+        step: Some(assign(var(i), add(var(i), lit(step)))),
+        body: Block { stmts: body },
+    })
+}
+
+/// A global declaration.
+pub fn global(name: &str, ty: Type, init: Option<Init>) -> Decl {
+    Decl { name: name.to_string(), ty, init }
+}
+
+/// A function definition.
+pub fn function(name: &str, ret_ty: Type, params: Vec<(String, Type)>, body: Vec<Stmt>) -> Function {
+    Function { name: name.to_string(), ret: ret_ty, params, body: Block { stmts: body } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = assign(index(var("a"), var("i")), add(lit(1), lit(2)));
+        match e.kind {
+            ExprKind::Assign(lhs, rhs) => {
+                assert!(matches!(lhs.kind, ExprKind::Index(..)));
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Add, ..)));
+            }
+            _ => panic!("shape"),
+        }
+    }
+
+    #[test]
+    fn counted_for_shape() {
+        let s = counted_for("i", 0, 10, 2, vec![]);
+        match s.kind {
+            StmtKind::For { init, cond, step, .. } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            _ => panic!("shape"),
+        }
+    }
+}

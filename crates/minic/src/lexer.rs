@@ -1,0 +1,293 @@
+//! Tokenizer for the C subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword text is kept verbatim; the parser interprets
+    /// keywords contextually.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex), with `U`/`L` suffixes folded
+    /// into the value's type by the parser.
+    IntLit(i128, /* unsigned */ bool, /* long */ bool),
+    /// Punctuation or operator, e.g. `"<<="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IntLit(v, ..) => write!(f, "{v}"),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line, 0-based column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 0-based source column.
+    pub col: u32,
+}
+
+/// An error produced by [`lex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending character.
+    pub line: u32,
+    /// 0-based column of the offending character.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "{", "}", "(", ")", "[", "]", ";", ",", "+", "-", "*",
+    "/", "%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":", ".",
+];
+
+/// Tokenizes `src`. Line (`//`) and block (`/* */`) comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the subset's alphabet or an
+/// unterminated block comment.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize;
+    macro_rules! col {
+        () => {
+            (i - line_start) as u32
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            line_start = i;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let (sl, sc) = (line, col!());
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line: sl,
+                        col: sc,
+                    });
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    line_start = i + 1;
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            let (sl, sc) = (line, col!());
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedToken {
+                token: Token::Ident(src[start..i].to_string()),
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let (sl, sc) = (line, col!());
+            let mut value: i128;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                let hstart = i;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hstart {
+                    return Err(LexError {
+                        message: "hex literal with no digits".into(),
+                        line: sl,
+                        col: sc,
+                    });
+                }
+                value = i128::from_str_radix(&src[hstart..i], 16).map_err(|_| LexError {
+                    message: "hex literal out of range".into(),
+                    line: sl,
+                    col: sc,
+                })?;
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                value = src[start..i].parse::<i128>().map_err(|_| LexError {
+                    message: "integer literal out of range".into(),
+                    line: sl,
+                    col: sc,
+                })?;
+            }
+            let mut unsigned = false;
+            let mut long = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'u' | b'U' => {
+                        unsigned = true;
+                        i += 1;
+                    }
+                    b'l' | b'L' => {
+                        long = true;
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // Negative literals do not exist in C; `-5` is unary minus on 5.
+            if value < 0 {
+                value = 0;
+            }
+            out.push(SpannedToken {
+                token: Token::IntLit(value, unsigned, long),
+                line: sl,
+                col: sc,
+            });
+            continue;
+        }
+        let mut matched = false;
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedToken { token: Token::Punct(p), line, col: col!() });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                message: format!("unexpected character {c:?}"),
+                line,
+                col: col!(),
+            });
+        }
+    }
+    out.push(SpannedToken { token: Token::Eof, line, col: col!() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        let ts = kinds("int x = 42;");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("int".into()),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::IntLit(42, false, false),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixes() {
+        let ts = kinds("0xfff 7UL 9L");
+        assert_eq!(
+            ts[..3],
+            [
+                Token::IntLit(0xfff, false, false),
+                Token::IntLit(7, true, true),
+                Token::IntLit(9, false, true)
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let ts = kinds("a <<= b >> c->d");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<="),
+                Token::Ident("b".into()),
+                Token::Punct(">>"),
+                Token::Ident("c".into()),
+                Token::Punct("->"),
+                Token::Ident("d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 0));
+        assert_eq!((ts[1].line, ts[1].col), (2, 2));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ts = kinds("a // comment\n/* block\nmore */ b");
+        assert_eq!(
+            ts,
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int @x;").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

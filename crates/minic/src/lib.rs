@@ -1,0 +1,60 @@
+//! `ubfuzz-minic` — the C-subset language substrate of the UBfuzz reproduction.
+//!
+//! The UBfuzz paper (ASPLOS 2024) generates and mutates C programs. This crate
+//! provides everything the rest of the workspace needs to treat such programs
+//! as first-class values:
+//!
+//! * an abstract syntax tree ([`ast`]) in which every statement and expression
+//!   carries a [`Loc`] — the `(line, offset)` pair that the crash-site mapping
+//!   oracle (paper §3.3, Algorithm 2) keys on;
+//! * a [`lexer`] and recursive-descent [`parser`] for the subset;
+//! * a canonical [`pretty`]-printer which can *relocate* a program: assign
+//!   fresh `(line, offset)` positions in printing order, exactly like writing
+//!   the mutated source to a file and compiling it with `-g`;
+//! * a permissive C-style type checker ([`typeck`]) that produces per-node
+//!   type information used by the UB generator's expression matcher;
+//! * visitor traits ([`visit`]) for analyses and in-place mutation.
+//!
+//! The subset covers what the paper's experiments exercise: `char`/`short`/
+//! `int`/`long` in both signednesses, pointers (including pointer-to-pointer),
+//! arrays, structs, the full integer operator set, control flow
+//! (`if`/`while`/`for`/blocks), functions, and the three builtins `malloc`,
+//! `free` and `print_value` (the checksum sink that makes generated programs
+//! closed and observable, in the style of Csmith).
+//!
+//! # Example
+//!
+//! ```
+//! use ubfuzz_minic::parse;
+//!
+//! let src = r#"
+//!     int g[3] = {1, 2, 3};
+//!     int main(void) {
+//!         int s = 0;
+//!         for (int i = 0; i < 3; i = i + 1) { s = s + g[i]; }
+//!         print_value(s);
+//!         return 0;
+//!     }
+//! "#;
+//! let program = parse(src).expect("valid program");
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod lexer;
+pub mod loc;
+pub mod parser;
+pub mod pretty;
+pub mod typeck;
+pub mod types;
+pub mod ubkind;
+pub mod visit;
+
+pub use ast::{Block, Decl, Expr, ExprKind, Function, Init, Program, Stmt, StmtKind};
+pub use loc::{Loc, NodeId};
+pub use parser::{parse, ParseError};
+pub use pretty::{print, relocate};
+pub use typeck::{typecheck, TypeError, TypeMap};
+pub use types::{IntType, IntWidth, StructDef, Type};
+pub use ubkind::UbKind;

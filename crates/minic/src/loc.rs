@@ -1,0 +1,84 @@
+//! Source locations and AST node identities.
+
+use std::fmt;
+
+/// A source position: 1-based line number and 0-based column offset.
+///
+/// This is exactly the `(line, offset)` pair that the paper's crash-site
+/// mapping oracle compares (Definition 2): the debugger maps the last executed
+/// instruction of the crashing binary back to a source `(l, o)` and asks
+/// whether the non-crashing binary also executes an instruction at `(l, o)`.
+///
+/// `Loc::UNKNOWN` (all zeros) marks nodes that have not yet been placed by
+/// [`crate::pretty::relocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Loc {
+    /// 1-based line number; 0 means "not yet assigned".
+    pub line: u32,
+    /// 0-based column offset within the line.
+    pub col: u32,
+}
+
+impl Loc {
+    /// The unassigned location.
+    pub const UNKNOWN: Loc = Loc { line: 0, col: 0 };
+
+    /// Creates a location from a 1-based line and 0-based column.
+    pub fn new(line: u32, col: u32) -> Loc {
+        Loc { line, col }
+    }
+
+    /// Returns true if this location has been assigned.
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A unique identity for an AST node within one [`crate::Program`].
+///
+/// Node ids are stable across pretty-printing and relocation, which lets the
+/// UB generator refer to the expressions it matched (paper §3.2.1) when it
+/// later queries the execution profile and inserts shadow statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id used for synthesized nodes before [`crate::Program::fresh_id`]
+    /// assigns them a real identity.
+    pub const DUMMY: NodeId = NodeId(0);
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_loc_is_not_known() {
+        assert!(!Loc::UNKNOWN.is_known());
+        assert!(Loc::new(1, 0).is_known());
+    }
+
+    #[test]
+    fn loc_orders_by_line_then_col() {
+        assert!(Loc::new(1, 9) < Loc::new(2, 0));
+        assert!(Loc::new(2, 1) < Loc::new(2, 4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Loc::new(10, 8).to_string(), "10:8");
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,767 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! The parser exists so that seed corpora, regression programs from the
+//! paper's figures, and the Juliet-style baseline suite can be written as C
+//! text; the generators construct ASTs directly.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedToken, Token};
+use crate::loc::Loc;
+use crate::types::{IntType, StructDef, Type};
+use std::fmt;
+
+/// A parse (or lex) failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where (1-based line, 0-based column).
+    pub loc: Loc,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.message, loc: Loc::new(e.line, e.col) }
+    }
+}
+
+/// Parses a complete translation unit.
+///
+/// Locations of all nodes are taken from the source text; node ids are
+/// assigned fresh.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic violation of the
+/// subset grammar.
+///
+/// ```
+/// let p = ubfuzz_minic::parse("int main(void) { return 0; }").unwrap();
+/// assert_eq!(p.functions[0].name, "main");
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0, program: Program::new() };
+    parser.parse_program()?;
+    let mut program = parser.program;
+    program.assign_ids();
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    program: Program,
+}
+
+const TYPE_KEYWORDS: &[&str] = &["void", "char", "short", "int", "long", "unsigned", "signed", "struct"];
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn here(&self) -> Loc {
+        let t = &self.tokens[self.pos];
+        Loc::new(t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), loc: self.here() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.error(format!("expected `{p}`, found `{other}`")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Token::Punct(q) if *q == p)
+    }
+
+    fn eat_if_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn at_type_start(&self) -> bool {
+        matches!(self.peek(), Token::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()))
+    }
+
+    fn parse_program(&mut self) -> Result<(), ParseError> {
+        while !matches!(self.peek(), Token::Eof) {
+            self.parse_top_level()?;
+        }
+        Ok(())
+    }
+
+    fn parse_top_level(&mut self) -> Result<(), ParseError> {
+        // `struct S { ... };` definition?
+        if matches!(self.peek(), Token::Ident(s) if s == "struct")
+            && matches!(self.peek_at(2), Token::Punct("{"))
+        {
+            self.bump(); // struct
+            let name = self.eat_ident()?;
+            self.eat_punct("{")?;
+            let mut fields = Vec::new();
+            while !self.at_punct("}") {
+                let base = self.parse_base_type()?;
+                let (fname, fty) = self.parse_declarator(base)?;
+                self.eat_punct(";")?;
+                fields.push((fname, fty));
+            }
+            self.eat_punct("}")?;
+            self.eat_punct(";")?;
+            self.program.structs.push(StructDef { name, fields });
+            return Ok(());
+        }
+        let base = self.parse_base_type()?;
+        let save = self.pos;
+        let (name, ty) = self.parse_declarator(base.clone())?;
+        if self.at_punct("(") {
+            // function definition
+            self.pos = save;
+            // re-parse pointer stars for the return type
+            let mut ret = base;
+            while self.eat_if_punct("*") {
+                ret = Type::ptr(ret);
+            }
+            let fname = self.eat_ident()?;
+            self.eat_punct("(")?;
+            let mut params = Vec::new();
+            if matches!(self.peek(), Token::Ident(s) if s == "void")
+                && matches!(self.peek_at(1), Token::Punct(")"))
+            {
+                self.bump();
+            } else if !self.at_punct(")") {
+                loop {
+                    let pbase = self.parse_base_type()?;
+                    let (pname, pty) = self.parse_declarator(pbase)?;
+                    params.push((pname, pty.decayed()));
+                    if !self.eat_if_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.eat_punct(")")?;
+            let body = self.parse_block()?;
+            self.program.functions.push(Function { name: fname, ret, params, body });
+        } else {
+            // global declaration
+            let init = if self.eat_if_punct("=") { Some(self.parse_initializer()?) } else { None };
+            self.eat_punct(";")?;
+            self.program.globals.push(Decl { name, ty, init });
+        }
+        Ok(())
+    }
+
+    /// Base type without declarator decorations: `unsigned int`, `struct S`, …
+    fn parse_base_type(&mut self) -> Result<Type, ParseError> {
+        let mut signedness: Option<bool> = None;
+        loop {
+            match self.peek() {
+                Token::Ident(s) if s == "unsigned" => {
+                    signedness = Some(false);
+                    self.bump();
+                }
+                Token::Ident(s) if s == "signed" => {
+                    signedness = Some(true);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let ty = match self.peek().clone() {
+            Token::Ident(s) => match s.as_str() {
+                "void" => {
+                    self.bump();
+                    if signedness.is_some() {
+                        return self.error("void cannot be signed or unsigned");
+                    }
+                    Type::Void
+                }
+                "char" => {
+                    self.bump();
+                    Type::Int(IntType { width: crate::types::IntWidth::W8, signed: signedness.unwrap_or(true) })
+                }
+                "short" => {
+                    self.bump();
+                    self.eat_optional_int_keyword();
+                    Type::Int(IntType { width: crate::types::IntWidth::W16, signed: signedness.unwrap_or(true) })
+                }
+                "int" => {
+                    self.bump();
+                    Type::Int(IntType { width: crate::types::IntWidth::W32, signed: signedness.unwrap_or(true) })
+                }
+                "long" => {
+                    self.bump();
+                    self.eat_optional_int_keyword();
+                    Type::Int(IntType { width: crate::types::IntWidth::W64, signed: signedness.unwrap_or(true) })
+                }
+                "struct" => {
+                    self.bump();
+                    let name = self.eat_ident()?;
+                    match self.program.struct_index(&name) {
+                        Some(idx) => Type::Struct(idx),
+                        None => return self.error(format!("unknown struct `{name}`")),
+                    }
+                }
+                other => {
+                    if signedness.is_some() {
+                        Type::int()
+                    } else {
+                        return self.error(format!("expected type, found `{other}`"));
+                    }
+                }
+            },
+            other => {
+                if signedness.is_some() {
+                    Type::int()
+                } else {
+                    return self.error(format!("expected type, found `{other}`"));
+                }
+            }
+        };
+        Ok(ty)
+    }
+
+    fn eat_optional_int_keyword(&mut self) {
+        if matches!(self.peek(), Token::Ident(s) if s == "int") {
+            self.bump();
+        }
+    }
+
+    /// `*`* name (`[N]`)* — returns the declared name and the full type.
+    fn parse_declarator(&mut self, mut base: Type) -> Result<(String, Type), ParseError> {
+        while self.eat_if_punct("*") {
+            base = Type::ptr(base);
+        }
+        let name = self.eat_ident()?;
+        let mut dims = Vec::new();
+        while self.eat_if_punct("[") {
+            match self.bump() {
+                Token::IntLit(v, ..) if v >= 0 => dims.push(v as usize),
+                other => return self.error(format!("expected array size, found `{other}`")),
+            }
+            self.eat_punct("]")?;
+        }
+        for d in dims.into_iter().rev() {
+            base = Type::array(base, d);
+        }
+        Ok((name, base))
+    }
+
+    fn parse_initializer(&mut self) -> Result<Init, ParseError> {
+        if self.eat_if_punct("{") {
+            let mut items = Vec::new();
+            if !self.at_punct("}") {
+                loop {
+                    items.push(self.parse_initializer()?);
+                    if !self.eat_if_punct(",") {
+                        break;
+                    }
+                    if self.at_punct("}") {
+                        break; // trailing comma
+                    }
+                }
+            }
+            self.eat_punct("}")?;
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Expr(self.parse_expr()?))
+        }
+    }
+
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            stmts.push(self.parse_stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(Block { stmts })
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let loc = self.here();
+        let mut stmt = if self.at_punct("{") {
+            Stmt::new(StmtKind::Block(self.parse_block()?))
+        } else if self.at_type_start() && !self.is_struct_expr_start() {
+            let base = self.parse_base_type()?;
+            let (name, ty) = self.parse_declarator(base)?;
+            let init = if self.eat_if_punct("=") { Some(self.parse_initializer()?) } else { None };
+            self.eat_punct(";")?;
+            Stmt::new(StmtKind::Decl(Decl { name, ty, init }))
+        } else if matches!(self.peek(), Token::Ident(s) if s == "if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.eat_punct(")")?;
+            let then = self.parse_block_or_single()?;
+            let els = if matches!(self.peek(), Token::Ident(s) if s == "else") {
+                self.bump();
+                Some(self.parse_block_or_single()?)
+            } else {
+                None
+            };
+            Stmt::new(StmtKind::If(cond, then, els))
+        } else if matches!(self.peek(), Token::Ident(s) if s == "while") {
+            self.bump();
+            self.eat_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.eat_punct(")")?;
+            let body = self.parse_block_or_single()?;
+            Stmt::new(StmtKind::While(cond, body))
+        } else if matches!(self.peek(), Token::Ident(s) if s == "for") {
+            self.bump();
+            self.eat_punct("(")?;
+            let init = if self.at_punct(";") {
+                self.bump();
+                None
+            } else if self.at_type_start() {
+                let iloc = self.here();
+                let base = self.parse_base_type()?;
+                let (name, ty) = self.parse_declarator(base)?;
+                let dinit =
+                    if self.eat_if_punct("=") { Some(self.parse_initializer()?) } else { None };
+                self.eat_punct(";")?;
+                let mut s = Stmt::new(StmtKind::Decl(Decl { name, ty, init: dinit }));
+                s.loc = iloc;
+                Some(Box::new(s))
+            } else {
+                let iloc = self.here();
+                let e = self.parse_expr()?;
+                self.eat_punct(";")?;
+                let mut s = Stmt::new(StmtKind::Expr(e));
+                s.loc = iloc;
+                Some(Box::new(s))
+            };
+            let cond = if self.at_punct(";") { None } else { Some(self.parse_expr()?) };
+            self.eat_punct(";")?;
+            let step = if self.at_punct(")") { None } else { Some(self.parse_expr()?) };
+            self.eat_punct(")")?;
+            let body = self.parse_block_or_single()?;
+            Stmt::new(StmtKind::For { init, cond, step, body })
+        } else if matches!(self.peek(), Token::Ident(s) if s == "return") {
+            self.bump();
+            let e = if self.at_punct(";") { None } else { Some(self.parse_expr()?) };
+            self.eat_punct(";")?;
+            Stmt::new(StmtKind::Return(e))
+        } else if matches!(self.peek(), Token::Ident(s) if s == "break") {
+            self.bump();
+            self.eat_punct(";")?;
+            Stmt::new(StmtKind::Break)
+        } else if matches!(self.peek(), Token::Ident(s) if s == "continue") {
+            self.bump();
+            self.eat_punct(";")?;
+            Stmt::new(StmtKind::Continue)
+        } else {
+            let e = self.parse_expr()?;
+            self.eat_punct(";")?;
+            Stmt::new(StmtKind::Expr(e))
+        };
+        stmt.loc = loc;
+        Ok(stmt)
+    }
+
+    fn is_struct_expr_start(&self) -> bool {
+        // `struct` is always a type here; this hook exists for symmetry.
+        false
+    }
+
+    fn parse_block_or_single(&mut self) -> Result<Block, ParseError> {
+        if self.at_punct("{") {
+            self.parse_block()
+        } else {
+            let s = self.parse_stmt()?;
+            Ok(Block { stmts: vec![s] })
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_assignment()
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.here();
+        let lhs = self.parse_conditional()?;
+        let op = match self.peek() {
+            Token::Punct("=") => None,
+            Token::Punct("+=") => Some(BinOp::Add),
+            Token::Punct("-=") => Some(BinOp::Sub),
+            Token::Punct("*=") => Some(BinOp::Mul),
+            Token::Punct("/=") => Some(BinOp::Div),
+            Token::Punct("%=") => Some(BinOp::Rem),
+            Token::Punct("<<=") => Some(BinOp::Shl),
+            Token::Punct(">>=") => Some(BinOp::Shr),
+            Token::Punct("&=") => Some(BinOp::BitAnd),
+            Token::Punct("|=") => Some(BinOp::BitOr),
+            Token::Punct("^=") => Some(BinOp::BitXor),
+            _ => return Ok(lhs),
+        };
+        if !matches!(
+            self.peek(),
+            Token::Punct("=")
+                | Token::Punct("+=")
+                | Token::Punct("-=")
+                | Token::Punct("*=")
+                | Token::Punct("/=")
+                | Token::Punct("%=")
+                | Token::Punct("<<=")
+                | Token::Punct(">>=")
+                | Token::Punct("&=")
+                | Token::Punct("|=")
+                | Token::Punct("^=")
+        ) {
+            return Ok(lhs);
+        }
+        if !lhs.is_lvalue() {
+            return self.error("assignment target is not an lvalue");
+        }
+        self.bump();
+        let rhs = self.parse_assignment()?;
+        let kind = match op {
+            None => ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+            Some(op) => ExprKind::CompoundAssign(op, Box::new(lhs), Box::new(rhs)),
+        };
+        let mut e = Expr::new(kind);
+        e.loc = loc;
+        Ok(e)
+    }
+
+    fn parse_conditional(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.here();
+        let cond = self.parse_binary(0)?;
+        if self.eat_if_punct("?") {
+            let t = self.parse_expr()?;
+            self.eat_punct(":")?;
+            let f = self.parse_conditional()?;
+            let mut e = Expr::new(ExprKind::Cond(Box::new(cond), Box::new(t), Box::new(f)));
+            e.loc = loc;
+            Ok(e)
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self, level: u8) -> Option<BinOp> {
+        let op = match self.peek() {
+            Token::Punct(p) => *p,
+            _ => return None,
+        };
+        let (bop, lvl) = match op {
+            "||" => (BinOp::LogOr, 0),
+            "&&" => (BinOp::LogAnd, 1),
+            "|" => (BinOp::BitOr, 2),
+            "^" => (BinOp::BitXor, 3),
+            "&" => (BinOp::BitAnd, 4),
+            "==" => (BinOp::Eq, 5),
+            "!=" => (BinOp::Ne, 5),
+            "<" => (BinOp::Lt, 6),
+            "<=" => (BinOp::Le, 6),
+            ">" => (BinOp::Gt, 6),
+            ">=" => (BinOp::Ge, 6),
+            "<<" => (BinOp::Shl, 7),
+            ">>" => (BinOp::Shr, 7),
+            "+" => (BinOp::Add, 8),
+            "-" => (BinOp::Sub, 8),
+            "*" => (BinOp::Mul, 9),
+            "/" => (BinOp::Div, 9),
+            "%" => (BinOp::Rem, 9),
+            _ => return None,
+        };
+        (lvl == level).then_some(bop)
+    }
+
+    fn parse_binary(&mut self, level: u8) -> Result<Expr, ParseError> {
+        if level > 9 {
+            return self.parse_unary();
+        }
+        let loc = self.here();
+        let mut lhs = self.parse_binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.parse_binary(level + 1)?;
+            let mut e = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)));
+            e.loc = loc;
+            lhs = e;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.here();
+        let mut e = match self.peek().clone() {
+            Token::Punct("-") => {
+                self.bump();
+                Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("!") => {
+                self.bump();
+                Expr::new(ExprKind::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("~") => {
+                self.bump();
+                Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("*") => {
+                self.bump();
+                Expr::new(ExprKind::Deref(Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("&") => {
+                self.bump();
+                Expr::new(ExprKind::AddrOf(Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("++") => {
+                self.bump();
+                Expr::new(ExprKind::PreInc(Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("--") => {
+                self.bump();
+                Expr::new(ExprKind::PreDec(Box::new(self.parse_unary()?)))
+            }
+            Token::Punct("(") if self.cast_ahead() => {
+                self.bump();
+                let base = self.parse_base_type()?;
+                let mut ty = base;
+                while self.eat_if_punct("*") {
+                    ty = Type::ptr(ty);
+                }
+                self.eat_punct(")")?;
+                Expr::new(ExprKind::Cast(ty, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_postfix()?,
+        };
+        if !e.loc.is_known() {
+            e.loc = loc;
+        }
+        Ok(e)
+    }
+
+    fn cast_ahead(&self) -> bool {
+        matches!(self.peek_at(1), Token::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.here();
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_if_punct("[") {
+                let idx = self.parse_expr()?;
+                self.eat_punct("]")?;
+                let mut n = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)));
+                n.loc = loc;
+                e = n;
+            } else if self.eat_if_punct(".") {
+                let f = self.eat_ident()?;
+                let mut n = Expr::new(ExprKind::Member(Box::new(e), f));
+                n.loc = loc;
+                e = n;
+            } else if self.eat_if_punct("->") {
+                let f = self.eat_ident()?;
+                let mut n = Expr::new(ExprKind::Arrow(Box::new(e), f));
+                n.loc = loc;
+                e = n;
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let loc = self.here();
+        let mut e = match self.peek().clone() {
+            Token::IntLit(v, unsigned, long) => {
+                self.bump();
+                let ty = match (unsigned, long) {
+                    (false, false) => IntType::INT,
+                    (true, false) => IntType::UINT,
+                    (false, true) => IntType::LONG,
+                    (true, true) => IntType::ULONG,
+                };
+                Expr::new(ExprKind::IntLit(v, ty))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if self.eat_if_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_if_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    Expr::new(ExprKind::Call(name, args))
+                } else {
+                    Expr::new(ExprKind::Var(name))
+                }
+            }
+            Token::Punct("(") => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.eat_punct(")")?;
+                inner
+            }
+            other => return self.error(format!("expected expression, found `{other}`")),
+        };
+        if !e.loc.is_known() {
+            e.loc = loc;
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_program() {
+        let src = r#"
+            struct a { int x; };
+            struct a b[2];
+            struct a *c = b;
+            struct a *d = b;
+            int k = 0;
+            int main(void) {
+                *c = *b;
+                k = 2;
+                *c = *(d + k);
+                return c->x;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.globals.len(), 4);
+        let main = p.function("main").unwrap();
+        assert_eq!(main.body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse("int main(void) { int x = 1 + 2 * 3 << 1; return x; }").unwrap();
+        let main = p.function("main").unwrap();
+        if let StmtKind::Decl(d) = &main.body.stmts[0].kind {
+            if let Some(Init::Expr(e)) = &d.init {
+                // ((1 + (2*3)) << 1)
+                assert!(matches!(&e.kind, ExprKind::Binary(BinOp::Shl, ..)));
+                return;
+            }
+        }
+        panic!("shape");
+    }
+
+    #[test]
+    fn parses_casts_and_ptrs() {
+        let p = parse("int main(void) { int *p = (int*)0; short s = (short)(1 | 2); return s; }");
+        assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn parses_for_and_nested_blocks() {
+        let src = r#"
+            int g;
+            int main(void) {
+                int acc = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    { int inner = i; acc = acc + inner; }
+                }
+                while (acc > 100) { acc = acc - 1; }
+                if (acc == 6) { g = 1; } else { g = 2; }
+                return g;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.function("main").unwrap().body.stmts.len(), 5);
+    }
+
+    #[test]
+    fn parses_compound_assign_and_preinc() {
+        let src = "int main(void) { int x = 0; x += 3; ++x; return x; }";
+        let p = parse(src).unwrap();
+        let main = p.function("main").unwrap();
+        assert!(matches!(
+            &main.body.stmts[1].kind,
+            StmtKind::Expr(Expr { kind: ExprKind::CompoundAssign(BinOp::Add, ..), .. })
+        ));
+        assert!(matches!(
+            &main.body.stmts[2].kind,
+            StmtKind::Expr(Expr { kind: ExprKind::PreInc(..), .. })
+        ));
+    }
+
+    #[test]
+    fn parses_array_decl_and_list_init() {
+        let p = parse("int a[2][3] = {{1,2,3},{4,5,6}}; int main(void) { return a[1][2]; }").unwrap();
+        assert_eq!(p.globals[0].ty, Type::array(Type::array(Type::int(), 3), 2));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse("int main(void) { return 1 + ; }").is_err());
+        assert!(parse("int main(void) { 3 = x; }").is_err());
+        assert!(parse("struct Unknown u;").is_err());
+    }
+
+    #[test]
+    fn call_and_builtin_parse() {
+        let src = r#"
+            int f(int a, int b) { return a + b; }
+            int main(void) { print_value(f(1, 2)); return 0; }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn locations_recorded() {
+        let p = parse("int main(void) {\n    return 42;\n}").unwrap();
+        let ret = &p.function("main").unwrap().body.stmts[0];
+        assert_eq!(ret.loc.line, 2);
+        assert_eq!(ret.loc.col, 4);
+    }
+}

@@ -1,0 +1,547 @@
+//! Canonical pretty-printer and location (re-)assignment.
+//!
+//! [`print()`] renders a program as C text in a deterministic layout (one
+//! statement per line, fully parenthesized expressions). [`relocate`] does
+//! the same *and* stores each node's `(line, offset)` back into the AST —
+//! the analogue of writing the mutated program to disk and compiling it with
+//! `-g`, so that every downstream component (compilers, the interpreter, the
+//! crash-site oracle) agrees on source coordinates.
+
+use crate::ast::*;
+use crate::loc::{Loc, NodeId};
+use crate::types::{IntWidth, Type};
+use crate::visit::{walk_expr_mut, walk_stmt_mut, VisitMut};
+use std::collections::HashMap;
+
+/// Renders `p` as C source text.
+pub fn print(p: &Program) -> String {
+    let mut pr = Printer::new(p);
+    pr.program(p);
+    pr.out
+}
+
+/// Renders `p` as C source text and assigns every statement and expression
+/// its `(line, offset)` position in that text.
+pub fn relocate(p: &mut Program) -> String {
+    let (text, locs) = {
+        let mut pr = Printer::new(p);
+        pr.record = true;
+        pr.program(p);
+        (pr.out, pr.locs)
+    };
+    struct Apply {
+        locs: HashMap<NodeId, Loc>,
+    }
+    impl VisitMut for Apply {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            if let Some(l) = self.locs.get(&e.id) {
+                e.loc = *l;
+            }
+            walk_expr_mut(self, e);
+        }
+        fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+            if let Some(l) = self.locs.get(&s.id) {
+                s.loc = *l;
+            }
+            walk_stmt_mut(self, s);
+        }
+    }
+    Apply { locs }.visit_program_mut(p);
+    text
+}
+
+struct Printer<'p> {
+    out: String,
+    line: u32,
+    col: u32,
+    indent: usize,
+    record: bool,
+    locs: HashMap<NodeId, Loc>,
+    program: &'p Program,
+}
+
+impl<'p> Printer<'p> {
+    fn new(program: &'p Program) -> Printer<'p> {
+        Printer {
+            out: String::new(),
+            line: 1,
+            col: 0,
+            indent: 0,
+            record: false,
+            locs: HashMap::new(),
+            program,
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        for ch in s.chars() {
+            if ch == '\n' {
+                self.line += 1;
+                self.col = 0;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.out.push_str(s);
+    }
+
+    fn newline(&mut self) {
+        self.push("\n");
+        let pad = "    ".repeat(self.indent);
+        self.push(&pad);
+    }
+
+    fn here(&self) -> Loc {
+        Loc::new(self.line, self.col)
+    }
+
+    fn mark(&mut self, id: NodeId) {
+        if self.record {
+            self.locs.insert(id, self.here());
+        }
+    }
+
+    fn program(&mut self, p: &Program) {
+        for s in &p.structs {
+            self.push(&format!("struct {} {{ ", s.name));
+            for (name, ty) in &s.fields {
+                self.decl_text(name, ty);
+                self.push("; ");
+            }
+            self.push("};");
+            self.newline();
+        }
+        for g in &p.globals {
+            self.decl_text(&g.name, &g.ty);
+            if let Some(init) = &g.init {
+                self.push(" = ");
+                self.init(init);
+            }
+            self.push(";");
+            self.newline();
+        }
+        for f in &p.functions {
+            self.function(f);
+        }
+    }
+
+    fn function(&mut self, f: &Function) {
+        self.push(&format!("{} {}(", type_prefix(&f.ret), f.name));
+        if f.params.is_empty() {
+            self.push("void");
+        } else {
+            for (i, (name, ty)) in f.params.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.decl_text(name, ty);
+            }
+        }
+        self.push(") {");
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.newline();
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.newline();
+        self.push("}");
+        self.newline();
+    }
+
+    /// Emits `int *p`, `int a[3]`, `struct S s` etc.
+    fn decl_text(&mut self, name: &str, ty: &Type) {
+        let (base, mut stars, mut dims) = (base_of(ty), String::new(), String::new());
+        let mut t = ty;
+        // Peel arrays (outermost first) then pointers.
+        while let Type::Array(elem, n) = t {
+            dims.push_str(&format!("[{n}]"));
+            t = elem;
+        }
+        while let Type::Ptr(inner) = t {
+            stars.push('*');
+            t = inner;
+        }
+        let _ = base;
+        self.push(&format!("{} {stars}{name}{dims}", base_name(t, self.program)));
+    }
+
+    fn init(&mut self, init: &Init) {
+        match init {
+            Init::Expr(e) => self.expr(e, 0),
+            Init::List(items) => {
+                self.push("{");
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.init(it);
+                }
+                self.push("}");
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.push("{");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.newline();
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.newline();
+        self.push("}");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.mark(s.id);
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                self.decl_text(&d.name, &d.ty);
+                if let Some(init) = &d.init {
+                    self.push(" = ");
+                    self.init(init);
+                }
+                self.push(";");
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e, 0);
+                self.push(";");
+            }
+            StmtKind::If(c, t, f) => {
+                self.push("if (");
+                self.expr(c, 0);
+                self.push(") ");
+                self.block(t);
+                if let Some(f) = f {
+                    self.push(" else ");
+                    self.block(f);
+                }
+            }
+            StmtKind::While(c, b) => {
+                self.push("while (");
+                self.expr(c, 0);
+                self.push(") ");
+                self.block(b);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.push("for (");
+                match init {
+                    Some(s) => {
+                        // Print inline without the trailing newline handling.
+                        self.mark(s.id);
+                        match &s.kind {
+                            StmtKind::Decl(d) => {
+                                self.decl_text(&d.name, &d.ty);
+                                if let Some(i) = &d.init {
+                                    self.push(" = ");
+                                    self.init(i);
+                                }
+                                self.push(";");
+                            }
+                            StmtKind::Expr(e) => {
+                                self.expr(e, 0);
+                                self.push(";");
+                            }
+                            _ => self.push(";"),
+                        }
+                    }
+                    None => self.push(";"),
+                }
+                self.push(" ");
+                if let Some(c) = cond {
+                    self.expr(c, 0);
+                }
+                self.push("; ");
+                if let Some(st) = step {
+                    self.expr(st, 0);
+                }
+                self.push(") ");
+                self.block(body);
+            }
+            StmtKind::Return(e) => {
+                self.push("return");
+                if let Some(e) = e {
+                    self.push(" ");
+                    self.expr(e, 0);
+                }
+                self.push(";");
+            }
+            StmtKind::Break => self.push("break;"),
+            StmtKind::Continue => self.push("continue;"),
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    /// `min_prec` 0 = statement/argument context (no parens needed).
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let prec = precedence(&e.kind);
+        let parens = prec < min_prec;
+        if parens {
+            self.push("(");
+        }
+        self.mark(e.id);
+        match &e.kind {
+            ExprKind::IntLit(v, ty) => {
+                let suffix = match (ty.signed, ty.width) {
+                    (false, IntWidth::W64) => "UL",
+                    (false, _) => "U",
+                    (true, IntWidth::W64) => "L",
+                    _ => "",
+                };
+                if *v < 0 {
+                    // C has no negative literals; parenthesized unary minus.
+                    self.push(&format!("(-{}{suffix})", v.unsigned_abs()));
+                } else {
+                    self.push(&format!("{v}{suffix}"));
+                }
+            }
+            ExprKind::Var(n) => self.push(n),
+            ExprKind::Unary(op, a) => {
+                self.push(match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                });
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::Binary(op, a, b) => {
+                let p = precedence(&e.kind);
+                self.expr(a, p);
+                self.push(&format!(" {} ", op.symbol()));
+                self.expr(b, p + 1);
+            }
+            ExprKind::Assign(l, r) => {
+                self.expr(l, UNARY_PREC);
+                self.push(" = ");
+                self.expr(r, ASSIGN_PREC);
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                self.expr(l, UNARY_PREC);
+                self.push(&format!(" {}= ", op.symbol()));
+                self.expr(r, ASSIGN_PREC);
+            }
+            ExprKind::PreInc(a) => {
+                self.push("++");
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::PreDec(a) => {
+                self.push("--");
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::Index(a, i) => {
+                self.expr(a, POSTFIX_PREC);
+                self.push("[");
+                self.expr(i, 0);
+                self.push("]");
+            }
+            ExprKind::Member(a, f) => {
+                self.expr(a, POSTFIX_PREC);
+                self.push(&format!(".{f}"));
+            }
+            ExprKind::Arrow(a, f) => {
+                self.expr(a, POSTFIX_PREC);
+                self.push(&format!("->{f}"));
+            }
+            ExprKind::AddrOf(a) => {
+                self.push("&");
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::Deref(a) => {
+                self.push("*");
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::Cast(ty, a) => {
+                self.push(&format!("({})", cast_text(ty, self.program)));
+                self.expr(a, UNARY_PREC);
+            }
+            ExprKind::Call(name, args) => {
+                self.push(name);
+                self.push("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(a, ASSIGN_PREC);
+                }
+                self.push(")");
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.expr(c, COND_PREC + 1);
+                self.push(" ? ");
+                self.expr(t, 0);
+                self.push(" : ");
+                self.expr(f, COND_PREC);
+            }
+        }
+        if parens {
+            self.push(")");
+        }
+    }
+}
+
+const ASSIGN_PREC: u8 = 1;
+const COND_PREC: u8 = 2;
+const UNARY_PREC: u8 = 13;
+const POSTFIX_PREC: u8 = 14;
+
+fn precedence(kind: &ExprKind) -> u8 {
+    match kind {
+        ExprKind::Assign(..) | ExprKind::CompoundAssign(..) => ASSIGN_PREC,
+        ExprKind::Cond(..) => COND_PREC,
+        ExprKind::Binary(op, ..) => match op {
+            BinOp::LogOr => 3,
+            BinOp::LogAnd => 4,
+            BinOp::BitOr => 5,
+            BinOp::BitXor => 6,
+            BinOp::BitAnd => 7,
+            BinOp::Eq | BinOp::Ne => 8,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 9,
+            BinOp::Shl | BinOp::Shr => 10,
+            BinOp::Add | BinOp::Sub => 11,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 12,
+        },
+        ExprKind::Unary(..)
+        | ExprKind::AddrOf(_)
+        | ExprKind::Deref(_)
+        | ExprKind::Cast(..)
+        | ExprKind::PreInc(_)
+        | ExprKind::PreDec(_) => UNARY_PREC,
+        ExprKind::IntLit(..)
+        | ExprKind::Var(_)
+        | ExprKind::Index(..)
+        | ExprKind::Member(..)
+        | ExprKind::Arrow(..)
+        | ExprKind::Call(..) => POSTFIX_PREC,
+    }
+}
+
+fn base_of(ty: &Type) -> &Type {
+    match ty {
+        Type::Ptr(t) => base_of(t),
+        Type::Array(t, _) => base_of(t),
+        other => other,
+    }
+}
+
+fn base_name(ty: &Type, program: &Program) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int(it) => it.to_string(),
+        Type::Struct(idx) => format!("struct {}", program.structs[*idx].name),
+        Type::Ptr(_) | Type::Array(..) => unreachable!("peeled before base_name"),
+    }
+}
+
+fn type_prefix(ty: &Type) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int(it) => it.to_string(),
+        Type::Ptr(inner) => format!("{}*", type_prefix(inner)),
+        Type::Struct(_) => "struct".into(), // functions never return structs in the subset
+        Type::Array(..) => unreachable!("functions cannot return arrays"),
+    }
+}
+
+fn cast_text(ty: &Type, program: &Program) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int(it) => it.to_string(),
+        Type::Ptr(inner) => format!("{}*", cast_text(inner, program)),
+        Type::Struct(idx) => format!("struct {}", program.structs[*idx].name),
+        Type::Array(..) => "void*".into(), // casts to array types do not occur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let t1 = print(&p1);
+        let p2 = parse(&t1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{t1}"));
+        let t2 = print(&p2);
+        assert_eq!(t1, t2, "printer not canonical for:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_basic() {
+        roundtrip("int g = 3; int main(void) { return g; }");
+        roundtrip("int main(void) { int x = 1 + 2 * 3; return x << 1; }");
+        roundtrip("int a[4]; int main(void) { a[1] = a[0] / (a[2] + 1); return a[1]; }");
+    }
+
+    #[test]
+    fn roundtrips_pointers_structs() {
+        roundtrip(
+            "struct s { int x; int y; };
+             struct s v; struct s *p = &v;
+             int main(void) { p->x = 1; v.y = p->x; return v.y; }",
+        );
+        roundtrip("int x; int *p = &x; int **pp = &p; int main(void) { **pp = 4; return *p; }");
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "int main(void) {
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { acc += i; } else { acc -= 1; } }
+                while (acc > 3) { acc = acc - 2; }
+                { int inner = acc; acc = inner; }
+                return acc;
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_casts_conds_calls() {
+        roundtrip(
+            "int f(int a) { return a; }
+             int main(void) { int x = (short)(3 | 1); long y = (long)x; return f(x ? 1 : 2) + (int)y; }",
+        );
+    }
+
+    #[test]
+    fn relocate_assigns_distinct_offsets() {
+        let mut p =
+            parse("int main(void) { int k = 0; k = k + 1; return k; }").unwrap();
+        let text = relocate(&mut p);
+        assert!(text.contains("k = k + 1;"));
+        let main = p.function("main").unwrap();
+        let s1 = &main.body.stmts[1];
+        assert!(s1.loc.is_known());
+        if let StmtKind::Expr(e) = &s1.kind {
+            if let ExprKind::Assign(lhs, rhs) = &e.kind {
+                assert!(lhs.loc < rhs.loc, "lhs printed before rhs");
+                assert_eq!(lhs.loc.line, rhs.loc.line);
+            }
+        }
+        // Statements land on distinct lines.
+        let lines: Vec<u32> = main.body.stmts.iter().map(|s| s.loc.line).collect();
+        let mut sorted = lines.clone();
+        sorted.dedup();
+        assert_eq!(lines.len(), sorted.len());
+    }
+
+    #[test]
+    fn unsigned_literal_suffixes_survive() {
+        roundtrip("unsigned int u = 7U; unsigned long ul = 9UL; int main(void) { return 0; }");
+    }
+
+    #[test]
+    fn negative_subexpression_prints() {
+        let mut p = parse("int main(void) { return 0; }").unwrap();
+        // Force a negative literal node (can arise from folding in mutators).
+        use crate::build::*;
+        let f = p.function_mut("main").unwrap();
+        f.body.stmts.insert(0, expr_stmt(assign(var("x"), lit(-5))));
+        f.body.stmts.insert(0, decl_stmt("x", Type::int(), None));
+        p.assign_ids();
+        let text = print(&p);
+        assert!(text.contains("(-5)"), "{text}");
+    }
+}

@@ -1,0 +1,566 @@
+//! A permissive C-style type checker.
+//!
+//! Produces a [`TypeMap`] — the static type of every expression node — which
+//! the UB generator's expression matcher consumes (it must know, e.g., that
+//! `a` in `a[x]` is an array of known size, or that `x op y` is a *signed*
+//! integer operation before proposing an overflow shadow statement).
+//!
+//! "Permissive" means C rules with implicit conversions: integer types
+//! convert freely, any pointer converts to any pointer (a warning in C, not
+//! an error), and integers convert to pointers only through explicit casts
+//! or the literal `0`.
+
+use crate::ast::*;
+use crate::loc::{Loc, NodeId};
+use crate::types::{IntType, StructDef, Type};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Static types of every expression node, keyed by [`NodeId`].
+///
+/// Array-typed expressions keep their array type (no decay) so that
+/// `ArraySize` queries are possible; contexts that need the decayed type call
+/// [`Type::decayed`].
+pub type TypeMap = HashMap<NodeId, Type>;
+
+/// A type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description of the violation.
+    pub message: String,
+    /// Node where it occurred.
+    pub loc: Loc,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type-checks `p`, returning the expression type map.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found: unresolved names, non-integer
+/// operands to arithmetic, indexing non-arrays, calling unknown functions
+/// with wrong arity, assigning to non-lvalues, etc.
+pub fn typecheck(p: &Program) -> Result<TypeMap, TypeError> {
+    let mut ck = Checker {
+        program: p,
+        map: TypeMap::new(),
+        scopes: Vec::new(),
+        current_fn: None,
+        loop_depth: 0,
+    };
+    ck.program()?;
+    Ok(ck.map)
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    map: TypeMap,
+    scopes: Vec<HashMap<String, Type>>,
+    current_fn: Option<&'p Function>,
+    loop_depth: u32,
+}
+
+impl<'p> Checker<'p> {
+    fn err<T>(&self, loc: Loc, msg: impl Into<String>) -> Result<T, TypeError> {
+        Err(TypeError { message: msg.into(), loc })
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(t.clone());
+            }
+        }
+        self.program.globals.iter().find(|g| g.name == name).map(|g| g.ty.clone())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty inside a function")
+            .insert(name.to_string(), ty);
+    }
+
+    fn structs(&self) -> &'p [StructDef] {
+        &self.program.structs
+    }
+
+    fn program(&mut self) -> Result<(), TypeError> {
+        for g in &self.program.globals {
+            if let Some(init) = &g.init {
+                self.init(init, &g.ty, Loc::UNKNOWN)?;
+            }
+        }
+        for f in &self.program.functions {
+            self.current_fn = Some(f);
+            self.scopes.push(HashMap::new());
+            for (name, ty) in &f.params {
+                self.declare(name, ty.clone());
+            }
+            self.block(&f.body)?;
+            self.scopes.pop();
+        }
+        Ok(())
+    }
+
+    fn init(&mut self, init: &Init, expect: &Type, loc: Loc) -> Result<(), TypeError> {
+        match init {
+            Init::Expr(e) => {
+                let t = self.expr(e)?;
+                self.require_convertible(&t, expect, e.loc)
+            }
+            Init::List(items) => match expect {
+                Type::Array(elem, n) => {
+                    if items.len() > *n {
+                        return self.err(loc, "too many array initializers");
+                    }
+                    for it in items {
+                        self.init(it, elem, loc)?;
+                    }
+                    Ok(())
+                }
+                Type::Struct(idx) => {
+                    let def = &self.structs()[*idx];
+                    if items.len() > def.fields.len() {
+                        return self.err(loc, "too many struct initializers");
+                    }
+                    let field_types: Vec<Type> =
+                        def.fields.iter().map(|(_, t)| t.clone()).collect();
+                    for (it, fty) in items.iter().zip(field_types.iter()) {
+                        self.init(it, fty, loc)?;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    if items.len() == 1 {
+                        self.init(&items[0], expect, loc)
+                    } else {
+                        self.err(loc, "list initializer for scalar")
+                    }
+                }
+            },
+        }
+    }
+
+    fn require_convertible(&self, from: &Type, to: &Type, loc: Loc) -> Result<(), TypeError> {
+        let from = from.decayed();
+        let ok = match (&from, to) {
+            (Type::Int(_), Type::Int(_)) => true,
+            (Type::Ptr(_), Type::Ptr(_)) => true,
+            // Integer constant zero is a valid null pointer constant; we
+            // accept any integer-to-pointer in initializer position only via
+            // explicit cast, but stay permissive for mutated programs.
+            (Type::Int(_), Type::Ptr(_)) => true,
+            (Type::Ptr(_), Type::Int(_)) => true,
+            (Type::Struct(a), Type::Struct(b)) => a == b,
+            (Type::Void, Type::Void) => true,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            self.err(loc, format!("cannot convert {from:?} to {to:?}"))
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), TypeError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), TypeError> {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                if let Some(init) = &d.init {
+                    self.init(init, &d.ty, s.loc)?;
+                }
+                self.declare(&d.name, d.ty.clone());
+                Ok(())
+            }
+            StmtKind::Expr(e) => self.expr(e).map(|_| ()),
+            StmtKind::If(c, t, f) => {
+                let ct = self.expr(c)?;
+                self.require_scalar(&ct, c.loc)?;
+                self.block(t)?;
+                if let Some(f) = f {
+                    self.block(f)?;
+                }
+                Ok(())
+            }
+            StmtKind::While(c, b) => {
+                let ct = self.expr(c)?;
+                self.require_scalar(&ct, c.loc)?;
+                self.loop_depth += 1;
+                let r = self.block(b);
+                self.loop_depth -= 1;
+                r
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    let ct = self.expr(c)?;
+                    self.require_scalar(&ct, c.loc)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            StmtKind::Return(e) => {
+                let ret = self.current_fn.expect("inside function").ret.clone();
+                match (e, &ret) {
+                    (None, Type::Void) => Ok(()),
+                    (None, _) => self.err(s.loc, "missing return value"),
+                    (Some(e), _) => {
+                        let t = self.expr(e)?;
+                        self.require_convertible(&t, &ret, e.loc)
+                    }
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    self.err(s.loc, "break/continue outside loop")
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn require_scalar(&self, t: &Type, loc: Loc) -> Result<(), TypeError> {
+        let t = t.decayed();
+        if t.is_int() || t.is_ptr() {
+            Ok(())
+        } else {
+            self.err(loc, "expected scalar (int or pointer)")
+        }
+    }
+
+    fn require_int(&self, t: &Type, loc: Loc) -> Result<IntType, TypeError> {
+        match t {
+            Type::Int(it) => Ok(*it),
+            _ => self.err(loc, format!("expected integer, found {t:?}")),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        let ty = self.expr_type(e)?;
+        self.map.insert(e.id, ty.clone());
+        Ok(ty)
+    }
+
+    fn expr_type(&mut self, e: &Expr) -> Result<Type, TypeError> {
+        match &e.kind {
+            ExprKind::IntLit(_, ty) => Ok(Type::Int(*ty)),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(t) => Ok(t),
+                None => self.err(e.loc, format!("unknown variable `{name}`")),
+            },
+            ExprKind::Unary(op, a) => {
+                let t = self.expr(a)?;
+                match op {
+                    UnOp::Not => {
+                        self.require_scalar(&t, a.loc)?;
+                        Ok(Type::int())
+                    }
+                    UnOp::Neg | UnOp::BitNot => {
+                        let it = self.require_int(&t, a.loc)?;
+                        Ok(Type::Int(it.promoted()))
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.expr(a)?.decayed();
+                let tb = self.expr(b)?.decayed();
+                match op {
+                    BinOp::Add | BinOp::Sub if ta.is_ptr() || tb.is_ptr() => {
+                        match (&ta, &tb, op) {
+                            (Type::Ptr(_), Type::Int(_), _) => Ok(ta),
+                            (Type::Int(_), Type::Ptr(_), BinOp::Add) => Ok(tb),
+                            (Type::Ptr(_), Type::Ptr(_), BinOp::Sub) => {
+                                Ok(Type::Int(IntType::LONG))
+                            }
+                            _ => self.err(e.loc, "invalid pointer arithmetic"),
+                        }
+                    }
+                    BinOp::LogAnd | BinOp::LogOr => {
+                        self.require_scalar(&ta, a.loc)?;
+                        self.require_scalar(&tb, b.loc)?;
+                        Ok(Type::int())
+                    }
+                    _ if op.is_comparison() => {
+                        if ta.is_ptr() && tb.is_ptr() {
+                            return Ok(Type::int());
+                        }
+                        if ta.is_ptr() || tb.is_ptr() {
+                            // pointer vs integer: only null comparisons are
+                            // idiomatic; accept permissively.
+                            return Ok(Type::int());
+                        }
+                        self.require_int(&ta, a.loc)?;
+                        self.require_int(&tb, b.loc)?;
+                        Ok(Type::int())
+                    }
+                    _ if op.is_shift() => {
+                        let la = self.require_int(&ta, a.loc)?;
+                        self.require_int(&tb, b.loc)?;
+                        Ok(Type::Int(la.promoted()))
+                    }
+                    _ => {
+                        let la = self.require_int(&ta, a.loc)?;
+                        let lb = self.require_int(&tb, b.loc)?;
+                        Ok(Type::Int(la.unify(lb)))
+                    }
+                }
+            }
+            ExprKind::Assign(l, r) => {
+                if !l.is_lvalue() {
+                    return self.err(l.loc, "assignment to non-lvalue");
+                }
+                let tl = self.expr(l)?;
+                let tr = self.expr(r)?;
+                self.require_convertible(&tr, &tl, r.loc)?;
+                Ok(tl)
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                if !l.is_lvalue() {
+                    return self.err(l.loc, "assignment to non-lvalue");
+                }
+                let tl = self.expr(l)?;
+                let tr = self.expr(r)?.decayed();
+                if tl.is_ptr() && matches!(op, BinOp::Add | BinOp::Sub) {
+                    self.require_int(&tr, r.loc)?;
+                } else {
+                    self.require_int(&tl.decayed(), l.loc)?;
+                    self.require_int(&tr, r.loc)?;
+                }
+                Ok(tl)
+            }
+            ExprKind::PreInc(a) | ExprKind::PreDec(a) => {
+                if !a.is_lvalue() {
+                    return self.err(a.loc, "++/-- on non-lvalue");
+                }
+                let t = self.expr(a)?;
+                self.require_scalar(&t, a.loc)?;
+                Ok(t)
+            }
+            ExprKind::Index(base, idx) => {
+                let tb = self.expr(base)?;
+                let ti = self.expr(idx)?;
+                self.require_int(&ti.decayed(), idx.loc)?;
+                match tb.pointee() {
+                    Some(elem) => Ok(elem.clone()),
+                    None => self.err(base.loc, "indexing a non-array/pointer"),
+                }
+            }
+            ExprKind::Member(base, field) => {
+                let tb = self.expr(base)?;
+                match tb {
+                    Type::Struct(idx) => {
+                        let def = &self.structs()[idx];
+                        match def.field_offset(field, self.structs()) {
+                            Some((_, ty)) => Ok(ty.clone()),
+                            None => self.err(e.loc, format!("no field `{field}`")),
+                        }
+                    }
+                    _ => self.err(base.loc, "member access on non-struct"),
+                }
+            }
+            ExprKind::Arrow(base, field) => {
+                let tb = self.expr(base)?.decayed();
+                match tb {
+                    Type::Ptr(inner) => match *inner {
+                        Type::Struct(idx) => {
+                            let def = &self.structs()[idx];
+                            match def.field_offset(field, self.structs()) {
+                                Some((_, ty)) => Ok(ty.clone()),
+                                None => self.err(e.loc, format!("no field `{field}`")),
+                            }
+                        }
+                        _ => self.err(base.loc, "-> on non-struct pointer"),
+                    },
+                    _ => self.err(base.loc, "-> on non-pointer"),
+                }
+            }
+            ExprKind::AddrOf(a) => {
+                if !a.is_lvalue() {
+                    return self.err(a.loc, "address of non-lvalue");
+                }
+                let t = self.expr(a)?;
+                Ok(Type::ptr(t))
+            }
+            ExprKind::Deref(a) => {
+                let t = self.expr(a)?.decayed();
+                match t {
+                    Type::Ptr(inner) => Ok(*inner),
+                    _ => self.err(a.loc, "dereference of non-pointer"),
+                }
+            }
+            ExprKind::Cast(ty, a) => {
+                self.expr(a)?;
+                Ok(ty.clone())
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                match name.as_str() {
+                    "malloc" => {
+                        if args.len() != 1 {
+                            return self.err(e.loc, "malloc takes 1 argument");
+                        }
+                        Ok(Type::ptr(Type::Void))
+                    }
+                    "free" => {
+                        if args.len() != 1 {
+                            return self.err(e.loc, "free takes 1 argument");
+                        }
+                        Ok(Type::Void)
+                    }
+                    "print_value" => {
+                        if args.len() != 1 {
+                            return self.err(e.loc, "print_value takes 1 argument");
+                        }
+                        Ok(Type::Void)
+                    }
+                    _ => match self.program.function(name) {
+                        Some(f) => {
+                            if f.params.len() != args.len() {
+                                return self.err(
+                                    e.loc,
+                                    format!(
+                                        "`{name}` expects {} arguments, got {}",
+                                        f.params.len(),
+                                        args.len()
+                                    ),
+                                );
+                            }
+                            Ok(f.ret.clone())
+                        }
+                        None => self.err(e.loc, format!("unknown function `{name}`")),
+                    },
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                let tc = self.expr(c)?;
+                self.require_scalar(&tc, c.loc)?;
+                let tt = self.expr(t)?.decayed();
+                let tf = self.expr(f)?.decayed();
+                match (&tt, &tf) {
+                    (Type::Int(a), Type::Int(b)) => Ok(Type::Int(a.unify(*b))),
+                    (Type::Ptr(_), Type::Ptr(_)) => Ok(tt),
+                    (Type::Ptr(_), Type::Int(_)) => Ok(tt),
+                    (Type::Int(_), Type::Ptr(_)) => Ok(tf),
+                    _ if tt == tf => Ok(tt),
+                    _ => self.err(e.loc, "incompatible conditional branches"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::visit::for_each_expr;
+
+    fn check(src: &str) -> Result<TypeMap, TypeError> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_programs() {
+        assert!(check("int main(void) { return 0; }").is_ok());
+        assert!(check(
+            "struct s { int x; };
+             struct s v; struct s *p = &v;
+             int a[3];
+             int main(void) { p->x = a[1]; v.x += 2; return p->x; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn records_expression_types() {
+        let src = "int a[5]; int main(void) { return a[2]; }";
+        let p = parse(src).unwrap();
+        let map = typecheck(&p).unwrap();
+        let mut array_seen = false;
+        for_each_expr(&p, |e| {
+            if matches!(e.kind, ExprKind::Var(ref n) if n == "a") {
+                assert_eq!(map[&e.id], Type::array(Type::int(), 5));
+                array_seen = true;
+            }
+        });
+        assert!(array_seen);
+    }
+
+    #[test]
+    fn promotion_rules_apply() {
+        let src = "char c; short s; int main(void) { return c + s; }";
+        let p = parse(src).unwrap();
+        let map = typecheck(&p).unwrap();
+        let mut add_ty = None;
+        for_each_expr(&p, |e| {
+            if matches!(e.kind, ExprKind::Binary(BinOp::Add, ..)) {
+                add_ty = Some(map[&e.id].clone());
+            }
+        });
+        assert_eq!(add_ty.unwrap(), Type::int());
+    }
+
+    #[test]
+    fn pointer_arith_types() {
+        let src = "int a[4]; int *p = a; int main(void) { long d = (p + 2) - p; return (int)d; }";
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_errors() {
+        assert!(check("int main(void) { return zzz; }").is_err());
+        assert!(check("int main(void) { int x; return x[0]; }").is_err());
+        assert!(check("int main(void) { break; }").is_err());
+        assert!(check("struct s { int x; }; struct s v; int main(void) { return v.nope; }").is_err());
+        assert!(check("int f(int a) { return a; } int main(void) { return f(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn builtins_typecheck() {
+        let src = r#"
+            int main(void) {
+                int *p = (int*)malloc(40);
+                *p = 3;
+                print_value(*p);
+                free(p);
+                return 0;
+            }
+        "#;
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn scopes_shadow() {
+        let src = "int x; int main(void) { int x = 1; { int x = 2; x = 3; } return x; }";
+        assert!(check(src).is_ok());
+    }
+}

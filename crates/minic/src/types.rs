@@ -1,0 +1,330 @@
+//! The type system of the C subset.
+//!
+//! Layout is packed (no padding): this keeps the byte-level memory model of
+//! the interpreter and VM simple without affecting any UB kind in the paper's
+//! Table 1 — overflow distances are computed from these sizes consistently by
+//! the generator, the sanitizers and the ground-truth interpreter.
+
+use std::fmt;
+
+/// Width of an integer type, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IntWidth {
+    /// 8 bits (`char`).
+    W8,
+    /// 16 bits (`short`).
+    W16,
+    /// 32 bits (`int`).
+    W32,
+    /// 64 bits (`long`).
+    W64,
+}
+
+impl IntWidth {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            IntWidth::W8 => 8,
+            IntWidth::W16 => 16,
+            IntWidth::W32 => 32,
+            IntWidth::W64 => 64,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+}
+
+/// An integer type: width plus signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntType {
+    /// Bit width.
+    pub width: IntWidth,
+    /// True for signed types.
+    pub signed: bool,
+}
+
+impl IntType {
+    /// `char` (signed 8-bit in this dialect).
+    pub const CHAR: IntType = IntType { width: IntWidth::W8, signed: true };
+    /// `unsigned char`.
+    pub const UCHAR: IntType = IntType { width: IntWidth::W8, signed: false };
+    /// `short`.
+    pub const SHORT: IntType = IntType { width: IntWidth::W16, signed: true };
+    /// `unsigned short`.
+    pub const USHORT: IntType = IntType { width: IntWidth::W16, signed: false };
+    /// `int`.
+    pub const INT: IntType = IntType { width: IntWidth::W32, signed: true };
+    /// `unsigned int`.
+    pub const UINT: IntType = IntType { width: IntWidth::W32, signed: false };
+    /// `long`.
+    pub const LONG: IntType = IntType { width: IntWidth::W64, signed: true };
+    /// `unsigned long`.
+    pub const ULONG: IntType = IntType { width: IntWidth::W64, signed: false };
+
+    /// Smallest representable value.
+    pub fn min_value(self) -> i128 {
+        if self.signed {
+            -(1i128 << (self.width.bits() - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> i128 {
+        if self.signed {
+            (1i128 << (self.width.bits() - 1)) - 1
+        } else {
+            (1i128 << self.width.bits()) - 1
+        }
+    }
+
+    /// True if `v` is representable in this type.
+    pub fn contains(self, v: i128) -> bool {
+        v >= self.min_value() && v <= self.max_value()
+    }
+
+    /// Wraps `v` into this type's range (two's complement truncation), the
+    /// behaviour of a store or an unsanitized machine operation.
+    pub fn wrap(self, v: i128) -> i128 {
+        let bits = self.width.bits();
+        let masked = (v as u128) & (u128::MAX >> (128 - bits));
+        if self.signed {
+            let sign = 1u128 << (bits - 1);
+            if masked & sign != 0 {
+                (masked as i128) - (1i128 << bits)
+            } else {
+                masked as i128
+            }
+        } else {
+            masked as i128
+        }
+    }
+
+    /// The integer-promoted type: anything narrower than `int` becomes `int`
+    /// (all subset types narrower than `int` fit in `int`).
+    pub fn promoted(self) -> IntType {
+        if self.width.bits() < 32 {
+            IntType::INT
+        } else {
+            self
+        }
+    }
+
+    /// Usual arithmetic conversions between two promoted operand types.
+    pub fn unify(self, other: IntType) -> IntType {
+        let a = self.promoted();
+        let b = other.promoted();
+        if a == b {
+            return a;
+        }
+        if a.width == b.width {
+            // Same width, different signedness: unsigned wins.
+            return IntType { width: a.width, signed: false };
+        }
+        let (wide, narrow) = if a.width > b.width { (a, b) } else { (b, a) };
+        if wide.signed && !narrow.signed {
+            // The wider signed type can represent all values of the narrower
+            // unsigned type in this subset (64 vs 32), so it wins.
+            wide
+        } else {
+            wide
+        }
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match self.width {
+            IntWidth::W8 => "char",
+            IntWidth::W16 => "short",
+            IntWidth::W32 => "int",
+            IntWidth::W64 => "long",
+        };
+        if self.signed {
+            write!(f, "{base}")
+        } else {
+            write!(f, "unsigned {base}")
+        }
+    }
+}
+
+/// A type in the C subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` — only usable behind a pointer or as a return type.
+    Void,
+    /// Integer types.
+    Int(IntType),
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// Struct, referring to [`crate::Program::structs`] by index.
+    Struct(usize),
+}
+
+impl Type {
+    /// Convenience constructor for `int`.
+    pub fn int() -> Type {
+        Type::Int(IntType::INT)
+    }
+
+    /// Convenience constructor for a pointer to `ty`.
+    pub fn ptr(ty: Type) -> Type {
+        Type::Ptr(Box::new(ty))
+    }
+
+    /// Convenience constructor for an array of `n` elements of `ty`.
+    pub fn array(ty: Type, n: usize) -> Type {
+        Type::Array(Box::new(ty), n)
+    }
+
+    /// Size in bytes under the packed layout. Structs need the definition
+    /// table. `void` has size 1 for pointer-arithmetic purposes (GNU style).
+    pub fn size_of(&self, structs: &[StructDef]) -> usize {
+        match self {
+            Type::Void => 1,
+            Type::Int(it) => it.width.bytes(),
+            Type::Ptr(_) => 8,
+            Type::Array(elem, n) => elem.size_of(structs) * n,
+            Type::Struct(idx) => structs[*idx]
+                .fields
+                .iter()
+                .map(|(_, t)| t.size_of(structs))
+                .sum(),
+        }
+    }
+
+    /// True for integer types.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// The integer type, if this is an integer.
+    pub fn as_int(&self) -> Option<IntType> {
+        match self {
+            Type::Int(it) => Some(*it),
+            _ => None,
+        }
+    }
+
+    /// The pointee type, if this is a pointer; arrays decay to their element.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The type after array-to-pointer decay.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+/// A struct definition: a name and its ordered fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag, e.g. `"S0"` for `struct S0`.
+    pub name: String,
+    /// Ordered `(field name, field type)` pairs.
+    pub fields: Vec<(String, Type)>,
+}
+
+impl StructDef {
+    /// Byte offset of `field` under the packed layout, plus its type.
+    pub fn field_offset(&self, field: &str, structs: &[StructDef]) -> Option<(usize, &Type)> {
+        let mut off = 0;
+        for (name, ty) in &self.fields {
+            if name == field {
+                return Some((off, ty));
+            }
+            off += ty.size_of(structs);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges() {
+        assert_eq!(IntType::CHAR.min_value(), -128);
+        assert_eq!(IntType::CHAR.max_value(), 127);
+        assert_eq!(IntType::UINT.max_value(), u32::MAX as i128);
+        assert_eq!(IntType::INT.min_value(), i32::MIN as i128);
+        assert_eq!(IntType::LONG.max_value(), i64::MAX as i128);
+    }
+
+    #[test]
+    fn wrap_truncates_twos_complement() {
+        assert_eq!(IntType::CHAR.wrap(128), -128);
+        assert_eq!(IntType::UCHAR.wrap(-1), 255);
+        assert_eq!(IntType::INT.wrap(i32::MAX as i128 + 1), i32::MIN as i128);
+        assert_eq!(IntType::UINT.wrap(-1), u32::MAX as i128);
+        assert_eq!(IntType::INT.wrap(42), 42);
+    }
+
+    #[test]
+    fn promotion_and_unify() {
+        assert_eq!(IntType::CHAR.promoted(), IntType::INT);
+        assert_eq!(IntType::SHORT.promoted(), IntType::INT);
+        assert_eq!(IntType::LONG.promoted(), IntType::LONG);
+        assert_eq!(IntType::INT.unify(IntType::UINT), IntType::UINT);
+        assert_eq!(IntType::CHAR.unify(IntType::SHORT), IntType::INT);
+        assert_eq!(IntType::INT.unify(IntType::LONG), IntType::LONG);
+        assert_eq!(IntType::UINT.unify(IntType::LONG), IntType::LONG);
+    }
+
+    #[test]
+    fn sizes_are_packed() {
+        let structs = vec![StructDef {
+            name: "S".into(),
+            fields: vec![
+                ("a".into(), Type::Int(IntType::CHAR)),
+                ("b".into(), Type::int()),
+                ("c".into(), Type::array(Type::Int(IntType::SHORT), 3)),
+            ],
+        }];
+        assert_eq!(Type::Struct(0).size_of(&structs), 1 + 4 + 6);
+        assert_eq!(Type::ptr(Type::int()).size_of(&structs), 8);
+        assert_eq!(Type::array(Type::int(), 5).size_of(&structs), 20);
+    }
+
+    #[test]
+    fn field_offsets() {
+        let structs = vec![StructDef {
+            name: "S".into(),
+            fields: vec![
+                ("a".into(), Type::Int(IntType::CHAR)),
+                ("b".into(), Type::int()),
+            ],
+        }];
+        let (off, ty) = structs[0].field_offset("b", &structs).unwrap();
+        assert_eq!(off, 1);
+        assert_eq!(*ty, Type::int());
+        assert!(structs[0].field_offset("zzz", &structs).is_none());
+    }
+
+    #[test]
+    fn decay() {
+        let arr = Type::array(Type::int(), 4);
+        assert_eq!(arr.decayed(), Type::ptr(Type::int()));
+        assert_eq!(arr.pointee(), Some(&Type::int()));
+    }
+}

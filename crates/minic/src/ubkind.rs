@@ -1,0 +1,95 @@
+//! The undefined-behavior taxonomy of the paper's Table 1.
+//!
+//! This lives in the language crate because every subsystem shares it: the
+//! interpreter classifies detected UB, the UB generator targets a kind, the
+//! sanitizer passes declare which kinds they check (Table 2), and the defect
+//! registry records which kind each injected bug misses.
+
+use std::fmt;
+
+/// The UB kinds of the paper's Table 1, plus `InvalidFree` (double/invalid `free`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UbKind {
+    /// Out-of-bounds access through a syntactic array subscript `a[x]`.
+    BufOverflowArray,
+    /// Out-of-bounds access through a pointer dereference `*p`.
+    BufOverflowPtr,
+    /// Access to a heap object after `free`.
+    UseAfterFree,
+    /// Access to a stack object whose scope has ended.
+    UseAfterScope,
+    /// Dereference of a null pointer.
+    NullDeref,
+    /// Signed integer overflow in `+ - * / %` (includes `INT_MIN / -1`).
+    IntOverflow,
+    /// Shift amount negative or ≥ bit-width.
+    ShiftOverflow,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Use of an uninitialized value in a control or unsafe context.
+    UninitUse,
+    /// Invalid or double `free`.
+    InvalidFree,
+    /// Subtraction of pointers into different objects (CWE-469) — the
+    /// paper's §3.2.4 extension example. No sanitizer detects it, which is
+    /// exactly why the paper left it out; the generator and the reference
+    /// interpreter here support it to demonstrate the framework extends.
+    PtrDiff,
+}
+
+impl UbKind {
+    /// All kinds the UBfuzz generator can target (Table 1), in paper order.
+    pub const GENERATABLE: [UbKind; 9] = [
+        UbKind::BufOverflowArray,
+        UbKind::BufOverflowPtr,
+        UbKind::UseAfterFree,
+        UbKind::UseAfterScope,
+        UbKind::NullDeref,
+        UbKind::IntOverflow,
+        UbKind::ShiftOverflow,
+        UbKind::DivByZero,
+        UbKind::UninitUse,
+    ];
+
+    /// Extension kinds beyond the paper's Table 1 (§3.2.4 discussion):
+    /// generatable and interpreter-detected, but unsupported by every
+    /// sanitizer — kept out of [`UbKind::GENERATABLE`] so the paper's
+    /// table shapes are unaffected unless explicitly requested.
+    pub const EXTENSIONS: [UbKind; 1] = [UbKind::PtrDiff];
+
+    /// Short stable name used in reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            UbKind::BufOverflowArray => "BufOverflow(Array)",
+            UbKind::BufOverflowPtr => "BufOverflow(Pointer)",
+            UbKind::UseAfterFree => "UseAfterFree",
+            UbKind::UseAfterScope => "UseAfterScope",
+            UbKind::NullDeref => "NullPtrDeref",
+            UbKind::IntOverflow => "IntegerOverflow",
+            UbKind::ShiftOverflow => "ShiftOverflow",
+            UbKind::DivByZero => "DivideByZero",
+            UbKind::UninitUse => "UseOfUninit",
+            UbKind::InvalidFree => "InvalidFree",
+            UbKind::PtrDiff => "PtrSubDiffObj",
+        }
+    }
+}
+
+impl fmt::Display for UbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_stable() {
+        assert_eq!(UbKind::GENERATABLE.len(), 9);
+        assert_eq!(UbKind::BufOverflowPtr.name(), "BufOverflow(Pointer)");
+        assert_eq!(UbKind::DivByZero.to_string(), "DivideByZero");
+    }
+}

@@ -1,0 +1,504 @@
+//! AST traversal and surgical editing.
+//!
+//! Two visitor traits ([`Visit`], [`VisitMut`]) with default walkers, plus the
+//! editing primitives the UB generator needs for shadow-statement insertion
+//! (paper §3.2.3): inserting statements *immediately before* an anchor
+//! statement, and rewriting a matched expression in place.
+
+use crate::ast::*;
+use crate::loc::NodeId;
+
+/// Immutable traversal with default depth-first walking.
+pub trait Visit {
+    /// Called for every expression (pre-order).
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    /// Called for every statement (pre-order).
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Called for every block.
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+    /// Called for every function.
+    fn visit_function(&mut self, f: &Function) {
+        walk_function(self, f);
+    }
+    /// Called once per program.
+    fn visit_program(&mut self, p: &Program) {
+        walk_program(self, p);
+    }
+}
+
+/// Default walker for expressions.
+pub fn walk_expr<V: Visit + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(..) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, a)
+        | ExprKind::AddrOf(a)
+        | ExprKind::Deref(a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::PreInc(a)
+        | ExprKind::PreDec(a)
+        | ExprKind::Member(a, _)
+        | ExprKind::Arrow(a, _) => v.visit_expr(a),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::CompoundAssign(_, a, b)
+        | ExprKind::Index(a, b) => {
+            v.visit_expr(a);
+            v.visit_expr(b);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Cond(c, t, f) => {
+            v.visit_expr(c);
+            v.visit_expr(t);
+            v.visit_expr(f);
+        }
+    }
+}
+
+/// Default walker for statements.
+pub fn walk_stmt<V: Visit + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl(d) => {
+            if let Some(init) = &d.init {
+                walk_init(v, init);
+            }
+        }
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::If(c, t, f) => {
+            v.visit_expr(c);
+            v.visit_block(t);
+            if let Some(f) = f {
+                v.visit_block(f);
+            }
+        }
+        StmtKind::While(c, b) => {
+            v.visit_expr(c);
+            v.visit_block(b);
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                v.visit_stmt(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(st) = step {
+                v.visit_expr(st);
+            }
+            v.visit_block(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => v.visit_block(b),
+    }
+}
+
+fn walk_init<V: Visit + ?Sized>(v: &mut V, init: &Init) {
+    match init {
+        Init::Expr(e) => v.visit_expr(e),
+        Init::List(items) => {
+            for it in items {
+                walk_init(v, it);
+            }
+        }
+    }
+}
+
+/// Default walker for blocks.
+pub fn walk_block<V: Visit + ?Sized>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Default walker for functions.
+pub fn walk_function<V: Visit + ?Sized>(v: &mut V, f: &Function) {
+    v.visit_block(&f.body);
+}
+
+/// Default walker for programs (globals' initializers, then functions).
+pub fn walk_program<V: Visit + ?Sized>(v: &mut V, p: &Program) {
+    for g in &p.globals {
+        if let Some(init) = &g.init {
+            walk_init(v, init);
+        }
+    }
+    for f in &p.functions {
+        v.visit_function(f);
+    }
+}
+
+/// Mutable traversal with default depth-first walking.
+pub trait VisitMut {
+    /// Called for every expression (pre-order).
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+    /// Called for every statement (pre-order).
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+    /// Called for every block.
+    fn visit_block_mut(&mut self, b: &mut Block) {
+        walk_block_mut(self, b);
+    }
+    /// Called once per program.
+    fn visit_program_mut(&mut self, p: &mut Program) {
+        walk_program_mut(self, p);
+    }
+}
+
+/// Default mutable walker for expressions.
+pub fn walk_expr_mut<V: VisitMut + ?Sized>(v: &mut V, e: &mut Expr) {
+    match &mut e.kind {
+        ExprKind::IntLit(..) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, a)
+        | ExprKind::AddrOf(a)
+        | ExprKind::Deref(a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::PreInc(a)
+        | ExprKind::PreDec(a)
+        | ExprKind::Member(a, _)
+        | ExprKind::Arrow(a, _) => v.visit_expr_mut(a),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::CompoundAssign(_, a, b)
+        | ExprKind::Index(a, b) => {
+            v.visit_expr_mut(a);
+            v.visit_expr_mut(b);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                v.visit_expr_mut(a);
+            }
+        }
+        ExprKind::Cond(c, t, f) => {
+            v.visit_expr_mut(c);
+            v.visit_expr_mut(t);
+            v.visit_expr_mut(f);
+        }
+    }
+}
+
+/// Default mutable walker for statements.
+pub fn walk_stmt_mut<V: VisitMut + ?Sized>(v: &mut V, s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Decl(d) => {
+            if let Some(init) = &mut d.init {
+                walk_init_mut(v, init);
+            }
+        }
+        StmtKind::Expr(e) => v.visit_expr_mut(e),
+        StmtKind::If(c, t, f) => {
+            v.visit_expr_mut(c);
+            v.visit_block_mut(t);
+            if let Some(f) = f {
+                v.visit_block_mut(f);
+            }
+        }
+        StmtKind::While(c, b) => {
+            v.visit_expr_mut(c);
+            v.visit_block_mut(b);
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                v.visit_stmt_mut(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr_mut(c);
+            }
+            if let Some(st) = step {
+                v.visit_expr_mut(st);
+            }
+            v.visit_block_mut(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => v.visit_block_mut(b),
+    }
+}
+
+fn walk_init_mut<V: VisitMut + ?Sized>(v: &mut V, init: &mut Init) {
+    match init {
+        Init::Expr(e) => v.visit_expr_mut(e),
+        Init::List(items) => {
+            for it in items {
+                walk_init_mut(v, it);
+            }
+        }
+    }
+}
+
+/// Default mutable walker for blocks.
+pub fn walk_block_mut<V: VisitMut + ?Sized>(v: &mut V, b: &mut Block) {
+    for s in &mut b.stmts {
+        v.visit_stmt_mut(s);
+    }
+}
+
+/// Default mutable walker for programs.
+pub fn walk_program_mut<V: VisitMut + ?Sized>(v: &mut V, p: &mut Program) {
+    let mut globals = std::mem::take(&mut p.globals);
+    for g in &mut globals {
+        if let Some(init) = &mut g.init {
+            walk_init_mut(v, init);
+        }
+    }
+    p.globals = globals;
+    let mut functions = std::mem::take(&mut p.functions);
+    for f in &mut functions {
+        v.visit_block_mut(&mut f.body);
+    }
+    p.functions = functions;
+}
+
+/// Calls `f` for every expression in the program (pre-order).
+pub fn for_each_expr(p: &Program, mut f: impl FnMut(&Expr)) {
+    struct V<F>(F);
+    impl<F: FnMut(&Expr)> Visit for V<F> {
+        fn visit_expr(&mut self, e: &Expr) {
+            (self.0)(e);
+            walk_expr(self, e);
+        }
+    }
+    V(&mut f).visit_program(p);
+}
+
+/// Calls `f` for every statement in the program (pre-order).
+pub fn for_each_stmt(p: &Program, mut f: impl FnMut(&Stmt)) {
+    struct V<F>(F);
+    impl<F: FnMut(&Stmt)> Visit for V<F> {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            (self.0)(s);
+            walk_stmt(self, s);
+        }
+    }
+    V(&mut f).visit_program(p);
+}
+
+/// Inserts `new_stmts` immediately before the statement with id `anchor`.
+///
+/// This is the paper's `Insert(P, Δ(expr))`: the shadow statement is placed
+/// right before the statement containing the matched expression. Searches
+/// every block (including `for` bodies and nested scopes). Returns `true` if
+/// the anchor was found.
+pub fn insert_before_stmt(p: &mut Program, anchor: NodeId, new_stmts: Vec<Stmt>) -> bool {
+    struct Inserter {
+        anchor: NodeId,
+        stmts: Option<Vec<Stmt>>,
+    }
+    impl VisitMut for Inserter {
+        fn visit_block_mut(&mut self, b: &mut Block) {
+            if let Some(pos) = b.stmts.iter().position(|s| s.id == self.anchor) {
+                if let Some(stmts) = self.stmts.take() {
+                    b.stmts.splice(pos..pos, stmts);
+                    return;
+                }
+            }
+            walk_block_mut(self, b);
+        }
+    }
+    let mut ins = Inserter { anchor, stmts: Some(new_stmts) };
+    ins.visit_program_mut(p);
+    ins.stmts.is_none()
+}
+
+/// Appends `new_stmts` at the end of the block that directly contains the
+/// statement with id `within`. Used by the use-after-scope synthesizer, which
+/// leaks an inner-scope address just before the scope closes.
+pub fn append_to_enclosing_block(p: &mut Program, within: NodeId, new_stmts: Vec<Stmt>) -> bool {
+    struct Appender {
+        within: NodeId,
+        stmts: Option<Vec<Stmt>>,
+    }
+    impl VisitMut for Appender {
+        fn visit_block_mut(&mut self, b: &mut Block) {
+            if b.stmts.iter().any(|s| s.id == self.within) {
+                if let Some(stmts) = self.stmts.take() {
+                    b.stmts.extend(stmts);
+                    return;
+                }
+            }
+            walk_block_mut(self, b);
+        }
+    }
+    let mut app = Appender { within, stmts: Some(new_stmts) };
+    app.visit_program_mut(p);
+    app.stmts.is_none()
+}
+
+/// Replaces the expression with id `target` by `replacement` (which keeps the
+/// target's location but its own structure). Returns `true` on success.
+pub fn replace_expr(p: &mut Program, target: NodeId, replacement: Expr) -> bool {
+    struct Replacer {
+        target: NodeId,
+        replacement: Option<Expr>,
+    }
+    impl VisitMut for Replacer {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            if e.id == self.target {
+                if let Some(mut r) = self.replacement.take() {
+                    r.loc = e.loc;
+                    *e = r;
+                    return;
+                }
+            }
+            walk_expr_mut(self, e);
+        }
+    }
+    let mut rep = Replacer { target, replacement: Some(replacement) };
+    rep.visit_program_mut(p);
+    rep.replacement.is_none()
+}
+
+/// Finds the statement id of the statement that (transitively) contains the
+/// expression with id `expr_id`, along with the containing function name.
+pub fn enclosing_stmt(p: &Program, expr_id: NodeId) -> Option<(NodeId, String)> {
+    struct Finder {
+        expr_id: NodeId,
+        current_stmt: Vec<NodeId>,
+        current_fn: String,
+        found: Option<(NodeId, String)>,
+    }
+    impl Visit for Finder {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            // Only top-of-block statements are insertion anchors; nested
+            // statements (e.g. a `for` initializer) report their parent.
+            self.current_stmt.push(s.id);
+            walk_stmt(self, s);
+            self.current_stmt.pop();
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            if e.id == self.expr_id && self.found.is_none() {
+                if let Some(&top) = self.current_stmt.first() {
+                    self.found = Some((top, self.current_fn.clone()));
+                }
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut finder = Finder {
+        expr_id,
+        current_stmt: Vec::new(),
+        current_fn: String::new(),
+        found: None,
+    };
+    for f in &p.functions {
+        finder.current_fn = f.name.clone();
+        finder.visit_block(&f.body);
+        if finder.found.is_some() {
+            break;
+        }
+    }
+    finder.found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::types::Type;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.functions.push(function(
+            "main",
+            Type::int(),
+            vec![],
+            vec![
+                decl_stmt("x", Type::int(), Some(lit(1))),
+                expr_stmt(assign(var("x"), add(var("x"), lit(2)))),
+                ret(Some(var("x"))),
+            ],
+        ));
+        p.assign_ids();
+        p
+    }
+
+    #[test]
+    fn for_each_expr_counts() {
+        let p = sample();
+        let mut n = 0;
+        for_each_expr(&p, |_| n += 1);
+        // lit(1); x = x + 2 has 5 exprs (assign, x, add, x, 2); return x has 1.
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn insert_before_works() {
+        let mut p = sample();
+        let anchor = p.function("main").unwrap().body.stmts[1].id;
+        let mut s = expr_stmt(assign(var("x"), lit(9)));
+        s.id = p.fresh_id();
+        assert!(insert_before_stmt(&mut p, anchor, vec![s]));
+        let body = &p.function("main").unwrap().body;
+        assert_eq!(body.stmts.len(), 4);
+        assert!(matches!(body.stmts[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn insert_before_missing_anchor_fails() {
+        let mut p = sample();
+        assert!(!insert_before_stmt(&mut p, NodeId(9999), vec![expr_stmt(lit(0))]));
+    }
+
+    #[test]
+    fn replace_expr_keeps_loc() {
+        let mut p = sample();
+        // find the `2` literal
+        let mut target = None;
+        for_each_expr(&p, |e| {
+            if matches!(e.kind, ExprKind::IntLit(2, _)) {
+                target = Some(e.id);
+            }
+        });
+        let target = target.unwrap();
+        assert!(replace_expr(&mut p, target, lit(42)));
+        let mut seen = false;
+        for_each_expr(&p, |e| {
+            if matches!(e.kind, ExprKind::IntLit(42, _)) {
+                seen = true;
+            }
+        });
+        assert!(seen);
+    }
+
+    #[test]
+    fn enclosing_stmt_finds_top_level_anchor() {
+        let p = sample();
+        let mut add_id = None;
+        for_each_expr(&p, |e| {
+            if matches!(e.kind, ExprKind::Binary(BinOp::Add, ..)) {
+                add_id = Some(e.id);
+            }
+        });
+        let (stmt_id, fname) = enclosing_stmt(&p, add_id.unwrap()).unwrap();
+        assert_eq!(fname, "main");
+        assert_eq!(stmt_id, p.function("main").unwrap().body.stmts[1].id);
+    }
+
+    #[test]
+    fn append_to_enclosing_block_appends() {
+        let mut p = sample();
+        let first = p.function("main").unwrap().body.stmts[0].id;
+        assert!(append_to_enclosing_block(&mut p, first, vec![expr_stmt(lit(5))]));
+        assert_eq!(p.function("main").unwrap().body.stmts.len(), 4);
+    }
+}

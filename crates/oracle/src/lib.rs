@@ -1,0 +1,202 @@
+//! `ubfuzz-oracle` — crash-site mapping, the paper's test oracle
+//! (§3.3, Algorithm 2).
+//!
+//! Given two binaries compiled from the same program — `b_c` whose sanitizer
+//! reported ("crashed") and `b_n` which exited normally — the oracle decides
+//! whether the discrepancy is a **sanitizer false-negative bug** or merely
+//! **compiler optimization** removing the UB before the sanitizer pass:
+//!
+//! > If the crash site in `b_c` is also executed by `b_n`, the compiler did
+//! > not optimize away the UB-triggering expression, thus the discrepancy is
+//! > caused by a sanitizer FN bug.
+//!
+//! The crash site is the `(line, offset)` of the last executed instruction
+//! (Definition 2), recovered here from the VM's trace exactly as the paper
+//! recovers it from LLDB plus `-g` debug metadata. The documented soundness
+//! caveat (§4.4) applies identically: a legitimate transformation can keep
+//! the crash site executable while removing the UB — reproduced by the
+//! GCC `-O3` scope-extension case (the paper's one invalid report, Fig. 8).
+
+use ubfuzz_minic::Loc;
+use ubfuzz_simcc::Module;
+use ubfuzz_simvm::{run_traced, RunResult, Trace};
+
+/// Verdict for one `(crashing, non-crashing)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The crash site is executed by the non-crashing binary: a sanitizer
+    /// false-negative bug (Algorithm 2 returns *true*).
+    SanitizerBug,
+    /// The crash site is gone from the non-crashing binary: the optimizer
+    /// removed the UB (Algorithm 2 returns *false*).
+    OptimizationArtifact,
+}
+
+/// Everything the oracle derived from one pair of binaries.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The crash site extracted from `b_c` (Definition 2).
+    pub crash_site: Loc,
+    /// How `b_c` terminated.
+    pub crashing_result: RunResult,
+    /// How `b_n` terminated.
+    pub normal_result: RunResult,
+}
+
+/// Algorithm 2 (`IsBug`): runs both binaries under the tracer, extracts the
+/// crash site of `bc`, and checks whether `bn` executes it.
+///
+/// Returns `None` when the premise does not hold (i.e. `bc` did not produce
+/// a sanitizer report or `bn` did not exit normally) — callers establish the
+/// discrepancy before invoking the oracle.
+pub fn crash_site_mapping(bc: &Module, bn: &Module) -> Option<MappingResult> {
+    let (rc, tc) = run_traced(bc);
+    if !rc.is_report() {
+        return None;
+    }
+    let (rn, tn) = run_traced(bn);
+    if !rn.is_normal_exit() {
+        return None;
+    }
+    let crash_site = tc.last;
+    let verdict = if tn.contains(crash_site) {
+        Verdict::SanitizerBug
+    } else {
+        Verdict::OptimizationArtifact
+    };
+    Some(MappingResult { verdict, crash_site, crashing_result: rc, normal_result: rn })
+}
+
+/// `GetExecutedSites` (Algorithm 2, lines 8–16) as a standalone helper.
+pub fn executed_sites(b: &Module) -> (RunResult, Trace) {
+    run_traced(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+    use ubfuzz_simcc::target::{OptLevel, Vendor};
+    use ubfuzz_simcc::Sanitizer;
+
+    #[test]
+    fn flags_defect_caused_discrepancy_as_bug() {
+        // Fig. 1 world: the -O2 miss is a sanitizer bug; the crash site (the
+        // dereference) is still executed at -O2.
+        let reg = DefectRegistry::full();
+        let src = "
+            struct a { int x; };
+            struct a b[2];
+            struct a *c = b;
+            struct a *d = b;
+            int k = 0;
+            int main(void) {
+                c->x = b[0].x;
+                k = 2;
+                c->x = (d + k)->x;
+                return c->x;
+            }
+        ";
+        let p = parse(src).unwrap();
+        let bc = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        let bn = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        let r = crash_site_mapping(&bc, &bn).expect("premise holds");
+        assert_eq!(r.verdict, Verdict::SanitizerBug);
+        assert!(r.crash_site.is_known());
+    }
+
+    #[test]
+    fn flags_optimized_away_ub_as_artifact() {
+        // Fig. 3 world: the UB store is dead and removed by -O2 before the
+        // sanitizer pass; no instruction at the crash site survives.
+        let reg = DefectRegistry::pristine();
+        let src = "
+            int g;
+            int main(void) {
+                int d[2];
+                int i = 2;
+                d[i] = 1;
+                g = 7;
+                print_value(g);
+                return 0;
+            }
+        ";
+        let p = parse(src).unwrap();
+        let bc = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        let bn = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        let r = crash_site_mapping(&bc, &bn).expect("premise holds");
+        assert_eq!(r.verdict, Verdict::OptimizationArtifact);
+    }
+
+    #[test]
+    fn premise_violations_return_none() {
+        let reg = DefectRegistry::pristine();
+        let p = parse("int main(void) { return 0; }").unwrap();
+        let m = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        assert!(crash_site_mapping(&m, &m).is_none(), "no crash on either side");
+    }
+
+    #[test]
+    fn pristine_world_pairs_are_never_bugs() {
+        // With correct sanitizers, any discrepancy across levels must be an
+        // optimization artifact — the oracle's precision property (§4.4).
+        let reg = DefectRegistry::pristine();
+        let src = "
+            int g;
+            int main(void) {
+                int dead[4];
+                int j = 5;
+                dead[j] = 3;
+                g = 1;
+                print_value(g);
+                return 0;
+            }
+        ";
+        let p = parse(src).unwrap();
+        for vendor in Vendor::ALL {
+            let bc = compile(
+                &p,
+                &CompileConfig::dev(vendor, OptLevel::O0, Some(Sanitizer::Asan), &reg),
+            )
+            .unwrap();
+            for opt in [OptLevel::O1, OptLevel::Os, OptLevel::O2, OptLevel::O3] {
+                let bn = compile(
+                    &p,
+                    &CompileConfig::dev(vendor, opt, Some(Sanitizer::Asan), &reg),
+                )
+                .unwrap();
+                if let Some(r) = crash_site_mapping(&bc, &bn) {
+                    assert_eq!(
+                        r.verdict,
+                        Verdict::OptimizationArtifact,
+                        "{vendor} {opt}: pristine sanitizers have no FN bugs"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! `ubfuzz-reduce` — a C-Reduce-style test-case reducer.
+//!
+//! The paper's reporting pipeline runs C-Reduce on every bug-triggering
+//! program before filing it. This reducer plays the same role: given a
+//! program and an *interestingness* predicate (e.g. "this sanitizer still
+//! misses the UB"), it greedily deletes statements, collapses branches, and
+//! drops unused globals and functions while the predicate keeps holding.
+
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::visit::for_each_expr;
+use ubfuzz_minic::{pretty, Program};
+
+/// Reduces `program` while `interesting` holds.
+///
+/// The input program itself must be interesting; the reducer panics
+/// otherwise (a misconfigured predicate would silently return garbage).
+///
+/// # Panics
+///
+/// Panics if `interesting(program)` is false.
+pub fn reduce(program: &Program, interesting: &mut dyn FnMut(&Program) -> bool) -> Program {
+    assert!(interesting(program), "input program must be interesting");
+    let mut best = program.clone();
+    let mut progress = true;
+    let mut rounds = 0;
+    while progress && rounds < 12 {
+        progress = false;
+        rounds += 1;
+        // Pass 1: delete one statement at a time (deepest lists first is
+        // approximated by repeated whole-tree sweeps).
+        loop {
+            let paths = stmt_count(&best);
+            let mut deleted = false;
+            for i in 0..paths {
+                let mut candidate = best.clone();
+                if !delete_nth_stmt(&mut candidate, i) {
+                    continue;
+                }
+                finalize(&mut candidate);
+                if interesting(&candidate) {
+                    best = candidate;
+                    deleted = true;
+                    progress = true;
+                    break;
+                }
+            }
+            if !deleted {
+                break;
+            }
+        }
+        // Pass 2: drop unreferenced functions.
+        let mut candidate = best.clone();
+        let referenced = referenced_functions(&candidate);
+        candidate.functions.retain(|f| f.name == "main" || referenced.contains(&f.name));
+        if candidate.functions.len() != best.functions.len() {
+            finalize(&mut candidate);
+            if interesting(&candidate) {
+                best = candidate;
+                progress = true;
+            }
+        }
+        // Pass 3: drop unreferenced globals.
+        let mut candidate = best.clone();
+        let used = referenced_names(&candidate);
+        candidate.globals.retain(|g| used.contains(&g.name));
+        if candidate.globals.len() != best.globals.len() {
+            finalize(&mut candidate);
+            if interesting(&candidate) {
+                best = candidate;
+                progress = true;
+            }
+        }
+    }
+    best
+}
+
+fn finalize(p: &mut Program) {
+    p.assign_ids();
+    pretty::relocate(p);
+}
+
+fn referenced_functions(p: &Program) -> std::collections::HashSet<String> {
+    let mut used = std::collections::HashSet::new();
+    for_each_expr(p, |e| {
+        if let ExprKind::Call(name, _) = &e.kind {
+            used.insert(name.clone());
+        }
+    });
+    used
+}
+
+fn referenced_names(p: &Program) -> std::collections::HashSet<String> {
+    let mut used = std::collections::HashSet::new();
+    for_each_expr(p, |e| {
+        if let ExprKind::Var(name) = &e.kind {
+            used.insert(name.clone());
+        }
+    });
+    // Globals referenced from other globals' initializers.
+    for g in &p.globals {
+        if let Some(init) = &g.init {
+            collect_init_names(init, &mut used);
+        }
+    }
+    used
+}
+
+fn collect_init_names(init: &Init, used: &mut std::collections::HashSet<String>) {
+    match init {
+        Init::Expr(e) => collect_expr_names(e, used),
+        Init::List(items) => {
+            for i in items {
+                collect_init_names(i, used);
+            }
+        }
+    }
+}
+
+fn collect_expr_names(e: &Expr, used: &mut std::collections::HashSet<String>) {
+    if let ExprKind::Var(n) = &e.kind {
+        used.insert(n.clone());
+    }
+    match &e.kind {
+        ExprKind::Unary(_, a)
+        | ExprKind::AddrOf(a)
+        | ExprKind::Deref(a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::PreInc(a)
+        | ExprKind::PreDec(a)
+        | ExprKind::Member(a, _)
+        | ExprKind::Arrow(a, _) => collect_expr_names(a, used),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::CompoundAssign(_, a, b)
+        | ExprKind::Index(a, b) => {
+            collect_expr_names(a, used);
+            collect_expr_names(b, used);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                collect_expr_names(a, used);
+            }
+        }
+        ExprKind::Cond(c, t, f) => {
+            collect_expr_names(c, used);
+            collect_expr_names(t, used);
+            collect_expr_names(f, used);
+        }
+        _ => {}
+    }
+}
+
+/// Counts deletable statement positions (pre-order over all blocks).
+fn stmt_count(p: &Program) -> usize {
+    let mut n = 0;
+    for f in &p.functions {
+        count_block(&f.body, &mut n);
+    }
+    n
+}
+
+fn count_block(b: &Block, n: &mut usize) {
+    for s in &b.stmts {
+        *n += 1;
+        match &s.kind {
+            StmtKind::If(_, t, f) => {
+                count_block(t, n);
+                if let Some(f) = f {
+                    count_block(f, n);
+                }
+            }
+            StmtKind::While(_, body) | StmtKind::For { body, .. } => count_block(body, n),
+            StmtKind::Block(body) => count_block(body, n),
+            _ => {}
+        }
+    }
+}
+
+/// Deletes the `target`-th statement (pre-order); returns false when the
+/// position points at a `return` in `main` (kept for validity).
+fn delete_nth_stmt(p: &mut Program, target: usize) -> bool {
+    let mut idx = 0;
+    for f in &mut p.functions {
+        if delete_in_block(&mut f.body, target, &mut idx) {
+            return true;
+        }
+    }
+    false
+}
+
+fn delete_in_block(b: &mut Block, target: usize, idx: &mut usize) -> bool {
+    let mut i = 0;
+    while i < b.stmts.len() {
+        if *idx == target {
+            if matches!(b.stmts[i].kind, StmtKind::Return(_)) {
+                *idx += 1;
+                i += 1;
+                continue;
+            }
+            b.stmts.remove(i);
+            return true;
+        }
+        *idx += 1;
+        let done = match &mut b.stmts[i].kind {
+            StmtKind::If(_, t, f) => {
+                delete_in_block(t, target, idx)
+                    || f.as_mut().is_some_and(|f| delete_in_block(f, target, idx))
+            }
+            StmtKind::While(_, body) | StmtKind::For { body, .. } => {
+                delete_in_block(body, target, idx)
+            }
+            StmtKind::Block(body) => delete_in_block(body, target, idx),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+
+    #[test]
+    fn reduces_to_minimal_ub_program() {
+        let src = "
+            int unused_global = 7;
+            int helper(int a, int *b) { return a + b[0]; }
+            int a[4];
+            int i = 9;
+            int main(void) {
+                int x = 1;
+                int y = x + 2;
+                print_value(y);
+                a[i] = 1;
+                print_value(x);
+                return 0;
+            }
+        ";
+        let mut p = parse(src).unwrap();
+        pretty::relocate(&mut p);
+        // Interesting = still contains the array overflow.
+        let mut pred = |q: &Program| {
+            matches!(
+                ubfuzz_interp::run_program(q).ub(),
+                Some(ev) if ev.kind == ubfuzz_minic::UbKind::BufOverflowArray
+            )
+        };
+        let reduced = reduce(&p, &mut pred);
+        let text = pretty::print(&reduced);
+        assert!(text.contains("a[i] = 1;"), "{text}");
+        assert!(!text.contains("helper"), "unused function dropped: {text}");
+        assert!(!text.contains("unused_global"), "{text}");
+        assert!(!text.contains("print_value"), "irrelevant statements dropped: {text}");
+        let before = pretty::print(&p).len();
+        assert!(text.len() < before / 2, "halved: {} -> {}", before, text.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be interesting")]
+    fn rejects_uninteresting_input() {
+        let p = parse("int main(void) { return 0; }").unwrap();
+        reduce(&p, &mut |_| false);
+    }
+}

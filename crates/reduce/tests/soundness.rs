@@ -1,0 +1,86 @@
+//! Reducer soundness properties: the result always satisfies the
+//! interestingness predicate, never grows, and keeps `main` returnable.
+
+use proptest::prelude::*;
+use ubfuzz_minic::{parse, pretty, Program};
+use ubfuzz_reduce::reduce;
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+
+fn stmt_weight(p: &Program) -> usize {
+    pretty::print(p).lines().count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// With the strongest behavioral predicate — "the interpreter outcome is
+    /// unchanged" — reduction preserves the outcome exactly and never grows
+    /// the program. (This is the predicate the campaign uses, modulo the
+    /// sanitizer in place of the interpreter.)
+    #[test]
+    fn reduction_preserves_outcome_and_shrinks(seed in 0u64..500) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let original = ubfuzz_interp::run_program(&p);
+        let mut pred = |q: &Program| ubfuzz_interp::run_program(q) == original;
+        let reduced = reduce(&p, &mut pred);
+        prop_assert_eq!(ubfuzz_interp::run_program(&reduced), original);
+        prop_assert!(stmt_weight(&reduced) <= stmt_weight(&p));
+    }
+
+    /// Reduction reaches a fixed point: reducing an already-reduced program
+    /// with the same predicate changes nothing.
+    #[test]
+    fn reduction_is_idempotent(seed in 0u64..200) {
+        let p = generate_seed(seed, &SeedOptions::default());
+        let original = ubfuzz_interp::run_program(&p);
+        let mut pred = |q: &Program| ubfuzz_interp::run_program(q) == original;
+        let once = reduce(&p, &mut pred);
+        let twice = reduce(&once, &mut pred);
+        prop_assert_eq!(pretty::print(&once), pretty::print(&twice));
+    }
+}
+
+#[test]
+fn return_in_main_survives_a_permissive_predicate() {
+    // Even under "everything is interesting", the reducer must not delete
+    // `main`'s return statement (the program would stop parsing as a valid
+    // unit of the subset).
+    let p = parse(
+        "int main(void) {
+            int x = 1;
+            print_value(x);
+            return 0;
+         }",
+    )
+    .unwrap();
+    let reduced = reduce(&p, &mut |_| true);
+    let text = pretty::print(&reduced);
+    assert!(text.contains("return"), "{text}");
+}
+
+#[test]
+fn nested_statements_are_reachable() {
+    // Statements inside if/while/for bodies are candidates too.
+    let p = parse(
+        "int g;
+         int main(void) {
+            if (g == 0) {
+                g = 1;
+                g = 2;
+            }
+            int i = 0;
+            while (i < 3) {
+                g = g + 1;
+                i = i + 1;
+            }
+            return g;
+         }",
+    )
+    .unwrap();
+    // Interesting = terminates cleanly (always true here): maximal deletion.
+    let mut pred = |q: &Program| ubfuzz_interp::run_program(q).is_clean_exit();
+    let reduced = reduce(&p, &mut pred);
+    let text = pretty::print(&reduced);
+    assert!(!text.contains("g = 2;"), "inner if-body statement deleted: {text}");
+    assert!(!text.contains("g = g + 1;"), "loop-body statement deleted: {text}");
+}

@@ -1,0 +1,495 @@
+//! Generator context: options, symbol tracking and top-level assembly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::build as b;
+use ubfuzz_minic::types::{IntType, StructDef, Type};
+
+/// Knobs for the seed generator.
+#[derive(Debug, Clone)]
+pub struct SeedOptions {
+    /// `true` (default): arithmetic is made safe by masking idioms.
+    /// `false`: the Csmith-NoSafe baseline — raw arithmetic that may
+    /// overflow, shift out of range or divide by zero.
+    pub safe_math: bool,
+    /// Maximum number of helper functions besides `main`.
+    pub max_helpers: usize,
+    /// Maximum number of global variables (excluding structs' instances).
+    pub max_globals: usize,
+    /// Maximum statements generated per block.
+    pub max_stmts: usize,
+    /// Maximum nesting depth of blocks/loops inside a function body.
+    pub max_depth: usize,
+    /// Allow `malloc`/`free` heap buffers.
+    pub enable_heap: bool,
+    /// Allow struct definitions and struct-typed data.
+    pub enable_structs: bool,
+}
+
+impl Default for SeedOptions {
+    fn default() -> SeedOptions {
+        SeedOptions {
+            safe_math: true,
+            max_helpers: 3,
+            max_globals: 10,
+            max_stmts: 8,
+            max_depth: 3,
+            enable_heap: true,
+            enable_structs: true,
+        }
+    }
+}
+
+/// What a symbol is, from the generator's safety point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SymKind {
+    /// Integer scalar.
+    Int(IntType),
+    /// Integer array of known length.
+    Array { elem: IntType, len: usize },
+    /// Pointer guaranteed to target one valid scalar.
+    PtrScalar(IntType),
+    /// Pointer guaranteed to target element 0 of a live buffer of `len`
+    /// elements.
+    PtrBuf { elem: IntType, len: usize },
+    /// Pointer to a `PtrScalar` variable.
+    PtrPtr(IntType),
+    /// Struct value.
+    StructVal(usize),
+    /// Pointer to a valid struct value.
+    PtrStruct(usize),
+    /// Array of structs.
+    StructArray { sidx: usize, len: usize },
+    /// Pointer to element 0 of a live struct buffer.
+    PtrStructBuf { sidx: usize, len: usize },
+    /// Pointer variable holding a live `malloc` buffer of `len` elements.
+    HeapBuf { elem: IntType, len: usize },
+}
+
+/// A tracked variable.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // `ty` documents the symbol even where only `kind` is consulted
+pub(crate) struct Sym {
+    pub name: String,
+    pub ty: Type,
+    pub kind: SymKind,
+    /// Frozen symbols are never reassigned (e.g. index globals whose value
+    /// in-range accesses depend on).
+    pub frozen: bool,
+}
+
+/// Lexical scope stack used while generating a function body.
+#[derive(Debug, Default)]
+pub(crate) struct Scope {
+    frames: Vec<Vec<Sym>>,
+    /// In-scope loop counters with their exclusive upper bounds.
+    pub loop_vars: Vec<(String, i64)>,
+}
+
+impl Scope {
+    pub fn push(&mut self) {
+        self.frames.push(Vec::new());
+    }
+
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    pub fn add(&mut self, sym: Sym) {
+        self.frames.last_mut().expect("scope frame").push(sym);
+    }
+
+    /// All symbols visible here, innermost last.
+    pub fn visible(&self) -> impl Iterator<Item = &Sym> {
+        self.frames.iter().flatten()
+    }
+
+    /// Keeps only symbols satisfying `pred` (used when a buffer is freed).
+    pub fn retain(&mut self, pred: impl Fn(&Sym) -> bool) {
+        for frame in &mut self.frames {
+            frame.retain(|s| pred(s));
+        }
+    }
+
+    pub fn pick<'a>(
+        &'a self,
+        rng: &mut StdRng,
+        pred: impl Fn(&Sym) -> bool,
+    ) -> Option<&'a Sym> {
+        let candidates: Vec<&Sym> = self.visible().filter(|s| pred(s)).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+pub(crate) struct GenCtx<'r> {
+    pub rng: &'r mut StdRng,
+    pub opts: SeedOptions,
+    pub structs: Vec<StructDef>,
+    pub globals: Vec<Decl>,
+    pub global_syms: Vec<Sym>,
+    pub functions: Vec<Function>,
+    /// `(buffer pointer, frozen index global)` pairs where the index's value
+    /// is known to be in range for the buffer — the Fig. 1 `*(d + k)` shape.
+    pub buf_index_pairs: Vec<(String, String)>,
+    name_counter: u32,
+}
+
+impl<'r> GenCtx<'r> {
+    pub fn new(rng: &'r mut StdRng, opts: SeedOptions) -> GenCtx<'r> {
+        GenCtx {
+            rng,
+            opts,
+            structs: Vec::new(),
+            globals: Vec::new(),
+            global_syms: Vec::new(),
+            functions: Vec::new(),
+            buf_index_pairs: Vec::new(),
+            name_counter: 0,
+        }
+    }
+
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.name_counter;
+        self.name_counter += 1;
+        format!("{prefix}{n}")
+    }
+
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Assembles a whole program.
+    pub fn build(&mut self) -> Program {
+        if self.opts.enable_structs {
+            self.gen_structs();
+        }
+        self.gen_globals();
+        let helpers = 1 + self.rng.gen_range(0..self.opts.max_helpers.max(1));
+        for _ in 0..helpers {
+            self.gen_helper();
+        }
+        self.gen_main();
+        Program {
+            structs: std::mem::take(&mut self.structs),
+            globals: std::mem::take(&mut self.globals),
+            functions: std::mem::take(&mut self.functions),
+            next_id: 1,
+        }
+    }
+
+    fn gen_structs(&mut self) {
+        let count = self.rng.gen_range(1..=2);
+        for _ in 0..count {
+            let name = self.fresh("S");
+            let nfields = self.rng.gen_range(1..=3usize);
+            let mut fields = Vec::new();
+            for i in 0..nfields {
+                let fname = format!("f{i}");
+                let fty = match self.rng.gen_range(0..4) {
+                    0 => Type::Int(IntType::INT),
+                    1 => Type::Int(IntType::SHORT),
+                    2 => Type::array(Type::int(), self.rng.gen_range(2..=4) as usize),
+                    _ => Type::Int(IntType::LONG),
+                };
+                fields.push((fname, fty));
+            }
+            self.structs.push(StructDef { name, fields });
+        }
+    }
+
+    fn int_literal_for(&mut self, ty: IntType) -> Expr {
+        // Safe mode keeps values small-ish; NoSafe seeds in large values so
+        // unguarded arithmetic has something to overflow on.
+        let v: i128 = if !self.opts.safe_math && self.chance(0.35) {
+            match self.rng.gen_range(0..3) {
+                0 => 2_000_000_000,
+                1 => 1 << 30,
+                _ => i32::MAX as i128 - self.rng.gen_range(0..3) as i128,
+            }
+        } else {
+            self.rng.gen_range(-90..100) as i128
+        };
+        let v = ty.wrap(v.clamp(ty.min_value(), ty.max_value()));
+        b::lit_ty(v, ty)
+    }
+
+    fn rand_int_type(&mut self) -> IntType {
+        match self.rng.gen_range(0..8) {
+            0 => IntType::CHAR,
+            1 => IntType::UCHAR,
+            2 => IntType::SHORT,
+            3 => IntType::USHORT,
+            4 | 5 => IntType::INT,
+            6 => IntType::UINT,
+            _ => IntType::LONG,
+        }
+    }
+
+    fn gen_globals(&mut self) {
+        // Integer scalars.
+        let scalars = 3 + self.rng.gen_range(0..self.opts.max_globals.max(4) - 3);
+        for _ in 0..scalars {
+            let ty = self.rand_int_type();
+            let name = self.fresh("g");
+            let init = self.int_literal_for(ty);
+            self.globals.push(b::global(&name, Type::Int(ty), Some(Init::Expr(init))));
+            self.global_syms.push(Sym {
+                name,
+                ty: Type::Int(ty),
+                kind: SymKind::Int(ty),
+                frozen: false,
+            });
+        }
+        // Integer arrays — a mix of power-of-two and odd lengths (odd global
+        // arrays matter for the red-zone defect triggers).
+        let arrays = self.rng.gen_range(1..=3usize);
+        for _ in 0..arrays {
+            let len = *[3usize, 4, 5, 7, 8]
+                .get(self.rng.gen_range(0..5))
+                .expect("length table");
+            let elem = if self.chance(0.25) { IntType::CHAR } else { IntType::INT };
+            let name = self.fresh("arr");
+            let items: Vec<Init> = (0..len)
+                .map(|_| Init::Expr(self.int_literal_for(elem)))
+                .collect();
+            self.globals.push(b::global(
+                &name,
+                Type::array(Type::Int(elem), len),
+                Some(Init::List(items)),
+            ));
+            self.global_syms.push(Sym {
+                name,
+                ty: Type::array(Type::Int(elem), len),
+                kind: SymKind::Array { elem, len },
+                frozen: false,
+            });
+        }
+        // Pointers to globals.
+        if let Some(target) = self.pick_global(|s| matches!(s.kind, SymKind::Int(IntType::INT))) {
+            let name = self.fresh("ptr");
+            self.globals.push(b::global(
+                &name,
+                Type::ptr(Type::int()),
+                Some(Init::Expr(b::addr_of(b::var(&target.name)))),
+            ));
+            self.global_syms.push(Sym {
+                name: name.clone(),
+                ty: Type::ptr(Type::int()),
+                kind: SymKind::PtrScalar(IntType::INT),
+                frozen: false,
+            });
+            // And a pointer to that pointer.
+            if self.chance(0.7) {
+                let pp = self.fresh("pp");
+                self.globals.push(b::global(
+                    &pp,
+                    Type::ptr(Type::ptr(Type::int())),
+                    Some(Init::Expr(b::addr_of(b::var(&name)))),
+                ));
+                self.global_syms.push(Sym {
+                    name: pp,
+                    ty: Type::ptr(Type::ptr(Type::int())),
+                    kind: SymKind::PtrPtr(IntType::INT),
+                    frozen: false,
+                });
+            }
+        }
+        // Pointer to an int buffer plus a frozen index global (Fig. 1 shape).
+        if let Some(arr) = self
+            .pick_global(|s| matches!(s.kind, SymKind::Array { elem: IntType::INT, .. }))
+        {
+            let len = match arr.kind {
+                SymKind::Array { len, .. } => len,
+                _ => unreachable!(),
+            };
+            let arr_name = arr.name.clone();
+            let pname = self.fresh("pbuf");
+            self.globals.push(b::global(
+                &pname,
+                Type::ptr(Type::int()),
+                Some(Init::Expr(b::var(&arr_name))),
+            ));
+            self.global_syms.push(Sym {
+                name: pname.clone(),
+                ty: Type::ptr(Type::int()),
+                kind: SymKind::PtrBuf { elem: IntType::INT, len },
+                frozen: false,
+            });
+            let kname = self.fresh("k");
+            let kval = self.rng.gen_range(0..len as i64);
+            self.globals.push(b::global(&kname, Type::int(), Some(Init::Expr(b::lit(kval)))));
+            self.buf_index_pairs.push((pname.clone(), kname.clone()));
+            self.global_syms.push(Sym {
+                name: kname,
+                ty: Type::int(),
+                kind: SymKind::Int(IntType::INT),
+                frozen: true,
+            });
+        }
+        // Struct instances.
+        if !self.structs.is_empty() {
+            let sidx = self.rng.gen_range(0..self.structs.len());
+            let sname = self.fresh("sv");
+            self.globals.push(b::global(&sname, Type::Struct(sidx), None));
+            self.global_syms.push(Sym {
+                name: sname.clone(),
+                ty: Type::Struct(sidx),
+                kind: SymKind::StructVal(sidx),
+                frozen: false,
+            });
+            let spname = self.fresh("sp");
+            self.globals.push(b::global(
+                &spname,
+                Type::ptr(Type::Struct(sidx)),
+                Some(Init::Expr(b::addr_of(b::var(&sname)))),
+            ));
+            self.global_syms.push(Sym {
+                name: spname,
+                ty: Type::ptr(Type::Struct(sidx)),
+                kind: SymKind::PtrStruct(sidx),
+                frozen: false,
+            });
+            // Struct array + pointer into it (paper Fig. 1 uses exactly this).
+            if self.chance(0.6) {
+                let len = self.rng.gen_range(2..=3) as usize;
+                let baname = self.fresh("sb");
+                self.globals.push(b::global(
+                    &baname,
+                    Type::array(Type::Struct(sidx), len),
+                    None,
+                ));
+                self.global_syms.push(Sym {
+                    name: baname.clone(),
+                    ty: Type::array(Type::Struct(sidx), len),
+                    kind: SymKind::StructArray { sidx, len },
+                    frozen: false,
+                });
+                let bpname = self.fresh("sd");
+                self.globals.push(b::global(
+                    &bpname,
+                    Type::ptr(Type::Struct(sidx)),
+                    Some(Init::Expr(b::var(&baname))),
+                ));
+                self.global_syms.push(Sym {
+                    name: bpname,
+                    ty: Type::ptr(Type::Struct(sidx)),
+                    kind: SymKind::PtrStructBuf { sidx, len },
+                    frozen: false,
+                });
+            }
+        }
+    }
+
+    fn pick_global(&mut self, pred: impl Fn(&Sym) -> bool) -> Option<Sym> {
+        let candidates: Vec<Sym> =
+            self.global_syms.iter().filter(|s| pred(s)).cloned().collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())].clone())
+        }
+    }
+
+    /// A helper function `int fN(int pa, int *pb)`; callers only pass
+    /// buffers of at least [`crate::stmt::MIN_PTR_PARAM_LEN`] elements.
+    fn gen_helper(&mut self) {
+        let name = self.fresh("f");
+        let mut scope = Scope::default();
+        scope.push();
+        for s in &self.global_syms {
+            scope.add(s.clone());
+        }
+        scope.push();
+        scope.add(Sym {
+            name: "pa".into(),
+            ty: Type::int(),
+            kind: SymKind::Int(IntType::INT),
+            frozen: false,
+        });
+        scope.add(Sym {
+            name: "pb".into(),
+            ty: Type::ptr(Type::int()),
+            kind: SymKind::PtrBuf { elem: IntType::INT, len: crate::stmt::MIN_PTR_PARAM_LEN },
+            frozen: false,
+        });
+        let mut body = crate::stmt::gen_body(self, &mut scope, 1);
+        let retv = crate::expr::gen_int_expr(self, &scope, 1);
+        body.push(b::ret(Some(retv)));
+        scope.pop();
+        self.functions.push(b::function(
+            &name,
+            Type::int(),
+            vec![
+                ("pa".to_string(), Type::int()),
+                ("pb".to_string(), Type::ptr(Type::int())),
+            ],
+            body,
+        ));
+    }
+
+    fn gen_main(&mut self) {
+        let mut scope = Scope::default();
+        scope.push();
+        for s in &self.global_syms {
+            scope.add(s.clone());
+        }
+        scope.push();
+        let mut body = crate::stmt::gen_main_body(self, &mut scope);
+        body.extend(self.gen_checksum(&scope));
+        body.push(b::ret(Some(b::lit(0))));
+        scope.pop();
+        self.functions.push(b::function("main", Type::int(), vec![], body));
+    }
+
+    /// Csmith-style observability: fold global state into an unsigned
+    /// checksum (unsigned arithmetic cannot overflow) and print it.
+    fn gen_checksum(&mut self, scope: &Scope) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        stmts.push(b::decl_stmt(
+            "csum",
+            Type::Int(IntType::ULONG),
+            Some(b::lit_ty(0, IntType::ULONG)),
+        ));
+        let mut terms: Vec<Expr> = Vec::new();
+        for s in scope.visible() {
+            match &s.kind {
+                SymKind::Int(_) => terms.push(b::var(&s.name)),
+                SymKind::Array { len, .. } => {
+                    terms.push(b::index(b::var(&s.name), b::lit((len - 1) as i64)));
+                    terms.push(b::index(b::var(&s.name), b::lit(0)));
+                }
+                SymKind::StructVal(sidx) => {
+                    if let Some((fname, fty)) = self.structs[*sidx].fields.first() {
+                        if fty.is_int() {
+                            terms.push(b::member(b::var(&s.name), fname));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for t in terms.into_iter().take(12) {
+            stmts.push(b::expr_stmt(b::assign(
+                b::var("csum"),
+                b::add(
+                    b::mul(b::var("csum"), b::lit_ty(31, IntType::ULONG)),
+                    b::cast(Type::Int(IntType::ULONG), t),
+                ),
+            )));
+        }
+        stmts.push(b::expr_stmt(b::call(
+            "print_value",
+            vec![b::cast(Type::Int(IntType::LONG), b::var("csum"))],
+        )));
+        stmts
+    }
+}

@@ -1,0 +1,372 @@
+//! Expression generation with by-construction safety.
+
+use crate::ctx::{GenCtx, Scope, SymKind};
+use rand::Rng;
+use ubfuzz_minic::ast::{BinOp, Expr, UnOp};
+use ubfuzz_minic::build as b;
+use ubfuzz_minic::types::{IntType, Type};
+
+/// Masks an expression to a small non-negative range (`e & mask`); the
+/// promoted result of `&` with a positive constant is always in
+/// `[0, mask]`, making subsequent arithmetic overflow-free.
+pub(crate) fn masked(e: Expr, mask: i64) -> Expr {
+    b::bin(BinOp::BitAnd, e, b::lit(mask))
+}
+
+/// A safe in-range index expression for a buffer of `len` elements.
+pub(crate) fn gen_index_expr(g: &mut GenCtx, scope: &Scope, len: usize) -> Expr {
+    // Loop variables with a small enough bound are ideal indices.
+    let loop_candidates: Vec<String> = scope
+        .loop_vars
+        .iter()
+        .filter(|(_, bound)| *bound <= len as i64)
+        .map(|(n, _)| n.clone())
+        .collect();
+    if !loop_candidates.is_empty() && g.chance(0.5) {
+        let name = &loop_candidates[g.rng.gen_range(0..loop_candidates.len())];
+        return b::var(name);
+    }
+    // Power-of-two masks below the length.
+    let mut mask = 1i64;
+    while (mask * 2) <= len as i64 {
+        mask *= 2;
+    }
+    if mask > 1 && g.chance(0.4) {
+        let inner = gen_int_leaf(g, scope);
+        return masked(inner, mask - 1);
+    }
+    b::lit(g.range(0, len as i64))
+}
+
+/// A leaf integer expression: literal, scalar, array element, dereference,
+/// struct field, …
+pub(crate) fn gen_int_leaf(g: &mut GenCtx, scope: &Scope) -> Expr {
+    for _ in 0..8 {
+        match g.rng.gen_range(0..10) {
+            0 => {
+                return b::lit(g.range(-60, 100));
+            }
+            1 | 2 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::Int(_))) {
+                    return b::var(&s.name);
+                }
+            }
+            3 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::Array { .. })) {
+                    let (name, len) = match &s.kind {
+                        SymKind::Array { len, .. } => (s.name.clone(), *len),
+                        _ => unreachable!(),
+                    };
+                    let idx = gen_index_expr(g, scope, len);
+                    return b::index(b::var(&name), idx);
+                }
+            }
+            4 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrScalar(_))) {
+                    return b::deref(b::var(&s.name));
+                }
+            }
+            5 => {
+                if let Some(s) = scope.pick(g.rng, |s| {
+                    matches!(s.kind, SymKind::PtrBuf { .. } | SymKind::HeapBuf { .. })
+                }) {
+                    let (name, len) = match &s.kind {
+                        SymKind::PtrBuf { len, .. } | SymKind::HeapBuf { len, .. } => {
+                            (s.name.clone(), *len)
+                        }
+                        _ => unreachable!(),
+                    };
+                    // Fig. 1 shape: deref through the paired frozen index.
+                    let pair =
+                        g.buf_index_pairs.iter().find(|(p, _)| *p == name).cloned();
+                    if let Some((_, k)) = pair {
+                        if g.chance(0.5) {
+                            return b::deref(b::add(b::var(&name), b::var(&k)));
+                        }
+                    }
+                    let idx = gen_index_expr(g, scope, len);
+                    if g.chance(0.5) {
+                        return b::index(b::var(&name), idx);
+                    }
+                    return b::deref(b::add(b::var(&name), idx));
+                }
+            }
+            6 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrPtr(_))) {
+                    return b::deref(b::deref(b::var(&s.name)));
+                }
+            }
+            7 => {
+                // Same-object pointer difference `(int)((p + i) - p)` — valid
+                // C (C17 6.5.6p9) evaluating to `i`, and the code construct
+                // the §3.2.4 PtrDiff extension mutates.
+                if let Some(s) = scope.pick(g.rng, |s| {
+                    matches!(s.kind, SymKind::PtrBuf { .. } | SymKind::HeapBuf { .. })
+                }) {
+                    let (name, len) = match &s.kind {
+                        SymKind::PtrBuf { len, .. } | SymKind::HeapBuf { len, .. } => {
+                            (s.name.clone(), *len)
+                        }
+                        _ => unreachable!(),
+                    };
+                    let idx = gen_index_expr(g, scope, len);
+                    return b::cast(
+                        Type::int(),
+                        b::bin(BinOp::Sub, b::add(b::var(&name), idx), b::var(&name)),
+                    );
+                }
+            }
+            8 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrStruct(_))) {
+                    let sidx = match s.kind {
+                        SymKind::PtrStruct(i) => i,
+                        _ => unreachable!(),
+                    };
+                    let name = s.name.clone();
+                    if let Some(f) = int_field(g, sidx) {
+                        return b::arrow(b::var(&name), &f);
+                    }
+                }
+            }
+            _ => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::StructVal(_))) {
+                    let sidx = match s.kind {
+                        SymKind::StructVal(i) => i,
+                        _ => unreachable!(),
+                    };
+                    let name = s.name.clone();
+                    if let Some(f) = int_field(g, sidx) {
+                        return b::member(b::var(&name), &f);
+                    }
+                }
+            }
+        }
+    }
+    b::lit(g.range(0, 50))
+}
+
+fn int_field(g: &mut GenCtx, sidx: usize) -> Option<String> {
+    let fields: Vec<String> = g.structs[sidx]
+        .fields
+        .iter()
+        .filter(|(_, t)| t.is_int())
+        .map(|(n, _)| n.clone())
+        .collect();
+    if fields.is_empty() {
+        None
+    } else {
+        Some(fields[g.rng.gen_range(0..fields.len())].clone())
+    }
+}
+
+/// A divisor expression: guaranteed non-zero in safe mode, unguarded in
+/// NoSafe mode. Occasionally uses the paper's Fig. 12b "boolean widened to
+/// short" idiom, which the folding-defect triggers key on.
+pub(crate) fn gen_divisor(g: &mut GenCtx, scope: &Scope, depth: usize) -> Expr {
+    if !g.opts.safe_math {
+        return gen_int_expr(g, scope, depth + 1);
+    }
+    match g.rng.gen_range(0..4) {
+        0 => b::lit(g.range(1, 16)),
+        1 | 2 => {
+            let inner = gen_int_leaf(g, scope);
+            b::add(masked(inner, 15), b::lit(1))
+        }
+        _ => {
+            // (short)((a == b) | (c > d)) + 1  — in {1, 2}, never zero.
+            let a = gen_int_leaf(g, scope);
+            let c = gen_int_leaf(g, scope);
+            let cmp1 = b::eq(a, b::lit(g.range(-4, 5)));
+            let cmp2 = b::bin(BinOp::Gt, c, b::lit(g.range(0, 10)));
+            b::add(
+                b::cast(Type::Int(IntType::SHORT), b::bin(BinOp::BitOr, cmp1, cmp2)),
+                b::lit(1),
+            )
+        }
+    }
+}
+
+/// A general integer expression of bounded depth.
+pub(crate) fn gen_int_expr(g: &mut GenCtx, scope: &Scope, depth: usize) -> Expr {
+    if depth >= 3 || g.chance(0.3) {
+        return gen_int_leaf(g, scope);
+    }
+    let safe = g.opts.safe_math;
+    match g.rng.gen_range(0..10) {
+        // Additive / multiplicative arithmetic.
+        0..=2 => {
+            let op = match g.rng.gen_range(0..4) {
+                0 | 1 => BinOp::Add,
+                2 => BinOp::Sub,
+                _ => BinOp::Mul,
+            };
+            let lhs = gen_int_expr(g, scope, depth + 1);
+            let rhs = gen_int_expr(g, scope, depth + 1);
+            if safe {
+                let m = if op == BinOp::Mul { 255 } else { 1023 };
+                b::bin(op, masked(lhs, m), masked(rhs, m))
+            } else {
+                b::bin(op, lhs, rhs)
+            }
+        }
+        // Division / remainder.
+        3 => {
+            let op = if g.chance(0.5) { BinOp::Div } else { BinOp::Rem };
+            let lhs = gen_int_expr(g, scope, depth + 1);
+            let rhs = gen_divisor(g, scope, depth);
+            let lhs = if safe { masked(lhs, 4095) } else { lhs };
+            b::bin(op, lhs, rhs)
+        }
+        // Shifts.
+        4 => {
+            let op = if g.chance(0.5) { BinOp::Shl } else { BinOp::Shr };
+            let lhs = gen_int_expr(g, scope, depth + 1);
+            let rhs = gen_int_leaf(g, scope);
+            if safe {
+                b::bin(op, masked(lhs, 255), masked(rhs, 7))
+            } else {
+                b::bin(op, lhs, rhs)
+            }
+        }
+        // Bitwise — always safe.
+        5 => {
+            let op = match g.rng.gen_range(0..3) {
+                0 => BinOp::BitAnd,
+                1 => BinOp::BitOr,
+                _ => BinOp::BitXor,
+            };
+            b::bin(op, gen_int_expr(g, scope, depth + 1), gen_int_expr(g, scope, depth + 1))
+        }
+        // Comparisons and logic.
+        6 => {
+            let op = match g.rng.gen_range(0..6) {
+                0 => BinOp::Lt,
+                1 => BinOp::Le,
+                2 => BinOp::Gt,
+                3 => BinOp::Ge,
+                4 => BinOp::Eq,
+                _ => BinOp::Ne,
+            };
+            b::bin(op, gen_int_expr(g, scope, depth + 1), gen_int_expr(g, scope, depth + 1))
+        }
+        7 => {
+            let op = if g.chance(0.5) { BinOp::LogAnd } else { BinOp::LogOr };
+            b::bin(op, gen_int_expr(g, scope, depth + 1), gen_int_expr(g, scope, depth + 1))
+        }
+        // Unary.
+        8 => match g.rng.gen_range(0..3) {
+            0 => {
+                let inner = gen_int_expr(g, scope, depth + 1);
+                if safe {
+                    b::un(UnOp::Neg, masked(inner, 1023))
+                } else {
+                    b::un(UnOp::Neg, inner)
+                }
+            }
+            1 => b::un(UnOp::BitNot, gen_int_expr(g, scope, depth + 1)),
+            _ => b::un(UnOp::Not, gen_int_expr(g, scope, depth + 1)),
+        },
+        // Cast or conditional.
+        _ => {
+            if g.chance(0.5) {
+                let ty = match g.rng.gen_range(0..3) {
+                    0 => IntType::SHORT,
+                    1 => IntType::CHAR,
+                    _ => IntType::LONG,
+                };
+                b::cast(Type::Int(ty), gen_int_expr(g, scope, depth + 1))
+            } else {
+                b::cond(
+                    gen_int_expr(g, scope, depth + 1),
+                    gen_int_expr(g, scope, depth + 1),
+                    gen_int_expr(g, scope, depth + 1),
+                )
+            }
+        }
+    }
+}
+
+/// A writable integer lvalue plus its element type, when one exists.
+pub(crate) fn gen_int_lvalue(g: &mut GenCtx, scope: &Scope) -> Option<(Expr, IntType)> {
+    for _ in 0..8 {
+        match g.rng.gen_range(0..6) {
+            0 | 1 => {
+                if let Some(s) =
+                    scope.pick(g.rng, |s| matches!(s.kind, SymKind::Int(_)) && !s.frozen)
+                {
+                    let it = match s.kind {
+                        SymKind::Int(it) => it,
+                        _ => unreachable!(),
+                    };
+                    return Some((b::var(&s.name), it));
+                }
+            }
+            2 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::Array { .. })) {
+                    let (name, len, elem) = match &s.kind {
+                        SymKind::Array { len, elem } => (s.name.clone(), *len, *elem),
+                        _ => unreachable!(),
+                    };
+                    let idx = gen_index_expr(g, scope, len);
+                    return Some((b::index(b::var(&name), idx), elem));
+                }
+            }
+            3 => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrScalar(_))) {
+                    let it = match s.kind {
+                        SymKind::PtrScalar(it) => it,
+                        _ => unreachable!(),
+                    };
+                    return Some((b::deref(b::var(&s.name)), it));
+                }
+            }
+            4 => {
+                if let Some(s) = scope.pick(g.rng, |s| {
+                    matches!(s.kind, SymKind::PtrBuf { .. } | SymKind::HeapBuf { .. })
+                }) {
+                    let (name, len, elem) = match &s.kind {
+                        SymKind::PtrBuf { len, elem } | SymKind::HeapBuf { len, elem } => {
+                            (s.name.clone(), *len, *elem)
+                        }
+                        _ => unreachable!(),
+                    };
+                    let idx = gen_index_expr(g, scope, len);
+                    return Some((b::index(b::var(&name), idx), elem));
+                }
+            }
+            _ => {
+                if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrStruct(_))) {
+                    let sidx = match s.kind {
+                        SymKind::PtrStruct(i) => i,
+                        _ => unreachable!(),
+                    };
+                    let name = s.name.clone();
+                    let int_fields: Vec<(String, IntType)> = g.structs[sidx]
+                        .fields
+                        .iter()
+                        .filter_map(|(n, t)| t.as_int().map(|it| (n.clone(), it)))
+                        .collect();
+                    if !int_fields.is_empty() {
+                        let (f, it) =
+                            int_fields[g.rng.gen_range(0..int_fields.len())].clone();
+                        return Some((b::arrow(b::var(&name), &f), it));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Picks a symbol usable as an `int*` argument to a helper call (a buffer of
+/// at least `min_len` elements), returning the argument expression.
+pub(crate) fn gen_buf_arg(g: &mut GenCtx, scope: &Scope, min_len: usize) -> Option<Expr> {
+    let s = scope.pick(g.rng, |s| match &s.kind {
+        SymKind::Array { elem, len } => *elem == IntType::INT && *len >= min_len,
+        SymKind::PtrBuf { elem, len } | SymKind::HeapBuf { elem, len } => {
+            *elem == IntType::INT && *len >= min_len
+        }
+        _ => false,
+    })?;
+    Some(b::var(&s.name))
+}

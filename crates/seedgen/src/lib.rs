@@ -1,0 +1,176 @@
+//! `ubfuzz-seedgen` — a Csmith-style random program generator.
+//!
+//! The UBfuzz pipeline starts from *valid* seed programs (paper §4.1 uses
+//! Csmith): closed (no inputs), terminating, UB-free programs that
+//! nevertheless exercise rich language features — pointers (including
+//! pointer-to-pointer and pointers into arrays), structs, heap buffers,
+//! nested scopes, bounded loops and function calls. The UB generator then
+//! mutates these seeds via shadow-statement insertion.
+//!
+//! # Safety discipline
+//!
+//! Instead of Csmith's `safe_math` wrapper functions, this generator makes
+//! every operation safe **by construction** while keeping the raw operators
+//! the UB generator needs to match:
+//!
+//! * arithmetic on `char`/`short` operands is raw (integer promotion makes
+//!   overflow impossible);
+//! * arithmetic on `int`/`long` operands masks each operand first
+//!   (`(a & 1023) + (b & 1023)`), so the *operator itself* is a raw `+`;
+//! * divisors and shift amounts use the `(x & m) + 1` / `(x & 31)` idioms;
+//! * array indices are loop variables with matching bounds, in-range
+//!   constants, or masked expressions;
+//! * every local is initialized; every pointer points at valid storage when
+//!   dereferenced; loops are counted `for` loops with constant bounds.
+//!
+//! With [`SeedOptions::safe_math`] set to `false` (the paper's
+//! **Csmith-NoSafe** baseline, §4.3), the masking idioms are dropped:
+//! arithmetic, shifts and divisions become unguarded, which yields programs
+//! that frequently — but not always — contain arithmetic UB of exactly three
+//! kinds (IntegerOverflow, ShiftOverflow, DivideByZero), reproducing the
+//! baseline's behavior in Table 4.
+//!
+//! # Example
+//!
+//! ```
+//! use ubfuzz_seedgen::{generate_seed, SeedOptions};
+//! use ubfuzz_interp::run_program;
+//!
+//! let program = generate_seed(7, &SeedOptions::default());
+//! assert!(run_program(&program).is_clean_exit());
+//! ```
+
+mod ctx;
+mod expr;
+mod stmt;
+
+pub use ctx::SeedOptions;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ubfuzz_minic::{pretty, Program};
+
+/// Generates one seed program from an RNG seed.
+///
+/// The same `(seed, options)` pair always yields the same program, so
+/// campaigns are reproducible. The returned program has fresh node ids and
+/// assigned `(line, offset)` locations.
+pub fn generate_seed(seed: u64, options: &SeedOptions) -> Program {
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed));
+    let mut gen = ctx::GenCtx::new(&mut rng, options.clone());
+    let mut program = gen.build();
+    program.assign_ids();
+    pretty::relocate(&mut program);
+    program
+}
+
+/// Generates `count` seeds with consecutive RNG seeds starting at `first`.
+pub fn generate_corpus(first: u64, count: usize, options: &SeedOptions) -> Vec<Program> {
+    (0..count as u64).map(|i| generate_seed(first + i, options)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_interp::{run_program, Outcome};
+    use ubfuzz_minic::{print, typecheck};
+
+    #[test]
+    fn deterministic() {
+        let a = generate_seed(42, &SeedOptions::default());
+        let b = generate_seed(42, &SeedOptions::default());
+        assert_eq!(print(&a), print(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_seed(1, &SeedOptions::default());
+        let b = generate_seed(2, &SeedOptions::default());
+        assert_ne!(print(&a), print(&b));
+    }
+
+    #[test]
+    fn seeds_typecheck_and_run_clean() {
+        for seed in 0..60 {
+            let p = generate_seed(seed, &SeedOptions::default());
+            typecheck(&p).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", print(&p)));
+            match run_program(&p) {
+                Outcome::Exit { .. } => {}
+                other => panic!("seed {seed} not clean: {other:?}\n{}", print(&p)),
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_have_rich_features() {
+        let mut derefs = 0;
+        let mut arrays = 0;
+        let mut calls = 0;
+        let mut inner_blocks = 0;
+        for seed in 0..30 {
+            let p = generate_seed(seed, &SeedOptions::default());
+            let text = print(&p);
+            if text.contains('*') {
+                derefs += 1;
+            }
+            if text.contains('[') {
+                arrays += 1;
+            }
+            if p.functions.len() > 1 {
+                calls += 1;
+            }
+            ubfuzz_minic::visit::for_each_stmt(&p, |s| {
+                if matches!(s.kind, ubfuzz_minic::StmtKind::Block(_)) {
+                    inner_blocks += 1;
+                }
+            });
+        }
+        assert!(arrays >= 25, "arrays in most seeds: {arrays}");
+        assert!(derefs >= 25, "derefs common: {derefs}");
+        assert!(calls >= 15, "helper functions common: {calls}");
+        assert!(inner_blocks >= 10, "inner scopes appear: {inner_blocks}");
+    }
+
+    #[test]
+    fn nosafe_mode_produces_arithmetic_ub_sometimes() {
+        let opts = SeedOptions { safe_math: false, ..SeedOptions::default() };
+        let mut ub = 0;
+        let mut clean = 0;
+        for seed in 0..60 {
+            let p = generate_seed(seed, &opts);
+            match run_program(&p) {
+                Outcome::Ub(ev) => {
+                    use ubfuzz_interp::UbKind;
+                    assert!(
+                        matches!(ev.kind, UbKind::IntOverflow | UbKind::ShiftOverflow | UbKind::DivByZero),
+                        "NoSafe UB limited to arithmetic kinds, got {} ({})",
+                        ev.kind,
+                        ev.detail
+                    );
+                    ub += 1;
+                }
+                Outcome::Exit { .. } => clean += 1,
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+        assert!(ub >= 10, "NoSafe triggers UB in a fair share of programs: {ub}");
+        assert!(clean >= 5, "NoSafe still yields some clean programs: {clean}");
+    }
+
+    #[test]
+    fn output_is_reparseable() {
+        for seed in 0..20 {
+            let p = generate_seed(seed, &SeedOptions::default());
+            let text = print(&p);
+            ubfuzz_minic::parse(&text)
+                .unwrap_or_else(|e| panic!("seed {seed} output unparseable: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn corpus_helper_counts() {
+        let c = generate_corpus(5, 4, &SeedOptions::default());
+        assert_eq!(c.len(), 4);
+    }
+}

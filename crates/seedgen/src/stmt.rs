@@ -1,0 +1,379 @@
+//! Statement and function-body generation.
+
+use crate::ctx::{GenCtx, Scope, Sym, SymKind};
+use rand::Rng;
+use crate::expr::{gen_buf_arg, gen_divisor, gen_int_expr, gen_int_leaf, gen_int_lvalue, masked};
+use ubfuzz_minic::ast::{BinOp, Expr, Stmt};
+use ubfuzz_minic::build as b;
+use ubfuzz_minic::types::{IntType, Type};
+
+/// Helper `int*` parameters are only ever passed buffers of at least this
+/// many elements, so constant indices `0..MIN_PTR_PARAM_LEN` are safe inside
+/// helpers.
+pub(crate) const MIN_PTR_PARAM_LEN: usize = 4;
+
+/// Body for a helper function (no heap, no calls, no trailing return —
+/// the caller appends it).
+pub(crate) fn gen_body(g: &mut GenCtx, scope: &mut Scope, depth: usize) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let n = 2 + g.rng.gen_range(0..g.opts.max_stmts.max(3) - 1);
+    for _ in 0..n {
+        stmts.extend(gen_stmt(g, scope, depth, false));
+    }
+    stmts
+}
+
+/// Body for `main`: locals, heap buffers, a guaranteed use-after-scope
+/// candidate shape, random statements, calls, frees.
+pub(crate) fn gen_main_body(g: &mut GenCtx, scope: &mut Scope) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut heap_bufs: Vec<String> = Vec::new();
+
+    // A few initialized locals.
+    for _ in 0..g.rng.gen_range(2..5) {
+        stmts.push(gen_local_int(g, scope));
+    }
+    if g.chance(0.8) {
+        stmts.push(gen_local_array(g, scope));
+    }
+    // Local pointer to a scalar.
+    if g.chance(0.8) {
+        if let Some(stmt) = gen_local_ptr(g, scope) {
+            stmts.push(stmt);
+        }
+    }
+    // Heap buffers with initialization loops.
+    if g.opts.enable_heap {
+        for _ in 0..g.rng.gen_range(1..3) {
+            let (alloc_stmts, name) = gen_heap_buf(g, scope);
+            stmts.extend(alloc_stmts);
+            heap_bufs.push(name);
+        }
+    }
+    // Random statements.
+    let n = 3 + g.rng.gen_range(0..g.opts.max_stmts.max(4) - 2);
+    for _ in 0..n {
+        stmts.extend(gen_stmt(g, scope, 0, true));
+    }
+    // Use-after-scope candidate: pointer, inner block with a local, then a
+    // dereference after the block. The seed keeps everything in-bounds; the
+    // UB generator's UseAfterScope synthesizer appends `p = &inner;` to the
+    // inner block to create the dangling pointer.
+    if g.chance(0.85) {
+        stmts.extend(gen_uas_candidate(g, scope));
+    }
+    // Free about half of the heap buffers (unfreed buffers are the
+    // use-after-free targets: inserting `free(p)` before a dereference then
+    // yields exactly one UB).
+    for name in heap_bufs {
+        if g.chance(0.5) {
+            stmts.push(b::expr_stmt(b::call("free", vec![b::var(&name)])));
+            remove_sym(scope, &name);
+        }
+    }
+    stmts
+}
+
+fn remove_sym(scope: &mut Scope, name: &str) {
+    scope.retain(|s| s.name != name);
+}
+
+fn gen_local_int(g: &mut GenCtx, scope: &mut Scope) -> Stmt {
+    let it = match g.rng.gen_range(0..5) {
+        0 => IntType::CHAR,
+        1 => IntType::SHORT,
+        2 => IntType::LONG,
+        3 => IntType::UINT,
+        _ => IntType::INT,
+    };
+    let name = g.fresh("l");
+    let init = gen_int_expr(g, scope, 1);
+    let stmt = b::decl_stmt(&name, Type::Int(it), Some(init));
+    scope.add(Sym { name, ty: Type::Int(it), kind: SymKind::Int(it), frozen: false });
+    stmt
+}
+
+fn gen_local_array(g: &mut GenCtx, scope: &mut Scope) -> Stmt {
+    let len = *[3usize, 4, 5, 8].get(g.rng.gen_range(0..4)).expect("len");
+    let elem = if g.chance(0.2) { IntType::CHAR } else { IntType::INT };
+    let name = g.fresh("la");
+    let items: Vec<Expr> = (0..len).map(|_| b::lit(g.range(-50, 100))).collect();
+    let stmt = b::decl_list_stmt(&name, Type::array(Type::Int(elem), len), items);
+    scope.add(Sym {
+        name,
+        ty: Type::array(Type::Int(elem), len),
+        kind: SymKind::Array { elem, len },
+        frozen: false,
+    });
+    stmt
+}
+
+fn gen_local_ptr(g: &mut GenCtx, scope: &mut Scope) -> Option<Stmt> {
+    let target =
+        scope.pick(g.rng, |s| matches!(s.kind, SymKind::Int(IntType::INT)) && !s.frozen)?;
+    let tname = target.name.clone();
+    let name = g.fresh("lp");
+    let stmt = b::decl_stmt(
+        &name,
+        Type::ptr(Type::int()),
+        Some(b::addr_of(b::var(&tname))),
+    );
+    scope.add(Sym {
+        name,
+        ty: Type::ptr(Type::int()),
+        kind: SymKind::PtrScalar(IntType::INT),
+        frozen: false,
+    });
+    Some(stmt)
+}
+
+fn gen_heap_buf(g: &mut GenCtx, scope: &mut Scope) -> (Vec<Stmt>, String) {
+    let len = *[4usize, 8, 8, 16].get(g.rng.gen_range(0..4)).expect("len");
+    let name = g.fresh("h");
+    let mut stmts = vec![b::decl_stmt(
+        &name,
+        Type::ptr(Type::int()),
+        Some(b::cast(
+            Type::ptr(Type::int()),
+            b::call("malloc", vec![b::lit((len * 4) as i64)]),
+        )),
+    )];
+    // Initialization loop writes every element.
+    let iv = g.fresh("i");
+    let fill = gen_int_leaf(g, scope);
+    stmts.push(b::counted_for(
+        &iv,
+        0,
+        len as i64,
+        1,
+        vec![b::expr_stmt(b::assign(
+            b::index(b::var(&name), b::var(&iv)),
+            b::add(masked(fill, 255), b::var(&iv)),
+        ))],
+    ));
+    scope.add(Sym {
+        name: name.clone(),
+        ty: Type::ptr(Type::int()),
+        kind: SymKind::HeapBuf { elem: IntType::INT, len },
+        frozen: false,
+    });
+    (stmts, name)
+}
+
+/// The use-after-scope raw material (see [`gen_main_body`]).
+fn gen_uas_candidate(g: &mut GenCtx, scope: &mut Scope) -> Vec<Stmt> {
+    let Some(target) =
+        scope.pick(g.rng, |s| matches!(s.kind, SymKind::Int(IntType::INT)) && !s.frozen)
+    else {
+        return Vec::new();
+    };
+    let tname = target.name.clone();
+    let pname = g.fresh("q");
+    let inner = g.fresh("t");
+    let sink = g.fresh("l");
+    let mut stmts = vec![b::decl_stmt(
+        &pname,
+        Type::ptr(Type::int()),
+        Some(b::addr_of(b::var(&tname))),
+    )];
+    scope.add(Sym {
+        name: pname.clone(),
+        ty: Type::ptr(Type::int()),
+        kind: SymKind::PtrScalar(IntType::INT),
+        frozen: true, // keep it pointed at the scalar so the later deref stays valid
+    });
+    // Inner scope with a local the UAS synthesizer can leak.
+    let inner_stmts = vec![
+        b::decl_stmt(&inner, Type::int(), Some(gen_int_expr(g, scope, 1))),
+        b::expr_stmt(b::assign(
+            b::var(&tname),
+            b::add(masked(b::var(&inner), 1023), masked(b::var(&tname), 1023)),
+        )),
+    ];
+    stmts.push(b::block_stmt(inner_stmts));
+    // Dereference after the scope closed (valid in the seed).
+    stmts.push(b::decl_stmt(&sink, Type::int(), Some(b::deref(b::var(&pname)))));
+    scope.add(Sym {
+        name: sink,
+        ty: Type::int(),
+        kind: SymKind::Int(IntType::INT),
+        frozen: false,
+    });
+    stmts
+}
+
+/// One random statement (possibly a compound one). `in_main` enables calls.
+fn gen_stmt(g: &mut GenCtx, scope: &mut Scope, depth: usize, in_main: bool) -> Vec<Stmt> {
+    match g.rng.gen_range(0..12) {
+        // Plain assignment.
+        0..=2 => {
+            if let Some((lv, _)) = gen_int_lvalue(g, scope) {
+                let rhs = gen_int_expr(g, scope, 0);
+                return vec![b::expr_stmt(b::assign(lv, rhs))];
+            }
+            vec![]
+        }
+        // Compound assignment (safe subset: += -= &= |= ^=).
+        3 => {
+            if let Some((lv, _)) = gen_int_lvalue(g, scope) {
+                let op = match g.rng.gen_range(0..5) {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::BitAnd,
+                    3 => BinOp::BitOr,
+                    _ => BinOp::BitXor,
+                };
+                let rhs = if g.opts.safe_math {
+                    masked(gen_int_expr(g, scope, 1), 1023)
+                } else {
+                    gen_int_expr(g, scope, 1)
+                };
+                return vec![b::expr_stmt(Expr::new(
+                    ubfuzz_minic::ExprKind::CompoundAssign(op, Box::new(lv), Box::new(rhs)),
+                ))];
+            }
+            vec![]
+        }
+        // Read-modify-write `++lvalue` (UBSan/ASan RMW defect triggers).
+        4 => {
+            if let Some((lv, _)) = gen_int_lvalue(g, scope) {
+                return vec![b::expr_stmt(b::pre_inc(lv))];
+            }
+            vec![]
+        }
+        // If statement.
+        5 => {
+            if depth >= g.opts.max_depth {
+                return vec![];
+            }
+            // The `(x & m) - 1` shape is the Fig. 12f raw material: MSan's
+            // sub-with-constant shadow handling is one of the defects.
+            let cond = if g.chance(0.35) {
+                b::sub(masked(gen_int_leaf(g, scope), 255), b::lit(1))
+            } else {
+                gen_int_expr(g, scope, 1)
+            };
+            scope.push();
+            let then: Vec<Stmt> = (0..g.rng.gen_range(1..3))
+                .flat_map(|_| gen_stmt(g, scope, depth + 1, in_main))
+                .collect();
+            scope.pop();
+            let els = if g.chance(0.4) {
+                scope.push();
+                let e: Vec<Stmt> = (0..g.rng.gen_range(1..3))
+                    .flat_map(|_| gen_stmt(g, scope, depth + 1, in_main))
+                    .collect();
+                scope.pop();
+                Some(e)
+            } else {
+                None
+            };
+            let then = if then.is_empty() {
+                vec![b::expr_stmt(gen_int_leaf(g, scope))]
+            } else {
+                then
+            };
+            vec![b::if_stmt(cond, then, els)]
+        }
+        // Counted for loop.
+        6 | 7 => {
+            if depth >= g.opts.max_depth {
+                return vec![];
+            }
+            let bound = g.range(2, 9);
+            let iv = g.fresh("i");
+            scope.push();
+            scope.loop_vars.push((iv.clone(), bound));
+            let body: Vec<Stmt> = (0..g.rng.gen_range(1..4))
+                .flat_map(|_| gen_stmt(g, scope, depth + 1, in_main))
+                .collect();
+            scope.loop_vars.pop();
+            scope.pop();
+            let body = if body.is_empty() {
+                vec![b::expr_stmt(gen_int_leaf(g, scope))]
+            } else {
+                body
+            };
+            vec![b::counted_for(&iv, 0, bound, 1, body)]
+        }
+        // Inner block with a short-lived local.
+        8 => {
+            if depth >= g.opts.max_depth {
+                return vec![];
+            }
+            scope.push();
+            let mut body = vec![gen_local_int(g, scope)];
+            body.extend(gen_stmt(g, scope, depth + 1, in_main));
+            scope.pop();
+            vec![b::block_stmt(body)]
+        }
+        // Helper call.
+        9 => {
+            if in_main && !g.functions.is_empty() {
+                let f = &g.functions[g.rng.gen_range(0..g.functions.len())];
+                let fname = f.name.clone();
+                if let Some(buf) = gen_buf_arg(g, scope, MIN_PTR_PARAM_LEN) {
+                    let a0 = gen_int_expr(g, scope, 1);
+                    if let Some((lv, _)) = gen_int_lvalue(g, scope) {
+                        return vec![b::expr_stmt(b::assign(
+                            lv,
+                            b::call(&fname, vec![a0, buf]),
+                        ))];
+                    }
+                }
+            }
+            vec![]
+        }
+        // Struct operations: field write or whole-struct copy.
+        10 => {
+            if let Some(s) = scope.pick(g.rng, |s| matches!(s.kind, SymKind::PtrStruct(_))) {
+                let sidx = match s.kind {
+                    SymKind::PtrStruct(i) => i,
+                    _ => unreachable!(),
+                };
+                let pname = s.name.clone();
+                // Whole-struct copy through pointers (`*sp = sv;` /
+                // `sv = *(sd + c);`) exercises the struct-copy defect.
+                if let Some(other) =
+                    scope.pick(g.rng, |s| s.kind == SymKind::StructVal(sidx))
+                {
+                    let oname = other.name.clone();
+                    if g.chance(0.5) {
+                        return vec![b::expr_stmt(b::assign(
+                            b::deref(b::var(&pname)),
+                            b::var(&oname),
+                        ))];
+                    }
+                    if let Some(bufp) = scope.pick(g.rng, |s| {
+                        matches!(s.kind, SymKind::PtrStructBuf { sidx: si, .. } if si == sidx)
+                    }) {
+                        let (bname, blen) = match bufp.kind {
+                            SymKind::PtrStructBuf { len, .. } => (bufp.name.clone(), len),
+                            _ => unreachable!(),
+                        };
+                        let c = g.range(0, blen as i64);
+                        return vec![b::expr_stmt(b::assign(
+                            b::var(&oname),
+                            b::deref(b::add(b::var(&bname), b::lit(c))),
+                        ))];
+                    }
+                }
+            }
+            vec![]
+        }
+        // A division-heavy statement (divide/remainder defect triggers).
+        _ => {
+            if let Some((lv, _)) = gen_int_lvalue(g, scope) {
+                let lhs = if g.opts.safe_math {
+                    masked(gen_int_expr(g, scope, 1), 4095)
+                } else {
+                    gen_int_expr(g, scope, 1)
+                };
+                let op = if g.chance(0.5) { BinOp::Div } else { BinOp::Rem };
+                let rhs = gen_divisor(g, scope, 0);
+                return vec![b::expr_stmt(b::assign(lv, b::bin(op, lhs, rhs)))];
+            }
+            vec![]
+        }
+    }
+}

@@ -1,0 +1,1178 @@
+//! AST → IR lowering (the compiler frontend).
+//!
+//! Performs the little constant folding real frontends do even at `-O0` —
+//! which, as the paper notes in Challenge 2, is already enough to optimize
+//! some UB away before any sanitizer pass runs.
+
+use crate::ir::*;
+use std::collections::HashMap;
+use ubfuzz_minic::ast::{self, BinOp, Expr, ExprKind, Init, Stmt, StmtKind, UnOp};
+use ubfuzz_minic::typeck::{typecheck, TypeMap};
+use ubfuzz_minic::types::{IntType, Type};
+use ubfuzz_minic::{Loc, Program};
+
+/// A compilation failure (invalid program for this frontend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lowers a type-correct program to an IR module (no sanitizer, no
+/// optimization — the raw `-O0` frontend output).
+pub fn lower(program: &Program) -> Result<Module, CompileError> {
+    let tmap = typecheck(program)
+        .map_err(|e| CompileError { message: format!("type error: {e}") })?;
+    let mut globals = Vec::new();
+    let mut gids = HashMap::new();
+    for (i, g) in program.globals.iter().enumerate() {
+        gids.insert(g.name.clone(), i);
+    }
+    for g in &program.globals {
+        let size = g.ty.size_of(&program.structs) as u32;
+        let (elem_size, elem_count) = match &g.ty {
+            Type::Array(elem, n) => (elem.size_of(&program.structs) as u32, *n as u32),
+            _ => (size.max(1), 1),
+        };
+        let mut init = vec![0u8; size as usize];
+        let mut relocs = Vec::new();
+        if let Some(i) = &g.init {
+            const_init(program, &gids, i, &g.ty, 0, &mut init, &mut relocs)?;
+        }
+        globals.push(GlobalDef { name: g.name.clone(), size, init, relocs, elem_size, elem_count });
+    }
+    let mut funcs = Vec::new();
+    for f in &program.functions {
+        funcs.push(lower_func(program, &tmap, &gids, f)?);
+    }
+    Ok(Module { globals, funcs, san: SanMeta::default(), build: None })
+}
+
+/// Constant-evaluated initializer values.
+enum CVal {
+    Int(i128),
+    Addr(usize, i64),
+}
+
+fn const_expr(
+    program: &Program,
+    gids: &HashMap<String, usize>,
+    e: &Expr,
+) -> Result<CVal, CompileError> {
+    let err = |m: &str| CompileError { message: format!("non-constant initializer: {m}") };
+    match &e.kind {
+        ExprKind::IntLit(v, _) => Ok(CVal::Int(*v)),
+        ExprKind::Unary(op, a) => {
+            let v = match const_expr(program, gids, a)? {
+                CVal::Int(v) => v,
+                CVal::Addr(..) => return Err(err("unary on address")),
+            };
+            Ok(CVal::Int(match op {
+                UnOp::Neg => -v,
+                UnOp::BitNot => !v,
+                UnOp::Not => i128::from(v == 0),
+            }))
+        }
+        ExprKind::Binary(op, a, b) => {
+            let (va, vb) = match (const_expr(program, gids, a)?, const_expr(program, gids, b)?) {
+                (CVal::Int(x), CVal::Int(y)) => (x, y),
+                _ => return Err(err("address arithmetic")),
+            };
+            let r = match op {
+                BinOp::Add => va.wrapping_add(vb),
+                BinOp::Sub => va.wrapping_sub(vb),
+                BinOp::Mul => va.wrapping_mul(vb),
+                BinOp::BitAnd => va & vb,
+                BinOp::BitOr => va | vb,
+                BinOp::BitXor => va ^ vb,
+                _ => return Err(err("operator in constant")),
+            };
+            Ok(CVal::Int(r))
+        }
+        ExprKind::Cast(_, a) => const_expr(program, gids, a),
+        ExprKind::AddrOf(a) => const_addr(program, gids, a),
+        ExprKind::Var(name) => {
+            // A bare global array name decays to its address.
+            let gid = *gids.get(name).ok_or_else(|| err("non-global name"))?;
+            match &program.globals[gid].ty {
+                Type::Array(..) => Ok(CVal::Addr(gid, 0)),
+                _ => Err(err("global value read in initializer")),
+            }
+        }
+        _ => Err(err("unsupported construct")),
+    }
+}
+
+fn const_addr(
+    program: &Program,
+    gids: &HashMap<String, usize>,
+    e: &Expr,
+) -> Result<CVal, CompileError> {
+    let err = |m: &str| CompileError { message: format!("non-constant address: {m}") };
+    match &e.kind {
+        ExprKind::Var(name) => {
+            let gid = *gids.get(name).ok_or_else(|| err("address of non-global"))?;
+            Ok(CVal::Addr(gid, 0))
+        }
+        ExprKind::Index(base, idx) => {
+            let (gid, off) = match const_addr(program, gids, base)? {
+                CVal::Addr(g, o) => (g, o),
+                CVal::Int(_) => return Err(err("index of integer")),
+            };
+            let i = match const_expr(program, gids, idx)? {
+                CVal::Int(v) => v as i64,
+                _ => return Err(err("non-constant index")),
+            };
+            let elem = match &program.globals[gid].ty {
+                Type::Array(e, _) => e.size_of(&program.structs) as i64,
+                other => other.size_of(&program.structs) as i64,
+            };
+            Ok(CVal::Addr(gid, off + i * elem))
+        }
+        _ => Err(err("unsupported address form")),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn const_init(
+    program: &Program,
+    gids: &HashMap<String, usize>,
+    init: &Init,
+    ty: &Type,
+    off: usize,
+    out: &mut [u8],
+    relocs: &mut Vec<(u32, usize, i64)>,
+) -> Result<(), CompileError> {
+    match (init, ty) {
+        (Init::Expr(e), _) => {
+            let size = ty.size_of(&program.structs);
+            match const_expr(program, gids, e)? {
+                CVal::Int(v) => {
+                    let bytes = (v as i64 as u64).to_le_bytes();
+                    out[off..off + size.min(8)].copy_from_slice(&bytes[..size.min(8)]);
+                }
+                CVal::Addr(gid, addend) => {
+                    relocs.push((off as u32, gid, addend));
+                }
+            }
+            Ok(())
+        }
+        (Init::List(items), Type::Array(elem, n)) => {
+            let es = elem.size_of(&program.structs);
+            for (i, it) in items.iter().take(*n).enumerate() {
+                const_init(program, gids, it, elem, off + i * es, out, relocs)?;
+            }
+            Ok(())
+        }
+        (Init::List(items), Type::Struct(sidx)) => {
+            let mut foff = off;
+            for (i, (_, fty)) in program.structs[*sidx].fields.iter().enumerate() {
+                if let Some(it) = items.get(i) {
+                    const_init(program, gids, it, fty, foff, out, relocs)?;
+                }
+                foff += fty.size_of(&program.structs);
+            }
+            Ok(())
+        }
+        (Init::List(items), _) if items.len() == 1 => {
+            const_init(program, gids, &items[0], ty, off, out, relocs)
+        }
+        _ => Err(CompileError { message: "list initializer for scalar".into() }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct FnLower<'p> {
+    program: &'p Program,
+    tmap: &'p TypeMap,
+    gids: &'p HashMap<String, usize>,
+    func: Func,
+    cur: BlockId,
+    /// name → slot index, per scope.
+    scopes: Vec<Vec<(String, usize)>>,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+/// Lowers a single function.
+fn lower_func(
+    program: &Program,
+    tmap: &TypeMap,
+    gids: &HashMap<String, usize>,
+    f: &ast::Function,
+) -> Result<Func, CompileError> {
+    let mut fl = FnLower {
+        program,
+        tmap,
+        gids,
+        func: Func {
+            name: f.name.clone(),
+            params: Vec::new(),
+            slots: Vec::new(),
+            blocks: vec![Block::default()],
+            next_reg: 0,
+        },
+        cur: 0,
+        scopes: vec![Vec::new()],
+        loops: Vec::new(),
+    };
+    // Parameters: incoming registers spilled to slots.
+    for (name, ty) in &f.params {
+        let r = fl.func.fresh_reg();
+        fl.func.params.push(r);
+        let slot = fl.new_slot(name, ty);
+        let size = fl.sizeof(ty) as u8;
+        let addr = fl.emit_value(Op::AddrLocal(slot), Loc::UNKNOWN);
+        fl.emit_effect(
+            Op::Store { addr: Operand::Reg(addr), val: Operand::Reg(r), size },
+            Loc::UNKNOWN,
+        );
+    }
+    fl.lower_block(&f.body)?;
+    // Implicit `return 0`.
+    if fl.block().term.is_none() {
+        fl.block().term = Some(Term::Ret(Some(Operand::Imm(0))));
+    }
+    // Ensure every block has a terminator (unreachable tails become rets).
+    for b in &mut fl.func.blocks {
+        if b.term.is_none() {
+            b.term = Some(Term::Ret(Some(Operand::Imm(0))));
+        }
+    }
+    Ok(fl.func)
+}
+
+impl<'p> FnLower<'p> {
+    fn sizeof(&self, ty: &Type) -> usize {
+        ty.size_of(&self.program.structs)
+    }
+
+    fn block(&mut self) -> &mut Block {
+        &mut self.func.blocks[self.cur]
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Block::default());
+        self.func.blocks.len() - 1
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.func.blocks[self.cur].instrs.push(instr);
+    }
+
+    fn emit_value(&mut self, op: Op, loc: Loc) -> RegId {
+        let r = self.func.fresh_reg();
+        self.emit(Instr::new(r, op, loc));
+        r
+    }
+
+    fn emit_value_meta(&mut self, op: Op, loc: Loc, meta: Meta) -> RegId {
+        let r = self.func.fresh_reg();
+        self.emit(Instr { dst: Some(r), op, loc, meta });
+        r
+    }
+
+    fn emit_effect(&mut self, op: Op, loc: Loc) {
+        self.emit(Instr::effect(op, loc));
+    }
+
+    fn new_slot(&mut self, name: &str, ty: &Type) -> usize {
+        let size = self.sizeof(ty).max(1) as u32;
+        self.func.slots.push(Slot {
+            name: name.to_string(),
+            size,
+            scope_depth: self.scopes.len() as u32,
+            address_taken: true,
+        });
+        let idx = self.func.slots.len() - 1;
+        self.scopes.last_mut().expect("scope").push((name.to_string(), idx));
+        idx
+    }
+
+    fn lookup(&self, name: &str) -> Option<Place> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, slot)) = scope.iter().rev().find(|(n, _)| n == name) {
+                return Some(Place::Slot(*slot));
+            }
+        }
+        self.gids.get(name).map(|g| Place::Global(*g))
+    }
+
+    fn ty_of(&self, e: &Expr) -> Type {
+        self.tmap.get(&e.id).cloned().unwrap_or_else(Type::int)
+    }
+
+    fn int_ty_of(&self, e: &Expr) -> IntType {
+        self.ty_of(e).as_int().unwrap_or(IntType::INT)
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    /// Lowers an expression to a value operand. Frontend-folds constant
+    /// binaries (the `-O0` folding the paper mentions).
+    fn lower_expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v, ty) => Ok(Operand::Imm(ty.wrap(*v) as i64)),
+            ExprKind::Var(_) | ExprKind::Index(..) | ExprKind::Member(..) | ExprKind::Arrow(..) => {
+                let ty = self.ty_of(e);
+                match ty {
+                    Type::Array(..) => {
+                        // Decay: the address is the value.
+                        let (addr, _) = self.lower_place(e)?;
+                        Ok(addr)
+                    }
+                    _ => {
+                        let (addr, _) = self.lower_place(e)?;
+                        Ok(self.load_from(addr, &ty, e.loc, Meta::default()))
+                    }
+                }
+            }
+            ExprKind::Deref(inner) => {
+                let ty = self.ty_of(e);
+                let addr = self.lower_expr(inner)?;
+                match ty {
+                    Type::Array(..) => Ok(addr),
+                    _ => Ok(self.load_from(addr, &ty, e.loc, Meta::default())),
+                }
+            }
+            ExprKind::Unary(op, a) => {
+                let av = self.lower_expr(a)?;
+                let ty = self.int_ty_of(a).promoted();
+                match op {
+                    UnOp::Neg => {
+                        if let Some(v) = av.as_imm() {
+                            return Ok(Operand::Imm(ty.wrap(-(v as i128)) as i64));
+                        }
+                        let meta = Meta { sanitize: ty.signed, ..Meta::default() };
+                        Ok(Operand::Reg(self.emit_value_meta(
+                            Op::Un { op: UnKind::Neg, a: av, ty },
+                            e.loc,
+                            meta,
+                        )))
+                    }
+                    UnOp::BitNot => {
+                        if let Some(v) = av.as_imm() {
+                            return Ok(Operand::Imm(ty.wrap(!(v as i128)) as i64));
+                        }
+                        Ok(Operand::Reg(self.emit_value(
+                            Op::Un { op: UnKind::Not, a: av, ty },
+                            e.loc,
+                        )))
+                    }
+                    UnOp::Not => {
+                        if let Some(v) = av.as_imm() {
+                            return Ok(Operand::Imm(i64::from(v == 0)));
+                        }
+                        Ok(Operand::Reg(self.emit_value(
+                            Op::Un { op: UnKind::LogicalNot, a: av, ty: IntType::INT },
+                            e.loc,
+                        )))
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b) => self.lower_binary(e, *op, a, b),
+            ExprKind::Assign(l, r) => {
+                let lty = self.ty_of(l);
+                if matches!(lty, Type::Struct(_)) {
+                    let (src, _) = self.lower_place(r)?;
+                    let (dst, _) = self.lower_place(l)?;
+                    let len = self.sizeof(&lty) as u32;
+                    self.emit_effect(Op::MemCopy { dst, src, len }, e.loc);
+                    return Ok(Operand::Imm(0));
+                }
+                let rv = self.lower_expr(r)?;
+                let (addr, _) = self.lower_place(l)?;
+                let size = self.sizeof(&lty).min(8) as u8;
+                self.emit_effect(Op::Store { addr, val: rv, size }, l.loc);
+                Ok(rv)
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                let rv = self.lower_expr(r)?;
+                let lty = self.ty_of(l);
+                let (addr, _) = self.lower_place(l)?;
+                let cur = self.load_from(addr, &lty, l.loc, Meta::default());
+                let ity = self
+                    .int_ty_of(l)
+                    .promoted()
+                    .unify(self.int_ty_of(r).promoted());
+                let result = if lty.is_ptr() {
+                    let scale = self.sizeof(lty.pointee().unwrap_or(&Type::Void)) as i64;
+                    let off = if *op == BinOp::Sub {
+                        let neg = self.emit_value(
+                            Op::Un { op: UnKind::Neg, a: rv, ty: IntType::LONG },
+                            e.loc,
+                        );
+                        Operand::Reg(neg)
+                    } else {
+                        rv
+                    };
+                    Operand::Reg(self.emit_value(
+                        Op::PtrAdd { base: cur, offset: off, scale },
+                        e.loc,
+                    ))
+                } else {
+                    let meta = Meta { sanitize: ity.signed, ..Meta::default() };
+                    Operand::Reg(self.emit_value_meta(
+                        Op::Bin { op: bin_kind(*op), a: cur, b: rv, ty: ity },
+                        e.loc,
+                        meta,
+                    ))
+                };
+                let size = self.sizeof(&lty).min(8) as u8;
+                self.emit_effect(Op::Store { addr, val: result, size }, l.loc);
+                Ok(result)
+            }
+            ExprKind::PreInc(a) | ExprKind::PreDec(a) => {
+                let delta: i64 = if matches!(e.kind, ExprKind::PreInc(_)) { 1 } else { -1 };
+                let aty = self.ty_of(a);
+                let (addr, _) = self.lower_place(a)?;
+                let rmw = Meta { rmw: true, ..Meta::default() };
+                let cur = self.load_from(addr, &aty, e.loc, rmw);
+                let result = if aty.is_ptr() {
+                    let scale = self.sizeof(aty.pointee().unwrap_or(&Type::Void)) as i64;
+                    Operand::Reg(self.emit_value_meta(
+                        Op::PtrAdd { base: cur, offset: Operand::Imm(delta), scale },
+                        e.loc,
+                        rmw,
+                    ))
+                } else {
+                    let ity = self.int_ty_of(a).promoted();
+                    let meta = Meta { sanitize: ity.signed, rmw: true, ..Meta::default() };
+                    Operand::Reg(self.emit_value_meta(
+                        Op::Bin { op: BinKind::Add, a: cur, b: Operand::Imm(delta), ty: ity },
+                        e.loc,
+                        meta,
+                    ))
+                };
+                let size = self.sizeof(&aty).min(8) as u8;
+                self.emit(Instr {
+                    dst: None,
+                    op: Op::Store { addr, val: result, size },
+                    loc: e.loc,
+                    meta: rmw,
+                });
+                Ok(result)
+            }
+            ExprKind::AddrOf(a) => {
+                let (addr, _) = self.lower_place(a)?;
+                Ok(addr)
+            }
+            ExprKind::Cast(ty, a) => {
+                let av = self.lower_expr(a)?;
+                match ty {
+                    Type::Int(to) => {
+                        if let Some(v) = av.as_imm() {
+                            return Ok(Operand::Imm(to.wrap(v as i128) as i64));
+                        }
+                        let widened = is_boolish(a) && to.width.bits() < 32;
+                        let meta = Meta { bool_widened: widened, ..Meta::default() };
+                        Ok(Operand::Reg(self.emit_value_meta(
+                            Op::Cast { a: av, to: *to },
+                            e.loc,
+                            meta,
+                        )))
+                    }
+                    _ => Ok(av), // pointer casts are no-ops at machine level
+                }
+            }
+            ExprKind::Call(name, args) => {
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.lower_expr(a)?);
+                }
+                match name.as_str() {
+                    "malloc" => Ok(Operand::Reg(
+                        self.emit_value(Op::Malloc { size: vals[0] }, e.loc),
+                    )),
+                    "free" => {
+                        self.emit_effect(Op::Free { addr: vals[0] }, e.loc);
+                        Ok(Operand::Imm(0))
+                    }
+                    "print_value" => {
+                        self.emit_effect(Op::Print { val: vals[0] }, e.loc);
+                        Ok(Operand::Imm(0))
+                    }
+                    _ => Ok(Operand::Reg(self.emit_value(
+                        Op::Call { callee: name.clone(), args: vals },
+                        e.loc,
+                    ))),
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                let result = self.new_slot(&format!("$cond{}", e.id), &Type::Int(IntType::LONG));
+                let cv = self.lower_expr(c)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.block().term = Some(Term::Br { cond: cv, then_bb, else_bb });
+                self.switch_to(then_bb);
+                let tv = self.lower_expr(t)?;
+                let addr = self.emit_value(Op::AddrLocal(result), e.loc);
+                self.emit_effect(Op::Store { addr: Operand::Reg(addr), val: tv, size: 8 }, e.loc);
+                self.block().term = Some(Term::Jmp(join));
+                self.switch_to(else_bb);
+                let fv = self.lower_expr(f)?;
+                let addr = self.emit_value(Op::AddrLocal(result), e.loc);
+                self.emit_effect(Op::Store { addr: Operand::Reg(addr), val: fv, size: 8 }, e.loc);
+                self.block().term = Some(Term::Jmp(join));
+                self.switch_to(join);
+                let addr = self.emit_value(Op::AddrLocal(result), e.loc);
+                Ok(Operand::Reg(self.emit_value(
+                    Op::Load { addr: Operand::Reg(addr), size: 8, signed: true },
+                    e.loc,
+                )))
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Operand, CompileError> {
+        // Short-circuit operators need control flow.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let result = self.new_slot(&format!("$sc{}", e.id), &Type::int());
+            let av = self.lower_expr(a)?;
+            let addr = self.emit_value(Op::AddrLocal(result), e.loc);
+            let abool = self.emit_value(
+                Op::Bin { op: BinKind::Ne, a: av, b: Operand::Imm(0), ty: IntType::LONG },
+                a.loc,
+            );
+            self.emit_effect(
+                Op::Store { addr: Operand::Reg(addr), val: Operand::Reg(abool), size: 4 },
+                e.loc,
+            );
+            let eval_b = self.new_block();
+            let join = self.new_block();
+            let term = if op == BinOp::LogAnd {
+                Term::Br { cond: Operand::Reg(abool), then_bb: eval_b, else_bb: join }
+            } else {
+                Term::Br { cond: Operand::Reg(abool), then_bb: join, else_bb: eval_b }
+            };
+            self.block().term = Some(term);
+            self.switch_to(eval_b);
+            let bv = self.lower_expr(b)?;
+            let bbool = self.emit_value(
+                Op::Bin { op: BinKind::Ne, a: bv, b: Operand::Imm(0), ty: IntType::LONG },
+                b.loc,
+            );
+            let addr2 = self.emit_value(Op::AddrLocal(result), e.loc);
+            self.emit_effect(
+                Op::Store { addr: Operand::Reg(addr2), val: Operand::Reg(bbool), size: 4 },
+                e.loc,
+            );
+            self.block().term = Some(Term::Jmp(join));
+            self.switch_to(join);
+            let addr3 = self.emit_value(Op::AddrLocal(result), e.loc);
+            return Ok(Operand::Reg(self.emit_value(
+                Op::Load { addr: Operand::Reg(addr3), size: 4, signed: true },
+                e.loc,
+            )));
+        }
+        let ta = self.ty_of(a).decayed();
+        let tb = self.ty_of(b).decayed();
+        let av = self.lower_expr(a)?;
+        let bv = self.lower_expr(b)?;
+        // Pointer arithmetic / comparisons.
+        if ta.is_ptr() || tb.is_ptr() {
+            match op {
+                BinOp::Add | BinOp::Sub if ta.is_ptr() && tb.is_int() => {
+                    let scale = self.sizeof(ta.pointee().unwrap_or(&Type::Void)) as i64;
+                    let off = if op == BinOp::Sub {
+                        if let Some(v) = bv.as_imm() {
+                            Operand::Imm(-v)
+                        } else {
+                            Operand::Reg(self.emit_value(
+                                Op::Un { op: UnKind::Neg, a: bv, ty: IntType::LONG },
+                                e.loc,
+                            ))
+                        }
+                    } else {
+                        bv
+                    };
+                    return Ok(Operand::Reg(self.emit_value(
+                        Op::PtrAdd { base: av, offset: off, scale },
+                        e.loc,
+                    )));
+                }
+                BinOp::Add if ta.is_int() && tb.is_ptr() => {
+                    let scale = self.sizeof(tb.pointee().unwrap_or(&Type::Void)) as i64;
+                    return Ok(Operand::Reg(self.emit_value(
+                        Op::PtrAdd { base: bv, offset: av, scale },
+                        e.loc,
+                    )));
+                }
+                BinOp::Sub if ta.is_ptr() && tb.is_ptr() => {
+                    let diff = self.emit_value(
+                        Op::Bin { op: BinKind::Sub, a: av, b: bv, ty: IntType::LONG },
+                        e.loc,
+                    );
+                    let scale = self.sizeof(ta.pointee().unwrap_or(&Type::Void)).max(1) as i64;
+                    return Ok(Operand::Reg(self.emit_value(
+                        Op::Bin {
+                            op: BinKind::Div,
+                            a: Operand::Reg(diff),
+                            b: Operand::Imm(scale),
+                            ty: IntType::LONG,
+                        },
+                        e.loc,
+                    )));
+                }
+                _ if op.is_comparison() => {
+                    return Ok(Operand::Reg(self.emit_value(
+                        Op::Bin { op: bin_kind(op), a: av, b: bv, ty: IntType::ULONG },
+                        e.loc,
+                    )));
+                }
+                _ => {
+                    return Err(CompileError {
+                        message: format!("invalid pointer operation {op:?}"),
+                    })
+                }
+            }
+        }
+        let ia = self.int_ty_of(a);
+        let ib = self.int_ty_of(b);
+        let ty = if op.is_shift() { ia.promoted() } else { ia.unify(ib) };
+        // Frontend constant folding (even at -O0).
+        if let (Some(x), Some(y)) = (av.as_imm(), bv.as_imm()) {
+            if let Some(v) = crate::passes::fold_bin(bin_kind(op), x, y, ty) {
+                return Ok(Operand::Imm(v));
+            }
+        }
+        let meta = Meta {
+            sanitize: ty.signed && (op.is_arith() || op.is_shift()),
+            char_shift_amount: op.is_shift() && self.int_ty_of(b).width.bits() == 8,
+            ..Meta::default()
+        };
+        Ok(Operand::Reg(self.emit_value_meta(
+            Op::Bin { op: bin_kind(op), a: av, b: bv, ty },
+            e.loc,
+            meta,
+        )))
+    }
+
+    fn load_from(&mut self, addr: Operand, ty: &Type, loc: Loc, meta: Meta) -> Operand {
+        let (size, signed) = match ty {
+            Type::Int(it) => (it.width.bytes() as u8, it.signed),
+            Type::Ptr(_) => (8, false),
+            _ => (8, false),
+        };
+        Operand::Reg(self.emit_value_meta(Op::Load { addr, size, signed }, loc, meta))
+    }
+
+    /// Lowers an lvalue to its address operand and type.
+    fn lower_place(&mut self, e: &Expr) -> Result<(Operand, Type), CompileError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                let ty = self.ty_of(e);
+                match self.lookup(name) {
+                    Some(Place::Slot(s)) => {
+                        Ok((Operand::Reg(self.emit_value(Op::AddrLocal(s), e.loc)), ty))
+                    }
+                    Some(Place::Global(g)) => {
+                        Ok((Operand::Reg(self.emit_value(Op::AddrGlobal(g), e.loc)), ty))
+                    }
+                    None => Err(CompileError { message: format!("unknown variable {name}") }),
+                }
+            }
+            ExprKind::Deref(inner) => {
+                let addr = self.lower_expr(inner)?;
+                Ok((addr, self.ty_of(e)))
+            }
+            ExprKind::Index(base, idx) => {
+                let base_ty = self.ty_of(base);
+                let base_addr = if matches!(base_ty, Type::Array(..)) {
+                    self.lower_place(base)?.0
+                } else {
+                    self.lower_expr(base)?
+                };
+                let iv = self.lower_expr(idx)?;
+                let elem_ty = self.ty_of(e);
+                let scale = self.sizeof(&elem_ty).max(1) as i64;
+                let addr = self.emit_value(
+                    Op::PtrAdd { base: base_addr, offset: iv, scale },
+                    e.loc,
+                );
+                Ok((Operand::Reg(addr), elem_ty))
+            }
+            ExprKind::Member(base, field) => {
+                let (baddr, bty) = self.lower_place(base)?;
+                let (off, fty) = self.field(&bty, field)?;
+                let addr = self.emit_value(
+                    Op::PtrAdd { base: baddr, offset: Operand::Imm(off), scale: 1 },
+                    e.loc,
+                );
+                Ok((Operand::Reg(addr), fty))
+            }
+            ExprKind::Arrow(base, field) => {
+                let baddr = self.lower_expr(base)?;
+                let bty = self.ty_of(base).decayed();
+                let pointee = bty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| CompileError { message: "-> on non-pointer".into() })?;
+                let (off, fty) = self.field(&pointee, field)?;
+                let addr = self.emit_value(
+                    Op::PtrAdd { base: baddr, offset: Operand::Imm(off), scale: 1 },
+                    e.loc,
+                );
+                Ok((Operand::Reg(addr), fty))
+            }
+            _ => Err(CompileError { message: format!("not an lvalue at {}", e.loc) }),
+        }
+    }
+
+    fn field(&self, ty: &Type, name: &str) -> Result<(i64, Type), CompileError> {
+        match ty {
+            Type::Struct(idx) => self.program.structs[*idx]
+                .field_offset(name, &self.program.structs)
+                .map(|(o, t)| (o as i64, t.clone()))
+                .ok_or_else(|| CompileError { message: format!("no field {name}") }),
+            _ => Err(CompileError { message: "member of non-struct".into() }),
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn lower_block(&mut self, b: &ast::Block) -> Result<(), CompileError> {
+        self.scopes.push(Vec::new());
+        let mut my_slots = Vec::new();
+        for s in &b.stmts {
+            self.lower_stmt(s, &mut my_slots)?;
+            if self.block().term.is_some() {
+                break; // unreachable code after return/break
+            }
+        }
+        // Scope exit: end lifetimes in reverse order.
+        if self.block().term.is_none() {
+            for slot in my_slots.iter().rev() {
+                self.emit_effect(Op::LifetimeEnd(*slot), Loc::UNKNOWN);
+            }
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, my_slots: &mut Vec<usize>) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::Decl(d) => {
+                let slot = self.new_slot(&d.name, &d.ty);
+                my_slots.push(slot);
+                self.emit_effect(Op::LifetimeStart(slot), s.loc);
+                if let Some(init) = &d.init {
+                    self.lower_local_init(slot, &d.ty, init, s.loc)?;
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            StmtKind::If(c, t, f) => {
+                let cv = self.lower_expr(c)?;
+                let then_bb = self.new_block();
+                let join = self.new_block();
+                let else_bb = if f.is_some() { self.new_block() } else { join };
+                self.block().term = Some(Term::Br { cond: cv, then_bb, else_bb });
+                self.switch_to(then_bb);
+                self.lower_block(t)?;
+                if self.block().term.is_none() {
+                    self.block().term = Some(Term::Jmp(join));
+                }
+                if let Some(f) = f {
+                    self.switch_to(else_bb);
+                    self.lower_block(f)?;
+                    if self.block().term.is_none() {
+                        self.block().term = Some(Term::Jmp(join));
+                    }
+                }
+                self.switch_to(join);
+                Ok(())
+            }
+            StmtKind::While(c, body) => {
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.block().term = Some(Term::Jmp(cond_bb));
+                self.switch_to(cond_bb);
+                let cv = self.lower_expr(c)?;
+                self.block().term =
+                    Some(Term::Br { cond: cv, then_bb: body_bb, else_bb: exit_bb });
+                self.switch_to(body_bb);
+                self.loops.push((cond_bb, exit_bb));
+                self.lower_block(body)?;
+                self.loops.pop();
+                if self.block().term.is_none() {
+                    self.block().term = Some(Term::Jmp(cond_bb));
+                }
+                self.switch_to(exit_bb);
+                Ok(())
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.scopes.push(Vec::new());
+                let mut for_slots = Vec::new();
+                if let Some(i) = init {
+                    self.lower_stmt(i, &mut for_slots)?;
+                }
+                let cond_bb = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.block().term = Some(Term::Jmp(cond_bb));
+                self.switch_to(cond_bb);
+                match cond {
+                    Some(c) => {
+                        let cv = self.lower_expr(c)?;
+                        self.block().term =
+                            Some(Term::Br { cond: cv, then_bb: body_bb, else_bb: exit_bb });
+                    }
+                    None => {
+                        self.block().term = Some(Term::Jmp(body_bb));
+                    }
+                }
+                self.switch_to(body_bb);
+                self.loops.push((step_bb, exit_bb));
+                self.lower_block(body)?;
+                self.loops.pop();
+                if self.block().term.is_none() {
+                    self.block().term = Some(Term::Jmp(step_bb));
+                }
+                self.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_expr(st)?;
+                }
+                self.block().term = Some(Term::Jmp(cond_bb));
+                self.switch_to(exit_bb);
+                for slot in for_slots.iter().rev() {
+                    self.emit_effect(Op::LifetimeEnd(*slot), Loc::UNKNOWN);
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => None,
+                };
+                self.block().term = Some(Term::Ret(v));
+                Ok(())
+            }
+            StmtKind::Break => {
+                let (_, exit) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError { message: "break outside loop".into() })?;
+                self.block().term = Some(Term::Jmp(exit));
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError { message: "continue outside loop".into() })?;
+                self.block().term = Some(Term::Jmp(cont));
+                Ok(())
+            }
+            StmtKind::Block(b) => self.lower_block(b),
+        }
+    }
+
+    fn lower_local_init(
+        &mut self,
+        slot: usize,
+        ty: &Type,
+        init: &Init,
+        loc: Loc,
+    ) -> Result<(), CompileError> {
+        match (init, ty) {
+            (Init::Expr(e), _) => {
+                let v = self.lower_expr(e)?;
+                let addr = self.emit_value(Op::AddrLocal(slot), loc);
+                let size = self.sizeof(ty).min(8) as u8;
+                self.emit_effect(Op::Store { addr: Operand::Reg(addr), val: v, size }, loc);
+                Ok(())
+            }
+            (Init::List(items), Type::Array(elem, n)) => {
+                let es = self.sizeof(elem) as i64;
+                let size = self.sizeof(elem).min(8) as u8;
+                for i in 0..*n {
+                    let v = match items.get(i) {
+                        Some(Init::Expr(e)) => self.lower_expr(e)?,
+                        Some(nested) => {
+                            // Nested aggregate: recurse via offset stores.
+                            self.lower_nested_init(slot, elem, nested, (i as i64) * es, loc)?;
+                            continue;
+                        }
+                        None => Operand::Imm(0),
+                    };
+                    let base = self.emit_value(Op::AddrLocal(slot), loc);
+                    let addr = self.emit_value(
+                        Op::PtrAdd {
+                            base: Operand::Reg(base),
+                            offset: Operand::Imm(i as i64),
+                            scale: es,
+                        },
+                        loc,
+                    );
+                    self.emit_effect(
+                        Op::Store { addr: Operand::Reg(addr), val: v, size },
+                        loc,
+                    );
+                }
+                Ok(())
+            }
+            (Init::List(items), Type::Struct(sidx)) => {
+                let fields: Vec<(i64, Type)> = {
+                    let mut off = 0i64;
+                    self.program.structs[*sidx]
+                        .fields
+                        .iter()
+                        .map(|(_, t)| {
+                            let o = off;
+                            off += t.size_of(&self.program.structs) as i64;
+                            (o, t.clone())
+                        })
+                        .collect()
+                };
+                for (i, (off, fty)) in fields.iter().enumerate() {
+                    if let Some(it) = items.get(i) {
+                        self.lower_nested_init(slot, fty, it, *off, loc)?;
+                    }
+                }
+                Ok(())
+            }
+            (Init::List(items), _) if items.len() == 1 => {
+                self.lower_local_init(slot, ty, &items[0], loc)
+            }
+            _ => Err(CompileError { message: "bad initializer shape".into() }),
+        }
+    }
+
+    fn lower_nested_init(
+        &mut self,
+        slot: usize,
+        ty: &Type,
+        init: &Init,
+        byte_off: i64,
+        loc: Loc,
+    ) -> Result<(), CompileError> {
+        match (init, ty) {
+            (Init::Expr(e), _) => {
+                let v = self.lower_expr(e)?;
+                let base = self.emit_value(Op::AddrLocal(slot), loc);
+                let addr = self.emit_value(
+                    Op::PtrAdd {
+                        base: Operand::Reg(base),
+                        offset: Operand::Imm(byte_off),
+                        scale: 1,
+                    },
+                    loc,
+                );
+                let size = self.sizeof(ty).min(8) as u8;
+                self.emit_effect(Op::Store { addr: Operand::Reg(addr), val: v, size }, loc);
+                Ok(())
+            }
+            (Init::List(items), Type::Array(elem, n)) => {
+                let es = self.sizeof(elem) as i64;
+                for (i, item) in items.iter().take(*n).enumerate() {
+                    self.lower_nested_init(slot, elem, item, byte_off + (i as i64) * es, loc)?;
+                }
+                Ok(())
+            }
+            _ => Err(CompileError { message: "bad nested initializer".into() }),
+        }
+    }
+}
+
+enum Place {
+    Slot(usize),
+    Global(usize),
+}
+
+fn bin_kind(op: BinOp) -> BinKind {
+    match op {
+        BinOp::Add => BinKind::Add,
+        BinOp::Sub => BinKind::Sub,
+        BinOp::Mul => BinKind::Mul,
+        BinOp::Div => BinKind::Div,
+        BinOp::Rem => BinKind::Rem,
+        BinOp::Shl => BinKind::Shl,
+        BinOp::Shr => BinKind::Shr,
+        BinOp::BitAnd => BinKind::And,
+        BinOp::BitOr => BinKind::Or,
+        BinOp::BitXor => BinKind::Xor,
+        BinOp::Lt => BinKind::Lt,
+        BinOp::Le => BinKind::Le,
+        BinOp::Gt => BinKind::Gt,
+        BinOp::Ge => BinKind::Ge,
+        BinOp::Eq => BinKind::Eq,
+        BinOp::Ne => BinKind::Ne,
+        BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuit lowered separately"),
+    }
+}
+
+/// True for expressions that produce 0/1 (comparison chains combined with
+/// bitwise or/and) — the raw material of the Fig. 12b folding defect.
+fn is_boolish(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Binary(op, a, b) => {
+            op.is_comparison()
+                || (matches!(op, BinOp::BitOr | BinOp::BitAnd | BinOp::LogAnd | BinOp::LogOr)
+                    && is_boolish(a)
+                    && is_boolish(b))
+        }
+        ExprKind::Unary(UnOp::Not, _) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+
+    fn lower_src(src: &str) -> Module {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowers_simple_main() {
+        let m = lower_src("int main(void) { int x = 2; return x + 3; }");
+        let f = m.func("main").unwrap();
+        assert!(!f.blocks.is_empty());
+        assert!(f.slots.iter().any(|s| s.name == "x"));
+    }
+
+    #[test]
+    fn frontend_folds_constants() {
+        let m = lower_src("int main(void) { return 2 + 3 * 4; }");
+        let f = m.func("main").unwrap();
+        // Everything folded: no Bin instructions remain.
+        let bins = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, Op::Bin { .. }))
+            .count();
+        assert_eq!(bins, 0);
+        assert_eq!(f.blocks[0].term, Some(Term::Ret(Some(Operand::Imm(14)))));
+    }
+
+    #[test]
+    fn global_initializers_with_relocs() {
+        let m = lower_src(
+            "int g[3] = {7, 8, 9};
+             int *p = g;
+             int *q = &g[2];
+             int main(void) { return 0; }",
+        );
+        assert_eq!(m.globals[0].init[0], 7);
+        assert_eq!(m.globals[1].relocs, vec![(0, 0, 0)]);
+        assert_eq!(m.globals[2].relocs, vec![(0, 0, 8)]);
+    }
+
+    #[test]
+    fn loops_have_four_block_shape() {
+        let m = lower_src(
+            "int main(void) { int s = 0; for (int i = 0; i < 4; i = i + 1) { s += i; } return s; }",
+        );
+        let f = m.func("main").unwrap();
+        assert!(f.blocks.len() >= 5, "entry+cond+body+step+exit: {}", f.blocks.len());
+    }
+
+    #[test]
+    fn rmw_metadata_set() {
+        let m = lower_src("int g; int main(void) { ++g; return g; }");
+        let f = m.func("main").unwrap();
+        let rmw_count = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| i.meta.rmw)
+            .count();
+        assert!(rmw_count >= 3, "load+add+store all marked rmw: {rmw_count}");
+    }
+
+    #[test]
+    fn bool_widened_cast_flagged() {
+        let m = lower_src(
+            "int a; int b; int main(void) { short s = (short)((a == 1) | (b > 2)); return s; }",
+        );
+        let f = m.func("main").unwrap();
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| i.meta.bool_widened && matches!(i.op, Op::Cast { .. })));
+    }
+
+    #[test]
+    fn sanitize_flag_on_signed_arith_only() {
+        let m = lower_src(
+            "int a; unsigned int u; int main(void) { int x = a + a; unsigned int y = u + u; return x + (int)y; }",
+        );
+        let f = m.func("main").unwrap();
+        let flags: Vec<bool> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i.op {
+                Op::Bin { op: BinKind::Add, ty, .. } => Some((i.meta.sanitize, ty.signed)),
+                _ => None,
+            })
+            .map(|(s, signed)| s == signed)
+            .collect();
+        assert!(!flags.is_empty());
+        assert!(flags.iter().all(|&ok| ok), "sanitize flag tracks signedness");
+    }
+
+    #[test]
+    fn short_circuit_creates_branches() {
+        let m = lower_src("int a; int b; int main(void) { return (a == 1) && (b == 2); }");
+        let f = m.func("main").unwrap();
+        assert!(f.blocks.len() >= 3);
+    }
+
+    #[test]
+    fn lifetime_markers_emitted_for_inner_scopes() {
+        let m = lower_src("int main(void) { { int t = 1; t = t + 1; } return 0; }");
+        let f = m.func("main").unwrap();
+        let starts = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, Op::LifetimeStart(_)))
+            .count();
+        let ends = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, Op::LifetimeEnd(_)))
+            .count();
+        assert!(starts >= 1);
+        assert!(ends >= 1);
+    }
+
+    #[test]
+    fn rejects_nonconst_global_init() {
+        let p = parse("int a; int b = a; int main(void) { return b; }").unwrap();
+        assert!(lower(&p).is_err());
+    }
+}

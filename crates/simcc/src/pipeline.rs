@@ -1,0 +1,287 @@
+//! Vendor compilation pipelines (paper Fig. 2).
+//!
+//! `frontend → early optimizer passes → sanitizer pass → late optimizer
+//! passes → "backend"`. The two vendors run different pass mixes at each
+//! level, and newer versions optimize harder — which is what makes
+//! cross-compiler and cross-level differential testing produce both kinds of
+//! discrepancy the paper wrestles with.
+
+use crate::defects::DefectRegistry;
+use crate::ir::{Module, Sanitizer};
+use crate::lower::{lower, CompileError};
+use crate::passes;
+use crate::san::{self, SanCtx};
+use crate::target::{BuildInfo, CompilerId, OptLevel, Vendor};
+use ubfuzz_minic::Program;
+
+/// A full compiler invocation: compiler, level, sanitizer, defect world.
+#[derive(Debug, Clone)]
+pub struct CompileConfig<'a> {
+    /// Which compiler.
+    pub compiler: CompilerId,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Sanitizer to enable, if any (`-fsanitize=`).
+    pub sanitizer: Option<Sanitizer>,
+    /// The defect world (usually [`DefectRegistry::full`]).
+    pub registry: &'a DefectRegistry,
+}
+
+impl<'a> CompileConfig<'a> {
+    /// Development-head compiler at `opt` with `sanitizer`.
+    pub fn dev(
+        vendor: Vendor,
+        opt: OptLevel,
+        sanitizer: Option<Sanitizer>,
+        registry: &'a DefectRegistry,
+    ) -> CompileConfig<'a> {
+        CompileConfig { compiler: CompilerId::dev(vendor), opt, sanitizer, registry }
+    }
+}
+
+/// Compiles `program` under `cfg`.
+///
+/// # Errors
+///
+/// Fails on programs outside the frontend subset (e.g. non-constant global
+/// initializers) and on unsupported sanitizer combinations — GCC has no
+/// MSan, exactly as the paper notes in §4.1.
+pub fn compile(program: &Program, cfg: &CompileConfig<'_>) -> Result<Module, CompileError> {
+    if cfg.compiler.vendor == Vendor::Gcc && cfg.sanitizer == Some(Sanitizer::Msan) {
+        return Err(CompileError { message: "GCC does not support MemorySanitizer".into() });
+    }
+    let mut module = lower(program)?;
+    module.build = Some(BuildInfo { compiler: cfg.compiler, opt: cfg.opt });
+    run_early_opts(&mut module, cfg);
+    if let Some(s) = cfg.sanitizer {
+        let ctx = SanCtx {
+            vendor: cfg.compiler.vendor,
+            version: cfg.compiler.version,
+            opt: cfg.opt,
+            registry: cfg.registry,
+        };
+        match s {
+            Sanitizer::Asan => san::run_asan(&mut module, &ctx),
+            Sanitizer::Ubsan => {
+                san::run_ubsan(&mut module, &ctx);
+                san::ubsan_global_store_fixup(&mut module, &ctx);
+            }
+            Sanitizer::Msan => san::run_msan(&mut module, &ctx),
+        }
+    }
+    run_late_opts(&mut module, cfg);
+    Ok(module)
+}
+
+/// Unroll threshold per vendor/version/level.
+fn unroll_threshold(cfg: &CompileConfig<'_>) -> i64 {
+    let v = cfg.compiler.version as i64;
+    match (cfg.compiler.vendor, cfg.opt) {
+        (_, OptLevel::O0 | OptLevel::O1 | OptLevel::Os) => 0,
+        (Vendor::Gcc, OptLevel::O2) => {
+            if v >= 10 {
+                8
+            } else {
+                4
+            }
+        }
+        (Vendor::Gcc, OptLevel::O3) => 16,
+        (Vendor::Llvm, OptLevel::O2) => 6,
+        (Vendor::Llvm, OptLevel::O3) => {
+            if v >= 12 {
+                16
+            } else {
+                12
+            }
+        }
+    }
+}
+
+fn run_early_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
+    let basic = |m: &mut Module, loads: bool| {
+        for _ in 0..3 {
+            let mut any = false;
+            any |= passes::constfold(m);
+            any |= passes::dce(m, loads);
+            any |= passes::simplify_cfg(m);
+            if !any {
+                break;
+            }
+        }
+    };
+    match cfg.opt {
+        OptLevel::O0 => {}
+        OptLevel::O1 => {
+            basic(m, true);
+        }
+        OptLevel::Os => {
+            basic(m, true);
+            passes::memopt(m);
+            passes::dead_slot_elim(m);
+            basic(m, true);
+        }
+        OptLevel::O2 | OptLevel::O3 => {
+            basic(m, true);
+            let threshold = unroll_threshold(cfg);
+            match cfg.compiler.vendor {
+                Vendor::Gcc => {
+                    // GCC: unroll, then inline, then scalar cleanup.
+                    passes::unroll(m, threshold);
+                    passes::inline(m, 40);
+                }
+                Vendor::Llvm => {
+                    // LLVM: inline first, then unroll.
+                    passes::inline(m, 40);
+                    passes::unroll(m, threshold);
+                }
+            }
+            basic(m, true);
+            passes::memopt(m);
+            passes::dead_slot_elim(m);
+            basic(m, true);
+            passes::memopt(m);
+            basic(m, true);
+        }
+    }
+}
+
+fn run_late_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
+    if cfg.opt == OptLevel::O0 {
+        return;
+    }
+    // Post-instrumentation cleanup must keep checks and loads.
+    for _ in 0..2 {
+        let mut any = false;
+        any |= passes::constfold(m);
+        any |= passes::dce(m, false);
+        any |= passes::simplify_cfg(m);
+        if !any {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+    use ubfuzz_minic::parse;
+
+    fn count_checks(m: &Module) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.instrs)
+            .filter(|i| i.op.is_sanitizer_op())
+            .count()
+    }
+
+    #[test]
+    fn gcc_msan_unsupported() {
+        let p = parse("int main(void) { return 0; }").unwrap();
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Msan), &reg);
+        assert!(compile(&p, &cfg).is_err());
+    }
+
+    #[test]
+    fn asan_inserts_checks_at_o0() {
+        let p = parse(
+            "int g[4]; int main(void) { int i = 1; g[i] = 3; return g[i]; }",
+        )
+        .unwrap();
+        let reg = DefectRegistry::pristine();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg);
+        let m = compile(&p, &cfg).unwrap();
+        assert!(count_checks(&m) >= 2, "load+store checks: {}", count_checks(&m));
+        assert_eq!(m.san.sanitizer, Some(Sanitizer::Asan));
+    }
+
+    #[test]
+    fn ubsan_inserts_arith_checks() {
+        let p = parse(
+            "int a; int b; int main(void) { int x = a + b; int y = a / (b + 1); return x + y; }",
+        )
+        .unwrap();
+        let reg = DefectRegistry::pristine();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O0, Some(Sanitizer::Ubsan), &reg);
+        let m = compile(&p, &cfg).unwrap();
+        let arith = m
+            .funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i.op, Op::UbsanCheckArith { .. } | Op::UbsanCheckDiv { .. }))
+            .count();
+        assert!(arith >= 3, "adds and div checked: {arith}");
+    }
+
+    #[test]
+    fn optimization_reduces_instruction_count() {
+        let p = parse(
+            "int g; int main(void) { int a = 3; int b = 4; int dead = a * b; g = a + b; return g; }",
+        )
+        .unwrap();
+        let reg = DefectRegistry::full();
+        let o0 = compile(&p, &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &reg)).unwrap();
+        let o2 = compile(&p, &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, None, &reg)).unwrap();
+        assert!(o2.instr_count() < o0.instr_count());
+    }
+
+    #[test]
+    fn defect_application_recorded_in_metadata() {
+        // Fig. 1 shape: store through a global pointer variable at -O2.
+        let p = parse(
+            "int g; int *ptr = &g;
+             int main(void) { *ptr = 7; return g; }",
+        )
+        .unwrap();
+        let reg = DefectRegistry::full();
+        let m = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        assert!(
+            m.san.applied_defects.iter().any(|(id, _)| *id == "gcc-asan-d01"),
+            "gcc-asan-d01 fires on global-pointer stores: {:?}",
+            m.san.applied_defects
+        );
+        // Pristine world: no defects applied.
+        let clean = DefectRegistry::pristine();
+        let m2 = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &clean),
+        )
+        .unwrap();
+        assert!(m2.san.applied_defects.is_empty());
+    }
+
+    #[test]
+    fn versions_change_optimization_behavior() {
+        let p = parse(
+            "int g; int main(void) { for (int i = 0; i < 6; i = i + 1) { g = g + 1; } return g; }",
+        )
+        .unwrap();
+        let reg = DefectRegistry::full();
+        let old = CompileConfig {
+            compiler: CompilerId { vendor: Vendor::Gcc, version: 6 },
+            opt: OptLevel::O2,
+            sanitizer: None,
+            registry: &reg,
+        };
+        let new = CompileConfig {
+            compiler: CompilerId { vendor: Vendor::Gcc, version: 13 },
+            opt: OptLevel::O2,
+            sanitizer: None,
+            registry: &reg,
+        };
+        let m_old = compile(&p, &old).unwrap();
+        let m_new = compile(&p, &new).unwrap();
+        // GCC ≥ 10 unrolls trip-6 loops at -O2; GCC 6 does not.
+        let loops_old = crate::passes::blocks_in_loops(m_old.func("main").unwrap());
+        let loops_new = crate::passes::blocks_in_loops(m_new.func("main").unwrap());
+        assert!(loops_old.iter().any(|&b| b));
+        assert!(!loops_new.iter().any(|&b| b));
+    }
+}

@@ -1,0 +1,133 @@
+//! Compiler identities: vendor, version, optimization level.
+
+use std::fmt;
+
+/// Compiler vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// The GCC-like pipeline.
+    Gcc,
+    /// The LLVM-like pipeline.
+    Llvm,
+}
+
+impl Vendor {
+    /// Both vendors.
+    pub const ALL: [Vendor; 2] = [Vendor::Gcc, Vendor::Llvm];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Gcc => "GCC",
+            Vendor::Llvm => "LLVM",
+        }
+    }
+
+    /// Stable release versions modelled for this vendor (paper Fig. 10 uses
+    /// GCC 5–13 and LLVM 5–17).
+    pub fn stable_versions(self) -> std::ops::RangeInclusive<u32> {
+        match self {
+            Vendor::Gcc => 5..=13,
+            Vendor::Llvm => 5..=17,
+        }
+    }
+
+    /// The in-development version the campaign tests (one past the newest
+    /// stable release).
+    pub fn dev_version(self) -> u32 {
+        *self.stable_versions().end() + 1
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization (frontend folding still applies).
+    O0,
+    /// Basic optimizations.
+    O1,
+    /// Optimize for size.
+    Os,
+    /// Standard optimizations.
+    O2,
+    /// Aggressive optimizations.
+    O3,
+}
+
+impl OptLevel {
+    /// The levels the paper enables (§4.1).
+    pub const ALL: [OptLevel; 5] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::Os, OptLevel::O2, OptLevel::O3];
+
+    /// Command-line spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::Os => "-Os",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete compiler: vendor plus version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompilerId {
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Major version.
+    pub version: u32,
+}
+
+impl CompilerId {
+    /// The development head of a vendor (what the campaign tests).
+    pub fn dev(vendor: Vendor) -> CompilerId {
+        CompilerId { vendor, version: vendor.dev_version() }
+    }
+}
+
+impl fmt::Display for CompilerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.vendor, self.version)
+    }
+}
+
+/// Compiler and optimization level a module was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// The compiler.
+    pub compiler: CompilerId,
+    /// The optimization level.
+    pub opt: OptLevel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_ranges_match_paper() {
+        assert_eq!(Vendor::Gcc.stable_versions(), 5..=13);
+        assert_eq!(Vendor::Llvm.stable_versions(), 5..=17);
+        assert_eq!(Vendor::Gcc.dev_version(), 14);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CompilerId::dev(Vendor::Gcc).to_string(), "GCC-14");
+        assert_eq!(OptLevel::Os.to_string(), "-Os");
+    }
+}

@@ -1,0 +1,920 @@
+//! `ubfuzz-ubgen` — the paper's UB program generator: **Shadow Statement
+//! Insertion** (paper §3.1–§3.2, Table 1, Algorithm 1).
+//!
+//! Given a valid seed program and a target UB kind, the generator
+//!
+//! 1. **matches expressions** whose code construct can exhibit the kind
+//!    (`GetMatchedExpr`, §3.2.1);
+//! 2. **profiles** one execution of the seed, recording the observed values
+//!    of the matched expressions and all allocation lifetimes
+//!    (`Profile`, §3.2.2 — implemented by the reference interpreter's
+//!    watch mechanism);
+//! 3. **synthesizes a shadow statement** `Δ(expr)` per match and inserts it
+//!    immediately before the statement containing the expression
+//!    (`SynShadowStmt`/`Insert`, §3.2.3), using the instantiations of
+//!    Table 1's last column — including the Fig. 6 variable-assignment form
+//!    (`x = 5;`) when the mutable operand is a plain variable, and the
+//!    auxiliary-variable form (`b̂x = v − x; a[x + b̂x]`) otherwise.
+//!
+//! Every candidate is then **validated** against the reference interpreter:
+//! the mutated program must exhibit exactly the requested UB kind at exactly
+//! the mutated expression. Candidates that fail (e.g. a sampled overflow
+//! value that cannot be reached) are dropped, which establishes the paper's
+//! property that UBfuzz-generated programs always contain the intended,
+//! single UB (Table 4 has no "No UB" column for UBfuzz).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use ubfuzz_interp::{run_with_config, ExecConfig, ExecProfile, Outcome, Storage};
+use ubfuzz_minic::ast::*;
+use ubfuzz_minic::build as b;
+use ubfuzz_minic::typeck::{typecheck, TypeMap};
+use ubfuzz_minic::types::{IntType, Type};
+use ubfuzz_minic::visit::{
+    append_to_enclosing_block, enclosing_stmt, for_each_expr, for_each_stmt, insert_before_stmt,
+    replace_expr,
+};
+use ubfuzz_minic::{pretty, Loc, NodeId, Program, UbKind};
+
+/// Generator options.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Maximum UB programs emitted per (seed, kind).
+    pub max_per_kind: usize,
+    /// RNG seed for Monte-Carlo value sampling (§3.2.3, integer overflow).
+    pub rng_seed: u64,
+    /// Step budget for profiling and validation runs.
+    pub step_limit: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> GenOptions {
+        GenOptions { max_per_kind: 12, rng_seed: 1, step_limit: 400_000 }
+    }
+}
+
+/// A generated UB program with its ground truth.
+#[derive(Debug, Clone)]
+pub struct UbProgram {
+    /// The mutated program (relocated: fresh `(line, offset)`s).
+    pub program: Program,
+    /// The single UB it contains.
+    pub kind: UbKind,
+    /// Location of the UB expression in the mutated program.
+    pub ub_loc: Loc,
+    /// Node id of the UB expression.
+    pub ub_node: NodeId,
+    /// Human-readable description of the applied mutation.
+    pub description: String,
+}
+
+/// One matched expression (the paper's `E` list entries).
+#[derive(Debug, Clone)]
+struct Candidate {
+    kind: UbKind,
+    /// The target expression.
+    target: NodeId,
+    /// Expressions whose runtime values the synthesizer needs.
+    watch: Vec<NodeId>,
+    /// Shape-specific payload.
+    shape: Shape,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    /// `a[x]` with `a` an array of `len` elements of `elem_size` bytes;
+    /// `idx` is the index expression; `idx_var` set when it is a plain
+    /// mutable variable (enables the Fig. 6 `x = v;` instantiation).
+    ArrayIndex { idx: NodeId, len: usize, elem_size: usize, idx_var: Option<String>, idx_ty: IntType },
+    /// `*p` / `p->f` / `p[i]` with pointer expression `ptr`; `k_var` is the
+    /// `*(d + k)` integer variable when present (Fig. 1 instantiation).
+    PtrDeref { ptr: NodeId, elem_size: usize, k_var: Option<(String, NodeId)> },
+    /// `*p` where `p` is a pointer variable (free/null/scope targets).
+    VarDeref { var: String, ptr_ty: Type },
+    /// `x op y` (or `-x` when `unary`).
+    Arith { op: Option<BinOp>, a: NodeId, b: Option<NodeId>, ty: IntType },
+    /// `x << y` / `x >> y`: the amount expression and promoted width.
+    Shift { amount: NodeId, bits: u32, amount_ty: IntType },
+    /// `x / y` / `x % y`: the divisor expression.
+    Div { divisor: NodeId, ty: IntType },
+    /// `if (x)` / `while (x)` condition; `stmt` is the branch statement.
+    /// When the condition contains `e - constant`, `inject` is `e`'s node:
+    /// mixing the uninitialized aux *under* the subtraction reproduces the
+    /// Fig. 12f shape that MSan's sub-const shadow handling mishandles.
+    Cond { stmt: NodeId, ty: IntType, inject: Option<NodeId> },
+    /// `p - q` with both operands pointers; `q` is the right operand to
+    /// divert into a fresh object (CWE-469, the paper's §3.2.4 extension).
+    PtrSub { q: NodeId, pointee: Type },
+}
+
+/// Algorithm 1 for a single UB kind.
+pub fn generate(seed: &Program, kind: UbKind, opts: &GenOptions) -> Vec<UbProgram> {
+    generate_kinds(seed, &[kind], opts)
+}
+
+/// Algorithm 1 for all supported kinds at once (one profiling run per seed,
+/// as in the implementation described in §3.2.2).
+pub fn generate_all(seed: &Program, opts: &GenOptions) -> Vec<UbProgram> {
+    generate_kinds(seed, &UbKind::GENERATABLE, opts)
+}
+
+/// [`generate_all`] plus the extension kinds of §3.2.4 ([`UbKind::EXTENSIONS`],
+/// currently cross-object pointer subtraction). Kept separate so the paper's
+/// table shapes stay on the nine Table 1 kinds by default.
+pub fn generate_with_extensions(seed: &Program, opts: &GenOptions) -> Vec<UbProgram> {
+    let kinds: Vec<UbKind> = UbKind::GENERATABLE
+        .into_iter()
+        .chain(UbKind::EXTENSIONS)
+        .collect();
+    generate_kinds(seed, &kinds, opts)
+}
+
+fn generate_kinds(seed: &Program, kinds: &[UbKind], opts: &GenOptions) -> Vec<UbProgram> {
+    let Ok(tmap) = typecheck(seed) else { return Vec::new() };
+    let mut candidates = Vec::new();
+    for kind in kinds {
+        let mut matched = match_expressions(seed, *kind, &tmap);
+        matched.truncate(opts.max_per_kind * 3);
+        candidates.extend(matched);
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Profile once with the union of all watch sets.
+    let mut watch: HashSet<NodeId> = HashSet::new();
+    for c in &candidates {
+        watch.extend(c.watch.iter().copied());
+    }
+    let cfg = ExecConfig { watch, step_limit: opts.step_limit, ..ExecConfig::default() };
+    let (outcome, profile) = run_with_config(seed, &cfg);
+    if !outcome.is_clean_exit() {
+        return Vec::new(); // not a valid seed
+    }
+    let mut rng = StdRng::seed_from_u64(opts.rng_seed);
+    let mut out: Vec<UbProgram> = Vec::new();
+    let mut per_kind = std::collections::HashMap::new();
+    for c in candidates {
+        let count = per_kind.entry(c.kind).or_insert(0usize);
+        if *count >= opts.max_per_kind {
+            continue;
+        }
+        if let Some(p) = synthesize(seed, &tmap, &profile, &c, &mut rng, opts) {
+            *count += 1;
+            out.push(p);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Expression matching (GetMatchedExpr)
+// ---------------------------------------------------------------------------
+
+fn match_expressions(p: &Program, kind: UbKind, tmap: &TypeMap) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let ty_of = |id: NodeId| tmap.get(&id).cloned().unwrap_or_else(Type::int);
+    match kind {
+        UbKind::BufOverflowArray => {
+            for_each_expr(p, |e| {
+                if let ExprKind::Index(base, idx) = &e.kind {
+                    if let Type::Array(elem, len) = ty_of(base.id) {
+                        let idx_var = match &idx.kind {
+                            ExprKind::Var(n) => Some(n.clone()),
+                            _ => None,
+                        };
+                        let idx_ty = ty_of(idx.id).as_int().unwrap_or(IntType::INT);
+                        out.push(Candidate {
+                            kind,
+                            target: e.id,
+                            watch: vec![idx.id],
+                            shape: Shape::ArrayIndex {
+                                idx: idx.id,
+                                len,
+                                elem_size: elem.size_of(&p.structs),
+                                idx_var,
+                                idx_ty,
+                            },
+                        });
+                    }
+                }
+            });
+        }
+        UbKind::BufOverflowPtr => {
+            for_each_expr(p, |e| {
+                let inner = match &e.kind {
+                    ExprKind::Deref(i) => Some(i),
+                    ExprKind::Arrow(i, _) => Some(i),
+                    _ => None,
+                };
+                let Some(inner) = inner else { return };
+                let ity = ty_of(inner.id).decayed();
+                let Type::Ptr(pointee) = ity else { return };
+                let elem_size = pointee.size_of(&p.structs).max(1);
+                // Fig. 1 form: `*(d + k)` with k an integer variable.
+                let k_var = match &inner.kind {
+                    ExprKind::Binary(BinOp::Add, _, r) => match &r.kind {
+                        ExprKind::Var(n) => Some((n.clone(), r.id)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                let mut watch = vec![inner.id];
+                if let Some((_, k_id)) = &k_var {
+                    watch.push(*k_id);
+                }
+                out.push(Candidate {
+                    kind,
+                    target: e.id,
+                    watch,
+                    shape: Shape::PtrDeref { ptr: inner.id, elem_size, k_var },
+                });
+            });
+        }
+        UbKind::UseAfterFree | UbKind::NullDeref | UbKind::UseAfterScope => {
+            for_each_expr(p, |e| {
+                let inner = match &e.kind {
+                    ExprKind::Deref(i) => Some(i),
+                    ExprKind::Arrow(i, _) => Some(i),
+                    ExprKind::Index(i, _) if ty_of(i.id).is_ptr() => Some(i),
+                    _ => None,
+                };
+                let Some(inner) = inner else { return };
+                if let ExprKind::Var(name) = &inner.kind {
+                    let pty = ty_of(inner.id);
+                    if pty.is_ptr() {
+                        out.push(Candidate {
+                            kind,
+                            target: e.id,
+                            watch: vec![inner.id],
+                            shape: Shape::VarDeref { var: name.clone(), ptr_ty: pty },
+                        });
+                    }
+                }
+            });
+        }
+        UbKind::IntOverflow => {
+            for_each_expr(p, |e| match &e.kind {
+                ExprKind::Binary(op, a, bb) if op.is_arith() => {
+                    let ta = ty_of(a.id).as_int().map(IntType::promoted);
+                    let tb = ty_of(bb.id).as_int().map(IntType::promoted);
+                    if let (Some(ta), Some(tb)) = (ta, tb) {
+                        let ty = ta.unify(tb);
+                        if ty.signed {
+                            out.push(Candidate {
+                                kind,
+                                target: e.id,
+                                watch: vec![a.id, bb.id],
+                                shape: Shape::Arith {
+                                    op: Some(*op),
+                                    a: a.id,
+                                    b: Some(bb.id),
+                                    ty,
+                                },
+                            });
+                        }
+                    }
+                }
+                ExprKind::Unary(UnOp::Neg, a) => {
+                    if let Some(ta) = ty_of(a.id).as_int().map(IntType::promoted) {
+                        if ta.signed {
+                            out.push(Candidate {
+                                kind,
+                                target: e.id,
+                                watch: vec![a.id],
+                                shape: Shape::Arith { op: None, a: a.id, b: None, ty: ta },
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            });
+        }
+        UbKind::ShiftOverflow => {
+            for_each_expr(p, |e| {
+                if let ExprKind::Binary(op @ (BinOp::Shl | BinOp::Shr), a, amt) = &e.kind {
+                    let _ = op;
+                    let bits = ty_of(a.id)
+                        .as_int()
+                        .map_or(32, |t| t.promoted().width.bits());
+                    let amount_ty = ty_of(amt.id).as_int().unwrap_or(IntType::INT).promoted();
+                    out.push(Candidate {
+                        kind,
+                        target: e.id,
+                        watch: vec![amt.id],
+                        shape: Shape::Shift { amount: amt.id, bits, amount_ty },
+                    });
+                }
+            });
+        }
+        UbKind::DivByZero => {
+            for_each_expr(p, |e| {
+                if let ExprKind::Binary(BinOp::Div | BinOp::Rem, _, d) = &e.kind {
+                    let ty = ty_of(d.id).as_int().unwrap_or(IntType::INT).promoted();
+                    out.push(Candidate {
+                        kind,
+                        target: e.id,
+                        watch: vec![d.id],
+                        shape: Shape::Div { divisor: d.id, ty },
+                    });
+                }
+            });
+        }
+        UbKind::UninitUse => {
+            for_each_stmt(p, |s| {
+                let cond = match &s.kind {
+                    StmtKind::If(c, ..) => Some(c),
+                    StmtKind::While(c, _) => Some(c),
+                    _ => None,
+                };
+                if let Some(c) = cond {
+                    if let Some(it) = ty_of(c.id).as_int() {
+                        // Prefer injecting under an `e - constant` subterm
+                        // when one exists (Fig. 12f shape).
+                        let mut inject = None;
+                        if let ExprKind::Binary(BinOp::Sub, a, rb) = &c.kind {
+                            if matches!(rb.kind, ExprKind::IntLit(..)) {
+                                inject = Some(a.id);
+                            }
+                        }
+                        out.push(Candidate {
+                            kind,
+                            target: c.id,
+                            watch: vec![],
+                            shape: Shape::Cond { stmt: s.id, ty: it.promoted(), inject },
+                        });
+                    }
+                }
+            });
+        }
+        UbKind::InvalidFree => {}
+        UbKind::PtrDiff => {
+            // C17 6.5.6p9 (CWE-469): `p - q` is UB unless both point into
+            // the same object. Matching mirrors the paper's §3.2.4 sketch.
+            for_each_expr(p, |e| {
+                if let ExprKind::Binary(BinOp::Sub, a, q) = &e.kind {
+                    let ta = ty_of(a.id).decayed();
+                    let tq = ty_of(q.id).decayed();
+                    if let (Some(pointee), true) = (ta.pointee(), tq.is_ptr()) {
+                        out.push(Candidate {
+                            kind,
+                            target: e.id,
+                            watch: vec![a.id, q.id],
+                            shape: Shape::PtrSub { q: q.id, pointee: pointee.clone() },
+                        });
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shadow statement synthesis and insertion (SynShadowStmt + Insert)
+// ---------------------------------------------------------------------------
+
+fn synthesize(
+    seed: &Program,
+    _tmap: &TypeMap,
+    prof: &ExecProfile,
+    c: &Candidate,
+    rng: &mut StdRng,
+    opts: &GenOptions,
+) -> Option<UbProgram> {
+    let mut p = seed.clone();
+    let description;
+    match &c.shape {
+        Shape::ArrayIndex { idx, len, elem_size, idx_var, idx_ty } => {
+            // ASan detects ≤ 32 bytes past the object (§2.1): land within.
+            let max_extra = (32 / *elem_size).max(1) as i64;
+            let v = *len as i64 + rng.gen_range(0..max_extra);
+            match idx_var {
+                Some(name) => {
+                    // Fig. 6: `x = v;` before the access.
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s = b::expr_stmt(b::assign(b::var(name), b::lit(v)));
+                    s.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s]);
+                    description = format!("array overflow: set index `{name}` to {v}");
+                }
+                None => {
+                    let cur = prof.q_val(*idx)?;
+                    let delta = v as i128 - cur;
+                    if !idx_ty.contains(delta) {
+                        return None;
+                    }
+                    let aux = add_aux_global(&mut p, Type::Int(*idx_ty));
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s =
+                        b::expr_stmt(b::assign(b::var(&aux), b::lit_ty(delta, *idx_ty)));
+                    s.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s]);
+                    // a[x] → a[x + aux]
+                    let idx_clone = find_expr(&p, *idx)?;
+                    let mut new_idx = b::add(idx_clone, b::var(&aux));
+                    new_idx.id = *idx;
+                    replace_expr(&mut p, *idx, new_idx);
+                    description =
+                        format!("array overflow via aux `{aux} = {delta}` (index → {v})");
+                }
+            }
+        }
+        Shape::PtrDeref { ptr, elem_size, k_var } => {
+            let pe = prof.q_mem(*ptr)?;
+            let room = (32 / *elem_size).max(1) as i64;
+            let past = (pe.obj_size as i64 - pe.off).max(0) / *elem_size as i64;
+            let delta_elems = past + rng.gen_range(0..room);
+            if delta_elems == 0 {
+                return None;
+            }
+            match k_var {
+                Some((name, k_id)) => {
+                    // Fig. 1: mutate `k` so `*(d + k)` lands in the red zone.
+                    let kcur = prof.q_val(*k_id)?;
+                    let v = kcur as i64 + delta_elems;
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s = b::expr_stmt(b::assign(b::var(name), b::lit(v)));
+                    s.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s]);
+                    description = format!("pointer overflow: set `{name}` to {v} (Fig. 1 form)");
+                }
+                None => {
+                    let aux = add_aux_global(&mut p, Type::int());
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s = b::expr_stmt(b::assign(b::var(&aux), b::lit(delta_elems)));
+                    s.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s]);
+                    // *p → *(p + aux)
+                    let ptr_clone = find_expr(&p, *ptr)?;
+                    let mut new_ptr = b::add(ptr_clone, b::var(&aux));
+                    new_ptr.id = *ptr;
+                    replace_expr(&mut p, *ptr, new_ptr);
+                    description =
+                        format!("pointer overflow via aux `{aux} = {delta_elems}` elements");
+                }
+            }
+        }
+        Shape::VarDeref { var, ptr_ty } => match c.kind {
+            UbKind::UseAfterFree => {
+                let pe = prof.q_mem(c.watch[0])?;
+                if pe.storage != Storage::Heap {
+                    return None;
+                }
+                // Only heap blocks the seed never frees: the inserted free
+                // becomes the program's single lifetime violation.
+                if prof.object(pe.obj).and_then(|o| o.freed_time).is_some() {
+                    return None;
+                }
+                let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                let mut s = b::expr_stmt(b::call("free", vec![b::var(var)]));
+                s.id = p.fresh_id();
+                insert_before_stmt(&mut p, anchor, vec![s]);
+                description = format!("use-after-free: `free({var});` before the dereference");
+            }
+            UbKind::NullDeref => {
+                let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                let mut s = b::expr_stmt(b::assign(
+                    b::var(var),
+                    b::cast(ptr_ty.clone(), b::lit(0)),
+                ));
+                s.id = p.fresh_id();
+                insert_before_stmt(&mut p, anchor, vec![s]);
+                description = format!("null dereference: `{var} = 0;` before the dereference");
+            }
+            UbKind::UseAfterScope => {
+                // Find an inner-scope object that dies before the target
+                // dereference executes, and leak its address into `var` at
+                // the end of its block.
+                let (deref_stmt, fname) = enclosing_stmt(&p, c.target)?;
+                let deref_time = prof.stmt_time(deref_stmt)?;
+                let obj = prof.objects.iter().find(|o| {
+                    o.storage == Storage::Stack
+                        && o.fn_name == fname
+                        && o.dead_time.is_some_and(|t| t < deref_time)
+                        && o.decl_node != NodeId::DUMMY
+                        && o.size <= 8
+                        && !o.name.starts_with('$')
+                        && !prof.var_written_between(
+                            var,
+                            o.dead_time.unwrap_or(0),
+                            deref_time,
+                        )
+                })?;
+                let pointee = ptr_ty.pointee()?.clone();
+                let mut s = b::expr_stmt(b::assign(
+                    b::var(var),
+                    b::cast(Type::ptr(pointee), b::addr_of(b::var(&obj.name))),
+                ));
+                s.id = p.fresh_id();
+                if !append_to_enclosing_block(&mut p, obj.decl_node, vec![s]) {
+                    return None;
+                }
+                description = format!(
+                    "use-after-scope: `{var} = &{};` leaked from an inner scope",
+                    obj.name
+                );
+            }
+            _ => return None,
+        },
+        Shape::Arith { op, a, b: rb, ty } => {
+            let va = prof.q_val(*a)?;
+            match (op, rb) {
+                (Some(op), Some(rb)) => {
+                    let vb = prof.q_val(*rb)?;
+                    let (v0, v1) = sample_overflow(*op, *ty, rng, va, vb, 24)?;
+                    let aux_a = add_aux_global(&mut p, Type::Int(*ty));
+                    let aux_b = add_aux_global(&mut p, Type::Int(*ty));
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s1 =
+                        b::expr_stmt(b::assign(b::var(&aux_a), b::lit_ty(v0 - va, *ty)));
+                    let mut s2 =
+                        b::expr_stmt(b::assign(b::var(&aux_b), b::lit_ty(v1 - vb, *ty)));
+                    s1.id = p.fresh_id();
+                    s2.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s1, s2]);
+                    let ea = find_expr(&p, *a)?;
+                    let eb = find_expr(&p, *rb)?;
+                    let mut rewritten = b::bin(
+                        *op,
+                        b::add(ea, b::var(&aux_a)),
+                        b::add(eb, b::var(&aux_b)),
+                    );
+                    rewritten.id = c.target;
+                    replace_expr(&mut p, c.target, rewritten);
+                    description = format!(
+                        "integer overflow: operands steered to {v0} {} {v1}",
+                        op.symbol()
+                    );
+                }
+                _ => {
+                    // Unary negation: -(x + aux) with x + aux == MIN.
+                    let aux = add_aux_global(&mut p, Type::Int(*ty));
+                    let delta = ty.min_value() - va;
+                    if !ty.contains(delta) {
+                        return None;
+                    }
+                    let (anchor, _) = enclosing_stmt(&p, c.target)?;
+                    let mut s = b::expr_stmt(b::assign(b::var(&aux), b::lit_ty(delta, *ty)));
+                    s.id = p.fresh_id();
+                    insert_before_stmt(&mut p, anchor, vec![s]);
+                    let ea = find_expr(&p, *a)?;
+                    let mut rewritten = b::un(UnOp::Neg, b::add(ea, b::var(&aux)));
+                    rewritten.id = c.target;
+                    replace_expr(&mut p, c.target, rewritten);
+                    description = "negation overflow: operand steered to MIN".to_string();
+                }
+            }
+        }
+        Shape::Shift { amount, bits, amount_ty } => {
+            let cur = prof.q_val(*amount)?;
+            let v: i128 = if rng.gen_bool(0.5) {
+                *bits as i128 + rng.gen_range(0..16) as i128
+            } else {
+                -(1 + rng.gen_range(0..8) as i128)
+            };
+            let delta = v - cur;
+            if !amount_ty.contains(delta) {
+                return None;
+            }
+            let aux = add_aux_global(&mut p, Type::Int(*amount_ty));
+            let (anchor, _) = enclosing_stmt(&p, c.target)?;
+            let mut s = b::expr_stmt(b::assign(b::var(&aux), b::lit_ty(delta, *amount_ty)));
+            s.id = p.fresh_id();
+            insert_before_stmt(&mut p, anchor, vec![s]);
+            let ea = find_expr(&p, *amount)?;
+            let mut rewritten = b::add(ea, b::var(&aux));
+            rewritten.id = *amount;
+            replace_expr(&mut p, *amount, rewritten);
+            description = format!("shift overflow: exponent steered to {v}");
+        }
+        Shape::Div { divisor, ty } => {
+            let cur = prof.q_val(*divisor)?;
+            let delta = -cur;
+            if !ty.contains(delta) {
+                return None;
+            }
+            let aux = add_aux_global(&mut p, Type::Int(*ty));
+            let (anchor, _) = enclosing_stmt(&p, c.target)?;
+            let mut s = b::expr_stmt(b::assign(b::var(&aux), b::lit_ty(delta, *ty)));
+            s.id = p.fresh_id();
+            insert_before_stmt(&mut p, anchor, vec![s]);
+            let ea = find_expr(&p, *divisor)?;
+            let mut rewritten = b::add(ea, b::var(&aux));
+            rewritten.id = *divisor;
+            replace_expr(&mut p, *divisor, rewritten);
+            description = "division by zero: divisor steered to 0".to_string();
+        }
+        Shape::Cond { stmt, ty, inject } => {
+            let aux = format!("__ub_u{}", p.next_id);
+            let mut decl = b::decl_stmt(&aux, Type::Int(*ty), None);
+            decl.id = p.fresh_id();
+            insert_before_stmt(&mut p, *stmt, vec![decl]);
+            let site = inject.unwrap_or(c.target);
+            let ec = find_expr(&p, site)?;
+            let mut rewritten = b::add(ec, b::var(&aux));
+            rewritten.id = site;
+            replace_expr(&mut p, site, rewritten);
+            description = format!("uninitialized use: condition mixed with uninit `{aux}`");
+        }
+        Shape::PtrSub { q, pointee } => {
+            // Q_liv/Q_mem: both operands must execute and point at objects;
+            // a fresh aux global is by construction a *different* object, so
+            // `q̂ = (T*)&aux; Stmt{p − q̂}` breaks C17 6.5.6p9 precisely.
+            prof.q_mem(c.watch[0])?;
+            prof.q_mem(*q)?;
+            let obj_aux = add_aux_global(&mut p, Type::int());
+            let qhat = add_aux_global(&mut p, Type::ptr(pointee.clone()));
+            let (anchor, _) = enclosing_stmt(&p, c.target)?;
+            let mut s = b::expr_stmt(b::assign(
+                b::var(&qhat),
+                b::cast(Type::ptr(pointee.clone()), b::addr_of(b::var(&obj_aux))),
+            ));
+            s.id = p.fresh_id();
+            insert_before_stmt(&mut p, anchor, vec![s]);
+            let mut new_q = b::var(&qhat);
+            new_q.id = *q;
+            replace_expr(&mut p, *q, new_q);
+            description = format!(
+                "pointer difference across objects: right operand diverted to `&{obj_aux}` via `{qhat}`"
+            );
+        }
+    }
+    p.assign_ids();
+    pretty::relocate(&mut p);
+    // Validate: exactly the requested UB at exactly the mutated expression.
+    let cfg = ExecConfig { step_limit: opts.step_limit, ..ExecConfig::default() };
+    let (outcome, _) = run_with_config(&p, &cfg);
+    match outcome {
+        Outcome::Ub(ev) if ev.kind == c.kind && ev.node == c.target => {
+            let ub_loc = ev.loc;
+            Some(UbProgram { program: p, kind: c.kind, ub_loc, ub_node: c.target, description })
+        }
+        _ => None,
+    }
+}
+
+/// Adds a zero-initialized auxiliary global (`b̂x` in Table 1) and returns
+/// its name.
+fn add_aux_global(p: &mut Program, ty: Type) -> String {
+    let name = format!("__ub_aux{}", p.globals.len());
+    p.globals.push(Decl {
+        name: name.clone(),
+        ty: ty.clone(),
+        init: Some(Init::Expr(b::lit_ty(0, ty.as_int().unwrap_or(IntType::INT)))),
+    });
+    name
+}
+
+/// Clones the expression with the given id out of the program.
+fn find_expr(p: &Program, id: NodeId) -> Option<Expr> {
+    let mut found = None;
+    for_each_expr(p, |e| {
+        if e.id == id && found.is_none() {
+            found = Some(e.clone());
+        }
+    });
+    found
+}
+
+/// Monte-Carlo sampling of `(v0, v1)` with `v0 op v1` overflowing `ty`
+/// while both deltas stay representable (§3.2.3).
+fn sample_overflow(
+    op: BinOp,
+    ty: IntType,
+    rng: &mut StdRng,
+    va: i128,
+    vb: i128,
+    tries: usize,
+) -> Option<(i128, i128)> {
+    let (min, max) = (ty.min_value(), ty.max_value());
+    for _ in 0..tries {
+        let (v0, v1) = match op {
+            BinOp::Add => {
+                let r = rng.gen_range(1..1000) as i128;
+                (max - rng.gen_range(0..100) as i128, r + rng.gen_range(100..1000) as i128)
+            }
+            BinOp::Sub => {
+                let r = rng.gen_range(1..1000) as i128;
+                (min + rng.gen_range(0..100) as i128, r + rng.gen_range(100..1000) as i128)
+            }
+            BinOp::Mul => (max / 2 + rng.gen_range(1..1000) as i128, 2 + rng.gen_range(0..2) as i128),
+            BinOp::Div | BinOp::Rem => (min, -1),
+            _ => return None,
+        };
+        let result = match op {
+            BinOp::Add => v0.checked_add(v1),
+            BinOp::Sub => v0.checked_sub(v1),
+            BinOp::Mul => v0.checked_mul(v1),
+            BinOp::Div => (v1 != 0).then(|| v0 / v1).filter(|_| !(v0 == min && v1 == -1)),
+            BinOp::Rem => (v1 != 0).then(|| v0 % v1).filter(|_| !(v0 == min && v1 == -1)),
+            _ => None,
+        };
+        let overflows = match op {
+            BinOp::Div | BinOp::Rem => v0 == min && v1 == -1,
+            _ => result.is_none_or(|r| !ty.contains(r)),
+        };
+        if overflows && ty.contains(v0 - va) && ty.contains(v1 - vb) && ty.contains(v0) && ty.contains(v1)
+        {
+            return Some((v0, v1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_seedgen::{generate_seed, SeedOptions};
+
+    fn gen_kind(src: &str, kind: UbKind) -> Vec<UbProgram> {
+        let p = parse(src).unwrap();
+        let mut p = p;
+        pretty::relocate(&mut p);
+        generate(&p, kind, &GenOptions::default())
+    }
+
+    #[test]
+    fn array_overflow_fig6_form() {
+        let out = gen_kind(
+            "int a[5];\nint main(void) {\n    int x = 1;\n    a[x] = 1;\n    return a[0];\n}",
+            UbKind::BufOverflowArray,
+        );
+        assert!(!out.is_empty());
+        let text = pretty::print(&out[0].program);
+        let fig6 = (5..13).any(|v| text.contains(&format!("x = {v};")));
+        assert!(fig6 || text.contains("__ub_aux"), "{text}");
+    }
+
+    #[test]
+    fn fig1_pointer_overflow_via_k() {
+        let out = gen_kind(
+            "struct a { int x; };
+             struct a b[2];
+             struct a *c = b;
+             struct a *d = b;
+             int k = 0;
+             int main(void) {
+                 *c = *b;
+                 *c = *(d + k);
+                 return c->x;
+             }",
+            UbKind::BufOverflowPtr,
+        );
+        assert!(!out.is_empty());
+        assert!(
+            out.iter().any(|u| {
+                let text = pretty::print(&u.program);
+                (2..10).any(|v| text.contains(&format!("k = {v};")))
+            }),
+            "Fig. 1 `k = v;` instantiation produced"
+        );
+    }
+
+    #[test]
+    fn use_after_free_generated() {
+        let out = gen_kind(
+            "int main(void) {
+                int *h = (int*)malloc(16);
+                h[0] = 1;
+                int v = h[0];
+                print_value(v);
+                return 0;
+             }",
+            UbKind::UseAfterFree,
+        );
+        assert!(!out.is_empty());
+        assert!(pretty::print(&out[0].program).contains("free(h);"));
+    }
+
+    #[test]
+    fn null_deref_generated_for_rmw() {
+        let out = gen_kind(
+            "int g; int *p = &g;
+             int main(void) { ++(*p); return g; }",
+            UbKind::NullDeref,
+        );
+        assert!(!out.is_empty());
+        assert!(pretty::print(&out[0].program).contains("p = (int*)0;"));
+    }
+
+    #[test]
+    fn use_after_scope_generated() {
+        let out = gen_kind(
+            "int g;
+             int main(void) {
+                int *q = &g;
+                { int t = 3; g = t; }
+                int sink = *q;
+                print_value(sink);
+                return 0;
+             }",
+            UbKind::UseAfterScope,
+        );
+        assert!(!out.is_empty());
+        assert!(pretty::print(&out[0].program).contains("q = (int*)&t;"),
+            "{}", pretty::print(&out[0].program));
+    }
+
+    #[test]
+    fn arithmetic_kinds_generated() {
+        let src = "int x = 10; int y = 3;
+             int main(void) {
+                 int s = x + y;
+                 int q = x / (y + 1);
+                 int h = x << (y & 7);
+                 print_value(s + q + h);
+                 return 0;
+             }";
+        for kind in [UbKind::IntOverflow, UbKind::DivByZero, UbKind::ShiftOverflow] {
+            let out = gen_kind(src, kind);
+            assert!(!out.is_empty(), "{kind} generated");
+            assert!(out.iter().all(|u| u.kind == kind));
+        }
+    }
+
+    #[test]
+    fn uninit_generated() {
+        let out = gen_kind(
+            "int x = 4;
+             int main(void) { if (x > 2) { print_value(x); } return 0; }",
+            UbKind::UninitUse,
+        );
+        assert!(!out.is_empty());
+        assert!(pretty::print(&out[0].program).contains("__ub_u"));
+    }
+
+    #[test]
+    fn all_generated_programs_validated_single_ub() {
+        // The Table 4 property: every UBfuzz output contains the target UB.
+        let seed = generate_seed(11, &SeedOptions::default());
+        let out = generate_all(&seed, &GenOptions::default());
+        assert!(!out.is_empty());
+        for u in &out {
+            let outcome = ubfuzz_interp::run_program(&u.program);
+            let ev = outcome.ub().unwrap_or_else(|| {
+                panic!("{}: expected UB, got {outcome:?}", u.description)
+            });
+            assert_eq!(ev.kind, u.kind, "{}", u.description);
+        }
+    }
+
+    #[test]
+    fn generation_covers_multiple_kinds_across_seeds() {
+        let mut kinds = HashSet::new();
+        for s in 0..12 {
+            let seed = generate_seed(s, &SeedOptions::default());
+            for u in generate_all(&seed, &GenOptions::default()) {
+                kinds.insert(u.kind);
+            }
+        }
+        assert!(kinds.len() >= 6, "kinds covered: {kinds:?}");
+    }
+
+    #[test]
+    fn ptr_diff_extension_generated_and_validated() {
+        // §3.2.4: divert the right operand of a same-object pointer
+        // difference into a fresh object (CWE-469).
+        let out = gen_kind(
+            "int buf[4];
+             int main(void) {
+                int *p = buf;
+                int d = (int)((p + 2) - p);
+                print_value(d);
+                return 0;
+             }",
+            UbKind::PtrDiff,
+        );
+        assert!(!out.is_empty());
+        for u in &out {
+            assert_eq!(u.kind, UbKind::PtrDiff);
+            let outcome = ubfuzz_interp::run_program(&u.program);
+            assert_eq!(outcome.ub().map(|e| e.kind), Some(UbKind::PtrDiff), "{}", u.description);
+        }
+        assert!(pretty::print(&out[0].program).contains("__ub_aux"));
+    }
+
+    #[test]
+    fn ptr_diff_appears_in_extended_generation_only() {
+        // Seeds contain same-object `p - q` leaves; the default kind set
+        // must not mutate them (the paper's Table 1 has nine kinds), the
+        // extended set may.
+        let mut default_kinds = HashSet::new();
+        let mut extended_kinds = HashSet::new();
+        for s in 0..30 {
+            let seed = generate_seed(s, &SeedOptions::default());
+            for u in generate_all(&seed, &GenOptions::default()) {
+                default_kinds.insert(u.kind);
+            }
+            for u in generate_with_extensions(&seed, &GenOptions::default()) {
+                extended_kinds.insert(u.kind);
+            }
+        }
+        assert!(!default_kinds.contains(&UbKind::PtrDiff));
+        assert!(
+            extended_kinds.contains(&UbKind::PtrDiff),
+            "30 seeds should yield at least one pointer-difference site: {extended_kinds:?}"
+        );
+    }
+}
