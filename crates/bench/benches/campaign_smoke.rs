@@ -1,0 +1,40 @@
+//! Smoke benchmark: sequential vs. sharded campaign throughput.
+//!
+//! Run with `cargo bench --bench campaign_smoke` to measure, or with
+//! `-- --test` (as CI does) to execute each variant once without timing.
+//! On a 4-core runner the 4-shard variant should sustain well over 1.5×
+//! the sequential throughput: campaign shards are embarrassingly parallel
+//! (per-seed generate→compile→run→oracle pipelines) and only merge tiny
+//! bug maps at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
+
+const SEEDS: usize = 8;
+
+fn config() -> CampaignConfig {
+    CampaignConfig { seeds: SEEDS, ..CampaignConfig::default() }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.bench_function(format!("sequential_{SEEDS}seeds"), |b| {
+        b.iter(|| run_campaign(&config()))
+    });
+    for shards in [2usize, 4] {
+        g.bench_function(format!("sharded{shards}_{SEEDS}seeds"), |b| {
+            b.iter(|| ParallelCampaign::new(config()).with_shards(shards).run())
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! { name = campaign; config = fast(); targets = bench_campaign }
+criterion_main!(campaign);

@@ -1,0 +1,38 @@
+//! Sharded vs. sequential campaign: same config, bit-identical reports.
+//!
+//! ```sh
+//! cargo run --release --example parallel_campaign -- [seeds] [shards]
+//! ```
+
+use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let shards = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cfg = CampaignConfig { seeds, ..CampaignConfig::default() };
+
+    let t0 = std::time::Instant::now();
+    let sequential = run_campaign(&cfg);
+    let t_seq = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let sharded = ParallelCampaign::new(cfg).with_shards(shards).run();
+    let t_par = t0.elapsed();
+
+    println!(
+        "sequential: {} bugs from {} programs in {t_seq:.2?}",
+        sequential.bugs.len(),
+        sequential.total_programs()
+    );
+    println!(
+        "{shards}-shard:    {} bugs from {} programs in {t_par:.2?}",
+        sharded.bugs.len(),
+        sharded.total_programs()
+    );
+    println!(
+        "reports identical: {}",
+        if sequential == sharded { "yes" } else { "NO — DETERMINISM BUG" }
+    );
+    println!("{}", ubfuzz::report::table3(&sharded));
+}

@@ -1,7 +1,7 @@
 //! The automated testing loop (paper §4.1 "Testing process") plus bug
 //! deduplication/attribution.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use ubfuzz_minic::{pretty, Program, UbKind};
 use ubfuzz_oracle::{crash_site_mapping, Verdict};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
@@ -59,7 +59,7 @@ impl Default for CampaignConfig {
 }
 
 /// One deduplicated bug found by the campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoundBug {
     /// Vendor whose sanitizer missed (or mis-reported) the UB.
     pub vendor: Vendor,
@@ -84,7 +84,7 @@ pub struct FoundBug {
 }
 
 /// Aggregate campaign statistics (feeds Tables 3/4/6 and Figs. 7/10/11).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Seeds consumed.
     pub seeds: usize,
@@ -127,16 +127,181 @@ fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
     let mut stats = CampaignStats::default();
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    for s in 0..cfg.seeds {
-        let seed_id = cfg.first_seed + s as u64;
+    run_seed_ids(cfg, cfg.first_seed..cfg.first_seed + cfg.seeds as u64, &mut stats, &mut bug_index);
+    stats
+}
+
+/// Runs the campaign loop over one contiguous range of seed ids, appending
+/// into `stats`/`bug_index`. Both the sequential path and every parallel
+/// shard go through here, so their per-seed work is identical by
+/// construction: each seed id derives its own RNG stream from the campaign
+/// seed (see [`generate_programs`]), and `cfg` — including the Juliet
+/// first-seed anchor — is always the whole campaign's config, never a
+/// shard-local one.
+fn run_seed_ids(
+    cfg: &CampaignConfig,
+    seed_ids: std::ops::Range<u64>,
+    stats: &mut CampaignStats,
+    bug_index: &mut BTreeMap<String, usize>,
+) {
+    for seed_id in seed_ids {
         stats.seeds += 1;
         let programs = generate_programs(cfg, seed_id);
         for u in programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            test_one(cfg, &u, &mut stats, &mut bug_index);
+            test_one(cfg, &u, stats, bug_index);
         }
     }
-    stats
+}
+
+/// A sharded campaign runner: partitions the seed range into contiguous
+/// shards, runs the full generate→compile→run→oracle loop per shard on its
+/// own thread, and merges the per-shard bug maps in seed order.
+///
+/// The merged [`CampaignStats`] is **identical** to what [`run_campaign`]
+/// produces for the same config — same bugs, same order, same test cases,
+/// same `missed_at`/`duplicates` — so the paper's tables and figures are
+/// reproducible at any shard count:
+///
+/// * shards own *contiguous* seed ranges, and merging walks shards in range
+///   order, so "first observation wins" resolves exactly as in the
+///   sequential loop;
+/// * every seed id derives its own deterministic RNG from the campaign seed,
+///   so thread scheduling cannot perturb any generated program;
+/// * merging reuses the sequential loop's dedup keys ([`bug_key`]).
+#[derive(Debug, Clone)]
+pub struct ParallelCampaign {
+    config: CampaignConfig,
+    shards: usize,
+}
+
+impl ParallelCampaign {
+    /// A runner over `config` with one shard per available core.
+    pub fn new(config: CampaignConfig) -> ParallelCampaign {
+        let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelCampaign { config, shards }
+    }
+
+    /// Overrides the shard count (must be nonzero).
+    pub fn with_shards(mut self, shards: usize) -> ParallelCampaign {
+        assert!(shards > 0, "shard count must be nonzero");
+        self.shards = shards;
+        self
+    }
+
+    /// The effective shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs all shards and merges their results.
+    pub fn run(&self) -> CampaignStats {
+        let cfg = &self.config;
+        let ranges = shard_ranges(cfg.first_seed, cfg.seeds, self.shards);
+        if ranges.len() <= 1 {
+            return run_campaign(cfg);
+        }
+        let per_shard: Vec<CampaignStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut stats = CampaignStats::default();
+                        let mut bug_index = BTreeMap::new();
+                        run_seed_ids(cfg, range, &mut stats, &mut bug_index);
+                        stats
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign shard panicked")).collect()
+        });
+        merge_shard_stats(per_shard)
+    }
+}
+
+/// Convenience wrapper: a sharded run of `cfg` over `shards` threads.
+pub fn run_parallel_campaign(cfg: &CampaignConfig, shards: usize) -> CampaignStats {
+    ParallelCampaign::new(cfg.clone()).with_shards(shards).run()
+}
+
+/// Splits `first..first+seeds` into at most `shards` contiguous,
+/// near-equal, non-empty ranges (earlier ranges get the remainder).
+fn shard_ranges(first: u64, seeds: usize, shards: usize) -> Vec<std::ops::Range<u64>> {
+    let shards = shards.min(seeds.max(1)).max(1);
+    let base = seeds / shards;
+    let rem = seeds % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = first;
+    for i in 0..shards {
+        let len = (base + usize::from(i < rem)) as u64;
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Merges per-shard stats in shard (= seed) order, deduplicating bugs with
+/// the same keys the sequential loop uses.
+fn merge_shard_stats(shards: Vec<CampaignStats>) -> CampaignStats {
+    let mut out = CampaignStats::default();
+    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
+    for shard in shards {
+        out.seeds += shard.seeds;
+        for (kind, n) in shard.ub_programs {
+            *out.ub_programs.entry(kind).or_default() += n;
+        }
+        out.discrepancies += shard.discrepancies;
+        out.selected += shard.selected;
+        out.dropped += shard.dropped;
+        for bug in shard.bugs {
+            let key = bug_key(&bug);
+            match bug_index.get(&key) {
+                Some(&i) => {
+                    let first = &mut out.bugs[i];
+                    first.duplicates += bug.duplicates;
+                    for opt in bug.missed_at {
+                        if !first.missed_at.contains(&opt) {
+                            first.missed_at.push(opt);
+                        }
+                    }
+                }
+                None => {
+                    bug_index.insert(key, out.bugs.len());
+                    out.bugs.push(bug);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The deduplication key of a recorded bug — the same key [`record_bug`]
+/// indexes by, reconstructed from the bug's fields so shard merging cannot
+/// drift from the sequential path.
+fn bug_key(b: &FoundBug) -> String {
+    dedup_key(b.defect_id, b.invalid, b.vendor, b.sanitizer, b.kind)
+}
+
+fn dedup_key(
+    defect_id: Option<&'static str>,
+    invalid: bool,
+    vendor: Vendor,
+    sanitizer: Sanitizer,
+    kind: UbKind,
+) -> String {
+    match defect_id {
+        Some(id) => format!("defect:{id}"),
+        None if invalid => format!("invalid:{vendor}:{sanitizer}:{kind}"),
+        None => format!("unknown:{vendor}:{sanitizer}:{kind}"),
+    }
 }
 
 fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbProgram> {
@@ -305,7 +470,10 @@ fn record_bug(
 ) {
     // Attribution = the defects the vendor's passes recorded in the module
     // (the analogue of the paper's root-cause analysis with developers).
-    let applied: HashSet<&'static str> =
+    // A BTreeSet so attribution iterates in a stable order: bug vec order
+    // (and thus table rendering) must not depend on hash seeding, or
+    // sequential and sharded runs could not be compared bit-for-bit.
+    let applied: BTreeSet<&'static str> =
         obs.module.san.applied_defects.iter().map(|(id, _)| *id).collect();
     let legit = !obs.module.san.legit_transforms.is_empty();
     let mut keys: Vec<(Option<&'static str>, bool)> = Vec::new();
@@ -344,11 +512,7 @@ fn record_bug(
         }
     }
     for (defect_id, invalid) in keys {
-        let key = match defect_id {
-            Some(id) => format!("defect:{id}"),
-            None if invalid => format!("invalid:{}:{}:{}", obs.vendor, obs.sanitizer, obs.kind),
-            None => format!("unknown:{}:{}:{}", obs.vendor, obs.sanitizer, obs.kind),
-        };
+        let key = dedup_key(defect_id, invalid, obs.vendor, obs.sanitizer, obs.kind);
         if let Some(&i) = bug_index.get(&key) {
             let bug = &mut stats.bugs[i];
             bug.duplicates += 1;
@@ -435,6 +599,45 @@ mod tests {
             "correct sanitizers yield no FN bugs: {:?}",
             real.iter().map(|b| (&b.defect_id, b.vendor, b.kind)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_balanced() {
+        assert_eq!(shard_ranges(0, 10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(5, 4, 8), vec![5..6, 6..7, 7..8, 8..9]);
+        assert_eq!(shard_ranges(0, 0, 4), Vec::<std::ops::Range<u64>>::new());
+        let ranges = shard_ranges(100, 17, 4);
+        assert_eq!(ranges.first().unwrap().start, 100);
+        assert_eq!(ranges.last().unwrap().end, 117);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        // The broad equivalence property (shard counts 1/2/8, varying
+        // first seeds and generators) lives in tests/parallel.rs; this is
+        // the fast in-crate smoke check.
+        let cfg = CampaignConfig { seeds: 3, ..CampaignConfig::default() };
+        let sequential = run_campaign(&cfg);
+        let parallel = ParallelCampaign::new(cfg).with_shards(2).run();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_juliet_anchors_suite_to_the_global_first_seed() {
+        // The Juliet generator fires only on the campaign's first seed; a
+        // shard-local `first_seed` would replay the suite once per shard.
+        let cfg = CampaignConfig {
+            seeds: 4,
+            generator: GeneratorChoice::Juliet,
+            ..CampaignConfig::default()
+        };
+        let sequential = run_campaign(&cfg);
+        let parallel = ParallelCampaign::new(cfg).with_shards(4).run();
+        assert_eq!(sequential.total_programs(), parallel.total_programs());
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod campaign;
 pub mod history;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignStats, FoundBug};
+pub use campaign::{
+    run_campaign, run_parallel_campaign, CampaignConfig, CampaignStats, FoundBug,
+    ParallelCampaign,
+};
 
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;

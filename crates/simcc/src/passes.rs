@@ -454,11 +454,11 @@ pub fn blocks_in_loops(f: &Func) -> Vec<bool> {
     for k in 0..n {
         // Row k cannot gain entries during its own phase; snapshot it.
         let row_k = reach[k].clone();
-        for i in 0..n {
-            if reach[i][k] {
+        for row in reach.iter_mut() {
+            if row[k] {
                 for (j, r) in row_k.iter().enumerate() {
                     if *r {
-                        reach[i][j] = true;
+                        row[j] = true;
                     }
                 }
             }

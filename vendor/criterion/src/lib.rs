@@ -1,0 +1,228 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendors the surface
+//! the workspace's benches use: `Criterion` with `sample_size` /
+//! `warm_up_time` / `measurement_time`, `bench_function`, `benchmark_group`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock mean over `sample_size` samples (no
+//! outlier analysis or HTML reports). Two CLI flags are honored, matching
+//! upstream's contract with `cargo bench`:
+//!
+//! * `--test`: run every benchmark body exactly once and report `ok` —
+//!   used by CI to smoke-test benches without paying measurement time;
+//! * a positional `<filter>` substring restricting which benchmarks run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    // `&str`, not `impl AsRef<str>`: upstream criterion's signature. The
+    // shim must not accept code the real crate would reject, or the
+    // documented manifest-only swap back breaks.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.as_ref().to_string() }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up: run the body until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher { mode: Mode::Once, elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Size each sample so all samples together fill the measurement budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b =
+                Bencher { mode: Mode::Fixed(iters_per_sample), elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let mid = samples[samples.len() / 2];
+        let lo = samples[samples.len() / 20];
+        let hi = samples[samples.len() - 1 - samples.len() / 20];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            format_time(lo),
+            format_time(mid),
+            format_time(hi)
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.c.run_one(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// `--test` or warm-up: run the body exactly once.
+    Once,
+    /// Measurement: run the body a fixed number of times, timed.
+    Fixed(u64),
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+                self.iters = 1;
+            }
+            Mode::Fixed(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = n;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (subset of upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point (subset of upstream's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,116 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendors exactly the
+//! surface the workspace's property tests use:
+//!
+//! * the `proptest! { ... }` macro with an optional
+//!   `#![proptest_config(...)]` header and `name(pat in strategy)` test
+//!   functions;
+//! * `ProptestConfig { cases, .. }`;
+//! * `prop_assert!` / `prop_assert_eq!` / `TestCaseError`;
+//! * integer-range strategies (`0u64..5000`).
+//!
+//! Unlike upstream there is no shrinking: a failing case reports the input
+//! that produced it, which for the seed-indexed tests in this workspace is
+//! already minimal (the seed *is* the test case).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The `proptest!` macro: runs each body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = $strat;
+                // Derive a per-test deterministic RNG so cases differ across
+                // tests but reruns are reproducible.
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), config.rng_seed);
+                for case in 0..config.cases {
+                    let input = $crate::strategy::Strategy::sample(&strat, &mut rng);
+                    let run = |$pat| ->
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    let guard = $crate::test_runner::CaseGuard::new(stringify!($name), case, &input);
+                    if let Err(e) = run(input.clone()) {
+                        panic!(
+                            "proptest case failed: {} (case {}/{}, input {:?}): {}",
+                            stringify!($name), case + 1, config.cases, input, e
+                        );
+                    }
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current property test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property test case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (left: {:?}, right: {:?})", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property test case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}

@@ -1,0 +1,41 @@
+//! Input strategies (subset: integer ranges).
+
+use rand::{Rng, StdRng};
+
+/// A source of sampled test inputs (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value: Clone + core::fmt::Debug;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// An explicit list of inputs, cycled through in order. Used where upstream
+/// proptest would use `prop::sample::select`.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + core::fmt::Debug>(pub Vec<T>);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.0.is_empty(), "Select over an empty list");
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}

@@ -1,0 +1,91 @@
+//! Test-runner plumbing: config, errors, per-case reporting.
+
+use rand::{SeedableRng, StdRng};
+
+/// Configuration for a `proptest!` block (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Base seed for the deterministic case RNG.
+    pub rng_seed: u64,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, rng_seed: 0x5EED_CAFE, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input should be discarded (accepted for API compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives the per-test RNG: reruns of the same test are reproducible, but
+/// distinct tests draw distinct case sequences.
+pub fn case_rng(test_name: &str, base_seed: u64) -> StdRng {
+    let mut h = base_seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Prints the failing input when a property body panics (instead of
+/// returning `TestCaseError`), so the case is still identifiable.
+pub struct CaseGuard {
+    message: Option<String>,
+}
+
+impl CaseGuard {
+    pub fn new(test_name: &str, case: u32, input: &dyn core::fmt::Debug) -> CaseGuard {
+        CaseGuard {
+            message: Some(format!(
+                "proptest case panicked: {test_name} (case {}, input {input:?})",
+                case + 1
+            )),
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.message = None;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if let Some(msg) = &self.message {
+            if std::thread::panicking() {
+                eprintln!("{msg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! exact slice of `rand` it uses: `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (which is ChaCha12), but every consumer in
+//! this workspace only requires determinism for a fixed seed, not a specific
+//! stream. All sampling here is itself deterministic given the seed.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random value generation (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the range. The two-parameter shape
+    /// mirrors upstream so the element type is inferred from the use site
+    /// (e.g. slice indexing forces `usize`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64_dyn())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        // 53 uniform mantissa bits give a uniform f64 in [0, 1).
+        let v = (self.next_u64_dyn() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Minimal core RNG interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    fn next_u64_dyn(&mut self) -> u64;
+}
+
+/// Integer types samplable by `gen_range` (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy {
+    fn from_offset(lo: Self, offset: u128) -> Self;
+    fn span_exclusive(lo: Self, hi: Self) -> u128;
+    fn span_inclusive(lo: Self, hi: Self) -> u128;
+}
+
+/// A range that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, raw: u64) -> T {
+        let span = T::span_exclusive(self.start, self.end);
+        assert!(span > 0, "gen_range: empty range");
+        T::from_offset(self.start, raw as u128 % span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, raw: u64) -> T {
+        let span = T::span_inclusive(*self.start(), *self.end());
+        assert!(span > 0, "gen_range: empty range");
+        T::from_offset(*self.start(), raw as u128 % span)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_offset(lo: $t, offset: u128) -> $t {
+                (lo as i128 + offset as i128) as $t
+            }
+            fn span_exclusive(lo: $t, hi: $t) -> u128 {
+                (hi as i128).saturating_sub(lo as i128).max(0) as u128
+            }
+            fn span_inclusive(lo: $t, hi: $t) -> u128 {
+                if hi < lo { 0 } else { (hi as i128 - lo as i128) as u128 + 1 }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
