@@ -1,11 +1,12 @@
-//! Smoke benchmark: sequential vs. sharded campaign throughput.
+//! Smoke benchmark: sequential vs. unit-executor campaign throughput, with
+//! the staged-compile cache on and off.
 //!
 //! Run with `cargo bench --bench campaign_smoke` to measure, or with
 //! `-- --test` (as CI does) to execute each variant once without timing.
-//! On a 4-core runner the 4-shard variant should sustain well over 1.5×
-//! the sequential throughput: campaign shards are embarrassingly parallel
-//! (per-seed generate→compile→run→oracle pipelines) and only merge tiny
-//! bug maps at the end.
+//! The parallel variants drain fine-grained `(seed, program, compiler, opt,
+//! sanitizer)` units through a work-stealing queue, so even campaigns with
+//! fewer seeds than workers parallelize; on a 1-core CI box they serialize,
+//! which is why the cache variants assert *hit counters*, never wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
@@ -23,9 +24,28 @@ fn bench_campaign(c: &mut Criterion) {
     });
     for shards in [2usize, 4] {
         g.bench_function(format!("sharded{shards}_{SEEDS}seeds"), |b| {
-            b.iter(|| ParallelCampaign::new(config()).with_shards(shards).run())
+            b.iter(|| {
+                let stats = ParallelCampaign::new(config()).with_shards(shards).run();
+                assert!(
+                    stats.cache.hits > 0,
+                    "default campaign must reuse compile prefixes: {:?}",
+                    stats.cache
+                );
+                stats
+            })
         });
     }
+    // Cache ablation at a fixed worker count: identical results, hit
+    // counters prove which side actually cached.
+    g.bench_function(format!("sharded4_nocache_{SEEDS}seeds"), |b| {
+        b.iter(|| {
+            let stats =
+                ParallelCampaign::new(config()).with_shards(4).with_cache(false).run();
+            assert_eq!(stats.cache.hits, 0, "disabled cache must stay cold");
+            assert_eq!(stats.cache.misses, 0, "disabled cache records nothing");
+            stats
+        })
+    });
     g.finish();
 }
 

@@ -1,7 +1,8 @@
-//! Sharded vs. sequential campaign: same config, bit-identical reports.
+//! Unit-executor vs. sequential campaign: same config, bit-identical
+//! reports, plus the staged-compile cache telemetry.
 //!
 //! ```sh
-//! cargo run --release --example parallel_campaign -- [seeds] [shards]
+//! cargo run --release --example parallel_campaign -- [seeds] [workers]
 //! ```
 
 use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
@@ -9,7 +10,7 @@ use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
-    let shards = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let workers = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
     let cfg = CampaignConfig { seeds, ..CampaignConfig::default() };
 
     let t0 = std::time::Instant::now();
@@ -17,8 +18,12 @@ fn main() {
     let t_seq = t0.elapsed();
 
     let t0 = std::time::Instant::now();
-    let sharded = ParallelCampaign::new(cfg).with_shards(shards).run();
+    let parallel = ParallelCampaign::new(cfg.clone()).with_shards(workers).run();
     let t_par = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let uncached = ParallelCampaign::new(cfg).with_shards(workers).with_cache(false).run();
+    let t_nocache = t0.elapsed();
 
     println!(
         "sequential: {} bugs from {} programs in {t_seq:.2?}",
@@ -26,13 +31,23 @@ fn main() {
         sequential.total_programs()
     );
     println!(
-        "{shards}-shard:    {} bugs from {} programs in {t_par:.2?}",
-        sharded.bugs.len(),
-        sharded.total_programs()
+        "{workers}-worker:   {} bugs from {} programs in {t_par:.2?} (no cache: {t_nocache:.2?})",
+        parallel.bugs.len(),
+        parallel.total_programs()
+    );
+    println!(
+        "compile cache: {} hits, {} misses, prefix reuse ratio {:.1}%",
+        parallel.cache.hits,
+        parallel.cache.misses,
+        100.0 * parallel.cache.reuse_ratio()
     );
     println!(
         "reports identical: {}",
-        if sequential == sharded { "yes" } else { "NO — DETERMINISM BUG" }
+        if sequential == parallel && sequential == uncached {
+            "yes"
+        } else {
+            "NO — DETERMINISM BUG"
+        }
     );
-    println!("{}", ubfuzz::report::table3(&sharded));
+    println!("{}", ubfuzz::report::table3(&parallel));
 }

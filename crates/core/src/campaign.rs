@@ -7,6 +7,7 @@ use ubfuzz_oracle::{crash_site_mapping, Verdict};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::session::{CompileSession, ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_simcc::{san, Module, Sanitizer};
 use ubfuzz_simvm::{run_module, RunResult};
@@ -84,7 +85,7 @@ pub struct FoundBug {
 }
 
 /// Aggregate campaign statistics (feeds Tables 3/4/6 and Figs. 7/10/11).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignStats {
     /// Seeds consumed.
     pub seeds: usize,
@@ -98,6 +99,9 @@ pub struct CampaignStats {
     pub dropped: usize,
     /// Deduplicated bugs.
     pub bugs: Vec<FoundBug>,
+    /// Compile-cache telemetry of the run (hits/misses/reuse ratio). Zero on
+    /// the uncached sequential path.
+    pub cache: SessionStats,
 }
 
 impl CampaignStats {
@@ -107,9 +111,27 @@ impl CampaignStats {
     }
 }
 
+/// Equality compares campaign *results* — the fields the paper's tables and
+/// figures render. Cache telemetry is execution metadata: with a shared
+/// cache, *which* lookup hits depends on worker scheduling, so including it
+/// would spuriously fail the sequential-vs-parallel bit-identity property
+/// the whole design preserves.
+impl PartialEq for CampaignStats {
+    fn eq(&self, other: &CampaignStats) -> bool {
+        self.seeds == other.seeds
+            && self.ub_programs == other.ub_programs
+            && self.discrepancies == other.discrepancies
+            && self.selected == other.selected
+            && self.dropped == other.dropped
+            && self.bugs == other.bugs
+    }
+}
+
+impl Eq for CampaignStats {}
+
 /// The compilers the campaign tests: both vendors' development heads at
 /// every optimization level the paper enables.
-fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
+pub(crate) fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
     let mut out = Vec::new();
     for vendor in Vendor::ALL {
         if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
@@ -124,74 +146,80 @@ fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
 
 /// Runs the full loop: generate seeds → generate UB programs → differential
 /// testing → crash-site mapping → dedup/attribution.
+///
+/// This is the *sequential, uncached* reference implementation the parallel
+/// executor ([`ParallelCampaign`]) is property-tested against; it never
+/// touches a compile cache so equivalence checks exercise the cache on one
+/// side only.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
     let mut stats = CampaignStats::default();
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    run_seed_ids(cfg, cfg.first_seed..cfg.first_seed + cfg.seeds as u64, &mut stats, &mut bug_index);
-    stats
-}
-
-/// Runs the campaign loop over one contiguous range of seed ids, appending
-/// into `stats`/`bug_index`. Both the sequential path and every parallel
-/// shard go through here, so their per-seed work is identical by
-/// construction: each seed id derives its own RNG stream from the campaign
-/// seed (see [`generate_programs`]), and `cfg` — including the Juliet
-/// first-seed anchor — is always the whole campaign's config, never a
-/// shard-local one.
-fn run_seed_ids(
-    cfg: &CampaignConfig,
-    seed_ids: std::ops::Range<u64>,
-    stats: &mut CampaignStats,
-    bug_index: &mut BTreeMap<String, usize>,
-) {
-    for seed_id in seed_ids {
+    let session = CompileSession::disabled();
+    for seed_id in cfg.first_seed..cfg.first_seed + cfg.seeds as u64 {
         stats.seeds += 1;
         let programs = generate_programs(cfg, seed_id);
         for u in programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            test_one(cfg, &u, stats, bug_index);
+            test_one(cfg, &u, &session, &mut stats, &mut bug_index);
         }
     }
+    stats
 }
 
-/// A sharded campaign runner: partitions the seed range into contiguous
-/// shards, runs the full generate→compile→run→oracle loop per shard on its
-/// own thread, and merges the per-shard bug maps in seed order.
+/// The parallel campaign runner: a work-stealing executor over fine-grained
+/// `(seed, program, compiler, opt, sanitizer)` compile units, with results
+/// merged back in canonical seed order (see [`crate::executor`]).
 ///
 /// The merged [`CampaignStats`] is **identical** to what [`run_campaign`]
 /// produces for the same config — same bugs, same order, same test cases,
 /// same `missed_at`/`duplicates` — so the paper's tables and figures are
-/// reproducible at any shard count:
+/// reproducible at any worker count, with the compile cache on or off:
 ///
-/// * shards own *contiguous* seed ranges, and merging walks shards in range
-///   order, so "first observation wins" resolves exactly as in the
-///   sequential loop;
 /// * every seed id derives its own deterministic RNG from the campaign seed,
 ///   so thread scheduling cannot perturb any generated program;
-/// * merging reuses the sequential loop's dedup keys ([`bug_key`]).
+/// * compile units are pure functions of their inputs (the shared
+///   [`CompileSession`] memoizes a deterministic pipeline prefix, so cache
+///   state never changes what a unit returns);
+/// * the oracle and dedup/attribution stage consumes unit results in exactly
+///   the sequential loop's order.
 #[derive(Debug, Clone)]
 pub struct ParallelCampaign {
     config: CampaignConfig,
     shards: usize,
+    cache: bool,
 }
 
 impl ParallelCampaign {
-    /// A runner over `config` with one shard per available core.
+    /// A runner over `config` with one worker per available core and the
+    /// compile cache enabled.
     pub fn new(config: CampaignConfig) -> ParallelCampaign {
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelCampaign { config, shards }
+        ParallelCampaign { config, shards, cache: true }
     }
 
-    /// Overrides the shard count (must be nonzero).
+    /// Overrides the worker count (must be nonzero). The name is historical:
+    /// workers no longer own seed ranges, they steal compile units, so even
+    /// a 1-seed campaign spreads across all of them.
     pub fn with_shards(mut self, shards: usize) -> ParallelCampaign {
         assert!(shards > 0, "shard count must be nonzero");
         self.shards = shards;
         self
     }
 
-    /// The effective shard count.
+    /// Enables or disables the staged-compile cache (enabled by default).
+    pub fn with_cache(mut self, cache: bool) -> ParallelCampaign {
+        self.cache = cache;
+        self
+    }
+
+    /// The effective worker count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Whether the compile cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache
     }
 
     /// The campaign configuration.
@@ -199,98 +227,18 @@ impl ParallelCampaign {
         &self.config
     }
 
-    /// Runs all shards and merges their results.
+    /// Runs the campaign on the unit executor and merges in seed order.
     pub fn run(&self) -> CampaignStats {
-        let cfg = &self.config;
-        let ranges = shard_ranges(cfg.first_seed, cfg.seeds, self.shards);
-        if ranges.len() <= 1 {
-            return run_campaign(cfg);
-        }
-        let per_shard: Vec<CampaignStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        let mut stats = CampaignStats::default();
-                        let mut bug_index = BTreeMap::new();
-                        run_seed_ids(cfg, range, &mut stats, &mut bug_index);
-                        stats
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("campaign shard panicked")).collect()
-        });
-        merge_shard_stats(per_shard)
+        crate::executor::run_unit_campaign(&self.config, self.shards, self.cache)
     }
 }
 
-/// Convenience wrapper: a sharded run of `cfg` over `shards` threads.
+/// Convenience wrapper: a parallel run of `cfg` over `shards` workers.
 pub fn run_parallel_campaign(cfg: &CampaignConfig, shards: usize) -> CampaignStats {
     ParallelCampaign::new(cfg.clone()).with_shards(shards).run()
 }
 
-/// Splits `first..first+seeds` into at most `shards` contiguous,
-/// near-equal, non-empty ranges (earlier ranges get the remainder).
-fn shard_ranges(first: u64, seeds: usize, shards: usize) -> Vec<std::ops::Range<u64>> {
-    let shards = shards.min(seeds.max(1)).max(1);
-    let base = seeds / shards;
-    let rem = seeds % shards;
-    let mut out = Vec::with_capacity(shards);
-    let mut start = first;
-    for i in 0..shards {
-        let len = (base + usize::from(i < rem)) as u64;
-        if len == 0 {
-            continue;
-        }
-        out.push(start..start + len);
-        start += len;
-    }
-    out
-}
-
-/// Merges per-shard stats in shard (= seed) order, deduplicating bugs with
-/// the same keys the sequential loop uses.
-fn merge_shard_stats(shards: Vec<CampaignStats>) -> CampaignStats {
-    let mut out = CampaignStats::default();
-    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    for shard in shards {
-        out.seeds += shard.seeds;
-        for (kind, n) in shard.ub_programs {
-            *out.ub_programs.entry(kind).or_default() += n;
-        }
-        out.discrepancies += shard.discrepancies;
-        out.selected += shard.selected;
-        out.dropped += shard.dropped;
-        for bug in shard.bugs {
-            let key = bug_key(&bug);
-            match bug_index.get(&key) {
-                Some(&i) => {
-                    let first = &mut out.bugs[i];
-                    first.duplicates += bug.duplicates;
-                    for opt in bug.missed_at {
-                        if !first.missed_at.contains(&opt) {
-                            first.missed_at.push(opt);
-                        }
-                    }
-                }
-                None => {
-                    bug_index.insert(key, out.bugs.len());
-                    out.bugs.push(bug);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// The deduplication key of a recorded bug — the same key [`record_bug`]
-/// indexes by, reconstructed from the bug's fields so shard merging cannot
-/// drift from the sequential path.
-fn bug_key(b: &FoundBug) -> String {
-    dedup_key(b.defect_id, b.invalid, b.vendor, b.sanitizer, b.kind)
-}
-
-fn dedup_key(
+pub(crate) fn dedup_key(
     defect_id: Option<&'static str>,
     invalid: bool,
     vendor: Vendor,
@@ -304,7 +252,7 @@ fn dedup_key(
     }
 }
 
-fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbProgram> {
+pub(crate) fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbProgram> {
     match cfg.generator {
         GeneratorChoice::Ubfuzz => {
             let seed = generate_seed(seed_id, &cfg.seed_options);
@@ -363,41 +311,100 @@ fn classify(p: Program) -> Option<UbProgram> {
     })
 }
 
+/// One compiled cell of the per-program test matrix.
+pub(crate) type CompiledCell = (CompilerId, OptLevel, Module, RunResult);
+
+/// Compiles and runs one `(program, sanitizer, compiler, opt)` unit — the
+/// executor's task granularity. `None` for unsupported/uncompilable cells,
+/// mirroring the sequential loop's `continue`.
+pub(crate) fn compile_cell(
+    registry: &DefectRegistry,
+    session: &CompileSession,
+    fp: &ProgramFingerprint,
+    program: &Program,
+    sanitizer: Sanitizer,
+    compiler: CompilerId,
+    opt: OptLevel,
+) -> Option<(Module, RunResult)> {
+    let ccfg = CompileConfig { compiler, opt, sanitizer: Some(sanitizer), registry };
+    let module = session.compile_fp(fp, program, &ccfg).ok()?;
+    let result = run_module(&module);
+    Some((module, result))
+}
+
 fn test_one(
     cfg: &CampaignConfig,
     u: &UbProgram,
+    session: &CompileSession,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
 ) {
+    let fp = session.fingerprint_for(&u.program);
     for sanitizer in san::sanitizers_for(u.kind) {
-        let matrix = test_matrix(sanitizer);
-        let mut compiled: Vec<(CompilerId, OptLevel, Module, RunResult)> = Vec::new();
-        for (compiler, opt) in matrix {
-            let ccfg = CompileConfig {
-                compiler,
-                opt,
-                sanitizer: Some(sanitizer),
-                registry: &cfg.registry,
-            };
-            let Ok(module) = compile(&u.program, &ccfg) else { continue };
-            let result = run_module(&module);
-            compiled.push((compiler, opt, module, result));
+        let compiled: Vec<CompiledCell> = test_matrix(sanitizer)
+            .into_iter()
+            .filter_map(|(compiler, opt)| {
+                compile_cell(&cfg.registry, session, &fp, &u.program, sanitizer, compiler, opt)
+                    .map(|(module, result)| (compiler, opt, module, result))
+            })
+            .collect();
+        oracle_one(cfg, u, sanitizer, &compiled, stats, bug_index);
+    }
+}
+
+/// The differential-testing oracle over one program's compiled matrix for
+/// one sanitizer: wrong-report detection, discrepancy counting, crash-site
+/// mapping, dedup/attribution. Shared verbatim by the sequential loop and
+/// the unit executor's canonical-order merge, so the two paths cannot drift.
+pub(crate) fn oracle_one(
+    cfg: &CampaignConfig,
+    u: &UbProgram,
+    sanitizer: Sanitizer,
+    compiled: &[CompiledCell],
+    stats: &mut CampaignStats,
+    bug_index: &mut BTreeMap<String, usize>,
+) {
+    let reporting: Vec<usize> =
+        (0..compiled.len()).filter(|&i| compiled[i].3.is_report()).collect();
+    let normal: Vec<usize> =
+        (0..compiled.len()).filter(|&i| compiled[i].3.is_normal_exit()).collect();
+    // Wrong-report detection: the sanitizer reported, but the report
+    // points *before* the UB site (two of the paper's 31 bugs carry
+    // wrong report information). Reports at later lines are legitimate:
+    // the optimizer may have removed a dead UB access and the sanitizer
+    // then correctly blames the next one.
+    for &i in &reporting {
+        let (compiler, opt, module, result) = &compiled[i];
+        let report = result.report().expect("reporting index");
+        if report.kind.matches_ub(u.kind) && report.loc.line < u.ub_loc.line {
+            record_bug(
+                cfg,
+                stats,
+                bug_index,
+                BugObservation {
+                    vendor: compiler.vendor,
+                    sanitizer,
+                    kind: u.kind,
+                    module,
+                    opt: *opt,
+                    wrong_report: true,
+                    program: &u.program,
+                },
+            );
         }
-        let reporting: Vec<usize> = (0..compiled.len())
-            .filter(|&i| compiled[i].3.is_report())
-            .collect();
-        let normal: Vec<usize> = (0..compiled.len())
-            .filter(|&i| compiled[i].3.is_normal_exit())
-            .collect();
-        // Wrong-report detection: the sanitizer reported, but the report
-        // points *before* the UB site (two of the paper's 31 bugs carry
-        // wrong report information). Reports at later lines are legitimate:
-        // the optimizer may have removed a dead UB access and the sanitizer
-        // then correctly blames the next one.
-        for &i in &reporting {
-            let (compiler, opt, module, result) = &compiled[i];
-            let report = result.report().expect("reporting index");
-            if report.kind.matches_ub(u.kind) && report.loc.line < u.ub_loc.line {
+    }
+    if reporting.is_empty() || normal.is_empty() {
+        return;
+    }
+    stats.discrepancies += 1;
+    let bc = &compiled[reporting[0]].2;
+    let mut any_selected = false;
+    for &ni in &normal {
+        let (compiler, opt, bn, _) = &compiled[ni];
+        let Some(mapping) = crash_site_mapping(bc, bn) else { continue };
+        match mapping.verdict {
+            Verdict::SanitizerBug => {
+                any_selected = true;
                 record_bug(
                     cfg,
                     stats,
@@ -406,49 +413,20 @@ fn test_one(
                         vendor: compiler.vendor,
                         sanitizer,
                         kind: u.kind,
-                        module,
+                        module: bn,
                         opt: *opt,
-                        wrong_report: true,
+                        wrong_report: false,
                         program: &u.program,
                     },
                 );
             }
+            Verdict::OptimizationArtifact => {}
         }
-        if reporting.is_empty() || normal.is_empty() {
-            continue;
-        }
-        stats.discrepancies += 1;
-        let bc = &compiled[reporting[0]].2;
-        let mut any_selected = false;
-        for &ni in &normal {
-            let (compiler, opt, bn, _) = &compiled[ni];
-            let Some(mapping) = crash_site_mapping(bc, bn) else { continue };
-            match mapping.verdict {
-                Verdict::SanitizerBug => {
-                    any_selected = true;
-                    record_bug(
-                        cfg,
-                        stats,
-                        bug_index,
-                        BugObservation {
-                            vendor: compiler.vendor,
-                            sanitizer,
-                            kind: u.kind,
-                            module: bn,
-                            opt: *opt,
-                            wrong_report: false,
-                            program: &u.program,
-                        },
-                    );
-                }
-                Verdict::OptimizationArtifact => {}
-            }
-        }
-        if any_selected {
-            stats.selected += 1;
-        } else {
-            stats.dropped += 1;
-        }
+    }
+    if any_selected {
+        stats.selected += 1;
+    } else {
+        stats.dropped += 1;
     }
 }
 
@@ -602,27 +580,42 @@ mod tests {
     }
 
     #[test]
-    fn shard_ranges_are_contiguous_and_balanced() {
-        assert_eq!(shard_ranges(0, 10, 3), vec![0..4, 4..7, 7..10]);
-        assert_eq!(shard_ranges(5, 4, 8), vec![5..6, 6..7, 7..8, 8..9]);
-        assert_eq!(shard_ranges(0, 0, 4), Vec::<std::ops::Range<u64>>::new());
-        let ranges = shard_ranges(100, 17, 4);
-        assert_eq!(ranges.first().unwrap().start, 100);
-        assert_eq!(ranges.last().unwrap().end, 117);
-        for pair in ranges.windows(2) {
-            assert_eq!(pair[0].end, pair[1].start);
-        }
-    }
-
-    #[test]
     fn parallel_campaign_matches_sequential() {
-        // The broad equivalence property (shard counts 1/2/8, varying
-        // first seeds and generators) lives in tests/parallel.rs; this is
-        // the fast in-crate smoke check.
+        // The broad equivalence property (worker counts 1/2/8/16, cache
+        // on/off, varying first seeds and generators) lives in
+        // tests/parallel.rs; this is the fast in-crate smoke check.
         let cfg = CampaignConfig { seeds: 3, ..CampaignConfig::default() };
         let sequential = run_campaign(&cfg);
         let parallel = ParallelCampaign::new(cfg).with_shards(2).run();
         assert_eq!(sequential, parallel);
+        assert!(parallel.cache.hits > 0, "sanitizer matrix shares prefixes: {:?}", parallel.cache);
+    }
+
+    #[test]
+    fn one_seed_campaign_still_runs_on_the_executor() {
+        // A 1-seed campaign used to fall back to the sequential loop; the
+        // unit executor must still parallelize its programs and report cache
+        // telemetry.
+        let cfg = CampaignConfig { seeds: 1, ..CampaignConfig::default() };
+        let sequential = run_campaign(&cfg);
+        let parallel = ParallelCampaign::new(cfg).with_shards(4).run();
+        assert_eq!(sequential, parallel);
+        assert!(
+            parallel.cache.hits + parallel.cache.misses > 0,
+            "executor path exercises the compile session: {:?}",
+            parallel.cache
+        );
+        assert_eq!(sequential.cache, SessionStats::default());
+    }
+
+    #[test]
+    fn cache_toggle_preserves_results() {
+        let cfg = CampaignConfig { seeds: 2, ..CampaignConfig::default() };
+        let cached = ParallelCampaign::new(cfg.clone()).with_shards(2).run();
+        let uncached = ParallelCampaign::new(cfg).with_shards(2).with_cache(false).run();
+        assert_eq!(cached, uncached);
+        assert!(cached.cache.hits > 0);
+        assert_eq!(uncached.cache, SessionStats::default());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! The unified campaign task executor: fine-grained work stealing with a
+//! canonical-order merge.
+//!
+//! [`run_unit_campaign`] decomposes a campaign into three stages:
+//!
+//! 1. **Generate** — one task per seed id, producing that seed's UB programs
+//!    (each seed id derives its own RNG stream from the campaign seed, so
+//!    scheduling cannot perturb generation).
+//! 2. **Compile+run** — one task per `(seed, program, compiler, opt,
+//!    sanitizer)` unit, all units drained by one work-stealing
+//!    [`Executor`]. Units share a [`CompileSession`] that memoizes the
+//!    sanitizer-independent `lower → early-opts` prefix per
+//!    `(program, vendor, version, opt)`, so a program's sanitizer matrix
+//!    pre-optimizes each cell once instead of once per sanitizer.
+//! 3. **Oracle merge** — sequential, in canonical seed order, feeding each
+//!    program's compiled matrix to [`crate::campaign::oracle_one`] — the
+//!    *same* function the sequential loop runs — so discrepancy counts,
+//!    crash-site mapping and dedup/attribution are bit-identical to
+//!    [`crate::campaign::run_campaign`] at any worker count, cache on or
+//!    off.
+//!
+//! The determinism argument, in one line: stages 1 and 2 are pure functions
+//! of their task inputs (the cache memoizes a deterministic function, so it
+//! can only change *when* a prefix is computed, never *what* it is), and
+//! stage 3 is the sequential algorithm consuming those results in the
+//! sequential order.
+
+use crate::campaign::{
+    compile_cell, generate_programs, oracle_one, test_matrix, CampaignConfig, CampaignStats,
+    CompiledCell,
+};
+use std::collections::BTreeMap;
+use ubfuzz_exec::Executor;
+use ubfuzz_simcc::session::CompileSession;
+use ubfuzz_simcc::target::{CompilerId, OptLevel};
+use ubfuzz_simcc::{san, Sanitizer};
+
+/// One compile unit: indices into the canonical program list plus the matrix
+/// cell to build.
+struct Unit {
+    /// Canonical program index.
+    pi: usize,
+    /// Sanitizer under test.
+    sanitizer: Sanitizer,
+    /// Compiler identity.
+    compiler: CompilerId,
+    /// Optimization level.
+    opt: OptLevel,
+}
+
+/// One `(program, sanitizer)` oracle group: the contiguous unit range whose
+/// results reconstruct the program's compiled matrix for that sanitizer.
+struct Group {
+    pi: usize,
+    sanitizer: Sanitizer,
+    units: std::ops::Range<usize>,
+}
+
+/// Runs `cfg` over `workers` work-stealing threads, compile cache on or off.
+/// Output is bit-identical to [`crate::campaign::run_campaign`].
+pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> CampaignStats {
+    let exec = Executor::new(workers);
+    let session = if cache { CompileSession::new() } else { CompileSession::disabled() };
+
+    // Stage 1: per-seed generation, results in canonical seed order.
+    let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
+    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id));
+
+    // Plan the fine-grained units and their oracle groups. Group order (and
+    // unit order within a group) is exactly the sequential loop's iteration
+    // order; the merge below relies on it.
+    let programs: Vec<_> = per_seed.iter().flatten().collect();
+    let fingerprints: Vec<_> =
+        programs.iter().map(|u| session.fingerprint_for(&u.program)).collect();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (pi, u) in programs.iter().enumerate() {
+        for sanitizer in san::sanitizers_for(u.kind) {
+            let start = units.len();
+            for (compiler, opt) in test_matrix(sanitizer) {
+                units.push(Unit { pi, sanitizer, compiler, opt });
+            }
+            groups.push(Group { pi, sanitizer, units: start..units.len() });
+        }
+    }
+
+    // Stage 2: drain every compile unit through the work-stealing executor.
+    let cells = exec.map(units, |_, unit| {
+        compile_cell(
+            &cfg.registry,
+            &session,
+            &fingerprints[unit.pi],
+            &programs[unit.pi].program,
+            unit.sanitizer,
+            unit.compiler,
+            unit.opt,
+        )
+    });
+
+    // Stage 3: sequential oracle merge in canonical seed order.
+    let mut stats = CampaignStats::default();
+    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cells = cells.into_iter();
+    let mut groups = groups.into_iter().peekable();
+    let mut pi = 0;
+    for seed_programs in &per_seed {
+        stats.seeds += 1;
+        for u in seed_programs {
+            *stats.ub_programs.entry(u.kind).or_default() += 1;
+            while let Some(g) = groups.next_if(|g| g.pi == pi) {
+                let compiled: Vec<CompiledCell> = test_matrix(g.sanitizer)
+                    .into_iter()
+                    .zip(cells.by_ref().take(g.units.len()))
+                    .filter_map(|((compiler, opt), cell)| {
+                        cell.map(|(module, result)| (compiler, opt, module, result))
+                    })
+                    .collect();
+                oracle_one(cfg, u, g.sanitizer, &compiled, &mut stats, &mut bug_index);
+            }
+            pi += 1;
+        }
+    }
+    stats.cache = session.stats();
+    stats
+}

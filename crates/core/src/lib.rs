@@ -18,6 +18,7 @@
 //! every table and figure of the evaluation section.
 
 pub mod campaign;
+pub mod executor;
 pub mod history;
 pub mod report;
 
@@ -25,6 +26,7 @@ pub use campaign::{
     run_campaign, run_parallel_campaign, CampaignConfig, CampaignStats, FoundBug,
     ParallelCampaign,
 };
+pub use ubfuzz_simcc::session::SessionStats;
 
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;

@@ -5,14 +5,16 @@
 //! their shapes against the paper's numbers (see EXPERIMENTS.md for the
 //! paper-vs-measured record).
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignStats, GeneratorChoice};
+use crate::campaign::{CampaignConfig, CampaignStats, GeneratorChoice, ParallelCampaign};
 use crate::history;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use ubfuzz_exec::Executor;
 use ubfuzz_minic::{parse, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::{BugStatus, DefectCategory, DefectRegistry};
 use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::session::CompileSession;
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_simcc::{cov, san, Sanitizer};
 use ubfuzz_simvm::run_module;
@@ -86,53 +88,70 @@ impl GeneratorCounts {
     }
 }
 
+impl GeneratorCounts {
+    /// Folds another count block into this one (per-seed task merge).
+    fn absorb(&mut self, other: GeneratorCounts) {
+        for (kind, n) in other.per_kind {
+            *self.per_kind.entry(kind).or_default() += n;
+        }
+        self.no_ub += other.no_ub;
+        self.other += other.other;
+    }
+}
+
+/// Classifies one baseline-generated program into a count block.
+fn classify_counts(p: &ubfuzz_minic::Program) -> GeneratorCounts {
+    let mut c = GeneratorCounts::default();
+    match ubfuzz_interp::run_program(p) {
+        ubfuzz_interp::Outcome::Ub(ev) => {
+            *c.per_kind.entry(ev.kind).or_default() += 1;
+        }
+        ubfuzz_interp::Outcome::Exit { .. } => c.no_ub += 1,
+        _ => c.other += 1,
+    }
+    c
+}
+
 /// Runs the §4.3 generator-comparison experiment over `seeds` seed programs
-/// (the paper uses 1,000; scale with available time).
+/// (the paper uses 1,000; scale with available time). Each generator's
+/// per-seed work is one executor task; counts are folded in seed order, so
+/// the table is identical at any worker count.
 pub fn generator_comparison(seeds: usize) -> BTreeMap<&'static str, GeneratorCounts> {
+    let exec = Executor::auto();
     let mut out = BTreeMap::new();
     let seed_opts = SeedOptions::default();
     // UBfuzz: all generated programs contain UB by construction.
     let mut ub = GeneratorCounts::default();
-    let mut programs_per_seed = 0usize;
-    for s in 0..seeds {
-        let seed = generate_seed(s as u64, &seed_opts);
-        let gen = ubfuzz_ubgen::generate_all(&seed, &ubfuzz_ubgen::GenOptions::default());
-        programs_per_seed += gen.len();
-        for u in gen {
-            *ub.per_kind.entry(u.kind).or_default() += 1;
+    let per_seed = exec.map((0..seeds as u64).collect(), |_, s| {
+        let seed = generate_seed(s, &seed_opts);
+        let mut c = GeneratorCounts::default();
+        for u in ubfuzz_ubgen::generate_all(&seed, &ubfuzz_ubgen::GenOptions::default()) {
+            *c.per_kind.entry(u.kind).or_default() += 1;
         }
-    }
-    let _ = programs_per_seed;
+        c
+    });
+    per_seed.into_iter().for_each(|c| ub.absorb(c));
     out.insert("UBfuzz", ub);
     // MUSIC: 14 mutants per seed (matching the paper's 14k from 1k seeds).
     let mut music = GeneratorCounts::default();
-    for s in 0..seeds {
-        let seed = generate_seed(s as u64, &seed_opts);
+    let per_seed = exec.map((0..seeds as u64).collect(), |_, s| {
+        let seed = generate_seed(s, &seed_opts);
+        let mut c = GeneratorCounts::default();
         for m in 0..14 {
-            let p = ubfuzz_baselines::music::mutate(&seed, (s * 100 + m) as u64);
-            match ubfuzz_interp::run_program(&p) {
-                ubfuzz_interp::Outcome::Ub(ev) => {
-                    *music.per_kind.entry(ev.kind).or_default() += 1;
-                }
-                ubfuzz_interp::Outcome::Exit { .. } => music.no_ub += 1,
-                _ => music.other += 1,
-            }
+            let p = ubfuzz_baselines::music::mutate(&seed, s * 100 + m);
+            c.absorb(classify_counts(&p));
         }
-    }
+        c
+    });
+    per_seed.into_iter().for_each(|c| music.absorb(c));
     out.insert("MUSIC", music);
     // Csmith-NoSafe: 14 fresh programs per seed slot.
     let mut nosafe = GeneratorCounts::default();
     let nosafe_opts = ubfuzz_baselines::nosafe_options();
-    for s in 0..seeds * 14 {
-        let p = generate_seed(900_000 + s as u64, &nosafe_opts);
-        match ubfuzz_interp::run_program(&p) {
-            ubfuzz_interp::Outcome::Ub(ev) => {
-                *nosafe.per_kind.entry(ev.kind).or_default() += 1;
-            }
-            ubfuzz_interp::Outcome::Exit { .. } => nosafe.no_ub += 1,
-            _ => nosafe.other += 1,
-        }
-    }
+    let per_slot = exec.map((0..seeds as u64 * 14).collect(), |_, s| {
+        classify_counts(&generate_seed(900_000 + s, &nosafe_opts))
+    });
+    per_slot.into_iter().for_each(|c| nosafe.absorb(c));
     out.insert("Csmith-NoSafe", nosafe);
     out
 }
@@ -164,8 +183,15 @@ fn shorten(name: &str) -> String {
 
 /// The Table 5 coverage experiment: compile+run a program mix per generator
 /// and read the sanitizer self-coverage counters.
+///
+/// Each program's vendor × sanitizer × level sweep is one executor task; the
+/// shared [`CompileSession`] reuses the pre-sanitizer prefix across the
+/// three sanitizers of every `(vendor, opt)` cell. Coverage is unaffected by
+/// either: hit points live only in the sanitizer passes and the runtime
+/// (never the cached prefix), and the collector is an order-insensitive set.
 pub fn coverage_experiment(seeds: usize) -> String {
     let registry = DefectRegistry::full();
+    let exec = Executor::auto();
     let mut out = String::from(
         "Table 5. Line (LC), function (FC), branch (BC) coverage of the sanitizer\n\
          implementation, per vendor.\n\
@@ -175,7 +201,10 @@ pub fn coverage_experiment(seeds: usize) -> String {
     let seed_opts = SeedOptions::default();
     let run_mix = |programs: &[ubfuzz_minic::Program]| {
         cov::reset();
-        for p in programs {
+        let session = CompileSession::new();
+        exec.map((0..programs.len()).collect(), |_, pi: usize| {
+            let p = &programs[pi];
+            let fp = CompileSession::fingerprint(p);
             for vendor in Vendor::ALL {
                 for sanitizer in Sanitizer::ALL {
                     if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
@@ -188,13 +217,13 @@ pub fn coverage_experiment(seeds: usize) -> String {
                             sanitizer: Some(sanitizer),
                             registry: &registry,
                         };
-                        if let Ok(m) = compile(p, &cfg) {
+                        if let Ok(m) = session.compile_fp(&fp, p, &cfg) {
                             let _ = run_module(&m);
                         }
                     }
                 }
             }
-        }
+        });
         (cov::stats(Vendor::Gcc), cov::stats(Vendor::Llvm))
     };
     let seeds_programs: Vec<_> =
@@ -395,11 +424,12 @@ pub fn oracle_stats(stats: &CampaignStats) -> String {
 /// none, except the engineered Fig. 8 invalid-report shape when a seed
 /// happens to produce it.
 pub fn oracle_ablation(seeds: usize) -> String {
-    let stats = run_campaign(&CampaignConfig {
+    let stats = ParallelCampaign::new(CampaignConfig {
         seeds,
         registry: DefectRegistry::pristine(),
         ..CampaignConfig::default()
-    });
+    })
+    .run();
     let invalid = stats.bugs.iter().filter(|b| b.invalid).count();
     let mut out = String::new();
     let _ = writeln!(out, "Oracle ablation (pristine sanitizers, {seeds} seeds):");
@@ -419,18 +449,25 @@ pub fn oracle_ablation(seeds: usize) -> String {
 }
 
 /// Convenience: run a default campaign sized for quick regeneration.
+///
+/// Runs on the parallel unit executor with the compile cache enabled —
+/// output is bit-identical to [`run_campaign`] by the executor's
+/// determinism property, so regenerated tables/figures match the
+/// sequential loop's.
 pub fn default_campaign(seeds: usize) -> CampaignStats {
-    run_campaign(&CampaignConfig { seeds, ..CampaignConfig::default() })
+    ParallelCampaign::new(CampaignConfig { seeds, ..CampaignConfig::default() }).run()
 }
 
-/// Convenience: run a baseline campaign (§4.3).
+/// Convenience: run a baseline campaign (§4.3) on the parallel unit
+/// executor.
 pub fn baseline_campaign(generator: GeneratorChoice, seeds: usize) -> CampaignStats {
-    run_campaign(&CampaignConfig { seeds, generator, ..CampaignConfig::default() })
+    ParallelCampaign::new(CampaignConfig { seeds, generator, ..CampaignConfig::default() }).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::run_campaign;
 
     #[test]
     fn table2_matches_paper_matrix() {

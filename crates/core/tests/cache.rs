@@ -1,0 +1,85 @@
+//! Property: staged-compile caching is invisible to compilation results.
+//!
+//! For generated UB programs, a [`CompileSession`]'s output must be
+//! bit-identical to the single-shot `compile()` across the full vendor ×
+//! version × level × sanitizer matrix — including repeated lookups that are
+//! served from the cache — and the hit/miss counters must account for every
+//! prefix lookup.
+
+use proptest::prelude::*;
+use ubfuzz::seedgen::{generate_seed, SeedOptions};
+use ubfuzz::simcc::defects::DefectRegistry;
+use ubfuzz::simcc::pipeline::{compile, CompileConfig};
+use ubfuzz::simcc::session::CompileSession;
+use ubfuzz::simcc::target::{CompilerId, OptLevel, Vendor};
+use ubfuzz::simcc::Sanitizer;
+use ubfuzz::ubgen::GenOptions;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cached_compile_equals_uncached_across_matrix(seed_id in 0u64..500) {
+        let seed = generate_seed(seed_id, &SeedOptions {
+            max_helpers: 1,
+            max_globals: 5,
+            max_stmts: 4,
+            max_depth: 2,
+            ..SeedOptions::default()
+        });
+        let programs = ubfuzz::ubgen::generate_all(
+            &seed,
+            &GenOptions { max_per_kind: 1, ..GenOptions::default() },
+        );
+        // (No prop_assume in the vendored shim; an empty program list would
+        // vacuously pass, but ubgen always yields programs for valid seeds.)
+        prop_assert!(!programs.is_empty(), "ubgen produced no programs for seed {}", seed_id);
+        let registry = DefectRegistry::full();
+        let session = CompileSession::new();
+        // Dev heads plus one stable version per vendor, so cached prefixes
+        // are exercised across the version axis too (Fig. 10 replays).
+        let compilers: Vec<CompilerId> = Vendor::ALL
+            .into_iter()
+            .flat_map(|v| [CompilerId::dev(v), CompilerId { vendor: v, version: 9 }])
+            .collect();
+        let mut lookups = 0u64;
+        for u in &programs {
+            let fp = CompileSession::fingerprint(&u.program);
+            for &compiler in &compilers {
+                for opt in OptLevel::ALL {
+                    for sanitizer in
+                        [None, Some(Sanitizer::Asan), Some(Sanitizer::Ubsan), Some(Sanitizer::Msan)]
+                    {
+                        // Rejected combinations (GCC × MSan) never reach the
+                        // prefix; everything else is exactly one lookup.
+                        if !(compiler.vendor == Vendor::Gcc && sanitizer == Some(Sanitizer::Msan)) {
+                            lookups += 1;
+                        }
+                        let cfg = CompileConfig { compiler, opt, sanitizer, registry: &registry };
+                        let direct = compile(&u.program, &cfg);
+                        let cached = session.compile_fp(&fp, &u.program, &cfg);
+                        match (direct, cached) {
+                            (Ok(a), Ok(b)) => {
+                                prop_assert_eq!(
+                                    a, b,
+                                    "cache changed output: {} {} {:?}", compiler, opt, sanitizer
+                                );
+                            }
+                            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
+                            (a, b) => {
+                                return Err(TestCaseError::fail(format!(
+                                    "outcome mismatch at {compiler} {opt} {sanitizer:?}: {a:?} vs {b:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups, "one lookup per accepted compile");
+        // Multiple sanitizer variants share each (program, compiler, opt)
+        // prefix, so reuse must show up.
+        prop_assert!(stats.hits > 0, "{:?}", stats);
+    }
+}

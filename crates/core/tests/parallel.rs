@@ -1,17 +1,42 @@
-//! Property: the sharded campaign runner is observationally identical to
-//! the sequential loop (proptest).
+//! Property: the unit-executor campaign runner is observationally identical
+//! to the sequential loop (proptest).
 //!
 //! Same deduplicated bug reports — same order, same test cases, same
 //! `missed_at`/`duplicates` — and same counters, for the same campaign
-//! seed, at every shard count. This is what keeps the paper's Table 3/4/6
-//! and figure outputs reproducible under parallelism.
+//! seed, at every worker count, with the staged-compile cache enabled *and*
+//! disabled. This is what keeps the paper's Table 3/4/6 and figure outputs
+//! reproducible under parallelism.
 //!
-//! Kept in its own file with a small case count: every case runs five full
+//! Kept in its own file with a small case count: every case runs seven full
 //! generate→compile→run→oracle campaigns.
 
 use proptest::prelude::*;
 use ubfuzz::campaign::{CampaignConfig, GeneratorChoice, ParallelCampaign};
 use ubfuzz::run_campaign;
+
+fn small_config(first_seed: u64, generator: GeneratorChoice) -> CampaignConfig {
+    // Small seed programs and a slim per-seed program budget keep each
+    // case fast (the full suite runs in debug mode on one core); the
+    // equivalence argument is size-independent, and the in-crate
+    // campaign tests cover default-sized runs.
+    CampaignConfig {
+        first_seed,
+        seeds: 3,
+        generator,
+        seed_options: ubfuzz::seedgen::SeedOptions {
+            max_helpers: 1,
+            max_globals: 5,
+            max_stmts: 4,
+            max_depth: 2,
+            ..ubfuzz::seedgen::SeedOptions::default()
+        },
+        gen_options: ubfuzz::ubgen::GenOptions {
+            max_per_kind: 2,
+            ..ubfuzz::ubgen::GenOptions::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
@@ -23,43 +48,58 @@ proptest! {
         } else {
             GeneratorChoice::Ubfuzz
         };
-        // Small seed programs and a slim per-seed program budget keep each
-        // case fast (the full suite runs in debug mode on one core); the
-        // equivalence argument is size-independent, and the in-crate
-        // campaign tests cover default-sized runs.
-        let cfg = CampaignConfig {
-            first_seed,
-            seeds: 3,
-            generator,
-            seed_options: ubfuzz::seedgen::SeedOptions {
-                max_helpers: 1,
-                max_globals: 5,
-                max_stmts: 4,
-                max_depth: 2,
-                ..ubfuzz::seedgen::SeedOptions::default()
-            },
-            gen_options: ubfuzz::ubgen::GenOptions {
-                max_per_kind: 2,
-                ..ubfuzz::ubgen::GenOptions::default()
-            },
-            ..CampaignConfig::default()
-        };
+        let cfg = small_config(first_seed, generator);
         let sequential = run_campaign(&cfg);
-        let mut two_shards = None;
-        for shards in [1usize, 2, 8] {
-            let sharded = ParallelCampaign::new(cfg.clone()).with_shards(shards).run();
-            prop_assert_eq!(
-                &sequential, &sharded,
-                "first_seed {} diverges at {} shards", first_seed, shards
-            );
-            if shards == 2 {
-                two_shards = Some(sharded);
+        let mut two_workers = None;
+        for workers in [1usize, 2, 8] {
+            for cache in [true, false] {
+                let parallel = ParallelCampaign::new(cfg.clone())
+                    .with_shards(workers)
+                    .with_cache(cache)
+                    .run();
+                prop_assert_eq!(
+                    &sequential, &parallel,
+                    "first_seed {} diverges at {} workers (cache {})",
+                    first_seed, workers, cache
+                );
+                if !cache {
+                    prop_assert_eq!(parallel.cache, ubfuzz::SessionStats::default());
+                }
+                if workers == 2 && cache {
+                    two_workers = Some(parallel);
+                }
             }
         }
         // And the rendered reports are byte-identical.
-        let sharded = two_shards.expect("shards=2 ran");
-        prop_assert_eq!(ubfuzz::report::table3(&sequential), ubfuzz::report::table3(&sharded));
-        prop_assert_eq!(ubfuzz::report::table6(&sequential), ubfuzz::report::table6(&sharded));
-        prop_assert_eq!(ubfuzz::report::fig7(&sequential), ubfuzz::report::fig7(&sharded));
+        let parallel = two_workers.expect("workers=2 ran");
+        prop_assert_eq!(ubfuzz::report::table3(&sequential), ubfuzz::report::table3(&parallel));
+        prop_assert_eq!(ubfuzz::report::table6(&sequential), ubfuzz::report::table6(&parallel));
+        prop_assert_eq!(ubfuzz::report::fig7(&sequential), ubfuzz::report::fig7(&parallel));
+    }
+}
+
+/// The high-width determinism gate CI runs: many more workers than tasks per
+/// group, so the work-stealing path is exercised hard. Worker count is
+/// overridable via `UBFUZZ_TEST_WORKERS` (CI pins 16).
+#[test]
+fn parallel_campaign_equals_sequential_at_high_worker_count() {
+    let workers: usize = std::env::var("UBFUZZ_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let cfg = small_config(7, GeneratorChoice::Ubfuzz);
+    let sequential = run_campaign(&cfg);
+    for cache in [true, false] {
+        let parallel =
+            ParallelCampaign::new(cfg.clone()).with_shards(workers).with_cache(cache).run();
+        assert_eq!(sequential, parallel, "{workers} workers diverge (cache {cache})");
+        assert_eq!(ubfuzz::report::table3(&sequential), ubfuzz::report::table3(&parallel));
+        if cache {
+            assert!(
+                parallel.cache.hits > 0,
+                "sanitizer matrix must share compile prefixes: {:?}",
+                parallel.cache
+            );
+        }
     }
 }

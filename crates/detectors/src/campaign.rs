@@ -21,6 +21,7 @@
 //! finds, the corpus pins every injected defect.
 
 use std::collections::BTreeMap;
+use ubfuzz_exec::Executor;
 use ubfuzz_minic::{parse, pretty, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
@@ -48,6 +49,10 @@ pub struct DetectorCampaignConfig {
     pub registry: DetectorDefectRegistry,
     /// Also replay the fixed trigger corpus.
     pub include_triggers: bool,
+    /// Work-stealing executor width; `0` means one worker per core. Output
+    /// is bit-identical at every worker count (the executor merges results
+    /// in canonical program order).
+    pub workers: usize,
 }
 
 impl Default for DetectorCampaignConfig {
@@ -59,12 +64,24 @@ impl Default for DetectorCampaignConfig {
             gen_options: GenOptions::default(),
             registry: DetectorDefectRegistry::full(),
             include_triggers: true,
+            workers: 0,
+        }
+    }
+}
+
+impl DetectorCampaignConfig {
+    /// The executor serving this config's campaigns.
+    fn executor(&self) -> Executor {
+        if self.workers == 0 {
+            Executor::auto()
+        } else {
+            Executor::new(self.workers)
         }
     }
 }
 
 /// One deduplicated detector bug.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectorFoundBug {
     /// The tool that missed the UB.
     pub tool: DetectorTool,
@@ -82,7 +99,7 @@ pub struct DetectorFoundBug {
 }
 
 /// Aggregate statistics of one detector campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DetectorCampaignStats {
     /// Seeds consumed.
     pub seeds: usize,
@@ -209,23 +226,27 @@ pub fn trigger_corpus(tool: DetectorTool) -> Vec<(&'static str, UbKind, &'static
     }
 }
 
+/// Expands every seed into its supported UB programs on the executor; the
+/// flattened list is in canonical seed order (each seed id derives its own
+/// RNG stream, so scheduling cannot perturb generation).
 fn generated_programs(
     cfg: &DetectorCampaignConfig,
+    exec: &Executor,
     supports: fn(UbKind) -> bool,
 ) -> Vec<UbProgram> {
-    let mut out = Vec::new();
-    for s in 0..cfg.seeds {
-        let seed_id = cfg.first_seed + s as u64;
+    let seed_ids: Vec<u64> = (0..cfg.seeds).map(|s| cfg.first_seed + s as u64).collect();
+    exec.map(seed_ids, |_, seed_id| {
         let seed = generate_seed(seed_id, &cfg.seed_options);
         let mut opts = cfg.gen_options.clone();
         opts.rng_seed = seed_id.wrapping_mul(131).wrapping_add(13);
-        out.extend(
-            ubfuzz_ubgen::generate_all(&seed, &opts)
-                .into_iter()
-                .filter(|u| supports(u.kind)),
-        );
-    }
-    out
+        ubfuzz_ubgen::generate_all(&seed, &opts)
+            .into_iter()
+            .filter(|u| supports(u.kind))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn corpus_programs(tool: DetectorTool) -> Vec<UbProgram> {
@@ -250,9 +271,10 @@ fn corpus_programs(tool: DetectorTool) -> Vec<UbProgram> {
 /// a pristine second implementation on the same binaries, plus cross-level
 /// report-site mapping for optimization arbitration.
 pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignStats {
+    let exec = cfg.executor();
     let mut stats = DetectorCampaignStats { seeds: cfg.seeds, ..Default::default() };
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    let mut programs = generated_programs(cfg, memcheck_supports);
+    let mut programs = generated_programs(cfg, &exec, memcheck_supports);
     if cfg.include_triggers {
         programs.extend(corpus_programs(DetectorTool::Memcheck));
     }
@@ -260,16 +282,25 @@ pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignSt
     let tool_a = MemcheckConfig { registry: cfg.registry.clone(), ..MemcheckConfig::default() };
     let tool_b =
         MemcheckConfig { registry: DetectorDefectRegistry::pristine(), ..MemcheckConfig::default() };
+    // Fine-grained units — one (program, opt) compile+dual-run per task —
+    // drained by the work-stealing executor; the oracle below consumes them
+    // in canonical program order, so output matches the sequential loop
+    // bit-for-bit.
+    let units: Vec<(usize, OptLevel)> = (0..programs.len())
+        .flat_map(|pi| [OptLevel::O0, OptLevel::O2].map(|opt| (pi, opt)))
+        .collect();
+    let cells = exec.map(units, |_, (pi, opt)| {
+        let ccfg = CompileConfig::dev(Vendor::Gcc, opt, None, &compiler_reg);
+        let module = compile(&programs[pi].program, &ccfg).ok()?;
+        let ra = memcheck::run(&module, &tool_a);
+        let rb = memcheck::run(&module, &tool_b);
+        Some((opt, ra, rb))
+    });
+    let mut cells = cells.into_iter();
     for u in &programs {
         *stats.ub_programs.entry(u.kind).or_default() += 1;
-        let mut runs: Vec<(OptLevel, MemcheckRun, MemcheckRun)> = Vec::new();
-        for opt in [OptLevel::O0, OptLevel::O2] {
-            let ccfg = CompileConfig::dev(Vendor::Gcc, opt, None, &compiler_reg);
-            let Ok(module) = compile(&u.program, &ccfg) else { continue };
-            let ra = memcheck::run(&module, &tool_a);
-            let rb = memcheck::run(&module, &tool_b);
-            runs.push((opt, ra, rb));
-        }
+        let runs: Vec<(OptLevel, MemcheckRun, MemcheckRun)> =
+            cells.by_ref().take(2).flatten().collect();
         // Same-binary differential: tool B reports the UB, tool A is silent.
         for (opt, ra, rb) in &runs {
             let b_detects = rb.result.reports().iter().any(|r| r.kind.matches_ub(u.kind));
@@ -300,18 +331,23 @@ pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignSt
 /// Runs the static-analyzer campaign: the tool under test against a pristine
 /// second implementation of the same analysis on the same sources.
 pub fn run_static_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignStats {
+    let exec = cfg.executor();
     let mut stats = DetectorCampaignStats { seeds: cfg.seeds, ..Default::default() };
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    let mut programs = generated_programs(cfg, static_supports);
+    let mut programs = generated_programs(cfg, &exec, static_supports);
     if cfg.include_triggers {
         programs.extend(corpus_programs(DetectorTool::StaticAnalyzer));
     }
     let tool_a = StaticConfig { registry: cfg.registry.clone() };
     let tool_b = StaticConfig { registry: DetectorDefectRegistry::pristine() };
-    for u in &programs {
+    // One dual-analysis unit per program; merged in program order.
+    let analyses = exec.map((0..programs.len()).collect(), |_, pi: usize| {
+        let ra = analyze(&programs[pi].program, &tool_a);
+        let rb = analyze(&programs[pi].program, &tool_b);
+        (ra, rb)
+    });
+    for (u, (ra, rb)) in programs.iter().zip(analyses) {
         *stats.ub_programs.entry(u.kind).or_default() += 1;
-        let ra = analyze(&u.program, &tool_a);
-        let rb = analyze(&u.program, &tool_b);
         if rb.detects(u.kind) && !ra.detects(u.kind) {
             stats.discrepancies += 1;
             let defect_id = ra
@@ -458,6 +494,17 @@ mod tests {
         assert!(m.bugs.is_empty(), "{:?}", m.bugs.iter().map(|b| b.defect_id).collect::<Vec<_>>());
         let s = run_static_campaign(&cfg);
         assert!(s.bugs.is_empty(), "{:?}", s.bugs.iter().map(|b| b.defect_id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detector_campaigns_are_worker_count_invariant() {
+        // The executor port must keep both campaigns bit-identical to a
+        // single-worker run at any width.
+        let base = DetectorCampaignConfig { seeds: 2, ..Default::default() };
+        let one = DetectorCampaignConfig { workers: 1, ..base.clone() };
+        let eight = DetectorCampaignConfig { workers: 8, ..base.clone() };
+        assert_eq!(run_memcheck_campaign(&one), run_memcheck_campaign(&eight));
+        assert_eq!(run_static_campaign(&one), run_static_campaign(&eight));
     }
 
     #[test]

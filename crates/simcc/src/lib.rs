@@ -49,6 +49,7 @@ pub mod lower;
 pub mod passes;
 pub mod pipeline;
 pub mod san;
+pub mod session;
 pub mod target;
 
 pub use defects::{BugStatus, Defect, DefectCategory, DefectRegistry, DEFECTS};
@@ -56,4 +57,5 @@ pub use ir::{Module, Sanitizer};
 pub use lower::CompileError;
 pub use pipeline::{compile, CompileConfig};
 pub use san::{sanitizers_for, supports};
+pub use session::{CompileSession, ProgramFingerprint, SessionStats};
 pub use target::{BuildInfo, CompilerId, OptLevel, Vendor};

@@ -5,6 +5,16 @@
 //! level, and newer versions optimize harder — which is what makes
 //! cross-compiler and cross-level differential testing produce both kinds of
 //! discrepancy the paper wrestles with.
+//!
+//! The pipeline is exposed as four explicit stages — [`lower_stage`],
+//! [`early_opt_stage`], [`sanitize_stage`], [`late_opt_stage`] — because the
+//! first two depend only on `(program, vendor, version, opt)`, not on the
+//! sanitizer or the defect world. That *sanitizer-independent prefix*
+//! ([`compile_prefix`]) is what [`crate::session::CompileSession`] memoizes
+//! so the campaign's per-program sanitizer matrix lowers and pre-optimizes
+//! each `(compiler, opt)` cell once instead of once per sanitizer.
+//! [`compile`] composes the stages and is byte-for-byte the old single-shot
+//! pipeline.
 
 use crate::defects::DefectRegistry;
 use crate::ir::{Module, Sanitizer};
@@ -47,12 +57,50 @@ impl<'a> CompileConfig<'a> {
 /// initializers) and on unsupported sanitizer combinations — GCC has no
 /// MSan, exactly as the paper notes in §4.1.
 pub fn compile(program: &Program, cfg: &CompileConfig<'_>) -> Result<Module, CompileError> {
+    check_supported(cfg)?;
+    let mut module = compile_prefix(program, cfg.compiler, cfg.opt)?;
+    sanitize_stage(&mut module, cfg);
+    late_opt_stage(&mut module, cfg.opt);
+    Ok(module)
+}
+
+/// Rejects compiler/sanitizer combinations the vendors do not ship.
+pub(crate) fn check_supported(cfg: &CompileConfig<'_>) -> Result<(), CompileError> {
     if cfg.compiler.vendor == Vendor::Gcc && cfg.sanitizer == Some(Sanitizer::Msan) {
         return Err(CompileError { message: "GCC does not support MemorySanitizer".into() });
     }
+    Ok(())
+}
+
+/// Stage 1 — frontend: lowers `program` and tags the module with its build
+/// identity.
+pub fn lower_stage(
+    program: &Program,
+    compiler: CompilerId,
+    opt: OptLevel,
+) -> Result<Module, CompileError> {
     let mut module = lower(program)?;
-    module.build = Some(BuildInfo { compiler: cfg.compiler, opt: cfg.opt });
-    run_early_opts(&mut module, cfg);
+    module.build = Some(BuildInfo { compiler, opt });
+    Ok(module)
+}
+
+/// Stages 1+2 — the sanitizer-independent compilation prefix: frontend plus
+/// the pre-sanitizer optimization pipeline. Depends only on
+/// `(program, vendor, version, opt)`, which is exactly the cache key
+/// [`crate::session::CompileSession`] memoizes it under.
+pub fn compile_prefix(
+    program: &Program,
+    compiler: CompilerId,
+    opt: OptLevel,
+) -> Result<Module, CompileError> {
+    let mut module = lower_stage(program, compiler, opt)?;
+    early_opt_stage(&mut module, compiler, opt);
+    Ok(module)
+}
+
+/// Stage 3 — sanitizer instrumentation (`-fsanitize=`), a no-op without a
+/// sanitizer. This is where the defect world enters the pipeline.
+pub fn sanitize_stage(module: &mut Module, cfg: &CompileConfig<'_>) {
     if let Some(s) = cfg.sanitizer {
         let ctx = SanCtx {
             vendor: cfg.compiler.vendor,
@@ -61,22 +109,20 @@ pub fn compile(program: &Program, cfg: &CompileConfig<'_>) -> Result<Module, Com
             registry: cfg.registry,
         };
         match s {
-            Sanitizer::Asan => san::run_asan(&mut module, &ctx),
+            Sanitizer::Asan => san::run_asan(module, &ctx),
             Sanitizer::Ubsan => {
-                san::run_ubsan(&mut module, &ctx);
-                san::ubsan_global_store_fixup(&mut module, &ctx);
+                san::run_ubsan(module, &ctx);
+                san::ubsan_global_store_fixup(module, &ctx);
             }
-            Sanitizer::Msan => san::run_msan(&mut module, &ctx),
+            Sanitizer::Msan => san::run_msan(module, &ctx),
         }
     }
-    run_late_opts(&mut module, cfg);
-    Ok(module)
 }
 
 /// Unroll threshold per vendor/version/level.
-fn unroll_threshold(cfg: &CompileConfig<'_>) -> i64 {
-    let v = cfg.compiler.version as i64;
-    match (cfg.compiler.vendor, cfg.opt) {
+fn unroll_threshold(compiler: CompilerId, opt: OptLevel) -> i64 {
+    let v = compiler.version as i64;
+    match (compiler.vendor, opt) {
         (_, OptLevel::O0 | OptLevel::O1 | OptLevel::Os) => 0,
         (Vendor::Gcc, OptLevel::O2) => {
             if v >= 10 {
@@ -97,7 +143,10 @@ fn unroll_threshold(cfg: &CompileConfig<'_>) -> i64 {
     }
 }
 
-fn run_early_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
+/// Stage 2 — the pre-sanitizer optimization pipeline. Reads only the vendor,
+/// version and level; the sanitizer choice must not influence it or the
+/// cached prefix would diverge from the single-shot pipeline.
+pub fn early_opt_stage(m: &mut Module, compiler: CompilerId, opt: OptLevel) {
     let basic = |m: &mut Module, loads: bool| {
         for _ in 0..3 {
             let mut any = false;
@@ -109,7 +158,7 @@ fn run_early_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
             }
         }
     };
-    match cfg.opt {
+    match opt {
         OptLevel::O0 => {}
         OptLevel::O1 => {
             basic(m, true);
@@ -122,8 +171,8 @@ fn run_early_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
         }
         OptLevel::O2 | OptLevel::O3 => {
             basic(m, true);
-            let threshold = unroll_threshold(cfg);
-            match cfg.compiler.vendor {
+            let threshold = unroll_threshold(compiler, opt);
+            match compiler.vendor {
                 Vendor::Gcc => {
                     // GCC: unroll, then inline, then scalar cleanup.
                     passes::unroll(m, threshold);
@@ -145,8 +194,9 @@ fn run_early_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
     }
 }
 
-fn run_late_opts(m: &mut Module, cfg: &CompileConfig<'_>) {
-    if cfg.opt == OptLevel::O0 {
+/// Stage 4 — post-instrumentation cleanup.
+pub fn late_opt_stage(m: &mut Module, opt: OptLevel) {
+    if opt == OptLevel::O0 {
         return;
     }
     // Post-instrumentation cleanup must keep checks and loads.

@@ -1,0 +1,342 @@
+//! Staged-compile caching: memoizes the sanitizer-independent prefix of the
+//! pipeline across a compile session.
+//!
+//! The campaign's cost model is dominated by compiler invocations: each UB
+//! program is compiled across a vendor × level × sanitizer matrix, but the
+//! `lower → early-opts` prefix of every one of those invocations depends
+//! only on `(program, vendor, version, opt)` — see
+//! [`crate::pipeline::compile_prefix`]. A [`CompileSession`] caches that
+//! prefix so the matrix re-lowers and re-optimizes each `(compiler, opt)`
+//! cell once, then replays only the sanitizer pass and the (short) late
+//! cleanup per sanitizer.
+//!
+//! Correctness does not depend on the cache: every stage is a deterministic
+//! function, so `sanitize + late-opts` over a cloned cached prefix is
+//! bit-identical to the single-shot [`crate::pipeline::compile`]. The
+//! session is `Sync` (mutex-guarded map, atomic counters) so one cache can
+//! back every worker of a parallel campaign; sharing changes *which* lookups
+//! hit, never what any compile returns.
+
+use crate::ir::Module;
+use crate::lower::CompileError;
+use crate::pipeline::{check_supported, compile_prefix, late_opt_stage, sanitize_stage, CompileConfig};
+use crate::target::{CompilerId, OptLevel};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use ubfuzz_minic::{pretty, Program};
+
+/// A program identity for cache lookups: a hash of the canonical
+/// pretty-printed source, plus the source itself so a hash collision can
+/// never alias two distinct programs (entries are verified on hit).
+///
+/// Compute it once per program ([`CompileSession::fingerprint`]) and reuse it
+/// across the program's whole compile matrix.
+#[derive(Debug, Clone)]
+pub struct ProgramFingerprint {
+    hash: u64,
+    source: String,
+}
+
+impl ProgramFingerprint {
+    /// Fingerprints `program`.
+    pub fn of(program: &Program) -> ProgramFingerprint {
+        let source = pretty::print(program);
+        let mut h = DefaultHasher::new();
+        source.hash(&mut h);
+        ProgramFingerprint { hash: h.finish(), source }
+    }
+
+    /// A free placeholder for paths that never consult the cache.
+    pub fn empty() -> ProgramFingerprint {
+        ProgramFingerprint { hash: 0, source: String::new() }
+    }
+}
+
+/// Cache telemetry: prefix lookups served from the cache vs. computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Prefix lookups served from the cache.
+    pub hits: u64,
+    /// Prefix lookups that had to run `lower → early-opts`.
+    pub misses: u64,
+}
+
+impl SessionStats {
+    /// Fraction of prefix lookups served from the cache (0.0 when idle).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for SessionStats {
+    type Output = SessionStats;
+    fn add(self, rhs: SessionStats) -> SessionStats {
+        SessionStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PrefixKey {
+    hash: u64,
+    compiler: CompilerId,
+    opt: OptLevel,
+}
+
+/// Entries sharing a [`PrefixKey`]; the stored source disambiguates the
+/// (astronomically unlikely) fingerprint collision.
+type PrefixBucket = Vec<(String, Module)>;
+
+/// A shared compilation session with a memoized pipeline prefix.
+///
+/// Thread-safe; a disabled session ([`CompileSession::disabled`]) degrades to
+/// plain [`crate::pipeline::compile`] and records no telemetry, which is what
+/// cache-ablation comparisons toggle.
+#[derive(Debug)]
+pub struct CompileSession {
+    /// `None` disables caching entirely.
+    cache: Option<Mutex<HashMap<PrefixKey, PrefixBucket>>>,
+    /// Key budget (≈ entry budget: buckets exceed one entry only on a
+    /// fingerprint collision); exceeding it clears the map wholesale (epoch
+    /// eviction — cross-program reuse is negligible, so old epochs are dead
+    /// weight).
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CompileSession {
+    fn default() -> CompileSession {
+        CompileSession::new()
+    }
+}
+
+impl CompileSession {
+    /// Default entry budget: comfortably above one program's full matrix
+    /// (2 vendors × 5 levels) times the in-flight program window of any
+    /// realistic worker count.
+    pub const DEFAULT_CAPACITY: usize = 2048;
+
+    /// An enabled session with the default capacity.
+    pub fn new() -> CompileSession {
+        CompileSession::with_capacity(CompileSession::DEFAULT_CAPACITY)
+    }
+
+    /// An enabled session holding at most `capacity` cached prefixes.
+    pub fn with_capacity(capacity: usize) -> CompileSession {
+        CompileSession {
+            cache: Some(Mutex::new(HashMap::new())),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A pass-through session: every compile runs the full pipeline and no
+    /// telemetry is recorded.
+    pub fn disabled() -> CompileSession {
+        CompileSession {
+            cache: None,
+            capacity: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Fingerprints a program for [`CompileSession::compile_fp`].
+    pub fn fingerprint(program: &Program) -> ProgramFingerprint {
+        ProgramFingerprint::of(program)
+    }
+
+    /// Fingerprints `program` only when this session caches; disabled
+    /// sessions never read the fingerprint, so skip the pretty-print+hash.
+    pub fn fingerprint_for(&self, program: &Program) -> ProgramFingerprint {
+        if self.enabled() {
+            ProgramFingerprint::of(program)
+        } else {
+            ProgramFingerprint::empty()
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compiles `program` under `cfg`, reusing the cached prefix when
+    /// available. Output is bit-identical to [`crate::pipeline::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failures of [`crate::pipeline::compile`]: frontend-subset
+    /// violations and unsupported sanitizer combinations.
+    pub fn compile(
+        &self,
+        program: &Program,
+        cfg: &CompileConfig<'_>,
+    ) -> Result<Module, CompileError> {
+        self.compile_fp(&ProgramFingerprint::of(program), program, cfg)
+    }
+
+    /// [`CompileSession::compile`] with a precomputed fingerprint — use this
+    /// on the matrix hot path so the program is printed and hashed once, not
+    /// once per cell.
+    pub fn compile_fp(
+        &self,
+        fp: &ProgramFingerprint,
+        program: &Program,
+        cfg: &CompileConfig<'_>,
+    ) -> Result<Module, CompileError> {
+        check_supported(cfg)?;
+        let mut module = self.prefix(fp, program, cfg.compiler, cfg.opt)?;
+        sanitize_stage(&mut module, cfg);
+        late_opt_stage(&mut module, cfg.opt);
+        Ok(module)
+    }
+
+    /// The memoized `lower → early-opts` prefix.
+    fn prefix(
+        &self,
+        fp: &ProgramFingerprint,
+        program: &Program,
+        compiler: CompilerId,
+        opt: OptLevel,
+    ) -> Result<Module, CompileError> {
+        let Some(cache) = &self.cache else {
+            return compile_prefix(program, compiler, opt);
+        };
+        let key = PrefixKey { hash: fp.hash, compiler, opt };
+        if let Some(entries) = cache.lock().expect("prefix cache lock").get(&key) {
+            if let Some((_, module)) = entries.iter().find(|(src, _)| *src == fp.source) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(module.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let module = compile_prefix(program, compiler, opt)?;
+        let mut map = cache.lock().expect("prefix cache lock");
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        // Re-check under the insert lock: two workers can race the same cold
+        // key, and the loser must not push a duplicate entry.
+        let bucket = map.entry(key).or_default();
+        if !bucket.iter().any(|(src, _)| *src == fp.source) {
+            bucket.push((fp.source.clone(), module.clone()));
+        }
+        Ok(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defects::DefectRegistry;
+    use crate::ir::Sanitizer;
+    use crate::pipeline::compile;
+    use crate::target::Vendor;
+    use ubfuzz_minic::parse;
+
+    fn program() -> Program {
+        parse(
+            "int g[4]; int main(void) { int i = 1; g[i] = 3; return g[i] + g[0] / (i + 1); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cached_compile_matches_uncached_across_matrix() {
+        let p = program();
+        let reg = DefectRegistry::full();
+        let session = CompileSession::new();
+        let fp = CompileSession::fingerprint(&p);
+        for vendor in Vendor::ALL {
+            for opt in OptLevel::ALL {
+                for sanitizer in
+                    [None, Some(Sanitizer::Asan), Some(Sanitizer::Ubsan), Some(Sanitizer::Msan)]
+                {
+                    let cfg = CompileConfig {
+                        compiler: CompilerId::dev(vendor),
+                        opt,
+                        sanitizer,
+                        registry: &reg,
+                    };
+                    let direct = compile(&p, &cfg);
+                    let cached = session.compile_fp(&fp, &p, &cfg);
+                    match (direct, cached) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "{vendor} {opt} {sanitizer:?}"),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => panic!("outcome mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+        let stats = session.stats();
+        // 2 vendors × 5 levels distinct prefixes; GCC×MSan never reaches the
+        // prefix, so 4 sanitizer variants hit GCC cells 3× and LLVM cells 3×
+        // after the first-miss fill.
+        assert_eq!(stats.misses, 10, "{stats:?}");
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.reuse_ratio() > 0.5, "{stats:?}");
+    }
+
+    #[test]
+    fn disabled_session_is_pass_through() {
+        let p = program();
+        let reg = DefectRegistry::full();
+        let session = CompileSession::disabled();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Asan), &reg);
+        assert!(!session.enabled());
+        assert_eq!(session.compile(&p, &cfg).unwrap(), compile(&p, &cfg).unwrap());
+        assert_eq!(session.stats(), SessionStats::default());
+    }
+
+    #[test]
+    fn unsupported_combination_still_fails() {
+        let p = program();
+        let reg = DefectRegistry::full();
+        let session = CompileSession::new();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Msan), &reg);
+        assert!(session.compile(&p, &cfg).is_err());
+        assert_eq!(session.stats(), SessionStats::default(), "no prefix work for rejects");
+    }
+
+    #[test]
+    fn capacity_overflow_clears_and_stays_correct() {
+        let reg = DefectRegistry::full();
+        let session = CompileSession::with_capacity(2);
+        for src in ["int main(void) { return 0; }", "int main(void) { return 1; }",
+                    "int main(void) { return 2; }", "int main(void) { return 0; }"]
+        {
+            let p = parse(src).unwrap();
+            let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &reg);
+            assert_eq!(session.compile(&p, &cfg).unwrap(), compile(&p, &cfg).unwrap());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+    }
+
+    #[test]
+    fn stats_add_and_ratio() {
+        let a = SessionStats { hits: 3, misses: 1 };
+        let b = SessionStats { hits: 1, misses: 3 };
+        assert_eq!(a + b, SessionStats { hits: 4, misses: 4 });
+        assert_eq!((a + b).reuse_ratio(), 0.5);
+        assert_eq!(SessionStats::default().reuse_ratio(), 0.0);
+    }
+}
