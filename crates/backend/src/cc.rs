@@ -1,0 +1,563 @@
+//! `CcBackend` — the real-toolchain adapter (feature `real-toolchain`).
+//!
+//! Shells out to actual gcc/clang found on `$PATH`: probes `--version` to
+//! discover toolchains, maps [`Sanitizer`] choices to `-fsanitize=` flags,
+//! and parses real sanitizer stderr back into the campaign's [`RunOutcome`]
+//! vocabulary. When no toolchain is installed, [`CcBackend::detect`] returns
+//! `None` and callers skip gracefully — the feature compiling does not
+//! require a compiler to be present.
+//!
+//! Scope note: a real toolchain carries no injected-defect metadata, so
+//! artifacts are opaque binaries ([`crate::Artifact::Native`]); campaigns
+//! over this backend observe discrepancies but cannot attribute them to
+//! registry defects. That is the point — the same loop now tests
+//! heterogeneous sanitizer implementations, not just the simulated world.
+
+use crate::{Artifact, CompileRequest, CompilerBackend, NativeArtifact, RunOutcome, RunRequest, ToolchainDesc};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use ubfuzz_minic::{pretty, Loc, Program};
+use ubfuzz_simcc::lower::CompileError;
+use ubfuzz_simcc::target::{CompilerId, Vendor};
+use ubfuzz_simcc::Sanitizer;
+use ubfuzz_simvm::{CrashKind, ReportKind, RunResult, SanReport};
+
+/// Definitions the generated programs assume: the `print_value` builtin and
+/// the allocator. Prepended to every pretty-printed program before handing
+/// it to the real compiler.
+const PRELUDE: &str = "#include <stdio.h>\n\
+                       #include <stdlib.h>\n\
+                       static void print_value(long long v) { printf(\"%lld\\n\", v); }\n";
+
+/// One probed real toolchain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcTool {
+    /// Which vendor family the driver belongs to.
+    pub vendor: Vendor,
+    /// Major version parsed from `--version`.
+    pub version: u32,
+    /// The driver invocation (e.g. `"gcc"`, `"clang"`, or an absolute path).
+    pub program: String,
+}
+
+impl CcTool {
+    fn sanitizers(&self) -> Vec<Sanitizer> {
+        crate::vendor_sanitizers(self.vendor)
+    }
+}
+
+/// A backend over real gcc/clang drivers.
+#[derive(Debug)]
+pub struct CcBackend {
+    tools: Vec<CcTool>,
+    workdir: PathBuf,
+    counter: AtomicU64,
+}
+
+impl CcBackend {
+    /// Probes `$PATH` for gcc and clang; `None` when neither answers
+    /// `--version` (callers should treat this as "skip", not "fail" — CI
+    /// images and sandboxes routinely ship no system toolchain).
+    pub fn detect() -> Option<CcBackend> {
+        let mut tools = Vec::new();
+        for (program, vendor) in [("gcc", Vendor::Gcc), ("clang", Vendor::Llvm)] {
+            if let Some(version) = probe(program) {
+                tools.push(CcTool { vendor, version, program: program.to_string() });
+            }
+        }
+        if tools.is_empty() {
+            None
+        } else {
+            Some(CcBackend::from_tools(tools))
+        }
+    }
+
+    /// A backend over an explicit tool list — the mocked-probe path tests
+    /// use, and an escape hatch for cross-compilers at unusual paths.
+    pub fn from_tools(tools: Vec<CcTool>) -> CcBackend {
+        // Workdirs are keyed by PID *and* a process-global instance id:
+        // two backends in one process must never alias artifact paths
+        // (each instance counts its own compiles from zero).
+        static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        let workdir = std::env::temp_dir().join(format!(
+            "ubfuzz-cc-{}-{}",
+            std::process::id(),
+            INSTANCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::create_dir_all(&workdir);
+        CcBackend { tools, workdir, counter: AtomicU64::new(0) }
+    }
+
+    /// The probed tools.
+    pub fn tools(&self) -> &[CcTool] {
+        &self.tools
+    }
+
+    fn tool_for(&self, compiler: CompilerId) -> Option<&CcTool> {
+        // A real installation has exactly one version per vendor; requests
+        // for other versions of that vendor (e.g. Fig. 10 stable replays)
+        // fall back to the installed driver.
+        self.tools
+            .iter()
+            .find(|t| t.vendor == compiler.vendor && t.version == compiler.version)
+            .or_else(|| self.tools.iter().find(|t| t.vendor == compiler.vendor))
+    }
+}
+
+/// Runs `program --version` and parses the major version from its first
+/// output line.
+fn probe(program: &str) -> Option<u32> {
+    let out = Command::new(program)
+        .arg("--version")
+        .stdin(Stdio::null())
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    parse_version_output(&String::from_utf8_lossy(&out.stdout))
+}
+
+/// Parses the major version out of a `--version` banner, e.g.
+/// `gcc (Debian 12.2.0-14+deb12u1) 12.2.0` or `clang version 15.0.7`.
+pub fn parse_version_output(output: &str) -> Option<u32> {
+    let first = output.lines().next()?;
+    for token in first.split_whitespace() {
+        let Some(dot) = token.find('.') else { continue };
+        if let Ok(major) = token[..dot].parse::<u32>() {
+            return Some(major);
+        }
+    }
+    None
+}
+
+/// The `-fsanitize=` spelling of a sanitizer choice.
+pub fn sanitize_flag(sanitizer: Sanitizer) -> &'static str {
+    match sanitizer {
+        Sanitizer::Asan => "-fsanitize=address",
+        Sanitizer::Ubsan => "-fsanitize=undefined",
+        Sanitizer::Msan => "-fsanitize=memory",
+    }
+}
+
+/// Substring markers real sanitizers print, mapped into the simulated
+/// report vocabulary. Order matters: the first match wins, and more
+/// specific markers come first.
+const REPORT_MARKERS: &[(&str, ReportKind)] = &[
+    ("stack-buffer-overflow", ReportKind::StackBufOverflow),
+    ("global-buffer-overflow", ReportKind::GlobalBufOverflow),
+    ("heap-buffer-overflow", ReportKind::HeapBufOverflow),
+    ("heap-use-after-free", ReportKind::UseAfterFree),
+    ("stack-use-after-scope", ReportKind::UseAfterScope),
+    ("attempting double-free", ReportKind::BadFree),
+    ("attempting free on address", ReportKind::BadFree),
+    ("use-of-uninitialized-value", ReportKind::UninitUse),
+    ("signed integer overflow", ReportKind::SignedIntOverflow),
+    ("cannot be represented", ReportKind::NegOverflow),
+    ("shift exponent", ReportKind::ShiftOob),
+    ("division by zero", ReportKind::DivByZero),
+    ("null pointer", ReportKind::NullDeref),
+    ("out of bounds", ReportKind::ArrayBound),
+];
+
+/// Which sanitizer family a report line came from, when the requested one
+/// is unknown.
+fn sanitizer_of_line(line: &str) -> Option<Sanitizer> {
+    if line.contains("AddressSanitizer") {
+        Some(Sanitizer::Asan)
+    } else if line.contains("MemorySanitizer") {
+        Some(Sanitizer::Msan)
+    } else if line.contains("runtime error") {
+        Some(Sanitizer::Ubsan)
+    } else {
+        None
+    }
+}
+
+/// Best-effort `file.c:LINE[:COL]` extraction from a report line. The
+/// prelude occupies the first `PRELUDE_LINES` lines of the emitted source,
+/// so line numbers are shifted back to program coordinates.
+fn parse_loc(line: &str, prelude_lines: u32) -> Loc {
+    let Some(pos) = line.find(".c:") else { return Loc::default() };
+    let rest = &line[pos + 3..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    match digits.parse::<u32>() {
+        Ok(n) if n > prelude_lines => Loc::new(n - prelude_lines, 0),
+        _ => Loc::default(),
+    }
+}
+
+/// Classifies one finished real-toolchain run into the campaign's
+/// [`RunOutcome`] shape. Pure — unit-tested against canned sanitizer
+/// output without any toolchain present.
+pub fn parse_run_output(
+    requested: Option<Sanitizer>,
+    exit_code: Option<i64>,
+    signal: Option<i32>,
+    stdout: &str,
+    stderr: &str,
+    prelude_lines: u32,
+) -> RunOutcome {
+    for line in stderr.lines() {
+        for (marker, kind) in REPORT_MARKERS {
+            if line.contains(marker) {
+                let sanitizer = requested
+                    .or_else(|| sanitizer_of_line(line))
+                    .unwrap_or(Sanitizer::Asan);
+                return RunResult::Report(SanReport {
+                    sanitizer,
+                    kind: *kind,
+                    loc: parse_loc(line, prelude_lines),
+                });
+            }
+        }
+    }
+    if let Some(sig) = signal {
+        return match sig {
+            8 => RunResult::Crash { kind: CrashKind::Fpe, loc: Loc::default() },
+            4 | 6 | 7 | 11 => RunResult::Crash { kind: CrashKind::Segv, loc: Loc::default() },
+            other => RunResult::Error(format!("terminated by signal {other}")),
+        };
+    }
+    match exit_code {
+        Some(status) => RunResult::Exit {
+            status,
+            output: stdout.lines().filter_map(|l| l.trim().parse::<i64>().ok()).collect(),
+        },
+        None => RunResult::Error("no exit status and no signal".into()),
+    }
+}
+
+impl CompilerBackend for CcBackend {
+    fn name(&self) -> &str {
+        "cc"
+    }
+
+    fn toolchains(&self) -> Vec<ToolchainDesc> {
+        self.tools
+            .iter()
+            .map(|t| ToolchainDesc {
+                id: CompilerId { vendor: t.vendor, version: t.version },
+                label: format!("{} {} ({})", t.vendor, t.version, t.program),
+                sanitizers: t.sanitizers(),
+            })
+            .collect()
+    }
+
+    fn compile(
+        &self,
+        _fp: &ubfuzz_simcc::session::ProgramFingerprint,
+        program: &Program,
+        req: &CompileRequest<'_>,
+    ) -> Result<Artifact, CompileError> {
+        let tool = self.tool_for(req.compiler).ok_or_else(|| CompileError {
+            message: format!("no installed toolchain for {}", req.compiler),
+        })?;
+        if let Some(s) = req.sanitizer {
+            if !tool.sanitizers().contains(&s) {
+                return Err(CompileError {
+                    message: format!("{} does not support {s}", tool.program),
+                });
+            }
+        }
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        let src_path = self.workdir.join(format!("p{id}.c"));
+        let bin_path = self.workdir.join(format!("p{id}.bin"));
+        let source = format!("{PRELUDE}{}", pretty::print(program));
+        std::fs::write(&src_path, &source)
+            .map_err(|e| CompileError { message: format!("write {}: {e}", src_path.display()) })?;
+        let mut cmd = Command::new(&tool.program);
+        cmd.arg(req.opt.name())
+            .arg("-w")
+            .arg("-g")
+            .arg("-fno-omit-frame-pointer")
+            .args(req.sanitizer.iter().map(|s| sanitize_flag(*s)))
+            .arg("-o")
+            .arg(&bin_path)
+            .arg(&src_path)
+            .stdin(Stdio::null());
+        let out = cmd
+            .output()
+            .map_err(|e| CompileError { message: format!("spawn {}: {e}", tool.program) })?;
+        let _ = std::fs::remove_file(&src_path);
+        if !out.status.success() {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            return Err(CompileError {
+                message: format!(
+                    "{} exited with {}: {}",
+                    tool.program,
+                    out.status,
+                    stderr.lines().next().unwrap_or("")
+                ),
+            });
+        }
+        Ok(Artifact::Native(NativeArtifact {
+            binary: bin_path,
+            compiler: req.compiler,
+            sanitizer: req.sanitizer,
+        }))
+    }
+
+    fn execute(&self, artifact: &Artifact, req: &RunRequest) -> RunOutcome {
+        let Artifact::Native(n) = artifact else {
+            return RunResult::Error("CcBackend cannot execute simulated artifacts".into());
+        };
+        let mut child = match Command::new(&n.binary)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .env("ASAN_OPTIONS", "detect_leaks=0")
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => return RunResult::Error(format!("run {}: {e}", n.binary.display())),
+        };
+        // Generated programs can loop forever (the simulated VM has a step
+        // budget for the same reason); poll with a wall-clock budget derived
+        // from the step limit and classify overruns as Timeout instead of
+        // hanging a campaign worker.
+        let deadline = std::time::Instant::now() + run_budget(req);
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) if std::time::Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return RunResult::Timeout;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Err(e) => return RunResult::Error(format!("wait: {e}")),
+            }
+        };
+        // Outputs are a handful of print_value lines / one sanitizer report,
+        // far below the pipe buffer, so reading after exit cannot deadlock.
+        let mut stdout = String::new();
+        let mut stderr = String::new();
+        use std::io::Read as _;
+        if let Some(mut s) = child.stdout.take() {
+            let _ = s.read_to_string(&mut stdout);
+        }
+        if let Some(mut s) = child.stderr.take() {
+            let _ = s.read_to_string(&mut stderr);
+        }
+        parse_run_output(
+            n.sanitizer,
+            status.code().map(i64::from),
+            exit_signal(&status),
+            &stdout,
+            &stderr,
+            prelude_lines(),
+        )
+    }
+}
+
+/// Wall-clock budget for one native run: the step limit read as
+/// "instructions at a conservative 1 MHz", clamped to [1 s, 30 s] — the
+/// default 4M-step limit maps to 4 s, plenty for programs this size.
+fn run_budget(req: &RunRequest) -> std::time::Duration {
+    std::time::Duration::from_millis((req.step_limit / 1000).clamp(1_000, 30_000))
+}
+
+/// Lines the prelude adds before the program's own first line.
+fn prelude_lines() -> u32 {
+    PRELUDE.lines().count() as u32
+}
+
+#[cfg(unix)]
+fn exit_signal(status: &std::process::ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn exit_signal(_status: &std::process::ExitStatus) -> Option<i32> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::session::ProgramFingerprint;
+    use ubfuzz_simcc::target::OptLevel;
+
+    #[test]
+    fn version_banners_parse() {
+        // Mocked toolchain probe: the parser sees canned banners, no
+        // compiler needs to be installed.
+        let cases = [
+            ("gcc (Debian 12.2.0-14+deb12u1) 12.2.0\nCopyright (C) 2022", Some(12)),
+            ("gcc (GCC) 13.2.1 20230801", Some(13)),
+            ("clang version 15.0.7\nTarget: x86_64", Some(15)),
+            ("Ubuntu clang version 14.0.0-1ubuntu1", Some(14)),
+            ("Apple clang version 16.0.0 (clang-1600.0.26.3)", Some(16)),
+            ("not a compiler at all", None),
+            ("", None),
+        ];
+        for (banner, expect) in cases {
+            assert_eq!(parse_version_output(banner), expect, "{banner:?}");
+        }
+    }
+
+    #[test]
+    fn mocked_tools_surface_as_toolchains() {
+        let backend = CcBackend::from_tools(vec![
+            CcTool { vendor: Vendor::Gcc, version: 12, program: "gcc".into() },
+            CcTool { vendor: Vendor::Llvm, version: 15, program: "clang".into() },
+        ]);
+        let tc = backend.toolchains();
+        assert_eq!(tc.len(), 2);
+        assert_eq!(tc[0].id, CompilerId { vendor: Vendor::Gcc, version: 12 });
+        assert!(!tc[0].supports(Sanitizer::Msan), "real GCC ships no MSan either");
+        assert!(tc[1].supports(Sanitizer::Msan));
+        assert!(tc[1].label.contains("clang"));
+    }
+
+    #[test]
+    fn stable_version_requests_fall_back_to_the_installed_driver() {
+        let backend = CcBackend::from_tools(vec![CcTool {
+            vendor: Vendor::Gcc,
+            version: 12,
+            program: "gcc".into(),
+        }]);
+        let t = backend.tool_for(CompilerId { vendor: Vendor::Gcc, version: 9 }).unwrap();
+        assert_eq!(t.version, 12);
+        assert!(backend.tool_for(CompilerId { vendor: Vendor::Llvm, version: 15 }).is_none());
+    }
+
+    #[test]
+    fn sanitizer_flags_spell_like_the_drivers() {
+        assert_eq!(sanitize_flag(Sanitizer::Asan), "-fsanitize=address");
+        assert_eq!(sanitize_flag(Sanitizer::Ubsan), "-fsanitize=undefined");
+        assert_eq!(sanitize_flag(Sanitizer::Msan), "-fsanitize=memory");
+    }
+
+    #[test]
+    fn real_asan_stderr_parses_into_a_report() {
+        let stderr = "=================================================================\n\
+            ==12345==ERROR: AddressSanitizer: heap-buffer-overflow on address 0x602000000018\n\
+            READ of size 4 at 0x602000000018 thread T0\n\
+            #0 0x55e3 in main /tmp/p0.c:7:9\n";
+        let r = parse_run_output(Some(Sanitizer::Asan), Some(1), None, "", stderr, 3);
+        match r {
+            RunResult::Report(rep) => {
+                assert_eq!(rep.kind, ReportKind::HeapBufOverflow);
+                assert_eq!(rep.sanitizer, Sanitizer::Asan);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_ubsan_stderr_parses_with_shifted_line() {
+        let stderr = "/tmp/p0.c:8:13: runtime error: signed integer overflow: \
+                      2147483647 + 1 cannot be represented in type 'int'\n";
+        let r = parse_run_output(Some(Sanitizer::Ubsan), Some(0), None, "", stderr, 3);
+        match r {
+            RunResult::Report(rep) => {
+                assert_eq!(rep.kind, ReportKind::SignedIntOverflow);
+                assert_eq!(rep.loc, Loc::new(5, 0), "prelude lines subtracted");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_runs_and_signals_classify() {
+        let clean = parse_run_output(None, Some(3), None, "42\n-7\nnoise\n", "", 3);
+        assert_eq!(clean, RunResult::Exit { status: 3, output: vec![42, -7] });
+        assert!(matches!(
+            parse_run_output(None, None, Some(8), "", "", 3),
+            RunResult::Crash { kind: CrashKind::Fpe, .. }
+        ));
+        assert!(matches!(
+            parse_run_output(None, None, Some(11), "", "", 3),
+            RunResult::Crash { kind: CrashKind::Segv, .. }
+        ));
+    }
+
+    #[test]
+    fn run_budget_derives_from_the_step_limit() {
+        let d = |steps: u64| run_budget(&RunRequest { step_limit: steps }).as_millis();
+        assert_eq!(d(RunRequest::default().step_limit), 4_000, "default 4M steps → 4 s");
+        assert_eq!(d(1), 1_000, "floor");
+        assert_eq!(d(u64::MAX / 2), 30_000, "ceiling");
+    }
+
+    /// A non-terminating program must classify as Timeout, not hang the
+    /// campaign worker. Skips without a toolchain, like the e2e test.
+    #[test]
+    fn infinite_loops_time_out_or_skip() {
+        let Some(backend) = CcBackend::detect() else {
+            eprintln!("skipping: no gcc/clang on $PATH");
+            return;
+        };
+        let program =
+            parse("int g; int main(void) { while (g == 0) { g = 0; } return 0; }").unwrap();
+        let registry = DefectRegistry::pristine();
+        let req = CompileRequest {
+            compiler: backend.toolchains()[0].id,
+            opt: OptLevel::O0,
+            sanitizer: None,
+            registry: &registry,
+        };
+        let artifact =
+            backend.compile(&ProgramFingerprint::empty(), &program, &req).expect("compiles");
+        let outcome = backend.execute(&artifact, &RunRequest { step_limit: 1 });
+        assert_eq!(outcome, RunResult::Timeout, "1 s budget trips on the infinite loop");
+    }
+
+    /// End-to-end against whatever toolchain the machine actually has.
+    /// Skips (does not fail) when `$PATH` has neither gcc nor clang, and
+    /// tolerates missing sanitizer runtimes the same way.
+    #[test]
+    fn detect_compile_execute_or_skip() {
+        let Some(backend) = CcBackend::detect() else {
+            eprintln!("skipping: no gcc/clang on $PATH");
+            return;
+        };
+        let tc = backend.toolchains();
+        assert!(!tc.is_empty());
+        let program = parse(
+            "int main(void) { int x = 6; print_value(x * 7); return x; }",
+        )
+        .unwrap();
+        let registry = DefectRegistry::pristine();
+        let req = CompileRequest {
+            compiler: tc[0].id,
+            opt: OptLevel::O2,
+            sanitizer: None,
+            registry: &registry,
+        };
+        let artifact = backend
+            .compile(&ProgramFingerprint::empty(), &program, &req)
+            .expect("plain compile works wherever a driver exists");
+        assert!(artifact.module().is_none(), "native artifacts are opaque");
+        match backend.execute(&artifact, &RunRequest::default()) {
+            RunResult::Exit { status, output } => {
+                assert_eq!(status, 6);
+                assert_eq!(output, vec![42]);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // A sanitizer cell, tolerant of images without the ASan runtime.
+        let overflow = parse(
+            "int g[4]; int i = 9; int main(void) { g[i] = 1; return 0; }",
+        )
+        .unwrap();
+        let req =
+            CompileRequest { sanitizer: Some(Sanitizer::Asan), opt: OptLevel::O0, ..req };
+        match backend.compile(&ProgramFingerprint::empty(), &overflow, &req) {
+            Ok(artifact) => match backend.execute(&artifact, &RunRequest::default()) {
+                RunResult::Report(rep) => {
+                    assert_eq!(rep.kind, ReportKind::GlobalBufOverflow);
+                    assert_eq!(rep.sanitizer, Sanitizer::Asan);
+                }
+                other => panic!("real ASan should report the overflow: {other:?}"),
+            },
+            Err(e) => eprintln!("skipping sanitizer cell (no ASan runtime?): {}", e.message),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! `ubfuzz-backend` — the compilation/execution abstraction the campaign
+//! runs against.
+//!
+//! The UBFuzz loop (generate → compile under many `(compiler, opt,
+//! sanitizer)` configs → run → oracle) is compiler-agnostic in the paper:
+//! nothing in the testing process cares *how* a binary came to exist, only
+//! that the same program can be built under many configurations and each
+//! build observed running. This crate captures that seam as
+//! [`CompilerBackend`]:
+//!
+//! * [`SimBackend`] (the default) wraps the deterministic simulated
+//!   toolchains of [`ubfuzz_simcc`] and the [`ubfuzz_simvm`] VM — the
+//!   defect-injected world every table and figure of the reproduction is
+//!   measured in. Campaign output through it is bit-identical to driving
+//!   the pipeline directly.
+//! * `CcBackend` (behind the `real-toolchain` feature) shells out to actual
+//!   gcc/clang found on `$PATH`, mapping [`Sanitizer`] choices to
+//!   `-fsanitize=` flags and parsing real sanitizer stderr back into the
+//!   same [`RunOutcome`] vocabulary, so the identical campaign can drive
+//!   real sanitizer implementations.
+//!
+//! Staged-compile caching stays a *backend* concern: a backend that can
+//! memoize the sanitizer-independent compile prefix exposes it through the
+//! [`PrefixCache`] capability trait, and the campaign only ever reads
+//! telemetry from it — never the cache itself.
+//!
+//! The crate is dependency-free beyond the workspace substrate crates
+//! (`minic`/`simcc`/`simvm`); in particular the real-toolchain adapter uses
+//! only `std::process`.
+
+use std::fmt;
+use ubfuzz_minic::Program;
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::lower::CompileError;
+use ubfuzz_simcc::pipeline::CompileConfig;
+use ubfuzz_simcc::session::{CompileSession, ProgramFingerprint, SessionStats};
+use ubfuzz_simcc::target::{CompilerId, OptLevel};
+use ubfuzz_simcc::{Module, Sanitizer};
+use ubfuzz_simvm::RunResult;
+
+#[cfg(feature = "real-toolchain")]
+pub mod cc;
+pub mod sim;
+
+#[cfg(feature = "real-toolchain")]
+pub use cc::CcBackend;
+pub use sim::SimBackend;
+
+/// What executing an artifact produced. The campaign's oracle vocabulary is
+/// exactly the simulated VM's result shape — real-toolchain backends parse
+/// sanitizer stderr into it.
+pub type RunOutcome = RunResult;
+
+/// One toolchain a backend can compile with: the identity the campaign
+/// differentials over, plus the sanitizers that toolchain ships.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolchainDesc {
+    /// Compiler identity (vendor + version).
+    pub id: CompilerId,
+    /// Human-readable description, e.g. `"GCC-14 (simulated)"` or
+    /// `"gcc 12 (/usr/bin/gcc)"`.
+    pub label: String,
+    /// The sanitizers this toolchain supports (GCC famously ships no MSan).
+    pub sanitizers: Vec<Sanitizer>,
+}
+
+impl ToolchainDesc {
+    /// Whether this toolchain ships `sanitizer`.
+    pub fn supports(&self, sanitizer: Sanitizer) -> bool {
+        self.sanitizers.contains(&sanitizer)
+    }
+}
+
+/// The sanitizers a vendor's toolchain ships (paper §4.1: GCC has no MSan
+/// — true of the simulated pipelines and of the real drivers alike, so
+/// both backends share this one matrix).
+pub fn vendor_sanitizers(vendor: ubfuzz_simcc::target::Vendor) -> Vec<Sanitizer> {
+    use ubfuzz_simcc::target::Vendor;
+    match vendor {
+        Vendor::Gcc => vec![Sanitizer::Asan, Sanitizer::Ubsan],
+        Vendor::Llvm => vec![Sanitizer::Asan, Sanitizer::Ubsan, Sanitizer::Msan],
+    }
+}
+
+/// One compile request: the `(compiler, opt, sanitizer)` cell of the test
+/// matrix plus the defect world under test (ignored by backends whose
+/// defects are, unfortunately, real).
+#[derive(Debug, Clone)]
+pub struct CompileRequest<'a> {
+    /// Which compiler.
+    pub compiler: CompilerId,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Sanitizer to enable, if any (`-fsanitize=`).
+    pub sanitizer: Option<Sanitizer>,
+    /// The injected-defect world (meaningful to simulated backends only).
+    pub registry: &'a DefectRegistry,
+}
+
+impl<'a> CompileRequest<'a> {
+    /// The equivalent simulated-pipeline configuration.
+    pub fn to_compile_config(&self) -> CompileConfig<'a> {
+        CompileConfig {
+            compiler: self.compiler,
+            opt: self.opt,
+            sanitizer: self.sanitizer,
+            registry: self.registry,
+        }
+    }
+}
+
+/// Execution limits for [`CompilerBackend::execute`].
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Maximum executed instructions (simulated backends) or a wall-clock
+    /// budget derived from it (real backends).
+    pub step_limit: u64,
+}
+
+impl Default for RunRequest {
+    fn default() -> RunRequest {
+        RunRequest { step_limit: ubfuzz_simvm::VmConfig::default().step_limit }
+    }
+}
+
+/// A compiled program, ready to execute.
+///
+/// Simulated backends carry the full [`Module`] — which is what lets the
+/// campaign's oracle run crash-site mapping and defect attribution over it.
+/// Real-toolchain artifacts are opaque binaries on disk; campaigns over
+/// them still count discrepancies but cannot attribute to injected defects
+/// (there are none to attribute to).
+#[derive(Debug)]
+pub enum Artifact {
+    /// Simulated-pipeline output.
+    Sim(Module),
+    /// Real-toolchain output: a binary on disk.
+    Native(NativeArtifact),
+}
+
+impl Artifact {
+    /// The compiled module, when this artifact has one (simulated backends).
+    pub fn module(&self) -> Option<&Module> {
+        match self {
+            Artifact::Sim(m) => Some(m),
+            Artifact::Native(_) => None,
+        }
+    }
+}
+
+/// A real-toolchain build product. The binary is deleted when the artifact
+/// is dropped, so campaign-scale fan-out cannot litter the filesystem.
+#[derive(Debug)]
+pub struct NativeArtifact {
+    /// Path of the compiled binary.
+    pub binary: std::path::PathBuf,
+    /// The compiler that built it.
+    pub compiler: CompilerId,
+    /// The sanitizer it was instrumented with, if any.
+    pub sanitizer: Option<Sanitizer>,
+}
+
+impl Drop for NativeArtifact {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.binary);
+    }
+}
+
+/// Capability trait for backends with a staged-compile cache: the campaign
+/// reads telemetry through it but never manages the cache itself —
+/// memoization policy (keying, eviction, epochs) stays a backend concern.
+pub trait PrefixCache: Send + Sync {
+    /// Whether caching is enabled (a disabled cache passes through).
+    fn enabled(&self) -> bool;
+    /// Hit/miss counters so far. Monotone; campaigns snapshot before/after
+    /// a run and report the delta, so one cache can persist across runs.
+    fn stats(&self) -> SessionStats;
+}
+
+impl PrefixCache for CompileSession {
+    fn enabled(&self) -> bool {
+        CompileSession::enabled(self)
+    }
+
+    fn stats(&self) -> SessionStats {
+        CompileSession::stats(self)
+    }
+}
+
+/// A compilation + execution backend the campaign is generic over.
+///
+/// Implementations must be deterministic functions of their inputs for the
+/// campaign's sequential-vs-parallel bit-identity property to hold; interior
+/// caching is fine exactly when it is observationally invisible (see
+/// [`CompileSession`]).
+pub trait CompilerBackend: fmt::Debug + Send + Sync {
+    /// Short backend name for logs and reports.
+    fn name(&self) -> &str;
+
+    /// The toolchains the campaign should differential over, in a stable
+    /// order. [`CompilerBackend::compile`] may additionally accept other
+    /// compiler identities (e.g. stable versions for the Fig. 10 replays);
+    /// this list is the campaign matrix, not a whitelist.
+    fn toolchains(&self) -> Vec<ToolchainDesc>;
+
+    /// An amortizable per-program identity: compute once, pass to every
+    /// [`CompilerBackend::compile`] of the program's matrix. Backends
+    /// without per-program precomputation return
+    /// [`ProgramFingerprint::empty`].
+    fn fingerprint(&self, program: &Program) -> ProgramFingerprint {
+        let _ = program;
+        ProgramFingerprint::empty()
+    }
+
+    /// Compiles `program` under `req`.
+    ///
+    /// # Errors
+    ///
+    /// Unsupported `(compiler, sanitizer)` combinations and frontend
+    /// rejections, mirroring real driver exits.
+    fn compile(
+        &self,
+        fp: &ProgramFingerprint,
+        program: &Program,
+        req: &CompileRequest<'_>,
+    ) -> Result<Artifact, CompileError>;
+
+    /// [`CompilerBackend::compile`] with the fingerprint computed inline —
+    /// for one-off compiles outside a matrix sweep.
+    fn compile_program(
+        &self,
+        program: &Program,
+        req: &CompileRequest<'_>,
+    ) -> Result<Artifact, CompileError> {
+        self.compile(&self.fingerprint(program), program, req)
+    }
+
+    /// Executes a compiled artifact and classifies the outcome.
+    fn execute(&self, artifact: &Artifact, req: &RunRequest) -> RunOutcome;
+
+    /// The backend's staged-compile cache, when it has one.
+    fn prefix_cache(&self) -> Option<&dyn PrefixCache> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toolchain_desc_supports() {
+        let desc = ToolchainDesc {
+            id: CompilerId::dev(ubfuzz_simcc::target::Vendor::Gcc),
+            label: "GCC-14 (simulated)".into(),
+            sanitizers: vec![Sanitizer::Asan, Sanitizer::Ubsan],
+        };
+        assert!(desc.supports(Sanitizer::Asan));
+        assert!(!desc.supports(Sanitizer::Msan));
+    }
+
+    #[test]
+    fn run_request_defaults_match_the_vm() {
+        assert_eq!(
+            RunRequest::default().step_limit,
+            ubfuzz_simvm::VmConfig::default().step_limit
+        );
+    }
+
+    #[test]
+    fn native_artifact_drop_removes_binary() {
+        let path = std::env::temp_dir().join(format!(
+            "ubfuzz-backend-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"not a real binary").unwrap();
+        assert!(path.exists());
+        drop(NativeArtifact {
+            binary: path.clone(),
+            compiler: CompilerId::dev(ubfuzz_simcc::target::Vendor::Gcc),
+            sanitizer: None,
+        });
+        assert!(!path.exists());
+    }
+}

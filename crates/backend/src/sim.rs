@@ -1,0 +1,207 @@
+//! The default backend: the simulated multi-vendor toolchains of
+//! [`ubfuzz_simcc`] executed on the [`ubfuzz_simvm`] VM.
+//!
+//! This is the defect-injected world the whole reproduction is measured in.
+//! The backend is a thin adapter over [`CompileSession`] — campaign output
+//! through it is bit-identical to calling the pipeline directly, cached or
+//! not, because the session memoizes a deterministic prefix.
+
+use crate::{
+    vendor_sanitizers, Artifact, CompileRequest, CompilerBackend, PrefixCache, RunOutcome,
+    RunRequest, ToolchainDesc,
+};
+use ubfuzz_minic::Program;
+use ubfuzz_simcc::lower::CompileError;
+use ubfuzz_simcc::session::{CompileSession, ProgramFingerprint};
+use ubfuzz_simcc::target::{CompilerId, Vendor};
+use ubfuzz_simvm::{run_with_config, RunResult, VmConfig};
+
+/// The simulated-toolchain backend, wrapping a [`CompileSession`].
+///
+/// [`SimBackend::new`] enables staged-compile caching; [`SimBackend::uncached`]
+/// degrades every compile to the single-shot pipeline (what cache-ablation
+/// comparisons and the sequential reference loop use). Either way the
+/// session is `Sync`, so one backend instance can serve every worker of a
+/// parallel campaign — and persist across campaigns, which is what lets
+/// `make_tables` share hot prefixes between table entry points.
+#[derive(Debug, Default)]
+pub struct SimBackend {
+    session: CompileSession,
+}
+
+impl SimBackend {
+    /// A backend with the staged-compile cache enabled.
+    pub fn new() -> SimBackend {
+        SimBackend { session: CompileSession::new() }
+    }
+
+    /// A backend whose every compile runs the full pipeline (no cache, no
+    /// telemetry).
+    pub fn uncached() -> SimBackend {
+        SimBackend { session: CompileSession::disabled() }
+    }
+
+    /// A backend over an explicitly configured session (e.g. a bounded
+    /// capacity).
+    pub fn with_session(session: CompileSession) -> SimBackend {
+        SimBackend { session }
+    }
+
+    /// The underlying compile session.
+    pub fn session(&self) -> &CompileSession {
+        &self.session
+    }
+}
+
+impl CompilerBackend for SimBackend {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn toolchains(&self) -> Vec<ToolchainDesc> {
+        Vendor::ALL
+            .into_iter()
+            .map(|vendor| {
+                let id = CompilerId::dev(vendor);
+                ToolchainDesc {
+                    id,
+                    label: format!("{id} (simulated)"),
+                    sanitizers: vendor_sanitizers(vendor),
+                }
+            })
+            .collect()
+    }
+
+    fn fingerprint(&self, program: &Program) -> ProgramFingerprint {
+        self.session.fingerprint_for(program)
+    }
+
+    fn compile(
+        &self,
+        fp: &ProgramFingerprint,
+        program: &Program,
+        req: &CompileRequest<'_>,
+    ) -> Result<Artifact, CompileError> {
+        self.session.compile_fp(fp, program, &req.to_compile_config()).map(Artifact::Sim)
+    }
+
+    fn execute(&self, artifact: &Artifact, req: &RunRequest) -> RunOutcome {
+        match artifact {
+            Artifact::Sim(m) => {
+                run_with_config(m, &VmConfig { step_limit: req.step_limit, trace: false }).0
+            }
+            Artifact::Native(n) => RunResult::Error(format!(
+                "SimBackend cannot execute native artifact {}",
+                n.binary.display()
+            )),
+        }
+    }
+
+    fn prefix_cache(&self) -> Option<&dyn PrefixCache> {
+        Some(&self.session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::Sanitizer;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+    use ubfuzz_simcc::target::OptLevel;
+    use ubfuzz_simvm::run_module;
+
+    fn program() -> Program {
+        parse("int g[4]; int main(void) { int i = 1; g[i] = 3; return g[i] + g[0]; }").unwrap()
+    }
+
+    #[test]
+    fn toolchains_are_the_dev_heads_with_the_paper_support_matrix() {
+        let backend = SimBackend::new();
+        let tc = backend.toolchains();
+        assert_eq!(tc.len(), 2);
+        assert_eq!(tc[0].id, CompilerId::dev(Vendor::Gcc));
+        assert_eq!(tc[1].id, CompilerId::dev(Vendor::Llvm));
+        assert!(!tc[0].supports(Sanitizer::Msan), "GCC ships no MSan");
+        assert!(tc[1].supports(Sanitizer::Msan));
+        for t in &tc {
+            assert!(t.supports(Sanitizer::Asan) && t.supports(Sanitizer::Ubsan));
+        }
+    }
+
+    #[test]
+    fn compile_and_execute_match_the_direct_pipeline() {
+        let p = program();
+        let registry = DefectRegistry::full();
+        let backend = SimBackend::new();
+        let fp = backend.fingerprint(&p);
+        for vendor in Vendor::ALL {
+            for opt in OptLevel::ALL {
+                for sanitizer in [None, Some(Sanitizer::Asan), Some(Sanitizer::Msan)] {
+                    let req = CompileRequest {
+                        compiler: CompilerId::dev(vendor),
+                        opt,
+                        sanitizer,
+                        registry: &registry,
+                    };
+                    let direct = compile(
+                        &p,
+                        &CompileConfig {
+                            compiler: req.compiler,
+                            opt,
+                            sanitizer,
+                            registry: &registry,
+                        },
+                    );
+                    match (direct, backend.compile(&fp, &p, &req)) {
+                        (Ok(m), Ok(a)) => {
+                            assert_eq!(Some(&m), a.module(), "{vendor} {opt} {sanitizer:?}");
+                            assert_eq!(
+                                run_module(&m),
+                                backend.execute(&a, &RunRequest::default()),
+                                "{vendor} {opt} {sanitizer:?}"
+                            );
+                        }
+                        (Err(_), Err(_)) => {}
+                        (d, b) => panic!("outcome mismatch: {d:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+        let stats = backend.prefix_cache().expect("sim caches").stats();
+        assert!(stats.hits > 0, "matrix shares prefixes: {stats:?}");
+    }
+
+    #[test]
+    fn uncached_backend_reports_a_disabled_cache() {
+        let backend = SimBackend::uncached();
+        let cache = backend.prefix_cache().expect("capability still exposed");
+        assert!(!cache.enabled());
+        let p = program();
+        let registry = DefectRegistry::full();
+        let req = CompileRequest {
+            compiler: CompilerId::dev(Vendor::Llvm),
+            opt: OptLevel::O2,
+            sanitizer: Some(Sanitizer::Asan),
+            registry: &registry,
+        };
+        let a = backend.compile_program(&p, &req).unwrap();
+        assert!(a.module().is_some());
+        assert_eq!(cache.stats(), Default::default(), "pass-through records nothing");
+    }
+
+    #[test]
+    fn execute_rejects_foreign_artifacts() {
+        let backend = SimBackend::new();
+        let native = Artifact::Native(crate::NativeArtifact {
+            binary: std::path::PathBuf::from("/nonexistent/ubfuzz-test-bin"),
+            compiler: CompilerId::dev(Vendor::Gcc),
+            sanitizer: None,
+        });
+        assert!(matches!(
+            backend.execute(&native, &RunRequest::default()),
+            RunResult::Error(_)
+        ));
+    }
+}

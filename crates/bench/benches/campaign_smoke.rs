@@ -9,12 +9,12 @@
 //! which is why the cache variants assert *hit counters*, never wall-clock.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
+use ubfuzz::campaign::{run_campaign, CampaignConfig};
 
 const SEEDS: usize = 8;
 
 fn config() -> CampaignConfig {
-    CampaignConfig { seeds: SEEDS, ..CampaignConfig::default() }
+    CampaignConfig::builder().seeds(SEEDS).build()
 }
 
 fn bench_campaign(c: &mut Criterion) {
@@ -25,7 +25,11 @@ fn bench_campaign(c: &mut Criterion) {
     for shards in [2usize, 4] {
         g.bench_function(format!("sharded{shards}_{SEEDS}seeds"), |b| {
             b.iter(|| {
-                let stats = ParallelCampaign::new(config()).with_shards(shards).run();
+                let stats = CampaignConfig::builder()
+                    .seeds(SEEDS)
+                    .workers(shards)
+                    .build_runner()
+                    .run();
                 assert!(
                     stats.cache.hits > 0,
                     "default campaign must reuse compile prefixes: {:?}",
@@ -39,8 +43,12 @@ fn bench_campaign(c: &mut Criterion) {
     // counters prove which side actually cached.
     g.bench_function(format!("sharded4_nocache_{SEEDS}seeds"), |b| {
         b.iter(|| {
-            let stats =
-                ParallelCampaign::new(config()).with_shards(4).with_cache(false).run();
+            let stats = CampaignConfig::builder()
+                .seeds(SEEDS)
+                .workers(4)
+                .cache(false)
+                .build_runner()
+                .run();
             assert_eq!(stats.cache.hits, 0, "disabled cache must stay cold");
             assert_eq!(stats.cache.misses, 0, "disabled cache records nothing");
             stats

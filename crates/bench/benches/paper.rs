@@ -73,7 +73,7 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table2_support_matrix", |b| b.iter(report::table2));
     g.bench_function("table3_campaign_2seeds", |b| {
         b.iter(|| {
-            let stats = run_campaign(&CampaignConfig { seeds: 2, ..CampaignConfig::default() });
+            let stats = run_campaign(&CampaignConfig::builder().seeds(2).build());
             report::table3(&stats)
         })
     });
@@ -85,7 +85,7 @@ fn bench_tables(c: &mut Criterion) {
     });
     g.bench_function("table6_categories_2seeds", |b| {
         b.iter(|| {
-            let stats = run_campaign(&CampaignConfig { seeds: 2, ..CampaignConfig::default() });
+            let stats = run_campaign(&CampaignConfig::builder().seeds(2).build());
             report::table6(&stats)
         })
     });
@@ -100,7 +100,7 @@ fn bench_tables(c: &mut Criterion) {
     // §4.4: discrepancy triage statistics (selected vs. dropped).
     g.bench_function("oracle_precision_2seeds", |b| {
         b.iter(|| {
-            let stats = run_campaign(&CampaignConfig { seeds: 2, ..CampaignConfig::default() });
+            let stats = run_campaign(&CampaignConfig::builder().seeds(2).build());
             report::oracle_stats(&stats)
         })
     });
@@ -165,7 +165,7 @@ fn triage(src: &str, bn_level: OptLevel, registry: &DefectRegistry) {
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     let registry = DefectRegistry::full();
-    let stats = run_campaign(&CampaignConfig { seeds: 3, ..CampaignConfig::default() });
+    let stats = run_campaign(&CampaignConfig::builder().seeds(3).build());
     g.bench_function("fig1_headline_bug_triage", |b| {
         b.iter(|| triage(FIG1, OptLevel::O2, &registry))
     });

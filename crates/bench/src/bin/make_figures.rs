@@ -1,6 +1,12 @@
 //! Regenerates the paper's figures: `make_figures --figure 7|9|10|11 [--seeds N]`.
 //! `--figure 0` prints all of them.
+//!
+//! Like `make_tables`, all entry points share one `SimBackend`: the Fig.
+//! 10/11 replays recompile every found bug's test case across stable
+//! versions and levels, which re-hits the prefixes the campaign cached.
 
+use std::sync::Arc;
+use ubfuzz::backend::{CompilerBackend, SimBackend};
 use ubfuzz::report;
 use ubfuzz_bench::arg_value;
 use ubfuzz_simcc::defects::DefectRegistry;
@@ -10,22 +16,27 @@ fn main() {
     let figure = arg_value(&args, "--figure", 0);
     let seeds = arg_value(&args, "--seeds", 30);
     let registry = DefectRegistry::full();
+    // Sized above the default session budget so the Fig. 10/11 replays keep
+    // hitting the campaign's prefixes (see make_tables).
+    let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
+        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 15),
+    ));
     match figure {
         9 => print!("{}", report::fig9()),
         7 | 10 | 11 => {
-            let stats = report::default_campaign(seeds);
+            let stats = report::default_campaign_with(Arc::clone(&backend), seeds);
             match figure {
                 7 => print!("{}", report::fig7(&stats)),
-                10 => print!("{}", report::fig10(&stats, &registry)),
-                _ => print!("{}", report::fig11(&stats, &registry)),
+                10 => print!("{}", report::fig10_with(&stats, &registry, backend.as_ref())),
+                _ => print!("{}", report::fig11_with(&stats, &registry, backend.as_ref())),
             }
         }
         _ => {
-            let stats = report::default_campaign(seeds);
+            let stats = report::default_campaign_with(Arc::clone(&backend), seeds);
             print!("{}", report::fig7(&stats));
             print!("{}", report::fig9());
-            print!("{}", report::fig10(&stats, &registry));
-            print!("{}", report::fig11(&stats, &registry));
+            print!("{}", report::fig10_with(&stats, &registry, backend.as_ref()));
+            print!("{}", report::fig11_with(&stats, &registry, backend.as_ref()));
         }
     }
 }

@@ -2,7 +2,14 @@
 //! `--table 0` prints all of them plus the §4.4 oracle statistics.
 //! `--ablation` prints the §4.4 oracle ablation (naive vs crash-site
 //! mapping in the pristine world) instead.
+//!
+//! Every entry point shares ONE `SimBackend`, so the staged-compile cache
+//! persists across tables: the campaign behind Table 3/6 warms the
+//! sanitizer-independent prefixes that Table 5's coverage sweep and the
+//! ablation replay then reuse (cross-campaign cache persistence).
 
+use std::sync::Arc;
+use ubfuzz::backend::{CompilerBackend, SimBackend};
 use ubfuzz::report;
 use ubfuzz_bench::arg_value;
 use ubfuzz_simcc::defects::DefectRegistry;
@@ -11,11 +18,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let table = arg_value(&args, "--table", 0);
     let seeds = arg_value(&args, "--seeds", 30);
+    // Sized above the default session budget: table-scale campaigns want
+    // tens of thousands of prefixes live at once for cross-table reuse.
+    let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
+        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 15),
+    ));
     if args.iter().any(|a| a == "--ablation") {
-        print!("{}", report::oracle_ablation(seeds));
+        print!("{}", report::oracle_ablation_with(backend, seeds));
         return;
     }
-    let campaign = || report::default_campaign(seeds);
+    let campaign = || report::default_campaign_with(Arc::clone(&backend), seeds);
     match table {
         2 => print!("{}", report::table2()),
         3 => {
@@ -24,16 +36,26 @@ fn main() {
             print!("{}", report::oracle_stats(&stats));
         }
         4 => print!("{}", report::table4(&report::generator_comparison(seeds.min(200)))),
-        5 => print!("{}", report::coverage_experiment(seeds.min(20))),
+        5 => print!("{}", report::coverage_experiment_with(backend.as_ref(), seeds.min(20))),
         6 => print!("{}", report::table6(&campaign())),
         _ => {
             print!("{}", report::table2());
             let stats = campaign();
             print!("{}", report::table3(&stats));
             print!("{}", report::table4(&report::generator_comparison((seeds / 3).max(2))));
-            print!("{}", report::coverage_experiment((seeds / 6).max(2)));
+            print!(
+                "{}",
+                report::coverage_experiment_with(backend.as_ref(), (seeds / 6).max(2))
+            );
             print!("{}", report::table6(&stats));
             print!("{}", report::oracle_stats(&stats));
+            let cache = backend.prefix_cache().expect("sim backend caches").stats();
+            eprintln!(
+                "[make_tables] shared compile cache across entry points: {} hits, {} misses ({:.1}% reuse)",
+                cache.hits,
+                cache.misses,
+                100.0 * cache.reuse_ratio()
+            );
             let _ = DefectRegistry::full();
         }
     }

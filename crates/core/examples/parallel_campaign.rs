@@ -5,24 +5,31 @@
 //! cargo run --release --example parallel_campaign -- [seeds] [workers]
 //! ```
 
-use ubfuzz::campaign::{run_campaign, CampaignConfig, ParallelCampaign};
+use ubfuzz::campaign::CampaignConfig;
+use ubfuzz::run_campaign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
     let workers = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
-    let cfg = CampaignConfig { seeds, ..CampaignConfig::default() };
+    let cfg = CampaignConfig::builder().seeds(seeds).build();
 
     let t0 = std::time::Instant::now();
     let sequential = run_campaign(&cfg);
     let t_seq = t0.elapsed();
 
     let t0 = std::time::Instant::now();
-    let parallel = ParallelCampaign::new(cfg.clone()).with_shards(workers).run();
+    let parallel =
+        CampaignConfig::builder().seeds(seeds).workers(workers).build_runner().run();
     let t_par = t0.elapsed();
 
     let t0 = std::time::Instant::now();
-    let uncached = ParallelCampaign::new(cfg).with_shards(workers).with_cache(false).run();
+    let uncached = CampaignConfig::builder()
+        .seeds(seeds)
+        .workers(workers)
+        .cache(false)
+        .build_runner()
+        .run();
     let t_nocache = t0.elapsed();
 
     println!(

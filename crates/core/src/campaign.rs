@@ -2,15 +2,17 @@
 //! deduplication/attribution.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use ubfuzz_backend::{
+    Artifact, CompileRequest, CompilerBackend, RunOutcome, RunRequest, SimBackend, ToolchainDesc,
+};
 use ubfuzz_minic::{pretty, Program, UbKind};
 use ubfuzz_oracle::{crash_site_mapping, Verdict};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
-use ubfuzz_simcc::pipeline::{compile, CompileConfig};
-use ubfuzz_simcc::session::{CompileSession, ProgramFingerprint, SessionStats};
+use ubfuzz_simcc::session::{ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_simcc::{san, Module, Sanitizer};
-use ubfuzz_simvm::{run_module, RunResult};
 use ubfuzz_ubgen::{GenOptions, UbProgram};
 
 /// Which generator feeds the campaign (the §4.3 comparison).
@@ -27,6 +29,10 @@ pub enum GeneratorChoice {
 }
 
 /// Campaign configuration.
+///
+/// Prefer [`CampaignConfig::builder`] over field-struct construction: the
+/// builder survives field additions (the `backend` field is the precedent)
+/// and is the supported construction path for examples, benches and tests.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// First seed index.
@@ -43,6 +49,12 @@ pub struct CampaignConfig {
     pub generator: GeneratorChoice,
     /// Reduce bug-triggering programs before reporting.
     pub reduce: bool,
+    /// The compilation/execution backend. `None` (the default) lets each
+    /// runner construct its own [`SimBackend`] whose cache matches the
+    /// runner's cache toggle; an explicit backend is shared as-is — its
+    /// cache (if any) persists across every run over this config, which is
+    /// what cross-campaign prefix reuse builds on.
+    pub backend: Option<Arc<dyn CompilerBackend>>,
 }
 
 impl Default for CampaignConfig {
@@ -55,7 +67,122 @@ impl Default for CampaignConfig {
             registry: DefectRegistry::full(),
             generator: GeneratorChoice::Ubfuzz,
             reduce: false,
+            backend: None,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Starts a builder over the default configuration.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder::default()
+    }
+
+    /// The backend this config's campaigns compile and execute on: the
+    /// configured one, or a fresh [`SimBackend`] with the staged-compile
+    /// cache on or off per `cache`.
+    pub(crate) fn resolve_backend(&self, cache: bool) -> Arc<dyn CompilerBackend> {
+        match &self.backend {
+            Some(b) => Arc::clone(b),
+            None if cache => Arc::new(SimBackend::new()),
+            None => Arc::new(SimBackend::uncached()),
+        }
+    }
+}
+
+/// Builder for [`CampaignConfig`] — and, via
+/// [`CampaignConfigBuilder::build_runner`], for a configured
+/// [`ParallelCampaign`] (worker count and cache toggle included).
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+    workers: Option<usize>,
+    cache: bool,
+}
+
+impl Default for CampaignConfigBuilder {
+    fn default() -> CampaignConfigBuilder {
+        CampaignConfigBuilder { cfg: CampaignConfig::default(), workers: None, cache: true }
+    }
+}
+
+impl CampaignConfigBuilder {
+    /// First seed index.
+    pub fn first_seed(mut self, first_seed: u64) -> Self {
+        self.cfg.first_seed = first_seed;
+        self
+    }
+
+    /// Number of seed programs.
+    pub fn seeds(mut self, seeds: usize) -> Self {
+        self.cfg.seeds = seeds;
+        self
+    }
+
+    /// Seed generator options.
+    pub fn seed_options(mut self, seed_options: SeedOptions) -> Self {
+        self.cfg.seed_options = seed_options;
+        self
+    }
+
+    /// UB generator options.
+    pub fn gen_options(mut self, gen_options: GenOptions) -> Self {
+        self.cfg.gen_options = gen_options;
+        self
+    }
+
+    /// The defect world under test.
+    pub fn registry(mut self, registry: DefectRegistry) -> Self {
+        self.cfg.registry = registry;
+        self
+    }
+
+    /// Which generator feeds the campaign.
+    pub fn generator(mut self, generator: GeneratorChoice) -> Self {
+        self.cfg.generator = generator;
+        self
+    }
+
+    /// Reduce bug-triggering programs before reporting.
+    pub fn reduce(mut self, reduce: bool) -> Self {
+        self.cfg.reduce = reduce;
+        self
+    }
+
+    /// Explicit compilation/execution backend (shared across runs).
+    pub fn backend(mut self, backend: Arc<dyn CompilerBackend>) -> Self {
+        self.cfg.backend = Some(backend);
+        self
+    }
+
+    /// Worker count for [`CampaignConfigBuilder::build_runner`] (defaults to
+    /// one per core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Cache toggle for [`CampaignConfigBuilder::build_runner`] (defaults to
+    /// enabled). Only meaningful without an explicit backend — a configured
+    /// backend owns its own cache policy.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> CampaignConfig {
+        self.cfg
+    }
+
+    /// A [`ParallelCampaign`] over the finished configuration, with the
+    /// builder's worker count and cache toggle applied.
+    pub fn build_runner(self) -> ParallelCampaign {
+        let mut runner = ParallelCampaign::new(self.cfg).with_cache(self.cache);
+        if let Some(workers) = self.workers {
+            runner = runner.with_shards(workers);
+        }
+        runner
     }
 }
 
@@ -129,16 +256,21 @@ impl PartialEq for CampaignStats {
 
 impl Eq for CampaignStats {}
 
-/// The compilers the campaign tests: both vendors' development heads at
-/// every optimization level the paper enables.
-pub(crate) fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
+/// The compile matrix for one sanitizer: every backend toolchain that ships
+/// the sanitizer, at every optimization level the paper enables, in the
+/// backend's stable toolchain order. For [`SimBackend`] this is exactly the
+/// paper's matrix — both vendors' development heads minus GCC × MSan.
+pub(crate) fn test_matrix(
+    toolchains: &[ToolchainDesc],
+    sanitizer: Sanitizer,
+) -> Vec<(CompilerId, OptLevel)> {
     let mut out = Vec::new();
-    for vendor in Vendor::ALL {
-        if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
+    for tc in toolchains {
+        if !tc.supports(sanitizer) {
             continue;
         }
         for opt in OptLevel::ALL {
-            out.push((CompilerId::dev(vendor), opt));
+            out.push((tc.id, opt));
         }
     }
     out
@@ -147,22 +279,30 @@ pub(crate) fn test_matrix(sanitizer: Sanitizer) -> Vec<(CompilerId, OptLevel)> {
 /// Runs the full loop: generate seeds → generate UB programs → differential
 /// testing → crash-site mapping → dedup/attribution.
 ///
-/// This is the *sequential, uncached* reference implementation the parallel
-/// executor ([`ParallelCampaign`]) is property-tested against; it never
-/// touches a compile cache so equivalence checks exercise the cache on one
-/// side only.
+/// This is the *sequential* reference implementation the parallel executor
+/// ([`ParallelCampaign`]) is property-tested against. Without an explicit
+/// backend in the config it compiles on an uncached [`SimBackend`], so
+/// equivalence checks exercise the cache on one side only.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
+    run_campaign_on(cfg.resolve_backend(false).as_ref(), cfg)
+}
+
+/// [`run_campaign`] over an explicit backend (ignoring `cfg.backend`).
+pub fn run_campaign_on(backend: &dyn CompilerBackend, cfg: &CampaignConfig) -> CampaignStats {
+    let toolchains = backend.toolchains();
+    let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
     let mut stats = CampaignStats::default();
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    let session = CompileSession::disabled();
     for seed_id in cfg.first_seed..cfg.first_seed + cfg.seeds as u64 {
         stats.seeds += 1;
         let programs = generate_programs(cfg, seed_id);
         for u in programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            test_one(cfg, &u, &session, &mut stats, &mut bug_index);
+            test_one(cfg, backend, &toolchains, &u, &mut stats, &mut bug_index);
         }
     }
+    stats.cache =
+        backend.prefix_cache().map(|c| c.stats()).unwrap_or_default() - cache_before;
     stats
 }
 
@@ -207,8 +347,16 @@ impl ParallelCampaign {
     }
 
     /// Enables or disables the staged-compile cache (enabled by default).
+    /// Only meaningful without an explicit backend in the config — a
+    /// configured backend owns its own cache policy.
     pub fn with_cache(mut self, cache: bool) -> ParallelCampaign {
         self.cache = cache;
+        self
+    }
+
+    /// Sets an explicit compilation/execution backend (shared across runs).
+    pub fn with_backend(mut self, backend: Arc<dyn CompilerBackend>) -> ParallelCampaign {
+        self.config.backend = Some(backend);
         self
     }
 
@@ -312,43 +460,44 @@ fn classify(p: Program) -> Option<UbProgram> {
 }
 
 /// One compiled cell of the per-program test matrix.
-pub(crate) type CompiledCell = (CompilerId, OptLevel, Module, RunResult);
+pub(crate) type CompiledCell = (CompilerId, OptLevel, Artifact, RunOutcome);
 
 /// Compiles and runs one `(program, sanitizer, compiler, opt)` unit — the
 /// executor's task granularity. `None` for unsupported/uncompilable cells,
 /// mirroring the sequential loop's `continue`.
 pub(crate) fn compile_cell(
+    backend: &dyn CompilerBackend,
     registry: &DefectRegistry,
-    session: &CompileSession,
     fp: &ProgramFingerprint,
     program: &Program,
     sanitizer: Sanitizer,
     compiler: CompilerId,
     opt: OptLevel,
-) -> Option<(Module, RunResult)> {
-    let ccfg = CompileConfig { compiler, opt, sanitizer: Some(sanitizer), registry };
-    let module = session.compile_fp(fp, program, &ccfg).ok()?;
-    let result = run_module(&module);
-    Some((module, result))
+) -> Option<(Artifact, RunOutcome)> {
+    let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry };
+    let artifact = backend.compile(fp, program, &req).ok()?;
+    let result = backend.execute(&artifact, &RunRequest::default());
+    Some((artifact, result))
 }
 
 fn test_one(
     cfg: &CampaignConfig,
+    backend: &dyn CompilerBackend,
+    toolchains: &[ToolchainDesc],
     u: &UbProgram,
-    session: &CompileSession,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
 ) {
-    let fp = session.fingerprint_for(&u.program);
+    let fp = backend.fingerprint(&u.program);
     for sanitizer in san::sanitizers_for(u.kind) {
-        let compiled: Vec<CompiledCell> = test_matrix(sanitizer)
+        let compiled: Vec<CompiledCell> = test_matrix(toolchains, sanitizer)
             .into_iter()
             .filter_map(|(compiler, opt)| {
-                compile_cell(&cfg.registry, session, &fp, &u.program, sanitizer, compiler, opt)
-                    .map(|(module, result)| (compiler, opt, module, result))
+                compile_cell(backend, &cfg.registry, &fp, &u.program, sanitizer, compiler, opt)
+                    .map(|(artifact, result)| (compiler, opt, artifact, result))
             })
             .collect();
-        oracle_one(cfg, u, sanitizer, &compiled, stats, bug_index);
+        oracle_one(cfg, backend, u, sanitizer, &compiled, stats, bug_index);
     }
 }
 
@@ -358,6 +507,7 @@ fn test_one(
 /// the unit executor's canonical-order merge, so the two paths cannot drift.
 pub(crate) fn oracle_one(
     cfg: &CampaignConfig,
+    backend: &dyn CompilerBackend,
     u: &UbProgram,
     sanitizer: Sanitizer,
     compiled: &[CompiledCell],
@@ -374,18 +524,19 @@ pub(crate) fn oracle_one(
     // the optimizer may have removed a dead UB access and the sanitizer
     // then correctly blames the next one.
     for &i in &reporting {
-        let (compiler, opt, module, result) = &compiled[i];
+        let (compiler, opt, artifact, result) = &compiled[i];
         let report = result.report().expect("reporting index");
         if report.kind.matches_ub(u.kind) && report.loc.line < u.ub_loc.line {
             record_bug(
                 cfg,
+                backend,
                 stats,
                 bug_index,
                 BugObservation {
                     vendor: compiler.vendor,
                     sanitizer,
                     kind: u.kind,
-                    module,
+                    module: artifact.module(),
                     opt: *opt,
                     wrong_report: true,
                     program: &u.program,
@@ -397,23 +548,30 @@ pub(crate) fn oracle_one(
         return;
     }
     stats.discrepancies += 1;
-    let bc = &compiled[reporting[0]].2;
+    // Crash-site mapping needs the compiled modules; backends whose
+    // artifacts are opaque binaries (real toolchains) cannot arbitrate, so
+    // their discrepancies are conservatively dropped rather than filed —
+    // the paper's "practically infeasible" triage burden is exactly what
+    // the oracle exists to avoid.
+    let bc = compiled[reporting[0]].2.module();
     let mut any_selected = false;
     for &ni in &normal {
-        let (compiler, opt, bn, _) = &compiled[ni];
+        let (compiler, opt, bn_artifact, _) = &compiled[ni];
+        let (Some(bc), Some(bn)) = (bc, bn_artifact.module()) else { continue };
         let Some(mapping) = crash_site_mapping(bc, bn) else { continue };
         match mapping.verdict {
             Verdict::SanitizerBug => {
                 any_selected = true;
                 record_bug(
                     cfg,
+                    backend,
                     stats,
                     bug_index,
                     BugObservation {
                         vendor: compiler.vendor,
                         sanitizer,
                         kind: u.kind,
-                        module: bn,
+                        module: Some(bn),
                         opt: *opt,
                         wrong_report: false,
                         program: &u.program,
@@ -434,7 +592,9 @@ struct BugObservation<'a> {
     vendor: Vendor,
     sanitizer: Sanitizer,
     kind: UbKind,
-    module: &'a Module,
+    /// The compiled module, when the backend's artifacts carry one —
+    /// attribution to injected defects is only possible then.
+    module: Option<&'a Module>,
     opt: OptLevel,
     wrong_report: bool,
     program: &'a Program,
@@ -442,6 +602,7 @@ struct BugObservation<'a> {
 
 fn record_bug(
     cfg: &CampaignConfig,
+    backend: &dyn CompilerBackend,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
     obs: BugObservation<'_>,
@@ -451,9 +612,13 @@ fn record_bug(
     // A BTreeSet so attribution iterates in a stable order: bug vec order
     // (and thus table rendering) must not depend on hash seeding, or
     // sequential and sharded runs could not be compared bit-for-bit.
-    let applied: BTreeSet<&'static str> =
-        obs.module.san.applied_defects.iter().map(|(id, _)| *id).collect();
-    let legit = !obs.module.san.legit_transforms.is_empty();
+    // Module-less artifacts (real toolchains) attribute to nothing and
+    // dedup under the per-(vendor, sanitizer, kind) "unknown" key.
+    let applied: BTreeSet<&'static str> = obs
+        .module
+        .map(|m| m.san.applied_defects.iter().map(|(id, _)| *id).collect())
+        .unwrap_or_default();
+    let legit = obs.module.is_some_and(|m| !m.san.legit_transforms.is_empty());
     let mut keys: Vec<(Option<&'static str>, bool)> = Vec::new();
     if obs.wrong_report {
         // Attribute wrong reports to the wrong-line defects if applied.
@@ -505,15 +670,15 @@ fn record_bug(
             let vendor = obs.vendor;
             let opt = obs.opt;
             let mut pred = move |q: &Program| {
-                let ccfg = CompileConfig {
+                let req = CompileRequest {
                     compiler: CompilerId::dev(vendor),
                     opt,
                     sanitizer: Some(sanitizer),
                     registry: &registry,
                 };
-                match compile(q, &ccfg) {
-                    Ok(m) => {
-                        run_module(&m).is_normal_exit()
+                match backend.compile_program(q, &req) {
+                    Ok(artifact) => {
+                        backend.execute(&artifact, &RunRequest::default()).is_normal_exit()
                             && !ubfuzz_interp::run_program(q).is_clean_exit()
                     }
                     Err(_) => false,
@@ -548,7 +713,7 @@ mod tests {
 
     #[test]
     fn small_campaign_finds_real_bugs() {
-        let cfg = CampaignConfig { seeds: 6, ..CampaignConfig::default() };
+        let cfg = CampaignConfig::builder().seeds(6).build();
         let stats = run_campaign(&cfg);
         assert!(stats.total_programs() > 10, "programs: {}", stats.total_programs());
         assert!(stats.discrepancies > 0);
@@ -565,11 +730,8 @@ mod tests {
 
     #[test]
     fn pristine_world_finds_nothing() {
-        let cfg = CampaignConfig {
-            seeds: 4,
-            registry: DefectRegistry::pristine(),
-            ..CampaignConfig::default()
-        };
+        let cfg =
+            CampaignConfig::builder().seeds(4).registry(DefectRegistry::pristine()).build();
         let stats = run_campaign(&cfg);
         let real: Vec<_> = stats.bugs.iter().filter(|b| !b.invalid).collect();
         assert!(
@@ -584,7 +746,7 @@ mod tests {
         // The broad equivalence property (worker counts 1/2/8/16, cache
         // on/off, varying first seeds and generators) lives in
         // tests/parallel.rs; this is the fast in-crate smoke check.
-        let cfg = CampaignConfig { seeds: 3, ..CampaignConfig::default() };
+        let cfg = CampaignConfig::builder().seeds(3).build();
         let sequential = run_campaign(&cfg);
         let parallel = ParallelCampaign::new(cfg).with_shards(2).run();
         assert_eq!(sequential, parallel);
@@ -596,7 +758,7 @@ mod tests {
         // A 1-seed campaign used to fall back to the sequential loop; the
         // unit executor must still parallelize its programs and report cache
         // telemetry.
-        let cfg = CampaignConfig { seeds: 1, ..CampaignConfig::default() };
+        let cfg = CampaignConfig::builder().seeds(1).build();
         let sequential = run_campaign(&cfg);
         let parallel = ParallelCampaign::new(cfg).with_shards(4).run();
         assert_eq!(sequential, parallel);
@@ -610,7 +772,7 @@ mod tests {
 
     #[test]
     fn cache_toggle_preserves_results() {
-        let cfg = CampaignConfig { seeds: 2, ..CampaignConfig::default() };
+        let cfg = CampaignConfig::builder().seeds(2).build();
         let cached = ParallelCampaign::new(cfg.clone()).with_shards(2).run();
         let uncached = ParallelCampaign::new(cfg).with_shards(2).with_cache(false).run();
         assert_eq!(cached, uncached);
@@ -622,11 +784,8 @@ mod tests {
     fn parallel_juliet_anchors_suite_to_the_global_first_seed() {
         // The Juliet generator fires only on the campaign's first seed; a
         // shard-local `first_seed` would replay the suite once per shard.
-        let cfg = CampaignConfig {
-            seeds: 4,
-            generator: GeneratorChoice::Juliet,
-            ..CampaignConfig::default()
-        };
+        let cfg =
+            CampaignConfig::builder().seeds(4).generator(GeneratorChoice::Juliet).build();
         let sequential = run_campaign(&cfg);
         let parallel = ParallelCampaign::new(cfg).with_shards(4).run();
         assert_eq!(sequential.total_programs(), parallel.total_programs());
@@ -636,11 +795,8 @@ mod tests {
     #[test]
     fn juliet_campaign_finds_no_bugs() {
         // §4.3: the fixed Juliet corpus exposes no sanitizer FN bugs.
-        let cfg = CampaignConfig {
-            seeds: 1,
-            generator: GeneratorChoice::Juliet,
-            ..CampaignConfig::default()
-        };
+        let cfg =
+            CampaignConfig::builder().seeds(1).generator(GeneratorChoice::Juliet).build();
         let stats = run_campaign(&cfg);
         assert!(stats.total_programs() >= 20);
         let real: Vec<_> =

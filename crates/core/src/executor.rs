@@ -31,7 +31,6 @@ use crate::campaign::{
 };
 use std::collections::BTreeMap;
 use ubfuzz_exec::Executor;
-use ubfuzz_simcc::session::CompileSession;
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
 use ubfuzz_simcc::{san, Sanitizer};
 
@@ -56,11 +55,18 @@ struct Group {
     units: std::ops::Range<usize>,
 }
 
-/// Runs `cfg` over `workers` work-stealing threads, compile cache on or off.
-/// Output is bit-identical to [`crate::campaign::run_campaign`].
+/// Runs `cfg` over `workers` work-stealing threads, compile cache on or off
+/// (the toggle selects the default [`ubfuzz_backend::SimBackend`]'s session
+/// mode; an explicit `cfg.backend` owns its own cache policy). Output is
+/// bit-identical to [`crate::campaign::run_campaign`].
 pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> CampaignStats {
     let exec = Executor::new(workers);
-    let session = if cache { CompileSession::new() } else { CompileSession::disabled() };
+    let backend = cfg.resolve_backend(cache);
+    let backend = backend.as_ref();
+    let toolchains = backend.toolchains();
+    // Counters are monotone and may be shared across campaigns (one backend
+    // can back every `make_tables` entry point); report this run's delta.
+    let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
 
     // Stage 1: per-seed generation, results in canonical seed order.
     let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
@@ -71,13 +77,13 @@ pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> C
     // order; the merge below relies on it.
     let programs: Vec<_> = per_seed.iter().flatten().collect();
     let fingerprints: Vec<_> =
-        programs.iter().map(|u| session.fingerprint_for(&u.program)).collect();
+        programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
     let mut units: Vec<Unit> = Vec::new();
     let mut groups: Vec<Group> = Vec::new();
     for (pi, u) in programs.iter().enumerate() {
         for sanitizer in san::sanitizers_for(u.kind) {
             let start = units.len();
-            for (compiler, opt) in test_matrix(sanitizer) {
+            for (compiler, opt) in test_matrix(&toolchains, sanitizer) {
                 units.push(Unit { pi, sanitizer, compiler, opt });
             }
             groups.push(Group { pi, sanitizer, units: start..units.len() });
@@ -87,8 +93,8 @@ pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> C
     // Stage 2: drain every compile unit through the work-stealing executor.
     let cells = exec.map(units, |_, unit| {
         compile_cell(
+            backend,
             &cfg.registry,
-            &session,
             &fingerprints[unit.pi],
             &programs[unit.pi].program,
             unit.sanitizer,
@@ -108,18 +114,19 @@ pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> C
         for u in seed_programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
             while let Some(g) = groups.next_if(|g| g.pi == pi) {
-                let compiled: Vec<CompiledCell> = test_matrix(g.sanitizer)
+                let compiled: Vec<CompiledCell> = test_matrix(&toolchains, g.sanitizer)
                     .into_iter()
                     .zip(cells.by_ref().take(g.units.len()))
                     .filter_map(|((compiler, opt), cell)| {
-                        cell.map(|(module, result)| (compiler, opt, module, result))
+                        cell.map(|(artifact, result)| (compiler, opt, artifact, result))
                     })
                     .collect();
-                oracle_one(cfg, u, g.sanitizer, &compiled, &mut stats, &mut bug_index);
+                oracle_one(cfg, backend, u, g.sanitizer, &compiled, &mut stats, &mut bug_index);
             }
             pi += 1;
         }
     }
-    stats.cache = session.stats();
+    stats.cache =
+        backend.prefix_cache().map(|c| c.stats()).unwrap_or_default() - cache_before;
     stats
 }

@@ -16,6 +16,12 @@
 //! The [`campaign`] module is the automated loop; [`history`] holds the
 //! bug-tracker survey data behind the paper's Fig. 9; [`report`] renders
 //! every table and figure of the evaluation section.
+//!
+//! Compilation and execution go through the [`ubfuzz_backend`] abstraction:
+//! campaigns are generic over [`CompilerBackend`], default to the simulated
+//! [`SimBackend`] (bit-identical to driving [`ubfuzz_simcc`]/
+//! [`ubfuzz_simvm`] directly), and can target real gcc/clang through the
+//! feature-gated `CcBackend` adapter.
 
 pub mod campaign;
 pub mod executor;
@@ -23,11 +29,13 @@ pub mod history;
 pub mod report;
 
 pub use campaign::{
-    run_campaign, run_parallel_campaign, CampaignConfig, CampaignStats, FoundBug,
-    ParallelCampaign,
+    run_campaign, run_campaign_on, run_parallel_campaign, CampaignConfig,
+    CampaignConfigBuilder, CampaignStats, FoundBug, ParallelCampaign,
 };
+pub use ubfuzz_backend::{CompilerBackend, SimBackend};
 pub use ubfuzz_simcc::session::SessionStats;
 
+pub use ubfuzz_backend as backend;
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;
 pub use ubfuzz_minic as minic;

@@ -5,19 +5,18 @@
 //! their shapes against the paper's numbers (see EXPERIMENTS.md for the
 //! paper-vs-measured record).
 
-use crate::campaign::{CampaignConfig, CampaignStats, GeneratorChoice, ParallelCampaign};
+use crate::campaign::{CampaignConfig, CampaignStats, GeneratorChoice};
 use crate::history;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use ubfuzz_backend::{CompileRequest, CompilerBackend, RunRequest, SimBackend};
 use ubfuzz_exec::Executor;
 use ubfuzz_minic::{parse, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::{BugStatus, DefectCategory, DefectRegistry};
-use ubfuzz_simcc::pipeline::{compile, CompileConfig};
-use ubfuzz_simcc::session::CompileSession;
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_simcc::{cov, san, Sanitizer};
-use ubfuzz_simvm::run_module;
 
 /// Table 2: UB kinds supported by each sanitizer.
 pub fn table2() -> String {
@@ -190,8 +189,18 @@ fn shorten(name: &str) -> String {
 /// either: hit points live only in the sanitizer passes and the runtime
 /// (never the cached prefix), and the collector is an order-insensitive set.
 pub fn coverage_experiment(seeds: usize) -> String {
+    coverage_experiment_with(&SimBackend::new(), seeds)
+}
+
+/// [`coverage_experiment`] over an explicit backend — share one backend
+/// across table entry points and the sanitizer-independent compile prefixes
+/// persist between them. (The coverage counters themselves are the
+/// simulated toolchains' measurement substrate; a foreign backend compiles
+/// and runs the same mix but contributes no self-coverage.)
+pub fn coverage_experiment_with(backend: &dyn CompilerBackend, seeds: usize) -> String {
     let registry = DefectRegistry::full();
     let exec = Executor::auto();
+    let toolchains = backend.toolchains();
     let mut out = String::from(
         "Table 5. Line (LC), function (FC), branch (BC) coverage of the sanitizer\n\
          implementation, per vendor.\n\
@@ -201,24 +210,23 @@ pub fn coverage_experiment(seeds: usize) -> String {
     let seed_opts = SeedOptions::default();
     let run_mix = |programs: &[ubfuzz_minic::Program]| {
         cov::reset();
-        let session = CompileSession::new();
         exec.map((0..programs.len()).collect(), |_, pi: usize| {
             let p = &programs[pi];
-            let fp = CompileSession::fingerprint(p);
-            for vendor in Vendor::ALL {
+            let fp = backend.fingerprint(p);
+            for tc in &toolchains {
                 for sanitizer in Sanitizer::ALL {
-                    if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
+                    if !tc.supports(sanitizer) {
                         continue;
                     }
                     for opt in [OptLevel::O0, OptLevel::O2] {
-                        let cfg = CompileConfig {
-                            compiler: CompilerId::dev(vendor),
+                        let req = CompileRequest {
+                            compiler: tc.id,
                             opt,
                             sanitizer: Some(sanitizer),
                             registry: &registry,
                         };
-                        if let Ok(m) = session.compile_fp(&fp, p, &cfg) {
-                            let _ = run_module(&m);
+                        if let Ok(a) = backend.compile(&fp, p, &req) {
+                            let _ = backend.execute(&a, &RunRequest::default());
                         }
                     }
                 }
@@ -338,6 +346,17 @@ pub fn fig9() -> String {
 /// Fig. 10: stable compiler versions affected by each found bug, *measured*
 /// by re-running every bug's test case against every stable version.
 pub fn fig10(stats: &CampaignStats, registry: &DefectRegistry) -> String {
+    fig10_with(stats, registry, &SimBackend::new())
+}
+
+/// [`fig10`] over an explicit backend; the stable-version replays recompile
+/// every bug's test case, so a shared cached backend dedups their prefixes
+/// against the campaign that found them.
+pub fn fig10_with(
+    stats: &CampaignStats,
+    registry: &DefectRegistry,
+    backend: &dyn CompilerBackend,
+) -> String {
     let mut out =
         String::from("Fig. 10. Stable compiler versions affected by the reported FN bugs.\n");
     for vendor in Vendor::ALL {
@@ -349,15 +368,16 @@ pub fn fig10(stats: &CampaignStats, registry: &DefectRegistry) -> String {
             }
             let Ok(program) = parse(&bug.test_case) else { continue };
             let opt = bug.missed_at.first().copied().unwrap_or(OptLevel::O2);
+            let fp = backend.fingerprint(&program);
             for &version in &versions {
-                let cfg = CompileConfig {
+                let req = CompileRequest {
                     compiler: CompilerId { vendor, version },
                     opt,
                     sanitizer: Some(bug.sanitizer),
                     registry,
                 };
-                let Ok(m) = compile(&program, &cfg) else { continue };
-                if run_module(&m).is_normal_exit() {
+                let Ok(a) = backend.compile(&fp, &program, &req) else { continue };
+                if backend.execute(&a, &RunRequest::default()).is_normal_exit() {
                     *affected.entry(version).or_default() += 1;
                 }
             }
@@ -373,6 +393,15 @@ pub fn fig10(stats: &CampaignStats, registry: &DefectRegistry) -> String {
 /// Fig. 11: optimization levels affected, measured by re-running every bug's
 /// test case at every level on the development compiler.
 pub fn fig11(stats: &CampaignStats, registry: &DefectRegistry) -> String {
+    fig11_with(stats, registry, &SimBackend::new())
+}
+
+/// [`fig11`] over an explicit backend.
+pub fn fig11_with(
+    stats: &CampaignStats,
+    registry: &DefectRegistry,
+    backend: &dyn CompilerBackend,
+) -> String {
     let mut affected: BTreeMap<&'static str, usize> =
         OptLevel::ALL.iter().map(|o| (o.name(), 0)).collect();
     for bug in &stats.bugs {
@@ -380,15 +409,16 @@ pub fn fig11(stats: &CampaignStats, registry: &DefectRegistry) -> String {
             continue;
         }
         let Ok(program) = parse(&bug.test_case) else { continue };
+        let fp = backend.fingerprint(&program);
         for opt in OptLevel::ALL {
-            let cfg = CompileConfig {
+            let req = CompileRequest {
                 compiler: CompilerId::dev(bug.vendor),
                 opt,
                 sanitizer: Some(bug.sanitizer),
                 registry,
             };
-            let Ok(m) = compile(&program, &cfg) else { continue };
-            if run_module(&m).is_normal_exit()
+            let Ok(a) = backend.compile(&fp, &program, &req) else { continue };
+            if backend.execute(&a, &RunRequest::default()).is_normal_exit()
                 && !ubfuzz_interp::run_program(&program).is_clean_exit()
             {
                 *affected.entry(opt.name()).or_default() += 1;
@@ -424,12 +454,17 @@ pub fn oracle_stats(stats: &CampaignStats) -> String {
 /// none, except the engineered Fig. 8 invalid-report shape when a seed
 /// happens to produce it.
 pub fn oracle_ablation(seeds: usize) -> String {
-    let stats = ParallelCampaign::new(CampaignConfig {
-        seeds,
-        registry: DefectRegistry::pristine(),
-        ..CampaignConfig::default()
-    })
-    .run();
+    oracle_ablation_with(Arc::new(SimBackend::new()), seeds)
+}
+
+/// [`oracle_ablation`] over an explicit (shared) backend.
+pub fn oracle_ablation_with(backend: Arc<dyn CompilerBackend>, seeds: usize) -> String {
+    let stats = CampaignConfig::builder()
+        .seeds(seeds)
+        .registry(DefectRegistry::pristine())
+        .backend(backend)
+        .build_runner()
+        .run();
     let invalid = stats.bugs.iter().filter(|b| b.invalid).count();
     let mut out = String::new();
     let _ = writeln!(out, "Oracle ablation (pristine sanitizers, {seeds} seeds):");
@@ -455,13 +490,34 @@ pub fn oracle_ablation(seeds: usize) -> String {
 /// determinism property, so regenerated tables/figures match the
 /// sequential loop's.
 pub fn default_campaign(seeds: usize) -> CampaignStats {
-    ParallelCampaign::new(CampaignConfig { seeds, ..CampaignConfig::default() }).run()
+    CampaignConfig::builder().seeds(seeds).build_runner().run()
+}
+
+/// [`default_campaign`] over an explicit (shared) backend — `make_tables`
+/// threads one backend through every entry point so hot compile prefixes
+/// persist across tables (`stats.cache` still reports per-run deltas).
+pub fn default_campaign_with(backend: Arc<dyn CompilerBackend>, seeds: usize) -> CampaignStats {
+    CampaignConfig::builder().seeds(seeds).backend(backend).build_runner().run()
 }
 
 /// Convenience: run a baseline campaign (§4.3) on the parallel unit
 /// executor.
 pub fn baseline_campaign(generator: GeneratorChoice, seeds: usize) -> CampaignStats {
-    ParallelCampaign::new(CampaignConfig { seeds, generator, ..CampaignConfig::default() }).run()
+    CampaignConfig::builder().seeds(seeds).generator(generator).build_runner().run()
+}
+
+/// [`baseline_campaign`] over an explicit (shared) backend.
+pub fn baseline_campaign_with(
+    backend: Arc<dyn CompilerBackend>,
+    generator: GeneratorChoice,
+    seeds: usize,
+) -> CampaignStats {
+    CampaignConfig::builder()
+        .seeds(seeds)
+        .generator(generator)
+        .backend(backend)
+        .build_runner()
+        .run()
 }
 
 #[cfg(test)]
@@ -502,11 +558,9 @@ mod tests {
         // In the pristine world the naive oracle's count equals the
         // discrepancy count (all false), while crash-site mapping may file
         // only invalid-report shapes.
-        let stats = run_campaign(&CampaignConfig {
-            seeds: 6,
-            registry: DefectRegistry::pristine(),
-            ..CampaignConfig::default()
-        });
+        let stats = run_campaign(
+            &CampaignConfig::builder().seeds(6).registry(DefectRegistry::pristine()).build(),
+        );
         assert!(
             stats.discrepancies > 0,
             "optimization artifacts exist even with correct sanitizers"

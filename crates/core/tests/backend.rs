@@ -1,0 +1,99 @@
+//! The `CompilerBackend` seam: campaigns and report entry points are
+//! generic over the backend, default to [`SimBackend`], and a single shared
+//! backend persists its staged-compile cache across entry points (the first
+//! step of cross-campaign cache persistence).
+
+use std::sync::Arc;
+use ubfuzz::backend::{CompilerBackend, SimBackend};
+use ubfuzz::campaign::CampaignConfig;
+use ubfuzz::{report, run_campaign, run_campaign_on};
+use ubfuzz_simcc::defects::DefectRegistry;
+
+const SEEDS: usize = 3;
+
+/// One backend across `make_tables`-style entry points: the second campaign
+/// must be served entirely from the prefixes the first one computed, and
+/// the figure replays must keep hitting the same cache.
+#[test]
+fn shared_backend_reuses_prefixes_across_table_entry_points() {
+    // Size the session above the whole campaign's key count (a 6-seed
+    // default campaign wants ~2.7k prefixes; the default 2048 budget epoch-
+    // evicts mid-run and would defeat cross-run persistence).
+    let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
+        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 14),
+    ));
+
+    // Table 3 path (6 seeds: enough for attributable bugs to replay below).
+    let stats_t3 = report::default_campaign_with(Arc::clone(&backend), 6);
+    let after_t3 = backend.prefix_cache().expect("sim caches").stats();
+    assert!(after_t3.misses > 0, "first campaign fills the cache: {after_t3:?}");
+    assert!(after_t3.hits > 0, "sanitizer matrix already shares prefixes: {after_t3:?}");
+
+    // Table 6 path recompiles the same campaign on the same backend: every
+    // prefix lookup must now hit (cross-table cache persistence).
+    let stats_t6 = report::default_campaign_with(Arc::clone(&backend), 6);
+    let after_t6 = backend.prefix_cache().expect("sim caches").stats();
+    assert_eq!(stats_t3, stats_t6, "shared cache must not change results");
+    assert_eq!(
+        after_t6.misses, after_t3.misses,
+        "second campaign re-misses prefixes the first cached"
+    );
+    assert!(after_t6.hits > after_t3.hits, "cross-table lookups hit: {after_t6:?}");
+    // Per-run telemetry stays a delta even on a shared backend.
+    assert_eq!(stats_t6.cache.misses, 0, "{:?}", stats_t6.cache);
+    assert_eq!(stats_t6.cache.hits, after_t6.hits - after_t3.hits);
+
+    // The Fig. 11 replay recompiles found-bug test cases; on the shared
+    // backend its lookups keep hitting the campaign's prefixes.
+    let registry = DefectRegistry::full();
+    let fig11_shared = report::fig11_with(&stats_t3, &registry, backend.as_ref());
+    let after_fig = backend.prefix_cache().expect("sim caches").stats();
+    assert!(!stats_t3.bugs.is_empty(), "campaign found bugs to replay");
+    assert!(after_fig.hits > after_t6.hits, "figure replays reuse the cache");
+    // And rendering through the shared backend matches the standalone path.
+    assert_eq!(fig11_shared, report::fig11(&stats_t3, &registry));
+}
+
+/// `run_campaign_on` with an explicit backend matches the default-resolved
+/// sequential reference, report text included.
+#[test]
+fn explicit_backend_sequential_run_matches_default() {
+    let cfg = CampaignConfig::builder().seeds(SEEDS).build();
+    let reference = run_campaign(&cfg);
+    let cached = SimBackend::new();
+    let on_cached = run_campaign_on(&cached, &cfg);
+    assert_eq!(reference, on_cached);
+    assert!(on_cached.cache.hits > 0, "explicit cached backend records telemetry");
+    assert_eq!(reference.cache, ubfuzz::SessionStats::default(), "reference stays uncached");
+    assert_eq!(report::table3(&reference), report::table3(&on_cached));
+    assert_eq!(report::table6(&reference), report::table6(&on_cached));
+}
+
+/// A config-carried backend reaches the sequential loop too: `run_campaign`
+/// resolves `cfg.backend` before falling back to the uncached default.
+#[test]
+fn config_carried_backend_is_used_by_run_campaign() {
+    let shared: Arc<dyn CompilerBackend> = Arc::new(SimBackend::new());
+    let cfg = CampaignConfig::builder().seeds(2).backend(Arc::clone(&shared)).build();
+    let stats = run_campaign(&cfg);
+    let cache = shared.prefix_cache().expect("sim caches").stats();
+    assert!(cache.hits + cache.misses > 0, "sequential loop compiled on the shared backend");
+    assert_eq!(stats.cache, cache, "first run's delta is the whole counter");
+
+    // And the parallel runner over the same config shares the same cache.
+    let parallel = ubfuzz::ParallelCampaign::new(cfg).with_shards(4).run();
+    assert_eq!(stats, parallel);
+    assert_eq!(parallel.cache.misses, 0, "warm backend serves every prefix: {:?}", parallel.cache);
+}
+
+/// The coverage experiment renders identically through a shared backend
+/// (coverage points never live in the cached prefix).
+#[test]
+fn coverage_experiment_is_backend_share_invariant() {
+    let fresh = report::coverage_experiment(2);
+    let backend = SimBackend::new();
+    // Warm the backend with an unrelated campaign first.
+    let _ = run_campaign_on(&backend, &CampaignConfig::builder().seeds(1).build());
+    let shared = report::coverage_experiment_with(&backend, 2);
+    assert_eq!(fresh, shared);
+}

@@ -10,7 +10,7 @@ use ubfuzz_simcc::target::Vendor;
 fn campaign_reproduces_table3_shape() {
     // A mid-sized campaign: bugs appear in both vendors and multiple
     // sanitizers, attributed to real defects; Table 3 renders.
-    let stats = run_campaign(&CampaignConfig { seeds: 12, ..CampaignConfig::default() });
+    let stats = run_campaign(&CampaignConfig::builder().seeds(12).build());
     assert!(stats.total_programs() > 60, "programs: {}", stats.total_programs());
     assert!(stats.discrepancies > 5, "discrepancies: {}", stats.discrepancies);
     let attributed: Vec<_> = stats.bugs.iter().filter(|b| b.defect_id.is_some()).collect();
@@ -34,11 +34,7 @@ fn fig1_defect_is_found_and_attributed() {
     // campaign and attributed to the right defect.
     let mut found = false;
     for first in [0u64, 40] {
-        let stats = run_campaign(&CampaignConfig {
-            first_seed: first,
-            seeds: 10,
-            ..CampaignConfig::default()
-        });
+        let stats = run_campaign(&CampaignConfig::builder().first_seed(first).seeds(10).build());
         if stats.bugs.iter().any(|b| b.defect_id == Some("gcc-asan-d01")) {
             found = true;
             break;
@@ -55,15 +51,11 @@ fn baselines_find_far_fewer_and_only_shallow_bugs() {
     // triggers — but they find far fewer bugs than UBfuzz at the same seed
     // count and never reach the lifetime kinds (use-after-free/scope) or
     // the uninitialized-memory kind (see EXPERIMENTS.md §4.3).
-    let ubfuzz = run_campaign(&CampaignConfig { seeds: 6, ..CampaignConfig::default() });
+    let ubfuzz = run_campaign(&CampaignConfig::builder().seeds(6).build());
     let ubfuzz_found =
         ubfuzz.bugs.iter().filter(|b| !b.invalid && !b.wrong_report).count();
     for generator in [GeneratorChoice::Music, GeneratorChoice::CsmithNoSafe] {
-        let stats = run_campaign(&CampaignConfig {
-            seeds: 6,
-            generator,
-            ..CampaignConfig::default()
-        });
+        let stats = run_campaign(&CampaignConfig::builder().seeds(6).generator(generator).build());
         let real: Vec<_> = stats
             .bugs
             .iter()
@@ -100,7 +92,7 @@ fn every_defect_kind_class_is_discoverable() {
     // Fig. 7 claim: UBfuzz finds bugs in every UB kind. Run a larger
     // campaign and check kind coverage of the found bugs (not all 30
     // defects need to show at this scale, but most kinds should).
-    let stats = run_campaign(&CampaignConfig { seeds: 18, ..CampaignConfig::default() });
+    let stats = run_campaign(&CampaignConfig::builder().seeds(18).build());
     let kinds: std::collections::HashSet<UbKind> = stats
         .bugs
         .iter()
@@ -112,7 +104,7 @@ fn every_defect_kind_class_is_discoverable() {
 
 #[test]
 fn defect_metadata_is_consistent_with_found_bugs() {
-    let stats = run_campaign(&CampaignConfig { seeds: 8, ..CampaignConfig::default() });
+    let stats = run_campaign(&CampaignConfig::builder().seeds(8).build());
     for bug in stats.bugs.iter().filter(|b| b.defect_id.is_some()) {
         let d = DEFECTS.iter().find(|d| Some(d.id) == bug.defect_id).expect("registry");
         assert_eq!(d.vendor, bug.vendor);
@@ -194,11 +186,7 @@ fn reduced_fig1_report_still_triggers_the_bug() {
 fn campaign_with_reduction_files_reduced_test_cases() {
     // `reduce: true` drives the same reducer inside the campaign; every
     // filed test case must still parse.
-    let stats = run_campaign(&CampaignConfig {
-        seeds: 4,
-        reduce: true,
-        ..CampaignConfig::default()
-    });
+    let stats = run_campaign(&CampaignConfig::builder().seeds(4).reduce(true).build());
     for bug in &stats.bugs {
         assert!(
             ubfuzz::minic::parse(&bug.test_case).is_ok(),
@@ -263,11 +251,9 @@ fn ptr_diff_extension_is_missed_by_every_sanitizer() {
 fn pristine_registry_ablation() {
     // Ablation: disabling the defect corpus removes all findings — the
     // oracle never blames the optimizer incorrectly.
-    let stats = run_campaign(&CampaignConfig {
-        seeds: 5,
-        registry: DefectRegistry::pristine(),
-        ..CampaignConfig::default()
-    });
+    let stats = run_campaign(
+        &CampaignConfig::builder().seeds(5).registry(DefectRegistry::pristine()).build(),
+    );
     assert!(stats.bugs.iter().all(|b| b.invalid),
         "only invalid-report entries possible: {:?}",
         stats.bugs.iter().map(|b| (b.defect_id, b.invalid, b.kind)).collect::<Vec<_>>());

@@ -21,11 +21,12 @@
 //! finds, the corpus pins every injected defect.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use ubfuzz_backend::{CompileRequest, CompilerBackend, SimBackend};
 use ubfuzz_exec::Executor;
 use ubfuzz_minic::{parse, pretty, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
-use ubfuzz_simcc::pipeline::{compile, CompileConfig};
 use ubfuzz_simcc::target::{OptLevel, Vendor};
 use ubfuzz_ubgen::{GenOptions, UbProgram};
 
@@ -53,6 +54,10 @@ pub struct DetectorCampaignConfig {
     /// is bit-identical at every worker count (the executor merges results
     /// in canonical program order).
     pub workers: usize,
+    /// The compilation/execution backend Memcheck binaries are built on.
+    /// `None` defaults to an uncached [`SimBackend`] — each `(program,
+    /// opt)` cell is compiled exactly once, so there is no prefix to reuse.
+    pub backend: Option<Arc<dyn CompilerBackend>>,
 }
 
 impl Default for DetectorCampaignConfig {
@@ -65,6 +70,7 @@ impl Default for DetectorCampaignConfig {
             registry: DetectorDefectRegistry::full(),
             include_triggers: true,
             workers: 0,
+            backend: None,
         }
     }
 }
@@ -76,6 +82,14 @@ impl DetectorCampaignConfig {
             Executor::auto()
         } else {
             Executor::new(self.workers)
+        }
+    }
+
+    /// The backend this config's campaigns compile on.
+    fn resolve_backend(&self) -> Arc<dyn CompilerBackend> {
+        match &self.backend {
+            Some(b) => Arc::clone(b),
+            None => Arc::new(SimBackend::uncached()),
         }
     }
 }
@@ -272,6 +286,8 @@ fn corpus_programs(tool: DetectorTool) -> Vec<UbProgram> {
 /// report-site mapping for optimization arbitration.
 pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignStats {
     let exec = cfg.executor();
+    let backend = cfg.resolve_backend();
+    let backend = backend.as_ref();
     let mut stats = DetectorCampaignStats { seeds: cfg.seeds, ..Default::default() };
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
     let mut programs = generated_programs(cfg, &exec, memcheck_supports);
@@ -285,15 +301,23 @@ pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignSt
     // Fine-grained units — one (program, opt) compile+dual-run per task —
     // drained by the work-stealing executor; the oracle below consumes them
     // in canonical program order, so output matches the sequential loop
-    // bit-for-bit.
+    // bit-for-bit. The DBI engines instrument the compiled module, so
+    // backends with opaque artifacts contribute no cells (the campaign
+    // degrades to the trigger corpus of whatever cells do compile).
     let units: Vec<(usize, OptLevel)> = (0..programs.len())
         .flat_map(|pi| [OptLevel::O0, OptLevel::O2].map(|opt| (pi, opt)))
         .collect();
     let cells = exec.map(units, |_, (pi, opt)| {
-        let ccfg = CompileConfig::dev(Vendor::Gcc, opt, None, &compiler_reg);
-        let module = compile(&programs[pi].program, &ccfg).ok()?;
-        let ra = memcheck::run(&module, &tool_a);
-        let rb = memcheck::run(&module, &tool_b);
+        let req = CompileRequest {
+            compiler: ubfuzz_simcc::target::CompilerId::dev(Vendor::Gcc),
+            opt,
+            sanitizer: None,
+            registry: &compiler_reg,
+        };
+        let artifact = backend.compile_program(&programs[pi].program, &req).ok()?;
+        let module = artifact.module()?;
+        let ra = memcheck::run(module, &tool_a);
+        let rb = memcheck::run(module, &tool_b);
         Some((opt, ra, rb))
     });
     let mut cells = cells.into_iter();
@@ -505,6 +529,19 @@ mod tests {
         let eight = DetectorCampaignConfig { workers: 8, ..base.clone() };
         assert_eq!(run_memcheck_campaign(&one), run_memcheck_campaign(&eight));
         assert_eq!(run_static_campaign(&one), run_static_campaign(&eight));
+    }
+
+    #[test]
+    fn explicit_backend_matches_the_default_resolution() {
+        // A shared, cached backend must be observationally identical to the
+        // default per-run uncached one — caching is a backend concern the
+        // campaign cannot see.
+        let base = DetectorCampaignConfig { seeds: 2, ..Default::default() };
+        let shared: Arc<dyn CompilerBackend> = Arc::new(SimBackend::new());
+        let explicit =
+            DetectorCampaignConfig { backend: Some(Arc::clone(&shared)), ..base.clone() };
+        assert_eq!(run_memcheck_campaign(&base), run_memcheck_campaign(&explicit));
+        assert_eq!(run_static_campaign(&base), run_static_campaign(&explicit));
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl ProgramFingerprint {
     pub fn empty() -> ProgramFingerprint {
         ProgramFingerprint { hash: 0, source: String::new() }
     }
+
+    /// Whether this is the free placeholder (no source captured).
+    pub fn source_is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
 }
 
 /// Cache telemetry: prefix lookups served from the cache vs. computed.
@@ -80,6 +85,18 @@ impl std::ops::Add for SessionStats {
     type Output = SessionStats;
     fn add(self, rhs: SessionStats) -> SessionStats {
         SessionStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+    }
+}
+
+/// Saturating delta between two snapshots of the (monotone) counters —
+/// how campaigns report per-run telemetry off a session shared across runs.
+impl std::ops::Sub for SessionStats {
+    type Output = SessionStats;
+    fn sub(self, rhs: SessionStats) -> SessionStats {
+        SessionStats {
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
+        }
     }
 }
 
@@ -332,11 +349,68 @@ mod tests {
     }
 
     #[test]
-    fn stats_add_and_ratio() {
+    fn stats_add_sub_and_ratio() {
         let a = SessionStats { hits: 3, misses: 1 };
         let b = SessionStats { hits: 1, misses: 3 };
         assert_eq!(a + b, SessionStats { hits: 4, misses: 4 });
         assert_eq!((a + b).reuse_ratio(), 0.5);
         assert_eq!(SessionStats::default().reuse_ratio(), 0.0);
+        assert_eq!((a + b) - a, b, "snapshot delta recovers the increment");
+        assert_eq!(a - (a + b), SessionStats::default(), "delta saturates, never wraps");
+    }
+
+    #[test]
+    fn epoch_eviction_forgets_old_prefixes_and_accounts_for_it() {
+        // Capacity 2: the third distinct prefix key triggers a wholesale
+        // epoch clear, so the first program must miss again on replay while
+        // a post-clear resident still hits.
+        let reg = DefectRegistry::full();
+        let session = CompileSession::with_capacity(2);
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &reg);
+        let a = parse("int main(void) { return 0; }").unwrap();
+        let b = parse("int main(void) { return 1; }").unwrap();
+        let c = parse("int main(void) { return 2; }").unwrap();
+        session.compile(&a, &cfg).unwrap(); // miss, {a}
+        session.compile(&b, &cfg).unwrap(); // miss, {a, b}
+        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 2 });
+        session.compile(&a, &cfg).unwrap(); // hit while resident
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 2 });
+        session.compile(&c, &cfg).unwrap(); // miss; at capacity → epoch clear, {c}
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 3 });
+        session.compile(&a, &cfg).unwrap(); // evicted with its epoch → miss again
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 4 });
+        session.compile(&c, &cfg).unwrap(); // the new epoch's resident still hits
+        assert_eq!(session.stats(), SessionStats { hits: 2, misses: 4 });
+        // Eviction is invisible to outputs.
+        assert_eq!(session.compile(&a, &cfg).unwrap(), compile(&a, &cfg).unwrap());
+    }
+
+    #[test]
+    fn disabled_session_accounts_nothing_across_a_matrix() {
+        // The pass-through path must not touch the counters no matter how
+        // many compiles flow through it — uncached campaign telemetry
+        // reads exactly zero, which the cache-ablation comparisons rely on.
+        let p = program();
+        let reg = DefectRegistry::full();
+        let session = CompileSession::disabled();
+        let fp = session.fingerprint_for(&p);
+        let mut compiles = 0;
+        for vendor in Vendor::ALL {
+            for opt in OptLevel::ALL {
+                for sanitizer in [None, Some(Sanitizer::Asan), Some(Sanitizer::Ubsan)] {
+                    let cfg = CompileConfig::dev(vendor, opt, sanitizer, &reg);
+                    assert_eq!(
+                        session.compile_fp(&fp, &p, &cfg).unwrap(),
+                        compile(&p, &cfg).unwrap(),
+                        "{vendor} {opt} {sanitizer:?}"
+                    );
+                    compiles += 1;
+                }
+            }
+        }
+        assert_eq!(compiles, 30);
+        assert_eq!(session.stats(), SessionStats::default(), "no telemetry when disabled");
+        // And the disabled fingerprint is the free placeholder.
+        assert!(fp.source_is_empty(), "disabled sessions skip the pretty-print");
     }
 }
