@@ -27,29 +27,73 @@ use ubfuzz_simvm::{run_with_config, RunResult, VmConfig};
 #[derive(Debug, Default)]
 pub struct SimBackend {
     session: CompileSession,
+    /// The on-disk prefix table when this backend persists across
+    /// invocations ([`SimBackend::with_store`]).
+    store: Option<std::sync::Arc<ubfuzz_store::PrefixStore>>,
 }
 
 impl SimBackend {
     /// A backend with the staged-compile cache enabled.
     pub fn new() -> SimBackend {
-        SimBackend { session: CompileSession::new() }
+        SimBackend { session: CompileSession::new(), store: None }
     }
 
     /// A backend whose every compile runs the full pipeline (no cache, no
     /// telemetry).
     pub fn uncached() -> SimBackend {
-        SimBackend { session: CompileSession::disabled() }
+        SimBackend { session: CompileSession::disabled(), store: None }
     }
 
     /// A backend over an explicitly configured session (e.g. a bounded
     /// capacity).
     pub fn with_session(session: CompileSession) -> SimBackend {
-        SimBackend { session }
+        SimBackend { session, store: None }
+    }
+
+    /// A backend whose prefix cache persists in the store directory `dir`
+    /// (cross-invocation cache persistence, step 2): prefixes persisted by
+    /// previous invocations are preloaded, and every fresh miss is flushed
+    /// back. The default session capacity applies; campaign-scale callers
+    /// should size it with [`SimBackend::with_store_capacity`].
+    ///
+    /// Opening never fails — a corrupt, version-skewed or unwritable store
+    /// degrades to a cold in-memory session, observable through
+    /// [`SimBackend::prefix_store`] telemetry.
+    pub fn with_store(dir: impl AsRef<std::path::Path>) -> SimBackend {
+        SimBackend::with_store_capacity(dir, CompileSession::DEFAULT_CAPACITY)
+    }
+
+    /// [`SimBackend::with_store`] with an explicit key budget (use
+    /// `CampaignConfig::prefix_key_bound()` for campaign-scale runs): up to
+    /// `capacity` store entries preload — the session's eviction headroom
+    /// is composed *on top* of the budget, so a store holding exactly the
+    /// campaign's key count still warm-starts with zero misses — and the
+    /// store decodes modules only up to that budget, so opening over a
+    /// store grown far beyond it stays cheap.
+    pub fn with_store_capacity(
+        dir: impl AsRef<std::path::Path>,
+        capacity: usize,
+    ) -> SimBackend {
+        let store =
+            std::sync::Arc::new(ubfuzz_store::PrefixStore::open_budgeted(dir, capacity));
+        SimBackend {
+            session: CompileSession::with_backing(
+                CompileSession::capacity_for_preload(capacity),
+                store.clone(),
+            ),
+            store: Some(store),
+        }
     }
 
     /// The underlying compile session.
     pub fn session(&self) -> &CompileSession {
         &self.session
+    }
+
+    /// The persistent prefix table, when this backend was opened over a
+    /// store ([`SimBackend::with_store`]).
+    pub fn prefix_store(&self) -> Option<&ubfuzz_store::PrefixStore> {
+        self.store.as_deref()
     }
 }
 
@@ -189,6 +233,40 @@ mod tests {
         let a = backend.compile_program(&p, &req).unwrap();
         assert!(a.module().is_some());
         assert_eq!(cache.stats(), Default::default(), "pass-through records nothing");
+    }
+
+    #[test]
+    fn store_backed_backend_is_warm_on_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "ubfuzz-simbackend-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = program();
+        let registry = DefectRegistry::full();
+        let req = CompileRequest {
+            compiler: CompilerId::dev(Vendor::Llvm),
+            opt: OptLevel::O2,
+            sanitizer: Some(Sanitizer::Ubsan),
+            registry: &registry,
+        };
+
+        let cold = SimBackend::with_store(&dir);
+        let out_cold = cold.compile_program(&p, &req).unwrap();
+        assert_eq!(cold.session().stats().misses, 1);
+        assert_eq!(cold.prefix_store().expect("store attached").telemetry().persisted(), 1);
+        drop(cold);
+
+        let warm = SimBackend::with_store(&dir);
+        assert_eq!(warm.session().preloaded(), 1, "reopen preloads the persisted prefix");
+        let out_warm = warm.compile_program(&p, &req).unwrap();
+        assert_eq!(out_cold.module(), out_warm.module(), "store is invisible to outputs");
+        assert_eq!(warm.session().stats(), ubfuzz_simcc::session::SessionStats {
+            hits: 1,
+            misses: 0
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,15 +1,25 @@
 //! Smoke benchmark: sequential vs. unit-executor campaign throughput, with
-//! the staged-compile cache on and off.
+//! the staged-compile cache on and off, plus a cold-vs-warm persistent-store
+//! comparison.
 //!
 //! Run with `cargo bench --bench campaign_smoke` to measure, or with
 //! `-- --test` (as CI does) to execute each variant once without timing.
-//! The parallel variants drain fine-grained `(seed, program, compiler, opt,
-//! sanitizer)` units through a work-stealing queue, so even campaigns with
-//! fewer seeds than workers parallelize; on a 1-core CI box they serialize,
-//! which is why the cache variants assert *hit counters*, never wall-clock.
+//! The parallel variants stream fine-grained `(seed, program, compiler,
+//! opt, sanitizer)` units to the in-order oracle consumer, so even
+//! campaigns with fewer seeds than workers parallelize; on a 1-core CI box
+//! they serialize, which is why the cache variants assert *hit counters*,
+//! never wall-clock.
+//!
+//! After the Criterion pass the bench emits `BENCH_campaign.json` (working
+//! directory): units/sec, cache reuse ratio, and cold-store vs warm-store
+//! wall time, machine-readable so future PRs can track the trajectory (CI
+//! uploads it as an artifact).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use std::fmt::Write as _;
+use std::time::Instant;
 use ubfuzz::campaign::{run_campaign, CampaignConfig};
+use ubfuzz::SimBackend;
 
 const SEEDS: usize = 8;
 
@@ -65,4 +75,66 @@ fn fast() -> Criterion {
 }
 
 criterion_group! { name = campaign; config = fast(); targets = bench_campaign }
-criterion_main!(campaign);
+
+/// One timed campaign over an optional store directory; returns
+/// (wall seconds, stats).
+fn timed_run(store: Option<&std::path::Path>) -> (f64, ubfuzz::CampaignStats) {
+    let cfg = config();
+    let runner = match store {
+        Some(dir) => {
+            let backend = std::sync::Arc::new(SimBackend::with_store_capacity(
+                dir,
+                cfg.prefix_key_bound(),
+            ));
+            ubfuzz::ParallelCampaign::new(cfg).with_backend(backend).with_shards(4)
+        }
+        None => ubfuzz::ParallelCampaign::new(cfg).with_shards(4),
+    };
+    let start = Instant::now();
+    let stats = runner.run();
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+/// The machine-readable trajectory record: BENCH_campaign.json.
+fn emit_bench_json() {
+    let dir = std::env::temp_dir().join(format!("ubfuzz-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (cold_secs, cold) = timed_run(Some(&dir));
+    let (warm_secs, warm) = timed_run(Some(&dir));
+    let (nostore_secs, _) = timed_run(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(cold, warm, "store must be invisible to results");
+    assert_eq!(warm.cache.misses, 0, "warm store misses nothing: {:?}", warm.cache);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"seeds\": {},", SEEDS);
+    let _ = writeln!(json, "  \"units\": {},", cold.units);
+    let _ = writeln!(json, "  \"cold_store_secs\": {cold_secs:.4},");
+    let _ = writeln!(json, "  \"warm_store_secs\": {warm_secs:.4},");
+    let _ = writeln!(json, "  \"no_store_secs\": {nostore_secs:.4},");
+    let _ = writeln!(
+        json,
+        "  \"units_per_sec_cold\": {:.2},",
+        cold.units as f64 / cold_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "  \"units_per_sec_warm\": {:.2},",
+        warm.units as f64 / warm_secs.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"cache_hits_cold\": {},", cold.cache.hits);
+    let _ = writeln!(json, "  \"cache_misses_cold\": {},", cold.cache.misses);
+    let _ = writeln!(json, "  \"cache_reuse_ratio_cold\": {:.4},", cold.cache.reuse_ratio());
+    let _ = writeln!(json, "  \"cache_reuse_ratio_warm\": {:.4}", warm.cache.reuse_ratio());
+    json.push_str("}\n");
+    // cargo runs bench binaries with cwd = the package dir; anchor the
+    // artifact at the workspace root where CI picks it up.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    std::fs::write(&out, &json).expect("write BENCH_campaign.json");
+    eprintln!("[campaign_smoke] wrote {}:\n{json}", out.display());
+}
+
+fn main() {
+    campaign();
+    emit_bench_json();
+}

@@ -1,30 +1,32 @@
 //! Regenerates the paper's figures: `make_figures --figure 7|9|10|11 [--seeds N]`.
 //! `--figure 0` prints all of them.
 //!
-//! Like `make_tables`, all entry points share one `SimBackend`: the Fig.
-//! 10/11 replays recompile every found bug's test case across stable
-//! versions and levels, which re-hits the prefixes the campaign cached.
+//! Like `make_tables`, all entry points share one `SimBackend` (sized from
+//! the campaign config): the Fig. 10/11 replays recompile every found bug's
+//! test case across stable versions and levels, which re-hits the prefixes
+//! the campaign cached. The shared `--store DIR` / `--resume` persistence
+//! flags (see `ubfuzz_bench` and `make_tables`) apply here too.
 
 use std::sync::Arc;
-use ubfuzz::backend::{CompilerBackend, SimBackend};
+use ubfuzz::backend::CompilerBackend;
+use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
-use ubfuzz_bench::arg_value;
+use ubfuzz_bench::{arg_value, report_store_telemetry, run_stored_campaign, shared_backend, store_args};
 use ubfuzz_simcc::defects::DefectRegistry;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let figure = arg_value(&args, "--figure", 0);
     let seeds = arg_value(&args, "--seeds", 30);
+    let store = store_args(&args, "make_figures");
     let registry = DefectRegistry::full();
-    // Sized above the default session budget so the Fig. 10/11 replays keep
-    // hitting the campaign's prefixes (see make_tables).
-    let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
-        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 15),
-    ));
+    let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
+    let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
+    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store);
     match figure {
         9 => print!("{}", report::fig9()),
         7 | 10 | 11 => {
-            let stats = report::default_campaign_with(Arc::clone(&backend), seeds);
+            let stats = campaign();
             match figure {
                 7 => print!("{}", report::fig7(&stats)),
                 10 => print!("{}", report::fig10_with(&stats, &registry, backend.as_ref())),
@@ -32,11 +34,12 @@ fn main() {
             }
         }
         _ => {
-            let stats = report::default_campaign_with(Arc::clone(&backend), seeds);
+            let stats = campaign();
             print!("{}", report::fig7(&stats));
             print!("{}", report::fig9());
             print!("{}", report::fig10_with(&stats, &registry, backend.as_ref()));
             print!("{}", report::fig11_with(&stats, &registry, backend.as_ref()));
         }
     }
+    report_store_telemetry(&backend);
 }

@@ -3,31 +3,63 @@
 //! `--ablation` prints the §4.4 oracle ablation (naive vs crash-site
 //! mapping in the pristine world) instead.
 //!
-//! Every entry point shares ONE `SimBackend`, so the staged-compile cache
-//! persists across tables: the campaign behind Table 3/6 warms the
-//! sanitizer-independent prefixes that Table 5's coverage sweep and the
-//! ablation replay then reuse (cross-campaign cache persistence).
+//! Every entry point shares ONE `SimBackend`, sized from the campaign
+//! config, so the staged-compile cache persists across tables (the campaign
+//! behind Table 3/6 warms the prefixes Table 5's coverage sweep reuses).
+//!
+//! Persistence flags (shared with `make_figures`, see `ubfuzz_bench`):
+//!
+//! * `--store DIR` — back the prefix cache by the on-disk store at `DIR`
+//!   and merge found bugs into its cross-invocation corpus. A second
+//!   invocation over the same store recompiles nothing (zero prefix
+//!   misses) and renders byte-identical tables; stderr reports a
+//!   machine-readable `[store] …` summary.
+//! * `--resume` (requires `--store`) — additionally checkpoint the campaign
+//!   at compile-unit granularity and resume any compatible checkpoint
+//!   already in the store, so a killed invocation continues where it died
+//!   with a bit-identical final report.
 
 use std::sync::Arc;
-use ubfuzz::backend::{CompilerBackend, SimBackend};
+use ubfuzz::backend::CompilerBackend;
+use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
-use ubfuzz_bench::arg_value;
+use ubfuzz_bench::{arg_value, report_store_telemetry, run_stored_campaign, shared_backend, store_args};
 use ubfuzz_simcc::defects::DefectRegistry;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let table = arg_value(&args, "--table", 0);
     let seeds = arg_value(&args, "--seeds", 30);
-    // Sized above the default session budget: table-scale campaigns want
-    // tens of thousands of prefixes live at once for cross-table reuse.
-    let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
-        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 15),
-    ));
+    let store = store_args(&args, "make_tables");
+    let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
+    let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
+    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store);
     if args.iter().any(|a| a == "--ablation") {
-        print!("{}", report::oracle_ablation_with(backend, seeds));
-        return;
+        // The ablation replaces the table output but not the persistence
+        // contract: prefixes still flow through the (possibly store-backed)
+        // backend, so fall through to the telemetry tail below.
+        print!("{}", report::oracle_ablation_with(Arc::clone(&backend_dyn), seeds));
+    } else {
+        run_tables(table, seeds, &backend, &campaign);
     }
-    let campaign = || report::default_campaign_with(Arc::clone(&backend), seeds);
+    // Cache/store telemetry goes to stderr so stdout stays byte-comparable
+    // between invocations (the CI persistence job diffs it).
+    let cache = backend.session().stats();
+    eprintln!(
+        "[make_tables] shared compile cache across entry points: {} hits, {} misses ({:.1}% reuse)",
+        cache.hits,
+        cache.misses,
+        100.0 * cache.reuse_ratio()
+    );
+    report_store_telemetry(&backend);
+}
+
+fn run_tables(
+    table: usize,
+    seeds: usize,
+    backend: &Arc<ubfuzz::SimBackend>,
+    campaign: &dyn Fn() -> ubfuzz::CampaignStats,
+) {
     match table {
         2 => print!("{}", report::table2()),
         3 => {
@@ -49,13 +81,6 @@ fn main() {
             );
             print!("{}", report::table6(&stats));
             print!("{}", report::oracle_stats(&stats));
-            let cache = backend.prefix_cache().expect("sim backend caches").stats();
-            eprintln!(
-                "[make_tables] shared compile cache across entry points: {} hits, {} misses ({:.1}% reuse)",
-                cache.hits,
-                cache.misses,
-                100.0 * cache.reuse_ratio()
-            );
             let _ = DefectRegistry::full();
         }
     }

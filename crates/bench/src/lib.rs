@@ -12,6 +12,12 @@
 //! level, VM execution, crash-site mapping) so the throughput numbers in
 //! EXPERIMENTS.md can be reproduced.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use ubfuzz::backend::{CompilerBackend, SimBackend};
+use ubfuzz::campaign::{CampaignConfig, CampaignStats};
+use ubfuzz::{persist, store};
+
 /// Parses `--flag value` style arguments with a default.
 pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
     args.iter()
@@ -19,6 +25,101 @@ pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The persistence flags both binaries share.
+#[derive(Debug, Clone, Default)]
+pub struct StoreArgs {
+    /// `--store DIR`: the persistent store directory.
+    pub dir: Option<PathBuf>,
+    /// `--resume`: checkpoint the campaign and resume a compatible log.
+    pub resume: bool,
+}
+
+/// Parses `--store DIR` / `--resume`, exiting with status 2 on misuse
+/// (both binaries must reject it identically — the CI persistence job
+/// drives them interchangeably). A `--store` whose value is missing or is
+/// itself a flag is an error, not a silently storeless run or a directory
+/// literally named `--resume`.
+pub fn store_args(args: &[String], binary: &str) -> StoreArgs {
+    let dir = match args.iter().position(|a| a == "--store") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(value) if !value.starts_with("--") => Some(PathBuf::from(value)),
+            _ => {
+                eprintln!("{binary}: --store requires a directory argument");
+                std::process::exit(2);
+            }
+        },
+    };
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && dir.is_none() {
+        eprintln!("{binary}: --resume requires --store DIR");
+        std::process::exit(2);
+    }
+    StoreArgs { dir, resume }
+}
+
+/// The shared backend both binaries thread through every entry point:
+/// store-backed when `--store` was given, in-memory otherwise, session
+/// sized from the campaign configuration either way.
+pub fn shared_backend(cfg: &CampaignConfig, store: &StoreArgs) -> Arc<SimBackend> {
+    let capacity = cfg.prefix_key_bound();
+    match &store.dir {
+        Some(dir) => Arc::new(SimBackend::with_store_capacity(dir, capacity)),
+        None => Arc::new(SimBackend::with_session(
+            ubfuzz_simcc::session::CompileSession::with_capacity(capacity),
+        )),
+    }
+}
+
+/// Runs the default campaign over `backend`, checkpointing under `--resume`
+/// and merging found bugs into the store's corpus — the campaign step both
+/// binaries share. Corpus telemetry goes to stderr in the exact format the
+/// CI persistence job greps (`[store] corpus: total=… new=… known=…`).
+pub fn run_stored_campaign(
+    seeds: usize,
+    backend: Arc<dyn CompilerBackend>,
+    store_args: &StoreArgs,
+) -> CampaignStats {
+    let mut builder = CampaignConfig::builder().seeds(seeds).backend(backend);
+    if store_args.resume {
+        builder =
+            builder.checkpoint(store_args.dir.as_deref().expect("--resume implies --store"));
+    }
+    let stats = builder.build_runner().run();
+    if let Some(dir) = &store_args.dir {
+        let mut corpus = store::BugCorpus::open(dir);
+        let merge = persist::merge_bugs(&mut corpus, &stats);
+        eprintln!(
+            "[store] corpus: total={} new={} known={}",
+            corpus.len(),
+            merge.new,
+            merge.known
+        );
+    }
+    stats
+}
+
+/// Prints the store-backed prefix-cache telemetry line (stderr, stable
+/// format — the CI persistence job greps ` misses=0 `). No-op for
+/// in-memory backends.
+pub fn report_store_telemetry(backend: &SimBackend) {
+    let Some(prefix) = backend.prefix_store() else { return };
+    let cache = backend.session().stats();
+    let t = prefix.telemetry();
+    eprintln!(
+        "[store] prefix: loaded={} persisted={} hits={} misses={} cold={} truncated={}",
+        t.loaded(),
+        t.persisted(),
+        cache.hits,
+        cache.misses,
+        t.recovered_cold(),
+        t.tail_truncated()
+    );
+    for event in t.events() {
+        eprintln!("[store] event: {event}");
+    }
 }
 
 #[cfg(test)]

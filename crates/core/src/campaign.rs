@@ -28,6 +28,11 @@ pub enum GeneratorChoice {
     Juliet,
 }
 
+/// MUSIC mutants generated per seed (the paper's 14k mutants from 1k
+/// seeds). One definition: both program generation and the prefix-cache
+/// sizing bound derive from it, so they cannot drift apart.
+pub const MUSIC_MUTANTS_PER_SEED: u64 = 14;
+
 /// Campaign configuration.
 ///
 /// Prefer [`CampaignConfig::builder`] over field-struct construction: the
@@ -78,13 +83,52 @@ impl CampaignConfig {
         CampaignConfigBuilder::default()
     }
 
+    /// An upper bound on the UB programs one seed can expand into under
+    /// this config's generator.
+    fn programs_per_seed_bound(&self) -> usize {
+        match self.generator {
+            GeneratorChoice::Ubfuzz => {
+                ubfuzz_minic::UbKind::GENERATABLE.len() * self.gen_options.max_per_kind
+            }
+            GeneratorChoice::Music => MUSIC_MUTANTS_PER_SEED as usize,
+            GeneratorChoice::CsmithNoSafe => 1,
+            // Fixed corpus, emitted once on the first seed.
+            GeneratorChoice::Juliet => ubfuzz_baselines::juliet_suite().len(),
+        }
+    }
+
+    /// An upper bound on the distinct prefix-cache keys this campaign (and
+    /// its figure replays) can touch: seeds × programs-per-seed × every
+    /// vendor's versions (stable + dev, so Fig. 10 replays stay resident) ×
+    /// optimization levels.
+    ///
+    /// This is what sizes compile sessions: the old hand-tuned `1 << 15`
+    /// literals under-sized large `--seeds` runs (epoch eviction below
+    /// table scale defeats cross-run persistence) and over-sized tiny ones.
+    /// The bound is a key *budget*, not an allocation — the map only ever
+    /// holds keys actually compiled.
+    pub fn prefix_key_bound(&self) -> usize {
+        let compilers: usize = Vendor::ALL
+            .iter()
+            .map(|v| v.stable_versions().count() + 1)
+            .sum();
+        self.seeds
+            .max(1)
+            .saturating_mul(self.programs_per_seed_bound().max(1))
+            .saturating_mul(compilers)
+            .saturating_mul(OptLevel::ALL.len())
+            .max(ubfuzz_simcc::session::CompileSession::DEFAULT_CAPACITY)
+    }
+
     /// The backend this config's campaigns compile and execute on: the
-    /// configured one, or a fresh [`SimBackend`] with the staged-compile
-    /// cache on or off per `cache`.
+    /// configured one, or a fresh [`SimBackend`] whose session is sized by
+    /// [`CampaignConfig::prefix_key_bound`], cache on or off per `cache`.
     pub(crate) fn resolve_backend(&self, cache: bool) -> Arc<dyn CompilerBackend> {
         match &self.backend {
             Some(b) => Arc::clone(b),
-            None if cache => Arc::new(SimBackend::new()),
+            None if cache => Arc::new(SimBackend::with_session(
+                ubfuzz_simcc::session::CompileSession::with_capacity(self.prefix_key_bound()),
+            )),
             None => Arc::new(SimBackend::uncached()),
         }
     }
@@ -98,11 +142,17 @@ pub struct CampaignConfigBuilder {
     cfg: CampaignConfig,
     workers: Option<usize>,
     cache: bool,
+    checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for CampaignConfigBuilder {
     fn default() -> CampaignConfigBuilder {
-        CampaignConfigBuilder { cfg: CampaignConfig::default(), workers: None, cache: true }
+        CampaignConfigBuilder {
+            cfg: CampaignConfig::default(),
+            workers: None,
+            cache: true,
+            checkpoint: None,
+        }
     }
 }
 
@@ -170,17 +220,30 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Checkpoint/resume directory for
+    /// [`CampaignConfigBuilder::build_runner`] (see
+    /// [`ParallelCampaign::with_checkpoint`]).
+    pub fn checkpoint(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(dir.into());
+        self
+    }
+
     /// The finished configuration.
     pub fn build(self) -> CampaignConfig {
         self.cfg
     }
 
     /// A [`ParallelCampaign`] over the finished configuration, with the
-    /// builder's worker count and cache toggle applied.
+    /// builder's worker count, cache toggle and checkpoint directory
+    /// applied. Without an explicit backend, the runner's compile session
+    /// is auto-sized from the config ([`CampaignConfig::prefix_key_bound`]).
     pub fn build_runner(self) -> ParallelCampaign {
         let mut runner = ParallelCampaign::new(self.cfg).with_cache(self.cache);
         if let Some(workers) = self.workers {
             runner = runner.with_shards(workers);
+        }
+        if let Some(dir) = self.checkpoint {
+            runner = runner.with_checkpoint(dir);
         }
         runner
     }
@@ -211,6 +274,15 @@ pub struct FoundBug {
     pub duplicates: usize,
 }
 
+impl FoundBug {
+    /// The stable attribution key this bug deduplicates under — also the
+    /// key the cross-invocation bug corpus merges by (see
+    /// [`crate::persist`]).
+    pub fn corpus_key(&self) -> String {
+        dedup_key(self.defect_id, self.invalid, self.vendor, self.sanitizer, self.kind)
+    }
+}
+
 /// Aggregate campaign statistics (feeds Tables 3/4/6 and Figs. 7/10/11).
 #[derive(Debug, Clone, Default)]
 pub struct CampaignStats {
@@ -229,6 +301,10 @@ pub struct CampaignStats {
     /// Compile-cache telemetry of the run (hits/misses/reuse ratio). Zero on
     /// the uncached sequential path.
     pub cache: SessionStats,
+    /// Planned compile units (matrix cells) of the run — throughput
+    /// denominator for benches. Execution metadata like `cache`: excluded
+    /// from equality.
+    pub units: usize,
 }
 
 impl CampaignStats {
@@ -327,14 +403,35 @@ pub struct ParallelCampaign {
     config: CampaignConfig,
     shards: usize,
     cache: bool,
+    checkpoint: Option<std::path::PathBuf>,
+    unit_budget: Option<u64>,
 }
+
+/// A checkpointed campaign stopped before completing every unit (only
+/// possible with [`ParallelCampaign::with_unit_budget`]). The completed
+/// units are on disk; rerunning with the same store resumes from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignInterrupted {
+    /// Units whose outcomes are checkpointed (replayed + newly computed).
+    pub completed: usize,
+    /// Planned units of the campaign.
+    pub total: usize,
+}
+
+impl std::fmt::Display for CampaignInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "campaign interrupted at {}/{} units", self.completed, self.total)
+    }
+}
+
+impl std::error::Error for CampaignInterrupted {}
 
 impl ParallelCampaign {
     /// A runner over `config` with one worker per available core and the
     /// compile cache enabled.
     pub fn new(config: CampaignConfig) -> ParallelCampaign {
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelCampaign { config, shards, cache: true }
+        ParallelCampaign { config, shards, cache: true, checkpoint: None, unit_budget: None }
     }
 
     /// Overrides the worker count (must be nonzero). The name is historical:
@@ -360,6 +457,31 @@ impl ParallelCampaign {
         self
     }
 
+    /// Checkpoints every completed compile unit into the store directory
+    /// `dir` (file `campaign.bin`), and resumes from any compatible log
+    /// already there.
+    ///
+    /// Compatibility is by campaign fingerprint (see
+    /// [`crate::persist::config_fingerprint`]): a log written by a
+    /// different configuration is discarded, never mixed in. Replay is
+    /// bit-faithful, so a killed-and-resumed campaign renders the same
+    /// report as an uninterrupted one — the property `tests/store.rs`
+    /// exercises across worker counts.
+    pub fn with_checkpoint(mut self, dir: impl Into<std::path::PathBuf>) -> ParallelCampaign {
+        self.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// Stops the campaign after `units` *newly computed* units (replayed
+    /// checkpoint units are free), making [`ParallelCampaign::try_run`]
+    /// return [`CampaignInterrupted`]. This is deterministic kill
+    /// injection for resume testing; production kills (SIGKILL, OOM) leave
+    /// the same on-disk state, minus at most one torn record.
+    pub fn with_unit_budget(mut self, units: u64) -> ParallelCampaign {
+        self.unit_budget = Some(units);
+        self
+    }
+
     /// The effective worker count.
     pub fn shards(&self) -> usize {
         self.shards
@@ -376,8 +498,25 @@ impl ParallelCampaign {
     }
 
     /// Runs the campaign on the unit executor and merges in seed order.
+    ///
+    /// # Panics
+    ///
+    /// If a unit budget was set and exhausted — budgeted runs should use
+    /// [`ParallelCampaign::try_run`].
     pub fn run(&self) -> CampaignStats {
-        crate::executor::run_unit_campaign(&self.config, self.shards, self.cache)
+        self.try_run().expect("campaign interrupted by unit budget; use try_run")
+    }
+
+    /// Runs the campaign; [`Err`] only when a configured unit budget ran
+    /// out before every unit completed (the simulated-kill path).
+    pub fn try_run(&self) -> Result<CampaignStats, CampaignInterrupted> {
+        crate::executor::run_unit_campaign_checkpointed(
+            &self.config,
+            self.shards,
+            self.cache,
+            self.checkpoint.as_deref(),
+            self.unit_budget,
+        )
     }
 }
 
@@ -410,7 +549,7 @@ pub(crate) fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbPro
         }
         GeneratorChoice::Music => {
             let seed = generate_seed(seed_id, &cfg.seed_options);
-            (0..14)
+            (0..MUSIC_MUTANTS_PER_SEED)
                 .filter_map(|m| {
                     let p = ubfuzz_baselines::music::mutate(&seed, seed_id * 100 + m);
                     classify(p)
@@ -490,7 +629,9 @@ fn test_one(
 ) {
     let fp = backend.fingerprint(&u.program);
     for sanitizer in san::sanitizers_for(u.kind) {
-        let compiled: Vec<CompiledCell> = test_matrix(toolchains, sanitizer)
+        let matrix = test_matrix(toolchains, sanitizer);
+        stats.units += matrix.len();
+        let compiled: Vec<CompiledCell> = matrix
             .into_iter()
             .filter_map(|(compiler, opt)| {
                 compile_cell(backend, &cfg.registry, &fp, &u.program, sanitizer, compiler, opt)

@@ -1,5 +1,5 @@
-//! The unified campaign task executor: fine-grained work stealing with a
-//! canonical-order merge.
+//! The unified campaign task executor: fine-grained streaming execution
+//! with a canonical-order merge, checkpointing and resume.
 //!
 //! [`run_unit_campaign`] decomposes a campaign into three stages:
 //!
@@ -7,32 +7,46 @@
 //!    (each seed id derives its own RNG stream from the campaign seed, so
 //!    scheduling cannot perturb generation).
 //! 2. **Compile+run** — one task per `(seed, program, compiler, opt,
-//!    sanitizer)` unit, all units drained by one work-stealing
-//!    [`Executor`]. Units share a [`CompileSession`] that memoizes the
-//!    sanitizer-independent `lower → early-opts` prefix per
-//!    `(program, vendor, version, opt)`, so a program's sanitizer matrix
-//!    pre-optimizes each cell once instead of once per sanitizer.
-//! 3. **Oracle merge** — sequential, in canonical seed order, feeding each
-//!    program's compiled matrix to [`crate::campaign::oracle_one`] — the
+//!    sanitizer)` unit, drained by [`Executor::map_consume`]: workers
+//!    stream unit results to the oracle **in canonical unit order** with a
+//!    bounded look-ahead window, so the oracle overlaps compilation and
+//!    memory is capped at the window size instead of the whole campaign's
+//!    compiled-module set. Units share a `CompileSession` that memoizes the
+//!    sanitizer-independent `lower → early-opts` prefix.
+//! 3. **Oracle merge** — the streaming consumer groups each program's
+//!    compiled matrix and feeds it to [`crate::campaign::oracle_one`] — the
 //!    *same* function the sequential loop runs — so discrepancy counts,
 //!    crash-site mapping and dedup/attribution are bit-identical to
 //!    [`crate::campaign::run_campaign`] at any worker count, cache on or
 //!    off.
 //!
+//! **Checkpointing** ([`run_unit_campaign_checkpointed`] with a store
+//! directory): every completed unit is appended to a
+//! [`CampaignLog`] keyed by the campaign fingerprint, and units a previous
+//! invocation logged are *replayed* instead of recompiled. Because unit
+//! planning is deterministic and replay is byte-faithful, a campaign killed
+//! at any point and relaunched over the same store produces a final report
+//! bit-identical to an uninterrupted run.
+//!
 //! The determinism argument, in one line: stages 1 and 2 are pure functions
-//! of their task inputs (the cache memoizes a deterministic function, so it
-//! can only change *when* a prefix is computed, never *what* it is), and
-//! stage 3 is the sequential algorithm consuming those results in the
-//! sequential order.
+//! of their task inputs (the cache and the checkpoint log memoize a
+//! deterministic function, so they can only change *when/where* a unit's
+//! outcome is computed, never what it is), and stage 3 is the sequential
+//! algorithm consuming those outcomes in the sequential order.
 
 use crate::campaign::{
-    compile_cell, generate_programs, oracle_one, test_matrix, CampaignConfig, CampaignStats,
-    CompiledCell,
+    compile_cell, generate_programs, oracle_one, test_matrix, CampaignConfig,
+    CampaignInterrupted, CampaignStats, CompiledCell,
 };
+use crate::persist::campaign_fingerprint;
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use ubfuzz_backend::{Artifact, RunOutcome};
 use ubfuzz_exec::Executor;
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
 use ubfuzz_simcc::{san, Sanitizer};
+use ubfuzz_store::{CampaignLog, UnitOutcome};
 
 /// One compile unit: indices into the canonical program list plus the matrix
 /// cell to build.
@@ -55,11 +69,42 @@ struct Group {
     units: std::ops::Range<usize>,
 }
 
+/// What one unit task delivered to the streaming consumer.
+enum UnitResult {
+    /// Compiled (or replayed): the matrix cell identity, the outcome
+    /// (`None` for unsupported cells), and whether the outcome is durably
+    /// in the checkpoint log (replayed from it, or recorded this run —
+    /// module-less native artifacts are not).
+    Cell(CompilerId, OptLevel, Option<(Artifact, RunOutcome)>, bool),
+    /// The unit budget ran out before this unit was computed.
+    Starved,
+}
+
+/// Bounded look-ahead of the streaming merge, in units per worker: enough
+/// in-flight work to keep every worker busy while the oracle consumes, small
+/// enough that campaign memory stays O(workers), not O(campaign).
+const STREAM_WINDOW_PER_WORKER: usize = 8;
+
 /// Runs `cfg` over `workers` work-stealing threads, compile cache on or off
 /// (the toggle selects the default [`ubfuzz_backend::SimBackend`]'s session
 /// mode; an explicit `cfg.backend` owns its own cache policy). Output is
 /// bit-identical to [`crate::campaign::run_campaign`].
 pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> CampaignStats {
+    run_unit_campaign_checkpointed(cfg, workers, cache, None, None)
+        .expect("uncheckpointed campaigns have no budget to exhaust")
+}
+
+/// [`run_unit_campaign`] with persistence: when `store_dir` is given, every
+/// completed unit is checkpointed there and compatible prior checkpoints
+/// are replayed; `unit_budget` (testing hook) bounds the *newly computed*
+/// units before the run reports [`CampaignInterrupted`].
+pub fn run_unit_campaign_checkpointed(
+    cfg: &CampaignConfig,
+    workers: usize,
+    cache: bool,
+    store_dir: Option<&Path>,
+    unit_budget: Option<u64>,
+) -> Result<CampaignStats, CampaignInterrupted> {
     let exec = Executor::new(workers);
     let backend = cfg.resolve_backend(cache);
     let backend = backend.as_ref();
@@ -74,7 +119,7 @@ pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> C
 
     // Plan the fine-grained units and their oracle groups. Group order (and
     // unit order within a group) is exactly the sequential loop's iteration
-    // order; the merge below relies on it.
+    // order; the streaming merge below relies on it.
     let programs: Vec<_> = per_seed.iter().flatten().collect();
     let fingerprints: Vec<_> =
         programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
@@ -86,47 +131,145 @@ pub fn run_unit_campaign(cfg: &CampaignConfig, workers: usize, cache: bool) -> C
             for (compiler, opt) in test_matrix(&toolchains, sanitizer) {
                 units.push(Unit { pi, sanitizer, compiler, opt });
             }
-            groups.push(Group { pi, sanitizer, units: start..units.len() });
+            // An empty matrix (no toolchain ships this sanitizer — e.g. a
+            // gcc-only real-toolchain backend asked for MSan) plans no
+            // group: the oracle over zero cells is a no-op in the
+            // sequential loop, and an empty group would never match the
+            // consumer's end-of-group boundary check below.
+            if units.len() > start {
+                groups.push(Group { pi, sanitizer, units: start..units.len() });
+            }
         }
     }
 
-    // Stage 2: drain every compile unit through the work-stealing executor.
-    let cells = exec.map(units, |_, unit| {
-        compile_cell(
-            backend,
-            &cfg.registry,
-            &fingerprints[unit.pi],
-            &programs[unit.pi].program,
-            unit.sanitizer,
-            unit.compiler,
-            unit.opt,
-        )
-    });
+    // The checkpoint log identifies the campaign by the full plan identity
+    // — config fingerprint plus the resolved toolchain set (unit indices
+    // map to matrix cells through `toolchains()`) — and the plan size; an
+    // incompatible log on disk cold-starts rather than mixes.
+    let log = store_dir
+        .map(|dir| CampaignLog::open(dir, campaign_fingerprint(cfg, &toolchains), units.len()));
+    let budget = AtomicU64::new(unit_budget.unwrap_or(u64::MAX));
 
-    // Stage 3: sequential oracle merge in canonical seed order.
+    // Seed/program tallies are generation facts, independent of compile
+    // results; fill them exactly as the sequential loop would.
     let mut stats = CampaignStats::default();
-    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
-    let mut cells = cells.into_iter();
-    let mut groups = groups.into_iter().peekable();
-    let mut pi = 0;
     for seed_programs in &per_seed {
         stats.seeds += 1;
         for u in seed_programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            while let Some(g) = groups.next_if(|g| g.pi == pi) {
-                let compiled: Vec<CompiledCell> = test_matrix(&toolchains, g.sanitizer)
-                    .into_iter()
-                    .zip(cells.by_ref().take(g.units.len()))
-                    .filter_map(|((compiler, opt), cell)| {
-                        cell.map(|(artifact, result)| (compiler, opt, artifact, result))
-                    })
-                    .collect();
-                oracle_one(cfg, backend, u, g.sanitizer, &compiled, &mut stats, &mut bug_index);
-            }
-            pi += 1;
         }
     }
+    stats.units = units.len();
+
+    // Stages 2+3, overlapped: workers compute (or replay) units; the
+    // consumer below reassembles each group's matrix in canonical order and
+    // runs the oracle as soon as the group completes.
+    let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut starved = false;
+    let mut completed_cells = 0usize;
+    let mut gi = 0usize;
+    let mut group_cells: Vec<CompiledCell> = Vec::new();
+    let window = workers.saturating_mul(STREAM_WINDOW_PER_WORKER).max(1);
+    let total_units = units.len();
+    exec.map_consume(
+        units,
+        window,
+        |i, unit| {
+            // Replay beats recompute: a prior invocation already paid for
+            // this unit. `take_replay` moves the outcome out of the log, so
+            // replayed modules live only as long as their trip through the
+            // bounded stream — resume memory stays O(window).
+            if let Some(log) = &log {
+                match log.take_replay(i) {
+                    Some(UnitOutcome::Unsupported) => {
+                        return UnitResult::Cell(unit.compiler, unit.opt, None, true)
+                    }
+                    Some(UnitOutcome::Done(module, result)) => {
+                        return UnitResult::Cell(
+                            unit.compiler,
+                            unit.opt,
+                            Some((Artifact::Sim(module), result)),
+                            true,
+                        )
+                    }
+                    None => {}
+                }
+            }
+            // Claim budget *before* computing, so a "kill" stops work.
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_err()
+            {
+                return UnitResult::Starved;
+            }
+            let cell = compile_cell(
+                backend,
+                &cfg.registry,
+                &fingerprints[unit.pi],
+                &programs[unit.pi].program,
+                unit.sanitizer,
+                unit.compiler,
+                unit.opt,
+            );
+            let mut logged = false;
+            if let Some(log) = &log {
+                // Module-less artifacts (opaque native binaries) cannot be
+                // replayed faithfully; leave them unlogged so resume
+                // recomputes them.
+                match &cell {
+                    None => {
+                        log.record(i, &UnitOutcome::Unsupported);
+                        logged = true;
+                    }
+                    Some((artifact, result)) => {
+                        if let Some(module) = artifact.module() {
+                            log.record(i, &UnitOutcome::Done(module.clone(), result.clone()));
+                            logged = true;
+                        }
+                    }
+                }
+            }
+            UnitResult::Cell(unit.compiler, unit.opt, cell, logged)
+        },
+        |i, result| {
+            match result {
+                UnitResult::Starved => starved = true,
+                UnitResult::Cell(compiler, opt, cell, logged) => {
+                    completed_cells += usize::from(logged);
+                    if !starved {
+                        if let Some((artifact, run)) = cell {
+                            group_cells.push((compiler, opt, artifact, run));
+                        }
+                    }
+                }
+            }
+            // Group boundary: the oracle consumes the finished matrix. (A
+            // starved run keeps consuming — cheaply — so the stream drains,
+            // but files no results: the partial campaign is reported as
+            // interrupted, never as a report.)
+            while gi < groups.len() && groups[gi].units.end == i + 1 {
+                if !starved {
+                    let g = &groups[gi];
+                    oracle_one(
+                        cfg,
+                        backend,
+                        programs[g.pi],
+                        g.sanitizer,
+                        &group_cells,
+                        &mut stats,
+                        &mut bug_index,
+                    );
+                }
+                group_cells.clear();
+                gi += 1;
+            }
+        },
+    );
+
     stats.cache =
         backend.prefix_cache().map(|c| c.stats()).unwrap_or_default() - cache_before;
-    stats
+    if starved {
+        return Err(CampaignInterrupted { completed: completed_cells, total: total_units });
+    }
+    Ok(stats)
 }

@@ -26,16 +26,18 @@
 pub mod campaign;
 pub mod executor;
 pub mod history;
+pub mod persist;
 pub mod report;
 
 pub use campaign::{
     run_campaign, run_campaign_on, run_parallel_campaign, CampaignConfig,
-    CampaignConfigBuilder, CampaignStats, FoundBug, ParallelCampaign,
+    CampaignConfigBuilder, CampaignInterrupted, CampaignStats, FoundBug, ParallelCampaign,
 };
 pub use ubfuzz_backend::{CompilerBackend, SimBackend};
 pub use ubfuzz_simcc::session::SessionStats;
 
 pub use ubfuzz_backend as backend;
+pub use ubfuzz_store as store;
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;
 pub use ubfuzz_minic as minic;

@@ -1,0 +1,108 @@
+//! Campaign-side glue for the persistent store ([`ubfuzz_store`]): campaign
+//! fingerprinting for checkpoint compatibility, and merging found bugs into
+//! the cross-invocation corpus.
+
+use crate::campaign::{CampaignConfig, CampaignStats};
+use ubfuzz_store::{BugCorpus, BugRecord, MergeSummary};
+
+/// A stable identity for a campaign *plan*: two configurations with the
+/// same fingerprint enumerate the same unit list in the same order, which
+/// is the precondition for replaying a checkpoint log by unit index.
+///
+/// Implemented as an FNV-1a over the `Debug` rendering of every
+/// plan-relevant field — deliberately including the generator/seed/defect
+/// options wholesale, so *any* change to what a campaign would do reads as
+/// "a different campaign" and cold-starts the log (the safe direction; a
+/// false mismatch only costs recomputation). The backend's name
+/// participates too: a checkpoint written by the simulated backend must not
+/// be replayed into a real-toolchain campaign.
+pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
+    let backend_name =
+        cfg.backend.as_ref().map(|b| b.name().to_string()).unwrap_or_else(|| "sim".into());
+    let plan = format!(
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{backend_name}",
+        cfg.first_seed,
+        cfg.seeds,
+        cfg.seed_options,
+        cfg.gen_options,
+        cfg.generator,
+        cfg.registry,
+        cfg.reduce,
+    );
+    ubfuzz_store::wire::fnv1a(plan.as_bytes())
+}
+
+/// [`config_fingerprint`] extended with the resolved backend's toolchain
+/// descriptors — what the checkpoint log is actually keyed by. The unit
+/// plan maps indices to `(compiler, opt, sanitizer)` cells through
+/// `toolchains()`, so a probed toolchain set that changed between
+/// invocations (a compiler upgraded or un/installed under `CcBackend`)
+/// must read as a different campaign even when the config — and the unit
+/// *count* — happens to match.
+pub fn campaign_fingerprint(
+    cfg: &CampaignConfig,
+    toolchains: &[ubfuzz_backend::ToolchainDesc],
+) -> u64 {
+    let plan = format!("{}|{toolchains:?}", config_fingerprint(cfg));
+    ubfuzz_store::wire::fnv1a(plan.as_bytes())
+}
+
+/// Converts a campaign's deduplicated bugs into corpus records.
+pub fn bug_records(stats: &CampaignStats) -> Vec<BugRecord> {
+    stats
+        .bugs
+        .iter()
+        .map(|b| BugRecord {
+            key: b.corpus_key(),
+            vendor: b.vendor.to_string(),
+            sanitizer: b.sanitizer.to_string(),
+            kind: b.kind.name().to_string(),
+            defect_id: b.defect_id.map(str::to_string),
+            invalid: b.invalid,
+            wrong_report: b.wrong_report,
+            test_case: b.test_case.clone(),
+            duplicates: b.duplicates as u64,
+        })
+        .collect()
+}
+
+/// Merges a finished campaign's bugs into `corpus`, stamped with the
+/// current wall-clock time. Idempotent per attribution key: re-finding a
+/// known bug updates `last_seen`/counters instead of duplicating it.
+pub fn merge_bugs(corpus: &mut BugCorpus, stats: &CampaignStats) -> MergeSummary {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    corpus.merge(&bug_records(stats), now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::GeneratorChoice;
+
+    #[test]
+    fn fingerprint_separates_plans() {
+        let a = CampaignConfig::builder().seeds(3).build();
+        let b = CampaignConfig::builder().seeds(4).build();
+        let c = CampaignConfig::builder().seeds(3).generator(GeneratorChoice::Music).build();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn bug_records_carry_the_dedup_key() {
+        let stats = crate::campaign::run_campaign(&CampaignConfig::builder().seeds(4).build());
+        assert!(!stats.bugs.is_empty());
+        let records = bug_records(&stats);
+        assert_eq!(records.len(), stats.bugs.len());
+        for (bug, rec) in stats.bugs.iter().zip(&records) {
+            assert_eq!(rec.key, bug.corpus_key());
+            assert_eq!(rec.defect_id.as_deref(), bug.defect_id);
+            // Keys are unique per deduplicated bug by construction.
+            assert_eq!(records.iter().filter(|r| r.key == rec.key).count(), 1);
+        }
+    }
+}

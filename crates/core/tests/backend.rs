@@ -16,11 +16,12 @@ const SEEDS: usize = 3;
 /// the figure replays must keep hitting the same cache.
 #[test]
 fn shared_backend_reuses_prefixes_across_table_entry_points() {
-    // Size the session above the whole campaign's key count (a 6-seed
-    // default campaign wants ~2.7k prefixes; the default 2048 budget epoch-
-    // evicts mid-run and would defeat cross-run persistence).
+    // Size the session from the campaign it will serve (a 6-seed default
+    // campaign wants ~2.7k prefixes; the default 2048 budget epoch-evicts
+    // mid-run and would defeat cross-run persistence).
+    let capacity = CampaignConfig::builder().seeds(6).build().prefix_key_bound();
     let backend: Arc<dyn CompilerBackend> = Arc::new(SimBackend::with_session(
-        ubfuzz_simcc::session::CompileSession::with_capacity(1 << 14),
+        ubfuzz_simcc::session::CompileSession::with_capacity(capacity),
     ));
 
     // Table 3 path (6 seeds: enough for attributable bugs to replay below).
@@ -84,6 +85,70 @@ fn config_carried_backend_is_used_by_run_campaign() {
     let parallel = ubfuzz::ParallelCampaign::new(cfg).with_shards(4).run();
     assert_eq!(stats, parallel);
     assert_eq!(parallel.cache.misses, 0, "warm backend serves every prefix: {:?}", parallel.cache);
+}
+
+/// A backend advertising only a subset of toolchains (here: GCC only, so
+/// every MSan matrix is empty) must still keep the parallel streaming merge
+/// bit-identical to the sequential loop — empty matrices used to stall the
+/// group-boundary consumer and silently drop every oracle result.
+#[test]
+fn partial_toolchain_backend_keeps_parallel_equal_to_sequential() {
+    use ubfuzz::backend::{Artifact, CompileRequest, PrefixCache, RunOutcome, RunRequest, ToolchainDesc};
+    use ubfuzz_simcc::lower::CompileError;
+    use ubfuzz_simcc::session::ProgramFingerprint;
+
+    /// `SimBackend` restricted to its first toolchain (GCC, which ships no
+    /// MSan) — the shape a real-toolchain probe produces on a gcc-only box.
+    #[derive(Debug, Default)]
+    struct GccOnly(SimBackend);
+
+    impl CompilerBackend for GccOnly {
+        fn name(&self) -> &str {
+            "gcc-only"
+        }
+
+        fn toolchains(&self) -> Vec<ToolchainDesc> {
+            self.0.toolchains().into_iter().take(1).collect()
+        }
+
+        fn fingerprint(&self, program: &ubfuzz::minic::Program) -> ProgramFingerprint {
+            self.0.fingerprint(program)
+        }
+
+        fn compile(
+            &self,
+            fp: &ProgramFingerprint,
+            program: &ubfuzz::minic::Program,
+            req: &CompileRequest<'_>,
+        ) -> Result<Artifact, CompileError> {
+            self.0.compile(fp, program, req)
+        }
+
+        fn execute(&self, artifact: &Artifact, req: &RunRequest) -> RunOutcome {
+            self.0.execute(artifact, req)
+        }
+
+        fn prefix_cache(&self) -> Option<&dyn PrefixCache> {
+            self.0.prefix_cache()
+        }
+    }
+
+    let backend: Arc<dyn CompilerBackend> = Arc::new(GccOnly::default());
+    let cfg = CampaignConfig::builder().seeds(SEEDS).backend(backend).build();
+    let sequential = run_campaign(&cfg);
+    // UninitUse programs exist and their MSan matrix is empty on GCC.
+    assert!(
+        sequential.ub_programs.contains_key(&ubfuzz::minic::UbKind::UninitUse),
+        "campaign generates MSan-only programs: {:?}",
+        sequential.ub_programs
+    );
+    for workers in [1usize, 4] {
+        let parallel = ubfuzz::ParallelCampaign::new(cfg.clone()).with_shards(workers).run();
+        assert_eq!(sequential, parallel, "{workers}-worker merge diverges on empty matrices");
+        assert!(parallel.discrepancies > 0 || !parallel.bugs.is_empty() || parallel.selected > 0
+            || parallel.total_programs() > 0,
+            "campaign did real work");
+    }
 }
 
 /// The coverage experiment renders identically through a shared backend

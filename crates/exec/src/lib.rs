@@ -117,6 +117,179 @@ impl Executor {
             .map(|m| m.into_inner().expect("result lock").expect("task completed"))
             .collect()
     }
+
+    /// Runs `f` over every task and feeds the results to `consume` **in
+    /// task order**, holding at most `window` completed-but-unconsumed
+    /// results at any moment.
+    ///
+    /// This is the streaming sibling of [`Executor::map`]: instead of
+    /// buffering all `n` results and returning them, the consumer (running
+    /// on the calling thread) overlaps with the workers, and memory is
+    /// capped at `window` results regardless of `n`. Tasks are claimed in
+    /// index order — a worker that would run more than `window` tasks ahead
+    /// of the consumer parks until the consumer catches up, and because
+    /// claims are ordered, the task the consumer is waiting on is always
+    /// the one a non-parked worker holds (no deadlock at any `window ≥ 1`).
+    ///
+    /// Ordered claiming trades the chunked locality of [`Executor::map`]
+    /// for the bound; campaign tasks are full compile+run pipelines, so the
+    /// shared-counter contention is noise.
+    ///
+    /// Determinism contract: identical to [`Executor::map`] — `consume`
+    /// observes exactly the sequence `(0, f(0, t0)), (1, f(1, t1)), …`
+    /// whatever the worker count or scheduling.
+    pub fn map_consume<T, R, F, C>(&self, tasks: Vec<T>, window: usize, f: F, mut consume: C)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        C: FnMut(usize, R),
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        let window = window.max(1);
+        let slots: Vec<Mutex<Option<T>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let state = StreamState {
+            inner: Mutex::new(StreamInner { next: 0, cursor: 0, done: vec![false; n], aborted: false }),
+            claim_cv: Condvar::new(),
+            result_cv: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let slots = &slots;
+                let results = &results;
+                let state = &state;
+                let f = &f;
+                scope.spawn(move || {
+                    // If this worker unwinds, wake everyone so the consumer
+                    // and peers exit instead of parking forever; the scope
+                    // then re-raises the panic.
+                    let _abort = AbortGuard(state);
+                    while let Some(i) = state.claim(n, window) {
+                        let task = slots[i]
+                            .lock()
+                            .expect("task slot lock")
+                            .take()
+                            .expect("task claimed twice");
+                        let r = f(i, task);
+                        *results[i].lock().expect("result slot lock") = Some(r);
+                        state.complete(i);
+                    }
+                });
+            }
+            // The consumer runs here, inside the scope, on the caller's
+            // thread — guarded the same way so a panicking `consume` frees
+            // the workers before the scope joins them.
+            let _abort = AbortGuard(&state);
+            for (i, slot) in results.iter().enumerate() {
+                if !state.await_result(i) {
+                    break; // a worker died; its panic surfaces at scope exit
+                }
+                let r = slot
+                    .lock()
+                    .expect("result slot lock")
+                    .take()
+                    .expect("completed result present");
+                consume(i, r);
+                state.advance();
+            }
+        });
+    }
+}
+
+/// Shared state of a [`Executor::map_consume`] run.
+struct StreamState {
+    inner: Mutex<StreamInner>,
+    /// Signaled when the consumer advances (parked claimants recheck).
+    claim_cv: Condvar,
+    /// Signaled when a result lands (the consumer rechecks).
+    result_cv: Condvar,
+}
+
+struct StreamInner {
+    /// Next unclaimed task index.
+    next: usize,
+    /// Next index the consumer will take.
+    cursor: usize,
+    /// Completion flags, indexed by task.
+    done: Vec<bool>,
+    /// Set when any participant unwinds.
+    aborted: bool,
+}
+
+impl StreamState {
+    /// Claims the next task index, parking while the claim would run more
+    /// than `window` ahead of the consumer. `None` when tasks are exhausted
+    /// or the run aborted.
+    fn claim(&self, n: usize, window: usize) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("stream lock");
+        loop {
+            if inner.aborted || inner.next >= n {
+                return None;
+            }
+            if inner.next < inner.cursor + window {
+                let i = inner.next;
+                inner.next += 1;
+                return Some(i);
+            }
+            inner = self.claim_cv.wait(inner).expect("stream wait");
+        }
+    }
+
+    /// Marks task `i` complete and wakes the consumer.
+    fn complete(&self, i: usize) {
+        let mut inner = self.inner.lock().expect("stream lock");
+        inner.done[i] = true;
+        drop(inner);
+        self.result_cv.notify_all();
+    }
+
+    /// Waits until task `i`'s result landed; `false` on abort.
+    fn await_result(&self, i: usize) -> bool {
+        let mut inner = self.inner.lock().expect("stream lock");
+        loop {
+            if inner.done[i] {
+                return true;
+            }
+            if inner.aborted {
+                return false;
+            }
+            inner = self.result_cv.wait(inner).expect("stream wait");
+        }
+    }
+
+    /// Advances the consumption cursor, unparking claim-bounded workers.
+    fn advance(&self) {
+        let mut inner = self.inner.lock().expect("stream lock");
+        inner.cursor += 1;
+        drop(inner);
+        self.claim_cv.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut inner = self.inner.lock().expect("stream lock");
+        inner.aborted = true;
+        drop(inner);
+        self.claim_cv.notify_all();
+        self.result_cv.notify_all();
+    }
+}
+
+/// Sets the abort flag if the holder unwinds (and only then): parked peers
+/// wake, drain, and the panic propagates out of the thread scope instead of
+/// deadlocking it.
+struct AbortGuard<'a>(&'a StreamState);
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
 }
 
 /// Completion tracking: how many tasks have finished (successfully or by
@@ -297,5 +470,99 @@ mod tests {
     #[should_panic(expected = "worker count must be nonzero")]
     fn zero_workers_panics() {
         let _ = Executor::new(0);
+    }
+
+    #[test]
+    fn map_consume_is_in_order_and_complete() {
+        for workers in [1, 2, 4, 16] {
+            for window in [1, 2, 7, 1000] {
+                let exec = Executor::new(workers);
+                let mut seen = Vec::new();
+                exec.map_consume((0..100).collect(), window, |i, t: usize| {
+                    assert_eq!(i, t);
+                    t * 3
+                }, |i, r| {
+                    assert_eq!(r, i * 3);
+                    seen.push(i);
+                });
+                assert_eq!(seen, (0..100).collect::<Vec<_>>(), "w{workers} win{window}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_consume_bounds_outstanding_results() {
+        // With window W, a worker may never be computing (or have
+        // completed) a task more than W past the consumer's cursor. We
+        // observe the high-water mark of (claimed index − consumed count).
+        let exec = Executor::new(4);
+        let window = 3;
+        let claimed_max = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        exec.map_consume(
+            (0..200).collect(),
+            window,
+            |i, _t: usize| {
+                let ahead = i - consumed.load(Ordering::Relaxed).min(i);
+                claimed_max.fetch_max(ahead, Ordering::Relaxed);
+            },
+            |_, _| {
+                consumed.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        // The consumer may lag its counter update by the in-flight
+        // notification, so allow exactly that slack.
+        assert!(
+            claimed_max.load(Ordering::Relaxed) <= window + 1,
+            "look-ahead {} exceeds window {window}",
+            claimed_max.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn map_consume_handles_empty_and_tiny_inputs() {
+        let exec = Executor::new(4);
+        let mut count = 0;
+        exec.map_consume(Vec::<usize>::new(), 4, |_, t| t, |_, _| count += 1);
+        assert_eq!(count, 0);
+        let mut out = Vec::new();
+        exec.map_consume(vec![7], 1, |_, t| t + 1, |_, r| out.push(r));
+        assert_eq!(out, vec![8]);
+    }
+
+    // (The scope rewraps worker panics as "a scoped thread panicked"; the
+    // consumer panic below unwinds on the calling thread and keeps its
+    // message.)
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn map_consume_worker_panic_propagates() {
+        let exec = Executor::new(4);
+        exec.map_consume(
+            (0..64).collect(),
+            2,
+            |i, t: usize| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+                t
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "consumer exploded")]
+    fn map_consume_consumer_panic_propagates() {
+        let exec = Executor::new(4);
+        exec.map_consume(
+            (0..64).collect(),
+            2,
+            |_, t: usize| t,
+            |i, _| {
+                if i == 5 {
+                    panic!("consumer exploded");
+                }
+            },
+        );
     }
 }

@@ -107,6 +107,77 @@ struct PrefixKey {
     opt: OptLevel,
 }
 
+/// One persisted prefix-cache entry: the full key (hash + verifying source)
+/// and the cached post-early-opts module.
+#[derive(Debug, Clone)]
+pub struct PersistedPrefix {
+    /// Fingerprint hash of the canonical source.
+    pub hash: u64,
+    /// Compiler identity of the prefix.
+    pub compiler: CompilerId,
+    /// Optimization level of the prefix.
+    pub opt: OptLevel,
+    /// Canonical pretty-printed source (collision guard, as in the
+    /// in-memory cache).
+    pub source: String,
+    /// The cached `lower → early-opts` output.
+    pub module: Module,
+}
+
+impl PersistedPrefix {
+    /// A borrowed view for [`PrefixBacking::persist`].
+    pub fn as_entry_ref(&self) -> PrefixEntryRef<'_> {
+        PrefixEntryRef {
+            hash: self.hash,
+            compiler: self.compiler,
+            opt: self.opt,
+            source: &self.source,
+            module: &self.module,
+        }
+    }
+}
+
+/// A borrowed prefix entry — what the session offers on each miss. By
+/// reference so the hot miss path pays no clone beyond the cache insert
+/// (the backing serializes straight from the borrow).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixEntryRef<'a> {
+    /// Fingerprint hash of the canonical source.
+    pub hash: u64,
+    /// Compiler identity of the prefix.
+    pub compiler: CompilerId,
+    /// Optimization level of the prefix.
+    pub opt: OptLevel,
+    /// Canonical pretty-printed source.
+    pub source: &'a str,
+    /// The cached `lower → early-opts` output.
+    pub module: &'a Module,
+}
+
+/// A persistence sink/source behind the in-memory prefix cache.
+///
+/// The session stays the single in-process cache; a backing makes it warm
+/// across *invocations*: entries a previous process persisted are loaded
+/// once when the session is built, and every fresh miss is offered back for
+/// persistence. Implementations live outside this crate (the `ubfuzz-store`
+/// on-disk store); the contract here is deliberately minimal so the session
+/// never learns about files, formats or recovery.
+///
+/// Correctness note: a backing can only pre-populate or re-observe entries
+/// of the deterministic `compile_prefix` function, so — like the cache
+/// itself — it can change *when* a prefix is computed, never what a compile
+/// returns.
+pub trait PrefixBacking: Send + Sync + std::fmt::Debug {
+    /// Entries persisted by previous invocations. Called once, when the
+    /// session attaches the backing.
+    fn load(&self) -> Vec<PersistedPrefix>;
+
+    /// Offers a freshly computed prefix for persistence. Called after each
+    /// miss, outside the cache lock; implementations are expected to
+    /// dedup re-offers (epoch eviction can recompute a persisted entry).
+    fn persist(&self, entry: PrefixEntryRef<'_>);
+}
+
 /// Entries sharing a [`PrefixKey`]; the stored source disambiguates the
 /// (astronomically unlikely) fingerprint collision.
 type PrefixBucket = Vec<(String, Module)>;
@@ -125,6 +196,11 @@ pub struct CompileSession {
     /// eviction — cross-program reuse is negligible, so old epochs are dead
     /// weight).
     capacity: usize,
+    /// Cross-invocation persistence, when attached
+    /// ([`CompileSession::with_backing`]).
+    backing: Option<std::sync::Arc<dyn PrefixBacking>>,
+    /// Entries pre-populated from the backing at construction.
+    preloaded: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -151,9 +227,47 @@ impl CompileSession {
         CompileSession {
             cache: Some(Mutex::new(HashMap::new())),
             capacity: capacity.max(1),
+            backing: None,
+            preloaded: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// An enabled session warmed from (and persisting to) `backing`.
+    ///
+    /// Entries the backing loads are pre-populated into the cache — leaving
+    /// at least a quarter of `capacity` free, so a backing grown to (or
+    /// beyond) this session's budget cannot put the map at the epoch-evict
+    /// threshold where the very first new-key miss would wipe the warm
+    /// entries wholesale — and every subsequent miss is offered back
+    /// through [`PrefixBacking::persist`]. Lookups served from preloaded
+    /// entries count as ordinary hits: a second invocation whose capacity
+    /// covers the store reports zero misses.
+    pub fn with_backing(
+        capacity: usize,
+        backing: std::sync::Arc<dyn PrefixBacking>,
+    ) -> CompileSession {
+        let mut session = CompileSession::with_capacity(capacity);
+        let preload_budget = CompileSession::preload_budget(session.capacity);
+        let mut map = HashMap::new();
+        let mut loaded = 0usize;
+        for entry in backing.load() {
+            if loaded >= preload_budget {
+                break;
+            }
+            let key =
+                PrefixKey { hash: entry.hash, compiler: entry.compiler, opt: entry.opt };
+            let bucket: &mut PrefixBucket = map.entry(key).or_default();
+            if !bucket.iter().any(|(src, _)| *src == entry.source) {
+                bucket.push((entry.source, entry.module));
+                loaded += 1;
+            }
+        }
+        session.cache = Some(Mutex::new(map));
+        session.preloaded = loaded;
+        session.backing = Some(backing);
+        session
     }
 
     /// A pass-through session: every compile runs the full pipeline and no
@@ -162,9 +276,37 @@ impl CompileSession {
         CompileSession {
             cache: None,
             capacity: 0,
+            backing: None,
+            preloaded: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// How many entries the backing pre-populated (0 without a backing).
+    pub fn preloaded(&self) -> usize {
+        self.preloaded
+    }
+
+    /// How many backing entries a session of `capacity` will pre-populate
+    /// (capacity minus a quarter of headroom — see
+    /// [`CompileSession::with_backing`]). Public so backings that pay per
+    /// loaded entry (on-disk stores decoding modules) can stop early.
+    pub fn preload_budget(capacity: usize) -> usize {
+        let capacity = capacity.max(1);
+        capacity.saturating_sub((capacity / 4).max(1)).max(1)
+    }
+
+    /// The smallest session capacity whose [`CompileSession::preload_budget`]
+    /// covers `entries` — how a caller that wants *all* of a store's
+    /// entries warm composes the eviction headroom on top of its key bound
+    /// instead of ceding a quarter of it.
+    pub fn capacity_for_preload(entries: usize) -> usize {
+        let mut capacity = entries.max(1).saturating_mul(4).div_ceil(3);
+        while CompileSession::preload_budget(capacity) < entries {
+            capacity += 1;
+        }
+        capacity
     }
 
     /// Whether caching is enabled.
@@ -246,15 +388,29 @@ impl CompileSession {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let module = compile_prefix(program, compiler, opt)?;
-        let mut map = cache.lock().expect("prefix cache lock");
-        if map.len() >= self.capacity {
-            map.clear();
+        {
+            let mut map = cache.lock().expect("prefix cache lock");
+            if map.len() >= self.capacity {
+                map.clear();
+            }
+            // Re-check under the insert lock: two workers can race the same
+            // cold key, and the loser must not push a duplicate entry.
+            let bucket = map.entry(key).or_default();
+            if !bucket.iter().any(|(src, _)| *src == fp.source) {
+                bucket.push((fp.source.clone(), module.clone()));
+            }
         }
-        // Re-check under the insert lock: two workers can race the same cold
-        // key, and the loser must not push a duplicate entry.
-        let bucket = map.entry(key).or_default();
-        if !bucket.iter().any(|(src, _)| *src == fp.source) {
-            bucket.push((fp.source.clone(), module.clone()));
+        // Persist outside the cache lock: the backing does file I/O and
+        // must not serialize other workers' lookups behind it. Borrowed
+        // fields: the miss path pays no clone beyond the cache insert.
+        if let Some(backing) = &self.backing {
+            backing.persist(PrefixEntryRef {
+                hash: fp.hash,
+                compiler,
+                opt,
+                source: &fp.source,
+                module: &module,
+            });
         }
         Ok(module)
     }
@@ -383,6 +539,114 @@ mod tests {
         assert_eq!(session.stats(), SessionStats { hits: 2, misses: 4 });
         // Eviction is invisible to outputs.
         assert_eq!(session.compile(&a, &cfg).unwrap(), compile(&a, &cfg).unwrap());
+    }
+
+    /// An in-memory backing: what `ubfuzz-store` does with a file, minus
+    /// the file.
+    #[derive(Debug, Default)]
+    struct MemBacking {
+        entries: Mutex<Vec<PersistedPrefix>>,
+    }
+
+    impl PrefixBacking for MemBacking {
+        fn load(&self) -> Vec<PersistedPrefix> {
+            self.entries.lock().unwrap().clone()
+        }
+
+        fn persist(&self, entry: PrefixEntryRef<'_>) {
+            let mut entries = self.entries.lock().unwrap();
+            if !entries.iter().any(|e| {
+                e.hash == entry.hash
+                    && e.compiler == entry.compiler
+                    && e.opt == entry.opt
+                    && e.source == entry.source
+            }) {
+                entries.push(PersistedPrefix {
+                    hash: entry.hash,
+                    compiler: entry.compiler,
+                    opt: entry.opt,
+                    source: entry.source.to_string(),
+                    module: entry.module.clone(),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn backed_session_persists_misses_and_preloads_them() {
+        let reg = DefectRegistry::full();
+        let p = program();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Asan), &reg);
+        let backing = std::sync::Arc::new(MemBacking::default());
+
+        // First "invocation": cold, misses once, persists the prefix.
+        let first = CompileSession::with_backing(64, backing.clone());
+        assert_eq!(first.preloaded(), 0);
+        let out_first = first.compile(&p, &cfg).unwrap();
+        assert_eq!(first.stats(), SessionStats { hits: 0, misses: 1 });
+        assert_eq!(backing.entries.lock().unwrap().len(), 1);
+
+        // Second "invocation": the backing pre-populates the cache, so the
+        // same compile is a pure hit and output is unchanged.
+        let second = CompileSession::with_backing(64, backing.clone());
+        assert_eq!(second.preloaded(), 1);
+        assert_eq!(second.compile(&p, &cfg).unwrap(), out_first);
+        assert_eq!(second.stats(), SessionStats { hits: 1, misses: 0 });
+
+        // A backing at/above the capacity preloads only up to the headroom
+        // budget (no instant epoch eviction), and stays correct.
+        for src in ["int main(void) { return 1; }", "int main(void) { return 2; }"] {
+            let q = parse(src).unwrap();
+            second.compile(&q, &cfg).unwrap();
+        }
+        assert_eq!(backing.entries.lock().unwrap().len(), 3);
+        let tiny = CompileSession::with_backing(2, backing.clone());
+        assert_eq!(tiny.preloaded(), 1, "preload leaves eviction headroom");
+        assert_eq!(tiny.compile(&p, &cfg).unwrap(), compile(&p, &cfg).unwrap());
+    }
+
+    #[test]
+    fn capacity_for_preload_inverts_the_budget() {
+        for entries in [0usize, 1, 2, 3, 7, 100, 2048, 1 << 20] {
+            let capacity = CompileSession::capacity_for_preload(entries);
+            assert!(
+                CompileSession::preload_budget(capacity) >= entries,
+                "capacity {capacity} too small for {entries} entries"
+            );
+        }
+    }
+
+    #[test]
+    fn preload_headroom_survives_the_first_new_key_miss() {
+        // A store grown to the session's capacity must not be wiped by the
+        // first miss: preloading stops below the epoch-evict threshold.
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O1, None, &reg);
+        let backing = std::sync::Arc::new(MemBacking::default());
+        let warmup = CompileSession::with_backing(64, backing.clone());
+        let warm_programs: Vec<Program> = (0..4)
+            .map(|i| parse(&format!("int main(void) {{ return {i}; }}")).unwrap())
+            .collect();
+        for p in &warm_programs {
+            warmup.compile(p, &cfg).unwrap();
+        }
+        drop(warmup);
+
+        // Capacity exactly the store size: preload leaves headroom, so a
+        // new program's miss inserts without clearing the warm entries.
+        let session = CompileSession::with_backing(4, backing);
+        assert_eq!(session.preloaded(), 3);
+        let fresh = parse("int main(void) { return 40 + 2; }").unwrap();
+        session.compile(&fresh, &cfg).unwrap();
+        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1 });
+        for p in &warm_programs[..3] {
+            session.compile(p, &cfg).unwrap();
+        }
+        assert_eq!(
+            session.stats(),
+            SessionStats { hits: 3, misses: 1 },
+            "preloaded entries must survive the first miss"
+        );
     }
 
     #[test]

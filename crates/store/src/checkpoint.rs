@@ -1,0 +1,410 @@
+//! The campaign checkpoint log: unit-granular persistence that makes a
+//! killed campaign resumable with a bit-identical final report.
+//!
+//! A campaign's work decomposes into deterministically planned `(seed,
+//! program, compiler, opt, sanitizer)` units (see `ubfuzz::executor`), so a
+//! unit is fully identified by its **index** in that plan — provided both
+//! invocations planned the same campaign. The log header therefore records
+//! a fingerprint of the campaign configuration plus the planned unit count;
+//! a mismatch on open means "different campaign" and degrades to a fresh
+//! log, never to mixing two campaigns' results.
+//!
+//! Each completed unit is appended as one flushed record: `(index, outcome)`
+//! where the outcome is either *unsupported* (the compile was rejected,
+//! mirroring the sequential loop's `continue`) or the serialized
+//! `(Module, RunResult)` pair. Replayed outcomes are byte-faithful, and the
+//! campaign's canonical-order merge is a pure function of unit outcomes —
+//! which is exactly why replay-from-log reproduces the uninterrupted
+//! report bit-for-bit.
+//!
+//! **Memory discipline.** Opening *validates* every record with a single
+//! reusable buffer (checksum plus a full trial decode, so foreign defect
+//! ids or version drift surface at open, not mid-campaign) but retains
+//! only each unit's `(offset, length)` span. [`CampaignLog::take_replay`]
+//! reads and decodes one record on demand and clears its slot, so a
+//! resumed months-scale campaign holds O(streaming window) outcomes in
+//! memory, never O(log) — the same bound the streaming oracle merge gives
+//! fresh compiles. Tail recovery is a `set_len` truncation to the trusted
+//! byte count (no record rewriting), so open cost is one sequential scan.
+
+use crate::modser::{dec_module, dec_run_result, enc_module, enc_run_result};
+use crate::wire::{self, Dec, Enc, TableKind};
+use crate::StoreTelemetry;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use ubfuzz_simcc::Module;
+use ubfuzz_simvm::RunResult;
+
+/// File name of the checkpoint log inside a store directory.
+pub const CHECKPOINT_FILE: &str = "campaign.bin";
+
+/// One checkpointed unit outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitOutcome {
+    /// The cell was unsupported or failed to compile (the campaign skips
+    /// it; recorded so resume does not retry it either).
+    Unsupported,
+    /// The compiled module and its execution result.
+    Done(Module, RunResult),
+}
+
+/// Byte span of one validated record's payload within the log file.
+type PayloadSpan = (u64, u32);
+
+/// An open checkpoint log for one campaign plan.
+#[derive(Debug)]
+pub struct CampaignLog {
+    path: PathBuf,
+    /// Validated payload spans from previous invocations, indexed by unit.
+    /// Each slot is taken (and its record decoded) exactly once by
+    /// [`CampaignLog::take_replay`].
+    prior: Vec<Mutex<Option<PayloadSpan>>>,
+    replayed: usize,
+    /// Read+append handle; `None` when the directory is unwritable (the
+    /// campaign then runs uncheckpointed).
+    file: Mutex<Option<File>>,
+    telemetry: StoreTelemetry,
+}
+
+fn enc_header(config_fp: u64, units: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(config_fp);
+    e.u64(units as u64);
+    e.into_bytes()
+}
+
+fn enc_unit(index: usize, outcome: &UnitOutcome) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(index as u64);
+    match outcome {
+        UnitOutcome::Unsupported => e.u8(0),
+        UnitOutcome::Done(module, result) => {
+            e.u8(1);
+            enc_module(&mut e, module);
+            enc_run_result(&mut e, result);
+        }
+    }
+    e.into_bytes()
+}
+
+fn dec_unit(payload: &[u8]) -> Result<(usize, UnitOutcome), wire::WireError> {
+    let mut d = Dec::new(payload);
+    let index = d.usize()?;
+    let outcome = match d.u8()? {
+        0 => UnitOutcome::Unsupported,
+        1 => UnitOutcome::Done(dec_module(&mut d)?, dec_run_result(&mut d)?),
+        _ => return Err(wire::WireError::Corrupt("unit outcome")),
+    };
+    d.finish()?;
+    Ok((index, outcome))
+}
+
+/// Result of the open-time scan.
+struct Scan {
+    /// Validated payload spans, by unit index.
+    spans: Vec<Option<PayloadSpan>>,
+    replayed: usize,
+    /// Byte length of the trusted file prefix.
+    trusted: u64,
+    /// The file needs a fresh rewrite (bad header / foreign campaign).
+    fresh: bool,
+}
+
+impl CampaignLog {
+    /// Opens (or creates) the checkpoint log under `dir` for the campaign
+    /// identified by `config_fp` with `units` planned units.
+    ///
+    /// Never fails: a missing, corrupt, version-skewed or *mismatched*
+    /// (different campaign) file degrades to an empty log, with the reason
+    /// recorded in telemetry. A torn tail (kill mid-append) is truncated
+    /// back to the last fully flushed record.
+    pub fn open(dir: impl AsRef<Path>, config_fp: u64, units: usize) -> CampaignLog {
+        let path = dir.as_ref().join(CHECKPOINT_FILE);
+        let telemetry = StoreTelemetry::default();
+        let _ = std::fs::create_dir_all(dir.as_ref());
+        let scan = Self::scan(&path, config_fp, units, &telemetry);
+        let file = Self::recover(&path, config_fp, units, &scan, &telemetry);
+        telemetry.set_loaded(scan.replayed);
+        CampaignLog {
+            path,
+            prior: scan.spans.into_iter().map(Mutex::new).collect(),
+            replayed: scan.replayed,
+            file: Mutex::new(file),
+            telemetry,
+        }
+    }
+
+    /// Sequentially validates the log with one reusable record buffer,
+    /// keeping only payload spans — open-time memory is O(largest record).
+    fn scan(path: &Path, config_fp: u64, units: usize, telemetry: &StoreTelemetry) -> Scan {
+        let mut scan = Scan {
+            spans: (0..units).map(|_| None).collect(),
+            replayed: 0,
+            trusted: 0,
+            fresh: true,
+        };
+        let Ok(mut file) = File::open(path) else { return scan };
+        let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let mut header = [0u8; wire::HEADER_LEN];
+        if file.read_exact(&mut header).is_err() {
+            if file_len > 0 {
+                telemetry.record_corruption("checkpoint header: truncated".into());
+                telemetry.record_cold_start();
+            }
+            return scan;
+        }
+        if let Err(e) = wire::check_header(&header, TableKind::Checkpoint) {
+            telemetry.record_corruption(format!("checkpoint header: {e}"));
+            telemetry.record_cold_start();
+            return scan;
+        }
+        let mut pos = wire::HEADER_LEN as u64;
+        let mut buf = Vec::new();
+        let mut first = true;
+        // A torn/corrupt tail ends the scan: trust what came before it.
+        while let Some((payload_off, payload_len)) =
+            wire::read_record_at(&mut file, file_len, pos, &mut buf)
+        {
+            if first {
+                // The header record pins the campaign identity.
+                let mut d = Dec::new(&buf);
+                let ok = d.u64() == Ok(config_fp)
+                    && d.u64() == Ok(units as u64)
+                    && d.finish().is_ok();
+                if !ok {
+                    telemetry.record_cold_start();
+                    return scan; // foreign campaign: fresh log, spans empty
+                }
+                first = false;
+            } else {
+                match dec_unit(&buf) {
+                    Ok((index, _)) if index < units => {
+                        let slot = &mut scan.spans[index];
+                        if slot.is_none() {
+                            scan.replayed += 1;
+                        }
+                        *slot = Some((payload_off, payload_len));
+                    }
+                    Ok(_) => {
+                        telemetry
+                            .record_corruption("checkpoint unit index out of plan".into());
+                        break;
+                    }
+                    Err(e) => {
+                        telemetry.record_corruption(format!("checkpoint record: {e}"));
+                        break;
+                    }
+                }
+            }
+            pos = payload_off + payload_len as u64 + 8;
+            scan.trusted = pos;
+        }
+        if first {
+            // No valid header record at all.
+            telemetry.record_cold_start();
+            return scan;
+        }
+        scan.fresh = false;
+        if scan.trusted < file_len {
+            telemetry.record_tail_truncated();
+        }
+        scan
+    }
+
+    /// Puts the file into an appendable state: a fresh header for cold
+    /// starts, or a `set_len` truncation of any untrusted tail.
+    fn recover(
+        path: &Path,
+        config_fp: u64,
+        units: usize,
+        scan: &Scan,
+        telemetry: &StoreTelemetry,
+    ) -> Option<File> {
+        if scan.fresh && !wire::rewrite_file(path, TableKind::Checkpoint, &[enc_header(config_fp, units)]) {
+            telemetry.record_corruption("checkpoint directory unwritable".into());
+            telemetry.record_cold_start();
+            return None;
+        }
+        match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(file) => {
+                if !scan.fresh
+                    && scan.trusted < file.metadata().map(|m| m.len()).unwrap_or(0)
+                {
+                    let _ = file.set_len(scan.trusted);
+                }
+                Some(file)
+            }
+            Err(_) => {
+                telemetry.record_corruption(
+                    "checkpoint not writable; checkpointing disabled".into(),
+                );
+                telemetry.record_cold_start();
+                None
+            }
+        }
+    }
+
+    /// Takes unit `index`'s replayed outcome, reading and decoding its
+    /// record on demand. Consuming rather than preloading keeps resumed
+    /// campaigns' memory proportional to the in-flight streaming window.
+    pub fn take_replay(&self, index: usize) -> Option<UnitOutcome> {
+        let (offset, len) = self.prior.get(index)?.lock().expect("replay slot lock").take()?;
+        let mut guard = self.file.lock().expect("checkpoint file lock");
+        let file = guard.as_mut()?;
+        let mut buf = vec![0u8; len as usize];
+        if file.seek(SeekFrom::Start(offset)).is_err() || file.read_exact(&mut buf).is_err() {
+            // Disk trouble after a clean open: recompute instead.
+            self.telemetry.record_corruption("checkpoint replay read failed".into());
+            return None;
+        }
+        drop(guard);
+        match dec_unit(&buf) {
+            Ok((i, outcome)) if i == index => Some(outcome),
+            _ => {
+                self.telemetry.record_corruption("checkpoint replay decode failed".into());
+                None
+            }
+        }
+    }
+
+    /// Whether unit `index` has a not-yet-taken replayed outcome.
+    pub fn has_replay(&self, index: usize) -> bool {
+        self.prior
+            .get(index)
+            .is_some_and(|slot| slot.lock().expect("replay slot lock").is_some())
+    }
+
+    /// How many units this log replays.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Total units in the plan this log was opened for.
+    pub fn planned(&self) -> usize {
+        self.prior.len()
+    }
+
+    /// Appends (and flushes) one completed unit.
+    pub fn record(&self, index: usize, outcome: &UnitOutcome) {
+        let mut guard = self.file.lock().expect("checkpoint file lock");
+        let Some(file) = guard.as_mut() else { return };
+        let record = wire::frame(&enc_unit(index, outcome));
+        if file
+            .seek(SeekFrom::End(0))
+            .and_then(|_| file.write_all(&record))
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            self.telemetry.record_corruption("checkpoint append failed".into());
+            *guard = None;
+        } else {
+            self.telemetry.record_persisted();
+        }
+    }
+
+    /// The file backing this log.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open/append telemetry for this log.
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telemetry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ubfuzz-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_replay_across_opens() {
+        let dir = tmp_dir("replay");
+        let log = CampaignLog::open(&dir, 42, 5);
+        assert_eq!(log.replayed(), 0);
+        let empty =
+            Module { globals: vec![], funcs: vec![], san: Default::default(), build: None };
+        log.record(0, &UnitOutcome::Unsupported);
+        log.record(3, &UnitOutcome::Done(empty, RunResult::Timeout));
+        drop(log);
+
+        let log = CampaignLog::open(&dir, 42, 5);
+        assert_eq!(log.replayed(), 2);
+        assert_eq!(log.take_replay(0), Some(UnitOutcome::Unsupported));
+        assert!(matches!(log.take_replay(3), Some(UnitOutcome::Done(_, RunResult::Timeout))));
+        assert_eq!(log.take_replay(1), None);
+        // Taking consumes the slot (the resume memory bound).
+        assert_eq!(log.take_replay(0), None);
+        assert!(!log.has_replay(0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_campaign_fingerprint_cold_starts() {
+        let dir = tmp_dir("fp");
+        let log = CampaignLog::open(&dir, 1, 3);
+        log.record(0, &UnitOutcome::Unsupported);
+        drop(log);
+        let other = CampaignLog::open(&dir, 2, 3);
+        assert_eq!(other.replayed(), 0, "a different campaign must not replay");
+        assert!(other.telemetry().recovered_cold());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        let log = CampaignLog::open(&dir, 7, 4);
+        log.record(0, &UnitOutcome::Unsupported);
+        log.record(1, &UnitOutcome::Unsupported);
+        let path = log.path().to_path_buf();
+        drop(log);
+        // Tear the file mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let log = CampaignLog::open(&dir, 7, 4);
+        assert_eq!(log.replayed(), 1, "only the fully flushed record survives");
+        assert!(log.telemetry().tail_truncated());
+        log.record(1, &UnitOutcome::Unsupported);
+        log.record(2, &UnitOutcome::Unsupported);
+        drop(log);
+        let log = CampaignLog::open(&dir, 7, 4);
+        assert_eq!(log.replayed(), 3);
+        assert_eq!(log.take_replay(1), Some(UnitOutcome::Unsupported));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interleaved_take_and_record_share_the_handle() {
+        // take_replay seeks into the middle of the file while record
+        // appends at the end; the shared handle must keep both correct.
+        let dir = tmp_dir("interleave");
+        let log = CampaignLog::open(&dir, 9, 6);
+        for i in 0..3 {
+            log.record(i, &UnitOutcome::Unsupported);
+        }
+        drop(log);
+        let log = CampaignLog::open(&dir, 9, 6);
+        assert_eq!(log.take_replay(1), Some(UnitOutcome::Unsupported));
+        log.record(4, &UnitOutcome::Unsupported);
+        assert_eq!(log.take_replay(0), Some(UnitOutcome::Unsupported));
+        log.record(5, &UnitOutcome::Unsupported);
+        assert_eq!(log.take_replay(2), Some(UnitOutcome::Unsupported));
+        drop(log);
+        assert_eq!(CampaignLog::open(&dir, 9, 6).replayed(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,158 @@
+//! `ubfuzz-store` — the persistent campaign store.
+//!
+//! A UBFuzz-style campaign is only production-viable if it survives process
+//! restarts: the paper's campaigns ran for months, and everything the loop
+//! computes — staged-compile prefixes, per-unit compile/run outcomes,
+//! deduplicated bugs — is a deterministic function of inputs that one
+//! invocation pays for and the next can reuse. This crate is the on-disk
+//! side of that bargain: a versioned, content-checksummed store directory
+//! with three tables.
+//!
+//! | table | file | granularity | consumer |
+//! |---|---|---|---|
+//! | [`PrefixStore`] | `prefix.bin` | `(fingerprint, vendor, version, opt) → Module` | `CompileSession::with_backing` |
+//! | [`CampaignLog`] | `campaign.bin` | `(campaign fingerprint, unit index) → outcome` | `ParallelCampaign` resume |
+//! | [`BugCorpus`] | `corpus.bin` | attribution key → bug + provenance | campaign reporting |
+//!
+//! **Crash consistency.** Append-only tables flush every record and frame
+//! it with a length prefix and an FNV-1a checksum; a kill mid-append tears
+//! at most the final record, which the next open truncates away. The
+//! corpus rewrites wholesale through a temp-file rename. **No store
+//! failure is an error**: corrupt, truncated, version-skewed, unwritable —
+//! every degraded path is a cold start recorded in [`StoreTelemetry`],
+//! because a fuzzing campaign must never refuse to run over a bad cache.
+//!
+//! The wire format is hand-rolled ([`wire`], [`modser`]) — the workspace is
+//! offline by policy, so no serde; the discipline mirrors the vendor shims:
+//! small, explicit, and replaceable.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod checkpoint;
+pub mod corpus;
+pub mod modser;
+pub mod prefix;
+pub mod wire;
+
+pub use checkpoint::{CampaignLog, UnitOutcome};
+pub use corpus::{BugCorpus, BugRecord, CorpusEntry, MergeSummary};
+pub use prefix::PrefixStore;
+pub use wire::{WireError, FORMAT_VERSION};
+
+/// Open/recovery/flush telemetry for one store table.
+///
+/// Shared-reference friendly (atomics + a mutexed event list) because the
+/// prefix table is written from every campaign worker.
+#[derive(Debug, Default)]
+pub struct StoreTelemetry {
+    loaded: AtomicUsize,
+    persisted: AtomicU64,
+    cold_start: AtomicUsize,
+    tail_truncated: AtomicUsize,
+    corruption: Mutex<Vec<String>>,
+}
+
+impl StoreTelemetry {
+    /// Entries (records) successfully loaded at open.
+    pub fn loaded(&self) -> usize {
+        self.loaded.load(Ordering::Relaxed)
+    }
+
+    /// Records appended/flushed since open.
+    pub fn persisted(&self) -> u64 {
+        self.persisted.load(Ordering::Relaxed)
+    }
+
+    /// True when the file was unusable and the table cold-started.
+    pub fn recovered_cold(&self) -> bool {
+        self.cold_start.load(Ordering::Relaxed) > 0
+    }
+
+    /// True when a torn/corrupt tail was truncated (valid prefix kept).
+    pub fn tail_truncated(&self) -> bool {
+        self.tail_truncated.load(Ordering::Relaxed) > 0
+    }
+
+    /// Human-readable corruption/degradation events, in occurrence order.
+    pub fn events(&self) -> Vec<String> {
+        self.corruption.lock().expect("telemetry lock").clone()
+    }
+
+    pub(crate) fn set_loaded(&self, n: usize) {
+        self.loaded.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_persisted(&self) {
+        self.persisted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cold_start(&self) {
+        self.cold_start.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tail_truncated(&self) {
+        self.tail_truncated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_corruption(&self, event: String) {
+        self.corruption.lock().expect("telemetry lock").push(event);
+    }
+}
+
+/// A store directory: the root handle the binaries hold.
+///
+/// Thin by design — each table owns its own file, recovery and telemetry;
+/// `Store` just fixes the layout so every consumer agrees on paths.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `dir`. Never fails;
+    /// an uncreatable directory degrades each table to its in-memory
+    /// behavior.
+    pub fn open(dir: impl AsRef<Path>) -> Store {
+        let dir = dir.as_ref().to_path_buf();
+        let _ = std::fs::create_dir_all(&dir);
+        Store { dir }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Opens the persistent prefix cache table.
+    pub fn prefix(&self) -> PrefixStore {
+        PrefixStore::open(&self.dir)
+    }
+
+    /// Opens the campaign checkpoint log for a campaign plan.
+    pub fn campaign_log(&self, config_fp: u64, units: usize) -> CampaignLog {
+        CampaignLog::open(&self.dir, config_fp, units)
+    }
+
+    /// Opens the bug corpus table.
+    pub fn corpus(&self) -> BugCorpus {
+        BugCorpus::open(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_layout_is_stable() {
+        let dir = std::env::temp_dir().join(format!("ubfuzz-store-root-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir);
+        assert_eq!(store.prefix().path(), dir.join("prefix.bin"));
+        assert_eq!(store.campaign_log(0, 0).path(), dir.join("campaign.bin"));
+        assert_eq!(store.corpus().path(), dir.join("corpus.bin"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,907 @@
+//! Hand-rolled serialization for the compiler IR ([`Module`]) and the VM
+//! result vocabulary ([`RunResult`]).
+//!
+//! No serde (the workspace is offline and dependency-free by policy): every
+//! type is encoded with explicit tag bytes over the [`crate::wire`]
+//! primitives. Decoding validates every tag and every length; malformed
+//! bytes produce a [`WireError`], never a panic or an unbounded allocation.
+//!
+//! Two invariants the store layers rely on:
+//!
+//! * **Faithful round trip** — `decode(encode(m)) == m` for every module the
+//!   pipeline can produce (property-tested in `tests/robustness.rs`). This
+//!   is what makes replaying a checkpointed compile bit-identical to
+//!   recompiling it.
+//! * **Interned defect ids** — `SanMeta::applied_defects` carries `&'static
+//!   str` ids; decoding re-interns through [`DefectRegistry::get`], so an id
+//!   unknown to this build (e.g. a store written by a different defect
+//!   corpus) is corruption, which the store above turns into a cold start.
+
+use crate::wire::{Dec, Enc, WireError};
+use ubfuzz_minic::types::{IntType, IntWidth};
+use ubfuzz_minic::Loc;
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::ir::{
+    BinKind, Block, Func, GlobalDef, Instr, Meta, Module, MsanPolicy, MsanUse, Op, Operand,
+    SanMeta, Sanitizer, Slot, Term, UnKind,
+};
+use ubfuzz_simcc::target::{BuildInfo, CompilerId, OptLevel, Vendor};
+use ubfuzz_simvm::{CrashKind, ReportKind, RunResult, SanReport};
+
+// ---- small leaf types ----
+
+fn enc_loc(e: &mut Enc, loc: Loc) {
+    e.u32(loc.line);
+    e.u32(loc.col);
+}
+
+fn dec_loc(d: &mut Dec<'_>) -> Result<Loc, WireError> {
+    Ok(Loc { line: d.u32()?, col: d.u32()? })
+}
+
+fn enc_vendor(e: &mut Enc, v: Vendor) {
+    e.u8(match v {
+        Vendor::Gcc => 0,
+        Vendor::Llvm => 1,
+    });
+}
+
+fn dec_vendor(d: &mut Dec<'_>) -> Result<Vendor, WireError> {
+    match d.u8()? {
+        0 => Ok(Vendor::Gcc),
+        1 => Ok(Vendor::Llvm),
+        _ => Err(WireError::Corrupt("vendor")),
+    }
+}
+
+/// Encodes an optimization level tag (also used by the prefix-store keys).
+pub fn enc_opt(e: &mut Enc, o: OptLevel) {
+    e.u8(match o {
+        OptLevel::O0 => 0,
+        OptLevel::O1 => 1,
+        OptLevel::Os => 2,
+        OptLevel::O2 => 3,
+        OptLevel::O3 => 4,
+    });
+}
+
+/// Decodes an optimization level tag.
+pub fn dec_opt(d: &mut Dec<'_>) -> Result<OptLevel, WireError> {
+    match d.u8()? {
+        0 => Ok(OptLevel::O0),
+        1 => Ok(OptLevel::O1),
+        2 => Ok(OptLevel::Os),
+        3 => Ok(OptLevel::O2),
+        4 => Ok(OptLevel::O3),
+        _ => Err(WireError::Corrupt("opt level")),
+    }
+}
+
+/// Encodes a compiler identity (vendor + version).
+pub fn enc_compiler(e: &mut Enc, c: CompilerId) {
+    enc_vendor(e, c.vendor);
+    e.u32(c.version);
+}
+
+/// Decodes a compiler identity.
+pub fn dec_compiler(d: &mut Dec<'_>) -> Result<CompilerId, WireError> {
+    Ok(CompilerId { vendor: dec_vendor(d)?, version: d.u32()? })
+}
+
+fn enc_sanitizer(e: &mut Enc, s: Sanitizer) {
+    e.u8(match s {
+        Sanitizer::Asan => 0,
+        Sanitizer::Ubsan => 1,
+        Sanitizer::Msan => 2,
+    });
+}
+
+fn dec_sanitizer(d: &mut Dec<'_>) -> Result<Sanitizer, WireError> {
+    match d.u8()? {
+        0 => Ok(Sanitizer::Asan),
+        1 => Ok(Sanitizer::Ubsan),
+        2 => Ok(Sanitizer::Msan),
+        _ => Err(WireError::Corrupt("sanitizer")),
+    }
+}
+
+fn enc_int_type(e: &mut Enc, t: IntType) {
+    let w = match t.width {
+        IntWidth::W8 => 0,
+        IntWidth::W16 => 1,
+        IntWidth::W32 => 2,
+        IntWidth::W64 => 3,
+    };
+    e.u8(w | ((t.signed as u8) << 4));
+}
+
+fn dec_int_type(d: &mut Dec<'_>) -> Result<IntType, WireError> {
+    let b = d.u8()?;
+    let width = match b & 0x0F {
+        0 => IntWidth::W8,
+        1 => IntWidth::W16,
+        2 => IntWidth::W32,
+        3 => IntWidth::W64,
+        _ => return Err(WireError::Corrupt("int width")),
+    };
+    match b >> 4 {
+        0 => Ok(IntType { width, signed: false }),
+        1 => Ok(IntType { width, signed: true }),
+        _ => Err(WireError::Corrupt("int type")),
+    }
+}
+
+fn enc_operand(e: &mut Enc, o: Operand) {
+    match o {
+        Operand::Reg(r) => {
+            e.u8(0);
+            e.u32(r);
+        }
+        Operand::Imm(v) => {
+            e.u8(1);
+            e.i64(v);
+        }
+    }
+}
+
+fn dec_operand(d: &mut Dec<'_>) -> Result<Operand, WireError> {
+    match d.u8()? {
+        0 => Ok(Operand::Reg(d.u32()?)),
+        1 => Ok(Operand::Imm(d.i64()?)),
+        _ => Err(WireError::Corrupt("operand")),
+    }
+}
+
+fn enc_bin_kind(e: &mut Enc, k: BinKind) {
+    e.u8(match k {
+        BinKind::Add => 0,
+        BinKind::Sub => 1,
+        BinKind::Mul => 2,
+        BinKind::Div => 3,
+        BinKind::Rem => 4,
+        BinKind::Shl => 5,
+        BinKind::Shr => 6,
+        BinKind::And => 7,
+        BinKind::Or => 8,
+        BinKind::Xor => 9,
+        BinKind::Lt => 10,
+        BinKind::Le => 11,
+        BinKind::Gt => 12,
+        BinKind::Ge => 13,
+        BinKind::Eq => 14,
+        BinKind::Ne => 15,
+    });
+}
+
+fn dec_bin_kind(d: &mut Dec<'_>) -> Result<BinKind, WireError> {
+    Ok(match d.u8()? {
+        0 => BinKind::Add,
+        1 => BinKind::Sub,
+        2 => BinKind::Mul,
+        3 => BinKind::Div,
+        4 => BinKind::Rem,
+        5 => BinKind::Shl,
+        6 => BinKind::Shr,
+        7 => BinKind::And,
+        8 => BinKind::Or,
+        9 => BinKind::Xor,
+        10 => BinKind::Lt,
+        11 => BinKind::Le,
+        12 => BinKind::Gt,
+        13 => BinKind::Ge,
+        14 => BinKind::Eq,
+        15 => BinKind::Ne,
+        _ => return Err(WireError::Corrupt("bin kind")),
+    })
+}
+
+fn enc_un_kind(e: &mut Enc, k: UnKind) {
+    e.u8(match k {
+        UnKind::Neg => 0,
+        UnKind::Not => 1,
+        UnKind::LogicalNot => 2,
+    });
+}
+
+fn dec_un_kind(d: &mut Dec<'_>) -> Result<UnKind, WireError> {
+    match d.u8()? {
+        0 => Ok(UnKind::Neg),
+        1 => Ok(UnKind::Not),
+        2 => Ok(UnKind::LogicalNot),
+        _ => Err(WireError::Corrupt("un kind")),
+    }
+}
+
+fn enc_msan_use(e: &mut Enc, u: MsanUse) {
+    e.u8(match u {
+        MsanUse::Branch => 0,
+        MsanUse::Divisor => 1,
+        MsanUse::Output => 2,
+    });
+}
+
+fn dec_msan_use(d: &mut Dec<'_>) -> Result<MsanUse, WireError> {
+    match d.u8()? {
+        0 => Ok(MsanUse::Branch),
+        1 => Ok(MsanUse::Divisor),
+        2 => Ok(MsanUse::Output),
+        _ => Err(WireError::Corrupt("msan use")),
+    }
+}
+
+fn enc_meta(e: &mut Enc, m: Meta) {
+    let bits = (m.sanitize as u8)
+        | ((m.bool_widened as u8) << 1)
+        | ((m.rmw as u8) << 2)
+        | ((m.char_shift_amount as u8) << 3)
+        | ((m.inlined as u8) << 4);
+    e.u8(bits);
+}
+
+fn dec_meta(d: &mut Dec<'_>) -> Result<Meta, WireError> {
+    let bits = d.u8()?;
+    if bits & !0x1F != 0 {
+        return Err(WireError::Corrupt("meta bits"));
+    }
+    Ok(Meta {
+        sanitize: bits & 1 != 0,
+        bool_widened: bits & 2 != 0,
+        rmw: bits & 4 != 0,
+        char_shift_amount: bits & 8 != 0,
+        inlined: bits & 16 != 0,
+    })
+}
+
+// ---- instructions ----
+
+fn enc_op(e: &mut Enc, op: &Op) {
+    match op {
+        Op::Const(v) => {
+            e.u8(0);
+            e.i64(*v);
+        }
+        Op::Bin { op, a, b, ty } => {
+            e.u8(1);
+            enc_bin_kind(e, *op);
+            enc_operand(e, *a);
+            enc_operand(e, *b);
+            enc_int_type(e, *ty);
+        }
+        Op::Un { op, a, ty } => {
+            e.u8(2);
+            enc_un_kind(e, *op);
+            enc_operand(e, *a);
+            enc_int_type(e, *ty);
+        }
+        Op::Cast { a, to } => {
+            e.u8(3);
+            enc_operand(e, *a);
+            enc_int_type(e, *to);
+        }
+        Op::AddrLocal(s) => {
+            e.u8(4);
+            e.usize(*s);
+        }
+        Op::AddrGlobal(g) => {
+            e.u8(5);
+            e.usize(*g);
+        }
+        Op::PtrAdd { base, offset, scale } => {
+            e.u8(6);
+            enc_operand(e, *base);
+            enc_operand(e, *offset);
+            e.i64(*scale);
+        }
+        Op::Load { addr, size, signed } => {
+            e.u8(7);
+            enc_operand(e, *addr);
+            e.u8(*size);
+            e.bool(*signed);
+        }
+        Op::Store { addr, val, size } => {
+            e.u8(8);
+            enc_operand(e, *addr);
+            enc_operand(e, *val);
+            e.u8(*size);
+        }
+        Op::MemCopy { dst, src, len } => {
+            e.u8(9);
+            enc_operand(e, *dst);
+            enc_operand(e, *src);
+            e.u32(*len);
+        }
+        Op::Call { callee, args } => {
+            e.u8(10);
+            e.str(callee);
+            e.u32(args.len() as u32);
+            for a in args {
+                enc_operand(e, *a);
+            }
+        }
+        Op::Malloc { size } => {
+            e.u8(11);
+            enc_operand(e, *size);
+        }
+        Op::Free { addr } => {
+            e.u8(12);
+            enc_operand(e, *addr);
+        }
+        Op::Print { val } => {
+            e.u8(13);
+            enc_operand(e, *val);
+        }
+        Op::LifetimeStart(s) => {
+            e.u8(14);
+            e.usize(*s);
+        }
+        Op::LifetimeEnd(s) => {
+            e.u8(15);
+            e.usize(*s);
+        }
+        Op::AsanCheck { addr, size, write } => {
+            e.u8(16);
+            enc_operand(e, *addr);
+            e.u8(*size);
+            e.bool(*write);
+        }
+        Op::AsanPoisonScope(s) => {
+            e.u8(17);
+            e.usize(*s);
+        }
+        Op::AsanUnpoisonScope(s) => {
+            e.u8(18);
+            e.usize(*s);
+        }
+        Op::UbsanCheckArith { op, a, b, ty } => {
+            e.u8(19);
+            enc_bin_kind(e, *op);
+            enc_operand(e, *a);
+            enc_operand(e, *b);
+            enc_int_type(e, *ty);
+        }
+        Op::UbsanCheckNeg { a, ty } => {
+            e.u8(20);
+            enc_operand(e, *a);
+            enc_int_type(e, *ty);
+        }
+        Op::UbsanCheckShift { amount, bits } => {
+            e.u8(21);
+            enc_operand(e, *amount);
+            e.u8(*bits);
+        }
+        Op::UbsanCheckDiv { a, divisor, ty } => {
+            e.u8(22);
+            enc_operand(e, *a);
+            enc_operand(e, *divisor);
+            enc_int_type(e, *ty);
+        }
+        Op::UbsanCheckNull { addr } => {
+            e.u8(23);
+            enc_operand(e, *addr);
+        }
+        Op::UbsanCheckBound { idx, bound } => {
+            e.u8(24);
+            enc_operand(e, *idx);
+            e.u64(*bound);
+        }
+        Op::MsanCheck { val, what } => {
+            e.u8(25);
+            enc_operand(e, *val);
+            enc_msan_use(e, *what);
+        }
+    }
+}
+
+fn dec_op(d: &mut Dec<'_>) -> Result<Op, WireError> {
+    Ok(match d.u8()? {
+        0 => Op::Const(d.i64()?),
+        1 => Op::Bin {
+            op: dec_bin_kind(d)?,
+            a: dec_operand(d)?,
+            b: dec_operand(d)?,
+            ty: dec_int_type(d)?,
+        },
+        2 => Op::Un { op: dec_un_kind(d)?, a: dec_operand(d)?, ty: dec_int_type(d)? },
+        3 => Op::Cast { a: dec_operand(d)?, to: dec_int_type(d)? },
+        4 => Op::AddrLocal(d.usize()?),
+        5 => Op::AddrGlobal(d.usize()?),
+        6 => Op::PtrAdd { base: dec_operand(d)?, offset: dec_operand(d)?, scale: d.i64()? },
+        7 => Op::Load { addr: dec_operand(d)?, size: d.u8()?, signed: d.bool()? },
+        8 => Op::Store { addr: dec_operand(d)?, val: dec_operand(d)?, size: d.u8()? },
+        9 => Op::MemCopy { dst: dec_operand(d)?, src: dec_operand(d)?, len: d.u32()? },
+        10 => {
+            let callee = d.str()?;
+            let n = d.count(2)?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(dec_operand(d)?);
+            }
+            Op::Call { callee, args }
+        }
+        11 => Op::Malloc { size: dec_operand(d)? },
+        12 => Op::Free { addr: dec_operand(d)? },
+        13 => Op::Print { val: dec_operand(d)? },
+        14 => Op::LifetimeStart(d.usize()?),
+        15 => Op::LifetimeEnd(d.usize()?),
+        16 => Op::AsanCheck { addr: dec_operand(d)?, size: d.u8()?, write: d.bool()? },
+        17 => Op::AsanPoisonScope(d.usize()?),
+        18 => Op::AsanUnpoisonScope(d.usize()?),
+        19 => Op::UbsanCheckArith {
+            op: dec_bin_kind(d)?,
+            a: dec_operand(d)?,
+            b: dec_operand(d)?,
+            ty: dec_int_type(d)?,
+        },
+        20 => Op::UbsanCheckNeg { a: dec_operand(d)?, ty: dec_int_type(d)? },
+        21 => Op::UbsanCheckShift { amount: dec_operand(d)?, bits: d.u8()? },
+        22 => Op::UbsanCheckDiv {
+            a: dec_operand(d)?,
+            divisor: dec_operand(d)?,
+            ty: dec_int_type(d)?,
+        },
+        23 => Op::UbsanCheckNull { addr: dec_operand(d)? },
+        24 => Op::UbsanCheckBound { idx: dec_operand(d)?, bound: d.u64()? },
+        25 => Op::MsanCheck { val: dec_operand(d)?, what: dec_msan_use(d)? },
+        _ => return Err(WireError::Corrupt("op tag")),
+    })
+}
+
+fn enc_instr(e: &mut Enc, i: &Instr) {
+    match i.dst {
+        Some(r) => {
+            e.u8(1);
+            e.u32(r);
+        }
+        None => e.u8(0),
+    }
+    enc_op(e, &i.op);
+    enc_loc(e, i.loc);
+    enc_meta(e, i.meta);
+}
+
+fn dec_instr(d: &mut Dec<'_>) -> Result<Instr, WireError> {
+    let dst = match d.u8()? {
+        0 => None,
+        1 => Some(d.u32()?),
+        _ => return Err(WireError::Corrupt("instr dst")),
+    };
+    Ok(Instr { dst, op: dec_op(d)?, loc: dec_loc(d)?, meta: dec_meta(d)? })
+}
+
+fn enc_term(e: &mut Enc, t: &Term) {
+    match t {
+        Term::Jmp(b) => {
+            e.u8(0);
+            e.usize(*b);
+        }
+        Term::Br { cond, then_bb, else_bb } => {
+            e.u8(1);
+            enc_operand(e, *cond);
+            e.usize(*then_bb);
+            e.usize(*else_bb);
+        }
+        Term::Ret(None) => e.u8(2),
+        Term::Ret(Some(v)) => {
+            e.u8(3);
+            enc_operand(e, *v);
+        }
+    }
+}
+
+fn dec_term(d: &mut Dec<'_>) -> Result<Term, WireError> {
+    Ok(match d.u8()? {
+        0 => Term::Jmp(d.usize()?),
+        1 => Term::Br { cond: dec_operand(d)?, then_bb: d.usize()?, else_bb: d.usize()? },
+        2 => Term::Ret(None),
+        3 => Term::Ret(Some(dec_operand(d)?)),
+        _ => return Err(WireError::Corrupt("terminator")),
+    })
+}
+
+fn enc_block(e: &mut Enc, b: &Block) {
+    e.u32(b.instrs.len() as u32);
+    for i in &b.instrs {
+        enc_instr(e, i);
+    }
+    match &b.term {
+        Some(t) => {
+            e.u8(1);
+            enc_term(e, t);
+        }
+        // `None` is transient during construction, but a cached prefix is a
+        // finished stage output, so encode it faithfully anyway.
+        None => e.u8(0),
+    }
+}
+
+fn dec_block(d: &mut Dec<'_>) -> Result<Block, WireError> {
+    let n = d.count(4)?;
+    let mut instrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        instrs.push(dec_instr(d)?);
+    }
+    let term = match d.u8()? {
+        0 => None,
+        1 => Some(dec_term(d)?),
+        _ => return Err(WireError::Corrupt("block term")),
+    };
+    Ok(Block { instrs, term })
+}
+
+fn enc_slot(e: &mut Enc, s: &Slot) {
+    e.str(&s.name);
+    e.u32(s.size);
+    e.u32(s.scope_depth);
+    e.bool(s.address_taken);
+}
+
+fn dec_slot(d: &mut Dec<'_>) -> Result<Slot, WireError> {
+    Ok(Slot {
+        name: d.str()?,
+        size: d.u32()?,
+        scope_depth: d.u32()?,
+        address_taken: d.bool()?,
+    })
+}
+
+fn enc_func(e: &mut Enc, f: &Func) {
+    e.str(&f.name);
+    e.u32(f.params.len() as u32);
+    for p in &f.params {
+        e.u32(*p);
+    }
+    e.u32(f.slots.len() as u32);
+    for s in &f.slots {
+        enc_slot(e, s);
+    }
+    e.u32(f.blocks.len() as u32);
+    for b in &f.blocks {
+        enc_block(e, b);
+    }
+    e.u32(f.next_reg);
+}
+
+fn dec_func(d: &mut Dec<'_>) -> Result<Func, WireError> {
+    let name = d.str()?;
+    let n = d.count(4)?;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        params.push(d.u32()?);
+    }
+    let n = d.count(4)?;
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        slots.push(dec_slot(d)?);
+    }
+    let n = d.count(4)?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(dec_block(d)?);
+    }
+    Ok(Func { name, params, slots, blocks, next_reg: d.u32()? })
+}
+
+fn enc_global(e: &mut Enc, g: &GlobalDef) {
+    e.str(&g.name);
+    e.u32(g.size);
+    e.bytes(&g.init);
+    e.u32(g.relocs.len() as u32);
+    for (off, gid, addend) in &g.relocs {
+        e.u32(*off);
+        e.usize(*gid);
+        e.i64(*addend);
+    }
+    e.u32(g.elem_size);
+    e.u32(g.elem_count);
+}
+
+fn dec_global(d: &mut Dec<'_>) -> Result<GlobalDef, WireError> {
+    let name = d.str()?;
+    let size = d.u32()?;
+    let init = d.blob()?.to_vec();
+    let n = d.count(20)?;
+    let mut relocs = Vec::with_capacity(n);
+    for _ in 0..n {
+        relocs.push((d.u32()?, d.usize()?, d.i64()?));
+    }
+    Ok(GlobalDef { name, size, init, relocs, elem_size: d.u32()?, elem_count: d.u32()? })
+}
+
+fn enc_san_meta(e: &mut Enc, s: &SanMeta) {
+    match s.sanitizer {
+        Some(san) => {
+            e.u8(1);
+            enc_sanitizer(e, san);
+        }
+        None => e.u8(0),
+    }
+    e.u32(s.global_redzone_gaps.len() as u32);
+    for (gid, bytes) in &s.global_redzone_gaps {
+        e.usize(*gid);
+        e.u32(*bytes);
+    }
+    e.bool(s.msan_policy.sub_const_fully_defined);
+    e.u32(s.applied_defects.len() as u32);
+    for (id, loc) in &s.applied_defects {
+        e.str(id);
+        enc_loc(e, *loc);
+    }
+    e.u32(s.legit_transforms.len() as u32);
+    for loc in &s.legit_transforms {
+        enc_loc(e, *loc);
+    }
+}
+
+fn dec_san_meta(d: &mut Dec<'_>) -> Result<SanMeta, WireError> {
+    let sanitizer = match d.u8()? {
+        0 => None,
+        1 => Some(dec_sanitizer(d)?),
+        _ => return Err(WireError::Corrupt("san meta")),
+    };
+    let n = d.count(12)?;
+    let mut global_redzone_gaps = Vec::with_capacity(n);
+    for _ in 0..n {
+        global_redzone_gaps.push((d.usize()?, d.u32()?));
+    }
+    let msan_policy = MsanPolicy { sub_const_fully_defined: d.bool()? };
+    let n = d.count(12)?;
+    let mut applied_defects = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = d.str()?;
+        let loc = dec_loc(d)?;
+        // Re-intern through the registry: the in-memory type is `&'static
+        // str`, and an id this build does not know cannot be represented —
+        // the store above degrades to recompiling.
+        let interned =
+            DefectRegistry::get(&id).ok_or(WireError::Corrupt("unknown defect id"))?.id;
+        applied_defects.push((interned, loc));
+    }
+    let n = d.count(8)?;
+    let mut legit_transforms = Vec::with_capacity(n);
+    for _ in 0..n {
+        legit_transforms.push(dec_loc(d)?);
+    }
+    Ok(SanMeta { sanitizer, global_redzone_gaps, msan_policy, applied_defects, legit_transforms })
+}
+
+/// Encodes a [`Module`] into `e`.
+pub fn enc_module(e: &mut Enc, m: &Module) {
+    e.u32(m.globals.len() as u32);
+    for g in &m.globals {
+        enc_global(e, g);
+    }
+    e.u32(m.funcs.len() as u32);
+    for f in &m.funcs {
+        enc_func(e, f);
+    }
+    enc_san_meta(e, &m.san);
+    match &m.build {
+        Some(b) => {
+            e.u8(1);
+            enc_compiler(e, b.compiler);
+            enc_opt(e, b.opt);
+        }
+        None => e.u8(0),
+    }
+}
+
+/// Decodes a [`Module`] from `d`.
+pub fn dec_module(d: &mut Dec<'_>) -> Result<Module, WireError> {
+    let n = d.count(16)?;
+    let mut globals = Vec::with_capacity(n);
+    for _ in 0..n {
+        globals.push(dec_global(d)?);
+    }
+    let n = d.count(16)?;
+    let mut funcs = Vec::with_capacity(n);
+    for _ in 0..n {
+        funcs.push(dec_func(d)?);
+    }
+    let san = dec_san_meta(d)?;
+    let build = match d.u8()? {
+        0 => None,
+        1 => Some(BuildInfo { compiler: dec_compiler(d)?, opt: dec_opt(d)? }),
+        _ => return Err(WireError::Corrupt("build info")),
+    };
+    Ok(Module { globals, funcs, san, build })
+}
+
+/// Serializes a module to standalone bytes.
+pub fn module_to_bytes(m: &Module) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_module(&mut e, m);
+    e.into_bytes()
+}
+
+/// Deserializes a module from standalone bytes, requiring full consumption.
+pub fn module_from_bytes(bytes: &[u8]) -> Result<Module, WireError> {
+    let mut d = Dec::new(bytes);
+    let m = dec_module(&mut d)?;
+    d.finish()?;
+    Ok(m)
+}
+
+// ---- run results ----
+
+fn enc_report_kind(e: &mut Enc, k: ReportKind) {
+    e.u8(match k {
+        ReportKind::StackBufOverflow => 0,
+        ReportKind::GlobalBufOverflow => 1,
+        ReportKind::HeapBufOverflow => 2,
+        ReportKind::UseAfterFree => 3,
+        ReportKind::UseAfterScope => 4,
+        ReportKind::SignedIntOverflow => 5,
+        ReportKind::NegOverflow => 6,
+        ReportKind::ShiftOob => 7,
+        ReportKind::DivByZero => 8,
+        ReportKind::NullDeref => 9,
+        ReportKind::ArrayBound => 10,
+        ReportKind::UninitUse => 11,
+        ReportKind::BadFree => 12,
+    });
+}
+
+fn dec_report_kind(d: &mut Dec<'_>) -> Result<ReportKind, WireError> {
+    Ok(match d.u8()? {
+        0 => ReportKind::StackBufOverflow,
+        1 => ReportKind::GlobalBufOverflow,
+        2 => ReportKind::HeapBufOverflow,
+        3 => ReportKind::UseAfterFree,
+        4 => ReportKind::UseAfterScope,
+        5 => ReportKind::SignedIntOverflow,
+        6 => ReportKind::NegOverflow,
+        7 => ReportKind::ShiftOob,
+        8 => ReportKind::DivByZero,
+        9 => ReportKind::NullDeref,
+        10 => ReportKind::ArrayBound,
+        11 => ReportKind::UninitUse,
+        12 => ReportKind::BadFree,
+        _ => return Err(WireError::Corrupt("report kind")),
+    })
+}
+
+/// Encodes a [`RunResult`] into `e`.
+pub fn enc_run_result(e: &mut Enc, r: &RunResult) {
+    match r {
+        RunResult::Exit { status, output } => {
+            e.u8(0);
+            e.i64(*status);
+            e.u32(output.len() as u32);
+            for v in output {
+                e.i64(*v);
+            }
+        }
+        RunResult::Report(rep) => {
+            e.u8(1);
+            enc_sanitizer(e, rep.sanitizer);
+            enc_report_kind(e, rep.kind);
+            enc_loc(e, rep.loc);
+        }
+        RunResult::Crash { kind, loc } => {
+            e.u8(2);
+            e.u8(match kind {
+                CrashKind::Segv => 0,
+                CrashKind::Fpe => 1,
+            });
+            enc_loc(e, *loc);
+        }
+        RunResult::Timeout => e.u8(3),
+        RunResult::Error(msg) => {
+            e.u8(4);
+            e.str(msg);
+        }
+    }
+}
+
+/// Decodes a [`RunResult`] from `d`.
+pub fn dec_run_result(d: &mut Dec<'_>) -> Result<RunResult, WireError> {
+    Ok(match d.u8()? {
+        0 => {
+            let status = d.i64()?;
+            let n = d.count(8)?;
+            let mut output = Vec::with_capacity(n);
+            for _ in 0..n {
+                output.push(d.i64()?);
+            }
+            RunResult::Exit { status, output }
+        }
+        1 => RunResult::Report(SanReport {
+            sanitizer: dec_sanitizer(d)?,
+            kind: dec_report_kind(d)?,
+            loc: dec_loc(d)?,
+        }),
+        2 => {
+            let kind = match d.u8()? {
+                0 => CrashKind::Segv,
+                1 => CrashKind::Fpe,
+                _ => return Err(WireError::Corrupt("crash kind")),
+            };
+            RunResult::Crash { kind, loc: dec_loc(d)? }
+        }
+        3 => RunResult::Timeout,
+        4 => RunResult::Error(d.str()?),
+        _ => return Err(WireError::Corrupt("run result")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+
+    fn modules() -> Vec<Module> {
+        let reg = DefectRegistry::full();
+        let p = parse(
+            "int g[4]; int main(void) { int i = 1; g[i] = 3; int *p = g; return *p + g[0] / (i + 1); }",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for vendor in Vendor::ALL {
+            for opt in [OptLevel::O0, OptLevel::O2] {
+                for sanitizer in [None, Some(Sanitizer::Asan), Some(Sanitizer::Ubsan)] {
+                    let cfg = CompileConfig::dev(vendor, opt, sanitizer, &reg);
+                    if let Ok(m) = compile(&p, &cfg) {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        assert!(!out.is_empty());
+        out
+    }
+
+    #[test]
+    fn pipeline_modules_round_trip() {
+        for m in modules() {
+            let bytes = module_to_bytes(&m);
+            let back = module_from_bytes(&bytes).unwrap();
+            assert_eq!(m, back);
+            // Re-encoding is byte-stable (the framing checksum depends on it).
+            assert_eq!(bytes, module_to_bytes(&back));
+        }
+    }
+
+    #[test]
+    fn run_results_round_trip() {
+        let cases = [
+            RunResult::Exit { status: -3, output: vec![1, -2, i64::MAX] },
+            RunResult::Report(SanReport {
+                sanitizer: Sanitizer::Msan,
+                kind: ReportKind::UninitUse,
+                loc: Loc::new(12, 4),
+            }),
+            RunResult::Crash { kind: CrashKind::Fpe, loc: Loc::new(3, 1) },
+            RunResult::Timeout,
+            RunResult::Error("bad module".into()),
+        ];
+        for r in cases {
+            let mut e = Enc::new();
+            enc_run_result(&mut e, &r);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(dec_run_result(&mut d).unwrap(), r);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_defect_id_is_corruption_not_a_panic() {
+        let mut m = modules().remove(0);
+        m.san.applied_defects = vec![("gcc-asan-d01", Loc::new(1, 0))];
+        let mut bytes = module_to_bytes(&m);
+        // Flip a byte inside the defect-id string.
+        let pos = bytes.windows(12).position(|w| w == b"gcc-asan-d01").expect("id present");
+        bytes[pos] = b'x';
+        assert!(matches!(module_from_bytes(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_never_a_panic() {
+        let m = modules().remove(0);
+        let bytes = module_to_bytes(&m);
+        for cut in 0..bytes.len() {
+            assert!(module_from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The persistent prefix cache: `(program fingerprint, vendor, version,
+//! opt) → serialized post-early-opts Module`, amortizing staged compilation
+//! across *invocations*.
+//!
+//! The file is an append-only record log (see [`crate::wire`]): opening
+//! streams it with one reusable buffer, validates the header and every
+//! record's checksum, truncates any torn/corrupt tail back to the longest
+//! valid prefix (via `set_len`, no rewriting), and hands the surviving
+//! entries to
+//! [`CompileSession::with_backing`](ubfuzz_simcc::session::CompileSession).
+//! Every in-memory miss is appended and flushed immediately, so a kill at
+//! any instant loses at most the record being written — which the next open
+//! truncates away.
+//!
+//! **Memory discipline.** A store grows without bound across invocations,
+//! so [`PrefixStore::open_budgeted`] decodes full modules only up to the
+//! session's preload budget; beyond it, records contribute their key to
+//! the dedup set (checksum-validated, key-decoded, module skipped) and are
+//! dropped — open-time memory is O(budget + largest record), not O(store).
+
+use crate::modser::{dec_compiler, dec_module, dec_opt, enc_compiler, enc_module, enc_opt};
+use crate::wire::{self, Dec, Enc, TableKind};
+use crate::StoreTelemetry;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use ubfuzz_simcc::session::{PersistedPrefix, PrefixBacking, PrefixEntryRef};
+use ubfuzz_simcc::target::{CompilerId, OptLevel};
+
+/// File name of the prefix table inside a store directory.
+pub const PREFIX_FILE: &str = "prefix.bin";
+
+/// A resident-on-disk key.
+type PrefixKey = (u64, CompilerId, OptLevel);
+
+#[derive(Debug)]
+struct PrefixInner {
+    /// Entries loaded at open, handed out once via [`PrefixBacking::load`].
+    loaded: Option<Vec<PersistedPrefix>>,
+    /// Read+append handle; `None` when the directory is unwritable (the
+    /// store then degrades to a purely in-memory session).
+    file: Option<File>,
+    /// Keys already on disk, so epoch-evicted recomputations do not bloat
+    /// the file with duplicates.
+    resident: std::collections::HashSet<PrefixKey>,
+}
+
+/// The on-disk prefix cache. Open never fails: unreadable, version-skewed
+/// or corrupt files degrade to a cold start recorded in [`StoreTelemetry`].
+#[derive(Debug)]
+pub struct PrefixStore {
+    path: PathBuf,
+    inner: Mutex<PrefixInner>,
+    telemetry: StoreTelemetry,
+}
+
+fn enc_entry(entry: PrefixEntryRef<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(entry.hash);
+    enc_compiler(&mut e, entry.compiler);
+    enc_opt(&mut e, entry.opt);
+    e.str(entry.source);
+    enc_module(&mut e, entry.module);
+    e.into_bytes()
+}
+
+fn dec_entry(payload: &[u8]) -> Result<PersistedPrefix, wire::WireError> {
+    let mut d = Dec::new(payload);
+    let entry = PersistedPrefix {
+        hash: d.u64()?,
+        compiler: dec_compiler(&mut d)?,
+        opt: dec_opt(&mut d)?,
+        source: d.str()?,
+        module: dec_module(&mut d)?,
+    };
+    d.finish()?;
+    Ok(entry)
+}
+
+/// Decodes only the dedup key (the payload's fixed-position head), skipping
+/// the expensive module decode — what beyond-budget records pay at open.
+fn dec_key(payload: &[u8]) -> Result<PrefixKey, wire::WireError> {
+    let mut d = Dec::new(payload);
+    Ok((d.u64()?, dec_compiler(&mut d)?, dec_opt(&mut d)?))
+}
+
+impl PrefixStore {
+    /// Opens (or creates) the prefix table under `dir`, decoding every
+    /// entry. Prefer [`PrefixStore::open_budgeted`] when the consuming
+    /// session's capacity is known.
+    pub fn open(dir: impl AsRef<Path>) -> PrefixStore {
+        PrefixStore::open_budgeted(dir, usize::MAX)
+    }
+
+    /// Opens the prefix table, fully decoding at most `budget` entries (the
+    /// session's preload budget — see `CompileSession::preload_budget`);
+    /// the rest are checksum-validated and key-indexed only.
+    pub fn open_budgeted(dir: impl AsRef<Path>, budget: usize) -> PrefixStore {
+        let path = dir.as_ref().join(PREFIX_FILE);
+        let telemetry = StoreTelemetry::default();
+        let _ = std::fs::create_dir_all(dir.as_ref());
+        let mut loaded = Vec::new();
+        let mut resident = std::collections::HashSet::new();
+        let mut fresh = true;
+        let mut trusted = wire::HEADER_LEN as u64;
+        let mut file_len = 0u64;
+        if let Ok(mut file) = File::open(&path) {
+            file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+            let mut header = [0u8; wire::HEADER_LEN];
+            let header_ok = {
+                use std::io::Read as _;
+                file.read_exact(&mut header).is_ok()
+            };
+            if !header_ok {
+                if file_len > 0 {
+                    telemetry.record_corruption("prefix header: truncated".into());
+                    telemetry.record_cold_start();
+                }
+            } else if let Err(e) = wire::check_header(&header, TableKind::Prefix) {
+                telemetry.record_corruption(format!("prefix header: {e}"));
+                telemetry.record_cold_start();
+            } else {
+                fresh = false;
+                let mut pos = wire::HEADER_LEN as u64;
+                let mut buf = Vec::new();
+                // A torn/corrupt tail ends the scan: trust what came first.
+                while let Some((payload_off, payload_len)) =
+                    wire::read_record_at(&mut file, file_len, pos, &mut buf)
+                {
+                    // Within the budget, decode the full entry; beyond it
+                    // the session would drop the entry anyway, so decode
+                    // only its dedup key. A checksum-valid record that
+                    // fails either decode means the *writer* disagreed
+                    // with us (e.g. a foreign defect id) — stop trusting
+                    // the rest.
+                    let key = if loaded.len() < budget {
+                        match dec_entry(&buf) {
+                            Ok(entry) => {
+                                let key = (entry.hash, entry.compiler, entry.opt);
+                                loaded.push(entry);
+                                key
+                            }
+                            Err(e) => {
+                                telemetry.record_corruption(format!("prefix record: {e}"));
+                                break;
+                            }
+                        }
+                    } else {
+                        match dec_key(&buf) {
+                            Ok(key) => key,
+                            Err(e) => {
+                                telemetry.record_corruption(format!("prefix record: {e}"));
+                                break;
+                            }
+                        }
+                    };
+                    resident.insert(key);
+                    pos = payload_off + payload_len as u64 + 8;
+                    trusted = pos;
+                }
+                if trusted < file_len {
+                    telemetry.record_tail_truncated();
+                }
+            }
+        }
+        let file = Self::recover(&path, fresh, trusted, file_len, &telemetry);
+        telemetry.set_loaded(loaded.len());
+        PrefixStore {
+            path,
+            inner: Mutex::new(PrefixInner { loaded: Some(loaded), file, resident }),
+            telemetry,
+        }
+    }
+
+    /// Puts the file into an appendable state: a fresh header for missing
+    /// or unusable files, or a `set_len` truncation of any untrusted tail.
+    fn recover(
+        path: &Path,
+        fresh: bool,
+        trusted: u64,
+        file_len: u64,
+        telemetry: &StoreTelemetry,
+    ) -> Option<File> {
+        if fresh && !wire::rewrite_file(path, TableKind::Prefix, &[]) {
+            telemetry.record_corruption("prefix store directory unwritable".into());
+            telemetry.record_cold_start();
+            return None;
+        }
+        match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(file) => {
+                if !fresh && trusted < file_len {
+                    let _ = file.set_len(trusted);
+                }
+                Some(file)
+            }
+            Err(_) => {
+                // Read-only store: loaded entries still serve, but nothing
+                // new persists — flag it so `cold=...` telemetry consumers
+                // see the degradation instead of a silent no-op.
+                telemetry
+                    .record_corruption("prefix store not writable; persistence disabled".into());
+                telemetry.record_cold_start();
+                None
+            }
+        }
+    }
+
+    /// The file backing this table.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open/flush telemetry for this table.
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telemetry
+    }
+}
+
+impl PrefixBacking for PrefixStore {
+    fn load(&self) -> Vec<PersistedPrefix> {
+        self.inner.lock().expect("prefix store lock").loaded.take().unwrap_or_default()
+    }
+
+    fn persist(&self, entry: PrefixEntryRef<'_>) {
+        let mut inner = self.inner.lock().expect("prefix store lock");
+        if !inner.resident.insert((entry.hash, entry.compiler, entry.opt)) {
+            return; // already on disk (epoch-evicted recomputation)
+        }
+        let Some(file) = inner.file.as_mut() else { return };
+        let record = wire::frame(&enc_entry(entry));
+        if file
+            .seek(SeekFrom::End(0))
+            .and_then(|_| file.write_all(&record))
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            // Disk trouble mid-campaign: stop persisting, keep compiling.
+            self.telemetry.record_corruption("prefix append failed".into());
+            inner.file = None;
+        } else {
+            self.telemetry.record_persisted();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::pipeline::CompileConfig;
+    use ubfuzz_simcc::session::CompileSession;
+    use ubfuzz_simcc::target::Vendor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ubfuzz-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_invocation_is_fully_warm() {
+        let dir = tmp_dir("warm");
+        let reg = DefectRegistry::full();
+        let p = parse("int main(void) { return 3; }").unwrap();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &reg);
+
+        let first = CompileSession::with_backing(64, Arc::new(PrefixStore::open(&dir)));
+        let out = first.compile(&p, &cfg).unwrap();
+        assert_eq!(first.stats().misses, 1);
+        drop(first);
+
+        let store = Arc::new(PrefixStore::open(&dir));
+        assert_eq!(store.telemetry().loaded(), 1);
+        let second = CompileSession::with_backing(64, store);
+        assert_eq!(second.preloaded(), 1);
+        assert_eq!(second.compile(&p, &cfg).unwrap(), out);
+        assert_eq!(second.stats().misses, 0, "warm store serves the prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_open_skips_module_decode_but_keeps_dedup_keys() {
+        let dir = tmp_dir("budget");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, None, &reg);
+        let programs: Vec<_> = (0..4)
+            .map(|i| parse(&format!("int main(void) {{ return {i}; }}")).unwrap())
+            .collect();
+        let warm = CompileSession::with_backing(64, Arc::new(PrefixStore::open(&dir)));
+        for p in &programs {
+            warm.compile(p, &cfg).unwrap();
+        }
+        drop(warm);
+
+        let store = Arc::new(PrefixStore::open_budgeted(&dir, 2));
+        assert_eq!(store.telemetry().loaded(), 2, "budget caps decoded entries");
+        let persisted_before = store.telemetry().persisted();
+        let session = CompileSession::with_backing(64, store.clone());
+        assert_eq!(session.preloaded(), 2);
+        // Re-missing a beyond-budget program must not re-append it: its key
+        // stayed in the resident set.
+        for p in &programs {
+            session.compile(p, &cfg).unwrap();
+        }
+        assert_eq!(
+            store.telemetry().persisted(),
+            persisted_before,
+            "beyond-budget keys still dedup appends"
+        );
+        // And the file still holds exactly the 4 original entries.
+        drop(session);
+        assert_eq!(PrefixStore::open(&dir).telemetry().loaded(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &reg);
+        let session = CompileSession::with_backing(16, Arc::new(PrefixStore::open(&dir)));
+        session.compile(&parse("int main(void) { return 1; }").unwrap(), &cfg).unwrap();
+        session.compile(&parse("int main(void) { return 2; }").unwrap(), &cfg).unwrap();
+        drop(session);
+        let path = dir.join(PREFIX_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let store = PrefixStore::open(&dir);
+        assert_eq!(store.telemetry().loaded(), 1, "torn record dropped");
+        assert!(store.telemetry().tail_truncated());
+        // The truncated file is appendable and consistent on reopen.
+        let session = CompileSession::with_backing(16, Arc::new(store));
+        session.compile(&parse("int main(void) { return 3; }").unwrap(), &cfg).unwrap();
+        drop(session);
+        assert_eq!(PrefixStore::open(&dir).telemetry().loaded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_cold_start_not_an_error() {
+        let dir = tmp_dir("fresh");
+        let store = PrefixStore::open(&dir);
+        assert_eq!(store.telemetry().loaded(), 0);
+        assert!(!store.telemetry().recovered_cold());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

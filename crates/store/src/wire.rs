@@ -1,0 +1,476 @@
+//! The on-disk wire format: little-endian primitives, length-prefixed
+//! strings, and checksummed record framing.
+//!
+//! Every store table is one file with the same outer shape:
+//!
+//! ```text
+//! [8-byte magic][1-byte format version][1-byte table kind]
+//! [record]*
+//! record = [u32 payload length][payload bytes][u64 FNV-1a of payload]
+//! ```
+//!
+//! The framing is what makes crash recovery trivial: a process killed
+//! mid-append leaves at most one torn record at the end of the file, and a
+//! reader that validates length bounds and checksums can always find the
+//! longest valid prefix. Nothing in this module returns a panic path on
+//! malformed input — corruption is an [`Err`], and the store layers above
+//! translate it into a cold start plus telemetry, never a failed open.
+
+/// Current format version. Bump on any incompatible change to the payload
+/// encodings; readers seeing another version degrade to a cold start.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// File magic common to every store table.
+pub const MAGIC: [u8; 8] = *b"UBFZSTOR";
+
+/// Which table a store file holds (byte 9 of the header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// The persistent compile-prefix cache.
+    Prefix,
+    /// The campaign checkpoint log.
+    Checkpoint,
+    /// The deduplicated bug corpus.
+    Corpus,
+}
+
+impl TableKind {
+    fn tag(self) -> u8 {
+        match self {
+            TableKind::Prefix => 1,
+            TableKind::Checkpoint => 2,
+            TableKind::Corpus => 3,
+        }
+    }
+}
+
+/// A decode failure. Deliberately coarse: the recovery action is the same
+/// (stop trusting the file from here on) whatever the cause, and the label
+/// only feeds telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// A structurally invalid value (bad tag, oversized length, unknown
+    /// reference); the label names the decode site.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated"),
+            WireError::Corrupt(what) => write!(f, "corrupt {what}"),
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the record checksum. Dependency-free and stable by
+/// construction (unlike `DefaultHasher`, which std does not pin across
+/// releases).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An append-only payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (the store never round-trips between
+    /// machines with different pointer widths *and* live indices that
+    /// large; decode re-checks the fit).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked payload decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte; values other than 0/1 are corruption.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Corrupt("bool")),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Corrupt("usize"))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let bytes = self.blob()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("utf8"))
+    }
+
+    /// Reads a length-prefixed byte blob. The length is validated against
+    /// the remaining buffer before any allocation, so corrupt lengths can
+    /// never trigger a huge `Vec` reservation.
+    pub fn blob(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Corrupt("blob length"));
+        }
+        self.take(len)
+    }
+
+    /// Reads a collection count, sanity-bounded by the remaining bytes
+    /// (`min_elem_size` per element) so corrupt counts cannot drive an
+    /// allocation or a long loop.
+    pub fn count(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(WireError::Corrupt("count"));
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload was fully consumed (trailing garbage is
+    /// corruption — it means the checksummed payload disagrees with the
+    /// decoder about its own shape).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+/// Builds a file header for `kind`.
+pub fn header(kind: TableKind) -> Vec<u8> {
+    let mut h = Vec::with_capacity(10);
+    h.extend_from_slice(&MAGIC);
+    h.push(FORMAT_VERSION);
+    h.push(kind.tag());
+    h
+}
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 10;
+
+/// Validates a file header for `kind`. Version skew is reported distinctly
+/// so telemetry can tell "old format" from "garbage".
+pub fn check_header(bytes: &[u8], kind: TableKind) -> Result<(), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(WireError::Corrupt("magic"));
+    }
+    if bytes[8] != FORMAT_VERSION {
+        return Err(WireError::Corrupt("format version"));
+    }
+    if bytes[9] != kind.tag() {
+        return Err(WireError::Corrupt("table kind"));
+    }
+    Ok(())
+}
+
+/// Frames a payload as one record: length prefix + payload + checksum.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out
+}
+
+/// Total on-disk bytes of one framed record: length prefix + payload +
+/// checksum. The single place the framing overhead is defined for byte
+/// accounting — every table's trusted-prefix arithmetic goes through it.
+pub fn record_span(payload_len: usize) -> usize {
+    4 + payload_len + 8
+}
+
+/// (Re)materializes a table file as header + the given framed records,
+/// through a temp file + rename so a kill mid-recovery cannot corrupt
+/// further — the one rewrite protocol every table shares. Returns `false`
+/// when the directory is unwritable (tables then degrade to in-memory
+/// behavior).
+pub fn rewrite_file(path: &std::path::Path, kind: TableKind, payloads: &[Vec<u8>]) -> bool {
+    let tmp = path.with_extension("bin.tmp");
+    let mut out = header(kind);
+    for payload in payloads {
+        out.extend_from_slice(&frame(payload));
+    }
+    std::fs::write(&tmp, &out).is_ok() && std::fs::rename(&tmp, path).is_ok()
+}
+
+/// Reads the framed record whose length prefix starts at byte `pos` of
+/// `file` into `buf` (reused across calls), verifying bounds and checksum.
+/// Returns the payload's `(offset, length)`; `None` on a torn or corrupt
+/// record — the shared streaming primitive behind every table scan, so
+/// open-time memory stays O(largest record) however large the file.
+pub fn read_record_at(
+    file: &mut std::fs::File,
+    file_len: u64,
+    pos: u64,
+    buf: &mut Vec<u8>,
+) -> Option<(u64, u32)> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    if file_len.checked_sub(pos)? < 4 {
+        return None;
+    }
+    let mut len_bytes = [0u8; 4];
+    file.seek(SeekFrom::Start(pos)).ok()?;
+    file.read_exact(&mut len_bytes).ok()?;
+    let len = u32::from_le_bytes(len_bytes);
+    let payload_off = pos + 4;
+    let end = payload_off.checked_add(len as u64)?.checked_add(8)?;
+    if end > file_len {
+        return None;
+    }
+    buf.resize(len as usize, 0);
+    file.read_exact(buf).ok()?;
+    let mut sum_bytes = [0u8; 8];
+    file.read_exact(&mut sum_bytes).ok()?;
+    if fnv1a(buf) != u64::from_le_bytes(sum_bytes) {
+        return None;
+    }
+    Some((payload_off, len))
+}
+
+/// Iterates the valid record payloads of a file body (bytes after the
+/// header), stopping at the first torn or corrupt record.
+///
+/// Returns the payload slices and the byte offset (relative to the body)
+/// where the valid prefix ends — the truncation point recovery rewrites the
+/// file to.
+pub fn read_records(body: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    loop {
+        if body.len() - pos < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let Some(end) = pos.checked_add(4).and_then(|p| p.checked_add(len)).and_then(|p| p.checked_add(8)) else {
+            break;
+        };
+        if end > body.len() {
+            break;
+        }
+        let payload = &body[pos + 4..pos + 4 + len];
+        let sum = u64::from_le_bytes(body[pos + 4 + len..end].try_into().expect("8 bytes"));
+        if fnv1a(payload) != sum {
+            break;
+        }
+        records.push(payload);
+        pos = end;
+    }
+    (records, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.usize(12345);
+        e.str("héllo");
+        e.bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.blob().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decode_is_bounds_checked() {
+        let mut d = Dec::new(&[1, 2]);
+        assert_eq!(d.u32(), Err(WireError::Truncated));
+        // A blob length pointing past the end is corruption, not an alloc.
+        let mut e = Enc::new();
+        e.u32(1_000_000);
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).blob(), Err(WireError::Corrupt("blob length")));
+        // Bad bool byte.
+        assert_eq!(Dec::new(&[9]).bool(), Err(WireError::Corrupt("bool")));
+        // Trailing garbage is caught by finish().
+        assert!(Dec::new(&[0]).finish().is_err());
+    }
+
+    #[test]
+    fn count_rejects_absurd_lengths() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX);
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).count(1), Err(WireError::Corrupt("count")));
+    }
+
+    #[test]
+    fn records_survive_torn_tails() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&frame(b"first"));
+        body.extend_from_slice(&frame(b"second"));
+        let valid_len = body.len();
+        // Torn third record: length says 100 bytes, only 3 present.
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(b"abc");
+        let (records, end) = read_records(&body);
+        assert_eq!(records, vec![b"first".as_slice(), b"second".as_slice()]);
+        assert_eq!(end, valid_len);
+    }
+
+    #[test]
+    fn records_stop_at_checksum_mismatch() {
+        let mut body = frame(b"ok");
+        let mut bad = frame(b"tampered");
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        body.extend_from_slice(&bad);
+        body.extend_from_slice(&frame(b"unreachable"));
+        let (records, _) = read_records(&body);
+        assert_eq!(records, vec![b"ok".as_slice()]);
+    }
+
+    #[test]
+    fn header_checks() {
+        let h = header(TableKind::Prefix);
+        assert_eq!(h.len(), HEADER_LEN);
+        check_header(&h, TableKind::Prefix).unwrap();
+        assert_eq!(
+            check_header(&h, TableKind::Corpus),
+            Err(WireError::Corrupt("table kind"))
+        );
+        let mut skew = h.clone();
+        skew[8] = FORMAT_VERSION + 1;
+        assert_eq!(
+            check_header(&skew, TableKind::Prefix),
+            Err(WireError::Corrupt("format version"))
+        );
+        assert_eq!(check_header(&h[..4], TableKind::Prefix), Err(WireError::Truncated));
+        let mut garbage = h;
+        garbage[0] = b'X';
+        assert_eq!(
+            check_header(&garbage, TableKind::Prefix),
+            Err(WireError::Corrupt("magic"))
+        );
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: the checksum must never drift between builds, or
+        // every store on disk silently cold-starts.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"ubfuzz"), fnv1a(b"ubfuzz"));
+        assert_ne!(fnv1a(b"ubfuzz"), fnv1a(b"ubfuzy"));
+    }
+}

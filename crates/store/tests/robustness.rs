@@ -1,0 +1,189 @@
+//! Store robustness: the wire format round-trips arbitrary pipeline
+//! modules identically (proptest over generated programs × the compile
+//! matrix), and truncated / corrupted / version-skewed store files degrade
+//! to a graceful cold start with telemetry — never an `Err` or a panic on
+//! open.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+use ubfuzz_simcc::session::{CompileSession, PersistedPrefix, PrefixBacking};
+use ubfuzz_simcc::target::{OptLevel, Vendor};
+use ubfuzz_simcc::Sanitizer;
+use ubfuzz_store::{modser, wire, CampaignLog, PrefixStore, Store, UnitOutcome};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ubfuzz-robust-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Arbitrary generated programs, compiled across a vendor × level ×
+    /// sanitizer slice of the matrix, serialize and deserialize to the
+    /// identical module — and re-encode to the identical bytes.
+    #[test]
+    fn arbitrary_modules_round_trip(seed in 0u64..5000) {
+        let opts = SeedOptions { max_helpers: 1, max_stmts: 4, ..SeedOptions::default() };
+        let program = generate_seed(seed, &opts);
+        let registry = DefectRegistry::full();
+        let mut checked = 0;
+        for vendor in Vendor::ALL {
+            for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+                for sanitizer in
+                    [None, Some(Sanitizer::Asan), Some(Sanitizer::Ubsan), Some(Sanitizer::Msan)]
+                {
+                    let cfg = CompileConfig::dev(vendor, opt, sanitizer, &registry);
+                    let Ok(module) = compile(&program, &cfg) else { continue };
+                    let bytes = modser::module_to_bytes(&module);
+                    let back = modser::module_from_bytes(&bytes).expect("round trip decodes");
+                    prop_assert_eq!(&module, &back, "seed {} {} {} {:?}", seed, vendor, opt, sanitizer);
+                    prop_assert_eq!(&bytes, &modser::module_to_bytes(&back), "byte-stable");
+                    checked += 1;
+                }
+            }
+        }
+        prop_assert!(checked > 0, "matrix slice compiled something");
+    }
+
+    /// A prefix store truncated at an arbitrary byte offset opens to a
+    /// valid (possibly shorter) store — never an error — and what it still
+    /// loads is a prefix of what was persisted.
+    #[test]
+    fn truncated_prefix_store_cold_starts_gracefully(cut_back in 1usize..64) {
+        let dir = tmp_dir("trunc");
+        let registry = DefectRegistry::full();
+        let session = CompileSession::with_backing(64, Arc::new(PrefixStore::open(&dir)));
+        let opts = SeedOptions { max_helpers: 0, max_stmts: 3, ..SeedOptions::default() };
+        for seed in 0..3u64 {
+            let p = generate_seed(seed, &opts);
+            let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &registry);
+            session.compile(&p, &cfg).unwrap();
+        }
+        let persisted = session.stats().misses as usize;
+        drop(session);
+
+        let path = dir.join("prefix.bin");
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len().saturating_sub(cut_back).max(1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let store = PrefixStore::open(&dir);
+        let loaded = store.telemetry().loaded();
+        prop_assert!(loaded <= persisted, "loaded {} of {}", loaded, persisted);
+        if cut < bytes.len() {
+            prop_assert!(
+                store.telemetry().tail_truncated() || store.telemetry().recovered_cold(),
+                "a shortened file must be flagged"
+            );
+        }
+        // The recovered store still works end to end.
+        let session = CompileSession::with_backing(64, Arc::new(store));
+        let p = generate_seed(0, &opts);
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &registry);
+        prop_assert_eq!(session.compile(&p, &cfg).unwrap(), compile(&p, &cfg).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn version_skewed_store_files_cold_start_with_telemetry() {
+    let dir = tmp_dir("skew");
+    // Persist one real entry, then bump the format version byte.
+    let store = PrefixStore::open(&dir);
+    let registry = DefectRegistry::full();
+    let p = generate_seed(1, &SeedOptions::default());
+    let session = CompileSession::with_backing(16, Arc::new(store));
+    session
+        .compile(&p, &CompileConfig::dev(Vendor::Llvm, OptLevel::O2, None, &registry))
+        .unwrap();
+    drop(session);
+    let path = dir.join("prefix.bin");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8] = wire::FORMAT_VERSION + 1;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = PrefixStore::open(&dir);
+    assert_eq!(store.telemetry().loaded(), 0, "skewed format loads nothing");
+    assert!(store.telemetry().recovered_cold());
+    assert!(
+        store.telemetry().events().iter().any(|e| e.contains("format version")),
+        "telemetry names the cause: {:?}",
+        store.telemetry().events()
+    );
+    // And the store was rewritten to the current version: a re-open is
+    // clean and persisting works again.
+    let entry = PersistedPrefix {
+        hash: 9,
+        compiler: ubfuzz_simcc::target::CompilerId::dev(Vendor::Gcc),
+        opt: OptLevel::O0,
+        source: "int main(void) { return 0; }".into(),
+        module: modser::module_from_bytes(&modser::module_to_bytes(
+            &compile(&p, &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, None, &registry))
+                .unwrap(),
+        ))
+        .unwrap(),
+    };
+    store.persist(entry.as_entry_ref());
+    let reopened = PrefixStore::open(&dir);
+    assert_eq!(reopened.telemetry().loaded(), 1);
+    assert!(!reopened.telemetry().recovered_cold());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn byte_flipped_records_are_dropped_not_fatal() {
+    let dir = tmp_dir("flip");
+    let log = CampaignLog::open(&dir, 77, 3);
+    log.record(0, &UnitOutcome::Unsupported);
+    log.record(1, &UnitOutcome::Unsupported);
+    log.record(2, &UnitOutcome::Unsupported);
+    let path = log.path().to_path_buf();
+    drop(log);
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip a byte inside the *second* unit record's payload: records 0 is
+    // intact, 1 fails its checksum, 2 becomes unreachable.
+    let target = bytes.len() - 25;
+    bytes[target] ^= 0x55;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let log = CampaignLog::open(&dir, 77, 3);
+    assert!(log.replayed() < 3, "flipped record must not replay fully");
+    assert!(log.telemetry().tail_truncated() || log.telemetry().recovered_cold());
+    // The log remains appendable and consistent.
+    log.record(2, &UnitOutcome::Unsupported);
+    drop(log);
+    let log = CampaignLog::open(&dir, 77, 3);
+    assert!(log.has_replay(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_open_never_errors_on_garbage() {
+    let dir = tmp_dir("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    for name in ["prefix.bin", "campaign.bin", "corpus.bin"] {
+        std::fs::write(dir.join(name), b"\xFF\x00garbage everywhere").unwrap();
+    }
+    let store = Store::open(&dir);
+    let prefix = store.prefix();
+    assert_eq!(prefix.telemetry().loaded(), 0);
+    assert!(prefix.telemetry().recovered_cold());
+    let log = store.campaign_log(1, 4);
+    assert_eq!(log.replayed(), 0);
+    assert!(log.telemetry().recovered_cold());
+    let corpus = store.corpus();
+    assert!(corpus.is_empty());
+    assert!(corpus.telemetry().recovered_cold());
+    let _ = std::fs::remove_dir_all(&dir);
+}
