@@ -13,7 +13,10 @@
 //! registry defects. That is the point — the same loop now tests
 //! heterogeneous sanitizer implementations, not just the simulated world.
 
-use crate::{Artifact, CompileRequest, CompilerBackend, NativeArtifact, RunOutcome, RunRequest, ToolchainDesc};
+use crate::{
+    Artifact, CompileRequest, CompilerBackend, NativeArtifact, RunOutcome, RunRequest, SiteTrace,
+    ToolchainDesc, TraceCapability,
+};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +56,39 @@ pub struct CcBackend {
     tools: Vec<CcTool>,
     workdir: PathBuf,
     counter: AtomicU64,
+    /// The debugger driving [`CcBackend::trace`], when one answered the
+    /// probe (`gdb --version`). `None` degrades tracing gracefully: the
+    /// oracle accounts the discrepancy instead of arbitrating it.
+    gdb: Option<String>,
+}
+
+/// The batch script gdb single-steps a `-g` binary with: break at `main`,
+/// then line-step until the inferior exits (the `frame` error after exit
+/// aborts the script, so nothing after the loop runs) or the step cap
+/// trips — in which case the sentinel after the loop *does* print,
+/// marking the transcript as truncated. Every visited line appears in the
+/// output as a `file.c:N` frame location or a `N\t…` source echo —
+/// exactly what the paper's LLDB-based `GetExecutedSites` collects.
+const TRACE_SCRIPT: &str = "set pagination off\n\
+                            set confirm off\n\
+                            set style enabled off\n\
+                            break main\n\
+                            run\n\
+                            set $ubfuzz_steps = 0\n\
+                            while $ubfuzz_steps < 4096\n  \
+                              set $ubfuzz_steps = $ubfuzz_steps + 1\n  \
+                              frame\n  \
+                              step\n\
+                            end\n\
+                            echo UBFUZZ-TRACE-CAP\\n\n";
+
+/// Whether a gdb transcript ran out of step budget before the inferior
+/// exited. A truncated trace must NOT arbitrate: its executed-site set is a
+/// prefix (wrong verdicts on the normal side, a mid-execution "crash site"
+/// on the crashing side), so callers degrade it to `None` — the accounted
+/// `no-trace` drop path — instead.
+fn trace_truncated(transcript: &str) -> bool {
+    transcript.contains("UBFUZZ-TRACE-CAP")
 }
 
 impl CcBackend {
@@ -86,12 +122,22 @@ impl CcBackend {
             INSTANCE.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = std::fs::create_dir_all(&workdir);
-        CcBackend { tools, workdir, counter: AtomicU64::new(0) }
+        // Tracing needs both a debugger and a writable script; missing
+        // either degrades the capability, never the backend.
+        let gdb = probe_gdb().filter(|_| {
+            std::fs::write(workdir.join("trace.gdb"), TRACE_SCRIPT).is_ok()
+        });
+        CcBackend { tools, workdir, counter: AtomicU64::new(0), gdb }
     }
 
     /// The probed tools.
     pub fn tools(&self) -> &[CcTool] {
         &self.tools
+    }
+
+    /// The probed debugger driver, when native tracing is available.
+    pub fn gdb(&self) -> Option<&str> {
+        self.gdb.as_deref()
     }
 
     fn tool_for(&self, compiler: CompilerId) -> Option<&CcTool> {
@@ -103,6 +149,56 @@ impl CcBackend {
             .find(|t| t.vendor == compiler.vendor && t.version == compiler.version)
             .or_else(|| self.tools.iter().find(|t| t.vendor == compiler.vendor))
     }
+}
+
+/// Probes for a gdb on `$PATH`. Tracing is optional equipment: CI images
+/// routinely ship a compiler but no debugger.
+fn probe_gdb() -> Option<String> {
+    let out = Command::new("gdb").arg("--version").stdin(Stdio::null()).output().ok()?;
+    out.status.success().then(|| "gdb".to_string())
+}
+
+/// Extracts the executed program lines, in output order, from a gdb batch
+/// single-step transcript. Pure — unit-tested against canned transcripts
+/// without any debugger present.
+///
+/// Two shapes carry line information: frame locations (`… at p0.c:12`,
+/// also printed by breakpoints) and source echo lines (`12\t    g = 7;`,
+/// or `12\tin /tmp/p0.c` once the temporary source is deleted). Lines from
+/// other files (libc frames after a sanitizer abort) are ignored, and the
+/// prelude's lines are shifted out exactly as in [`parse_run_output`].
+pub fn parse_gdb_trace(output: &str, source_file: &str, prelude_lines: u32) -> Vec<u32> {
+    let marker = format!("{source_file}:");
+    let mut lines = Vec::new();
+    for raw in output.lines() {
+        let n = if let Some(pos) = raw.find(&marker) {
+            let digits: String = raw[pos + marker.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            digits.parse::<u32>().ok()
+        } else if raw.contains(source_file) || !raw.contains(".c") {
+            // Source echo: leading line number, then a tab. Requiring the
+            // tab keeps inferior stdout (bare print_value numbers) out;
+            // echoes naming some other file fell through the guard above.
+            raw.split_once('\t').and_then(|(head, _)| head.parse::<u32>().ok())
+        } else {
+            None
+        };
+        if let Some(n) = n {
+            if n > prelude_lines {
+                lines.push(n - prelude_lines);
+            }
+        }
+    }
+    lines
+}
+
+/// Wall-clock budget for one gdb single-step trace: stepping is roughly an
+/// order of magnitude slower than running, so four run budgets, capped at a
+/// minute.
+fn trace_budget(req: &RunRequest) -> std::time::Duration {
+    (run_budget(req) * 4).min(std::time::Duration::from_secs(60))
 }
 
 /// Runs `program --version` and parses the major version from its first
@@ -350,6 +446,76 @@ impl CompilerBackend for CcBackend {
             prelude_lines(),
         )
     }
+
+    fn trace_capability(&self) -> TraceCapability {
+        if self.gdb.is_some() {
+            TraceCapability::Line
+        } else {
+            TraceCapability::None
+        }
+    }
+
+    /// Line-granular `GetExecutedSites` over a native binary: gdb
+    /// single-steps the `-g` build (the paper's LLDB mechanism) and every
+    /// visited source line is collected from the step transcript. `None`
+    /// whenever the machinery is unavailable *or incomplete* — no gdb,
+    /// stepping timed out, the step cap truncated the transcript, or no
+    /// program line surfaced — so the oracle accounts the discrepancy
+    /// instead of mis-arbitrating it on partial executed-site data.
+    fn trace(&self, artifact: &Artifact, req: &RunRequest) -> Option<SiteTrace> {
+        let Artifact::Native(n) = artifact else { return None };
+        let gdb = self.gdb.as_deref()?;
+        let source_file = format!("{}.c", n.binary.file_stem()?.to_str()?);
+        let mut child = Command::new(gdb)
+            .arg("--batch")
+            .arg("-nx")
+            .arg("-x")
+            .arg(self.workdir.join("trace.gdb"))
+            .arg(&n.binary)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .env("ASAN_OPTIONS", "detect_leaks=0")
+            .spawn()
+            .ok()?;
+        // Single-stepping produces output far beyond the pipe buffer, so a
+        // reader thread drains it while this thread enforces the wall-clock
+        // budget (a `while (1);` body makes one `step` never return).
+        let mut stdout = child.stdout.take()?;
+        let reader = std::thread::spawn(move || {
+            use std::io::Read as _;
+            let mut s = String::new();
+            let _ = stdout.read_to_string(&mut s);
+            s
+        });
+        let deadline = std::time::Instant::now() + trace_budget(req);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if std::time::Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = reader.join();
+                    return None;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                Err(_) => {
+                    let _ = child.kill();
+                    let _ = reader.join();
+                    return None;
+                }
+            }
+        }
+        let transcript = reader.join().ok()?;
+        if trace_truncated(&transcript) {
+            return None;
+        }
+        let lines = parse_gdb_trace(&transcript, &source_file, prelude_lines());
+        if lines.is_empty() {
+            return None;
+        }
+        Some(SiteTrace::from_lines(lines))
+    }
 }
 
 /// Wall-clock budget for one native run: the step limit read as
@@ -476,6 +642,82 @@ mod tests {
             parse_run_output(None, None, Some(11), "", "", 3),
             RunResult::Crash { kind: CrashKind::Segv, .. }
         ));
+    }
+
+    #[test]
+    fn gdb_transcripts_parse_into_program_lines() {
+        // Canned gdb batch output: breakpoint + frame locations + source
+        // echoes (with the temporary source already deleted), inferior
+        // stdout noise, and post-abort libc frames that must not leak in.
+        let transcript = "\
+            Breakpoint 1, main () at /tmp/ubfuzz-cc-1-0/p0.c:5\n\
+            5\tin /tmp/ubfuzz-cc-1-0/p0.c\n\
+            #0  main () at /tmp/ubfuzz-cc-1-0/p0.c:5\n\
+            6\tin /tmp/ubfuzz-cc-1-0/p0.c\n\
+            42\n\
+            #0  main () at /tmp/ubfuzz-cc-1-0/p0.c:7\n\
+            7\t    g = 7;\n\
+            Program received signal SIGABRT, Aborted.\n\
+            0x00007ffff7e2a9fc in __pthread_kill_implementation () at ./nptl/pthread_kill.c:44\n\
+            44\t./nptl/pthread_kill.c: No such file or directory.\n\
+            #0  0x00007ffff7e2a9fc in raise () at ../sysdeps/posix/raise.c:26\n";
+        // Prelude of 3 lines: program line N surfaces as N - 3.
+        let lines = parse_gdb_trace(transcript, "p0.c", 3);
+        assert_eq!(lines, vec![2, 2, 2, 3, 4, 4], "5→2, 6→3, 7→4; libc + stdout ignored");
+        // Prelude-only lines (the print_value body) are shifted out.
+        assert!(parse_gdb_trace("#0  print_value () at /tmp/p0.c:3\n", "p0.c", 3).is_empty());
+        assert!(parse_gdb_trace("", "p0.c", 3).is_empty());
+    }
+
+    #[test]
+    fn step_cap_sentinel_marks_truncated_transcripts() {
+        // Inferior exited: the frame error aborts the script before the
+        // sentinel, so the transcript is complete and usable.
+        let complete = "#0  main () at /tmp/p0.c:5\n\
+                        [Inferior 1 (process 7) exited normally]\n\
+                        trace.gdb:9: Error in sourced command file:\n\
+                        No stack.\n";
+        assert!(!trace_truncated(complete));
+        // Step cap exhausted with the inferior still alive: the sentinel
+        // prints and the trace is a prefix — arbitrating on it could flip
+        // the verdict, so it must be rejected, not returned.
+        let truncated = "#0  main () at /tmp/p0.c:5\nUBFUZZ-TRACE-CAP\n";
+        assert!(trace_truncated(truncated));
+        // The sentinel itself never parses as an executed line.
+        assert!(parse_gdb_trace("UBFUZZ-TRACE-CAP\n", "p0.c", 3).is_empty());
+        // And the script actually ends with it.
+        assert!(TRACE_SCRIPT.ends_with("echo UBFUZZ-TRACE-CAP\\n\n"));
+    }
+
+    #[test]
+    fn trace_capability_tracks_the_debugger_probe() {
+        let backend = CcBackend::from_tools(vec![CcTool {
+            vendor: Vendor::Gcc,
+            version: 12,
+            program: "gcc".into(),
+        }]);
+        // The probe's answer depends on the machine; the capability must
+        // track it and never claim exact sites.
+        match backend.gdb() {
+            Some(_) => assert_eq!(backend.trace_capability(), TraceCapability::Line),
+            None => assert_eq!(backend.trace_capability(), TraceCapability::None),
+        }
+        // Simulated artifacts are foreign to this backend either way.
+        let sim_like = Artifact::Native(NativeArtifact {
+            binary: PathBuf::from("/nonexistent/ubfuzz-cc-trace-test.bin"),
+            compiler: CompilerId { vendor: Vendor::Gcc, version: 12 },
+            sanitizer: None,
+        });
+        if backend.gdb().is_none() {
+            assert!(backend.trace(&sim_like, &RunRequest::default()).is_none());
+        }
+    }
+
+    #[test]
+    fn trace_budget_scales_and_caps() {
+        let d = |steps: u64| trace_budget(&RunRequest { step_limit: steps }).as_millis();
+        assert_eq!(d(RunRequest::default().step_limit), 16_000, "4 s run → 16 s trace");
+        assert_eq!(d(u64::MAX / 2), 60_000, "ceiling");
     }
 
     #[test]

@@ -28,15 +28,16 @@
 //! (`minic`/`simcc`/`simvm`); in particular the real-toolchain adapter uses
 //! only `std::process`.
 
+use std::collections::HashSet;
 use std::fmt;
-use ubfuzz_minic::Program;
+use ubfuzz_minic::{Loc, Program};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::lower::CompileError;
 use ubfuzz_simcc::pipeline::CompileConfig;
 use ubfuzz_simcc::session::{CompileSession, ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
 use ubfuzz_simcc::{Module, Sanitizer};
-use ubfuzz_simvm::RunResult;
+use ubfuzz_simvm::{RunResult, VmConfig};
 
 #[cfg(feature = "real-toolchain")]
 pub mod cc;
@@ -128,14 +129,20 @@ impl Default for RunRequest {
 /// Simulated backends carry the full [`Module`] — which is what lets the
 /// campaign's oracle run crash-site mapping and defect attribution over it.
 /// Real-toolchain artifacts are opaque binaries on disk; campaigns over
-/// them still count discrepancies but cannot attribute to injected defects
-/// (there are none to attribute to).
+/// them cannot attribute discrepancies to injected defects (there are none
+/// to attribute to), but a trace-capable backend
+/// ([`CompilerBackend::trace`]) still lets the oracle *arbitrate* them.
 #[derive(Debug)]
 pub enum Artifact {
     /// Simulated-pipeline output.
     Sim(Module),
     /// Real-toolchain output: a binary on disk.
     Native(NativeArtifact),
+    /// A backend-private artifact addressed by token: the owning backend
+    /// knows how to execute (and possibly trace) it, but it exposes no
+    /// module for source-level attribution. In-memory native backends and
+    /// module-less test doubles take this shape.
+    Opaque(OpaqueArtifact),
 }
 
 impl Artifact {
@@ -143,9 +150,21 @@ impl Artifact {
     pub fn module(&self) -> Option<&Module> {
         match self {
             Artifact::Sim(m) => Some(m),
-            Artifact::Native(_) => None,
+            Artifact::Native(_) | Artifact::Opaque(_) => None,
         }
     }
+}
+
+/// A backend-private build product (see [`Artifact::Opaque`]). The token is
+/// only meaningful to the backend that issued it.
+#[derive(Debug, Clone)]
+pub struct OpaqueArtifact {
+    /// Backend-private handle.
+    pub token: u64,
+    /// The compiler that built it.
+    pub compiler: CompilerId,
+    /// The sanitizer it was instrumented with, if any.
+    pub sanitizer: Option<Sanitizer>,
 }
 
 /// A real-toolchain build product. The binary is deleted when the artifact
@@ -163,6 +182,86 @@ pub struct NativeArtifact {
 impl Drop for NativeArtifact {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.binary);
+    }
+}
+
+/// How precisely a backend can report executed sites
+/// ([`CompilerBackend::trace`]) — the oracle compares crash sites at the
+/// coarsest granularity either side of a pair offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceCapability {
+    /// The backend cannot trace execution at all: module-less discrepancies
+    /// stay unarbitrated.
+    None,
+    /// Line-granular traces — what single-stepping a `-g` binary under a
+    /// debugger recovers (the paper's LLDB mechanism).
+    Line,
+    /// Exact `(line, offset)` instruction traces — the simulated VM's
+    /// tracer.
+    Site,
+}
+
+/// Executed-site trace of one run (Algorithm 2's `GetExecutedSites`),
+/// backend-agnostic: site-granular when produced by the simulated VM,
+/// line-granular when recovered from a native binary's debug info.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTrace {
+    /// Distinct executed `(line, offset)` sites (site-granular traces only).
+    executed: HashSet<Loc>,
+    /// Distinct executed lines (always populated).
+    lines: HashSet<u32>,
+    /// The last executed site — the crash site when the run crashed. For
+    /// line-granular traces the offset is 0.
+    last: Loc,
+    /// True when only line numbers are trustworthy.
+    line_granular: bool,
+}
+
+impl SiteTrace {
+    /// Wraps the simulated VM's instruction trace (site-granular).
+    pub fn from_vm(trace: ubfuzz_simvm::Trace) -> SiteTrace {
+        let lines = trace.executed.iter().map(|l| l.line).collect();
+        SiteTrace { executed: trace.executed, lines, last: trace.last, line_granular: false }
+    }
+
+    /// A line-granular trace from executed line numbers in execution order
+    /// (the last element is the crash line of a crashing run).
+    pub fn from_lines(lines_in_order: Vec<u32>) -> SiteTrace {
+        let last = lines_in_order.last().map_or(Loc::UNKNOWN, |&l| Loc::new(l, 0));
+        SiteTrace {
+            executed: HashSet::new(),
+            lines: lines_in_order.into_iter().collect(),
+            last,
+            line_granular: true,
+        }
+    }
+
+    /// The last executed site (Definition 2's crash site on a crashing run).
+    pub fn last(&self) -> Loc {
+        self.last
+    }
+
+    /// Whether the exact `(line, offset)` site was executed. Only
+    /// meaningful on site-granular traces; line-granular ones answer
+    /// through [`SiteTrace::contains_line`].
+    pub fn contains_site(&self, site: Loc) -> bool {
+        self.executed.contains(&site)
+    }
+
+    /// Whether any instruction on `line` was executed.
+    pub fn contains_line(&self, line: u32) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// True when only line numbers are trustworthy (native debug-info
+    /// traces).
+    pub fn line_granular(&self) -> bool {
+        self.line_granular
+    }
+
+    /// Number of distinct executed lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
     }
 }
 
@@ -238,6 +337,30 @@ pub trait CompilerBackend: fmt::Debug + Send + Sync {
     /// Executes a compiled artifact and classifies the outcome.
     fn execute(&self, artifact: &Artifact, req: &RunRequest) -> RunOutcome;
 
+    /// How precisely [`CompilerBackend::trace`] can report executed sites.
+    /// The default matches the default `trace`: module-carrying artifacts
+    /// replay on the simulated VM's exact instruction tracer.
+    fn trace_capability(&self) -> TraceCapability {
+        TraceCapability::Site
+    }
+
+    /// Executes `artifact` recording its executed sites — Algorithm 2's
+    /// `GetExecutedSites`, the capability the crash-site-mapping oracle is
+    /// built on. `None` when this artifact cannot be traced (the oracle
+    /// then accounts the discrepancy as unarbitratable instead of silently
+    /// dropping it).
+    ///
+    /// The default implementation traces module-carrying artifacts through
+    /// the simulated VM and returns `None` for anything else; backends over
+    /// opaque artifacts override it (e.g. `CcBackend`'s debugger trace).
+    fn trace(&self, artifact: &Artifact, req: &RunRequest) -> Option<SiteTrace> {
+        artifact.module().map(|m| {
+            let (_, trace) =
+                ubfuzz_simvm::run_with_config(m, &VmConfig { step_limit: req.step_limit, trace: true });
+            SiteTrace::from_vm(trace)
+        })
+    }
+
     /// The backend's staged-compile cache, when it has one.
     fn prefix_cache(&self) -> Option<&dyn PrefixCache> {
         None
@@ -265,6 +388,94 @@ mod tests {
             RunRequest::default().step_limit,
             ubfuzz_simvm::VmConfig::default().step_limit
         );
+    }
+
+    #[test]
+    fn site_trace_granularity_membership() {
+        let mut vm = ubfuzz_simvm::Trace::default();
+        vm.executed.insert(Loc::new(3, 4));
+        vm.executed.insert(Loc::new(5, 0));
+        vm.last = Loc::new(5, 0);
+        let site = SiteTrace::from_vm(vm);
+        assert!(!site.line_granular());
+        assert!(site.contains_site(Loc::new(3, 4)));
+        assert!(!site.contains_site(Loc::new(3, 0)));
+        assert!(site.contains_line(3));
+        assert_eq!(site.last(), Loc::new(5, 0));
+        assert_eq!(site.line_count(), 2);
+
+        let line = SiteTrace::from_lines(vec![2, 3, 3, 7]);
+        assert!(line.line_granular());
+        assert!(line.contains_line(3));
+        assert!(!line.contains_line(4));
+        assert!(!line.contains_site(Loc::new(3, 0)), "sites are not trustworthy");
+        assert_eq!(line.last(), Loc::new(7, 0));
+        assert_eq!(line.line_count(), 3);
+        assert_eq!(SiteTrace::from_lines(Vec::new()).last(), Loc::UNKNOWN);
+    }
+
+    #[test]
+    fn opaque_artifacts_expose_no_module() {
+        let a = Artifact::Opaque(OpaqueArtifact {
+            token: 7,
+            compiler: CompilerId::dev(ubfuzz_simcc::target::Vendor::Gcc),
+            sanitizer: Some(Sanitizer::Asan),
+        });
+        assert!(a.module().is_none());
+    }
+
+    #[test]
+    fn default_trace_covers_module_artifacts_only() {
+        #[derive(Debug)]
+        struct Fixed(Module);
+        impl CompilerBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn toolchains(&self) -> Vec<ToolchainDesc> {
+                Vec::new()
+            }
+            fn compile(
+                &self,
+                _fp: &ProgramFingerprint,
+                _program: &Program,
+                _req: &CompileRequest<'_>,
+            ) -> Result<Artifact, CompileError> {
+                Ok(Artifact::Sim(self.0.clone()))
+            }
+            fn execute(&self, artifact: &Artifact, _req: &RunRequest) -> RunOutcome {
+                ubfuzz_simvm::run_module(artifact.module().expect("sim artifact"))
+            }
+        }
+
+        let p = ubfuzz_minic::parse(
+            "int a[4]; int i = 9;\nint main(void) {\n    a[i] = 1;\n    return 0;\n}",
+        )
+        .unwrap();
+        let reg = DefectRegistry::pristine();
+        let m = ubfuzz_simcc::pipeline::compile(
+            &p,
+            &ubfuzz_simcc::pipeline::CompileConfig::dev(
+                ubfuzz_simcc::target::Vendor::Gcc,
+                OptLevel::O0,
+                Some(Sanitizer::Asan),
+                &reg,
+            ),
+        )
+        .unwrap();
+        let backend = Fixed(m.clone());
+        assert_eq!(backend.trace_capability(), TraceCapability::Site);
+        let artifact = Artifact::Sim(m.clone());
+        let trace = backend.trace(&artifact, &RunRequest::default()).expect("sim traces");
+        let (_, reference) = ubfuzz_simvm::run_traced(&m);
+        assert_eq!(trace.last(), reference.last, "crash site matches run_traced");
+        assert!(trace.contains_site(reference.last));
+        let native = Artifact::Native(NativeArtifact {
+            binary: std::path::PathBuf::from("/nonexistent/ubfuzz-trace-test"),
+            compiler: CompilerId::dev(ubfuzz_simcc::target::Vendor::Gcc),
+            sanitizer: None,
+        });
+        assert!(backend.trace(&native, &RunRequest::default()).is_none());
     }
 
     #[test]

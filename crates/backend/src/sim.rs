@@ -138,8 +138,18 @@ impl CompilerBackend for SimBackend {
                 "SimBackend cannot execute native artifact {}",
                 n.binary.display()
             )),
+            Artifact::Opaque(o) => RunResult::Error(format!(
+                "SimBackend cannot execute foreign opaque artifact {}",
+                o.token
+            )),
         }
     }
+
+    // `trace_capability`/`trace` are the trait defaults: exact `Site`
+    // traces of module-carrying artifacts via the VM tracer — the same
+    // `run_traced` the standalone oracle has always used, so trace-based
+    // crash-site mapping over this backend is bit-identical to the
+    // module-level path (pinned by `trace_matches_run_traced` below).
 
     fn prefix_cache(&self) -> Option<&dyn PrefixCache> {
         Some(&self.session)
@@ -267,6 +277,30 @@ mod tests {
             misses: 0
         });
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_matches_run_traced() {
+        let p = parse("int a[4]; int i = 9;\nint main(void) {\n    a[i] = 1;\n    return 0;\n}")
+            .unwrap();
+        let registry = DefectRegistry::pristine();
+        let backend = SimBackend::new();
+        assert_eq!(backend.trace_capability(), crate::TraceCapability::Site);
+        let req = CompileRequest {
+            compiler: CompilerId::dev(Vendor::Gcc),
+            opt: OptLevel::O0,
+            sanitizer: Some(Sanitizer::Asan),
+            registry: &registry,
+        };
+        let artifact = backend.compile_program(&p, &req).unwrap();
+        let trace = backend.trace(&artifact, &RunRequest::default()).expect("sim traces");
+        let (r, reference) = ubfuzz_simvm::run_traced(artifact.module().unwrap());
+        assert!(r.is_report());
+        assert_eq!(trace.last(), reference.last);
+        assert!(!trace.line_granular());
+        for loc in &reference.executed {
+            assert!(trace.contains_site(*loc));
+        }
     }
 
     #[test]

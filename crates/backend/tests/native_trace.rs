@@ -1,0 +1,63 @@
+//! Native trace e2e (feature `real-toolchain`): gdb single-steps a real
+//! `-g` binary into a line-granular [`SiteTrace`]. Skips gracefully — never
+//! fails — when the machine has no compiler or no debugger, exactly like
+//! the CcBackend e2e test (CI's `features` job runs it either way).
+
+#![cfg(feature = "real-toolchain")]
+
+use ubfuzz_backend::cc::CcBackend;
+use ubfuzz_backend::{Artifact, CompileRequest, CompilerBackend, RunRequest, TraceCapability};
+use ubfuzz_minic::parse;
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::session::ProgramFingerprint;
+use ubfuzz_simcc::target::OptLevel;
+
+#[test]
+fn native_line_trace_or_skip() {
+    let Some(backend) = CcBackend::detect() else {
+        eprintln!("skipping: no gcc/clang on $PATH");
+        return;
+    };
+    if backend.gdb().is_none() {
+        eprintln!("skipping: no gdb on $PATH (trace capability degrades to None)");
+        assert_eq!(backend.trace_capability(), TraceCapability::None);
+        return;
+    }
+    assert_eq!(backend.trace_capability(), TraceCapability::Line);
+
+    // Program coordinates: the loop body (line 4) and the print (line 6)
+    // both execute; line 9 is dead.
+    let program = parse(
+        "int g;\n\
+         int main(void) {\n\
+             for (g = 0; g < 3; g = g + 1) {\n\
+                 g = g + 0;\n\
+             }\n\
+             print_value(g);\n\
+             return 0;\n\
+             g = 9;\n\
+             return g;\n\
+         }",
+    )
+    .unwrap();
+    let registry = DefectRegistry::pristine();
+    let req = CompileRequest {
+        compiler: backend.toolchains()[0].id,
+        opt: OptLevel::O0,
+        sanitizer: None,
+        registry: &registry,
+    };
+    let artifact = backend
+        .compile(&ProgramFingerprint::empty(), &program, &req)
+        .expect("plain -O0 compile works wherever a driver exists");
+    assert!(matches!(artifact, Artifact::Native(_)));
+    let Some(trace) = backend.trace(&artifact, &RunRequest::default()) else {
+        // A present-but-uncooperative gdb (containers without ptrace) is
+        // the documented graceful-degradation path.
+        eprintln!("skipping: gdb present but single-stepping produced no trace");
+        return;
+    };
+    assert!(trace.line_granular(), "native traces are line-granular");
+    assert!(trace.line_count() > 0);
+    assert!(trace.contains_line(6), "the executed print line is in the trace");
+}

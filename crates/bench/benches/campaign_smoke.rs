@@ -77,9 +77,18 @@ fn fast() -> Criterion {
 criterion_group! { name = campaign; config = fast(); targets = bench_campaign }
 
 /// One timed campaign over an optional store directory; returns
-/// (wall seconds, stats).
-fn timed_run(store: Option<&std::path::Path>) -> (f64, ubfuzz::CampaignStats) {
-    let cfg = config();
+/// (wall seconds, stats). `explicit_oracle` threads the default stack
+/// through `CampaignConfig.oracle` so the dyn-dispatch seam itself is on
+/// the measured path.
+fn timed_run_with(
+    store: Option<&std::path::Path>,
+    explicit_oracle: bool,
+) -> (f64, ubfuzz::CampaignStats) {
+    let mut builder = CampaignConfig::builder().seeds(SEEDS);
+    if explicit_oracle {
+        builder = builder.oracle(std::sync::Arc::new(ubfuzz::OracleStack::standard()));
+    }
+    let cfg = builder.build();
     let runner = match store {
         Some(dir) => {
             let backend = std::sync::Arc::new(SimBackend::with_store_capacity(
@@ -95,16 +104,33 @@ fn timed_run(store: Option<&std::path::Path>) -> (f64, ubfuzz::CampaignStats) {
     (start.elapsed().as_secs_f64(), stats)
 }
 
+fn timed_run(store: Option<&std::path::Path>) -> (f64, ubfuzz::CampaignStats) {
+    timed_run_with(store, false)
+}
+
 /// The machine-readable trajectory record: BENCH_campaign.json.
 fn emit_bench_json() {
     let dir = std::env::temp_dir().join(format!("ubfuzz-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let (cold_secs, cold) = timed_run(Some(&dir));
     let (warm_secs, warm) = timed_run(Some(&dir));
-    let (nostore_secs, _) = timed_run(None);
+    let (nostore_secs, nostore) = timed_run(None);
+    let (stacked_secs, stacked) = timed_run_with(None, true);
     let _ = std::fs::remove_dir_all(&dir);
     assert_eq!(cold, warm, "store must be invisible to results");
     assert_eq!(warm.cache.misses, 0, "warm store misses nothing: {:?}", warm.cache);
+    // The pluggable-oracle seam must be identity-preserving and free:
+    // an explicitly configured standard stack (dyn-dispatched per oracle
+    // group) matches the implicit default in results, and its units/sec
+    // must not regress beyond measurement noise (generous 2× + constant
+    // bound — this box may be 1-core and noisy; the json records both
+    // numbers for trajectory tracking).
+    assert_eq!(nostore, stacked, "explicit oracle stack must not change results");
+    assert!(
+        stacked_secs <= nostore_secs * 2.0 + 0.5,
+        "oracle trait dispatch regressed units/sec beyond noise: \
+         {stacked_secs:.3}s stacked vs {nostore_secs:.3}s default"
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"seeds\": {},", SEEDS);
@@ -112,6 +138,12 @@ fn emit_bench_json() {
     let _ = writeln!(json, "  \"cold_store_secs\": {cold_secs:.4},");
     let _ = writeln!(json, "  \"warm_store_secs\": {warm_secs:.4},");
     let _ = writeln!(json, "  \"no_store_secs\": {nostore_secs:.4},");
+    let _ = writeln!(json, "  \"explicit_oracle_secs\": {stacked_secs:.4},");
+    let _ = writeln!(
+        json,
+        "  \"units_per_sec_explicit_oracle\": {:.2},",
+        stacked.units as f64 / stacked_secs.max(1e-9)
+    );
     let _ = writeln!(
         json,
         "  \"units_per_sec_cold\": {:.2},",

@@ -9,8 +9,11 @@ use ubfuzz_detectors::campaign::{
 };
 use ubfuzz_detectors::memcheck::{self, MemcheckConfig};
 use ubfuzz_detectors::staticcheck::{analyze, StaticConfig};
+use ubfuzz_backend::{Artifact, RunRequest, SimBackend};
 use ubfuzz_minic::{pretty, UbKind};
-use ubfuzz_oracle::crash_site_mapping;
+use ubfuzz_oracle::{
+    arbitrate, trace_artifact, CompiledCell, CrashOracle, OracleInput, OracleStack,
+};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::pipeline::{compile, CompileConfig};
@@ -41,7 +44,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &registry);
     let module = compile(&seed, &cfg).unwrap();
     c.bench_function("simvm/run_module", |b| b.iter(|| run_module(&module)));
-    // Crash-site mapping on a Fig. 1-shaped discrepancy.
+    // Crash-site mapping on a Fig. 1-shaped discrepancy: once through the
+    // pair-level primitives (trace + arbitrate), once through the full
+    // trait-dispatched oracle stack over assembled cells — the delta is
+    // the cost of the pluggable-oracle seam itself.
     let ub = generate_all(&seed, &GenOptions::default());
     if let Some(u) = ub.first() {
         let bc = compile(
@@ -54,8 +60,35 @@ fn bench_pipeline(c: &mut Criterion) {
             &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &registry),
         )
         .unwrap();
+        let backend = SimBackend::uncached();
+        let req = RunRequest::default();
+        let cells = [
+            CompiledCell {
+                compiler: ubfuzz_simcc::target::CompilerId::dev(Vendor::Gcc),
+                opt: OptLevel::O0,
+                outcome: run_module(&bc),
+                artifact: Artifact::Sim(bc),
+            },
+            CompiledCell {
+                compiler: ubfuzz_simcc::target::CompilerId::dev(Vendor::Gcc),
+                opt: OptLevel::O2,
+                outcome: run_module(&bn),
+                artifact: Artifact::Sim(bn),
+            },
+        ];
         c.bench_function("oracle/crash_site_mapping", |b| {
-            b.iter(|| crash_site_mapping(&bc, &bn))
+            b.iter(|| {
+                let tc = trace_artifact(&backend, &cells[0].artifact, &req).unwrap();
+                let tn = trace_artifact(&backend, &cells[1].artifact, &req).unwrap();
+                arbitrate(&tc, tc.last(), &tn)
+            })
+        });
+        let stack = OracleStack::standard();
+        let input =
+            OracleInput { sanitizer: Sanitizer::Asan, ub_kind: u.kind, ub_loc: u.ub_loc };
+        let stack_dyn: &dyn CrashOracle = &stack;
+        c.bench_function("oracle/trait_dispatch", |b| {
+            b.iter(|| stack_dyn.judge(&backend, input, criterion::black_box(&cells)))
         });
     }
 }
@@ -146,20 +179,30 @@ int main(void) {
     return 0;
 }";
 
-/// Compile + run + map one two-level ASan discrepancy end to end.
+/// Compile + run + judge one two-level ASan discrepancy end to end through
+/// the standard oracle stack.
 fn triage(src: &str, bn_level: OptLevel, registry: &DefectRegistry) {
     let p = ubfuzz_minic::parse(src).expect("parses");
-    let bc = compile(
-        &p,
-        &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), registry),
-    )
-    .unwrap();
-    let bn = compile(
-        &p,
-        &CompileConfig::dev(Vendor::Gcc, bn_level, Some(Sanitizer::Asan), registry),
-    )
-    .unwrap();
-    criterion::black_box(crash_site_mapping(&bc, &bn));
+    let dev = ubfuzz_simcc::target::CompilerId::dev(Vendor::Gcc);
+    let cells: Vec<CompiledCell> = [(OptLevel::O0, dev), (bn_level, dev)]
+        .into_iter()
+        .map(|(opt, compiler)| {
+            let m = compile(
+                &p,
+                &CompileConfig::dev(Vendor::Gcc, opt, Some(Sanitizer::Asan), registry),
+            )
+            .unwrap();
+            CompiledCell { compiler, opt, outcome: run_module(&m), artifact: Artifact::Sim(m) }
+        })
+        .collect();
+    let ub = ubfuzz_interp::run_program(&p).ub().map(|e| e.loc).unwrap_or_default();
+    let backend = SimBackend::uncached();
+    let input = OracleInput {
+        sanitizer: Sanitizer::Asan,
+        ub_kind: UbKind::BufOverflowArray,
+        ub_loc: ub,
+    };
+    criterion::black_box(OracleStack::standard().judge(&backend, input, &cells));
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -5,8 +5,9 @@
 //! cargo run -p ubfuzz --example figure1
 //! ```
 
+use ubfuzz::backend::{Artifact, RunRequest, SimBackend};
 use ubfuzz::minic::parse;
-use ubfuzz::oracle::crash_site_mapping;
+use ubfuzz::oracle::{arbitrate, trace_artifact};
 use ubfuzz::simcc::defects::DefectRegistry;
 use ubfuzz::simcc::pipeline::{compile, CompileConfig};
 use ubfuzz::simcc::target::{OptLevel, Vendor};
@@ -40,7 +41,9 @@ fn main() {
             other => println!("{other:?}"),
         }
     }
-    // The oracle confirms this is a sanitizer bug, not an optimization.
+    // The oracle confirms this is a sanitizer bug, not an optimization:
+    // trace both binaries (GetExecutedSites) and run Algorithm 2's
+    // comparison on the crashing side's crash site.
     let bc = compile(
         &program,
         &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &registry),
@@ -51,7 +54,12 @@ fn main() {
         &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &registry),
     )
     .unwrap();
-    let mapping = crash_site_mapping(&bc, &bn).expect("discrepancy");
-    println!("\ncrash-site mapping: crash site {} executed at -O2: {:?}", mapping.crash_site, mapping.verdict);
-    println!("attribution: {:?}", bn.san.applied_defects);
+    let applied = bn.san.applied_defects.clone();
+    let backend = SimBackend::uncached();
+    let req = RunRequest::default();
+    let tc = trace_artifact(&backend, &Artifact::Sim(bc), &req).expect("crashing side traces");
+    let tn = trace_artifact(&backend, &Artifact::Sim(bn), &req).expect("normal side traces");
+    let verdict = arbitrate(&tc, tc.last(), &tn);
+    println!("\ncrash-site mapping: crash site {} executed at -O2: {:?}", tc.last(), verdict);
+    println!("attribution: {applied:?}");
 }

@@ -8,12 +8,14 @@
 //! cargo run -p ubfuzz --example invalid_report
 //! ```
 
+use ubfuzz::backend::{Artifact, RunRequest, SimBackend};
 use ubfuzz::minic::parse;
-use ubfuzz::oracle::{crash_site_mapping, Verdict};
+use ubfuzz::oracle::{arbitrate, trace_artifact, Verdict};
 use ubfuzz::simcc::defects::DefectRegistry;
 use ubfuzz::simcc::pipeline::{compile, CompileConfig};
 use ubfuzz::simcc::target::{OptLevel, Vendor};
 use ubfuzz::simcc::Sanitizer;
+use ubfuzz::simvm::run_module;
 
 const FIGURE8: &str = "
 int a;
@@ -45,18 +47,23 @@ fn main() {
         &CompileConfig::dev(Vendor::Gcc, OptLevel::O3, Some(Sanitizer::Asan), &registry),
     )
     .unwrap();
-    match crash_site_mapping(&bc, &bn) {
-        Some(m) => {
-            println!("oracle verdict: {:?} (crash site {} still executed at -O3)", m.verdict, m.crash_site);
-            if m.verdict == Verdict::SanitizerBug {
-                println!(
-                    "attribution: defects={:?} legit_transforms={:?}",
-                    bn.san.applied_defects, bn.san.legit_transforms
-                );
-                println!("=> no defect applied, but a legitimate -O3 transformation did:");
-                println!("   this report would be filed and marked INVALID (Table 3).");
-            }
-        }
-        None => println!("no discrepancy (GCC -O3 did not transform the loop)"),
+    // Premise: -O0 reports, -O3 exits normally — then Algorithm 2 runs on
+    // the executed-site traces.
+    if !run_module(&bc).is_report() || !run_module(&bn).is_normal_exit() {
+        println!("no discrepancy (GCC -O3 did not transform the loop)");
+        return;
+    }
+    let applied = bn.san.applied_defects.clone();
+    let legit = bn.san.legit_transforms.clone();
+    let backend = SimBackend::uncached();
+    let req = RunRequest::default();
+    let tc = trace_artifact(&backend, &Artifact::Sim(bc), &req).expect("crashing side traces");
+    let tn = trace_artifact(&backend, &Artifact::Sim(bn), &req).expect("normal side traces");
+    let verdict = arbitrate(&tc, tc.last(), &tn);
+    println!("oracle verdict: {verdict:?} (crash site {} still executed at -O3)", tc.last());
+    if verdict == Verdict::SanitizerBug {
+        println!("attribution: defects={applied:?} legit_transforms={legit:?}");
+        println!("=> no defect applied, but a legitimate -O3 transformation did:");
+        println!("   this report would be filed and marked INVALID (Table 3).");
     }
 }

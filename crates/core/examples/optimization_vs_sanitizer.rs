@@ -8,8 +8,9 @@
 //! cargo run -p ubfuzz --example optimization_vs_sanitizer
 //! ```
 
+use ubfuzz::backend::{Artifact, RunRequest, SimBackend};
 use ubfuzz::minic::parse;
-use ubfuzz::oracle::{crash_site_mapping, Verdict};
+use ubfuzz::oracle::{arbitrate, trace_artifact, Verdict};
 use ubfuzz::simcc::defects::DefectRegistry;
 use ubfuzz::simcc::pipeline::{compile, CompileConfig};
 use ubfuzz::simcc::target::{OptLevel, Vendor};
@@ -64,9 +65,13 @@ fn main() {
         &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &registry),
     )
     .unwrap();
-    let mapping = crash_site_mapping(&bc, &bn).expect("discrepancy");
-    println!("\ncrash-site mapping: crash site {} -> {:?}", mapping.crash_site, mapping.verdict);
-    assert_eq!(mapping.verdict, Verdict::OptimizationArtifact);
+    let backend = SimBackend::uncached();
+    let req = RunRequest::default();
+    let tc = trace_artifact(&backend, &Artifact::Sim(bc), &req).expect("crashing side traces");
+    let tn = trace_artifact(&backend, &Artifact::Sim(bn), &req).expect("normal side traces");
+    let verdict = arbitrate(&tc, tc.last(), &tn);
+    println!("\ncrash-site mapping: crash site {} -> {:?}", tc.last(), verdict);
+    assert_eq!(verdict, Verdict::OptimizationArtifact);
     println!("=> the crash site is no longer executed at -O2: the compiler removed");
     println!("   the UB, the sanitizer is innocent, and the discrepancy is dropped.");
 }

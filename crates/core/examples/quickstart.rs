@@ -4,12 +4,13 @@
 //! cargo run -p ubfuzz --example quickstart
 //! ```
 
+use ubfuzz::backend::{Artifact, SimBackend};
 use ubfuzz::minic::pretty;
-use ubfuzz::oracle::{crash_site_mapping, Verdict};
+use ubfuzz::oracle::{CompiledCell, CrashOracle, OracleInput, OracleStack};
 use ubfuzz::seedgen::{generate_seed, SeedOptions};
 use ubfuzz::simcc::defects::DefectRegistry;
 use ubfuzz::simcc::pipeline::{compile, CompileConfig};
-use ubfuzz::simcc::target::{OptLevel, Vendor};
+use ubfuzz::simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz::simcc::{san, Sanitizer};
 use ubfuzz::simvm::run_module;
 use ubfuzz::ubgen::{generate_all, GenOptions};
@@ -26,13 +27,16 @@ fn main() {
         println!("  - {:<22} at {:<7} {}", u.kind.name(), u.ub_loc.to_string(), u.description);
     }
 
-    // 3. Differential testing of one UB program across compilers/levels.
+    // 3. Differential testing of one UB program across compilers/levels:
+    //    collect the compiled matrix per sanitizer as oracle cells.
     let registry = DefectRegistry::full();
     let Some(u) = ub_programs.first() else { return };
     println!("\n=== differential testing: {} ===", u.kind);
-    let mut crashing = None;
-    let mut normal = None;
+    let backend = SimBackend::new();
+    let oracle = OracleStack::standard();
+    let mut judged = false;
     for sanitizer in san::sanitizers_for(u.kind) {
+        let mut cells: Vec<CompiledCell> = Vec::new();
         for vendor in Vendor::ALL {
             if vendor == Vendor::Gcc && sanitizer == Sanitizer::Msan {
                 continue;
@@ -40,31 +44,41 @@ fn main() {
             for opt in OptLevel::ALL {
                 let cfg = CompileConfig::dev(vendor, opt, Some(sanitizer), &registry);
                 let m = compile(&u.program, &cfg).expect("compiles");
-                let r = run_module(&m);
-                println!("  {vendor:<4} {opt} {sanitizer:<5} -> {r:?}");
-                if r.is_report() && crashing.is_none() {
-                    crashing = Some(m);
-                } else if r.is_normal_exit() && normal.is_none() {
-                    normal = Some(m);
-                }
+                let outcome = run_module(&m);
+                println!("  {vendor:<4} {opt} {sanitizer:<5} -> {outcome:?}");
+                cells.push(CompiledCell {
+                    compiler: CompilerId::dev(vendor),
+                    opt,
+                    artifact: Artifact::Sim(m),
+                    outcome,
+                });
             }
+        }
+
+        // 4. The oracle stack (wrong-report detection → discrepancy
+        //    accounting → crash-site mapping, Algorithm 2) judges the
+        //    matrix; any backend with a trace capability could stand in.
+        let verdicts =
+            oracle.judge(&backend, OracleInput { sanitizer, ub_kind: u.kind, ub_loc: u.ub_loc }, &cells);
+        if !verdicts.discrepancy {
+            continue;
+        }
+        judged = true;
+        if let Some(site) = verdicts.crash_site {
+            println!("\ncrash site {site} ({sanitizer})");
+        }
+        if verdicts.selected() {
+            for &i in &verdicts.sanitizer_bugs {
+                println!(
+                    "=> sanitizer false-negative bug: {} {} misses at {} (would be reported)",
+                    cells[i].compiler, sanitizer, cells[i].opt
+                );
+            }
+        } else {
+            println!("=> compiler optimization removed the UB (dropped)");
         }
     }
-
-    // 4. Crash-site mapping (Algorithm 2) on the first discrepancy.
-    if let (Some(bc), Some(bn)) = (crashing, normal) {
-        if let Some(mapping) = crash_site_mapping(&bc, &bn) {
-            println!("\ncrash site {} -> {:?}", mapping.crash_site, mapping.verdict);
-            match mapping.verdict {
-                Verdict::SanitizerBug => {
-                    println!("=> sanitizer false-negative bug (would be reported)")
-                }
-                Verdict::OptimizationArtifact => {
-                    println!("=> compiler optimization removed the UB (dropped)")
-                }
-            }
-        }
-    } else {
+    if !judged {
         println!("\nno discrepancy on this program — every compiler caught it");
     }
 }

@@ -7,7 +7,7 @@ use ubfuzz_backend::{
     Artifact, CompileRequest, CompilerBackend, RunOutcome, RunRequest, SimBackend, ToolchainDesc,
 };
 use ubfuzz_minic::{pretty, Program, UbKind};
-use ubfuzz_oracle::{crash_site_mapping, Verdict};
+use ubfuzz_oracle::{CompiledCell, CrashOracle, OracleInput, OracleStack, OracleTelemetry};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::session::{ProgramFingerprint, SessionStats};
@@ -60,6 +60,11 @@ pub struct CampaignConfig {
     /// cache (if any) persists across every run over this config, which is
     /// what cross-campaign prefix reuse builds on.
     pub backend: Option<Arc<dyn CompilerBackend>>,
+    /// The test oracle judging each program's compiled matrix. `None` (the
+    /// default) is the paper's crash-site-mapping stack
+    /// ([`OracleStack::standard`]); ablations select a different stack
+    /// ([`OracleStack::naive`]) instead of forking campaign code.
+    pub oracle: Option<Arc<dyn CrashOracle>>,
 }
 
 impl Default for CampaignConfig {
@@ -73,6 +78,7 @@ impl Default for CampaignConfig {
             generator: GeneratorChoice::Ubfuzz,
             reduce: false,
             backend: None,
+            oracle: None,
         }
     }
 }
@@ -130,6 +136,15 @@ impl CampaignConfig {
                 ubfuzz_simcc::session::CompileSession::with_capacity(self.prefix_key_bound()),
             )),
             None => Arc::new(SimBackend::uncached()),
+        }
+    }
+
+    /// The oracle this config's campaigns judge discrepancies with: the
+    /// configured stack, or the paper's standard one.
+    pub(crate) fn resolve_oracle(&self) -> Arc<dyn CrashOracle> {
+        match &self.oracle {
+            Some(o) => Arc::clone(o),
+            None => Arc::new(OracleStack::standard()),
         }
     }
 }
@@ -202,6 +217,13 @@ impl CampaignConfigBuilder {
     /// Explicit compilation/execution backend (shared across runs).
     pub fn backend(mut self, backend: Arc<dyn CompilerBackend>) -> Self {
         self.cfg.backend = Some(backend);
+        self
+    }
+
+    /// Explicit test oracle (defaults to the paper's crash-site-mapping
+    /// stack, [`OracleStack::standard`]).
+    pub fn oracle(mut self, oracle: Arc<dyn CrashOracle>) -> Self {
+        self.cfg.oracle = Some(oracle);
         self
     }
 
@@ -305,6 +327,11 @@ pub struct CampaignStats {
     /// denominator for benches. Execution metadata like `cache`: excluded
     /// from equality.
     pub units: usize,
+    /// Per-sanitizer drop accounting (`no-module` / `no-trace` /
+    /// `optimization-artifact`) — what makes real-toolchain campaigns
+    /// debuggable. Execution metadata like `cache` (trace availability can
+    /// vary between machines): excluded from equality.
+    pub oracle: OracleTelemetry,
 }
 
 impl CampaignStats {
@@ -318,7 +345,9 @@ impl CampaignStats {
 /// figures render. Cache telemetry is execution metadata: with a shared
 /// cache, *which* lookup hits depends on worker scheduling, so including it
 /// would spuriously fail the sequential-vs-parallel bit-identity property
-/// the whole design preserves.
+/// the whole design preserves. The oracle's drop-reason breakdown follows
+/// the same rule: whether a drop was arbitrated or merely untraceable
+/// depends on the machine's trace equipment, never on the results.
 impl PartialEq for CampaignStats {
     fn eq(&self, other: &CampaignStats) -> bool {
         self.seeds == other.seeds
@@ -366,6 +395,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
 /// [`run_campaign`] over an explicit backend (ignoring `cfg.backend`).
 pub fn run_campaign_on(backend: &dyn CompilerBackend, cfg: &CampaignConfig) -> CampaignStats {
     let toolchains = backend.toolchains();
+    let oracle = cfg.resolve_oracle();
+    let ctx = CampaignCtx { cfg, backend, oracle: oracle.as_ref() };
     let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
     let mut stats = CampaignStats::default();
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
@@ -374,7 +405,7 @@ pub fn run_campaign_on(backend: &dyn CompilerBackend, cfg: &CampaignConfig) -> C
         let programs = generate_programs(cfg, seed_id);
         for u in programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            test_one(cfg, backend, &toolchains, &u, &mut stats, &mut bug_index);
+            test_one(&ctx, &toolchains, &u, &mut stats, &mut bug_index);
         }
     }
     stats.cache =
@@ -598,8 +629,15 @@ fn classify(p: Program) -> Option<UbProgram> {
     })
 }
 
-/// One compiled cell of the per-program test matrix.
-pub(crate) type CompiledCell = (CompilerId, OptLevel, Artifact, RunOutcome);
+/// The per-campaign judgment context: configuration, the backend that
+/// builds/runs cells, and the oracle that judges them. One per campaign —
+/// shared verbatim by the sequential loop and the unit executor's
+/// canonical-order merge, so the two paths cannot drift.
+pub(crate) struct CampaignCtx<'a> {
+    pub cfg: &'a CampaignConfig,
+    pub backend: &'a dyn CompilerBackend,
+    pub oracle: &'a dyn CrashOracle,
+}
 
 /// Compiles and runs one `(program, sanitizer, compiler, opt)` unit — the
 /// executor's task granularity. `None` for unsupported/uncompilable cells,
@@ -620,112 +658,104 @@ pub(crate) fn compile_cell(
 }
 
 fn test_one(
-    cfg: &CampaignConfig,
-    backend: &dyn CompilerBackend,
+    ctx: &CampaignCtx<'_>,
     toolchains: &[ToolchainDesc],
     u: &UbProgram,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
 ) {
-    let fp = backend.fingerprint(&u.program);
+    let fp = ctx.backend.fingerprint(&u.program);
     for sanitizer in san::sanitizers_for(u.kind) {
         let matrix = test_matrix(toolchains, sanitizer);
         stats.units += matrix.len();
         let compiled: Vec<CompiledCell> = matrix
             .into_iter()
             .filter_map(|(compiler, opt)| {
-                compile_cell(backend, &cfg.registry, &fp, &u.program, sanitizer, compiler, opt)
-                    .map(|(artifact, result)| (compiler, opt, artifact, result))
+                compile_cell(
+                    ctx.backend,
+                    &ctx.cfg.registry,
+                    &fp,
+                    &u.program,
+                    sanitizer,
+                    compiler,
+                    opt,
+                )
+                .map(|(artifact, outcome)| CompiledCell { compiler, opt, artifact, outcome })
             })
             .collect();
-        oracle_one(cfg, backend, u, sanitizer, &compiled, stats, bug_index);
+        oracle_one(ctx, u, sanitizer, &compiled, stats, bug_index);
     }
 }
 
-/// The differential-testing oracle over one program's compiled matrix for
-/// one sanitizer: wrong-report detection, discrepancy counting, crash-site
-/// mapping, dedup/attribution. Shared verbatim by the sequential loop and
-/// the unit executor's canonical-order merge, so the two paths cannot drift.
+/// The thin campaign driver over the configured [`CrashOracle`]: judge one
+/// program's compiled matrix for one sanitizer, then fold the verdicts into
+/// campaign statistics and dedup/attribution. Shared verbatim by the
+/// sequential loop and the unit executor's canonical-order merge, so the
+/// two paths cannot drift. Judgment itself — wrong-report detection,
+/// discrepancy accounting, crash-site mapping — lives in the oracle stack
+/// (`ubfuzz_oracle`).
 pub(crate) fn oracle_one(
-    cfg: &CampaignConfig,
-    backend: &dyn CompilerBackend,
+    ctx: &CampaignCtx<'_>,
     u: &UbProgram,
     sanitizer: Sanitizer,
     compiled: &[CompiledCell],
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
 ) {
-    let reporting: Vec<usize> =
-        (0..compiled.len()).filter(|&i| compiled[i].3.is_report()).collect();
-    let normal: Vec<usize> =
-        (0..compiled.len()).filter(|&i| compiled[i].3.is_normal_exit()).collect();
-    // Wrong-report detection: the sanitizer reported, but the report
-    // points *before* the UB site (two of the paper's 31 bugs carry
-    // wrong report information). Reports at later lines are legitimate:
-    // the optimizer may have removed a dead UB access and the sanitizer
-    // then correctly blames the next one.
-    for &i in &reporting {
-        let (compiler, opt, artifact, result) = &compiled[i];
-        let report = result.report().expect("reporting index");
-        if report.kind.matches_ub(u.kind) && report.loc.line < u.ub_loc.line {
-            record_bug(
-                cfg,
-                backend,
-                stats,
-                bug_index,
-                BugObservation {
-                    vendor: compiler.vendor,
-                    sanitizer,
-                    kind: u.kind,
-                    module: artifact.module(),
-                    opt: *opt,
-                    wrong_report: true,
-                    program: &u.program,
-                },
-            );
-        }
+    let verdicts = ctx.oracle.judge(
+        ctx.backend,
+        OracleInput { sanitizer, ub_kind: u.kind, ub_loc: u.ub_loc },
+        compiled,
+    );
+    // Two of the paper's 31 bugs carry wrong report information; they file
+    // regardless of the discrepancy outcome.
+    for &i in &verdicts.wrong_reports {
+        let cell = &compiled[i];
+        record_bug(
+            ctx,
+            stats,
+            bug_index,
+            BugObservation {
+                vendor: cell.compiler.vendor,
+                sanitizer,
+                kind: u.kind,
+                module: cell.artifact.module(),
+                opt: cell.opt,
+                wrong_report: true,
+                program: &u.program,
+            },
+        );
     }
-    if reporting.is_empty() || normal.is_empty() {
-        return;
+    if verdicts.discrepancy {
+        stats.discrepancies += 1;
     }
-    stats.discrepancies += 1;
-    // Crash-site mapping needs the compiled modules; backends whose
-    // artifacts are opaque binaries (real toolchains) cannot arbitrate, so
-    // their discrepancies are conservatively dropped rather than filed —
-    // the paper's "practically infeasible" triage burden is exactly what
-    // the oracle exists to avoid.
-    let bc = compiled[reporting[0]].2.module();
-    let mut any_selected = false;
-    for &ni in &normal {
-        let (compiler, opt, bn_artifact, _) = &compiled[ni];
-        let (Some(bc), Some(bn)) = (bc, bn_artifact.module()) else { continue };
-        let Some(mapping) = crash_site_mapping(bc, bn) else { continue };
-        match mapping.verdict {
-            Verdict::SanitizerBug => {
-                any_selected = true;
-                record_bug(
-                    cfg,
-                    backend,
-                    stats,
-                    bug_index,
-                    BugObservation {
-                        vendor: compiler.vendor,
-                        sanitizer,
-                        kind: u.kind,
-                        module: Some(bn),
-                        opt: *opt,
-                        wrong_report: false,
-                        program: &u.program,
-                    },
-                );
-            }
-            Verdict::OptimizationArtifact => {}
-        }
+    // Selected normal cells file as FN bugs. Module-carrying artifacts
+    // attribute to injected defects; module-less ones (native/opaque
+    // backends, arbitrated via their trace) dedup under the per-(vendor,
+    // sanitizer, kind) "unknown" key — a trace-derived verdict instead of
+    // the old silent drop.
+    for &ni in &verdicts.sanitizer_bugs {
+        let cell = &compiled[ni];
+        record_bug(
+            ctx,
+            stats,
+            bug_index,
+            BugObservation {
+                vendor: cell.compiler.vendor,
+                sanitizer,
+                kind: u.kind,
+                module: cell.artifact.module(),
+                opt: cell.opt,
+                wrong_report: false,
+                program: &u.program,
+            },
+        );
     }
-    if any_selected {
+    if verdicts.selected() {
         stats.selected += 1;
-    } else {
+    } else if let Some(reason) = verdicts.drop_reason() {
         stats.dropped += 1;
+        stats.oracle.record_drop(sanitizer, reason);
     }
 }
 
@@ -742,12 +772,12 @@ struct BugObservation<'a> {
 }
 
 fn record_bug(
-    cfg: &CampaignConfig,
-    backend: &dyn CompilerBackend,
+    ctx: &CampaignCtx<'_>,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
     obs: BugObservation<'_>,
 ) {
+    let (cfg, backend) = (ctx.cfg, ctx.backend);
     // Attribution = the defects the vendor's passes recorded in the module
     // (the analogue of the paper's root-cause analysis with developers).
     // A BTreeSet so attribution iterates in a stable order: bug vec order

@@ -35,9 +35,10 @@
 //! algorithm consuming those outcomes in the sequential order.
 
 use crate::campaign::{
-    compile_cell, generate_programs, oracle_one, test_matrix, CampaignConfig,
-    CampaignInterrupted, CampaignStats, CompiledCell,
+    compile_cell, generate_programs, oracle_one, test_matrix, CampaignConfig, CampaignCtx,
+    CampaignInterrupted, CampaignStats,
 };
+use ubfuzz_oracle::CompiledCell;
 use crate::persist::campaign_fingerprint;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -108,6 +109,8 @@ pub fn run_unit_campaign_checkpointed(
     let exec = Executor::new(workers);
     let backend = cfg.resolve_backend(cache);
     let backend = backend.as_ref();
+    let oracle = cfg.resolve_oracle();
+    let ctx = CampaignCtx { cfg, backend, oracle: oracle.as_ref() };
     let toolchains = backend.toolchains();
     // Counters are monotone and may be shared across campaigns (one backend
     // can back every `make_tables` entry point); report this run's delta.
@@ -237,8 +240,8 @@ pub fn run_unit_campaign_checkpointed(
                 UnitResult::Cell(compiler, opt, cell, logged) => {
                     completed_cells += usize::from(logged);
                     if !starved {
-                        if let Some((artifact, run)) = cell {
-                            group_cells.push((compiler, opt, artifact, run));
+                        if let Some((artifact, outcome)) = cell {
+                            group_cells.push(CompiledCell { compiler, opt, artifact, outcome });
                         }
                     }
                 }
@@ -251,8 +254,7 @@ pub fn run_unit_campaign_checkpointed(
                 if !starved {
                     let g = &groups[gi];
                     oracle_one(
-                        cfg,
-                        backend,
+                        &ctx,
                         programs[g.pi],
                         g.sanitizer,
                         &group_cells,

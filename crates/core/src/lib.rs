@@ -34,6 +34,7 @@ pub use campaign::{
     CampaignConfigBuilder, CampaignInterrupted, CampaignStats, FoundBug, ParallelCampaign,
 };
 pub use ubfuzz_backend::{CompilerBackend, SimBackend};
+pub use ubfuzz_oracle::{CrashOracle, OracleStack, OracleTelemetry};
 pub use ubfuzz_simcc::session::SessionStats;
 
 pub use ubfuzz_backend as backend;

@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use ubfuzz_backend::{CompileRequest, CompilerBackend, RunRequest, SimBackend};
 use ubfuzz_exec::Executor;
+use ubfuzz_oracle::OracleStack;
 use ubfuzz_minic::{parse, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::{BugStatus, DefectCategory, DefectRegistry};
@@ -433,38 +434,66 @@ pub fn fig11_with(
     out
 }
 
-/// §4.4 oracle precision/recall summary line.
+/// §4.4 oracle precision/recall summary line, with a per-sanitizer drop
+/// breakdown whenever any drop was *unarbitrated* (no module to map, no
+/// trace to arbitrate with). Fully trace-capable backends — the simulated
+/// world every table is measured in — have no unarbitrated drops, so their
+/// output is byte-identical to the pre-breakdown format; the extra lines
+/// exist to make real-toolchain campaigns debuggable.
 pub fn oracle_stats(stats: &CampaignStats) -> String {
-    format!(
+    let mut out = format!(
         "Oracle: {} UB programs, {} discrepancies, {} selected as sanitizer bugs, {} dropped as optimization artifacts\n",
         stats.total_programs(),
         stats.discrepancies,
         stats.selected,
         stats.dropped
-    )
+    );
+    if stats.oracle.unarbitrated() > 0 {
+        use ubfuzz_oracle::DropReason;
+        for sanitizer in stats.oracle.sanitizers() {
+            let _ = writeln!(
+                out,
+                "  dropped[{sanitizer}]: optimization-artifact={} no-module={} no-trace={}",
+                stats.oracle.dropped(sanitizer, DropReason::OptimizationArtifact),
+                stats.oracle.dropped(sanitizer, DropReason::NoModule),
+                stats.oracle.dropped(sanitizer, DropReason::NoTrace),
+            );
+        }
+    }
+    out
 }
 
 /// §4.4 ablation: what differential testing would file *without* the
 /// crash-site-mapping oracle.
 ///
-/// Run in the pristine world (correct sanitizers), every cross-level
-/// discrepancy is optimization-caused: a naive "any discrepancy is a bug"
-/// oracle would file them all — the "practically infeasible" triage burden
-/// the paper motivates the oracle with — while crash-site mapping files
-/// none, except the engineered Fig. 8 invalid-report shape when a seed
-/// happens to produce it.
+/// Since the oracle became configuration ([`CampaignConfig`] carries a
+/// [`ubfuzz_oracle::CrashOracle`]), the ablation is pure *stack selection*: the same
+/// campaign runs once under [`OracleStack::standard`] and once under
+/// [`OracleStack::naive`] — no forked campaign code. In the pristine world
+/// (correct sanitizers) every cross-level discrepancy is
+/// optimization-caused: the naive stack files them all — the "practically
+/// infeasible" triage burden the paper motivates the oracle with — while
+/// crash-site mapping files none, except the engineered Fig. 8
+/// invalid-report shape when a seed happens to produce it.
 pub fn oracle_ablation(seeds: usize) -> String {
     oracle_ablation_with(Arc::new(SimBackend::new()), seeds)
 }
 
-/// [`oracle_ablation`] over an explicit (shared) backend.
+/// [`oracle_ablation`] over an explicit (shared) backend — both stacks
+/// recompile the same matrix, so the second run is served from the
+/// backend's prefix cache.
 pub fn oracle_ablation_with(backend: Arc<dyn CompilerBackend>, seeds: usize) -> String {
-    let stats = CampaignConfig::builder()
-        .seeds(seeds)
-        .registry(DefectRegistry::pristine())
-        .backend(backend)
-        .build_runner()
-        .run();
+    let campaign = |oracle: OracleStack| {
+        CampaignConfig::builder()
+            .seeds(seeds)
+            .registry(DefectRegistry::pristine())
+            .backend(Arc::clone(&backend))
+            .oracle(Arc::new(oracle))
+            .build_runner()
+            .run()
+    };
+    let stats = campaign(OracleStack::standard());
+    let naive = campaign(OracleStack::naive());
     let invalid = stats.bugs.iter().filter(|b| b.invalid).count();
     let mut out = String::new();
     let _ = writeln!(out, "Oracle ablation (pristine sanitizers, {seeds} seeds):");
@@ -473,7 +502,7 @@ pub fn oracle_ablation_with(backend: Arc<dyn CompilerBackend>, seeds: usize) -> 
     let _ = writeln!(
         out,
         "  naive oracle would file:  {} (every one a false accusation)",
-        stats.discrepancies
+        naive.selected
     );
     let _ = writeln!(
         out,

@@ -136,11 +136,13 @@ fn reduced_fig1_report_still_triggers_the_bug() {
     // The paper's reporting pipeline: before filing, C-Reduce shrinks the
     // triggering program while "GCC ASan -O0 catches it, -O2 misses it, and
     // the oracle says sanitizer bug" keeps holding.
+    use ubfuzz::backend::{Artifact, RunRequest, SimBackend};
     use ubfuzz::minic::{parse, pretty, Program};
-    use ubfuzz::oracle::{crash_site_mapping, Verdict};
+    use ubfuzz::oracle::{arbitrate, trace_artifact, Verdict};
     use ubfuzz::simcc::pipeline::{compile, CompileConfig};
     use ubfuzz::simcc::target::OptLevel;
     use ubfuzz::simcc::Sanitizer;
+    use ubfuzz::simvm::run_module;
 
     let program = parse(
         "
@@ -158,6 +160,7 @@ fn reduced_fig1_report_still_triggers_the_bug() {
     )
     .expect("Fig. 1 parses");
     let registry = DefectRegistry::full();
+    let backend = SimBackend::new();
     let mut interesting = |p: &Program| {
         let Ok(bc) = compile(
             p,
@@ -171,7 +174,14 @@ fn reduced_fig1_report_still_triggers_the_bug() {
         ) else {
             return false;
         };
-        crash_site_mapping(&bc, &bn).is_some_and(|m| m.verdict == Verdict::SanitizerBug)
+        // The oracle premise, then Algorithm 2 over the trace seam.
+        if !run_module(&bc).is_report() || !run_module(&bn).is_normal_exit() {
+            return false;
+        }
+        let req = RunRequest::default();
+        let Ok(tc) = trace_artifact(&backend, &Artifact::Sim(bc), &req) else { return false };
+        let Ok(tn) = trace_artifact(&backend, &Artifact::Sim(bn), &req) else { return false };
+        arbitrate(&tc, tc.last(), &tn) == Verdict::SanitizerBug
     };
     assert!(interesting(&program), "premise: Fig. 1 triggers gcc-asan-d01");
     let reduced = ubfuzz::reduce::reduce(&program, &mut interesting);

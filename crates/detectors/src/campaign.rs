@@ -22,8 +22,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use ubfuzz_backend::{CompileRequest, CompilerBackend, SimBackend};
+use ubfuzz_backend::{CompileRequest, CompilerBackend, SimBackend, SiteTrace};
 use ubfuzz_exec::Executor;
+use ubfuzz_oracle::{arbitrate, Verdict as OracleVerdict};
 use ubfuzz_minic::{parse, pretty, UbKind};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
@@ -335,15 +336,22 @@ pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignSt
             }
         }
         // Cross-level single-tool differential (the Fig. 3 situation): a
-        // report at -O0 and silence at -O2 under the *same* tool. Report-site
-        // mapping decides whether the optimizer removed the UB.
+        // report at -O0 and silence at -O2 under the *same* tool.
+        // Report-site mapping decides whether the optimizer removed the UB
+        // — Algorithm 2's comparison shared with the sanitizer campaigns
+        // (`ubfuzz_oracle::arbitrate`), with the DBI engine's executed-site
+        // trace standing in for the debugger's.
         if runs.len() == 2 {
             let (_, a0, _) = &runs[0];
             let (_, a2, _) = &runs[1];
             let r0 = a0.result.reports().iter().find(|r| r.kind.matches_ub(u.kind));
             let a2_detects = a2.result.reports().iter().any(|r| r.kind.matches_ub(u.kind));
             if let Some(rep) = r0 {
-                if !a2_detects && !a2.trace.contains(rep.loc) {
+                let bc = SiteTrace::from_vm(a0.trace.clone());
+                let bn = SiteTrace::from_vm(a2.trace.clone());
+                if !a2_detects
+                    && arbitrate(&bc, rep.loc, &bn) == OracleVerdict::OptimizationArtifact
+                {
                     stats.optimization_artifacts += 1;
                 }
             }

@@ -1,0 +1,91 @@
+//! Property: the wrong-report stage never flags a report at a line *after*
+//! the UB site (the dead-UB-removed case, where the optimizer deleted a
+//! dead UB access and the sanitizer then correctly blames the next one),
+//! across the full vendor × version × optimization matrix.
+//!
+//! Kept small-cased: every case compiles generated UB programs under every
+//! stable and development compiler version at every level.
+
+use proptest::prelude::*;
+use ubfuzz_backend::{Artifact, CompileRequest, CompilerBackend, SimBackend};
+use ubfuzz_oracle::{CompiledCell, CrashOracle, OracleInput, OracleStack};
+use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::defects::DefectRegistry;
+use ubfuzz_simcc::san;
+use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
+use ubfuzz_ubgen::{generate_all, GenOptions};
+
+/// Every `(vendor, version, opt)` cell the reproduction knows: all stable
+/// versions plus the development head, at every level.
+fn full_matrix() -> Vec<(CompilerId, OptLevel)> {
+    let mut out = Vec::new();
+    for vendor in Vendor::ALL {
+        let versions: Vec<u32> =
+            vendor.stable_versions().chain([CompilerId::dev(vendor).version]).collect();
+        for version in versions {
+            for opt in OptLevel::ALL {
+                out.push((CompilerId { vendor, version }, opt));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, .. ProptestConfig::default() })]
+
+    #[test]
+    fn wrong_reports_are_never_after_the_ub_site(seed_id in 0u64..200) {
+        let seed = generate_seed(seed_id, &SeedOptions {
+            max_helpers: 1,
+            max_globals: 5,
+            max_stmts: 4,
+            max_depth: 2,
+            ..SeedOptions::default()
+        });
+        let programs = generate_all(&seed, &GenOptions {
+            max_per_kind: 1,
+            ..GenOptions::default()
+        });
+        // The full registry contains the wrong-line defects, so earlier-line
+        // (genuinely wrong) reports do occur and the property is not vacuous.
+        let registry = DefectRegistry::full();
+        let backend = SimBackend::new();
+        let stack = OracleStack::standard();
+        let matrix = full_matrix();
+        for u in programs.iter().take(2) {
+            let fp = backend.fingerprint(&u.program);
+            for sanitizer in san::sanitizers_for(u.kind) {
+                let cells: Vec<CompiledCell> = matrix
+                    .iter()
+                    .filter_map(|&(compiler, opt)| {
+                        let req = CompileRequest {
+                            compiler,
+                            opt,
+                            sanitizer: Some(sanitizer),
+                            registry: &registry,
+                        };
+                        let artifact = backend.compile(&fp, &u.program, &req).ok()?;
+                        let outcome = backend.execute(&artifact, &Default::default());
+                        Some(CompiledCell { compiler, opt, artifact, outcome })
+                    })
+                    .collect();
+                let verdicts = stack.judge(
+                    &backend,
+                    OracleInput { sanitizer, ub_kind: u.kind, ub_loc: u.ub_loc },
+                    &cells,
+                );
+                for &i in &verdicts.wrong_reports {
+                    let report = cells[i].outcome.report().expect("wrong-report cell reported");
+                    prop_assert!(
+                        report.loc.line < u.ub_loc.line,
+                        "seed {seed_id} {sanitizer} {:?} {}: report at {} flagged as wrong \
+                         but the UB site is {} — reports at or after the site are legitimate",
+                        cells[i].compiler, cells[i].opt, report.loc, u.ub_loc
+                    );
+                    prop_assert!(matches!(cells[i].artifact, Artifact::Sim(_)));
+                }
+            }
+        }
+    }
+}
