@@ -116,6 +116,10 @@ impl CcBackend {
         // two backends in one process must never alias artifact paths
         // (each instance counts its own compiles from zero).
         static INSTANCE: AtomicU64 = AtomicU64::new(0);
+        // A SIGKILLed worker (daemon lease reclaim) never runs Drop, so its
+        // workdir outlives it; reclaim predecessors' leavings here, where
+        // every new backend passes anyway.
+        sweep_stale_workdirs(&std::env::temp_dir(), STALE_WORKDIR_AGE);
         let workdir = std::env::temp_dir().join(format!(
             "ubfuzz-cc-{}-{}",
             std::process::id(),
@@ -149,6 +153,56 @@ impl CcBackend {
             .find(|t| t.vendor == compiler.vendor && t.version == compiler.version)
             .or_else(|| self.tools.iter().find(|t| t.vendor == compiler.vendor))
     }
+}
+
+/// How old an orphaned workdir must be before the sweep removes it. The
+/// age threshold guards the race where a sibling process created its
+/// workdir but has not yet populated `/proc`-visible state we can check.
+const STALE_WORKDIR_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Removes `ubfuzz-cc-<pid>-<n>` workdirs under `root` whose owning pid is
+/// dead and whose directory is at least `max_age` old. Both conditions must
+/// hold: liveness alone races against pid reuse, age alone would reap a
+/// long-running sibling campaign's artifacts.
+fn sweep_stale_workdirs(root: &std::path::Path, max_age: std::time::Duration) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    let own_pid = std::process::id();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = name
+            .strip_prefix("ubfuzz-cc-")
+            .and_then(|rest| rest.split('-').next())
+            .and_then(|pid| pid.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if pid == own_pid || pid_alive(pid) {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| mtime.elapsed().ok())
+            .is_some_and(|age| age >= max_age);
+        if old_enough {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+/// Whether `pid` names a live process. Platforms without a cheap probe
+/// answer "alive" — the conservative direction (never reap a live
+/// sibling's artifacts).
+#[cfg(target_os = "linux")]
+fn pid_alive(pid: u32) -> bool {
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_alive(_pid: u32) -> bool {
+    true
 }
 
 /// Probes for a gdb on `$PATH`. Tracing is optional equipment: CI images
@@ -687,6 +741,38 @@ mod tests {
         assert!(parse_gdb_trace("UBFUZZ-TRACE-CAP\n", "p0.c", 3).is_empty());
         // And the script actually ends with it.
         assert!(TRACE_SCRIPT.ends_with("echo UBFUZZ-TRACE-CAP\\n\n"));
+    }
+
+    #[test]
+    fn stale_workdir_sweep_reaps_dead_pids_only() {
+        let root = std::env::temp_dir().join(format!(
+            "ubfuzz-cc-sweep-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        // A live owner (this process), a dead owner (pid_max-adjacent ids
+        // are never handed out to tests), and an unrelated directory.
+        let live = root.join(format!("ubfuzz-cc-{}-0", std::process::id()));
+        let dead = root.join("ubfuzz-cc-4294967294-0");
+        let other = root.join("some-other-dir");
+        for d in [&live, &dead, &other] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        // Age 0 isolates the liveness condition from mtime flakiness.
+        sweep_stale_workdirs(&root, std::time::Duration::ZERO);
+        assert!(live.exists(), "live owner's workdir survives");
+        assert!(other.exists(), "non-matching names are never touched");
+        if cfg!(target_os = "linux") {
+            assert!(!dead.exists(), "dead owner's workdir is reaped");
+        } else {
+            assert!(dead.exists(), "no liveness probe: keep conservatively");
+        }
+        // A fresh dead-pid dir survives the production age threshold.
+        std::fs::create_dir_all(&dead).unwrap();
+        sweep_stale_workdirs(&root, STALE_WORKDIR_AGE);
+        assert!(dead.exists(), "age threshold guards against pid-reuse races");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

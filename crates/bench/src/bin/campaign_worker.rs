@@ -1,0 +1,13 @@
+//! `campaign_worker` — the bench-side worker-mode entry for the campaign
+//! service: exactly [`ubfuzz_serve::worker::worker_main`] behind a binary
+//! name, so a daemon started with `--worker-bin target/release/campaign_worker`
+//! drives its leases through this harness build (the CI service job does).
+//!
+//! Flags are the worker-mode flags (`worker --store DIR --shard ID
+//! --start A --end B …`); a leading `worker` token is accepted and
+//! ignored so the daemon's spawn line works unchanged.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ubfuzz_serve::worker::worker_main(&args));
+}

@@ -43,11 +43,13 @@ use crate::persist::campaign_fingerprint;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use ubfuzz_backend::{Artifact, RunOutcome};
+use ubfuzz_backend::{Artifact, CompilerBackend, RunOutcome};
 use ubfuzz_exec::Executor;
+use ubfuzz_simcc::session::ProgramFingerprint;
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
 use ubfuzz_simcc::{san, Sanitizer};
 use ubfuzz_store::{CampaignLog, UnitOutcome};
+use ubfuzz_ubgen::UbProgram;
 
 /// One compile unit: indices into the canonical program list plus the matrix
 /// cell to build.
@@ -86,6 +88,127 @@ enum UnitResult {
 /// enough that campaign memory stays O(workers), not O(campaign).
 const STREAM_WINDOW_PER_WORKER: usize = 8;
 
+/// The deterministic decomposition of one campaign: the canonical program
+/// list, the fine-grained unit list, the oracle groups, and the plan's
+/// identity. Every participant in a multi-process campaign — the daemon,
+/// each worker, the final merge — builds this independently from the same
+/// [`CampaignConfig`] and arrives at the same plan, which is what lets a
+/// bare unit index address work across processes.
+struct Plan {
+    programs: Vec<UbProgram>,
+    fingerprints: Vec<ProgramFingerprint>,
+    units: Vec<Unit>,
+    groups: Vec<Group>,
+    /// Full plan identity: config fingerprint + resolved toolchain set.
+    fingerprint: u64,
+}
+
+/// Builds the campaign plan. Stage-1 generation runs on `exec`; unit and
+/// group order is exactly the sequential loop's iteration order.
+fn build_plan(cfg: &CampaignConfig, exec: &Executor, backend: &dyn CompilerBackend) -> Plan {
+    let toolchains = backend.toolchains();
+    // Stage 1: per-seed generation, results in canonical seed order (each
+    // seed id derives its own RNG stream, so scheduling cannot perturb it).
+    let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
+    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id));
+    let programs: Vec<UbProgram> = per_seed.into_iter().flatten().collect();
+    let fingerprints: Vec<_> =
+        programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (pi, u) in programs.iter().enumerate() {
+        for sanitizer in san::sanitizers_for(u.kind) {
+            let start = units.len();
+            for (compiler, opt) in test_matrix(&toolchains, sanitizer) {
+                units.push(Unit { pi, sanitizer, compiler, opt });
+            }
+            // An empty matrix (no toolchain ships this sanitizer — e.g. a
+            // gcc-only real-toolchain backend asked for MSan) plans no
+            // group: the oracle over zero cells is a no-op in the
+            // sequential loop, and an empty group would never match the
+            // consumer's end-of-group boundary check.
+            if units.len() > start {
+                groups.push(Group { pi, sanitizer, units: start..units.len() });
+            }
+        }
+    }
+    let fingerprint = campaign_fingerprint(cfg, &toolchains);
+    Plan { programs, fingerprints, units, groups, fingerprint }
+}
+
+/// Plan addressing for the campaign service: the campaign fingerprint (the
+/// checkpoint log identity) and the planned unit count, computed without
+/// compiling anything. The daemon uses this to open the primary checkpoint
+/// log and carve unit-range leases; workers rebuild the same plan from the
+/// same config and the indices line up.
+pub fn plan_campaign(cfg: &CampaignConfig, cache: bool) -> (u64, usize) {
+    let backend = cfg.resolve_backend(cache);
+    let plan = build_plan(cfg, &Executor::new(1), backend.as_ref());
+    (plan.fingerprint, plan.units.len())
+}
+
+/// What one worker-mode invocation did with its leased range.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeStats {
+    /// Units freshly compiled (and, module-carrying, recorded).
+    pub computed: usize,
+    /// Units skipped because some shard already held their outcome.
+    pub replayed: usize,
+}
+
+/// Worker-mode entry: computes the units of `range` and records them to
+/// checkpoint shard `shard` under `store_dir`, **without** running the
+/// oracle — merging is the daemon's job (it replays the shard union through
+/// the canonical-order path, so the merged report is bit-identical to a
+/// single-process run). Units any existing shard already completed are
+/// skipped, which is what makes a re-issued lease over a half-finished
+/// range cheap.
+pub fn run_unit_range(
+    cfg: &CampaignConfig,
+    workers: usize,
+    cache: bool,
+    store_dir: &Path,
+    shard: u64,
+    range: std::ops::Range<usize>,
+) -> RangeStats {
+    let exec = Executor::new(workers);
+    let backend = cfg.resolve_backend(cache);
+    let backend = backend.as_ref();
+    let plan = build_plan(cfg, &exec, backend);
+    let log = CampaignLog::open_shard(store_dir, plan.fingerprint, plan.units.len(), shard);
+    let indices: Vec<usize> = range.filter(|i| *i < plan.units.len()).collect();
+    let plan = &plan;
+    let log = &log;
+    let outcomes = exec.map(indices, |_, i| {
+        if log.has_replay(i) {
+            return false;
+        }
+        let unit = &plan.units[i];
+        let cell = compile_cell(
+            backend,
+            &cfg.registry,
+            &plan.fingerprints[unit.pi],
+            &plan.programs[unit.pi].program,
+            unit.sanitizer,
+            unit.compiler,
+            unit.opt,
+        );
+        match &cell {
+            None => log.record(i, &UnitOutcome::Unsupported),
+            Some((artifact, result)) => {
+                // Module-less artifacts (opaque native binaries) cannot be
+                // replayed faithfully; the merge recomputes them.
+                if let Some(module) = artifact.module() {
+                    log.record(i, &UnitOutcome::Done(module.clone(), result.clone()));
+                }
+            }
+        }
+        true
+    });
+    let computed = outcomes.iter().filter(|fresh| **fresh).count();
+    RangeStats { computed, replayed: outcomes.len() - computed }
+}
+
 /// Runs `cfg` over `workers` work-stealing threads, compile cache on or off
 /// (the toggle selects the default [`ubfuzz_backend::SimBackend`]'s session
 /// mode; an explicit `cfg.backend` owns its own cache policy). Output is
@@ -111,56 +234,29 @@ pub fn run_unit_campaign_checkpointed(
     let backend = backend.as_ref();
     let oracle = cfg.resolve_oracle();
     let ctx = CampaignCtx { cfg, backend, oracle: oracle.as_ref() };
-    let toolchains = backend.toolchains();
     // Counters are monotone and may be shared across campaigns (one backend
     // can back every `make_tables` entry point); report this run's delta.
     let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
 
-    // Stage 1: per-seed generation, results in canonical seed order.
-    let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
-    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id));
-
-    // Plan the fine-grained units and their oracle groups. Group order (and
-    // unit order within a group) is exactly the sequential loop's iteration
-    // order; the streaming merge below relies on it.
-    let programs: Vec<_> = per_seed.iter().flatten().collect();
-    let fingerprints: Vec<_> =
-        programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
-    let mut units: Vec<Unit> = Vec::new();
-    let mut groups: Vec<Group> = Vec::new();
-    for (pi, u) in programs.iter().enumerate() {
-        for sanitizer in san::sanitizers_for(u.kind) {
-            let start = units.len();
-            for (compiler, opt) in test_matrix(&toolchains, sanitizer) {
-                units.push(Unit { pi, sanitizer, compiler, opt });
-            }
-            // An empty matrix (no toolchain ships this sanitizer — e.g. a
-            // gcc-only real-toolchain backend asked for MSan) plans no
-            // group: the oracle over zero cells is a no-op in the
-            // sequential loop, and an empty group would never match the
-            // consumer's end-of-group boundary check below.
-            if units.len() > start {
-                groups.push(Group { pi, sanitizer, units: start..units.len() });
-            }
-        }
-    }
+    // Stages 1 + planning: the deterministic decomposition shared with the
+    // campaign service's workers. Group order (and unit order within a
+    // group) is exactly the sequential loop's iteration order; the
+    // streaming merge below relies on it.
+    let plan = build_plan(cfg, &exec, backend);
+    let Plan { programs, fingerprints, units, groups, fingerprint } = plan;
 
     // The checkpoint log identifies the campaign by the full plan identity
     // — config fingerprint plus the resolved toolchain set (unit indices
     // map to matrix cells through `toolchains()`) — and the plan size; an
     // incompatible log on disk cold-starts rather than mixes.
-    let log = store_dir
-        .map(|dir| CampaignLog::open(dir, campaign_fingerprint(cfg, &toolchains), units.len()));
+    let log = store_dir.map(|dir| CampaignLog::open(dir, fingerprint, units.len()));
     let budget = AtomicU64::new(unit_budget.unwrap_or(u64::MAX));
 
     // Seed/program tallies are generation facts, independent of compile
     // results; fill them exactly as the sequential loop would.
-    let mut stats = CampaignStats::default();
-    for seed_programs in &per_seed {
-        stats.seeds += 1;
-        for u in seed_programs {
-            *stats.ub_programs.entry(u.kind).or_default() += 1;
-        }
+    let mut stats = CampaignStats { seeds: cfg.seeds, ..CampaignStats::default() };
+    for u in &programs {
+        *stats.ub_programs.entry(u.kind).or_default() += 1;
     }
     stats.units = units.len();
 
@@ -255,7 +351,7 @@ pub fn run_unit_campaign_checkpointed(
                     let g = &groups[gi];
                     oracle_one(
                         &ctx,
-                        programs[g.pi],
+                        &programs[g.pi],
                         g.sanitizer,
                         &group_cells,
                         &mut stats,

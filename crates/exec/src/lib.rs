@@ -19,7 +19,26 @@
 //! compile+run pipeline, so queue overhead is noise.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub mod lease;
+pub use lease::{LeaseLedger, LeaseStatus};
+
+/// Poison-recovering lock. A panicking task must abort *its* unit of work,
+/// not every later lock acquisition: the executor already propagates panics
+/// deliberately (AbortGuard / the completion count), so the poison flag
+/// carries no extra information — recover the guard and move on. The state
+/// behind these locks (task slots, result slots, counters) stays consistent
+/// across an unwind because each critical section is a single take/store.
+trait Relock<T> {
+    fn relock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> Relock<T> for Mutex<T> {
+    fn relock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// A work-stealing executor with a fixed worker count.
 ///
@@ -99,8 +118,7 @@ impl Executor {
                         continue;
                     };
                     let task = slots[i]
-                        .lock()
-                        .expect("task slot lock")
+                        .relock()
                         .take()
                         .expect("task claimed twice");
                     // Count the completion even if `f` unwinds, so parked
@@ -108,13 +126,13 @@ impl Executor {
                     // of deadlocking on a count that can never be reached.
                     let _completed = progress.complete_on_drop();
                     let r = f(i, task);
-                    *results[i].lock().expect("result slot lock") = Some(r);
+                    *results[i].relock() = Some(r);
                 });
             }
         });
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("result lock").expect("task completed"))
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).expect("task completed"))
             .collect()
     }
 
@@ -171,12 +189,11 @@ impl Executor {
                     let _abort = AbortGuard(state);
                     while let Some(i) = state.claim(n, window) {
                         let task = slots[i]
-                            .lock()
-                            .expect("task slot lock")
+                            .relock()
                             .take()
                             .expect("task claimed twice");
                         let r = f(i, task);
-                        *results[i].lock().expect("result slot lock") = Some(r);
+                        *results[i].relock() = Some(r);
                         state.complete(i);
                     }
                 });
@@ -189,11 +206,7 @@ impl Executor {
                 if !state.await_result(i) {
                     break; // a worker died; its panic surfaces at scope exit
                 }
-                let r = slot
-                    .lock()
-                    .expect("result slot lock")
-                    .take()
-                    .expect("completed result present");
+                let r = slot.relock().take().expect("completed result present");
                 consume(i, r);
                 state.advance();
             }
@@ -226,7 +239,7 @@ impl StreamState {
     /// than `window` ahead of the consumer. `None` when tasks are exhausted
     /// or the run aborted.
     fn claim(&self, n: usize, window: usize) -> Option<usize> {
-        let mut inner = self.inner.lock().expect("stream lock");
+        let mut inner = self.inner.relock();
         loop {
             if inner.aborted || inner.next >= n {
                 return None;
@@ -236,13 +249,13 @@ impl StreamState {
                 inner.next += 1;
                 return Some(i);
             }
-            inner = self.claim_cv.wait(inner).expect("stream wait");
+            inner = self.claim_cv.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Marks task `i` complete and wakes the consumer.
     fn complete(&self, i: usize) {
-        let mut inner = self.inner.lock().expect("stream lock");
+        let mut inner = self.inner.relock();
         inner.done[i] = true;
         drop(inner);
         self.result_cv.notify_all();
@@ -250,7 +263,7 @@ impl StreamState {
 
     /// Waits until task `i`'s result landed; `false` on abort.
     fn await_result(&self, i: usize) -> bool {
-        let mut inner = self.inner.lock().expect("stream lock");
+        let mut inner = self.inner.relock();
         loop {
             if inner.done[i] {
                 return true;
@@ -258,20 +271,20 @@ impl StreamState {
             if inner.aborted {
                 return false;
             }
-            inner = self.result_cv.wait(inner).expect("stream wait");
+            inner = self.result_cv.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Advances the consumption cursor, unparking claim-bounded workers.
     fn advance(&self) {
-        let mut inner = self.inner.lock().expect("stream lock");
+        let mut inner = self.inner.relock();
         inner.cursor += 1;
         drop(inner);
         self.claim_cv.notify_all();
     }
 
     fn abort(&self) {
-        let mut inner = self.inner.lock().expect("stream lock");
+        let mut inner = self.inner.relock();
         inner.aborted = true;
         drop(inner);
         self.claim_cv.notify_all();
@@ -306,9 +319,9 @@ impl Progress {
     /// everything finished by then — on `false` the caller rescans the
     /// queues for newly landed stolen work.
     fn wait_or_done(&self, n: usize) -> bool {
-        let mut done = self.done.lock().expect("progress lock");
+        let mut done = self.done.relock();
         if *done < n {
-            done = self.cv.wait(done).expect("progress wait");
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
         *done == n
     }
@@ -325,7 +338,7 @@ struct CompleteGuard<'a>(&'a Progress);
 
 impl Drop for CompleteGuard<'_> {
     fn drop(&mut self) {
-        *self.0.done.lock().expect("progress lock") += 1;
+        *self.0.done.relock() += 1;
         self.0.cv.notify_all();
     }
 }
@@ -337,13 +350,13 @@ impl Drop for CompleteGuard<'_> {
 /// flight between two locks).
 fn next_task(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
     loop {
-        if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
+        if let Some(i) = queues[w].relock().pop_front() {
             return Some(i);
         }
         let mut stolen: VecDeque<usize> = VecDeque::new();
         for off in 1..queues.len() {
             let v = (w + off) % queues.len();
-            let mut victim = queues[v].lock().expect("victim queue lock");
+            let mut victim = queues[v].relock();
             if victim.is_empty() {
                 continue;
             }
@@ -357,7 +370,7 @@ fn next_task(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
             return None;
         }
         let first = stolen.pop_front();
-        queues[w].lock().expect("queue lock").extend(stolen);
+        queues[w].relock().extend(stolen);
         if let Some(i) = first {
             return Some(i);
         }

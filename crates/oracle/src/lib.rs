@@ -33,19 +33,15 @@
 //!   [`NaiveSelection`] instead of forking campaign code.
 //! * [`trace_artifact`] and [`arbitrate`] are the pair-level primitives the
 //!   stack is built from, usable standalone (the examples and the detector
-//!   campaigns do).
-//!
-//! The pre-redesign free function [`crash_site_mapping`] survives as a
-//! deprecated shim over two simulated modules; migrate to the stack (whole
-//! matrices) or [`trace_artifact`]/[`arbitrate`] (pairs).
+//!   campaigns do). They subsume the pre-redesign module-only free
+//!   functions, which have been removed.
 
 use std::fmt;
 use std::sync::Arc;
 use ubfuzz_backend::{Artifact, CompilerBackend, RunOutcome, RunRequest, SiteTrace, TraceCapability};
 use ubfuzz_minic::{Loc, UbKind};
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
-use ubfuzz_simcc::{Module, Sanitizer};
-use ubfuzz_simvm::{run_traced, RunResult, Trace};
+use ubfuzz_simcc::Sanitizer;
 
 /// Verdict for one `(crashing, non-crashing)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -494,57 +490,6 @@ pub fn arbitrate(bc: &SiteTrace, crash_site: Loc, bn: &SiteTrace) -> Verdict {
     }
 }
 
-/// Everything the pre-redesign oracle derived from one pair of binaries.
-#[derive(Debug, Clone)]
-pub struct MappingResult {
-    /// The verdict.
-    pub verdict: Verdict,
-    /// The crash site extracted from `b_c` (Definition 2).
-    pub crash_site: Loc,
-    /// How `b_c` terminated.
-    pub crashing_result: RunResult,
-    /// How `b_n` terminated.
-    pub normal_result: RunResult,
-}
-
-/// Algorithm 2 (`IsBug`) over two simulated modules — the pre-redesign
-/// entry point, kept for one release as a migration shim.
-///
-/// Returns `None` when the premise does not hold (i.e. `bc` did not produce
-/// a sanitizer report or `bn` did not exit normally) — callers establish the
-/// discrepancy before invoking the oracle.
-#[deprecated(
-    since = "0.1.0",
-    note = "judge whole matrices through CrashOracle/OracleStack, or pairs through \
-            trace_artifact + arbitrate; this module-only shim will be removed next release"
-)]
-pub fn crash_site_mapping(bc: &Module, bn: &Module) -> Option<MappingResult> {
-    let (rc, tc) = run_traced(bc);
-    if !rc.is_report() {
-        return None;
-    }
-    let (rn, tn) = run_traced(bn);
-    if !rn.is_normal_exit() {
-        return None;
-    }
-    let crash_site = tc.last;
-    let verdict = arbitrate(
-        &SiteTrace::from_vm(tc),
-        crash_site,
-        &SiteTrace::from_vm(tn),
-    );
-    Some(MappingResult { verdict, crash_site, crashing_result: rc, normal_result: rn })
-}
-
-/// `GetExecutedSites` over a bare module — superseded by [`trace_artifact`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use trace_artifact, which also covers module-less artifacts via backend traces"
-)]
-pub fn executed_sites(b: &Module) -> (RunResult, Trace) {
-    run_traced(b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,8 +738,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_the_stack() {
+    fn pair_primitives_implement_algorithm_2() {
+        // trace_artifact + arbitrate are the pair-level Algorithm 2
+        // (`IsBug`): the O0 sanitizer report's crash site is executed by
+        // the O2 binary, so the discrepancy is a sanitizer bug. This is the
+        // migrated coverage of the removed module-only shim — the stack
+        // over the same matrix is pinned by
+        // `standard_stack_flags_defect_caused_discrepancy_as_bug` above.
         let reg = DefectRegistry::full();
         let p = parse(FIG1).unwrap();
         let bc = compile(
@@ -807,16 +757,15 @@ mod tests {
             &CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg),
         )
         .unwrap();
-        let r = crash_site_mapping(&bc, &bn).expect("premise holds");
-        assert_eq!(r.verdict, Verdict::SanitizerBug);
-        assert!(r.crash_site.is_known());
-        assert!(crash_site_mapping(&bn, &bn).is_none(), "no crash on either side");
-        // The trace-level pair primitives agree with the shim.
+        // The premise the campaign establishes before arbitration: one side
+        // reports, the other exits normally.
+        assert!(run_module(&bc).is_report());
+        assert!(run_module(&bn).is_normal_exit());
         let backend = SimBackend::uncached();
         let req = RunRequest::default();
         let tc = trace_artifact(&backend, &Artifact::Sim(bc), &req).unwrap();
         let tn = trace_artifact(&backend, &Artifact::Sim(bn), &req).unwrap();
-        assert_eq!(arbitrate(&tc, tc.last(), &tn), r.verdict);
-        assert_eq!(tc.last(), r.crash_site);
+        assert!(tc.last().is_known(), "crash site extracted (Definition 2)");
+        assert_eq!(arbitrate(&tc, tc.last(), &tn), Verdict::SanitizerBug);
     }
 }

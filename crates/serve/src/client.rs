@@ -1,0 +1,72 @@
+//! Client helpers for the daemon's one-request-per-connection protocol.
+//!
+//! Each helper connects, writes a single request line, half-closes, and
+//! reads the response to EOF. `err …` responses surface as
+//! [`std::io::Error`] (kind `Other`), so callers distinguish "the daemon
+//! said no" from "the daemon is gone" by error kind.
+
+use std::io::{Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::submit_line;
+
+/// Sends one raw request line and returns the full response.
+pub fn request(socket: &Path, line: &str) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+/// Splits off the status line; `ok` yields the payload (everything after
+/// the first newline), `err …` becomes an error.
+fn checked(response: String) -> std::io::Result<String> {
+    let (head, body) = response.split_once('\n').unwrap_or((response.trim_end(), ""));
+    if head == "ok" || head.starts_with("ok ") {
+        Ok(body.to_string())
+    } else {
+        Err(std::io::Error::other(head.trim().to_string()))
+    }
+}
+
+/// Submits a campaign; returns its id.
+pub fn submit(
+    socket: &Path,
+    seeds: usize,
+    first_seed: u64,
+    workers: Option<usize>,
+) -> std::io::Result<u64> {
+    let response = request(socket, &submit_line(seeds, first_seed, workers))?;
+    let head = response.lines().next().unwrap_or("").trim();
+    match head.strip_prefix("ok id=").and_then(|v| v.parse().ok()) {
+        Some(id) => Ok(id),
+        None => Err(std::io::Error::other(head.to_string())),
+    }
+}
+
+/// The `STATUS` payload (daemon/campaign/lease lines).
+pub fn status(socket: &Path) -> std::io::Result<String> {
+    checked(request(socket, "STATUS")?)
+}
+
+/// The merged report of campaign `id` — raw bytes, byte-identical to the
+/// single-process rendering.
+pub fn report(socket: &Path, id: u64) -> std::io::Result<String> {
+    checked(request(socket, &format!("REPORT id={id}"))?)
+}
+
+/// The `CORPUS` payload (one line per corpus entry).
+pub fn corpus(socket: &Path) -> std::io::Result<String> {
+    checked(request(socket, "CORPUS")?)
+}
+
+/// Asks the daemon to exit (it finishes draining the running campaign's
+/// teardown first; queued campaigns are abandoned).
+pub fn shutdown(socket: &Path) -> std::io::Result<()> {
+    checked(request(socket, "SHUTDOWN")?).map(|_| ())
+}

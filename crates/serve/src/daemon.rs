@@ -1,0 +1,613 @@
+//! The campaign daemon: submissions in, leases out, merged reports back.
+//!
+//! One accept loop (unix-domain socket, one request per connection) and one
+//! scheduler thread that runs queued campaigns strictly in submission
+//! order. For each campaign the scheduler:
+//!
+//! 1. plans addressing with [`plan_campaign`] — fingerprint + unit count,
+//!    no compilation — and opens the store's primary checkpoint log so an
+//!    incompatible log (and its shards) is swept before workers arrive;
+//! 2. carves `0..units` into contiguous leases
+//!    ([`LeaseLedger::carve`]), numbered past everything in the store's
+//!    durable [`LeaseTable`] so checkpoint shard files never collide;
+//! 3. spawns one worker *process* per lease (`<worker-bin> worker …`,
+//!    defaulting to the daemon's own binary) and polls: a clean exit
+//!    completes the lease; a nonzero exit, a SIGKILL, or a blown deadline
+//!    reclaims it — the range is re-issued under a fresh lease id and the
+//!    replacement's shard replay skips whatever the dead worker finished;
+//! 4. merges by replaying the shard union through the canonical
+//!    sequential-order path ([`ParallelCampaign`] with a checkpoint over
+//!    the same store), so the stored report is **bit-identical** to a
+//!    single-process run — and, because every unit is already
+//!    checkpointed, the merge compiles nothing.
+//!
+//! Backpressure is a bounded submission queue: `SUBMIT` beyond the cap is
+//! answered `err busy`. Lease state is mirrored into the store's
+//! [`LeaseTable`] (`leases.bin`) for post-mortem observability; scheduling
+//! truth lives in the in-memory ledger, so a daemon restart simply
+//! re-carves and replays.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use ubfuzz::backend::SimBackend;
+use ubfuzz::campaign::CampaignConfig;
+use ubfuzz::executor::plan_campaign;
+use ubfuzz::store::{BugCorpus, CampaignLog, LeaseRecord, LeaseState, LeaseTable};
+use ubfuzz::{persist, report};
+use ubfuzz_exec::LeaseLedger;
+
+use crate::protocol::{parse_request, Request};
+
+/// How the daemon runs. Construct with [`DaemonConfig::new`] and override
+/// fields as needed.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path (created on start, removed on exit).
+    pub socket: PathBuf,
+    /// Store directory: checkpoint log + shards, prefix cache, corpus,
+    /// lease table.
+    pub store: PathBuf,
+    /// Worker processes per campaign when `SUBMIT` has no `workers=`.
+    pub workers: usize,
+    /// Work-stealing threads inside each worker process.
+    pub worker_threads: usize,
+    /// Lease time-to-live: an active worker past its deadline is killed
+    /// and its range re-issued.
+    pub ttl_secs: u64,
+    /// Bounded submission queue; beyond this, `SUBMIT` answers
+    /// `err busy`.
+    pub queue_cap: usize,
+    /// Worker binary (anything accepting `worker --store … --shard …`,
+    /// e.g. ubfuzz-bench's `campaign_worker`); defaults to the daemon's
+    /// own executable.
+    pub worker_bin: Option<PathBuf>,
+    /// Test hook, forwarded to workers as `--stall-ms`: sleep before
+    /// working so kill tests have a deterministic live window.
+    pub worker_stall_ms: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults: 2 worker processes × 2 threads, 10-minute leases, queue
+    /// of 8.
+    pub fn new(socket: impl Into<PathBuf>, store: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            store: store.into(),
+            workers: 2,
+            worker_threads: 2,
+            ttl_secs: 600,
+            queue_cap: 8,
+            worker_bin: None,
+            worker_stall_ms: 0,
+        }
+    }
+}
+
+/// A campaign's lifecycle as reported by `STATUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Failed => "failed",
+        }
+    }
+}
+
+/// One lease as shown by `STATUS` (`pid=` is what a supervisor — or the CI
+/// kill leg — targets).
+#[derive(Debug, Clone)]
+struct LeaseView {
+    id: u64,
+    start: usize,
+    end: usize,
+    pid: u32,
+    state: &'static str,
+}
+
+/// One submitted campaign.
+#[derive(Debug)]
+struct CampaignView {
+    id: u64,
+    seeds: usize,
+    first_seed: u64,
+    workers: usize,
+    phase: Phase,
+    fingerprint: u64,
+    units: usize,
+    computed: usize,
+    replayed: usize,
+    reissued: usize,
+    report: Option<String>,
+    leases: Vec<LeaseView>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<u64>,
+    campaigns: Vec<CampaignView>,
+    shutdown: bool,
+}
+
+type Shared = Arc<Mutex<State>>;
+
+/// Locks the daemon state, recovering from a poisoned lock — one panicked
+/// connection handler must not wedge the scheduler (same contract as the
+/// store's `relock`).
+fn relock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// Runs the daemon until a `SHUTDOWN` request: binds the socket, serves
+/// requests, and drives queued campaigns on a scheduler thread. Removes
+/// the socket file on exit. `Err` only for a failed bind — a running
+/// daemon degrades per-connection, it does not exit on request errors.
+pub fn run_daemon(config: DaemonConfig) -> std::io::Result<()> {
+    // A stale socket file from a SIGKILLed daemon would fail the bind.
+    let _ = std::fs::remove_file(&config.socket);
+    if let Some(dir) = config.socket.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    let config = Arc::new(config);
+    let shared: Shared = Arc::new(Mutex::new(State::default()));
+
+    let scheduler = {
+        let config = Arc::clone(&config);
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || scheduler_loop(&config, &shared))
+    };
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if handle_connection(stream, &config, &shared) {
+            break;
+        }
+    }
+
+    let _ = scheduler.join();
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(())
+}
+
+/// Serves one connection; `true` when the request was `SHUTDOWN`.
+fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared) -> bool {
+    let mut line = String::new();
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return false,
+    };
+    let mut stream = stream;
+    if reader.read_line(&mut line).is_err() {
+        return false;
+    }
+    let response = match parse_request(line.trim()) {
+        Err(reason) => format!("err {reason}\n"),
+        Ok(Request::Submit { seeds, first_seed, workers }) => {
+            let mut st = relock(shared);
+            if st.shutdown {
+                "err shutting down\n".into()
+            } else if st.queue.len() >= config.queue_cap {
+                "err busy\n".into()
+            } else {
+                let id = st.campaigns.len() as u64 + 1;
+                st.campaigns.push(CampaignView {
+                    id,
+                    seeds,
+                    first_seed,
+                    workers: workers.unwrap_or(config.workers).max(1),
+                    phase: Phase::Queued,
+                    fingerprint: 0,
+                    units: 0,
+                    computed: 0,
+                    replayed: 0,
+                    reissued: 0,
+                    report: None,
+                    leases: Vec::new(),
+                });
+                st.queue.push_back(id);
+                format!("ok id={id}\n")
+            }
+        }
+        Ok(Request::Status) => render_status(&relock(shared)),
+        Ok(Request::Report { id }) => {
+            let st = relock(shared);
+            match st.campaigns.iter().find(|c| c.id == id) {
+                None => format!("err unknown campaign {id}\n"),
+                Some(c) => match &c.report {
+                    Some(text) => format!("ok\n{text}"),
+                    None => format!("err campaign {id} is {}\n", c.phase.name()),
+                },
+            }
+        }
+        Ok(Request::Corpus) => {
+            let corpus = BugCorpus::open(&config.store);
+            let mut out = String::from("ok\n");
+            for (key, entry) in corpus.entries() {
+                out.push_str(&format!(
+                    "corpus key={key} campaigns={} duplicates={}\n",
+                    entry.campaigns, entry.total_duplicates
+                ));
+            }
+            out
+        }
+        Ok(Request::Shutdown) => {
+            relock(shared).shutdown = true;
+            "ok\n".into()
+        }
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    line.trim().starts_with("SHUTDOWN")
+}
+
+/// The machine-readable `STATUS` payload.
+fn render_status(st: &State) -> String {
+    let mut out = String::from("ok\n");
+    out.push_str(&format!(
+        "daemon pid={} queue={} campaigns={}\n",
+        std::process::id(),
+        st.queue.len(),
+        st.campaigns.len()
+    ));
+    for c in &st.campaigns {
+        out.push_str(&format!(
+            "campaign id={} state={} seeds={} first_seed={} workers={} units={} \
+             computed={} replayed={} reissued={}\n",
+            c.id,
+            c.phase.name(),
+            c.seeds,
+            c.first_seed,
+            c.workers,
+            c.units,
+            c.computed,
+            c.replayed,
+            c.reissued
+        ));
+        for l in &c.leases {
+            out.push_str(&format!(
+                "lease id={} campaign={} start={} end={} pid={} state={}\n",
+                l.id, c.id, l.start, l.end, l.pid, l.state
+            ));
+        }
+    }
+    out
+}
+
+/// Pops and runs queued campaigns in submission order until shutdown.
+fn scheduler_loop(config: &DaemonConfig, shared: &Shared) {
+    loop {
+        let next = {
+            let mut st = relock(shared);
+            if st.shutdown {
+                return;
+            }
+            st.queue.pop_front()
+        };
+        match next {
+            Some(id) => run_campaign_job(config, shared, id),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// A worker process bound to a lease.
+struct Worker {
+    lease_id: u64,
+    child: Child,
+}
+
+/// Runs one campaign end to end: carve, spawn, reclaim, merge.
+fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
+    let (seeds, first_seed, workers) = {
+        let mut st = relock(shared);
+        let c = campaign_mut(&mut st, id);
+        c.phase = Phase::Running;
+        (c.seeds, c.first_seed, c.workers)
+    };
+    let cfg = CampaignConfig::builder().seeds(seeds).first_seed(first_seed).build();
+    let (fingerprint, units) = plan_campaign(&cfg, true);
+
+    // Opening the primary log writes/validates the campaign header and
+    // sweeps shards of an incompatible prior campaign, so workers never
+    // scan foreign data. Dropped before the merge reopens it.
+    drop(CampaignLog::open(&config.store, fingerprint, units));
+    let mut table = LeaseTable::open(&config.store);
+    table.retain_campaign(fingerprint);
+    let mut ledger = LeaseLedger::carve(units, workers, table.next_id());
+
+    {
+        let mut st = relock(shared);
+        let c = campaign_mut(&mut st, id);
+        c.fingerprint = fingerprint;
+        c.units = units;
+    }
+
+    // A worker that fails deterministically (bad binary, broken store
+    // mount) would otherwise reclaim forever; past this many re-issues the
+    // campaign fails instead.
+    let reissue_cap = 8 * workers as u64;
+    let mut active: Vec<Worker> = Vec::new();
+    let mut computed = 0usize;
+    let mut replayed = 0usize;
+    let mut reissued = 0u64;
+    let mut failed = false;
+
+    loop {
+        if relock(shared).shutdown {
+            failed = true;
+        }
+        if reissued > reissue_cap {
+            failed = true;
+        }
+        if failed {
+            for w in &mut active {
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+                ledger.fail(w.lease_id);
+                table.set_state(w.lease_id, LeaseState::Reclaimed);
+            }
+            active.clear();
+            break;
+        }
+
+        // Keep `workers` processes in flight while leases are pending.
+        while active.len() < workers {
+            let now = unix_now();
+            let Some(lease) = ledger.claim(0, now, config.ttl_secs) else { break };
+            match spawn_worker(config, seeds, first_seed, lease.id, &lease.range) {
+                Ok(child) => {
+                    table.upsert(LeaseRecord {
+                        id: lease.id,
+                        campaign_fp: fingerprint,
+                        start: lease.range.start as u64,
+                        end: lease.range.end as u64,
+                        pid: child.id() as u64,
+                        granted: now,
+                        ttl_secs: config.ttl_secs,
+                        state: LeaseState::Active,
+                    });
+                    active.push(Worker { lease_id: lease.id, child });
+                }
+                Err(e) => {
+                    eprintln!("[serve] campaign {id}: worker spawn failed: {e}");
+                    ledger.fail(lease.id);
+                    reissued += 1;
+                }
+            }
+        }
+
+        if active.is_empty() && ledger.all_done() {
+            break;
+        }
+
+        std::thread::sleep(Duration::from_millis(20));
+        let now = unix_now();
+        let expired = ledger.expired(now);
+        let mut i = 0;
+        while i < active.len() {
+            let lease_id = active[i].lease_id;
+            let child = &mut active[i].child;
+            let exited = match child.try_wait() {
+                Ok(status) => status,
+                // The handle is unusable; treat as a dead worker.
+                Err(_) => {
+                    let _ = child.kill();
+                    child.wait().ok()
+                }
+            };
+            match exited {
+                Some(status) if status.success() => {
+                    if let Some(mut out) = child.stdout.take() {
+                        let mut receipt = String::new();
+                        let _ = out.read_to_string(&mut receipt);
+                        let (c, r) = parse_receipt(&receipt);
+                        computed += c;
+                        replayed += r;
+                    }
+                    ledger.complete(lease_id);
+                    table.set_state(lease_id, LeaseState::Done);
+                    active.swap_remove(i);
+                }
+                Some(_) => {
+                    // Nonzero exit or signal death (SIGKILL lands here):
+                    // re-issue the range under a fresh lease id.
+                    ledger.fail(lease_id);
+                    table.set_state(lease_id, LeaseState::Reclaimed);
+                    reissued += 1;
+                    active.swap_remove(i);
+                }
+                None if expired.contains(&lease_id) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    ledger.fail(lease_id);
+                    table.set_state(lease_id, LeaseState::Reclaimed);
+                    reissued += 1;
+                    active.swap_remove(i);
+                }
+                None => i += 1,
+            }
+        }
+
+        publish_leases(shared, id, &ledger, &table, computed, replayed, reissued);
+    }
+
+    publish_leases(shared, id, &ledger, &table, computed, replayed, reissued);
+    if failed {
+        let mut st = relock(shared);
+        campaign_mut(&mut st, id).phase = Phase::Failed;
+        return;
+    }
+
+    // Merge: replay the shard union through the canonical sequential-order
+    // path. Every unit is checkpointed, so this compiles nothing, and the
+    // rendered report is bit-identical to a single-process run.
+    let backend = SimBackend::with_store_capacity(&config.store, cfg.prefix_key_bound());
+    let stats = CampaignConfig::builder()
+        .seeds(seeds)
+        .first_seed(first_seed)
+        .backend(Arc::new(backend))
+        .checkpoint(&config.store)
+        .build_runner()
+        .run();
+    let mut corpus = BugCorpus::open(&config.store);
+    let merge = persist::merge_bugs(&mut corpus, &stats);
+    eprintln!(
+        "[serve] campaign {id}: merged, corpus total={} new={} known={}",
+        corpus.len(),
+        merge.new,
+        merge.known
+    );
+    let text = format!("{}{}", report::table3(&stats), report::oracle_stats(&stats));
+
+    let mut st = relock(shared);
+    let c = campaign_mut(&mut st, id);
+    c.phase = Phase::Done;
+    c.report = Some(text);
+}
+
+fn campaign_mut(st: &mut State, id: u64) -> &mut CampaignView {
+    st.campaigns
+        .iter_mut()
+        .find(|c| c.id == id)
+        .expect("scheduler jobs reference submitted campaigns")
+}
+
+/// Mirrors the ledger into the `STATUS` snapshot (pids come from the
+/// durable lease table — the ledger does not track them).
+fn publish_leases(
+    shared: &Shared,
+    id: u64,
+    ledger: &LeaseLedger,
+    table: &LeaseTable,
+    computed: usize,
+    replayed: usize,
+    reissued: u64,
+) {
+    use ubfuzz_exec::LeaseStatus;
+    let views = ledger
+        .leases()
+        .iter()
+        .map(|l| LeaseView {
+            id: l.id,
+            start: l.range.start,
+            end: l.range.end,
+            pid: table.leases().get(&l.id).map(|r| r.pid as u32).unwrap_or(0),
+            state: match l.status {
+                LeaseStatus::Pending => "pending",
+                LeaseStatus::Active => "active",
+                LeaseStatus::Done => "done",
+                LeaseStatus::Failed => "reclaimed",
+            },
+        })
+        .collect();
+    let mut st = relock(shared);
+    let c = campaign_mut(&mut st, id);
+    c.leases = views;
+    c.computed = computed;
+    c.replayed = replayed;
+    c.reissued = reissued as usize;
+}
+
+/// One field=value receipt line (`computed=N replayed=N`) from a worker's
+/// stdout; unparsable receipts count as zeros rather than failing the
+/// lease — the checkpoint shard, not the receipt, is the work.
+fn parse_receipt(receipt: &str) -> (usize, usize) {
+    let field = |key: &str| -> usize {
+        receipt
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    (field("computed"), field("replayed"))
+}
+
+fn spawn_worker(
+    config: &DaemonConfig,
+    seeds: usize,
+    first_seed: u64,
+    lease_id: u64,
+    range: &std::ops::Range<usize>,
+) -> std::io::Result<Child> {
+    let bin = match &config.worker_bin {
+        Some(bin) => bin.clone(),
+        None => std::env::current_exe()?,
+    };
+    let mut cmd = Command::new(bin);
+    cmd.arg("worker")
+        .arg("--store")
+        .arg(&config.store)
+        .arg("--seeds")
+        .arg(seeds.to_string())
+        .arg("--first-seed")
+        .arg(first_seed.to_string())
+        .arg("--shard")
+        .arg(lease_id.to_string())
+        .arg("--start")
+        .arg(range.start.to_string())
+        .arg("--end")
+        .arg(range.end.to_string())
+        .arg("--threads")
+        .arg(config.worker_threads.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped());
+    if config.worker_stall_ms > 0 {
+        cmd.arg("--stall-ms").arg(config.worker_stall_ms.to_string());
+    }
+    cmd.spawn()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receipts_parse_defensively() {
+        assert_eq!(parse_receipt("computed=12 replayed=3\n"), (12, 3));
+        assert_eq!(parse_receipt(""), (0, 0));
+        assert_eq!(parse_receipt("garbage computed=x"), (0, 0));
+    }
+
+    #[test]
+    fn status_renders_every_layer() {
+        let mut st = State::default();
+        st.campaigns.push(CampaignView {
+            id: 1,
+            seeds: 4,
+            first_seed: 0,
+            workers: 2,
+            phase: Phase::Running,
+            fingerprint: 7,
+            units: 10,
+            computed: 3,
+            replayed: 0,
+            reissued: 1,
+            report: None,
+            leases: vec![LeaseView { id: 2, start: 0, end: 5, pid: 42, state: "active" }],
+        });
+        let s = render_status(&st);
+        assert!(s.starts_with("ok\n"), "{s}");
+        assert!(s.contains("campaign id=1 state=running seeds=4"), "{s}");
+        assert!(s.contains("lease id=2 campaign=1 start=0 end=5 pid=42 state=active"), "{s}");
+    }
+}

@@ -1,0 +1,151 @@
+//! `ubfuzz-serve` — campaign service CLI.
+//!
+//! ```text
+//! ubfuzz-serve daemon --socket PATH --store DIR [--workers N]
+//!              [--worker-threads N] [--ttl SECS] [--queue N]
+//!              [--worker-bin PATH] [--stall-ms MS]
+//! ubfuzz-serve worker --store DIR --shard ID --start A --end B
+//!              [--seeds N] [--first-seed N] [--threads N]
+//! ubfuzz-serve submit --socket PATH --seeds N [--first-seed N] [--workers N]
+//! ubfuzz-serve status --socket PATH
+//! ubfuzz-serve report --socket PATH --id N
+//! ubfuzz-serve corpus --socket PATH
+//! ubfuzz-serve shutdown --socket PATH
+//! ```
+//!
+//! `report` writes the raw merged report to stdout, so
+//! `ubfuzz-serve report … > out.txt` is byte-comparable with
+//! `make_tables --table 3`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("worker") => ubfuzz_serve::worker::worker_main(&args),
+        #[cfg(unix)]
+        Some(verb @ ("daemon" | "submit" | "status" | "report" | "corpus" | "shutdown")) => {
+            unix::dispatch(verb, &args[1..])
+        }
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "usage: ubfuzz-serve <daemon|worker|submit|status|report|corpus|shutdown> [flags]\n\
+         see `cargo doc -p ubfuzz-serve` or README.md for the flag reference"
+    );
+    2
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::path::PathBuf;
+    use ubfuzz_serve::{client, flag_num, flag_value, DaemonConfig};
+
+    pub fn dispatch(verb: &str, args: &[String]) -> i32 {
+        let Some(socket) = flag_value(args, "--socket").map(PathBuf::from) else {
+            eprintln!("ubfuzz-serve {verb}: --socket PATH is required");
+            return 2;
+        };
+        match verb {
+            "daemon" => daemon(args, socket),
+            "submit" => submit(args, &socket),
+            "status" => print_payload(client::status(&socket)),
+            "report" => {
+                let Some(Some(id)) = flag_value(args, "--id").map(|v| v.parse().ok()) else {
+                    eprintln!("ubfuzz-serve report: --id N is required");
+                    return 2;
+                };
+                print_payload(client::report(&socket, id))
+            }
+            "corpus" => print_payload(client::corpus(&socket)),
+            "shutdown" => match client::shutdown(&socket) {
+                Ok(()) => 0,
+                Err(e) => fail(e),
+            },
+            _ => unreachable!("dispatch is called with served verbs"),
+        }
+    }
+
+    fn daemon(args: &[String], socket: PathBuf) -> i32 {
+        let Some(store) = flag_value(args, "--store").map(PathBuf::from) else {
+            eprintln!("ubfuzz-serve daemon: --store DIR is required");
+            return 2;
+        };
+        let mut config = DaemonConfig::new(socket, store);
+        let parsed = (
+            flag_num(args, "--workers", config.workers),
+            flag_num(args, "--worker-threads", config.worker_threads),
+            flag_num(args, "--ttl", config.ttl_secs),
+            flag_num(args, "--queue", config.queue_cap),
+            flag_num(args, "--stall-ms", config.worker_stall_ms),
+        );
+        let (Some(workers), Some(threads), Some(ttl), Some(queue), Some(stall)) = parsed else {
+            eprintln!("ubfuzz-serve daemon: numeric flag with a non-numeric value");
+            return 2;
+        };
+        config.workers = workers.max(1);
+        config.worker_threads = threads.max(1);
+        config.ttl_secs = ttl;
+        config.queue_cap = queue;
+        config.worker_stall_ms = stall;
+        config.worker_bin = flag_value(args, "--worker-bin").map(PathBuf::from);
+        eprintln!(
+            "[serve] daemon pid={} socket={} store={}",
+            std::process::id(),
+            config.socket.display(),
+            config.store.display()
+        );
+        match ubfuzz_serve::run_daemon(config) {
+            Ok(()) => 0,
+            Err(e) => fail(e),
+        }
+    }
+
+    fn submit(args: &[String], socket: &std::path::Path) -> i32 {
+        let parsed = (
+            flag_num(args, "--seeds", 0_usize),
+            flag_num(args, "--first-seed", 0_u64),
+            flag_value(args, "--workers").map(|v| v.parse().ok()),
+        );
+        let (Some(seeds), Some(first_seed), workers) = parsed else {
+            eprintln!("ubfuzz-serve submit: numeric flag with a non-numeric value");
+            return 2;
+        };
+        if seeds == 0 {
+            eprintln!("ubfuzz-serve submit: --seeds N is required");
+            return 2;
+        }
+        let workers = match workers {
+            None => None,
+            Some(Some(w)) => Some(w),
+            Some(None) => {
+                eprintln!("ubfuzz-serve submit: bad --workers value");
+                return 2;
+            }
+        };
+        match client::submit(socket, seeds, first_seed, workers) {
+            Ok(id) => {
+                println!("ok id={id}");
+                0
+            }
+            Err(e) => fail(e),
+        }
+    }
+
+    fn print_payload(result: std::io::Result<String>) -> i32 {
+        match result {
+            Ok(payload) => {
+                print!("{payload}");
+                0
+            }
+            Err(e) => fail(e),
+        }
+    }
+
+    fn fail(e: std::io::Error) -> i32 {
+        eprintln!("ubfuzz-serve: {e}");
+        1
+    }
+}

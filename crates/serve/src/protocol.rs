@@ -1,0 +1,127 @@
+//! The daemon's line-based request protocol.
+//!
+//! One request per connection: the client writes a single line, shuts down
+//! its write half, and reads the response until EOF. Responses begin with
+//! an `ok …` or `err …` line; `STATUS`, `REPORT` and `CORPUS` follow the
+//! `ok` line with a payload (for `REPORT` the payload is the raw report
+//! bytes, so piping it to a file reproduces the single-process table
+//! exactly).
+//!
+//! Requests:
+//!
+//! | line | response |
+//! |---|---|
+//! | `SUBMIT seeds=N [first_seed=N] [workers=N]` | `ok id=N` or `err busy` |
+//! | `STATUS` | `ok` + daemon/campaign/lease lines |
+//! | `REPORT id=N` | `ok` + raw report bytes |
+//! | `CORPUS` | `ok` + one line per corpus entry |
+//! | `SHUTDOWN` | `ok` (the daemon exits after the running campaign stops) |
+//!
+//! Keys are `key=value` tokens in any order. Unknown verbs and malformed
+//! values are `err …`, never a dropped connection.
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a campaign: seed count, first seed id, worker-process count
+    /// (daemon default when `None`).
+    Submit { seeds: usize, first_seed: u64, workers: Option<usize> },
+    /// Daemon, campaign and lease status, machine-readable.
+    Status,
+    /// The merged report of a finished campaign, raw bytes.
+    Report { id: u64 },
+    /// The store's bug corpus, one line per entry.
+    Corpus,
+    /// Stop accepting work and exit.
+    Shutdown,
+}
+
+/// Parses one request line. `Err` is the human-readable reason sent back
+/// as `err …`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().unwrap_or("");
+    let rest: Vec<&str> = tokens.collect();
+    let lookup = |key: &str| -> Option<&str> {
+        rest.iter().find_map(|t| t.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+    };
+    let num = |key: &str| -> Result<Option<u64>, String> {
+        match lookup(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {key}={v}")),
+        }
+    };
+    match verb {
+        "SUBMIT" => {
+            let seeds = num("seeds")?.ok_or("SUBMIT requires seeds=N")? as usize;
+            if seeds == 0 {
+                return Err("SUBMIT requires seeds > 0".into());
+            }
+            let first_seed = num("first_seed")?.unwrap_or(0);
+            let workers = num("workers")?.map(|w| w as usize);
+            if workers == Some(0) {
+                return Err("SUBMIT requires workers > 0".into());
+            }
+            Ok(Request::Submit { seeds, first_seed, workers })
+        }
+        "STATUS" => Ok(Request::Status),
+        "REPORT" => Ok(Request::Report { id: num("id")?.ok_or("REPORT requires id=N")? }),
+        "CORPUS" => Ok(Request::Corpus),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown request {other}")),
+    }
+}
+
+/// Renders a `SUBMIT` line (the client side of [`parse_request`]).
+pub fn submit_line(seeds: usize, first_seed: u64, workers: Option<usize>) -> String {
+    let mut line = format!("SUBMIT seeds={seeds}");
+    if first_seed != 0 {
+        line.push_str(&format!(" first_seed={first_seed}"));
+    }
+    if let Some(w) = workers {
+        line.push_str(&format!(" workers={w}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        for (seeds, first, workers) in [(8, 0, None), (3, 5, Some(2)), (1, 0, Some(16))] {
+            let line = submit_line(seeds, first, workers);
+            assert_eq!(
+                parse_request(&line),
+                Ok(Request::Submit { seeds, first_seed: first, workers })
+            );
+        }
+    }
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request("STATUS"), Ok(Request::Status));
+        assert_eq!(parse_request("CORPUS"), Ok(Request::Corpus));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("REPORT id=4"), Ok(Request::Report { id: 4 }));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for line in
+            ["", "NOPE", "SUBMIT", "SUBMIT seeds=x", "SUBMIT seeds=0", "SUBMIT seeds=2 workers=0", "REPORT", "REPORT id=?"]
+        {
+            assert!(parse_request(line).is_err(), "{line:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn token_order_is_free() {
+        assert_eq!(
+            parse_request("SUBMIT workers=3 seeds=6 first_seed=2"),
+            Ok(Request::Submit { seeds: 6, first_seed: 2, workers: Some(3) })
+        );
+    }
+}

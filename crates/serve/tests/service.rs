@@ -1,0 +1,283 @@
+//! End-to-end tests for the campaign service.
+//!
+//! The daemon runs **in-process** (a thread driving `run_daemon`) while
+//! workers are the real `ubfuzz-serve` binary (`CARGO_BIN_EXE_ubfuzz-serve`
+//! — the daemon's `current_exe()` default would be this *test* binary,
+//! which has no worker mode). Everything here is unix-only, like the
+//! socket itself.
+//!
+//! The properties under test are the ISSUE's acceptance gates:
+//!
+//! * a daemon campaign over N≥2 worker processes renders a merged report
+//!   **byte-identical** to a fresh single-process run;
+//! * that still holds when one worker is SIGKILLed mid-campaign (its lease
+//!   is reclaimed and re-issued);
+//! * a second submission of the same campaign replays entirely from the
+//!   checkpoint (zero units computed);
+//! * submissions beyond the queue bound answer `err busy`;
+//! * two worker processes hammering the same store directory concurrently
+//!   — plus one killed mid-run — corrupt no table.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ubfuzz::backend::SimBackend;
+use ubfuzz::campaign::{CampaignConfig, CampaignStats};
+use ubfuzz::executor::plan_campaign;
+use ubfuzz::report;
+use ubfuzz::store::CampaignLog;
+use ubfuzz_serve::{client, run_daemon, DaemonConfig};
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_ubfuzz-serve");
+
+/// A fresh store directory per test.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ubfz-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    dir
+}
+
+/// A short socket path (AF_UNIX paths are length-limited).
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ubfz-{}-{tag}.sock", std::process::id()))
+}
+
+fn daemon_config(tag: &str) -> DaemonConfig {
+    let mut config = DaemonConfig::new(socket_path(tag), store_dir(tag));
+    config.worker_bin = Some(PathBuf::from(WORKER_BIN));
+    config.worker_threads = 2;
+    config
+}
+
+/// What the daemon's REPORT must byte-match: the single-process rendering.
+/// Every test here drives the same 3-seed campaign, so the reference run is
+/// shared (tests run in one process).
+fn single_process_report() -> &'static str {
+    static REFERENCE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let stats: CampaignStats = CampaignConfig::builder().seeds(3).build_runner().run();
+        format!("{}{}", report::table3(&stats), report::oracle_stats(&stats))
+    })
+}
+
+fn start_daemon(config: DaemonConfig) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let socket = config.socket.clone();
+    let handle = std::thread::spawn(move || {
+        run_daemon(config).expect("daemon binds its socket");
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon socket never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (socket, handle)
+}
+
+/// Polls STATUS until campaign `id` reaches a terminal state; returns the
+/// final status payload.
+fn await_done(socket: &Path, id: u64, timeout: Duration) -> String {
+    let needle_done = format!("campaign id={id} state=done");
+    let needle_failed = format!("campaign id={id} state=failed");
+    let deadline = Instant::now() + timeout;
+    loop {
+        let status = client::status(socket).expect("status");
+        if status.contains(&needle_done) {
+            return status;
+        }
+        assert!(!status.contains(&needle_failed), "campaign {id} failed:\n{status}");
+        assert!(Instant::now() < deadline, "campaign {id} never finished:\n{status}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The `key=value` field of the `campaign id=N …` status line.
+fn campaign_field(status: &str, id: u64, key: &str) -> String {
+    let line = status
+        .lines()
+        .find(|l| l.starts_with(&format!("campaign id={id} ")))
+        .unwrap_or_else(|| panic!("no campaign {id} in status:\n{status}"));
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .to_string()
+}
+
+#[test]
+fn daemon_report_is_bit_identical_and_resubmission_replays() {
+    let reference = single_process_report();
+    let (socket, daemon) = start_daemon(daemon_config("e2e"));
+
+    let id = client::submit(&socket, 3, 0, Some(2)).expect("submit");
+    assert_eq!(id, 1);
+    let status = await_done(&socket, id, Duration::from_secs(120));
+    assert_ne!(campaign_field(&status, id, "computed"), "0", "first run computes units");
+    let merged = client::report(&socket, id).expect("report");
+    assert_eq!(merged, reference, "daemon merge must be byte-identical to single-process");
+
+    // Same campaign again: every unit replays out of the checkpoint
+    // shards, so the workers compile nothing and the report is unchanged.
+    let again = client::submit(&socket, 3, 0, Some(2)).expect("resubmit");
+    assert_eq!(again, 2);
+    let status = await_done(&socket, again, Duration::from_secs(120));
+    assert_eq!(campaign_field(&status, again, "computed"), "0", "resubmission replays:\n{status}");
+    assert_eq!(client::report(&socket, again).expect("report"), reference);
+
+    // The corpus endpoint serves whatever the merges recorded.
+    let corpus = client::corpus(&socket).expect("corpus");
+    for line in corpus.lines() {
+        assert!(line.starts_with("corpus key="), "unexpected corpus line {line:?}");
+    }
+
+    client::shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+    assert!(!socket.exists(), "socket file is removed on exit");
+}
+
+#[test]
+fn sigkilled_worker_is_reclaimed_and_merge_still_bit_identical() {
+    let reference = single_process_report();
+    let mut config = daemon_config("kill");
+    // Workers hold their lease ~1.5s before working, so there is a
+    // deterministic window in which SIGKILL lands on a live worker.
+    config.worker_stall_ms = 1500;
+    let (socket, daemon) = start_daemon(config);
+
+    let id = client::submit(&socket, 3, 0, Some(2)).expect("submit");
+
+    // Find a live worker pid and SIGKILL it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let victim = loop {
+        let status = client::status(&socket).expect("status");
+        let pid = status.lines().find_map(|l| {
+            if !l.starts_with("lease id=") || !l.contains(" state=active") {
+                return None;
+            }
+            l.split_whitespace()
+                .find_map(|t| t.strip_prefix("pid=").and_then(|v| v.parse::<u32>().ok()))
+                .filter(|pid| *pid != 0)
+        });
+        if let Some(pid) = pid {
+            break pid;
+        }
+        assert!(Instant::now() < deadline, "no active lease appeared:\n{status}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let killed = std::process::Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -9 {victim}"))
+        .status()
+        .expect("spawn kill")
+        .success();
+    assert!(killed, "SIGKILL of worker {victim} failed");
+
+    let status = await_done(&socket, id, Duration::from_secs(120));
+    assert_ne!(
+        campaign_field(&status, id, "reissued"),
+        "0",
+        "the killed worker's lease must be re-issued:\n{status}"
+    );
+    assert!(status.contains("state=reclaimed"), "reclaimed lease is visible:\n{status}");
+    let merged = client::report(&socket, id).expect("report");
+    assert_eq!(merged, reference, "reclaim must not change the merged report");
+
+    client::shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn submissions_beyond_the_queue_bound_answer_busy() {
+    let mut config = daemon_config("busy");
+    config.queue_cap = 1;
+    // Keep campaign 1 running long enough that campaign 2 stays queued.
+    config.worker_stall_ms = 1500;
+    let (socket, daemon) = start_daemon(config);
+
+    let first = client::submit(&socket, 2, 0, Some(1)).expect("submit 1");
+    // Wait until the scheduler picked up campaign 1 (queue drained)…
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = client::status(&socket).expect("status");
+        if status.contains("campaign id=1 state=running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign 1 never started:\n{status}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // …so this fills the queue, and the next submission must bounce.
+    let second = client::submit(&socket, 2, 0, Some(1)).expect("submit 2");
+    let bounced = client::submit(&socket, 2, 0, Some(1));
+    let err = bounced.expect_err("queue is full; submission must be rejected");
+    assert!(err.to_string().contains("busy"), "expected err busy, got {err}");
+
+    for id in [first, second] {
+        await_done(&socket, id, Duration::from_secs(120));
+    }
+    client::shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
+/// Satellite: concurrent opens of one store directory must not corrupt any
+/// table — including when one of the processes is SIGKILLed mid-run.
+///
+/// Two worker processes each compile the *full* unit range into their own
+/// checkpoint shard while racing appends to the shared `prefix.bin`; a
+/// third is killed shortly after starting. Afterwards every table must
+/// open clean, the shard union must replay every unit, and a merge over
+/// the store must render the same report as a fresh single-process run.
+#[test]
+fn concurrent_store_opens_survive_racing_and_killed_workers() {
+    let seeds = 3;
+    let dir = store_dir("race");
+    let cfg = CampaignConfig::builder().seeds(seeds).build();
+    let (fingerprint, units) = plan_campaign(&cfg, true);
+    assert!(units > 0);
+
+    let worker = |shard: u64, stall_ms: u64| {
+        std::process::Command::new(WORKER_BIN)
+            .args(["worker", "--store"])
+            .arg(&dir)
+            .args(["--seeds", &seeds.to_string(), "--shard", &shard.to_string()])
+            .args(["--start", "0", "--end", &units.to_string()])
+            .args(["--threads", "2", "--stall-ms", &stall_ms.to_string()])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn worker")
+    };
+
+    // The kill leg: a worker SIGKILLed right after its stall window, i.e.
+    // in the middle of compiling and appending.
+    let mut victim = worker(1, 50);
+    std::thread::sleep(Duration::from_millis(90));
+    let _ = victim.kill();
+    let _ = victim.wait();
+
+    // Two live workers race over the same full range and store.
+    let mut a = worker(2, 0);
+    let mut b = worker(3, 0);
+    assert!(a.wait().expect("worker a").success());
+    assert!(b.wait().expect("worker b").success());
+
+    // Every table opens clean and the shard union covers every unit.
+    let log = CampaignLog::open(&dir, fingerprint, units);
+    let replayable = (0..units).filter(|i| log.has_replay(*i)).count();
+    assert_eq!(replayable, units, "shard union must cover the whole campaign");
+    drop(log);
+    let prefix = ubfuzz::store::PrefixStore::open(&dir);
+    assert!(!prefix.telemetry().recovered_cold(), "prefix table must not cold-start");
+    assert!(prefix.telemetry().loaded() > 0, "racing workers persisted prefixes");
+
+    // The merge replays the union; its report matches a fresh run.
+    let backend = SimBackend::with_store_capacity(&dir, cfg.prefix_key_bound());
+    let merged = CampaignConfig::builder()
+        .seeds(seeds)
+        .backend(Arc::new(backend))
+        .checkpoint(&dir)
+        .build_runner()
+        .run();
+    let rendered = format!("{}{}", report::table3(&merged), report::oracle_stats(&merged));
+    assert_eq!(rendered, single_process_report());
+}

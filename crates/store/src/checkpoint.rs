@@ -9,18 +9,31 @@
 //! a mismatch on open means "different campaign" and degrades to a fresh
 //! log, never to mixing two campaigns' results.
 //!
-//! Each completed unit is appended as one flushed record: `(index, outcome)`
-//! where the outcome is either *unsupported* (the compile was rejected,
-//! mirroring the sequential loop's `continue`) or the serialized
-//! `(Module, RunResult)` pair. Replayed outcomes are byte-faithful, and the
-//! campaign's canonical-order merge is a pure function of unit outcomes —
-//! which is exactly why replay-from-log reproduces the uninterrupted
-//! report bit-for-bit.
+//! Each completed unit is appended as one flushed record: `(index, outcome,
+//! writer)` where the outcome is either *unsupported* (the compile was
+//! rejected, mirroring the sequential loop's `continue`) or the serialized
+//! `(Module, RunResult)` pair, and `writer` stamps which log wrote it
+//! (0 = the primary, otherwise a lease/shard id). Replayed outcomes are
+//! byte-faithful, and the campaign's canonical-order merge is a pure
+//! function of unit outcomes — which is exactly why replay-from-log
+//! reproduces the uninterrupted report bit-for-bit.
+//!
+//! **Sharding.** Daemon mode leases contiguous unit ranges to worker
+//! *processes*. Giving every writer its own file keeps the single-writer
+//! torn-tail recovery story intact: a worker opened via
+//! [`CampaignLog::open_shard`] appends only to `campaign.s<id>.bin`, but
+//! every open — primary or shard — *scans* the primary plus all shard
+//! files, so each worker (and the daemon's final merge) sees the union of
+//! completed units. A SIGKILLed worker's partially written shard file is
+//! recovered like any other log: valid records replay, the torn tail is
+//! ignored (and truncated once that shard id's file is reopened for
+//! writing). Re-issued leases get fresh shard ids, so two writers never
+//! share a file.
 //!
 //! **Memory discipline.** Opening *validates* every record with a single
 //! reusable buffer (checksum plus a full trial decode, so foreign defect
 //! ids or version drift surface at open, not mid-campaign) but retains
-//! only each unit's `(offset, length)` span. [`CampaignLog::take_replay`]
+//! only each unit's `(file, offset, length)` span. [`CampaignLog::take_replay`]
 //! reads and decodes one record on demand and clears its slot, so a
 //! resumed months-scale campaign holds O(streaming window) outcomes in
 //! memory, never O(log) — the same bound the streaming oracle merge gives
@@ -29,7 +42,7 @@
 
 use crate::modser::{dec_module, dec_run_result, enc_module, enc_run_result};
 use crate::wire::{self, Dec, Enc, TableKind};
-use crate::StoreTelemetry;
+use crate::{relock_noting, StoreTelemetry};
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
@@ -37,8 +50,13 @@ use std::sync::Mutex;
 use ubfuzz_simcc::Module;
 use ubfuzz_simvm::RunResult;
 
-/// File name of the checkpoint log inside a store directory.
+/// File name of the primary checkpoint log inside a store directory.
 pub const CHECKPOINT_FILE: &str = "campaign.bin";
+
+/// File name of one shard of the checkpoint log (daemon-mode lease).
+pub fn shard_file(shard: u64) -> String {
+    format!("campaign.s{shard}.bin")
+}
 
 /// One checkpointed unit outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,20 +68,26 @@ pub enum UnitOutcome {
     Done(Module, RunResult),
 }
 
-/// Byte span of one validated record's payload within the log file.
-type PayloadSpan = (u64, u32);
+/// Byte span of one validated record's payload: (scanned file index,
+/// payload offset, payload length).
+type PayloadSpan = (usize, u64, u32);
 
 /// An open checkpoint log for one campaign plan.
 #[derive(Debug)]
 pub struct CampaignLog {
+    /// The file this log *writes* (the primary, or one shard).
     path: PathBuf,
+    /// Writer stamp appended to every record (0 = primary).
+    writer_id: u64,
     /// Validated payload spans from previous invocations, indexed by unit.
     /// Each slot is taken (and its record decoded) exactly once by
     /// [`CampaignLog::take_replay`].
     prior: Vec<Mutex<Option<PayloadSpan>>>,
     replayed: usize,
-    /// Read+append handle; `None` when the directory is unwritable (the
-    /// campaign then runs uncheckpointed).
+    /// Read handles for every scanned file, aligned with span file indices.
+    readers: Mutex<Vec<Option<File>>>,
+    /// Append handle on `path`; `None` when the directory is unwritable
+    /// (the campaign then runs uncheckpointed).
     file: Mutex<Option<File>>,
     telemetry: StoreTelemetry,
 }
@@ -75,7 +99,7 @@ fn enc_header(config_fp: u64, units: usize) -> Vec<u8> {
     e.into_bytes()
 }
 
-fn enc_unit(index: usize, outcome: &UnitOutcome) -> Vec<u8> {
+fn enc_unit(index: usize, outcome: &UnitOutcome, writer: u64) -> Vec<u8> {
     let mut e = Enc::new();
     e.u64(index as u64);
     match outcome {
@@ -86,10 +110,11 @@ fn enc_unit(index: usize, outcome: &UnitOutcome) -> Vec<u8> {
             enc_run_result(&mut e, result);
         }
     }
+    e.u64(writer);
     e.into_bytes()
 }
 
-fn dec_unit(payload: &[u8]) -> Result<(usize, UnitOutcome), wire::WireError> {
+fn dec_unit(payload: &[u8]) -> Result<(usize, UnitOutcome, u64), wire::WireError> {
     let mut d = Dec::new(payload);
     let index = d.usize()?;
     let outcome = match d.u8()? {
@@ -97,75 +122,175 @@ fn dec_unit(payload: &[u8]) -> Result<(usize, UnitOutcome), wire::WireError> {
         1 => UnitOutcome::Done(dec_module(&mut d)?, dec_run_result(&mut d)?),
         _ => return Err(wire::WireError::Corrupt("unit outcome")),
     };
+    let writer = d.u64()?;
     d.finish()?;
-    Ok((index, outcome))
+    Ok((index, outcome, writer))
 }
 
-/// Result of the open-time scan.
-struct Scan {
-    /// Validated payload spans, by unit index.
-    spans: Vec<Option<PayloadSpan>>,
-    replayed: usize,
+/// Result of scanning one log file.
+struct FileScan {
     /// Byte length of the trusted file prefix.
     trusted: u64,
-    /// The file needs a fresh rewrite (bad header / foreign campaign).
+    /// Total file length at scan time.
+    file_len: u64,
+    /// The file needs a fresh rewrite (missing / bad header / foreign
+    /// campaign).
     fresh: bool,
+    /// Read handle kept for on-demand replay, when the file held anything.
+    reader: Option<File>,
 }
 
 impl CampaignLog {
-    /// Opens (or creates) the checkpoint log under `dir` for the campaign
-    /// identified by `config_fp` with `units` planned units.
+    /// Opens (or creates) the primary checkpoint log under `dir` for the
+    /// campaign identified by `config_fp` with `units` planned units. Scans
+    /// all shard files too, so a daemon merge replays every worker's
+    /// completed units.
     ///
     /// Never fails: a missing, corrupt, version-skewed or *mismatched*
     /// (different campaign) file degrades to an empty log, with the reason
     /// recorded in telemetry. A torn tail (kill mid-append) is truncated
-    /// back to the last fully flushed record.
+    /// back to the last fully flushed record. Opening the primary removes
+    /// shard files that fail their own header check (foreign campaign
+    /// leftovers); shard opens never delete anything.
     pub fn open(dir: impl AsRef<Path>, config_fp: u64, units: usize) -> CampaignLog {
-        let path = dir.as_ref().join(CHECKPOINT_FILE);
+        Self::open_as(dir.as_ref(), config_fp, units, None)
+    }
+
+    /// Opens the checkpoint log as lease shard `shard`: scans the primary
+    /// and every shard file (so completed units replay instead of
+    /// recomputing), but appends only to `campaign.s<shard>.bin`. Each
+    /// lease must use a distinct shard id — single-writer-per-file is what
+    /// keeps torn-tail recovery sound across SIGKILLed workers.
+    pub fn open_shard(
+        dir: impl AsRef<Path>,
+        config_fp: u64,
+        units: usize,
+        shard: u64,
+    ) -> CampaignLog {
+        Self::open_as(dir.as_ref(), config_fp, units, Some(shard))
+    }
+
+    fn open_as(dir: &Path, config_fp: u64, units: usize, shard: Option<u64>) -> CampaignLog {
         let telemetry = StoreTelemetry::default();
-        let _ = std::fs::create_dir_all(dir.as_ref());
-        let scan = Self::scan(&path, config_fp, units, &telemetry);
-        let file = Self::recover(&path, config_fp, units, &scan, &telemetry);
-        telemetry.set_loaded(scan.replayed);
+        let _ = std::fs::create_dir_all(dir);
+        let primary = dir.join(CHECKPOINT_FILE);
+        let target = match shard {
+            None => primary.clone(),
+            Some(id) => dir.join(shard_file(id)),
+        };
+        // Scan order: primary first, then shards by id — deterministic, so
+        // identical opens build identical span tables.
+        let mut files = vec![primary];
+        files.extend(Self::shard_paths(dir));
+        if !files.contains(&target) {
+            files.push(target.clone());
+        }
+        let mut spans: Vec<Option<PayloadSpan>> = (0..units).map(|_| None).collect();
+        let mut replayed = 0usize;
+        let mut readers = Vec::with_capacity(files.len());
+        let mut own = None;
+        for (fi, path) in files.iter().enumerate() {
+            let own_file = *path == target;
+            let fs = Self::scan_file(
+                path,
+                config_fp,
+                units,
+                fi,
+                &mut spans,
+                &mut replayed,
+                &telemetry,
+                own_file,
+            );
+            if fs.fresh && !own_file && fi > 0 && shard.is_none() {
+                // Primary open: a shard file that fails its own header
+                // check belongs to a foreign campaign — sweep it.
+                let _ = std::fs::remove_file(path);
+            }
+            if own_file {
+                own = Some((fi, fs.trusted, fs.file_len, fs.fresh));
+            }
+            readers.push(fs.reader);
+        }
+        let (own_idx, trusted, file_len, fresh) =
+            own.expect("write target is always scanned");
+        let file = Self::recover(&target, config_fp, units, trusted, file_len, fresh, &telemetry);
+        if fresh {
+            // A fresh rewrite replaced the inode; drop the stale handle.
+            readers[own_idx] = None;
+        }
+        telemetry.set_loaded(replayed);
         CampaignLog {
-            path,
-            prior: scan.spans.into_iter().map(Mutex::new).collect(),
-            replayed: scan.replayed,
+            path: target,
+            writer_id: shard.unwrap_or(0),
+            prior: spans.into_iter().map(Mutex::new).collect(),
+            replayed,
+            readers: Mutex::new(readers),
             file: Mutex::new(file),
             telemetry,
         }
     }
 
-    /// Sequentially validates the log with one reusable record buffer,
-    /// keeping only payload spans — open-time memory is O(largest record).
-    fn scan(path: &Path, config_fp: u64, units: usize, telemetry: &StoreTelemetry) -> Scan {
-        let mut scan = Scan {
-            spans: (0..units).map(|_| None).collect(),
-            replayed: 0,
-            trusted: 0,
-            fresh: true,
-        };
-        let Ok(mut file) = File::open(path) else { return scan };
-        let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+    /// Existing shard files under `dir`, sorted by shard id.
+    fn shard_paths(dir: &Path) -> Vec<PathBuf> {
+        let mut ids: Vec<u64> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(id) = name
+                    .strip_prefix("campaign.s")
+                    .and_then(|rest| rest.strip_suffix(".bin"))
+                    .and_then(|id| id.parse::<u64>().ok())
+                {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|id| dir.join(shard_file(id))).collect()
+    }
+
+    /// Sequentially validates one log file with one reusable record buffer,
+    /// folding its unit spans into the shared table — open-time memory is
+    /// O(largest record). `own` marks the file this open will write (its
+    /// torn tail gets truncated; foreign tails are merely distrusted).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_file(
+        path: &Path,
+        config_fp: u64,
+        units: usize,
+        file_idx: usize,
+        spans: &mut [Option<PayloadSpan>],
+        replayed: &mut usize,
+        telemetry: &StoreTelemetry,
+        own: bool,
+    ) -> FileScan {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint");
+        let mut out = FileScan { trusted: 0, file_len: 0, fresh: true, reader: None };
+        let Ok(mut file) = File::open(path) else { return out };
+        out.file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
         let mut header = [0u8; wire::HEADER_LEN];
         if file.read_exact(&mut header).is_err() {
-            if file_len > 0 {
-                telemetry.record_corruption("checkpoint header: truncated".into());
+            if out.file_len > 0 && own {
+                telemetry.record_corruption(format!("{name} header: truncated"));
                 telemetry.record_cold_start();
             }
-            return scan;
+            return out;
         }
         if let Err(e) = wire::check_header(&header, TableKind::Checkpoint) {
-            telemetry.record_corruption(format!("checkpoint header: {e}"));
-            telemetry.record_cold_start();
-            return scan;
+            if own {
+                telemetry.record_corruption(format!("{name} header: {e}"));
+                telemetry.record_cold_start();
+            }
+            return out;
         }
         let mut pos = wire::HEADER_LEN as u64;
         let mut buf = Vec::new();
         let mut first = true;
         // A torn/corrupt tail ends the scan: trust what came before it.
         while let Some((payload_off, payload_len)) =
-            wire::read_record_at(&mut file, file_len, pos, &mut buf)
+            wire::read_record_at(&mut file, out.file_len, pos, &mut buf)
         {
             if first {
                 // The header record pins the campaign identity.
@@ -174,65 +299,81 @@ impl CampaignLog {
                     && d.u64() == Ok(units as u64)
                     && d.finish().is_ok();
                 if !ok {
-                    telemetry.record_cold_start();
-                    return scan; // foreign campaign: fresh log, spans empty
+                    if own {
+                        telemetry.record_cold_start();
+                    }
+                    return out; // foreign campaign: contributes nothing
                 }
                 first = false;
             } else {
                 match dec_unit(&buf) {
-                    Ok((index, _)) if index < units => {
-                        let slot = &mut scan.spans[index];
+                    Ok((index, _, _)) if index < units => {
+                        let slot = &mut spans[index];
                         if slot.is_none() {
-                            scan.replayed += 1;
+                            *replayed += 1;
                         }
-                        *slot = Some((payload_off, payload_len));
+                        *slot = Some((file_idx, payload_off, payload_len));
                     }
                     Ok(_) => {
-                        telemetry
-                            .record_corruption("checkpoint unit index out of plan".into());
+                        telemetry.record_corruption(format!(
+                            "{name}: unit index out of plan"
+                        ));
                         break;
                     }
                     Err(e) => {
-                        telemetry.record_corruption(format!("checkpoint record: {e}"));
+                        telemetry.record_corruption(format!("{name} record: {e}"));
                         break;
                     }
                 }
             }
             pos = payload_off + payload_len as u64 + 8;
-            scan.trusted = pos;
+            out.trusted = pos;
         }
         if first {
             // No valid header record at all.
-            telemetry.record_cold_start();
-            return scan;
+            if own {
+                telemetry.record_cold_start();
+            }
+            return out;
         }
-        scan.fresh = false;
-        if scan.trusted < file_len {
-            telemetry.record_tail_truncated();
+        out.fresh = false;
+        if out.trusted < out.file_len {
+            if own {
+                telemetry.record_tail_truncated();
+            } else {
+                telemetry.record_corruption(format!("{name}: untrusted tail ignored"));
+            }
         }
-        scan
+        out.reader = Some(file);
+        out
     }
 
-    /// Puts the file into an appendable state: a fresh header for cold
-    /// starts, or a `set_len` truncation of any untrusted tail.
+    /// Puts the write target into an appendable state: a fresh header for
+    /// cold starts, or a `set_len` truncation of any untrusted tail.
     fn recover(
         path: &Path,
         config_fp: u64,
         units: usize,
-        scan: &Scan,
+        trusted: u64,
+        file_len: u64,
+        fresh: bool,
         telemetry: &StoreTelemetry,
     ) -> Option<File> {
-        if scan.fresh && !wire::rewrite_file(path, TableKind::Checkpoint, &[enc_header(config_fp, units)]) {
+        if fresh
+            && !wire::rewrite_file(path, TableKind::Checkpoint, &[enc_header(config_fp, units)])
+        {
             telemetry.record_corruption("checkpoint directory unwritable".into());
             telemetry.record_cold_start();
             return None;
         }
-        match OpenOptions::new().read(true).write(true).open(path) {
+        // O_APPEND, not seek-to-end: even though each file has exactly one
+        // *intended* writer, a mis-deployed second process appending to the
+        // same file then tears at record granularity instead of silently
+        // interleaving bytes mid-record.
+        match OpenOptions::new().read(true).append(true).open(path) {
             Ok(file) => {
-                if !scan.fresh
-                    && scan.trusted < file.metadata().map(|m| m.len()).unwrap_or(0)
-                {
-                    let _ = file.set_len(scan.trusted);
+                if !fresh && trusted < file_len {
+                    let _ = file.set_len(trusted);
                 }
                 Some(file)
             }
@@ -250,18 +391,20 @@ impl CampaignLog {
     /// record on demand. Consuming rather than preloading keeps resumed
     /// campaigns' memory proportional to the in-flight streaming window.
     pub fn take_replay(&self, index: usize) -> Option<UnitOutcome> {
-        let (offset, len) = self.prior.get(index)?.lock().expect("replay slot lock").take()?;
-        let mut guard = self.file.lock().expect("checkpoint file lock");
-        let file = guard.as_mut()?;
+        let (fi, offset, len) =
+            relock_noting(self.prior.get(index)?, &self.telemetry, "replay slot lock")
+                .take()?;
+        let mut readers = relock_noting(&self.readers, &self.telemetry, "checkpoint reader lock");
+        let file = readers.get_mut(fi)?.as_mut()?;
         let mut buf = vec![0u8; len as usize];
         if file.seek(SeekFrom::Start(offset)).is_err() || file.read_exact(&mut buf).is_err() {
             // Disk trouble after a clean open: recompute instead.
             self.telemetry.record_corruption("checkpoint replay read failed".into());
             return None;
         }
-        drop(guard);
+        drop(readers);
         match dec_unit(&buf) {
-            Ok((i, outcome)) if i == index => Some(outcome),
+            Ok((i, outcome, _)) if i == index => Some(outcome),
             _ => {
                 self.telemetry.record_corruption("checkpoint replay decode failed".into());
                 None
@@ -271,9 +414,9 @@ impl CampaignLog {
 
     /// Whether unit `index` has a not-yet-taken replayed outcome.
     pub fn has_replay(&self, index: usize) -> bool {
-        self.prior
-            .get(index)
-            .is_some_and(|slot| slot.lock().expect("replay slot lock").is_some())
+        self.prior.get(index).is_some_and(|slot| {
+            relock_noting(slot, &self.telemetry, "replay slot lock").is_some()
+        })
     }
 
     /// How many units this log replays.
@@ -286,17 +429,18 @@ impl CampaignLog {
         self.prior.len()
     }
 
+    /// The writer stamp this log appends (0 = primary, else the shard id).
+    pub fn writer_id(&self) -> u64 {
+        self.writer_id
+    }
+
     /// Appends (and flushes) one completed unit.
     pub fn record(&self, index: usize, outcome: &UnitOutcome) {
-        let mut guard = self.file.lock().expect("checkpoint file lock");
+        let mut guard = relock_noting(&self.file, &self.telemetry, "checkpoint file lock");
         let Some(file) = guard.as_mut() else { return };
-        let record = wire::frame(&enc_unit(index, outcome));
-        if file
-            .seek(SeekFrom::End(0))
-            .and_then(|_| file.write_all(&record))
-            .and_then(|()| file.flush())
-            .is_err()
-        {
+        let record = wire::frame(&enc_unit(index, outcome, self.writer_id));
+        // The handle is O_APPEND: one write_all per record, no seek.
+        if file.write_all(&record).and_then(|()| file.flush()).is_err() {
             self.telemetry.record_corruption("checkpoint append failed".into());
             *guard = None;
         } else {
@@ -304,7 +448,7 @@ impl CampaignLog {
         }
     }
 
-    /// The file backing this log.
+    /// The file this log writes.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -405,6 +549,74 @@ mod tests {
         assert_eq!(log.take_replay(2), Some(UnitOutcome::Unsupported));
         drop(log);
         assert_eq!(CampaignLog::open(&dir, 9, 6).replayed(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_records_union_into_every_open() {
+        let dir = tmp_dir("shards");
+        // The daemon creates the primary (plan addressing), workers write
+        // disjoint ranges to their own shards.
+        let primary = CampaignLog::open(&dir, 11, 6);
+        drop(primary);
+        let a = CampaignLog::open_shard(&dir, 11, 6, 1);
+        assert_eq!(a.writer_id(), 1);
+        a.record(0, &UnitOutcome::Unsupported);
+        a.record(1, &UnitOutcome::Unsupported);
+        drop(a);
+        let b = CampaignLog::open_shard(&dir, 11, 6, 2);
+        // A later-opened shard replays earlier shards' completed units.
+        assert_eq!(b.replayed(), 2);
+        assert!(b.has_replay(0) && b.has_replay(1));
+        b.record(4, &UnitOutcome::Unsupported);
+        drop(b);
+        // The primary merge sees the union of all shards.
+        let merged = CampaignLog::open(&dir, 11, 6);
+        assert_eq!(merged.replayed(), 3);
+        assert_eq!(merged.take_replay(0), Some(UnitOutcome::Unsupported));
+        assert_eq!(merged.take_replay(4), Some(UnitOutcome::Unsupported));
+        assert_eq!(merged.take_replay(2), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_shard_recovers_and_reissued_lease_skips_done_units() {
+        let dir = tmp_dir("reissue");
+        drop(CampaignLog::open(&dir, 13, 4));
+        let w = CampaignLog::open_shard(&dir, 13, 4, 1);
+        w.record(0, &UnitOutcome::Unsupported);
+        w.record(1, &UnitOutcome::Unsupported);
+        let shard_path = w.path().to_path_buf();
+        drop(w);
+        // SIGKILL mid-append: tear the shard file inside the last record.
+        let bytes = std::fs::read(&shard_path).unwrap();
+        std::fs::write(&shard_path, &bytes[..bytes.len() - 3]).unwrap();
+        // The re-issued lease (fresh shard id) replays the intact record
+        // and recomputes the torn one; the dead shard's file is untouched.
+        let w2 = CampaignLog::open_shard(&dir, 13, 4, 2);
+        assert_eq!(w2.replayed(), 1);
+        assert!(w2.has_replay(0));
+        assert!(!w2.has_replay(1), "torn record is recomputed, not trusted");
+        w2.record(1, &UnitOutcome::Unsupported);
+        drop(w2);
+        assert_eq!(CampaignLog::open(&dir, 13, 4).replayed(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn primary_cold_start_sweeps_foreign_shards() {
+        let dir = tmp_dir("sweep");
+        drop(CampaignLog::open(&dir, 1, 3));
+        let s = CampaignLog::open_shard(&dir, 1, 3, 7);
+        s.record(0, &UnitOutcome::Unsupported);
+        let shard_path = s.path().to_path_buf();
+        drop(s);
+        // A different campaign cold-starts the primary and removes the
+        // now-foreign shard file.
+        let other = CampaignLog::open(&dir, 2, 3);
+        assert_eq!(other.replayed(), 0);
+        assert!(!shard_path.exists(), "foreign shard swept on primary cold start");
+        drop(other);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

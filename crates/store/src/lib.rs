@@ -28,18 +28,42 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 pub mod checkpoint;
 pub mod corpus;
+pub mod lease;
 pub mod modser;
 pub mod prefix;
 pub mod wire;
 
 pub use checkpoint::{CampaignLog, UnitOutcome};
 pub use corpus::{BugCorpus, BugRecord, CorpusEntry, MergeSummary};
+pub use lease::{LeaseRecord, LeaseState, LeaseTable};
 pub use prefix::PrefixStore;
 pub use wire::{WireError, FORMAT_VERSION};
+
+/// Locks a mutex, recovering the inner guard when a panicking holder
+/// poisoned it. The store's contract is "degrade, never abort": a worker
+/// that panicked mid-compile must not take every later compile down with a
+/// poisoned-lock panic. Callers with telemetry at hand should prefer
+/// [`relock_noting`] so the recovery is observable.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`relock`], recording a [`StoreTelemetry`] corruption event when the
+/// lock was actually poisoned.
+pub(crate) fn relock_noting<'a, T>(
+    m: &'a Mutex<T>,
+    telemetry: &StoreTelemetry,
+    what: &str,
+) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| {
+        telemetry.record_corruption(format!("{what}: poisoned lock recovered"));
+        e.into_inner()
+    })
+}
 
 /// Open/recovery/flush telemetry for one store table.
 ///
@@ -77,7 +101,7 @@ impl StoreTelemetry {
 
     /// Human-readable corruption/degradation events, in occurrence order.
     pub fn events(&self) -> Vec<String> {
-        self.corruption.lock().expect("telemetry lock").clone()
+        relock(&self.corruption).clone()
     }
 
     pub(crate) fn set_loaded(&self, n: usize) {
@@ -97,7 +121,9 @@ impl StoreTelemetry {
     }
 
     pub(crate) fn record_corruption(&self, event: String) {
-        self.corruption.lock().expect("telemetry lock").push(event);
+        // The event list is the one lock that cannot self-report poisoning;
+        // recover silently rather than lose the event being recorded.
+        relock(&self.corruption).push(event);
     }
 }
 
@@ -139,6 +165,11 @@ impl Store {
     pub fn corpus(&self) -> BugCorpus {
         BugCorpus::open(&self.dir)
     }
+
+    /// Opens the campaign lease table (daemon-mode bookkeeping).
+    pub fn leases(&self) -> LeaseTable {
+        LeaseTable::open(&self.dir)
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +184,7 @@ mod tests {
         assert_eq!(store.prefix().path(), dir.join("prefix.bin"));
         assert_eq!(store.campaign_log(0, 0).path(), dir.join("campaign.bin"));
         assert_eq!(store.corpus().path(), dir.join("corpus.bin"));
+        assert_eq!(store.leases().path(), dir.join("leases.bin"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

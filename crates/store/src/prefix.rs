@@ -20,9 +20,9 @@
 
 use crate::modser::{dec_compiler, dec_module, dec_opt, enc_compiler, enc_module, enc_opt};
 use crate::wire::{self, Dec, Enc, TableKind};
-use crate::StoreTelemetry;
+use crate::{relock_noting, StoreTelemetry};
 use std::fs::{File, OpenOptions};
-use std::io::{Seek as _, SeekFrom, Write as _};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use ubfuzz_simcc::session::{PersistedPrefix, PrefixBacking, PrefixEntryRef};
@@ -187,7 +187,11 @@ impl PrefixStore {
             telemetry.record_cold_start();
             return None;
         }
-        match OpenOptions::new().read(true).write(true).open(path) {
+        // O_APPEND, not seek-to-end: with concurrent opens of one store
+        // directory (daemon workers), every append lands atomically at the
+        // current end of file instead of at a position another process may
+        // have advanced past.
+        match OpenOptions::new().read(true).append(true).open(path) {
             Ok(file) => {
                 if !fresh && trusted < file_len {
                     let _ = file.set_len(trusted);
@@ -219,22 +223,25 @@ impl PrefixStore {
 
 impl PrefixBacking for PrefixStore {
     fn load(&self) -> Vec<PersistedPrefix> {
-        self.inner.lock().expect("prefix store lock").loaded.take().unwrap_or_default()
+        // A worker that panicked mid-compile poisons this lock; the store's
+        // contract is to degrade, not to cascade the panic into every
+        // subsequent compile.
+        relock_noting(&self.inner, &self.telemetry, "prefix store lock")
+            .loaded
+            .take()
+            .unwrap_or_default()
     }
 
     fn persist(&self, entry: PrefixEntryRef<'_>) {
-        let mut inner = self.inner.lock().expect("prefix store lock");
+        let mut inner = relock_noting(&self.inner, &self.telemetry, "prefix store lock");
         if !inner.resident.insert((entry.hash, entry.compiler, entry.opt)) {
             return; // already on disk (epoch-evicted recomputation)
         }
         let Some(file) = inner.file.as_mut() else { return };
         let record = wire::frame(&enc_entry(entry));
-        if file
-            .seek(SeekFrom::End(0))
-            .and_then(|_| file.write_all(&record))
-            .and_then(|()| file.flush())
-            .is_err()
-        {
+        // The handle is O_APPEND: one write_all lands the whole record at
+        // the end of file regardless of concurrent appenders.
+        if file.write_all(&record).and_then(|()| file.flush()).is_err() {
             // Disk trouble mid-campaign: stop persisting, keep compiling.
             self.telemetry.record_corruption("prefix append failed".into());
             inner.file = None;
@@ -341,6 +348,32 @@ mod tests {
         session.compile(&parse("int main(void) { return 3; }").unwrap(), &cfg).unwrap();
         drop(session);
         assert_eq!(PrefixStore::open(&dir).telemetry().loaded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_is_recorded() {
+        let dir = tmp_dir("poison");
+        let store = Arc::new(PrefixStore::open(&dir));
+        let poisoner = store.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker panicked while holding the store lock");
+        })
+        .join()
+        .unwrap_err();
+        // The store must keep serving (degrade, never cascade the panic)...
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, None, &reg);
+        let session = CompileSession::with_backing(16, store.clone());
+        session.compile(&parse("int main(void) { return 7; }").unwrap(), &cfg).unwrap();
+        assert_eq!(store.telemetry().persisted(), 1);
+        // ...and the recovery must be observable.
+        assert!(
+            store.telemetry().events().iter().any(|e| e.contains("poisoned lock recovered")),
+            "{:?}",
+            store.telemetry().events()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -32,6 +32,8 @@ pub enum TableKind {
     Checkpoint,
     /// The deduplicated bug corpus.
     Corpus,
+    /// The campaign lease table (daemon-mode bookkeeping).
+    Lease,
 }
 
 impl TableKind {
@@ -40,6 +42,7 @@ impl TableKind {
             TableKind::Prefix => 1,
             TableKind::Checkpoint => 2,
             TableKind::Corpus => 3,
+            TableKind::Lease => 4,
         }
     }
 }
