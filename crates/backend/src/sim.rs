@@ -30,24 +30,26 @@ pub struct SimBackend {
     /// The on-disk prefix table when this backend persists across
     /// invocations ([`SimBackend::with_store`]).
     store: Option<std::sync::Arc<ubfuzz_store::PrefixStore>>,
+    /// The on-disk sanitize-stage table, opened alongside the prefix one.
+    san_store: Option<std::sync::Arc<ubfuzz_store::SanitizedStore>>,
 }
 
 impl SimBackend {
     /// A backend with the staged-compile cache enabled.
     pub fn new() -> SimBackend {
-        SimBackend { session: CompileSession::new(), store: None }
+        SimBackend { session: CompileSession::new(), store: None, san_store: None }
     }
 
     /// A backend whose every compile runs the full pipeline (no cache, no
     /// telemetry).
     pub fn uncached() -> SimBackend {
-        SimBackend { session: CompileSession::disabled(), store: None }
+        SimBackend { session: CompileSession::disabled(), store: None, san_store: None }
     }
 
     /// A backend over an explicitly configured session (e.g. a bounded
     /// capacity).
     pub fn with_session(session: CompileSession) -> SimBackend {
-        SimBackend { session, store: None }
+        SimBackend { session, store: None, san_store: None }
     }
 
     /// A backend whose prefix cache persists in the store directory `dir`
@@ -74,14 +76,25 @@ impl SimBackend {
         dir: impl AsRef<std::path::Path>,
         capacity: usize,
     ) -> SimBackend {
-        let store =
-            std::sync::Arc::new(ubfuzz_store::PrefixStore::open_budgeted(dir, capacity));
+        let store = std::sync::Arc::new(ubfuzz_store::PrefixStore::open_budgeted(
+            dir.as_ref(),
+            capacity,
+        ));
+        // The sanitize layer keys (sanitizer, registry epoch) on top of the
+        // prefix key, so budget its table at `SAN_VARIANTS ×` the prefix
+        // budget — the same ratio the session sizes its own layer by.
+        let san_store = std::sync::Arc::new(ubfuzz_store::SanitizedStore::open_budgeted(
+            dir.as_ref(),
+            capacity.saturating_mul(CompileSession::SAN_VARIANTS),
+        ));
         SimBackend {
-            session: CompileSession::with_backing(
+            session: CompileSession::with_backings(
                 CompileSession::capacity_for_preload(capacity),
                 store.clone(),
+                Some(san_store.clone()),
             ),
             store: Some(store),
+            san_store: Some(san_store),
         }
     }
 
@@ -94,6 +107,12 @@ impl SimBackend {
     /// store ([`SimBackend::with_store`]).
     pub fn prefix_store(&self) -> Option<&ubfuzz_store::PrefixStore> {
         self.store.as_deref()
+    }
+
+    /// The persistent sanitize-stage table, when this backend was opened
+    /// over a store ([`SimBackend::with_store`]).
+    pub fn sanitized_store(&self) -> Option<&ubfuzz_store::SanitizedStore> {
+        self.san_store.as_deref()
     }
 }
 
@@ -266,15 +285,25 @@ mod tests {
         let out_cold = cold.compile_program(&p, &req).unwrap();
         assert_eq!(cold.session().stats().misses, 1);
         assert_eq!(cold.prefix_store().expect("store attached").telemetry().persisted(), 1);
+        assert_eq!(
+            cold.sanitized_store().expect("san store attached").telemetry().persisted(),
+            1,
+            "sanitized compile persists to the sanitize table too"
+        );
         drop(cold);
 
         let warm = SimBackend::with_store(&dir);
         assert_eq!(warm.session().preloaded(), 1, "reopen preloads the persisted prefix");
+        assert_eq!(warm.session().san_preloaded(), 1, "and the persisted sanitize entry");
         let out_warm = warm.compile_program(&p, &req).unwrap();
         assert_eq!(out_cold.module(), out_warm.module(), "store is invisible to outputs");
+        // The replay is served by the sanitize layer: the prefix layer is
+        // never consulted.
         assert_eq!(warm.session().stats(), ubfuzz_simcc::session::SessionStats {
-            hits: 1,
-            misses: 0
+            hits: 0,
+            misses: 0,
+            san_hits: 1,
+            san_misses: 0
         });
         let _ = std::fs::remove_dir_all(&dir);
     }

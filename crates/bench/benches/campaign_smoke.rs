@@ -114,11 +114,29 @@ fn emit_bench_json() {
     let _ = std::fs::remove_dir_all(&dir);
     let (cold_secs, cold) = timed_run(Some(&dir));
     let (warm_secs, warm) = timed_run(Some(&dir));
+    // Compact the store down to half its size, then rerun: evicted entries
+    // recompile, resident ones still hit, and the results stay identical
+    // either way (the budget only trades disk for recompilation).
+    let (store_before, store_after) = {
+        let prefix = ubfuzz::store::PrefixStore::open_budgeted(&dir, 0);
+        let sanitized = ubfuzz::store::SanitizedStore::open_budgeted(&dir, 0);
+        let before = prefix.size_bytes() + sanitized.size_bytes();
+        let (ps, ss) = ubfuzz_bench::compact_stores(&prefix, &sanitized, before / 2);
+        (before, ps.after_bytes + ss.after_bytes)
+    };
+    let (_, compacted) = timed_run(Some(&dir));
     let (nostore_secs, nostore) = timed_run(None);
     let (stacked_secs, stacked) = timed_run_with(None, true);
     let _ = std::fs::remove_dir_all(&dir);
     assert_eq!(cold, warm, "store must be invisible to results");
     assert_eq!(warm.cache.misses, 0, "warm store misses nothing: {:?}", warm.cache);
+    assert!(
+        warm.cache.san_reuse_ratio() >= 0.9,
+        "warm store must replay the sanitize stage: {:?}",
+        warm.cache
+    );
+    assert!(store_after <= store_before / 2, "compaction must respect the byte budget");
+    assert_eq!(cold, compacted, "compaction must be invisible to results");
     // The pluggable-oracle seam must be identity-preserving and free:
     // an explicitly configured standard stack (dyn-dispatched per oracle
     // group) matches the implicit default in results, and its units/sec
@@ -157,7 +175,10 @@ fn emit_bench_json() {
     let _ = writeln!(json, "  \"cache_hits_cold\": {},", cold.cache.hits);
     let _ = writeln!(json, "  \"cache_misses_cold\": {},", cold.cache.misses);
     let _ = writeln!(json, "  \"cache_reuse_ratio_cold\": {:.4},", cold.cache.reuse_ratio());
-    let _ = writeln!(json, "  \"cache_reuse_ratio_warm\": {:.4}", warm.cache.reuse_ratio());
+    let _ = writeln!(json, "  \"cache_reuse_ratio_warm\": {:.4},", warm.cache.reuse_ratio());
+    let _ = writeln!(json, "  \"san_reuse_ratio_warm\": {:.4},", warm.cache.san_reuse_ratio());
+    let _ = writeln!(json, "  \"store_bytes_before_compaction\": {store_before},");
+    let _ = writeln!(json, "  \"store_bytes_after_compaction\": {store_after}");
     json.push_str("}\n");
     // cargo runs bench binaries with cwd = the package dir; anchor the
     // artifact at the workspace root where CI picks it up.

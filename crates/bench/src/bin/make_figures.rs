@@ -4,14 +4,18 @@
 //! Like `make_tables`, all entry points share one `SimBackend` (sized from
 //! the campaign config): the Fig. 10/11 replays recompile every found bug's
 //! test case across stable versions and levels, which re-hits the prefixes
-//! the campaign cached. The shared `--store DIR` / `--resume` persistence
-//! flags (see `ubfuzz_bench` and `make_tables`) apply here too.
+//! the campaign cached. The shared `--store DIR` / `--resume` /
+//! `--store-budget BYTES` persistence flags (see `ubfuzz_bench` and
+//! `make_tables`) apply here too.
 
 use std::sync::Arc;
 use ubfuzz::backend::CompilerBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
-use ubfuzz_bench::{arg_value, report_store_telemetry, run_stored_campaign, shared_backend, store_args};
+use ubfuzz_bench::{
+    arg_value, compact_backend_stores, report_store_telemetry, run_stored_campaign,
+    shared_backend, store_args,
+};
 use ubfuzz_simcc::defects::DefectRegistry;
 
 fn main() {
@@ -42,4 +46,5 @@ fn main() {
         }
     }
     report_store_telemetry(&backend);
+    compact_backend_stores(&backend, &store);
 }

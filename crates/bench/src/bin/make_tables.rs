@@ -18,12 +18,19 @@
 //!   at compile-unit granularity and resume any compatible checkpoint
 //!   already in the store, so a killed invocation continues where it died
 //!   with a bit-identical final report.
+//! * `--store-budget BYTES` (requires `--store`) — after the run, compact
+//!   `prefix.bin` and `sanitized.bin` down to this combined byte budget,
+//!   evicting least-recently-hit entries first (see also the standalone
+//!   `store_compact` binary).
 
 use std::sync::Arc;
 use ubfuzz::backend::CompilerBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
-use ubfuzz_bench::{arg_value, report_store_telemetry, run_stored_campaign, shared_backend, store_args};
+use ubfuzz_bench::{
+    arg_value, compact_backend_stores, report_store_telemetry, run_stored_campaign,
+    shared_backend, store_args,
+};
 use ubfuzz_simcc::defects::DefectRegistry;
 
 fn main() {
@@ -52,6 +59,7 @@ fn main() {
         100.0 * cache.reuse_ratio()
     );
     report_store_telemetry(&backend);
+    compact_backend_stores(&backend, &store);
 }
 
 fn run_tables(

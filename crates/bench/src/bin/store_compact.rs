@@ -1,0 +1,29 @@
+//! Standalone store compactor:
+//! `store_compact --store DIR --store-budget BYTES`.
+//!
+//! Compacts `prefix.bin` and `sanitized.bin` under `DIR` down to a combined
+//! byte budget without running a campaign — the offline counterpart of
+//! passing `--store-budget` to `make_tables`/`make_figures`. Neither table
+//! is decoded beyond its dedup keys (`open_budgeted(_, 0)`), so compacting
+//! a large store is cheap. With no hit-recency on record (nothing ran),
+//! eviction deterministically keeps the newest tail of each log.
+//!
+//! Flag misuse exits with status 2, exactly like the two benchmark
+//! binaries; a well-formed invocation prints the shared `[store] compact:`
+//! accounting on stderr and exits 0.
+
+use ubfuzz::store::{PrefixStore, SanitizedStore};
+use ubfuzz_bench::{compact_stores, report_compaction, store_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let store = store_args(&args, "store_compact");
+    let (Some(dir), Some(budget)) = (&store.dir, store.budget) else {
+        eprintln!("store_compact: requires --store DIR and --store-budget BYTES");
+        std::process::exit(2);
+    };
+    let prefix = PrefixStore::open_budgeted(dir, 0);
+    let sanitized = SanitizedStore::open_budgeted(dir, 0);
+    let (ps, ss) = compact_stores(&prefix, &sanitized, budget);
+    report_compaction(&ps, &ss);
+}

@@ -34,13 +34,17 @@ pub struct StoreArgs {
     pub dir: Option<PathBuf>,
     /// `--resume`: checkpoint the campaign and resume a compatible log.
     pub resume: bool,
+    /// `--store-budget BYTES`: compact the compile-cache tables down to
+    /// this combined byte budget after the run.
+    pub budget: Option<u64>,
 }
 
-/// Parses `--store DIR` / `--resume`, exiting with status 2 on misuse
-/// (both binaries must reject it identically — the CI persistence job
-/// drives them interchangeably). A `--store` whose value is missing or is
-/// itself a flag is an error, not a silently storeless run or a directory
-/// literally named `--resume`.
+/// Parses `--store DIR` / `--resume` / `--store-budget BYTES`, exiting with
+/// status 2 on misuse (both binaries must reject it identically — the CI
+/// persistence job drives them interchangeably). A `--store` whose value is
+/// missing or is itself a flag is an error, not a silently storeless run or
+/// a directory literally named `--resume`; likewise a `--store-budget`
+/// whose value is missing or not a byte count.
 pub fn store_args(args: &[String], binary: &str) -> StoreArgs {
     let dir = match args.iter().position(|a| a == "--store") {
         None => None,
@@ -57,7 +61,21 @@ pub fn store_args(args: &[String], binary: &str) -> StoreArgs {
         eprintln!("{binary}: --resume requires --store DIR");
         std::process::exit(2);
     }
-    StoreArgs { dir, resume }
+    let budget = match args.iter().position(|a| a == "--store-budget") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(bytes) => Some(bytes),
+            None => {
+                eprintln!("{binary}: --store-budget requires a byte count");
+                std::process::exit(2);
+            }
+        },
+    };
+    if budget.is_some() && dir.is_none() {
+        eprintln!("{binary}: --store-budget requires --store DIR");
+        std::process::exit(2);
+    }
+    StoreArgs { dir, resume, budget }
 }
 
 /// The shared backend both binaries thread through every entry point:
@@ -101,9 +119,9 @@ pub fn run_stored_campaign(
     stats
 }
 
-/// Prints the store-backed prefix-cache telemetry line (stderr, stable
-/// format — the CI persistence job greps ` misses=0 `). No-op for
-/// in-memory backends.
+/// Prints the store-backed compile-cache telemetry lines (stderr, stable
+/// format — the CI persistence job greps ` misses=0 ` and
+/// `sanitized: .* misses=0 `). No-op for in-memory backends.
 pub fn report_store_telemetry(backend: &SimBackend) {
     let Some(prefix) = backend.prefix_store() else { return };
     let cache = backend.session().stats();
@@ -119,6 +137,71 @@ pub fn report_store_telemetry(backend: &SimBackend) {
     );
     for event in t.events() {
         eprintln!("[store] event: {event}");
+    }
+    let Some(sanitized) = backend.sanitized_store() else { return };
+    let st = sanitized.telemetry();
+    eprintln!(
+        "[store] sanitized: loaded={} persisted={} hits={} misses={} cold={} truncated={}",
+        st.loaded(),
+        st.persisted(),
+        cache.san_hits,
+        cache.san_misses,
+        st.recovered_cold(),
+        st.tail_truncated()
+    );
+    for event in st.events() {
+        eprintln!("[store] event: {event}");
+    }
+    eprintln!(
+        "[store] size: prefix={} sanitized={} total={}",
+        prefix.size_bytes(),
+        sanitized.size_bytes(),
+        prefix.size_bytes() + sanitized.size_bytes()
+    );
+}
+
+/// Compacts both compile-cache tables down to a combined byte budget,
+/// split between `prefix.bin` and `sanitized.bin` proportionally to their
+/// current on-disk sizes (an empty pair splits evenly). Returns the
+/// per-table accounting in `(prefix, sanitized)` order.
+pub fn compact_stores(
+    prefix: &store::PrefixStore,
+    sanitized: &store::SanitizedStore,
+    budget: u64,
+) -> (store::CompactStats, store::CompactStats) {
+    let p = prefix.size_bytes();
+    let total = p + sanitized.size_bytes();
+    let prefix_budget = if total == 0 {
+        budget / 2
+    } else {
+        (budget as u128 * p as u128 / total as u128) as u64
+    };
+    let ps = prefix.compact(prefix_budget);
+    let ss = sanitized.compact(budget - prefix_budget);
+    (ps, ss)
+}
+
+/// Runs the post-run compaction pass when `--store-budget` was given,
+/// reporting per-table before/after accounting on stderr. No-op for
+/// in-memory backends or when no budget was requested.
+pub fn compact_backend_stores(backend: &SimBackend, store_args: &StoreArgs) {
+    let Some(budget) = store_args.budget else { return };
+    let (Some(prefix), Some(sanitized)) = (backend.prefix_store(), backend.sanitized_store())
+    else {
+        return;
+    };
+    let (ps, ss) = compact_stores(prefix, sanitized, budget);
+    report_compaction(&ps, &ss);
+}
+
+/// The shared `[store] compact:` stderr report both the binaries and the
+/// standalone compactor print.
+pub fn report_compaction(prefix: &store::CompactStats, sanitized: &store::CompactStats) {
+    for (table, s) in [("prefix", prefix), ("sanitized", sanitized)] {
+        eprintln!(
+            "[store] compact: {table} before={} after={} kept={} evicted={}",
+            s.before_bytes, s.after_bytes, s.kept, s.evicted
+        );
     }
 }
 

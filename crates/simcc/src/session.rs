@@ -17,7 +17,7 @@
 //! back every worker of a parallel campaign; sharing changes *which* lookups
 //! hit, never what any compile returns.
 
-use crate::ir::Module;
+use crate::ir::{Module, Sanitizer};
 use crate::lower::CompileError;
 use crate::pipeline::{check_supported, compile_prefix, late_opt_stage, sanitize_stage, CompileConfig};
 use crate::target::{CompilerId, OptLevel};
@@ -60,13 +60,23 @@ impl ProgramFingerprint {
     }
 }
 
-/// Cache telemetry: prefix lookups served from the cache vs. computed.
+/// Cache telemetry: lookups served from each cache layer vs. computed.
+///
+/// `hits`/`misses` count the sanitizer-independent *prefix* layer;
+/// `san_hits`/`san_misses` count the *sanitize-stage* layer (only
+/// sanitizer-enabled compiles consult it). A sanitize-layer hit skips the
+/// prefix lookup entirely, so the two pairs partition different lookup
+/// populations — never sum them into one ratio.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Prefix lookups served from the cache.
     pub hits: u64,
     /// Prefix lookups that had to run `lower → early-opts`.
     pub misses: u64,
+    /// Sanitize-stage lookups served from the cache.
+    pub san_hits: u64,
+    /// Sanitize-stage lookups that had to run the sanitizer pass.
+    pub san_misses: u64,
 }
 
 impl SessionStats {
@@ -79,12 +89,28 @@ impl SessionStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fraction of sanitize-stage lookups served from the cache (0.0 when
+    /// idle).
+    pub fn san_reuse_ratio(&self) -> f64 {
+        let total = self.san_hits + self.san_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.san_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::ops::Add for SessionStats {
     type Output = SessionStats;
     fn add(self, rhs: SessionStats) -> SessionStats {
-        SessionStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+        SessionStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            san_hits: self.san_hits + rhs.san_hits,
+            san_misses: self.san_misses + rhs.san_misses,
+        }
     }
 }
 
@@ -96,6 +122,8 @@ impl std::ops::Sub for SessionStats {
         SessionStats {
             hits: self.hits.saturating_sub(rhs.hits),
             misses: self.misses.saturating_sub(rhs.misses),
+            san_hits: self.san_hits.saturating_sub(rhs.san_hits),
+            san_misses: self.san_misses.saturating_sub(rhs.san_misses),
         }
     }
 }
@@ -176,10 +204,106 @@ pub trait PrefixBacking: Send + Sync + std::fmt::Debug {
     /// miss, outside the cache lock; implementations are expected to
     /// dedup re-offers (epoch eviction can recompute a persisted entry).
     fn persist(&self, entry: PrefixEntryRef<'_>);
+
+    /// Observes a cache hit on `(hash, compiler, opt)` — recency feedback
+    /// for backings with a byte budget (least-recently-hit eviction).
+    /// Default: ignored.
+    fn note_hit(&self, hash: u64, compiler: CompilerId, opt: OptLevel) {
+        let _ = (hash, compiler, opt);
+    }
 }
 
-/// Entries sharing a [`PrefixKey`]; the stored source disambiguates the
-/// (astronomically unlikely) fingerprint collision.
+/// The sanitize-stage cache key: a prefix key extended by the sanitizer
+/// and the defect-registry epoch (the sanitizer pass reads both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SanKey {
+    hash: u64,
+    compiler: CompilerId,
+    opt: OptLevel,
+    sanitizer: Sanitizer,
+    registry_fp: u64,
+}
+
+/// One persisted sanitize-stage entry: the full key (hash + verifying
+/// source + sanitizer + registry epoch) and the cached *post-sanitize*
+/// module (late opts still run per lookup — they are cheap and depend only
+/// on the opt level already in the key).
+#[derive(Debug, Clone)]
+pub struct PersistedSanitized {
+    /// Fingerprint hash of the canonical source.
+    pub hash: u64,
+    /// Compiler identity.
+    pub compiler: CompilerId,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// The sanitizer the module was instrumented with.
+    pub sanitizer: Sanitizer,
+    /// Fingerprint of the defect-registry epoch the pass ran under
+    /// ([`crate::defects::DefectRegistry::fingerprint`]).
+    pub registry_fp: u64,
+    /// Canonical pretty-printed source (collision guard).
+    pub source: String,
+    /// The cached post-sanitize module.
+    pub module: Module,
+}
+
+impl PersistedSanitized {
+    /// A borrowed view for [`SanitizedBacking::persist`].
+    pub fn as_entry_ref(&self) -> SanitizedEntryRef<'_> {
+        SanitizedEntryRef {
+            hash: self.hash,
+            compiler: self.compiler,
+            opt: self.opt,
+            sanitizer: self.sanitizer,
+            registry_fp: self.registry_fp,
+            source: &self.source,
+            module: &self.module,
+        }
+    }
+}
+
+/// A borrowed sanitize-stage entry — what the session offers on each
+/// sanitize-layer miss.
+#[derive(Debug, Clone, Copy)]
+pub struct SanitizedEntryRef<'a> {
+    /// Fingerprint hash of the canonical source.
+    pub hash: u64,
+    /// Compiler identity.
+    pub compiler: CompilerId,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// The sanitizer the module was instrumented with.
+    pub sanitizer: Sanitizer,
+    /// Fingerprint of the defect-registry epoch.
+    pub registry_fp: u64,
+    /// Canonical pretty-printed source.
+    pub source: &'a str,
+    /// The cached post-sanitize module.
+    pub module: &'a Module,
+}
+
+/// A persistence sink/source behind the in-memory sanitize-stage cache —
+/// the [`PrefixBacking`] contract, one stage later. Same correctness
+/// argument: `sanitize_stage` is deterministic in the key, so a backing
+/// changes *when* the sanitizer pass runs, never what a compile returns.
+pub trait SanitizedBacking: Send + Sync + std::fmt::Debug {
+    /// Entries persisted by previous invocations. Called once, at attach.
+    fn load(&self) -> Vec<PersistedSanitized>;
+
+    /// Offers a freshly sanitized module for persistence. Called after
+    /// each sanitize-layer miss, outside the cache lock; implementations
+    /// dedup re-offers.
+    fn persist(&self, entry: SanitizedEntryRef<'_>);
+
+    /// Observes a sanitize-layer cache hit — recency feedback for byte-
+    /// budgeted backings. Default: ignored.
+    fn note_hit(&self, entry: SanitizedEntryRef<'_>) {
+        let _ = entry;
+    }
+}
+
+/// Entries sharing a [`PrefixKey`] (or a [`SanKey`]); the stored source
+/// disambiguates the (astronomically unlikely) fingerprint collision.
 type PrefixBucket = Vec<(String, Module)>;
 
 /// A shared compilation session with a memoized pipeline prefix.
@@ -191,18 +315,30 @@ type PrefixBucket = Vec<(String, Module)>;
 pub struct CompileSession {
     /// `None` disables caching entirely.
     cache: Option<Mutex<HashMap<PrefixKey, PrefixBucket>>>,
+    /// The sanitize-stage layer: `(prefix key, sanitizer, registry epoch)
+    /// → post-sanitize module`. Enabled exactly when `cache` is.
+    san_cache: Option<Mutex<HashMap<SanKey, PrefixBucket>>>,
     /// Key budget (≈ entry budget: buckets exceed one entry only on a
     /// fingerprint collision); exceeding it clears the map wholesale (epoch
     /// eviction — cross-program reuse is negligible, so old epochs are dead
     /// weight).
     capacity: usize,
+    /// Sanitize-layer key budget: up to [`CompileSession::SAN_VARIANTS`]
+    /// sanitizer variants per prefix key, same epoch-eviction policy.
+    san_capacity: usize,
     /// Cross-invocation persistence, when attached
     /// ([`CompileSession::with_backing`]).
     backing: Option<std::sync::Arc<dyn PrefixBacking>>,
+    /// Sanitize-layer persistence ([`CompileSession::with_backings`]).
+    san_backing: Option<std::sync::Arc<dyn SanitizedBacking>>,
     /// Entries pre-populated from the backing at construction.
     preloaded: usize,
+    /// Sanitize-layer entries pre-populated at construction.
+    san_preloaded: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    san_hits: AtomicU64,
+    san_misses: AtomicU64,
 }
 
 impl Default for CompileSession {
@@ -217,20 +353,32 @@ impl CompileSession {
     /// realistic worker count.
     pub const DEFAULT_CAPACITY: usize = 2048;
 
+    /// Sanitizer variants per prefix key (ASan/UBSan/MSan) — the factor
+    /// between a prefix key budget and the sanitize-layer key budget.
+    pub const SAN_VARIANTS: usize = 3;
+
     /// An enabled session with the default capacity.
     pub fn new() -> CompileSession {
         CompileSession::with_capacity(CompileSession::DEFAULT_CAPACITY)
     }
 
-    /// An enabled session holding at most `capacity` cached prefixes.
+    /// An enabled session holding at most `capacity` cached prefixes (and
+    /// [`CompileSession::SAN_VARIANTS`]`× capacity` sanitized modules).
     pub fn with_capacity(capacity: usize) -> CompileSession {
+        let capacity = capacity.max(1);
         CompileSession {
             cache: Some(Mutex::new(HashMap::new())),
-            capacity: capacity.max(1),
+            san_cache: Some(Mutex::new(HashMap::new())),
+            capacity,
+            san_capacity: capacity.saturating_mul(CompileSession::SAN_VARIANTS),
             backing: None,
+            san_backing: None,
             preloaded: 0,
+            san_preloaded: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            san_hits: AtomicU64::new(0),
+            san_misses: AtomicU64::new(0),
         }
     }
 
@@ -247,6 +395,17 @@ impl CompileSession {
     pub fn with_backing(
         capacity: usize,
         backing: std::sync::Arc<dyn PrefixBacking>,
+    ) -> CompileSession {
+        CompileSession::with_backings(capacity, backing, None)
+    }
+
+    /// [`CompileSession::with_backing`] plus an optional sanitize-stage
+    /// backing, warmed and persisted with the same headroom discipline
+    /// (the sanitize layer's budget is `SAN_VARIANTS ×` the prefix one).
+    pub fn with_backings(
+        capacity: usize,
+        backing: std::sync::Arc<dyn PrefixBacking>,
+        san_backing: Option<std::sync::Arc<dyn SanitizedBacking>>,
     ) -> CompileSession {
         let mut session = CompileSession::with_capacity(capacity);
         let preload_budget = CompileSession::preload_budget(session.capacity);
@@ -267,6 +426,31 @@ impl CompileSession {
         session.cache = Some(Mutex::new(map));
         session.preloaded = loaded;
         session.backing = Some(backing);
+        if let Some(san_backing) = san_backing {
+            let san_budget = CompileSession::preload_budget(session.san_capacity);
+            let mut san_map = HashMap::new();
+            let mut san_loaded = 0usize;
+            for entry in san_backing.load() {
+                if san_loaded >= san_budget {
+                    break;
+                }
+                let key = SanKey {
+                    hash: entry.hash,
+                    compiler: entry.compiler,
+                    opt: entry.opt,
+                    sanitizer: entry.sanitizer,
+                    registry_fp: entry.registry_fp,
+                };
+                let bucket: &mut PrefixBucket = san_map.entry(key).or_default();
+                if !bucket.iter().any(|(src, _)| *src == entry.source) {
+                    bucket.push((entry.source, entry.module));
+                    san_loaded += 1;
+                }
+            }
+            session.san_cache = Some(Mutex::new(san_map));
+            session.san_preloaded = san_loaded;
+            session.san_backing = Some(san_backing);
+        }
         session
     }
 
@@ -275,17 +459,28 @@ impl CompileSession {
     pub fn disabled() -> CompileSession {
         CompileSession {
             cache: None,
+            san_cache: None,
             capacity: 0,
+            san_capacity: 0,
             backing: None,
+            san_backing: None,
             preloaded: 0,
+            san_preloaded: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            san_hits: AtomicU64::new(0),
+            san_misses: AtomicU64::new(0),
         }
     }
 
     /// How many entries the backing pre-populated (0 without a backing).
     pub fn preloaded(&self) -> usize {
         self.preloaded
+    }
+
+    /// How many sanitize-stage entries the backing pre-populated.
+    pub fn san_preloaded(&self) -> usize {
+        self.san_preloaded
     }
 
     /// How many backing entries a session of `capacity` will pre-populate
@@ -334,6 +529,8 @@ impl CompileSession {
         SessionStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            san_hits: self.san_hits.load(Ordering::Relaxed),
+            san_misses: self.san_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -362,9 +559,87 @@ impl CompileSession {
         cfg: &CompileConfig<'_>,
     ) -> Result<Module, CompileError> {
         check_supported(cfg)?;
+        let mut module = match cfg.sanitizer {
+            // Sanitizer-enabled compiles go through the sanitize-stage
+            // layer (which consults the prefix layer on its misses).
+            Some(sanitizer) if self.san_cache.is_some() => {
+                self.sanitized(fp, program, cfg, sanitizer)?
+            }
+            // No sanitizer: `sanitize_stage` is a no-op, the prefix IS the
+            // pre-late-opts module. (Disabled sessions land here too and
+            // fall through to the uncached pipeline inside `prefix`.)
+            _ => {
+                let mut module = self.prefix(fp, program, cfg.compiler, cfg.opt)?;
+                sanitize_stage(&mut module, cfg);
+                module
+            }
+        };
+        late_opt_stage(&mut module, cfg.opt);
+        Ok(module)
+    }
+
+    /// The memoized sanitize stage: post-sanitize module by
+    /// `(prefix key, sanitizer, registry epoch)`. Only called with the
+    /// cache enabled and a sanitizer configured.
+    fn sanitized(
+        &self,
+        fp: &ProgramFingerprint,
+        program: &Program,
+        cfg: &CompileConfig<'_>,
+        sanitizer: Sanitizer,
+    ) -> Result<Module, CompileError> {
+        let cache = self.san_cache.as_ref().expect("sanitize cache enabled");
+        let key = SanKey {
+            hash: fp.hash,
+            compiler: cfg.compiler,
+            opt: cfg.opt,
+            sanitizer,
+            registry_fp: cfg.registry.fingerprint(),
+        };
+        if let Some(entries) = cache.lock().expect("sanitize cache lock").get(&key) {
+            if let Some((_, module)) = entries.iter().find(|(src, _)| *src == fp.source) {
+                self.san_hits.fetch_add(1, Ordering::Relaxed);
+                let module = module.clone();
+                // Recency feedback outside the lock (byte-budgeted
+                // backings rank eviction by last hit).
+                if let Some(backing) = &self.san_backing {
+                    backing.note_hit(SanitizedEntryRef {
+                        hash: key.hash,
+                        compiler: key.compiler,
+                        opt: key.opt,
+                        sanitizer,
+                        registry_fp: key.registry_fp,
+                        source: &fp.source,
+                        module: &module,
+                    });
+                }
+                return Ok(module);
+            }
+        }
+        self.san_misses.fetch_add(1, Ordering::Relaxed);
         let mut module = self.prefix(fp, program, cfg.compiler, cfg.opt)?;
         sanitize_stage(&mut module, cfg);
-        late_opt_stage(&mut module, cfg.opt);
+        {
+            let mut map = cache.lock().expect("sanitize cache lock");
+            if map.len() >= self.san_capacity {
+                map.clear();
+            }
+            let bucket = map.entry(key).or_default();
+            if !bucket.iter().any(|(src, _)| *src == fp.source) {
+                bucket.push((fp.source.clone(), module.clone()));
+            }
+        }
+        if let Some(backing) = &self.san_backing {
+            backing.persist(SanitizedEntryRef {
+                hash: key.hash,
+                compiler: key.compiler,
+                opt: key.opt,
+                sanitizer,
+                registry_fp: key.registry_fp,
+                source: &fp.source,
+                module: &module,
+            });
+        }
         Ok(module)
     }
 
@@ -380,11 +655,19 @@ impl CompileSession {
             return compile_prefix(program, compiler, opt);
         };
         let key = PrefixKey { hash: fp.hash, compiler, opt };
-        if let Some(entries) = cache.lock().expect("prefix cache lock").get(&key) {
-            if let Some((_, module)) = entries.iter().find(|(src, _)| *src == fp.source) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(module.clone());
+        let cached = cache
+            .lock()
+            .expect("prefix cache lock")
+            .get(&key)
+            .and_then(|entries| entries.iter().find(|(src, _)| *src == fp.source))
+            .map(|(_, module)| module.clone());
+        if let Some(module) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // Recency feedback, outside the cache lock.
+            if let Some(backing) = &self.backing {
+                backing.note_hit(fp.hash, compiler, opt);
             }
+            return Ok(module);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let module = compile_prefix(program, compiler, opt)?;
@@ -460,12 +743,22 @@ mod tests {
             }
         }
         let stats = session.stats();
-        // 2 vendors × 5 levels distinct prefixes; GCC×MSan never reaches the
-        // prefix, so 4 sanitizer variants hit GCC cells 3× and LLVM cells 3×
-        // after the first-miss fill.
+        // 2 vendors × 5 levels distinct prefixes, each first missed by its
+        // `None`-sanitizer cell; every sanitizer cell is a sanitize-layer
+        // miss that then *hits* the resident prefix (GCC×MSan never gets
+        // past check_supported).
         assert_eq!(stats.misses, 10, "{stats:?}");
         assert!(stats.hits > 0, "{stats:?}");
         assert!(stats.reuse_ratio() > 0.5, "{stats:?}");
+        assert_eq!(stats.san_misses, 25, "every sanitizer cell is distinct: {stats:?}");
+        assert_eq!(stats.san_hits, 0, "{stats:?}");
+        // Replaying one sanitizer cell is now a pure sanitize-layer hit —
+        // no prefix lookup, no sanitizer pass, identical output.
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Asan), &reg);
+        assert_eq!(session.compile_fp(&fp, &p, &cfg).unwrap(), compile(&p, &cfg).unwrap());
+        let replay = session.stats();
+        assert_eq!(replay.san_hits, 1, "{replay:?}");
+        assert_eq!(replay.hits, stats.hits, "sanitize hit skips the prefix layer");
     }
 
     #[test]
@@ -506,9 +799,9 @@ mod tests {
 
     #[test]
     fn stats_add_sub_and_ratio() {
-        let a = SessionStats { hits: 3, misses: 1 };
-        let b = SessionStats { hits: 1, misses: 3 };
-        assert_eq!(a + b, SessionStats { hits: 4, misses: 4 });
+        let a = SessionStats { hits: 3, misses: 1, ..Default::default() };
+        let b = SessionStats { hits: 1, misses: 3, ..Default::default() };
+        assert_eq!(a + b, SessionStats { hits: 4, misses: 4, ..Default::default() });
         assert_eq!((a + b).reuse_ratio(), 0.5);
         assert_eq!(SessionStats::default().reuse_ratio(), 0.0);
         assert_eq!((a + b) - a, b, "snapshot delta recovers the increment");
@@ -528,15 +821,15 @@ mod tests {
         let c = parse("int main(void) { return 2; }").unwrap();
         session.compile(&a, &cfg).unwrap(); // miss, {a}
         session.compile(&b, &cfg).unwrap(); // miss, {a, b}
-        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 2 });
+        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 2, ..Default::default() });
         session.compile(&a, &cfg).unwrap(); // hit while resident
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 2 });
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 2, ..Default::default() });
         session.compile(&c, &cfg).unwrap(); // miss; at capacity → epoch clear, {c}
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 3 });
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 3, ..Default::default() });
         session.compile(&a, &cfg).unwrap(); // evicted with its epoch → miss again
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 4 });
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 4, ..Default::default() });
         session.compile(&c, &cfg).unwrap(); // the new epoch's resident still hits
-        assert_eq!(session.stats(), SessionStats { hits: 2, misses: 4 });
+        assert_eq!(session.stats(), SessionStats { hits: 2, misses: 4, ..Default::default() });
         // Eviction is invisible to outputs.
         assert_eq!(session.compile(&a, &cfg).unwrap(), compile(&a, &cfg).unwrap());
     }
@@ -572,6 +865,100 @@ mod tests {
         }
     }
 
+    /// An in-memory sanitize-stage backing, mirroring `MemBacking`.
+    #[derive(Debug, Default)]
+    struct MemSanBacking {
+        entries: Mutex<Vec<PersistedSanitized>>,
+        hits: Mutex<u64>,
+    }
+
+    impl SanitizedBacking for MemSanBacking {
+        fn load(&self) -> Vec<PersistedSanitized> {
+            self.entries.lock().unwrap().clone()
+        }
+
+        fn persist(&self, entry: SanitizedEntryRef<'_>) {
+            let mut entries = self.entries.lock().unwrap();
+            if !entries.iter().any(|e| {
+                e.hash == entry.hash
+                    && e.compiler == entry.compiler
+                    && e.opt == entry.opt
+                    && e.sanitizer == entry.sanitizer
+                    && e.registry_fp == entry.registry_fp
+                    && e.source == entry.source
+            }) {
+                entries.push(PersistedSanitized {
+                    hash: entry.hash,
+                    compiler: entry.compiler,
+                    opt: entry.opt,
+                    sanitizer: entry.sanitizer,
+                    registry_fp: entry.registry_fp,
+                    source: entry.source.to_string(),
+                    module: entry.module.clone(),
+                });
+            }
+        }
+
+        fn note_hit(&self, _entry: SanitizedEntryRef<'_>) {
+            *self.hits.lock().unwrap() += 1;
+        }
+    }
+
+    #[test]
+    fn sanitize_layer_persists_and_warm_starts_without_touching_the_prefix() {
+        let reg = DefectRegistry::full();
+        let p = program();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Ubsan), &reg);
+        let prefix = std::sync::Arc::new(MemBacking::default());
+        let san = std::sync::Arc::new(MemSanBacking::default());
+
+        // Cold: a sanitize miss that computes (and persists) both layers.
+        let first =
+            CompileSession::with_backings(64, prefix.clone(), Some(san.clone()));
+        assert_eq!(first.san_preloaded(), 0);
+        let out_first = first.compile(&p, &cfg).unwrap();
+        assert_eq!(
+            first.stats(),
+            SessionStats { hits: 0, misses: 1, san_hits: 0, san_misses: 1 }
+        );
+        assert_eq!(san.entries.lock().unwrap().len(), 1);
+        assert_eq!(prefix.entries.lock().unwrap().len(), 1);
+
+        // Warm: the sanitized module preloads, the compile is a pure
+        // sanitize-layer hit, and the prefix layer is never consulted.
+        let second =
+            CompileSession::with_backings(64, prefix.clone(), Some(san.clone()));
+        assert_eq!(second.san_preloaded(), 1);
+        assert_eq!(second.compile(&p, &cfg).unwrap(), out_first);
+        assert_eq!(
+            second.stats(),
+            SessionStats { hits: 0, misses: 0, san_hits: 1, san_misses: 0 }
+        );
+        assert_eq!(*san.hits.lock().unwrap(), 1, "hit recency reaches the backing");
+    }
+
+    #[test]
+    fn sanitize_cache_is_keyed_by_registry_epoch() {
+        // The same (program, compiler, opt, sanitizer) under different
+        // defect registries must not alias: the epoch is part of the key.
+        let full = DefectRegistry::full();
+        let pristine = DefectRegistry::pristine();
+        let p = program();
+        let session = CompileSession::new();
+        let cfg_full = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &full);
+        let cfg_pristine =
+            CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &pristine);
+        let a = session.compile(&p, &cfg_full).unwrap();
+        let b = session.compile(&p, &cfg_pristine).unwrap();
+        assert_eq!(session.stats().san_misses, 2, "distinct epochs, distinct entries");
+        assert_eq!(a, compile(&p, &cfg_full).unwrap());
+        assert_eq!(b, compile(&p, &cfg_pristine).unwrap());
+        // And replays of both hit their own entry.
+        assert_eq!(session.compile(&p, &cfg_full).unwrap(), a);
+        assert_eq!(session.compile(&p, &cfg_pristine).unwrap(), b);
+        assert_eq!(session.stats().san_hits, 2);
+    }
+
     #[test]
     fn backed_session_persists_misses_and_preloads_them() {
         let reg = DefectRegistry::full();
@@ -583,15 +970,17 @@ mod tests {
         let first = CompileSession::with_backing(64, backing.clone());
         assert_eq!(first.preloaded(), 0);
         let out_first = first.compile(&p, &cfg).unwrap();
-        assert_eq!(first.stats(), SessionStats { hits: 0, misses: 1 });
+        // Sanitized compile with no sanitize backing: the san layer misses
+        // once and falls through to the prefix layer, which also misses.
+        assert_eq!(first.stats(), SessionStats { hits: 0, misses: 1, san_hits: 0, san_misses: 1 });
         assert_eq!(backing.entries.lock().unwrap().len(), 1);
 
         // Second "invocation": the backing pre-populates the cache, so the
-        // same compile is a pure hit and output is unchanged.
+        // same compile is a pure prefix hit and output is unchanged.
         let second = CompileSession::with_backing(64, backing.clone());
         assert_eq!(second.preloaded(), 1);
         assert_eq!(second.compile(&p, &cfg).unwrap(), out_first);
-        assert_eq!(second.stats(), SessionStats { hits: 1, misses: 0 });
+        assert_eq!(second.stats(), SessionStats { hits: 1, misses: 0, san_hits: 0, san_misses: 1 });
 
         // A backing at/above the capacity preloads only up to the headroom
         // budget (no instant epoch eviction), and stays correct.
@@ -638,13 +1027,13 @@ mod tests {
         assert_eq!(session.preloaded(), 3);
         let fresh = parse("int main(void) { return 40 + 2; }").unwrap();
         session.compile(&fresh, &cfg).unwrap();
-        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1 });
+        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1, ..Default::default() });
         for p in &warm_programs[..3] {
             session.compile(p, &cfg).unwrap();
         }
         assert_eq!(
             session.stats(),
-            SessionStats { hits: 3, misses: 1 },
+            SessionStats { hits: 3, misses: 1, ..Default::default() },
             "preloaded entries must survive the first miss"
         );
     }

@@ -10,9 +10,16 @@
 //!
 //! | table | file | granularity | consumer |
 //! |---|---|---|---|
-//! | [`PrefixStore`] | `prefix.bin` | `(fingerprint, vendor, version, opt) → Module` | `CompileSession::with_backing` |
+//! | [`PrefixStore`] | `prefix.bin` | `(fingerprint, vendor, version, opt) → Module` | `CompileSession::with_backings` |
+//! | [`SanitizedStore`] | `sanitized.bin` | prefix key + `(sanitizer, registry epoch) → Module` | `CompileSession::with_backings` |
 //! | [`CampaignLog`] | `campaign.bin` | `(campaign fingerprint, unit index) → outcome` | `ParallelCampaign` resume |
 //! | [`BugCorpus`] | `corpus.bin` | attribution key → bug + provenance | campaign reporting |
+//!
+//! The prefix/sanitized module caches additionally track per-key hit
+//! recency and expose byte-budgeted compaction ([`CompactStats`]): the
+//! least-recently-hit records are evicted through the shared temp-file +
+//! rename rewrite, so a long-lived store directory can be pinned under a
+//! size budget without losing its hottest entries.
 //!
 //! **Crash consistency.** Append-only tables flush every record and frame
 //! it with a length prefix and an FNV-1a checksum; a kill mid-append tears
@@ -26,6 +33,10 @@
 //! offline by policy, so no serde; the discipline mirrors the vendor shims:
 //! small, explicit, and replaceable.
 
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::hash::Hash;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -35,12 +46,14 @@ pub mod corpus;
 pub mod lease;
 pub mod modser;
 pub mod prefix;
+pub mod sanitized;
 pub mod wire;
 
 pub use checkpoint::{CampaignLog, UnitOutcome};
 pub use corpus::{BugCorpus, BugRecord, CorpusEntry, MergeSummary};
 pub use lease::{LeaseRecord, LeaseState, LeaseTable};
 pub use prefix::PrefixStore;
+pub use sanitized::SanitizedStore;
 pub use wire::{WireError, FORMAT_VERSION};
 
 /// Locks a mutex, recovering the inner guard when a panicking holder
@@ -127,6 +140,156 @@ impl StoreTelemetry {
     }
 }
 
+/// Before/after accounting of one table compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// On-disk bytes (header + records) before the compaction.
+    pub before_bytes: u64,
+    /// On-disk bytes after the compaction.
+    pub after_bytes: u64,
+    /// Records kept (the most-recently-hit that fit the budget).
+    pub kept: usize,
+    /// Records evicted.
+    pub evicted: usize,
+}
+
+/// Shared mutable state of one append-only record log with recency-tracked
+/// keys: the file handle, the on-disk key set, and the per-key last-hit
+/// sequence that byte-budgeted compaction ranks by.
+///
+/// At open, keys are assigned sequence numbers in file order, so a store
+/// compacted without any hit information (the standalone compactor path)
+/// deterministically keeps the newest tail.
+#[derive(Debug)]
+pub(crate) struct LogState<K> {
+    /// Read+append handle; `None` when the directory is unwritable (the
+    /// table then degrades to in-memory behavior).
+    pub(crate) file: Option<File>,
+    /// Keys already on disk, so epoch-evicted recomputations do not bloat
+    /// the file with duplicates.
+    pub(crate) resident: HashSet<K>,
+    /// Last hit (or append/open) sequence per resident key.
+    pub(crate) recency: HashMap<K, u64>,
+    /// Monotonic hit/append counter feeding `recency`.
+    pub(crate) clock: u64,
+    /// Current on-disk size in bytes, header included.
+    pub(crate) bytes: u64,
+}
+
+impl<K: Eq + Hash + Copy> LogState<K> {
+    /// Appends one framed record, updating size/recency accounting. No-op
+    /// for keys already resident or when persistence is disabled; an append
+    /// failure disables persistence (the campaign keeps computing).
+    pub(crate) fn append(
+        &mut self,
+        key: K,
+        payload: &[u8],
+        telemetry: &StoreTelemetry,
+        what: &'static str,
+    ) {
+        if !self.resident.insert(key) {
+            return;
+        }
+        let Some(file) = self.file.as_mut() else { return };
+        let record = wire::frame(payload);
+        // The handle is O_APPEND: one write_all lands the whole record at
+        // the end of file regardless of concurrent appenders.
+        if file.write_all(&record).and_then(|()| file.flush()).is_err() {
+            telemetry.record_corruption(format!("{what} append failed"));
+            self.file = None;
+        } else {
+            self.bytes += record.len() as u64;
+            self.clock += 1;
+            self.recency.insert(key, self.clock);
+            telemetry.record_persisted();
+        }
+    }
+
+    /// Bumps a resident key's recency — a cache hit served from this table.
+    pub(crate) fn note_hit(&mut self, key: K) {
+        if self.resident.contains(&key) {
+            self.clock += 1;
+            self.recency.insert(key, self.clock);
+        }
+    }
+}
+
+/// Compacts one record log to `budget` bytes: streams the file, ranks
+/// records most-recently-hit first (open assigns file-order sequence, so
+/// never-hit stores keep their newest tail), keeps the top-ranked records
+/// that fit, and rewrites the file — original record order preserved among
+/// the kept — through the shared temp-file + rename protocol. The `O_APPEND`
+/// handle is reopened afterwards (the rename replaced the inode).
+pub(crate) fn compact_log<K: Eq + Hash + Copy>(
+    path: &Path,
+    kind: wire::TableKind,
+    state: &mut LogState<K>,
+    budget: u64,
+    dec_key: impl Fn(&[u8]) -> Result<K, WireError>,
+    telemetry: &StoreTelemetry,
+) -> CompactStats {
+    let before = state.bytes;
+    let noop = CompactStats {
+        before_bytes: before,
+        after_bytes: before,
+        kept: state.resident.len(),
+        evicted: 0,
+    };
+    let Some(file) = state.file.as_mut() else { return noop };
+    let file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut records: Vec<(Vec<u8>, K)> = Vec::new();
+    let mut pos = wire::HEADER_LEN as u64;
+    let mut buf = Vec::new();
+    while let Some((payload_off, payload_len)) = wire::read_record_at(file, file_len, pos, &mut buf)
+    {
+        match dec_key(&buf) {
+            Ok(key) => records.push((std::mem::take(&mut buf), key)),
+            Err(e) => {
+                telemetry.record_corruption(format!("compaction record: {e}"));
+                break;
+            }
+        }
+        pos = payload_off + payload_len as u64 + 8;
+    }
+    // Rank most-recently-hit first; open-time sequences make ties
+    // impossible, but fall back to later-file-order-wins for safety.
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse((state.recency.get(&records[i].1).copied().unwrap_or(0), i))
+    });
+    let mut keep = vec![false; records.len()];
+    let mut after = wire::HEADER_LEN as u64;
+    for &i in &order {
+        let span = wire::record_span(records[i].0.len()) as u64;
+        if after + span > budget {
+            break;
+        }
+        after += span;
+        keep[i] = true;
+    }
+    let payloads: Vec<Vec<u8>> = records
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.0.clone())
+        .collect();
+    if !wire::rewrite_file(path, kind, &payloads) {
+        telemetry.record_corruption("compaction rewrite failed".into());
+        return noop;
+    }
+    // Reopen: the append handle still points at the pre-rename inode.
+    state.file = OpenOptions::new().read(true).append(true).open(path).ok();
+    let kept_keys: HashSet<K> =
+        records.iter().zip(&keep).filter(|(_, &k)| k).map(|(r, _)| r.1).collect();
+    let kept = kept_keys.len();
+    let evicted = records.len() - payloads.len();
+    state.resident = kept_keys;
+    let LogState { resident, recency, .. } = state;
+    recency.retain(|k, _| resident.contains(k));
+    state.bytes = after;
+    CompactStats { before_bytes: before, after_bytes: after, kept, evicted }
+}
+
 /// A store directory: the root handle the binaries hold.
 ///
 /// Thin by design — each table owns its own file, recovery and telemetry;
@@ -156,6 +319,11 @@ impl Store {
         PrefixStore::open(&self.dir)
     }
 
+    /// Opens the persistent post-sanitize module cache table.
+    pub fn sanitized(&self) -> SanitizedStore {
+        SanitizedStore::open(&self.dir)
+    }
+
     /// Opens the campaign checkpoint log for a campaign plan.
     pub fn campaign_log(&self, config_fp: u64, units: usize) -> CampaignLog {
         CampaignLog::open(&self.dir, config_fp, units)
@@ -182,6 +350,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir);
         assert_eq!(store.prefix().path(), dir.join("prefix.bin"));
+        assert_eq!(store.sanitized().path(), dir.join("sanitized.bin"));
         assert_eq!(store.campaign_log(0, 0).path(), dir.join("campaign.bin"));
         assert_eq!(store.corpus().path(), dir.join("corpus.bin"));
         assert_eq!(store.leases().path(), dir.join("leases.bin"));

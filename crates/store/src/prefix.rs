@@ -20,9 +20,8 @@
 
 use crate::modser::{dec_compiler, dec_module, dec_opt, enc_compiler, enc_module, enc_opt};
 use crate::wire::{self, Dec, Enc, TableKind};
-use crate::{relock_noting, StoreTelemetry};
+use crate::{relock_noting, CompactStats, LogState, StoreTelemetry};
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use ubfuzz_simcc::session::{PersistedPrefix, PrefixBacking, PrefixEntryRef};
@@ -38,12 +37,8 @@ type PrefixKey = (u64, CompilerId, OptLevel);
 struct PrefixInner {
     /// Entries loaded at open, handed out once via [`PrefixBacking::load`].
     loaded: Option<Vec<PersistedPrefix>>,
-    /// Read+append handle; `None` when the directory is unwritable (the
-    /// store then degrades to a purely in-memory session).
-    file: Option<File>,
-    /// Keys already on disk, so epoch-evicted recomputations do not bloat
-    /// the file with duplicates.
-    resident: std::collections::HashSet<PrefixKey>,
+    /// The append log: file handle, resident keys, recency, size.
+    log: LogState<PrefixKey>,
 }
 
 /// The on-disk prefix cache. Open never fails: unreadable, version-skewed
@@ -102,6 +97,8 @@ impl PrefixStore {
         let _ = std::fs::create_dir_all(dir.as_ref());
         let mut loaded = Vec::new();
         let mut resident = std::collections::HashSet::new();
+        let mut recency = std::collections::HashMap::new();
+        let mut clock = 0u64;
         let mut fresh = true;
         let mut trusted = wire::HEADER_LEN as u64;
         let mut file_len = 0u64;
@@ -156,6 +153,10 @@ impl PrefixStore {
                         }
                     };
                     resident.insert(key);
+                    // File-order sequence: a store compacted before any hit
+                    // lands deterministically keeps its newest tail.
+                    clock += 1;
+                    recency.insert(key, clock);
                     pos = payload_off + payload_len as u64 + 8;
                     trusted = pos;
                 }
@@ -166,11 +167,40 @@ impl PrefixStore {
         }
         let file = Self::recover(&path, fresh, trusted, file_len, &telemetry);
         telemetry.set_loaded(loaded.len());
+        let bytes = if file.is_some() {
+            if fresh { wire::HEADER_LEN as u64 } else { trusted }
+        } else {
+            0
+        };
         PrefixStore {
             path,
-            inner: Mutex::new(PrefixInner { loaded: Some(loaded), file, resident }),
+            inner: Mutex::new(PrefixInner {
+                loaded: Some(loaded),
+                log: LogState { file, resident, recency, clock, bytes },
+            }),
             telemetry,
         }
+    }
+
+    /// Current on-disk size of this table in bytes, header included.
+    pub fn size_bytes(&self) -> u64 {
+        relock_noting(&self.inner, &self.telemetry, "prefix store lock").log.bytes
+    }
+
+    /// Compacts the table to at most `budget` bytes, evicting the
+    /// least-recently-hit entries through the shared temp-file + rename
+    /// rewrite. Evicted keys leave the resident set, so a later recompute
+    /// re-persists them.
+    pub fn compact(&self, budget: u64) -> CompactStats {
+        let mut inner = relock_noting(&self.inner, &self.telemetry, "prefix store lock");
+        crate::compact_log(
+            &self.path,
+            TableKind::Prefix,
+            &mut inner.log,
+            budget,
+            dec_key,
+            &self.telemetry,
+        )
     }
 
     /// Puts the file into an appendable state: a fresh header for missing
@@ -232,22 +262,21 @@ impl PrefixBacking for PrefixStore {
             .unwrap_or_default()
     }
 
+
     fn persist(&self, entry: PrefixEntryRef<'_>) {
         let mut inner = relock_noting(&self.inner, &self.telemetry, "prefix store lock");
-        if !inner.resident.insert((entry.hash, entry.compiler, entry.opt)) {
+        let key = (entry.hash, entry.compiler, entry.opt);
+        if inner.log.resident.contains(&key) {
             return; // already on disk (epoch-evicted recomputation)
         }
-        let Some(file) = inner.file.as_mut() else { return };
-        let record = wire::frame(&enc_entry(entry));
-        // The handle is O_APPEND: one write_all lands the whole record at
-        // the end of file regardless of concurrent appenders.
-        if file.write_all(&record).and_then(|()| file.flush()).is_err() {
-            // Disk trouble mid-campaign: stop persisting, keep compiling.
-            self.telemetry.record_corruption("prefix append failed".into());
-            inner.file = None;
-        } else {
-            self.telemetry.record_persisted();
-        }
+        let payload = enc_entry(entry);
+        inner.log.append(key, &payload, &self.telemetry, "prefix");
+    }
+
+    fn note_hit(&self, hash: u64, compiler: CompilerId, opt: OptLevel) {
+        relock_noting(&self.inner, &self.telemetry, "prefix store lock")
+            .log
+            .note_hit((hash, compiler, opt));
     }
 }
 
@@ -348,6 +377,78 @@ mod tests {
         session.compile(&parse("int main(void) { return 3; }").unwrap(), &cfg).unwrap();
         drop(session);
         assert_eq!(PrefixStore::open(&dir).telemetry().loaded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_keeps_recently_hit_entries_and_evicted_keys_remiss() {
+        let dir = tmp_dir("compact");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, None, &reg);
+        let programs: Vec<_> = (0..4)
+            .map(|i| parse(&format!("int main(void) {{ return {i}; }}")).unwrap())
+            .collect();
+        let store = Arc::new(PrefixStore::open(&dir));
+        let session = CompileSession::with_backing(64, store.clone());
+        let outs: Vec<_> = programs.iter().map(|p| session.compile(p, &cfg).unwrap()).collect();
+        // Hit the oldest entry so recency, not file order, decides survival.
+        session.compile(&programs[0], &cfg).unwrap();
+        let full = store.size_bytes();
+        let header = wire::HEADER_LEN as u64;
+        let budget = (full - header) / 2 + header;
+        let stats = store.compact(budget);
+        assert_eq!(stats.before_bytes, full);
+        assert!(stats.after_bytes <= budget, "{stats:?} vs budget {budget}");
+        assert_eq!((stats.kept, stats.evicted), (2, 2), "{stats:?}");
+        assert_eq!(store.size_bytes(), stats.after_bytes);
+        drop(session);
+        drop(store);
+
+        // Reopen: the hit entry (0) and the newest unhit entry (3) survive
+        // and re-hit; the evicted keys re-miss, byte-identically, and
+        // re-persist (they left the resident set).
+        let store = Arc::new(PrefixStore::open(&dir));
+        assert_eq!(store.telemetry().loaded(), 2);
+        let session = CompileSession::with_backing(64, store.clone());
+        for (p, out) in programs.iter().zip(&outs) {
+            assert_eq!(&session.compile(p, &cfg).unwrap(), out, "identical after compaction");
+        }
+        assert_eq!(session.stats().hits, 2, "resident keys re-hit");
+        assert_eq!(session.stats().misses, 2, "evicted keys re-miss");
+        drop(session);
+        assert_eq!(PrefixStore::open(&dir).telemetry().loaded(), 4, "evicted keys re-persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn standalone_compaction_without_hits_keeps_the_newest_tail() {
+        let dir = tmp_dir("compact-tail");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Llvm, OptLevel::O1, None, &reg);
+        let programs: Vec<_> = (0..3)
+            .map(|i| parse(&format!("int main(void) {{ return {i}; }}")).unwrap())
+            .collect();
+        let warm = CompileSession::with_backing(64, Arc::new(PrefixStore::open(&dir)));
+        for p in &programs {
+            warm.compile(p, &cfg).unwrap();
+        }
+        drop(warm);
+
+        // A fresh open with no hits: file order is the only recency signal,
+        // so compaction keeps the newest records — deterministically.
+        let store = PrefixStore::open_budgeted(&dir, 0);
+        let full = store.size_bytes();
+        let header = wire::HEADER_LEN as u64;
+        let stats = store.compact((full - header) / 3 + header);
+        assert_eq!((stats.kept, stats.evicted), (1, 2), "{stats:?}");
+        drop(store);
+        let survivors = Arc::new(PrefixStore::open(&dir));
+        assert_eq!(survivors.telemetry().loaded(), 1);
+        let session = CompileSession::with_backing(64, survivors);
+        session.compile(&programs[2], &cfg).unwrap();
+        assert_eq!(session.stats().hits, 1, "newest record survives");
+        session.compile(&programs[0], &cfg).unwrap();
+        assert_eq!(session.stats().misses, 1, "older records evicted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,439 @@
+//! The persistent sanitize-stage cache: `(program fingerprint, vendor,
+//! version, opt, sanitizer, defect-registry epoch) → serialized
+//! post-sanitize Module`, amortizing the sanitizer pass across
+//! *invocations* — the second cache layer behind
+//! [`CompileSession::with_backings`](ubfuzz_simcc::session::CompileSession).
+//!
+//! Same log discipline as [`crate::prefix`]: an append-only checksummed
+//! record file (torn tails truncated, version skew and corruption degrade
+//! to a cold start, never an error), a budgeted open that full-decodes only
+//! what the session can preload, and byte-budgeted least-recently-hit
+//! compaction through the shared temp-file + rename rewrite. The key head
+//! is fixed-width so beyond-budget and compaction scans never pay a module
+//! decode.
+
+use crate::modser::{
+    dec_compiler, dec_module, dec_opt, dec_sanitizer, enc_compiler, enc_module, enc_opt,
+    enc_sanitizer,
+};
+use crate::wire::{self, Dec, Enc, TableKind};
+use crate::{relock_noting, CompactStats, LogState, StoreTelemetry};
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use ubfuzz_simcc::ir::Sanitizer;
+use ubfuzz_simcc::session::{PersistedSanitized, SanitizedBacking, SanitizedEntryRef};
+use ubfuzz_simcc::target::{CompilerId, OptLevel};
+
+/// File name of the sanitized table inside a store directory.
+pub const SANITIZED_FILE: &str = "sanitized.bin";
+
+/// A resident-on-disk key.
+type SanitizedKey = (u64, CompilerId, OptLevel, Sanitizer, u64);
+
+fn key_of(entry: &SanitizedEntryRef<'_>) -> SanitizedKey {
+    (entry.hash, entry.compiler, entry.opt, entry.sanitizer, entry.registry_fp)
+}
+
+#[derive(Debug)]
+struct SanitizedInner {
+    /// Entries loaded at open, handed out once via [`SanitizedBacking::load`].
+    loaded: Option<Vec<PersistedSanitized>>,
+    /// The append log: file handle, resident keys, recency, size.
+    log: LogState<SanitizedKey>,
+}
+
+/// The on-disk sanitize-stage cache. Open never fails: unreadable,
+/// version-skewed or corrupt files degrade to a cold start recorded in
+/// [`StoreTelemetry`].
+#[derive(Debug)]
+pub struct SanitizedStore {
+    path: PathBuf,
+    inner: Mutex<SanitizedInner>,
+    telemetry: StoreTelemetry,
+}
+
+fn enc_entry(entry: SanitizedEntryRef<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(entry.hash);
+    enc_compiler(&mut e, entry.compiler);
+    enc_opt(&mut e, entry.opt);
+    enc_sanitizer(&mut e, entry.sanitizer);
+    e.u64(entry.registry_fp);
+    e.str(entry.source);
+    enc_module(&mut e, entry.module);
+    e.into_bytes()
+}
+
+fn dec_entry(payload: &[u8]) -> Result<PersistedSanitized, wire::WireError> {
+    let mut d = Dec::new(payload);
+    let entry = PersistedSanitized {
+        hash: d.u64()?,
+        compiler: dec_compiler(&mut d)?,
+        opt: dec_opt(&mut d)?,
+        sanitizer: dec_sanitizer(&mut d)?,
+        registry_fp: d.u64()?,
+        source: d.str()?,
+        module: dec_module(&mut d)?,
+    };
+    d.finish()?;
+    Ok(entry)
+}
+
+/// Decodes only the dedup key (the payload's fixed-position head), skipping
+/// the expensive module decode — what beyond-budget records pay at open.
+fn dec_key(payload: &[u8]) -> Result<SanitizedKey, wire::WireError> {
+    let mut d = Dec::new(payload);
+    Ok((d.u64()?, dec_compiler(&mut d)?, dec_opt(&mut d)?, dec_sanitizer(&mut d)?, d.u64()?))
+}
+
+impl SanitizedStore {
+    /// Opens (or creates) the sanitized table under `dir`, decoding every
+    /// entry. Prefer [`SanitizedStore::open_budgeted`] when the consuming
+    /// session's capacity is known.
+    pub fn open(dir: impl AsRef<Path>) -> SanitizedStore {
+        SanitizedStore::open_budgeted(dir, usize::MAX)
+    }
+
+    /// Opens the sanitized table, fully decoding at most `budget` entries
+    /// (the session's sanitize-layer preload budget); the rest are
+    /// checksum-validated and key-indexed only.
+    pub fn open_budgeted(dir: impl AsRef<Path>, budget: usize) -> SanitizedStore {
+        let path = dir.as_ref().join(SANITIZED_FILE);
+        let telemetry = StoreTelemetry::default();
+        let _ = std::fs::create_dir_all(dir.as_ref());
+        let mut loaded = Vec::new();
+        let mut resident = std::collections::HashSet::new();
+        let mut recency = std::collections::HashMap::new();
+        let mut clock = 0u64;
+        let mut fresh = true;
+        let mut trusted = wire::HEADER_LEN as u64;
+        let mut file_len = 0u64;
+        if let Ok(mut file) = File::open(&path) {
+            file_len = file.metadata().map(|m| m.len()).unwrap_or(0);
+            let mut header = [0u8; wire::HEADER_LEN];
+            let header_ok = {
+                use std::io::Read as _;
+                file.read_exact(&mut header).is_ok()
+            };
+            if !header_ok {
+                if file_len > 0 {
+                    telemetry.record_corruption("sanitized header: truncated".into());
+                    telemetry.record_cold_start();
+                }
+            } else if let Err(e) = wire::check_header(&header, TableKind::Sanitized) {
+                telemetry.record_corruption(format!("sanitized header: {e}"));
+                telemetry.record_cold_start();
+            } else {
+                fresh = false;
+                let mut pos = wire::HEADER_LEN as u64;
+                let mut buf = Vec::new();
+                // A torn/corrupt tail ends the scan: trust what came first.
+                while let Some((payload_off, payload_len)) =
+                    wire::read_record_at(&mut file, file_len, pos, &mut buf)
+                {
+                    // Within the budget, decode the full entry; beyond it
+                    // the session would drop the entry anyway, so decode
+                    // only its dedup key.
+                    let key = if loaded.len() < budget {
+                        match dec_entry(&buf) {
+                            Ok(entry) => {
+                                let key = key_of(&entry.as_entry_ref());
+                                loaded.push(entry);
+                                key
+                            }
+                            Err(e) => {
+                                telemetry.record_corruption(format!("sanitized record: {e}"));
+                                break;
+                            }
+                        }
+                    } else {
+                        match dec_key(&buf) {
+                            Ok(key) => key,
+                            Err(e) => {
+                                telemetry.record_corruption(format!("sanitized record: {e}"));
+                                break;
+                            }
+                        }
+                    };
+                    resident.insert(key);
+                    // File-order sequence: a store compacted before any hit
+                    // lands deterministically keeps its newest tail.
+                    clock += 1;
+                    recency.insert(key, clock);
+                    pos = payload_off + payload_len as u64 + 8;
+                    trusted = pos;
+                }
+                if trusted < file_len {
+                    telemetry.record_tail_truncated();
+                }
+            }
+        }
+        let file = Self::recover(&path, fresh, trusted, file_len, &telemetry);
+        telemetry.set_loaded(loaded.len());
+        let bytes = if file.is_some() {
+            if fresh { wire::HEADER_LEN as u64 } else { trusted }
+        } else {
+            0
+        };
+        SanitizedStore {
+            path,
+            inner: Mutex::new(SanitizedInner {
+                loaded: Some(loaded),
+                log: LogState { file, resident, recency, clock, bytes },
+            }),
+            telemetry,
+        }
+    }
+
+    /// Puts the file into an appendable state: a fresh header for missing
+    /// or unusable files, or a `set_len` truncation of any untrusted tail.
+    fn recover(
+        path: &Path,
+        fresh: bool,
+        trusted: u64,
+        file_len: u64,
+        telemetry: &StoreTelemetry,
+    ) -> Option<File> {
+        if fresh && !wire::rewrite_file(path, TableKind::Sanitized, &[]) {
+            telemetry.record_corruption("sanitized store directory unwritable".into());
+            telemetry.record_cold_start();
+            return None;
+        }
+        match OpenOptions::new().read(true).append(true).open(path) {
+            Ok(file) => {
+                if !fresh && trusted < file_len {
+                    let _ = file.set_len(trusted);
+                }
+                Some(file)
+            }
+            Err(_) => {
+                telemetry.record_corruption(
+                    "sanitized store not writable; persistence disabled".into(),
+                );
+                telemetry.record_cold_start();
+                None
+            }
+        }
+    }
+
+    /// The file backing this table.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open/flush telemetry for this table.
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telemetry
+    }
+
+    /// Current on-disk size of this table in bytes, header included.
+    pub fn size_bytes(&self) -> u64 {
+        relock_noting(&self.inner, &self.telemetry, "sanitized store lock").log.bytes
+    }
+
+    /// Compacts the table to at most `budget` bytes, evicting the
+    /// least-recently-hit entries through the shared temp-file + rename
+    /// rewrite. Evicted keys leave the resident set, so a later recompute
+    /// re-persists them.
+    pub fn compact(&self, budget: u64) -> CompactStats {
+        let mut inner = relock_noting(&self.inner, &self.telemetry, "sanitized store lock");
+        crate::compact_log(
+            &self.path,
+            TableKind::Sanitized,
+            &mut inner.log,
+            budget,
+            dec_key,
+            &self.telemetry,
+        )
+    }
+}
+
+impl SanitizedBacking for SanitizedStore {
+    fn load(&self) -> Vec<PersistedSanitized> {
+        relock_noting(&self.inner, &self.telemetry, "sanitized store lock")
+            .loaded
+            .take()
+            .unwrap_or_default()
+    }
+
+    fn persist(&self, entry: SanitizedEntryRef<'_>) {
+        let mut inner = relock_noting(&self.inner, &self.telemetry, "sanitized store lock");
+        let key = key_of(&entry);
+        if inner.log.resident.contains(&key) {
+            return; // already on disk (epoch-evicted recomputation)
+        }
+        let payload = enc_entry(entry);
+        inner.log.append(key, &payload, &self.telemetry, "sanitized");
+    }
+
+    fn note_hit(&self, entry: SanitizedEntryRef<'_>) {
+        relock_noting(&self.inner, &self.telemetry, "sanitized store lock")
+            .log
+            .note_hit(key_of(&entry));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ubfuzz_minic::parse;
+    use ubfuzz_simcc::defects::DefectRegistry;
+    use ubfuzz_simcc::pipeline::CompileConfig;
+    use ubfuzz_simcc::session::CompileSession;
+    use ubfuzz_simcc::target::Vendor;
+    use ubfuzz_simcc::ir::Sanitizer;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ubfuzz-sanstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sessions(dir: &Path) -> CompileSession {
+        CompileSession::with_backings(
+            64,
+            Arc::new(crate::PrefixStore::open(dir)),
+            Some(Arc::new(SanitizedStore::open(dir))),
+        )
+    }
+
+    #[test]
+    fn second_invocation_skips_the_sanitize_stage() {
+        let dir = tmp_dir("warm");
+        let reg = DefectRegistry::full();
+        let p = parse("int main(void) { return 3 + 4; }").unwrap();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Ubsan), &reg);
+
+        let first = sessions(&dir);
+        let out = first.compile(&p, &cfg).unwrap();
+        assert_eq!(first.stats().san_misses, 1);
+        drop(first);
+
+        let second = sessions(&dir);
+        assert_eq!(second.san_preloaded(), 1);
+        assert_eq!(second.compile(&p, &cfg).unwrap(), out);
+        let stats = second.stats();
+        assert_eq!(stats.san_hits, 1, "warm store serves the sanitize stage");
+        assert_eq!(stats.san_misses, 0);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "prefix layer untouched on san hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_epoch_partitions_the_table() {
+        let dir = tmp_dir("epoch");
+        let full = DefectRegistry::full();
+        let pristine = DefectRegistry::pristine();
+        let p = parse("int main(void) { return 6 / 2; }").unwrap();
+
+        let first = sessions(&dir);
+        let cfg_full = CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Asan), &full);
+        let cfg_pristine =
+            CompileConfig::dev(Vendor::Llvm, OptLevel::O2, Some(Sanitizer::Asan), &pristine);
+        let a = first.compile(&p, &cfg_full).unwrap();
+        let b = first.compile(&p, &cfg_pristine).unwrap();
+        assert_eq!(first.stats().san_misses, 2, "distinct epochs, distinct records");
+        drop(first);
+
+        let second = sessions(&dir);
+        assert_eq!(second.san_preloaded(), 2);
+        assert_eq!(second.compile(&p, &cfg_full).unwrap(), a);
+        assert_eq!(second.compile(&p, &cfg_pristine).unwrap(), b);
+        assert_eq!(second.stats().san_hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg);
+        let session = sessions(&dir);
+        session.compile(&parse("int main(void) { return 1; }").unwrap(), &cfg).unwrap();
+        session.compile(&parse("int main(void) { return 2; }").unwrap(), &cfg).unwrap();
+        drop(session);
+        let path = dir.join(SANITIZED_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let store = SanitizedStore::open(&dir);
+        assert_eq!(store.telemetry().loaded(), 1, "torn record dropped");
+        assert!(store.telemetry().tail_truncated());
+        let session = CompileSession::with_backings(
+            64,
+            Arc::new(crate::PrefixStore::open(&dir)),
+            Some(Arc::new(store)),
+        );
+        session.compile(&parse("int main(void) { return 3; }").unwrap(), &cfg).unwrap();
+        drop(session);
+        assert_eq!(SanitizedStore::open(&dir).telemetry().loaded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skewed_file_cold_starts_never_errors() {
+        let dir = tmp_dir("skew");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(SANITIZED_FILE);
+        let mut header = wire::header(TableKind::Sanitized);
+        header[8] = wire::FORMAT_VERSION + 1;
+        std::fs::write(&path, &header).unwrap();
+
+        let store = SanitizedStore::open(&dir);
+        assert_eq!(store.telemetry().loaded(), 0);
+        assert!(store.telemetry().recovered_cold());
+        assert!(store
+            .telemetry()
+            .events()
+            .iter()
+            .any(|e| e.contains("format version")), "{:?}", store.telemetry().events());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_evicted_keys_remiss_and_resident_keys_rehit() {
+        let dir = tmp_dir("compact");
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Ubsan), &reg);
+        let programs: Vec<_> = (0..4)
+            .map(|i| parse(&format!("int main(void) {{ return {i}; }}")).unwrap())
+            .collect();
+        let store = Arc::new(SanitizedStore::open(&dir));
+        let session = CompileSession::with_backings(
+            64,
+            Arc::new(crate::PrefixStore::open(&dir)),
+            Some(store.clone()),
+        );
+        let outs: Vec<_> = programs.iter().map(|p| session.compile(p, &cfg).unwrap()).collect();
+        // Hit the oldest entry so recency, not file order, decides survival.
+        session.compile(&programs[0], &cfg).unwrap();
+        let full = store.size_bytes();
+        let header = wire::HEADER_LEN as u64;
+        let stats = store.compact((full - header) / 2 + header);
+        assert_eq!((stats.kept, stats.evicted), (2, 2), "{stats:?}");
+        drop(session);
+        drop(store);
+
+        let second = sessions(&dir);
+        assert_eq!(second.san_preloaded(), 2);
+        for (p, out) in programs.iter().zip(&outs) {
+            assert_eq!(&second.compile(p, &cfg).unwrap(), out, "identical after compaction");
+        }
+        let stats = second.stats();
+        assert_eq!(stats.san_hits, 2, "resident keys re-hit");
+        assert_eq!(stats.san_misses, 2, "evicted keys re-miss");
+        drop(second);
+        assert_eq!(
+            SanitizedStore::open(&dir).telemetry().loaded(),
+            4,
+            "evicted keys re-persisted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

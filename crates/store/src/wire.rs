@@ -18,7 +18,10 @@
 
 /// Current format version. Bump on any incompatible change to the payload
 /// encodings; readers seeing another version degrade to a cold start.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// v2: module payloads switched to varint ints + interned `Loc`/string side
+/// tables (see `modser`), and the `Sanitized` table kind was added.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// File magic common to every store table.
 pub const MAGIC: [u8; 8] = *b"UBFZSTOR";
@@ -34,6 +37,8 @@ pub enum TableKind {
     Corpus,
     /// The campaign lease table (daemon-mode bookkeeping).
     Lease,
+    /// The persistent post-sanitize module cache.
+    Sanitized,
 }
 
 impl TableKind {
@@ -43,6 +48,7 @@ impl TableKind {
             TableKind::Checkpoint => 2,
             TableKind::Corpus => 3,
             TableKind::Lease => 4,
+            TableKind::Sanitized => 5,
         }
     }
 }
@@ -139,6 +145,55 @@ impl Enc {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
+
+    /// Appends a LEB128 varint `u64`: 7 value bits per byte, high bit set on
+    /// every byte but the last. Small values (the common case for counts,
+    /// indices and line numbers) take one byte instead of eight.
+    pub fn vu64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a `u32` as a varint.
+    pub fn vu32(&mut self, v: u32) {
+        self.vu64(v as u64);
+    }
+
+    /// Appends an `i64` as a zigzag varint, so small-magnitude negatives
+    /// stay short.
+    pub fn vi64(&mut self, v: i64) {
+        self.vu64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Appends a `usize` as a varint `u64`.
+    pub fn vusize(&mut self, v: usize) {
+        self.vu64(v as u64);
+    }
+
+    /// Appends a varint-length-prefixed UTF-8 string.
+    pub fn vstr(&mut self, v: &str) {
+        self.vusize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a varint-length-prefixed byte blob.
+    pub fn vbytes(&mut self, v: &[u8]) {
+        self.vusize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends already-encoded bytes verbatim (splicing a scratch encoder's
+    /// output, e.g. a module body after its interning tables).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
 }
 
 /// A bounds-checked payload decoder over a byte slice.
@@ -224,6 +279,73 @@ impl<'a> Dec<'a> {
     /// allocation or a long loop.
     pub fn count(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
         let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(WireError::Corrupt("count"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a LEB128 varint `u64`. Overlong encodings (more than 10 bytes,
+    /// or a 10th byte carrying bits beyond the 64th) are corruption, not a
+    /// silent wrap.
+    pub fn vu64(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7F) as u64;
+            // The 10th byte (shift 63) has room for one value bit only.
+            if shift == 63 && bits > 1 {
+                return Err(WireError::Corrupt("varint"));
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::Corrupt("varint"))
+    }
+
+    /// Reads a varint `u32`; values beyond `u32::MAX` are corruption.
+    pub fn vu32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.vu64()?).map_err(|_| WireError::Corrupt("varint u32"))
+    }
+
+    /// Reads a zigzag varint `i64`.
+    pub fn vi64(&mut self) -> Result<i64, WireError> {
+        let v = self.vu64()?;
+        Ok((v >> 1) as i64 ^ -((v & 1) as i64))
+    }
+
+    /// Reads a varint `usize`.
+    pub fn vusize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.vu64()?).map_err(|_| WireError::Corrupt("varint usize"))
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string, length validated against
+    /// the remaining buffer before any allocation.
+    pub fn vstr(&mut self) -> Result<String, WireError> {
+        let len = self.vusize()?;
+        if len > self.remaining() {
+            return Err(WireError::Corrupt("vstr length"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("utf8"))
+    }
+
+    /// Reads a varint-length-prefixed byte blob, length validated against
+    /// the remaining buffer before any allocation.
+    pub fn vblob(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.vusize()?;
+        if len > self.remaining() {
+            return Err(WireError::Corrupt("vblob length"));
+        }
+        self.take(len)
+    }
+
+    /// Reads a varint collection count with the same remaining-bytes sanity
+    /// bound as [`Dec::count`].
+    pub fn vcount(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = self.vusize()?;
         if n.saturating_mul(min_elem_size.max(1)) > self.remaining() {
             return Err(WireError::Corrupt("count"));
         }
@@ -408,6 +530,80 @@ mod tests {
         assert_eq!(Dec::new(&[9]).bool(), Err(WireError::Corrupt("bool")));
         // Trailing garbage is caught by finish().
         assert!(Dec::new(&[0]).finish().is_err());
+    }
+
+    #[test]
+    fn varints_round_trip_and_stay_compact() {
+        let values = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut e = Enc::new();
+        for &v in &values {
+            e.vu64(v);
+        }
+        e.vi64(0);
+        e.vi64(-1);
+        e.vi64(i64::MIN);
+        e.vi64(i64::MAX);
+        e.vstr("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        for &v in &values {
+            assert_eq!(d.vu64().unwrap(), v);
+        }
+        assert_eq!(d.vi64().unwrap(), 0);
+        assert_eq!(d.vi64().unwrap(), -1);
+        assert_eq!(d.vi64().unwrap(), i64::MIN);
+        assert_eq!(d.vi64().unwrap(), i64::MAX);
+        assert_eq!(d.vstr().unwrap(), "héllo");
+        d.finish().unwrap();
+        // Compactness: one byte up to 0x7F, two up to 0x3FFF.
+        let mut small = Enc::new();
+        small.vu64(0x7F);
+        assert_eq!(small.into_bytes().len(), 1);
+        let mut two = Enc::new();
+        two.vu64(0x3FFF);
+        assert_eq!(two.into_bytes().len(), 2);
+        let mut max = Enc::new();
+        max.vu64(u64::MAX);
+        assert_eq!(max.into_bytes().len(), 10);
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_truncated() {
+        // Unterminated: every byte has the continuation bit.
+        assert_eq!(Dec::new(&[0x80, 0x80]).vu64(), Err(WireError::Truncated));
+        // 11-byte encoding can never be valid.
+        let overlong = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(Dec::new(&overlong).vu64(), Err(WireError::Corrupt("varint")));
+        // 10th byte with bits beyond the 64th is an overflow, not a wrap.
+        let overflow = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert_eq!(Dec::new(&overflow).vu64(), Err(WireError::Corrupt("varint")));
+        // A vstr length past the end is corruption, not an allocation.
+        let mut e = Enc::new();
+        e.vusize(1_000_000);
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).vstr(), Err(WireError::Corrupt("vstr length")));
+        // vu32 range check.
+        let mut e = Enc::new();
+        e.vu64(u64::from(u32::MAX) + 1);
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).vu32(), Err(WireError::Corrupt("varint u32")));
+    }
+
+    #[test]
+    fn vcount_rejects_absurd_lengths() {
+        let mut e = Enc::new();
+        e.vu64(u64::from(u32::MAX));
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).vcount(1), Err(WireError::Corrupt("count")));
     }
 
     #[test]
