@@ -128,6 +128,30 @@ fn emit_bench_json() {
     let (nostore_secs, nostore) = timed_run(None);
     let (stacked_secs, stacked) = timed_run_with(None, true);
     let _ = std::fs::remove_dir_all(&dir);
+    // Guided leg: a uniform warm-up persists the coverage frontier, then
+    // the same evaluation seeds run under both strategies (see
+    // `ubfuzz_bench::compare_strategies`). A second comparison over a fresh
+    // store must reproduce the guided leg bit-for-bit — guided planning is
+    // a pure function of (seed, frontier snapshot).
+    let guided_dir =
+        std::env::temp_dir().join(format!("ubfuzz-bench-guided-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&guided_dir);
+    let cmp = ubfuzz_bench::compare_strategies(SEEDS, SEEDS / 2, &guided_dir);
+    let _ = std::fs::remove_dir_all(&guided_dir);
+    let cmp2 = ubfuzz_bench::compare_strategies(SEEDS, SEEDS / 2, &guided_dir);
+    let _ = std::fs::remove_dir_all(&guided_dir);
+    assert_eq!(cmp.guided, cmp2.guided, "guided campaign must be deterministic");
+    assert_eq!(
+        cmp.guided.frontier_fingerprint, cmp2.guided.frontier_fingerprint,
+        "guided frontier must be deterministic"
+    );
+    let bugs_per_unit_uniform = ubfuzz_bench::StrategyComparison::bugs_per_unit(&cmp.uniform);
+    let bugs_per_unit_guided = ubfuzz_bench::StrategyComparison::bugs_per_unit(&cmp.guided);
+    assert!(
+        bugs_per_unit_guided >= bugs_per_unit_uniform,
+        "guided must not lower per-unit bug yield: \
+         {bugs_per_unit_guided:.4} guided vs {bugs_per_unit_uniform:.4} uniform"
+    );
     assert_eq!(cold, warm, "store must be invisible to results");
     assert_eq!(warm.cache.misses, 0, "warm store misses nothing: {:?}", warm.cache);
     assert!(
@@ -178,7 +202,10 @@ fn emit_bench_json() {
     let _ = writeln!(json, "  \"cache_reuse_ratio_warm\": {:.4},", warm.cache.reuse_ratio());
     let _ = writeln!(json, "  \"san_reuse_ratio_warm\": {:.4},", warm.cache.san_reuse_ratio());
     let _ = writeln!(json, "  \"store_bytes_before_compaction\": {store_before},");
-    let _ = writeln!(json, "  \"store_bytes_after_compaction\": {store_after}");
+    let _ = writeln!(json, "  \"store_bytes_after_compaction\": {store_after},");
+    let _ = writeln!(json, "  \"bugs_per_unit_uniform\": {bugs_per_unit_uniform:.4},");
+    let _ = writeln!(json, "  \"bugs_per_unit_guided\": {bugs_per_unit_guided:.4},");
+    let _ = writeln!(json, "  \"frontier_points_covered\": {}", cmp.guided.frontier_points);
     json.push_str("}\n");
     // cargo runs bench binaries with cwd = the package dir; anchor the
     // artifact at the workspace root where CI picks it up.

@@ -14,7 +14,7 @@ use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
 use ubfuzz_bench::{
     arg_value, compact_backend_stores, report_store_telemetry, run_stored_campaign,
-    shared_backend, store_args,
+    shared_backend, store_args, strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -23,10 +23,11 @@ fn main() {
     let figure = arg_value(&args, "--figure", 0);
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_figures");
+    let strategy = strategy_arg(&args, "make_figures");
     let registry = DefectRegistry::full();
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
-    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store);
+    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy);
     match figure {
         9 => print!("{}", report::fig9()),
         7 | 10 | 11 => {

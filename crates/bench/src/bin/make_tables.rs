@@ -1,5 +1,11 @@
-//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6 [--seeds N]`.
+//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6|7 [--seeds N]`.
 //! `--table 0` prints all of them plus the §4.4 oracle statistics.
+//! Table 7 is this repo's extension table: the guided-vs-uniform strategy
+//! comparison (warm-up campaign persists a coverage frontier, then the same
+//! evaluation seeds run under both strategies — see `ubfuzz-guide`).
+//! `--strategy uniform|guided` selects the generation strategy of the
+//! campaign behind Tables 3/6 (guided only differs once `--store --resume`
+//! gives it a warm frontier to plan against).
 //! `--ablation` prints the §4.4 oracle ablation (naive vs crash-site
 //! mapping in the pristine world) instead.
 //!
@@ -28,8 +34,8 @@ use ubfuzz::backend::CompilerBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
 use ubfuzz_bench::{
-    arg_value, compact_backend_stores, report_store_telemetry, run_stored_campaign,
-    shared_backend, store_args,
+    arg_value, compact_backend_stores, compare_strategies, report_frontier_telemetry,
+    report_store_telemetry, run_stored_campaign, shared_backend, store_args, strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -38,9 +44,10 @@ fn main() {
     let table = arg_value(&args, "--table", 0);
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_tables");
+    let strategy = strategy_arg(&args, "make_tables");
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
-    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store);
+    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy);
     if args.iter().any(|a| a == "--ablation") {
         // The ablation replaces the table output but not the persistence
         // contract: prefixes still flow through the (possibly store-backed)
@@ -59,7 +66,21 @@ fn main() {
         100.0 * cache.reuse_ratio()
     );
     report_store_telemetry(&backend);
+    report_frontier_telemetry(&store);
     compact_backend_stores(&backend, &store);
+}
+
+/// Runs the guided-vs-uniform comparison behind Table 7. The warm-up
+/// frontier always lives in a scratch directory that is removed afterwards
+/// — never the shared `--store` — so the rendered table depends only on
+/// `--seeds` and repeated invocations over one store stay byte-identical
+/// (the CI persistence job diffs stdout; a store-resident frontier growing
+/// between runs would change the guided plan).
+fn table7(seeds: usize) -> String {
+    let scratch = std::env::temp_dir().join(format!("ubfuzz_table7_{}", std::process::id()));
+    let rendered = compare_strategies(seeds, (seeds / 2).max(2), &scratch).render();
+    let _ = std::fs::remove_dir_all(&scratch);
+    rendered
 }
 
 fn run_tables(
@@ -78,6 +99,7 @@ fn run_tables(
         4 => print!("{}", report::table4(&report::generator_comparison(seeds.min(200)))),
         5 => print!("{}", report::coverage_experiment_with(backend.as_ref(), seeds.min(20))),
         6 => print!("{}", report::table6(&campaign())),
+        7 => print!("{}", table7(seeds)),
         _ => {
             print!("{}", report::table2());
             let stats = campaign();
@@ -88,6 +110,7 @@ fn run_tables(
                 report::coverage_experiment_with(backend.as_ref(), (seeds / 6).max(2))
             );
             print!("{}", report::table6(&stats));
+            print!("{}", table7((seeds / 3).max(2)));
             print!("{}", report::oracle_stats(&stats));
             let _ = DefectRegistry::full();
         }

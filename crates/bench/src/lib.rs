@@ -12,11 +12,11 @@
 //! level, VM execution, crash-site mapping) so the throughput numbers in
 //! EXPERIMENTS.md can be reproduced.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use ubfuzz::backend::{CompilerBackend, SimBackend};
 use ubfuzz::campaign::{CampaignConfig, CampaignStats};
-use ubfuzz::{persist, store};
+use ubfuzz::{persist, store, Strategy};
 
 /// Parses `--flag value` style arguments with a default.
 pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
@@ -78,6 +78,22 @@ pub fn store_args(args: &[String], binary: &str) -> StoreArgs {
     StoreArgs { dir, resume, budget }
 }
 
+/// Parses `--strategy uniform|guided` (default [`Strategy::Uniform`]),
+/// exiting with status 2 on an unknown value — the same misuse contract as
+/// the persistence flags above.
+pub fn strategy_arg(args: &[String], binary: &str) -> Strategy {
+    match args.iter().position(|a| a == "--strategy") {
+        None => Strategy::Uniform,
+        Some(i) => match args.get(i + 1).and_then(|v| Strategy::parse(v)) {
+            Some(strategy) => strategy,
+            None => {
+                eprintln!("{binary}: --strategy requires uniform|guided");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// The shared backend both binaries thread through every entry point:
 /// store-backed when `--store` was given, in-memory otherwise, session
 /// sized from the campaign configuration either way.
@@ -99,8 +115,10 @@ pub fn run_stored_campaign(
     seeds: usize,
     backend: Arc<dyn CompilerBackend>,
     store_args: &StoreArgs,
+    strategy: Strategy,
 ) -> CampaignStats {
-    let mut builder = CampaignConfig::builder().seeds(seeds).backend(backend);
+    let mut builder =
+        CampaignConfig::builder().seeds(seeds).backend(backend).strategy(strategy);
     if store_args.resume {
         builder =
             builder.checkpoint(store_args.dir.as_deref().expect("--resume implies --store"));
@@ -158,6 +176,99 @@ pub fn report_store_telemetry(backend: &SimBackend) {
         sanitized.size_bytes(),
         prefix.size_bytes() + sanitized.size_bytes()
     );
+}
+
+/// Prints the persisted coverage-frontier telemetry line (stderr, stable
+/// format — the CI guided job greps `[store] frontier:` on the warm leg).
+/// No-op without `--store`.
+pub fn report_frontier_telemetry(store_args: &StoreArgs) {
+    let Some(dir) = &store_args.dir else { return };
+    let frontier = store::FrontierStore::open(dir);
+    let t = frontier.telemetry();
+    eprintln!(
+        "[store] frontier: points={} cold={} truncated={}",
+        frontier.len(),
+        t.recovered_cold(),
+        t.tail_truncated()
+    );
+    for event in t.events() {
+        eprintln!("[store] event: {event}");
+    }
+}
+
+/// One guided-vs-uniform comparison run (see [`compare_strategies`]).
+#[derive(Debug, Clone)]
+pub struct StrategyComparison {
+    /// The uniform evaluation leg (storeless reference).
+    pub uniform: CampaignStats,
+    /// The guided evaluation leg (planned against the warm frontier).
+    pub guided: CampaignStats,
+}
+
+impl StrategyComparison {
+    /// Deduplicated bugs per planned compile unit for one leg.
+    pub fn bugs_per_unit(stats: &CampaignStats) -> f64 {
+        if stats.units == 0 {
+            0.0
+        } else {
+            stats.bugs.len() as f64 / stats.units as f64
+        }
+    }
+
+    /// Renders the comparison as the `make_tables --table 7` text table:
+    /// one row per strategy over the same evaluation seeds, with the
+    /// per-unit bug yield and the final frontier size as columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 7: feedback-directed generation (uniform vs guided)\n");
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>6} {:>11} {:>9}\n",
+            "strategy", "units", "bugs", "bugs/unit", "frontier"
+        ));
+        for (name, stats) in [("uniform", &self.uniform), ("guided", &self.guided)] {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>6} {:>11.4} {:>9}\n",
+                name,
+                stats.units,
+                stats.bugs.len(),
+                Self::bugs_per_unit(stats),
+                stats.frontier_points
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the paper-style feedback experiment behind `make_tables --table 7`
+/// and the `campaign_smoke` guided leg: a uniform warm-up campaign over
+/// `warm_seeds` seeds persists its coverage frontier into `dir`, then the
+/// SAME follow-on seed range runs twice — once uniform (storeless, the
+/// reference denominator) and once guided against the warm frontier. Guided
+/// planning is a pure function of `(first seed, frontier snapshot)`, so the
+/// whole comparison is deterministic: a second invocation over a fresh store
+/// reproduces it bit-for-bit.
+pub fn compare_strategies(warm_seeds: usize, eval_seeds: usize, dir: &Path) -> StrategyComparison {
+    let _warm = CampaignConfig::builder()
+        .seeds(warm_seeds)
+        .checkpoint(dir)
+        .build_runner()
+        .run();
+    let eval = |strategy: Strategy| {
+        let mut builder = CampaignConfig::builder()
+            .seeds(eval_seeds)
+            .first_seed(warm_seeds as u64)
+            .strategy(strategy);
+        if strategy == Strategy::Guided {
+            // Checkpointing is what routes the store directory (and with it
+            // the persisted frontier) into the runner; the uniform leg stays
+            // storeless so it cannot see the warm-up at all.
+            builder = builder.checkpoint(dir);
+        }
+        builder.build_runner().run()
+    };
+    let uniform = eval(Strategy::Uniform);
+    let guided = eval(Strategy::Guided);
+    StrategyComparison { uniform, guided }
 }
 
 /// Compacts both compile-cache tables down to a combined byte budget,

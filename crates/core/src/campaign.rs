@@ -6,9 +6,11 @@ use std::sync::Arc;
 use ubfuzz_backend::{
     Artifact, CompileRequest, CompilerBackend, RunOutcome, RunRequest, SimBackend, ToolchainDesc,
 };
+use ubfuzz_guide::{plan_guidance, Frontier, GuidePlan, Strategy};
 use ubfuzz_minic::{pretty, Program, UbKind};
 use ubfuzz_oracle::{CompiledCell, CrashOracle, OracleInput, OracleStack, OracleTelemetry};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
+use ubfuzz_simcc::cov::{self, CovDelta};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::session::{ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
@@ -52,6 +54,13 @@ pub struct CampaignConfig {
     pub registry: DefectRegistry,
     /// Which generator to drive (paper §4.3 swaps baselines in).
     pub generator: GeneratorChoice,
+    /// Generation strategy: [`Strategy::Uniform`] (the default) is the
+    /// bit-identical reference mode; [`Strategy::Guided`] re-weights
+    /// UB-kind budgets toward unreached sanitizer coverage points, derived
+    /// purely from `(campaign seed, frontier at campaign start)` so a fixed
+    /// seed over a fixed frontier replays bit-identically. Only the
+    /// [`GeneratorChoice::Ubfuzz`] generator consults it.
+    pub strategy: Strategy,
     /// Reduce bug-triggering programs before reporting.
     pub reduce: bool,
     /// The compilation/execution backend. `None` (the default) lets each
@@ -76,6 +85,7 @@ impl Default for CampaignConfig {
             gen_options: GenOptions::default(),
             registry: DefectRegistry::full(),
             generator: GeneratorChoice::Ubfuzz,
+            strategy: Strategy::Uniform,
             reduce: false,
             backend: None,
             oracle: None,
@@ -147,6 +157,19 @@ impl CampaignConfig {
             None => Arc::new(OracleStack::standard()),
         }
     }
+
+    /// The guided-generation plan this campaign runs under: `None` for the
+    /// uniform reference mode, otherwise the budgets derived purely from
+    /// `(campaign seed, frontier)` — the frontier loaded from the store at
+    /// campaign start, or the cold (empty) one when there is no store.
+    pub(crate) fn resolve_guidance(&self, frontier: &Frontier) -> Option<GuidePlan> {
+        match self.strategy {
+            Strategy::Uniform => None,
+            Strategy::Guided => {
+                Some(plan_guidance(self.first_seed, &self.gen_options, frontier))
+            }
+        }
+    }
 }
 
 /// Builder for [`CampaignConfig`] — and, via
@@ -205,6 +228,12 @@ impl CampaignConfigBuilder {
     /// Which generator feeds the campaign.
     pub fn generator(mut self, generator: GeneratorChoice) -> Self {
         self.cfg.generator = generator;
+        self
+    }
+
+    /// Generation strategy (defaults to [`Strategy::Uniform`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
         self
     }
 
@@ -332,6 +361,14 @@ pub struct CampaignStats {
     /// debuggable. Execution metadata like `cache` (trace availability can
     /// vary between machines): excluded from equality.
     pub oracle: OracleTelemetry,
+    /// Sanitizer coverage points covered by the end of the run (loaded
+    /// frontier plus every unit's delta). Like `cache`: execution metadata
+    /// — an explicit warm backend can memoize a sanitize stage and so
+    /// suppress its instrumentation hits — excluded from equality.
+    pub frontier_points: usize,
+    /// FNV fingerprint of that final frontier (see
+    /// [`ubfuzz_guide::Frontier::fingerprint`]). Excluded from equality.
+    pub frontier_fingerprint: u64,
 }
 
 impl CampaignStats {
@@ -393,23 +430,31 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
 }
 
 /// [`run_campaign`] over an explicit backend (ignoring `cfg.backend`).
+///
+/// The sequential path is storeless, so a guided config plans against the
+/// cold frontier — exactly what a parallel guided run over a fresh (or
+/// absent) store does, preserving the sequential≡parallel property.
 pub fn run_campaign_on(backend: &dyn CompilerBackend, cfg: &CampaignConfig) -> CampaignStats {
     let toolchains = backend.toolchains();
     let oracle = cfg.resolve_oracle();
     let ctx = CampaignCtx { cfg, backend, oracle: oracle.as_ref() };
     let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
+    let mut frontier = Frontier::new();
+    let guidance = cfg.resolve_guidance(&frontier);
     let mut stats = CampaignStats::default();
     let mut bug_index: BTreeMap<String, usize> = BTreeMap::new();
     for seed_id in cfg.first_seed..cfg.first_seed + cfg.seeds as u64 {
         stats.seeds += 1;
-        let programs = generate_programs(cfg, seed_id);
+        let programs = generate_programs(cfg, seed_id, guidance.as_ref());
         for u in programs {
             *stats.ub_programs.entry(u.kind).or_default() += 1;
-            test_one(&ctx, &toolchains, &u, &mut stats, &mut bug_index);
+            test_one(&ctx, &toolchains, &u, &mut stats, &mut bug_index, &mut frontier);
         }
     }
     stats.cache =
         backend.prefix_cache().map(|c| c.stats()).unwrap_or_default() - cache_before;
+    stats.frontier_points = frontier.len();
+    stats.frontier_fingerprint = frontier.fingerprint();
     stats
 }
 
@@ -570,13 +615,23 @@ pub(crate) fn dedup_key(
     }
 }
 
-pub(crate) fn generate_programs(cfg: &CampaignConfig, seed_id: u64) -> Vec<UbProgram> {
+/// Expands one seed into UB programs. `guidance` (the resolved per-kind
+/// budgets of a guided campaign, `None` in uniform mode) only steers the
+/// Ubfuzz generator — baselines are comparison points and stay unweighted.
+pub(crate) fn generate_programs(
+    cfg: &CampaignConfig,
+    seed_id: u64,
+    guidance: Option<&GuidePlan>,
+) -> Vec<UbProgram> {
     match cfg.generator {
         GeneratorChoice::Ubfuzz => {
             let seed = generate_seed(seed_id, &cfg.seed_options);
             let mut opts = cfg.gen_options.clone();
             opts.rng_seed = seed_id.wrapping_mul(31).wrapping_add(7);
-            ubfuzz_ubgen::generate_all(&seed, &opts)
+            match guidance {
+                Some(plan) => ubfuzz_ubgen::generate_budgeted(&seed, &plan.budgets, &opts),
+                None => ubfuzz_ubgen::generate_all(&seed, &opts),
+            }
         }
         GeneratorChoice::Music => {
             let seed = generate_seed(seed_id, &cfg.seed_options);
@@ -642,6 +697,13 @@ pub(crate) struct CampaignCtx<'a> {
 /// Compiles and runs one `(program, sanitizer, compiler, opt)` unit — the
 /// executor's task granularity. `None` for unsupported/uncompilable cells,
 /// mirroring the sequential loop's `continue`.
+///
+/// The cell runs inside a [`cov::capture`] scope, so the returned
+/// [`CovDelta`] is exactly the sanitizer coverage this unit exercised —
+/// the feedback signal guided generation steers by. A failed cell reports
+/// an *empty* delta even if hits fired before the failure: the checkpoint
+/// log replays failures as bare `Unsupported` records, and a fresh run and
+/// its resume must absorb identical coverage.
 pub(crate) fn compile_cell(
     backend: &dyn CompilerBackend,
     registry: &DefectRegistry,
@@ -650,11 +712,17 @@ pub(crate) fn compile_cell(
     sanitizer: Sanitizer,
     compiler: CompilerId,
     opt: OptLevel,
-) -> Option<(Artifact, RunOutcome)> {
-    let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry };
-    let artifact = backend.compile(fp, program, &req).ok()?;
-    let result = backend.execute(&artifact, &RunRequest::default());
-    Some((artifact, result))
+) -> (Option<(Artifact, RunOutcome)>, CovDelta) {
+    let (cell, delta) = cov::capture(|| {
+        let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry };
+        let artifact = backend.compile(fp, program, &req).ok()?;
+        let result = backend.execute(&artifact, &RunRequest::default());
+        Some((artifact, result))
+    });
+    match cell {
+        Some(_) => (cell, delta),
+        None => (None, CovDelta::new()),
+    }
 }
 
 fn test_one(
@@ -663,6 +731,7 @@ fn test_one(
     u: &UbProgram,
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
+    frontier: &mut Frontier,
 ) {
     let fp = ctx.backend.fingerprint(&u.program);
     for sanitizer in san::sanitizers_for(u.kind) {
@@ -671,7 +740,7 @@ fn test_one(
         let compiled: Vec<CompiledCell> = matrix
             .into_iter()
             .filter_map(|(compiler, opt)| {
-                compile_cell(
+                let (cell, delta) = compile_cell(
                     ctx.backend,
                     &ctx.cfg.registry,
                     &fp,
@@ -679,8 +748,9 @@ fn test_one(
                     sanitizer,
                     compiler,
                     opt,
-                )
-                .map(|(artifact, outcome)| CompiledCell { compiler, opt, artifact, outcome })
+                );
+                frontier.absorb(&delta);
+                cell.map(|(artifact, outcome)| CompiledCell { compiler, opt, artifact, outcome })
             })
             .collect();
         oracle_one(ctx, u, sanitizer, &compiled, stats, bug_index);

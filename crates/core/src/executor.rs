@@ -45,10 +45,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use ubfuzz_backend::{Artifact, CompilerBackend, RunOutcome};
 use ubfuzz_exec::Executor;
+use ubfuzz_guide::{Frontier, GuidePlan};
+use ubfuzz_simcc::cov::CovDelta;
 use ubfuzz_simcc::session::ProgramFingerprint;
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
 use ubfuzz_simcc::{san, Sanitizer};
-use ubfuzz_store::{CampaignLog, UnitOutcome};
+use ubfuzz_store::{CampaignLog, FrontierStore, UnitOutcome};
 use ubfuzz_ubgen::UbProgram;
 
 /// One compile unit: indices into the canonical program list plus the matrix
@@ -73,12 +75,17 @@ struct Group {
 }
 
 /// What one unit task delivered to the streaming consumer.
+// The size skew vs the payload-less `Starved` marker is fine: one `Cell`
+// flows per unit through a bounded window, so boxing would only add a
+// pointer hop on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum UnitResult {
     /// Compiled (or replayed): the matrix cell identity, the outcome
-    /// (`None` for unsupported cells), and whether the outcome is durably
+    /// (`None` for unsupported cells), whether the outcome is durably
     /// in the checkpoint log (replayed from it, or recorded this run —
-    /// module-less native artifacts are not).
-    Cell(CompilerId, OptLevel, Option<(Artifact, RunOutcome)>, bool),
+    /// module-less native artifacts are not), and the sanitizer coverage
+    /// delta the unit exercised (captured fresh, or replayed from the log).
+    Cell(CompilerId, OptLevel, Option<(Artifact, RunOutcome)>, bool, CovDelta),
     /// The unit budget ran out before this unit was computed.
     Starved,
 }
@@ -105,12 +112,21 @@ struct Plan {
 
 /// Builds the campaign plan. Stage-1 generation runs on `exec`; unit and
 /// group order is exactly the sequential loop's iteration order.
-fn build_plan(cfg: &CampaignConfig, exec: &Executor, backend: &dyn CompilerBackend) -> Plan {
+/// `guidance` — the resolved guided-generation budgets, `None` in uniform
+/// mode — steers generation and folds its frontier fingerprint into the
+/// plan identity, so every participant must resolve it from the same
+/// frontier state (the store's `frontier.bin` at campaign start).
+fn build_plan(
+    cfg: &CampaignConfig,
+    exec: &Executor,
+    backend: &dyn CompilerBackend,
+    guidance: Option<&GuidePlan>,
+) -> Plan {
     let toolchains = backend.toolchains();
     // Stage 1: per-seed generation, results in canonical seed order (each
     // seed id derives its own RNG stream, so scheduling cannot perturb it).
     let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
-    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id));
+    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id, guidance));
     let programs: Vec<UbProgram> = per_seed.into_iter().flatten().collect();
     let fingerprints: Vec<_> =
         programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
@@ -132,18 +148,33 @@ fn build_plan(cfg: &CampaignConfig, exec: &Executor, backend: &dyn CompilerBacke
             }
         }
     }
-    let fingerprint = campaign_fingerprint(cfg, &toolchains);
+    let fingerprint = campaign_fingerprint(cfg, &toolchains, guidance);
     Plan { programs, fingerprints, units, groups, fingerprint }
+}
+
+/// The frontier a campaign *starts* from: the store's persisted
+/// `frontier.bin` when a store directory is given, cold otherwise. Guided
+/// plans are derived from exactly this state — the store is only rewritten
+/// at successful campaign completion, so every participant (daemon, each
+/// worker, the final merge) loading it mid-campaign sees the same snapshot.
+fn starting_frontier(store_dir: Option<&Path>) -> Frontier {
+    match store_dir {
+        Some(dir) => Frontier::from_covered(FrontierStore::open(dir).covered().clone()),
+        None => Frontier::new(),
+    }
 }
 
 /// Plan addressing for the campaign service: the campaign fingerprint (the
 /// checkpoint log identity) and the planned unit count, computed without
 /// compiling anything. The daemon uses this to open the primary checkpoint
 /// log and carve unit-range leases; workers rebuild the same plan from the
-/// same config and the indices line up.
-pub fn plan_campaign(cfg: &CampaignConfig, cache: bool) -> (u64, usize) {
+/// same config and store directory and the indices line up. `store_dir`
+/// matters for guided configs: the plan depends on the persisted frontier.
+pub fn plan_campaign(cfg: &CampaignConfig, cache: bool, store_dir: Option<&Path>) -> (u64, usize) {
     let backend = cfg.resolve_backend(cache);
-    let plan = build_plan(cfg, &Executor::new(1), backend.as_ref());
+    let frontier = starting_frontier(store_dir);
+    let guidance = cfg.resolve_guidance(&frontier);
+    let plan = build_plan(cfg, &Executor::new(1), backend.as_ref(), guidance.as_ref());
     (plan.fingerprint, plan.units.len())
 }
 
@@ -174,7 +205,9 @@ pub fn run_unit_range(
     let exec = Executor::new(workers);
     let backend = cfg.resolve_backend(cache);
     let backend = backend.as_ref();
-    let plan = build_plan(cfg, &exec, backend);
+    let frontier = starting_frontier(Some(store_dir));
+    let guidance = cfg.resolve_guidance(&frontier);
+    let plan = build_plan(cfg, &exec, backend, guidance.as_ref());
     let log = CampaignLog::open_shard(store_dir, plan.fingerprint, plan.units.len(), shard);
     let indices: Vec<usize> = range.filter(|i| *i < plan.units.len()).collect();
     let plan = &plan;
@@ -184,7 +217,7 @@ pub fn run_unit_range(
             return false;
         }
         let unit = &plan.units[i];
-        let cell = compile_cell(
+        let (cell, delta) = compile_cell(
             backend,
             &cfg.registry,
             &plan.fingerprints[unit.pi],
@@ -199,7 +232,10 @@ pub fn run_unit_range(
                 // Module-less artifacts (opaque native binaries) cannot be
                 // replayed faithfully; the merge recomputes them.
                 if let Some(module) = artifact.module() {
-                    log.record(i, &UnitOutcome::Done(module.clone(), result.clone()));
+                    log.record(
+                        i,
+                        &UnitOutcome::Done(module.clone(), result.clone(), delta),
+                    );
                 }
             }
         }
@@ -238,11 +274,21 @@ pub fn run_unit_campaign_checkpointed(
     // can back every `make_tables` entry point); report this run's delta.
     let cache_before = backend.prefix_cache().map(|c| c.stats()).unwrap_or_default();
 
+    // The frontier snapshot this campaign starts from (and, when guided,
+    // plans against); per-unit deltas are absorbed during the merge and
+    // the union is persisted back on successful completion.
+    let mut frontier_store = store_dir.map(FrontierStore::open);
+    let mut frontier = frontier_store
+        .as_ref()
+        .map(|s| Frontier::from_covered(s.covered().clone()))
+        .unwrap_or_default();
+    let guidance = cfg.resolve_guidance(&frontier);
+
     // Stages 1 + planning: the deterministic decomposition shared with the
     // campaign service's workers. Group order (and unit order within a
     // group) is exactly the sequential loop's iteration order; the
     // streaming merge below relies on it.
-    let plan = build_plan(cfg, &exec, backend);
+    let plan = build_plan(cfg, &exec, backend, guidance.as_ref());
     let Plan { programs, fingerprints, units, groups, fingerprint } = plan;
 
     // The checkpoint log identifies the campaign by the full plan identity
@@ -281,14 +327,21 @@ pub fn run_unit_campaign_checkpointed(
             if let Some(log) = &log {
                 match log.take_replay(i) {
                     Some(UnitOutcome::Unsupported) => {
-                        return UnitResult::Cell(unit.compiler, unit.opt, None, true)
+                        return UnitResult::Cell(
+                            unit.compiler,
+                            unit.opt,
+                            None,
+                            true,
+                            CovDelta::new(),
+                        )
                     }
-                    Some(UnitOutcome::Done(module, result)) => {
+                    Some(UnitOutcome::Done(module, result, delta)) => {
                         return UnitResult::Cell(
                             unit.compiler,
                             unit.opt,
                             Some((Artifact::Sim(module), result)),
                             true,
+                            delta,
                         )
                     }
                     None => {}
@@ -301,7 +354,7 @@ pub fn run_unit_campaign_checkpointed(
             {
                 return UnitResult::Starved;
             }
-            let cell = compile_cell(
+            let (cell, delta) = compile_cell(
                 backend,
                 &cfg.registry,
                 &fingerprints[unit.pi],
@@ -322,20 +375,28 @@ pub fn run_unit_campaign_checkpointed(
                     }
                     Some((artifact, result)) => {
                         if let Some(module) = artifact.module() {
-                            log.record(i, &UnitOutcome::Done(module.clone(), result.clone()));
+                            log.record(
+                                i,
+                                &UnitOutcome::Done(
+                                    module.clone(),
+                                    result.clone(),
+                                    delta.clone(),
+                                ),
+                            );
                             logged = true;
                         }
                     }
                 }
             }
-            UnitResult::Cell(unit.compiler, unit.opt, cell, logged)
+            UnitResult::Cell(unit.compiler, unit.opt, cell, logged, delta)
         },
         |i, result| {
             match result {
                 UnitResult::Starved => starved = true,
-                UnitResult::Cell(compiler, opt, cell, logged) => {
+                UnitResult::Cell(compiler, opt, cell, logged, delta) => {
                     completed_cells += usize::from(logged);
                     if !starved {
+                        frontier.absorb(&delta);
                         if let Some((artifact, outcome)) = cell {
                             group_cells.push(CompiledCell { compiler, opt, artifact, outcome });
                         }
@@ -367,7 +428,16 @@ pub fn run_unit_campaign_checkpointed(
     stats.cache =
         backend.prefix_cache().map(|c| c.stats()).unwrap_or_default() - cache_before;
     if starved {
+        // Interrupted: the checkpoint log holds every completed unit's
+        // delta, so the resume reconstructs the frontier; persisting a
+        // partial union here would hand the *next* campaign a frontier no
+        // finished run ever produced.
         return Err(CampaignInterrupted { completed: completed_cells, total: total_units });
+    }
+    stats.frontier_points = frontier.len();
+    stats.frontier_fingerprint = frontier.fingerprint();
+    if let Some(fs) = frontier_store.as_mut() {
+        fs.save(frontier.covered());
     }
     Ok(stats)
 }

@@ -34,10 +34,12 @@ pub use campaign::{
     CampaignConfigBuilder, CampaignInterrupted, CampaignStats, FoundBug, ParallelCampaign,
 };
 pub use ubfuzz_backend::{CompilerBackend, SimBackend};
+pub use ubfuzz_guide::{Frontier, GuidePlan, Strategy};
 pub use ubfuzz_oracle::{CrashOracle, OracleStack, OracleTelemetry};
 pub use ubfuzz_simcc::session::SessionStats;
 
 pub use ubfuzz_backend as backend;
+pub use ubfuzz_guide as guide;
 pub use ubfuzz_store as store;
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;

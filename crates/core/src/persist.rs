@@ -20,7 +20,7 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let backend_name =
         cfg.backend.as_ref().map(|b| b.name().to_string()).unwrap_or_else(|| "sim".into());
     let plan = format!(
-        "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{backend_name}",
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{backend_name}",
         cfg.first_seed,
         cfg.seeds,
         cfg.seed_options,
@@ -28,6 +28,7 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
         cfg.generator,
         cfg.registry,
         cfg.reduce,
+        cfg.strategy,
     );
     ubfuzz_store::wire::fnv1a(plan.as_bytes())
 }
@@ -39,11 +40,21 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
 /// invocations (a compiler upgraded or un/installed under `CcBackend`)
 /// must read as a different campaign even when the config — and the unit
 /// *count* — happens to match.
+///
+/// A guided campaign's plan additionally depends on the coverage frontier
+/// it was derived from (`ubfuzz_guide::plan_guidance` sets the per-kind
+/// generation budgets, which set the unit list), so the guidance's frontier
+/// fingerprint folds in too: a checkpoint written against one frontier
+/// state must never replay into a campaign planned against another.
 pub fn campaign_fingerprint(
     cfg: &CampaignConfig,
     toolchains: &[ubfuzz_backend::ToolchainDesc],
+    guidance: Option<&ubfuzz_guide::GuidePlan>,
 ) -> u64 {
-    let plan = format!("{}|{toolchains:?}", config_fingerprint(cfg));
+    let mut plan = format!("{}|{toolchains:?}", config_fingerprint(cfg));
+    if let Some(g) = guidance {
+        plan.push_str(&format!("|frontier:{:016x}", g.frontier_fingerprint));
+    }
     ubfuzz_store::wire::fnv1a(plan.as_bytes())
 }
 

@@ -210,30 +210,32 @@ pub fn coverage_experiment_with(backend: &dyn CompilerBackend, seeds: usize) -> 
     );
     let seed_opts = SeedOptions::default();
     let run_mix = |programs: &[ubfuzz_minic::Program]| {
-        cov::reset();
+        let collector = cov::Collector::new();
         exec.map((0..programs.len()).collect(), |_, pi: usize| {
-            let p = &programs[pi];
-            let fp = backend.fingerprint(p);
-            for tc in &toolchains {
-                for sanitizer in Sanitizer::ALL {
-                    if !tc.supports(sanitizer) {
-                        continue;
-                    }
-                    for opt in [OptLevel::O0, OptLevel::O2] {
-                        let req = CompileRequest {
-                            compiler: tc.id,
-                            opt,
-                            sanitizer: Some(sanitizer),
-                            registry: &registry,
-                        };
-                        if let Ok(a) = backend.compile(&fp, p, &req) {
-                            let _ = backend.execute(&a, &RunRequest::default());
+            collector.attach(|| {
+                let p = &programs[pi];
+                let fp = backend.fingerprint(p);
+                for tc in &toolchains {
+                    for sanitizer in Sanitizer::ALL {
+                        if !tc.supports(sanitizer) {
+                            continue;
+                        }
+                        for opt in [OptLevel::O0, OptLevel::O2] {
+                            let req = CompileRequest {
+                                compiler: tc.id,
+                                opt,
+                                sanitizer: Some(sanitizer),
+                                registry: &registry,
+                            };
+                            if let Ok(a) = backend.compile(&fp, p, &req) {
+                                let _ = backend.execute(&a, &RunRequest::default());
+                            }
                         }
                     }
                 }
-            }
+            })
         });
-        (cov::stats(Vendor::Gcc), cov::stats(Vendor::Llvm))
+        (collector.stats(Vendor::Gcc), collector.stats(Vendor::Llvm))
     };
     let seeds_programs: Vec<_> =
         (0..seeds as u64).map(|s| generate_seed(s, &seed_opts)).collect();

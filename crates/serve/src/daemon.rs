@@ -38,7 +38,8 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use ubfuzz::backend::SimBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::plan_campaign;
-use ubfuzz::store::{BugCorpus, CampaignLog, LeaseRecord, LeaseState, LeaseTable};
+use ubfuzz::store::{BugCorpus, CampaignLog, FrontierStore, LeaseRecord, LeaseState, LeaseTable};
+use ubfuzz::Strategy;
 use ubfuzz::{persist, report};
 use ubfuzz_exec::LeaseLedger;
 
@@ -127,12 +128,16 @@ struct CampaignView {
     seeds: usize,
     first_seed: u64,
     workers: usize,
+    strategy: Strategy,
     phase: Phase,
     fingerprint: u64,
     units: usize,
     computed: usize,
     replayed: usize,
     reissued: usize,
+    /// Coverage-frontier size: the persisted point count at planning time,
+    /// updated to the merged campaign's final count once done.
+    frontier: usize,
     report: Option<String>,
     leases: Vec<LeaseView>,
 }
@@ -202,7 +207,7 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
     }
     let response = match parse_request(line.trim()) {
         Err(reason) => format!("err {reason}\n"),
-        Ok(Request::Submit { seeds, first_seed, workers }) => {
+        Ok(Request::Submit { seeds, first_seed, workers, strategy }) => {
             let mut st = relock(shared);
             if st.shutdown {
                 "err shutting down\n".into()
@@ -215,12 +220,14 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
                     seeds,
                     first_seed,
                     workers: workers.unwrap_or(config.workers).max(1),
+                    strategy,
                     phase: Phase::Queued,
                     fingerprint: 0,
                     units: 0,
                     computed: 0,
                     replayed: 0,
                     reissued: 0,
+                    frontier: 0,
                     report: None,
                     leases: Vec::new(),
                 });
@@ -272,7 +279,7 @@ fn render_status(st: &State) -> String {
     for c in &st.campaigns {
         out.push_str(&format!(
             "campaign id={} state={} seeds={} first_seed={} workers={} units={} \
-             computed={} replayed={} reissued={}\n",
+             computed={} replayed={} reissued={} strategy={} frontier={}\n",
             c.id,
             c.phase.name(),
             c.seeds,
@@ -281,7 +288,9 @@ fn render_status(st: &State) -> String {
             c.units,
             c.computed,
             c.replayed,
-            c.reissued
+            c.reissued,
+            c.strategy,
+            c.frontier
         ));
         for l in &c.leases {
             out.push_str(&format!(
@@ -318,14 +327,23 @@ struct Worker {
 
 /// Runs one campaign end to end: carve, spawn, reclaim, merge.
 fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
-    let (seeds, first_seed, workers) = {
+    let (seeds, first_seed, workers, strategy) = {
         let mut st = relock(shared);
         let c = campaign_mut(&mut st, id);
         c.phase = Phase::Running;
-        (c.seeds, c.first_seed, c.workers)
+        (c.seeds, c.first_seed, c.workers, c.strategy)
     };
-    let cfg = CampaignConfig::builder().seeds(seeds).first_seed(first_seed).build();
-    let (fingerprint, units) = plan_campaign(&cfg, true);
+    let cfg = CampaignConfig::builder()
+        .seeds(seeds)
+        .first_seed(first_seed)
+        .strategy(strategy)
+        .build();
+    // The plan depends on the store for guided campaigns: daemon and
+    // workers all derive guidance from the persisted frontier, which is
+    // only rewritten at merge completion — so every participant of *this*
+    // campaign sees the same snapshot and computes the same fingerprint.
+    let frontier0 = FrontierStore::open(&config.store).len();
+    let (fingerprint, units) = plan_campaign(&cfg, true, Some(&config.store));
 
     // Opening the primary log writes/validates the campaign header and
     // sweeps shards of an incompatible prior campaign, so workers never
@@ -340,6 +358,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
         let c = campaign_mut(&mut st, id);
         c.fingerprint = fingerprint;
         c.units = units;
+        c.frontier = frontier0;
     }
 
     // A worker that fails deterministically (bad binary, broken store
@@ -374,7 +393,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
         while active.len() < workers {
             let now = unix_now();
             let Some(lease) = ledger.claim(0, now, config.ttl_secs) else { break };
-            match spawn_worker(config, seeds, first_seed, lease.id, &lease.range) {
+            match spawn_worker(config, seeds, first_seed, strategy, lease.id, &lease.range) {
                 Ok(child) => {
                     table.upsert(LeaseRecord {
                         id: lease.id,
@@ -465,6 +484,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     let stats = CampaignConfig::builder()
         .seeds(seeds)
         .first_seed(first_seed)
+        .strategy(strategy)
         .backend(Arc::new(backend))
         .checkpoint(&config.store)
         .build_runner()
@@ -482,6 +502,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     let mut st = relock(shared);
     let c = campaign_mut(&mut st, id);
     c.phase = Phase::Done;
+    c.frontier = stats.frontier_points;
     c.report = Some(text);
 }
 
@@ -546,6 +567,7 @@ fn spawn_worker(
     config: &DaemonConfig,
     seeds: usize,
     first_seed: u64,
+    strategy: Strategy,
     lease_id: u64,
     range: &std::ops::Range<usize>,
 ) -> std::io::Result<Child> {
@@ -561,6 +583,8 @@ fn spawn_worker(
         .arg(seeds.to_string())
         .arg("--first-seed")
         .arg(first_seed.to_string())
+        .arg("--strategy")
+        .arg(strategy.name())
         .arg("--shard")
         .arg(lease_id.to_string())
         .arg("--start")
@@ -596,18 +620,21 @@ mod tests {
             seeds: 4,
             first_seed: 0,
             workers: 2,
+            strategy: Strategy::Guided,
             phase: Phase::Running,
             fingerprint: 7,
             units: 10,
             computed: 3,
             replayed: 0,
             reissued: 1,
+            frontier: 12,
             report: None,
             leases: vec![LeaseView { id: 2, start: 0, end: 5, pid: 42, state: "active" }],
         });
         let s = render_status(&st);
         assert!(s.starts_with("ok\n"), "{s}");
         assert!(s.contains("campaign id=1 state=running seeds=4"), "{s}");
+        assert!(s.contains("strategy=guided frontier=12"), "{s}");
         assert!(s.contains("lease id=2 campaign=1 start=0 end=5 pid=42 state=active"), "{s}");
     }
 }

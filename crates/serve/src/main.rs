@@ -5,8 +5,10 @@
 //!              [--worker-threads N] [--ttl SECS] [--queue N]
 //!              [--worker-bin PATH] [--stall-ms MS]
 //! ubfuzz-serve worker --store DIR --shard ID --start A --end B
-//!              [--seeds N] [--first-seed N] [--threads N]
+//!              [--seeds N] [--first-seed N] [--strategy uniform|guided]
+//!              [--threads N]
 //! ubfuzz-serve submit --socket PATH --seeds N [--first-seed N] [--workers N]
+//!              [--strategy uniform|guided]
 //! ubfuzz-serve status --socket PATH
 //! ubfuzz-serve report --socket PATH --id N
 //! ubfuzz-serve corpus --socket PATH
@@ -125,7 +127,17 @@ mod unix {
                 return 2;
             }
         };
-        match client::submit(socket, seeds, first_seed, workers) {
+        let strategy = match flag_value(args, "--strategy") {
+            None => ubfuzz::Strategy::Uniform,
+            Some(v) => match ubfuzz::Strategy::parse(v) {
+                Some(s) => s,
+                None => {
+                    eprintln!("ubfuzz-serve submit: bad --strategy (uniform|guided)");
+                    return 2;
+                }
+            },
+        };
+        match client::submit(socket, seeds, first_seed, workers, strategy) {
             Ok(id) => {
                 println!("ok id={id}");
                 0

@@ -11,21 +11,26 @@
 //!
 //! | line | response |
 //! |---|---|
-//! | `SUBMIT seeds=N [first_seed=N] [workers=N]` | `ok id=N` or `err busy` |
+//! | `SUBMIT seeds=N [first_seed=N] [workers=N] [strategy=uniform\|guided]` | `ok id=N` or `err busy` |
 //! | `STATUS` | `ok` + daemon/campaign/lease lines |
 //! | `REPORT id=N` | `ok` + raw report bytes |
 //! | `CORPUS` | `ok` + one line per corpus entry |
 //! | `SHUTDOWN` | `ok` (the daemon exits after the running campaign stops) |
 //!
 //! Keys are `key=value` tokens in any order. Unknown verbs and malformed
-//! values are `err …`, never a dropped connection.
+//! values are `err …`, never a dropped connection; a `strategy=` value the
+//! daemon does not know is `err bad-request` specifically, so clients can
+//! distinguish their own misuse from daemon-side failures.
+
+use ubfuzz::Strategy;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Submit a campaign: seed count, first seed id, worker-process count
-    /// (daemon default when `None`).
-    Submit { seeds: usize, first_seed: u64, workers: Option<usize> },
+    /// (daemon default when `None`), and the generation strategy
+    /// (uniform unless `strategy=guided`).
+    Submit { seeds: usize, first_seed: u64, workers: Option<usize>, strategy: Strategy },
     /// Daemon, campaign and lease status, machine-readable.
     Status,
     /// The merged report of a finished campaign, raw bytes.
@@ -62,7 +67,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if workers == Some(0) {
                 return Err("SUBMIT requires workers > 0".into());
             }
-            Ok(Request::Submit { seeds, first_seed, workers })
+            let strategy = match lookup("strategy") {
+                None => Strategy::Uniform,
+                Some(v) => Strategy::parse(v).ok_or("bad-request")?,
+            };
+            Ok(Request::Submit { seeds, first_seed, workers, strategy })
         }
         "STATUS" => Ok(Request::Status),
         "REPORT" => Ok(Request::Report { id: num("id")?.ok_or("REPORT requires id=N")? }),
@@ -73,14 +82,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Renders a `SUBMIT` line (the client side of [`parse_request`]).
-pub fn submit_line(seeds: usize, first_seed: u64, workers: Option<usize>) -> String {
+/// Renders a `SUBMIT` line (the client side of [`parse_request`]). The
+/// default strategy is omitted, so uniform submissions are byte-identical
+/// to the pre-strategy wire format.
+pub fn submit_line(
+    seeds: usize,
+    first_seed: u64,
+    workers: Option<usize>,
+    strategy: Strategy,
+) -> String {
     let mut line = format!("SUBMIT seeds={seeds}");
     if first_seed != 0 {
         line.push_str(&format!(" first_seed={first_seed}"));
     }
     if let Some(w) = workers {
         line.push_str(&format!(" workers={w}"));
+    }
+    if strategy != Strategy::Uniform {
+        line.push_str(&format!(" strategy={strategy}"));
     }
     line
 }
@@ -92,12 +111,32 @@ mod tests {
     #[test]
     fn submit_round_trips() {
         for (seeds, first, workers) in [(8, 0, None), (3, 5, Some(2)), (1, 0, Some(16))] {
-            let line = submit_line(seeds, first, workers);
-            assert_eq!(
-                parse_request(&line),
-                Ok(Request::Submit { seeds, first_seed: first, workers })
-            );
+            for strategy in [Strategy::Uniform, Strategy::Guided] {
+                let line = submit_line(seeds, first, workers, strategy);
+                assert_eq!(
+                    parse_request(&line),
+                    Ok(Request::Submit { seeds, first_seed: first, workers, strategy })
+                );
+            }
         }
+        // Uniform submissions keep the pre-strategy wire format.
+        assert_eq!(submit_line(8, 0, None, Strategy::Uniform), "SUBMIT seeds=8");
+        assert_eq!(
+            submit_line(8, 0, None, Strategy::Guided),
+            "SUBMIT seeds=8 strategy=guided"
+        );
+    }
+
+    #[test]
+    fn malformed_strategy_is_a_bad_request() {
+        assert_eq!(
+            parse_request("SUBMIT seeds=4 strategy=greedy"),
+            Err("bad-request".to_string())
+        );
+        assert_eq!(
+            parse_request("SUBMIT seeds=4 strategy="),
+            Err("bad-request".to_string())
+        );
     }
 
     #[test]
@@ -120,8 +159,13 @@ mod tests {
     #[test]
     fn token_order_is_free() {
         assert_eq!(
-            parse_request("SUBMIT workers=3 seeds=6 first_seed=2"),
-            Ok(Request::Submit { seeds: 6, first_seed: 2, workers: Some(3) })
+            parse_request("SUBMIT strategy=guided workers=3 seeds=6 first_seed=2"),
+            Ok(Request::Submit {
+                seeds: 6,
+                first_seed: 2,
+                workers: Some(3),
+                strategy: Strategy::Guided
+            })
         );
     }
 }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use ubfuzz::backend::SimBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::run_unit_range;
+use ubfuzz::Strategy;
 
 use crate::{flag_num, flag_value};
 
@@ -32,7 +33,8 @@ pub fn worker_main(args: &[String]) -> i32 {
         eprintln!("ubfuzz-serve worker: {what}");
         eprintln!(
             "usage: worker --store DIR --shard ID --start A --end B \
-             [--seeds N] [--first-seed N] [--threads N] [--stall-ms MS]"
+             [--seeds N] [--first-seed N] [--strategy uniform|guided] \
+             [--threads N] [--stall-ms MS]"
         );
         2
     };
@@ -43,6 +45,13 @@ pub fn worker_main(args: &[String]) -> i32 {
         (flag_num(args, "--seeds", 1_usize), flag_num(args, "--first-seed", 0_u64))
     else {
         return misuse("bad --seeds / --first-seed");
+    };
+    let strategy = match flag_value(args, "--strategy") {
+        None => Strategy::Uniform,
+        Some(v) => match Strategy::parse(v) {
+            Some(s) => s,
+            None => return misuse("bad --strategy (uniform|guided)"),
+        },
     };
     let (Some(shard), Some(start), Some(end)) = (
         flag_num(args, "--shard", 0_u64),
@@ -66,7 +75,11 @@ pub fn worker_main(args: &[String]) -> i32 {
     }
 
     let store = std::path::PathBuf::from(store);
-    let mut cfg = CampaignConfig::builder().seeds(seeds).first_seed(first_seed).build();
+    let mut cfg = CampaignConfig::builder()
+        .seeds(seeds)
+        .first_seed(first_seed)
+        .strategy(strategy)
+        .build();
     // Store-backed compile session: staged prefixes persist to the shared
     // `prefix.bin` (O_APPEND, so concurrent workers interleave whole
     // records), warming every sibling and the daemon's merge pass.

@@ -111,7 +111,7 @@ fn daemon_report_is_bit_identical_and_resubmission_replays() {
     let reference = single_process_report();
     let (socket, daemon) = start_daemon(daemon_config("e2e"));
 
-    let id = client::submit(&socket, 3, 0, Some(2)).expect("submit");
+    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("submit");
     assert_eq!(id, 1);
     let status = await_done(&socket, id, Duration::from_secs(120));
     assert_ne!(campaign_field(&status, id, "computed"), "0", "first run computes units");
@@ -120,7 +120,7 @@ fn daemon_report_is_bit_identical_and_resubmission_replays() {
 
     // Same campaign again: every unit replays out of the checkpoint
     // shards, so the workers compile nothing and the report is unchanged.
-    let again = client::submit(&socket, 3, 0, Some(2)).expect("resubmit");
+    let again = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("resubmit");
     assert_eq!(again, 2);
     let status = await_done(&socket, again, Duration::from_secs(120));
     assert_eq!(campaign_field(&status, again, "computed"), "0", "resubmission replays:\n{status}");
@@ -146,7 +146,7 @@ fn sigkilled_worker_is_reclaimed_and_merge_still_bit_identical() {
     config.worker_stall_ms = 1500;
     let (socket, daemon) = start_daemon(config);
 
-    let id = client::submit(&socket, 3, 0, Some(2)).expect("submit");
+    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("submit");
 
     // Find a live worker pid and SIGKILL it.
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -196,7 +196,7 @@ fn submissions_beyond_the_queue_bound_answer_busy() {
     config.worker_stall_ms = 1500;
     let (socket, daemon) = start_daemon(config);
 
-    let first = client::submit(&socket, 2, 0, Some(1)).expect("submit 1");
+    let first = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform).expect("submit 1");
     // Wait until the scheduler picked up campaign 1 (queue drained)…
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -208,14 +208,39 @@ fn submissions_beyond_the_queue_bound_answer_busy() {
         std::thread::sleep(Duration::from_millis(20));
     }
     // …so this fills the queue, and the next submission must bounce.
-    let second = client::submit(&socket, 2, 0, Some(1)).expect("submit 2");
-    let bounced = client::submit(&socket, 2, 0, Some(1));
+    let second = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform).expect("submit 2");
+    let bounced = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform);
     let err = bounced.expect_err("queue is full; submission must be rejected");
     assert!(err.to_string().contains("busy"), "expected err busy, got {err}");
 
     for id in [first, second] {
         await_done(&socket, id, Duration::from_secs(120));
     }
+    client::shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
+/// A guided submission runs end to end: the SUBMIT line carries
+/// `strategy=guided`, STATUS reports the strategy and the frontier size,
+/// the merge persists `frontier.bin`, and a malformed strategy value is
+/// rejected as `err bad-request` without dropping the connection.
+#[test]
+fn guided_submission_reports_strategy_and_persists_the_frontier() {
+    let config = daemon_config("guided");
+    let store = config.store.clone();
+    let (socket, daemon) = start_daemon(config);
+
+    let bad = client::request(&socket, "SUBMIT seeds=2 strategy=greedy").expect("connect");
+    assert_eq!(bad.trim(), "err bad-request", "malformed strategy is a bad request");
+
+    let id = client::submit(&socket, 2, 0, Some(2), ubfuzz::Strategy::Guided).expect("submit");
+    let status = await_done(&socket, id, Duration::from_secs(120));
+    assert_eq!(campaign_field(&status, id, "strategy"), "guided");
+    let frontier: usize = campaign_field(&status, id, "frontier").parse().expect("frontier=N");
+    assert!(frontier > 0, "a finished campaign covered sanitizer points:\n{status}");
+    let on_disk = ubfuzz::store::FrontierStore::open(&store);
+    assert_eq!(on_disk.len(), frontier, "STATUS reports the persisted frontier");
+
     client::shutdown(&socket).expect("shutdown");
     daemon.join().expect("daemon thread");
 }
@@ -233,7 +258,7 @@ fn concurrent_store_opens_survive_racing_and_killed_workers() {
     let seeds = 3;
     let dir = store_dir("race");
     let cfg = CampaignConfig::builder().seeds(seeds).build();
-    let (fingerprint, units) = plan_campaign(&cfg, true);
+    let (fingerprint, units) = plan_campaign(&cfg, true, Some(&dir));
     assert!(units > 0);
 
     let worker = |shard: u64, stall_ms: u64| {

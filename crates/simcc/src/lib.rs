@@ -52,6 +52,7 @@ pub mod san;
 pub mod session;
 pub mod target;
 
+pub use cov::{Collector, CovDelta, CovPoint};
 pub use defects::{BugStatus, Defect, DefectCategory, DefectRegistry, DEFECTS};
 pub use ir::{Module, Sanitizer};
 pub use lower::CompileError;

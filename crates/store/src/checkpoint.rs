@@ -40,6 +40,7 @@
 //! fresh compiles. Tail recovery is a `set_len` truncation to the trusted
 //! byte count (no record rewriting), so open cost is one sequential scan.
 
+use crate::frontier::{dec_cov_delta, enc_cov_delta};
 use crate::modser::{dec_module, dec_run_result, enc_module, enc_run_result};
 use crate::wire::{self, Dec, Enc, TableKind};
 use crate::{relock_noting, StoreTelemetry};
@@ -47,7 +48,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-use ubfuzz_simcc::Module;
+use ubfuzz_simcc::{CovDelta, Module};
 use ubfuzz_simvm::RunResult;
 
 /// File name of the primary checkpoint log inside a store directory.
@@ -64,8 +65,12 @@ pub enum UnitOutcome {
     /// The cell was unsupported or failed to compile (the campaign skips
     /// it; recorded so resume does not retry it either).
     Unsupported,
-    /// The compiled module and its execution result.
-    Done(Module, RunResult),
+    /// The compiled module, its execution result, and the sanitizer
+    /// coverage points the unit hit — the delta is logged so a resumed
+    /// campaign rebuilds the coverage frontier bit-identically without
+    /// recompiling replayed units. (Records written before the delta
+    /// existed decode as an empty delta.)
+    Done(Module, RunResult, CovDelta),
 }
 
 /// Byte span of one validated record's payload: (scanned file index,
@@ -104,10 +109,14 @@ fn enc_unit(index: usize, outcome: &UnitOutcome, writer: u64) -> Vec<u8> {
     e.u64(index as u64);
     match outcome {
         UnitOutcome::Unsupported => e.u8(0),
-        UnitOutcome::Done(module, result) => {
-            e.u8(1);
+        UnitOutcome::Done(module, result, delta) => {
+            // Tag 2 = module + result + coverage delta; tag 1 (pre-delta
+            // records) stays decodable so an older log replays with an
+            // empty delta instead of cold-starting.
+            e.u8(2);
             enc_module(&mut e, module);
             enc_run_result(&mut e, result);
+            enc_cov_delta(&mut e, delta);
         }
     }
     e.u64(writer);
@@ -119,7 +128,13 @@ fn dec_unit(payload: &[u8]) -> Result<(usize, UnitOutcome, u64), wire::WireError
     let index = d.usize()?;
     let outcome = match d.u8()? {
         0 => UnitOutcome::Unsupported,
-        1 => UnitOutcome::Done(dec_module(&mut d)?, dec_run_result(&mut d)?),
+        1 => UnitOutcome::Done(dec_module(&mut d)?, dec_run_result(&mut d)?, CovDelta::new()),
+        2 => {
+            let module = dec_module(&mut d)?;
+            let result = dec_run_result(&mut d)?;
+            let delta = dec_cov_delta(&mut d)?;
+            UnitOutcome::Done(module, result, delta)
+        }
         _ => return Err(wire::WireError::Corrupt("unit outcome")),
     };
     let writer = d.u64()?;
@@ -480,14 +495,21 @@ mod tests {
         assert_eq!(log.replayed(), 0);
         let empty =
             Module { globals: vec![], funcs: vec![], san: Default::default(), build: None };
+        let mut delta = ubfuzz_simcc::CovDelta::new();
+        delta.insert((ubfuzz_simcc::Vendor::Gcc, "asan.rs", "run"));
         log.record(0, &UnitOutcome::Unsupported);
-        log.record(3, &UnitOutcome::Done(empty, RunResult::Timeout));
+        log.record(3, &UnitOutcome::Done(empty, RunResult::Timeout, delta.clone()));
         drop(log);
 
         let log = CampaignLog::open(&dir, 42, 5);
         assert_eq!(log.replayed(), 2);
         assert_eq!(log.take_replay(0), Some(UnitOutcome::Unsupported));
-        assert!(matches!(log.take_replay(3), Some(UnitOutcome::Done(_, RunResult::Timeout))));
+        match log.take_replay(3) {
+            Some(UnitOutcome::Done(_, RunResult::Timeout, d)) => {
+                assert_eq!(d, delta, "coverage delta replays byte-faithfully")
+            }
+            other => panic!("unexpected replay: {other:?}"),
+        }
         assert_eq!(log.take_replay(1), None);
         // Taking consumes the slot (the resume memory bound).
         assert_eq!(log.take_replay(0), None);

@@ -1,0 +1,274 @@
+//! The campaign coverage frontier: which `(vendor, file, point)` sanitizer
+//! coverage points any prior unit has hit, persisted so a warm campaign
+//! resumes steering where the last one left off.
+//!
+//! The frontier is the feedback substrate of guided generation
+//! (`ubfuzz-guide`): a campaign loads it at start, derives its generation
+//! plan from `(campaign seed, frontier state)`, absorbs every unit's
+//! [`CovDelta`] in canonical consumer order, and rewrites the file on
+//! successful completion. Like the corpus, the table is small (bounded by
+//! the static `cov::POINTS` registry times two vendors) and rewritten
+//! wholesale through the shared temp-file + rename protocol — a kill
+//! mid-save leaves the previous frontier intact.
+//!
+//! Decoded points are re-interned against `cov::POINTS` via
+//! [`ubfuzz_simcc::cov::lookup`]; a pair the registry does not know is
+//! corruption (the scan stops there, trusting the valid prefix), and a
+//! missing/corrupt/version-skewed file is a cold start with telemetry —
+//! never an error, same contract as every other table.
+
+use crate::wire::{self, Dec, Enc, TableKind};
+use crate::StoreTelemetry;
+use std::path::{Path, PathBuf};
+use ubfuzz_simcc::cov::{self, CovDelta, CovPoint};
+#[cfg(test)]
+use ubfuzz_simcc::Vendor;
+
+/// File name of the frontier table inside a store directory.
+pub const FRONTIER_FILE: &str = "frontier.bin";
+
+/// Encodes one coverage point (shared with the checkpoint log's per-unit
+/// delta records).
+pub(crate) fn enc_cov_point(e: &mut Enc, (vendor, file, point): CovPoint) {
+    crate::modser::enc_vendor(e, vendor);
+    e.vstr(file);
+    e.vstr(point);
+}
+
+/// Decodes one coverage point, re-interning `(file, point)` against the
+/// static registry — an unknown pair is corruption, not a new point.
+pub(crate) fn dec_cov_point(d: &mut Dec<'_>) -> Result<CovPoint, wire::WireError> {
+    let vendor = crate::modser::dec_vendor(d)?;
+    let file = d.vstr()?;
+    let point = d.vstr()?;
+    let (file, point) =
+        cov::lookup(&file, &point).ok_or(wire::WireError::Corrupt("unknown coverage point"))?;
+    Ok((vendor, file, point))
+}
+
+/// Encodes a whole delta as one length-prefixed point list.
+pub(crate) fn enc_cov_delta(e: &mut Enc, delta: &CovDelta) {
+    e.vusize(delta.len());
+    for point in delta.iter() {
+        enc_cov_point(e, point);
+    }
+}
+
+/// Decodes a delta encoded by [`enc_cov_delta`].
+pub(crate) fn dec_cov_delta(d: &mut Dec<'_>) -> Result<CovDelta, wire::WireError> {
+    let n = d.vcount(3)?;
+    let mut delta = CovDelta::new();
+    for _ in 0..n {
+        delta.insert(dec_cov_point(d)?);
+    }
+    Ok(delta)
+}
+
+/// The on-disk coverage frontier. Open never fails; corrupt or
+/// version-skewed files degrade to an empty frontier with telemetry.
+#[derive(Debug)]
+pub struct FrontierStore {
+    path: PathBuf,
+    covered: CovDelta,
+    telemetry: StoreTelemetry,
+}
+
+impl FrontierStore {
+    /// Opens (or creates) the frontier under `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> FrontierStore {
+        let path = dir.as_ref().join(FRONTIER_FILE);
+        let telemetry = StoreTelemetry::default();
+        let _ = std::fs::create_dir_all(dir.as_ref());
+        let mut covered = CovDelta::new();
+        match std::fs::read(&path) {
+            Ok(bytes) if !bytes.is_empty() => {
+                match wire::check_header(&bytes, TableKind::Frontier) {
+                    Ok(()) => {
+                        let (records, _) = wire::read_records(&bytes[wire::HEADER_LEN..]);
+                        let mut trusted = wire::HEADER_LEN;
+                        for payload in records {
+                            let mut d = Dec::new(payload);
+                            match dec_cov_point(&mut d).and_then(|p| d.finish().map(|()| p)) {
+                                Ok(point) => {
+                                    covered.insert(point);
+                                    trusted += wire::record_span(payload.len());
+                                }
+                                Err(e) => {
+                                    telemetry
+                                        .record_corruption(format!("frontier record: {e}"));
+                                    break;
+                                }
+                            }
+                        }
+                        if trusted < bytes.len() {
+                            telemetry.record_tail_truncated();
+                            telemetry.record_corruption(format!(
+                                "frontier tail dropped ({} of {} bytes trusted)",
+                                trusted,
+                                bytes.len()
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        telemetry.record_corruption(format!("frontier header: {e}"));
+                        telemetry.record_cold_start();
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(_) => {}
+        }
+        telemetry.set_loaded(covered.len());
+        FrontierStore { path, covered, telemetry }
+    }
+
+    /// Replaces the persisted frontier with `covered` (the campaign's final
+    /// union of loaded state and per-unit deltas) and rewrites the file.
+    pub fn save(&mut self, covered: &CovDelta) {
+        self.covered = covered.clone();
+        let payloads: Vec<Vec<u8>> = self
+            .covered
+            .iter()
+            .map(|point| {
+                let mut e = Enc::new();
+                enc_cov_point(&mut e, point);
+                e.into_bytes()
+            })
+            .collect();
+        if wire::rewrite_file(&self.path, TableKind::Frontier, &payloads) {
+            self.telemetry.record_persisted();
+        } else {
+            self.telemetry.record_corruption("frontier directory unwritable".into());
+        }
+    }
+
+    /// The loaded (or last-saved) covered point set, in canonical order.
+    pub fn covered(&self) -> &CovDelta {
+        &self.covered
+    }
+
+    /// Number of covered points.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether the frontier is empty (cold).
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// The file backing this frontier.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open/save telemetry for this frontier.
+    pub fn telemetry(&self) -> &StoreTelemetry {
+        &self.telemetry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ubfuzz-frontier-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> CovDelta {
+        let mut d = CovDelta::new();
+        d.insert((Vendor::Gcc, "asan.rs", "run"));
+        d.insert((Vendor::Gcc, "ubsan.rs", "arith_check"));
+        d.insert((Vendor::Llvm, "msan.rs", "run"));
+        d
+    }
+
+    #[test]
+    fn frontier_round_trips_across_opens() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = FrontierStore::open(&dir);
+        assert!(store.is_empty());
+        store.save(&sample());
+        drop(store);
+        let store = FrontierStore::open(&dir);
+        assert_eq!(store.covered(), &sample());
+        assert_eq!(store.telemetry().loaded(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let mut store = FrontierStore::open(&dir);
+        store.save(&sample());
+        let path = store.path().to_path_buf();
+        drop(store);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let store = FrontierStore::open(&dir);
+        assert_eq!(store.len(), 2, "valid prefix loads, torn record dropped");
+        assert!(store.telemetry().tail_truncated());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_and_garbage_cold_start() {
+        let dir = tmp_dir("skew");
+        let mut store = FrontierStore::open(&dir);
+        store.save(&sample());
+        let path = store.path().to_path_buf();
+        drop(store);
+        // Future format version: degrade to cold, never error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = wire::FORMAT_VERSION + 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = FrontierStore::open(&dir);
+        assert!(store.is_empty());
+        assert!(store.telemetry().recovered_cold());
+        drop(store);
+        std::fs::write(&path, b"garbage").unwrap();
+        let store = FrontierStore::open(&dir);
+        assert!(store.is_empty());
+        assert!(store.telemetry().recovered_cold());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_points_are_corruption_not_new_points() {
+        let dir = tmp_dir("unknown");
+        let mut e = Enc::new();
+        crate::modser::enc_vendor(&mut e, Vendor::Gcc);
+        e.vstr("asan.rs");
+        e.vstr("no_such_point");
+        let mut file = wire::header(TableKind::Frontier);
+        file.extend_from_slice(&wire::frame(&e.into_bytes()));
+        let _ = std::fs::create_dir_all(&dir);
+        std::fs::write(dir.join(FRONTIER_FILE), &file).unwrap();
+        let store = FrontierStore::open(&dir);
+        assert!(store.is_empty());
+        assert!(store
+            .telemetry()
+            .events()
+            .iter()
+            .any(|e| e.contains("unknown coverage point")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_codec_round_trips() {
+        let mut e = Enc::new();
+        enc_cov_delta(&mut e, &sample());
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = dec_cov_delta(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, sample());
+    }
+}

@@ -6,7 +6,7 @@
 //! deduplicated bugs — is a deterministic function of inputs that one
 //! invocation pays for and the next can reuse. This crate is the on-disk
 //! side of that bargain: a versioned, content-checksummed store directory
-//! with three tables.
+//! with these tables.
 //!
 //! | table | file | granularity | consumer |
 //! |---|---|---|---|
@@ -14,6 +14,7 @@
 //! | [`SanitizedStore`] | `sanitized.bin` | prefix key + `(sanitizer, registry epoch) → Module` | `CompileSession::with_backings` |
 //! | [`CampaignLog`] | `campaign.bin` | `(campaign fingerprint, unit index) → outcome` | `ParallelCampaign` resume |
 //! | [`BugCorpus`] | `corpus.bin` | attribution key → bug + provenance | campaign reporting |
+//! | [`FrontierStore`] | `frontier.bin` | covered `(vendor, file, point)` set | guided-generation steering |
 //!
 //! The prefix/sanitized module caches additionally track per-key hit
 //! recency and expose byte-budgeted compaction ([`CompactStats`]): the
@@ -43,6 +44,7 @@ use std::sync::{Mutex, MutexGuard};
 
 pub mod checkpoint;
 pub mod corpus;
+pub mod frontier;
 pub mod lease;
 pub mod modser;
 pub mod prefix;
@@ -51,6 +53,7 @@ pub mod wire;
 
 pub use checkpoint::{CampaignLog, UnitOutcome};
 pub use corpus::{BugCorpus, BugRecord, CorpusEntry, MergeSummary};
+pub use frontier::FrontierStore;
 pub use lease::{LeaseRecord, LeaseState, LeaseTable};
 pub use prefix::PrefixStore;
 pub use sanitized::SanitizedStore;
@@ -338,6 +341,11 @@ impl Store {
     pub fn leases(&self) -> LeaseTable {
         LeaseTable::open(&self.dir)
     }
+
+    /// Opens the coverage frontier table (guided-generation steering).
+    pub fn frontier(&self) -> FrontierStore {
+        FrontierStore::open(&self.dir)
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +362,7 @@ mod tests {
         assert_eq!(store.campaign_log(0, 0).path(), dir.join("campaign.bin"));
         assert_eq!(store.corpus().path(), dir.join("corpus.bin"));
         assert_eq!(store.leases().path(), dir.join("leases.bin"));
+        assert_eq!(store.frontier().path(), dir.join("frontier.bin"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

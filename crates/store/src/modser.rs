@@ -45,14 +45,14 @@ use ubfuzz_simvm::{CrashKind, ReportKind, RunResult, SanReport};
 
 // ---- small leaf types ----
 
-fn enc_vendor(e: &mut Enc, v: Vendor) {
+pub(crate) fn enc_vendor(e: &mut Enc, v: Vendor) {
     e.u8(match v {
         Vendor::Gcc => 0,
         Vendor::Llvm => 1,
     });
 }
 
-fn dec_vendor(d: &mut Dec<'_>) -> Result<Vendor, WireError> {
+pub(crate) fn dec_vendor(d: &mut Dec<'_>) -> Result<Vendor, WireError> {
     match d.u8()? {
         0 => Ok(Vendor::Gcc),
         1 => Ok(Vendor::Llvm),

@@ -39,6 +39,8 @@ pub enum TableKind {
     Lease,
     /// The persistent post-sanitize module cache.
     Sanitized,
+    /// The campaign coverage frontier (guided-generation feedback).
+    Frontier,
 }
 
 impl TableKind {
@@ -49,6 +51,7 @@ impl TableKind {
             TableKind::Corpus => 3,
             TableKind::Lease => 4,
             TableKind::Sanitized => 5,
+            TableKind::Frontier => 6,
         }
     }
 }

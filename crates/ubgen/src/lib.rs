@@ -130,12 +130,42 @@ pub fn generate_with_extensions(seed: &Program, opts: &GenOptions) -> Vec<UbProg
     generate_kinds(seed, &kinds, opts)
 }
 
+/// Algorithm 1 with an explicit per-kind emission budget — the seam
+/// coverage-guided campaigns use to concentrate candidates on UB kinds
+/// whose sanitizer coverage points the frontier has not reached.
+///
+/// Kinds appear in `budgets` order (callers pass the canonical
+/// [`UbKind::GENERATABLE`] order for determinism); a zero budget skips the
+/// kind entirely. With every budget equal to `opts.max_per_kind` the output
+/// is **identical** to [`generate_all`] — the uniform strategy stays the
+/// bit-identical reference.
+pub fn generate_budgeted(
+    seed: &Program,
+    budgets: &[(UbKind, usize)],
+    opts: &GenOptions,
+) -> Vec<UbProgram> {
+    generate_kinds_budgeted(seed, budgets, opts)
+}
+
 fn generate_kinds(seed: &Program, kinds: &[UbKind], opts: &GenOptions) -> Vec<UbProgram> {
+    let budgets: Vec<(UbKind, usize)> =
+        kinds.iter().map(|kind| (*kind, opts.max_per_kind)).collect();
+    generate_kinds_budgeted(seed, &budgets, opts)
+}
+
+fn generate_kinds_budgeted(
+    seed: &Program,
+    budgets: &[(UbKind, usize)],
+    opts: &GenOptions,
+) -> Vec<UbProgram> {
     let Ok(tmap) = typecheck(seed) else { return Vec::new() };
     let mut candidates = Vec::new();
-    for kind in kinds {
-        let mut matched = match_expressions(seed, *kind, &tmap);
-        matched.truncate(opts.max_per_kind * 3);
+    for &(kind, budget) in budgets {
+        if budget == 0 {
+            continue;
+        }
+        let mut matched = match_expressions(seed, kind, &tmap);
+        matched.truncate(budget * 3);
         candidates.extend(matched);
     }
     if candidates.is_empty() {
@@ -151,12 +181,14 @@ fn generate_kinds(seed: &Program, kinds: &[UbKind], opts: &GenOptions) -> Vec<Ub
     if !outcome.is_clean_exit() {
         return Vec::new(); // not a valid seed
     }
+    let budget_of: std::collections::HashMap<UbKind, usize> =
+        budgets.iter().copied().collect();
     let mut rng = StdRng::seed_from_u64(opts.rng_seed);
     let mut out: Vec<UbProgram> = Vec::new();
     let mut per_kind = std::collections::HashMap::new();
     for c in candidates {
         let count = per_kind.entry(c.kind).or_insert(0usize);
-        if *count >= opts.max_per_kind {
+        if *count >= budget_of.get(&c.kind).copied().unwrap_or(0) {
             continue;
         }
         if let Some(p) = synthesize(seed, &tmap, &profile, &c, &mut rng, opts) {
