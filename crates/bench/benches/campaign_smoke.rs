@@ -173,6 +173,30 @@ fn emit_bench_json() {
         "oracle trait dispatch regressed units/sec beyond noise: \
          {stacked_secs:.3}s stacked vs {nostore_secs:.3}s default"
     );
+    // Stage-time profile: the same campaign once more under a metrics
+    // sink. Telemetry is an observer — the profiled run must equal the
+    // unprofiled one (CampaignStats equality ignores telemetry fields).
+    let sink = std::sync::Arc::new(ubfuzz::obs::MetricsSink::new());
+    let profiled = CampaignConfig::builder()
+        .seeds(SEEDS)
+        .workers(4)
+        .recorder(sink.clone())
+        .build_runner()
+        .run();
+    assert_eq!(profiled, nostore, "metrics recorder must not change results");
+    let profile = sink.snapshot();
+    for stage in [
+        ubfuzz::obs::Stage::PrefixCompile,
+        ubfuzz::obs::Stage::Sanitize,
+        ubfuzz::obs::Stage::Run,
+        ubfuzz::obs::Stage::Oracle,
+    ] {
+        assert!(
+            profile.stages.contains_key(&stage),
+            "profiled campaign must sample the {} stage",
+            stage.name()
+        );
+    }
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"seeds\": {},", SEEDS);
@@ -205,7 +229,24 @@ fn emit_bench_json() {
     let _ = writeln!(json, "  \"store_bytes_after_compaction\": {store_after},");
     let _ = writeln!(json, "  \"bugs_per_unit_uniform\": {bugs_per_unit_uniform:.4},");
     let _ = writeln!(json, "  \"bugs_per_unit_guided\": {bugs_per_unit_guided:.4},");
-    let _ = writeln!(json, "  \"frontier_points_covered\": {}", cmp.guided.frontier_points);
+    let _ = writeln!(json, "  \"frontier_points_covered\": {},", cmp.guided.frontier_points);
+    let _ = writeln!(
+        json,
+        "  \"stage_secs_compile\": {:.6},",
+        profile.stage_secs(ubfuzz::obs::Stage::PrefixCompile)
+    );
+    let _ = writeln!(
+        json,
+        "  \"stage_secs_sanitize\": {:.6},",
+        profile.stage_secs(ubfuzz::obs::Stage::Sanitize)
+    );
+    let _ =
+        writeln!(json, "  \"stage_secs_run\": {:.6},", profile.stage_secs(ubfuzz::obs::Stage::Run));
+    let _ = writeln!(
+        json,
+        "  \"stage_secs_oracle\": {:.6}",
+        profile.stage_secs(ubfuzz::obs::Stage::Oracle)
+    );
     json.push_str("}\n");
     // cargo runs bench binaries with cwd = the package dir; anchor the
     // artifact at the workspace root where CI picks it up.

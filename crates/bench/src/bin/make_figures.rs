@@ -6,15 +6,16 @@
 //! test case across stable versions and levels, which re-hits the prefixes
 //! the campaign cached. The shared `--store DIR` / `--resume` /
 //! `--store-budget BYTES` persistence flags (see `ubfuzz_bench` and
-//! `make_tables`) apply here too.
+//! `make_tables`) apply here too, as does `--trace-out FILE` (JSONL event
+//! stream; an observer — figure bytes do not change).
 
 use std::sync::Arc;
 use ubfuzz::backend::CompilerBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
 use ubfuzz_bench::{
-    arg_value, compact_backend_stores, report_store_telemetry, run_stored_campaign,
-    shared_backend, store_args, strategy_arg,
+    arg_str, arg_value, compact_backend_stores, install_recorders, report_store_telemetry,
+    run_stored_campaign, shared_backend, store_args, strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -24,6 +25,8 @@ fn main() {
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_figures");
     let strategy = strategy_arg(&args, "make_figures");
+    let trace_out = arg_str(&args, "--trace-out");
+    install_recorders(trace_out.as_deref(), None, "make_figures");
     let registry = DefectRegistry::full();
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();

@@ -1,8 +1,14 @@
-//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6|7 [--seeds N]`.
-//! `--table 0` prints all of them plus the §4.4 oracle statistics.
+//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6|7|8 [--seeds N]`.
+//! `--table 0` prints all byte-stable tables plus the §4.4 oracle statistics.
 //! Table 7 is this repo's extension table: the guided-vs-uniform strategy
 //! comparison (warm-up campaign persists a coverage frontier, then the same
 //! evaluation seeds run under both strategies — see `ubfuzz-guide`).
+//! Table 8 is the per-stage latency breakdown of the standard campaign
+//! (wall-clock numbers, so it is excluded from `--table 0` and from the
+//! CI stdout diffs).
+//! `--trace-out FILE` streams every pipeline event (spans, counters,
+//! store notes) as JSONL to `FILE` — an observer that changes no campaign
+//! output byte.
 //! `--strategy uniform|guided` selects the generation strategy of the
 //! campaign behind Tables 3/6 (guided only differs once `--store --resume`
 //! gives it a warm frontier to plan against).
@@ -32,10 +38,12 @@
 use std::sync::Arc;
 use ubfuzz::backend::CompilerBackend;
 use ubfuzz::campaign::CampaignConfig;
+use ubfuzz::obs::MetricsSink;
 use ubfuzz::report;
 use ubfuzz_bench::{
-    arg_value, compact_backend_stores, compare_strategies, report_frontier_telemetry,
-    report_store_telemetry, run_stored_campaign, shared_backend, store_args, strategy_arg,
+    arg_str, arg_value, compact_backend_stores, compare_strategies, install_recorders,
+    render_stage_breakdown, report_frontier_telemetry, report_store_telemetry,
+    run_stored_campaign, shared_backend, store_args, strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -45,6 +53,12 @@ fn main() {
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_tables");
     let strategy = strategy_arg(&args, "make_tables");
+    // `--trace-out FILE` streams every pipeline event as JSONL; table 8
+    // additionally aggregates into per-stage histograms. Both observe via
+    // the process-wide recorder — campaign output bytes do not change.
+    let trace_out = arg_str(&args, "--trace-out");
+    let sink = (table == 8).then(|| Arc::new(MetricsSink::new()));
+    install_recorders(trace_out.as_deref(), sink.as_ref(), "make_tables");
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
     let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy);
@@ -54,7 +68,7 @@ fn main() {
         // backend, so fall through to the telemetry tail below.
         print!("{}", report::oracle_ablation_with(Arc::clone(&backend_dyn), seeds));
     } else {
-        run_tables(table, seeds, &backend, &campaign);
+        run_tables(table, seeds, &backend, &campaign, sink.as_deref());
     }
     // Cache/store telemetry goes to stderr so stdout stays byte-comparable
     // between invocations (the CI persistence job diffs it).
@@ -88,6 +102,7 @@ fn run_tables(
     seeds: usize,
     backend: &Arc<ubfuzz::SimBackend>,
     campaign: &dyn Fn() -> ubfuzz::CampaignStats,
+    sink: Option<&MetricsSink>,
 ) {
     match table {
         2 => print!("{}", report::table2()),
@@ -100,6 +115,13 @@ fn run_tables(
         5 => print!("{}", report::coverage_experiment_with(backend.as_ref(), seeds.min(20))),
         6 => print!("{}", report::table6(&campaign())),
         7 => print!("{}", table7(seeds)),
+        8 => {
+            // Stage-time breakdown of the standard campaign: run it under
+            // the aggregating sink main installed, then render what it saw.
+            let _ = campaign();
+            let sink = sink.expect("main installs a metrics sink for table 8");
+            print!("{}", render_stage_breakdown(&sink.snapshot()));
+        }
         _ => {
             print!("{}", report::table2());
             let stats = campaign();

@@ -10,10 +10,30 @@
 //!
 //! Flag misuse exits with status 2, exactly like the two benchmark
 //! binaries; a well-formed invocation prints the shared `[store] compact:`
-//! accounting on stderr and exits 0.
+//! accounting on stderr and exits 0. Corruption found while opening
+//! (truncated torn tails, cold rebuilds) is reported as `[store] event: …`
+//! lines: the stores mirror every telemetry event through the attached
+//! recorder, so a read-only consumer like this one no longer drops them
+//! on the floor.
 
+use std::sync::Arc;
+use ubfuzz::obs::{self, event_line, Event, Recorder};
 use ubfuzz::store::{PrefixStore, SanitizedStore};
 use ubfuzz_bench::{compact_stores, report_compaction, store_args};
+
+/// Prints every store note as a `[store] event: …` stderr line the moment
+/// it is recorded — the compactor never renders `telemetry().events()`
+/// itself, so without this recorder open-time corruption was invisible.
+#[derive(Debug)]
+struct StderrEvents;
+
+impl Recorder for StderrEvents {
+    fn record(&self, event: &Event<'_>) {
+        if let Event::Note { topic, text } = event {
+            eprintln!("{}", event_line(topic, text));
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +42,7 @@ fn main() {
         eprintln!("store_compact: requires --store DIR and --store-budget BYTES");
         std::process::exit(2);
     };
+    let _obs = obs::attach(Arc::new(StderrEvents));
     let prefix = PrefixStore::open_budgeted(dir, 0);
     let sanitized = SanitizedStore::open_budgeted(dir, 0);
     let (ps, ss) = compact_stores(&prefix, &sanitized, budget);

@@ -1,0 +1,172 @@
+//! Validates a `--trace-out` JSONL event stream: `trace_check FILE`.
+//!
+//! Every line must be one flat JSON object in the documented trace schema
+//! (see `ubfuzz-obs`):
+//!
+//! ```text
+//! {"type":"span","stage":"run","unit":12,"nanos":48211}
+//! {"type":"count","name":"prefix_hits","delta":1}
+//! {"type":"note","topic":"store","text":"prefix.bin: truncated torn tail"}
+//! ```
+//!
+//! Checked per line: the object parses (flat string/number fields, JSON
+//! string escapes), `type` is one of the three event shapes, every field
+//! of that shape is present with the right kind, no extra fields, and a
+//! span's `stage` is a name `ubfuzz-obs` actually emits. Exit 0 with a
+//! `trace_check: N events ok …` summary, exit 1 naming the first bad line,
+//! exit 2 on usage/IO errors. The CI metrics job runs it over the
+//! `make_tables --trace-out` stream.
+
+use std::collections::BTreeMap;
+use ubfuzz::obs::Stage;
+
+/// A flat JSON value: the trace schema never nests.
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Num(u64),
+}
+
+/// Parses one flat JSON object (`{"k":"v","n":12}`). `Err` is the reason.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut fields = BTreeMap::new();
+    let mut chars = line.trim().chars().peekable();
+    let expect = |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| {
+        match chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    };
+    let parse_string = |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape \\u{hex}"))?;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    };
+    expect(&mut chars, '{')?;
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            let key = parse_string(&mut chars)?;
+            expect(&mut chars, ':')?;
+            let value = match chars.peek() {
+                Some('"') => Value::Str(parse_string(&mut chars)?),
+                Some(c) if c.is_ascii_digit() => {
+                    let mut digits = String::new();
+                    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        digits.push(chars.next().unwrap());
+                    }
+                    Value::Num(digits.parse().map_err(|_| format!("bad number {digits}"))?)
+                }
+                other => return Err(format!("expected value, found {other:?}")),
+            };
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate field {key:?}"));
+            }
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected , or }}, found {other:?}")),
+            }
+        }
+    }
+    match chars.next() {
+        None => Ok(fields),
+        Some(c) => Err(format!("trailing {c:?} after object")),
+    }
+}
+
+/// Validates one event object against its `type` shape; returns the type.
+fn check_event(fields: &BTreeMap<String, Value>) -> Result<&'static str, String> {
+    let str_field = |name: &str| match fields.get(name) {
+        Some(Value::Str(s)) => Ok(s.as_str()),
+        Some(Value::Num(_)) => Err(format!("{name} must be a string")),
+        None => Err(format!("missing field {name}")),
+    };
+    let num_field = |name: &str| match fields.get(name) {
+        Some(Value::Num(_)) => Ok(()),
+        Some(Value::Str(_)) => Err(format!("{name} must be a number")),
+        None => Err(format!("missing field {name}")),
+    };
+    let (kind, expected): (&'static str, &[&str]) = match str_field("type")? {
+        "span" => {
+            let stage = str_field("stage")?;
+            if Stage::from_name(stage).is_none() {
+                return Err(format!("unknown stage {stage:?}"));
+            }
+            num_field("unit")?;
+            num_field("nanos")?;
+            ("span", &["type", "stage", "unit", "nanos"])
+        }
+        "count" => {
+            str_field("name")?;
+            num_field("delta")?;
+            ("count", &["type", "name", "delta"])
+        }
+        "note" => {
+            str_field("topic")?;
+            str_field("text")?;
+            ("note", &["type", "topic", "text"])
+        }
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    for key in fields.keys() {
+        if !expected.contains(&key.as_str()) {
+            return Err(format!("unexpected field {key:?} on a {kind} event"));
+        }
+    }
+    Ok(kind)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_check FILE");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (mut spans, mut counts, mut notes) = (0u64, 0u64, 0u64);
+    for (i, line) in text.lines().enumerate() {
+        let checked = parse_object(line).and_then(|fields| check_event(&fields).map(str::to_owned));
+        match checked.as_deref() {
+            Ok("span") => spans += 1,
+            Ok("count") => counts += 1,
+            Ok("note") => notes += 1,
+            Ok(_) => unreachable!("check_event returns the three event kinds"),
+            Err(reason) => {
+                eprintln!("trace_check: {path}:{}: {reason}: {line}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "trace_check: {} events ok (spans={spans} counts={counts} notes={notes})",
+        spans + counts + notes
+    );
+}

@@ -16,6 +16,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use ubfuzz::backend::{CompilerBackend, SimBackend};
 use ubfuzz::campaign::{CampaignConfig, CampaignStats};
+use ubfuzz::obs::{
+    self, event_line, Fanout, Line, MetricsSink, MetricsSnapshot, Recorder, Stage, TraceRecorder,
+};
 use ubfuzz::{persist, store, Strategy};
 
 /// Parses `--flag value` style arguments with a default.
@@ -25,6 +28,74 @@ pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses a `--flag value` string argument (`None` when absent or when the
+/// value slot holds another flag).
+pub fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+/// Installs the process-wide recorder both binaries share: a JSONL
+/// [`TraceRecorder`] when `--trace-out FILE` was given, a [`MetricsSink`]
+/// when the caller wants aggregation (table 8, `campaign_smoke`), fanned
+/// out when both are wanted. The global default reaches executor worker
+/// threads without touching the campaign config, and tracing is an
+/// observer — stdout stays byte-identical to an uninstrumented run.
+/// Exits 2 when the trace file cannot be created (same misuse contract as
+/// the persistence flags).
+pub fn install_recorders(trace_out: Option<&str>, sink: Option<&Arc<MetricsSink>>, binary: &str) {
+    let mut recorders: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(path) = trace_out {
+        match TraceRecorder::create(Path::new(path)) {
+            Ok(trace) => recorders.push(Arc::new(trace)),
+            Err(e) => {
+                eprintln!("{binary}: --trace-out {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(sink) = sink {
+        recorders.push(Arc::clone(sink) as Arc<dyn Recorder>);
+    }
+    match recorders.len() {
+        0 => {}
+        1 => {
+            obs::set_global(recorders.remove(0));
+        }
+        _ => {
+            obs::set_global(Arc::new(Fanout(recorders)));
+        }
+    }
+}
+
+/// Renders the `make_tables --table 8` per-stage latency breakdown from an
+/// aggregated snapshot. Stages render in canonical order; the numbers are
+/// wall-clock, so this is the one table that is NOT byte-stable across
+/// invocations (the persistence job never diffs it).
+pub fn render_stage_breakdown(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("Table 8: per-stage latency breakdown\n");
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>12} {:>12} {:>12} {:>10}\n",
+        "stage", "count", "p50_ns", "p95_ns", "max_ns", "total_s"
+    ));
+    for stage in Stage::ALL {
+        let Some(h) = snap.stages.get(&stage) else { continue };
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>12} {:>12} {:>12} {:>10.4}\n",
+            stage.name(),
+            h.count,
+            h.p50(),
+            h.p95(),
+            h.max_ns,
+            h.sum_ns as f64 / 1e9
+        ));
+    }
+    out
 }
 
 /// The persistence flags both binaries share.
@@ -128,13 +199,29 @@ pub fn run_stored_campaign(
         let mut corpus = store::BugCorpus::open(dir);
         let merge = persist::merge_bugs(&mut corpus, &stats);
         eprintln!(
-            "[store] corpus: total={} new={} known={}",
-            corpus.len(),
-            merge.new,
-            merge.known
+            "{}",
+            Line::new("store", "corpus")
+                .field("total", corpus.len())
+                .field("new", merge.new)
+                .field("known", merge.known)
+                .render()
         );
     }
     stats
+}
+
+/// One compile-cache table's telemetry line (`[store] prefix: …` /
+/// `[store] sanitized: …` share the shape exactly, so they share the
+/// builder chain).
+fn cache_table_line(topic: &str, t: &store::StoreTelemetry, hits: u64, misses: u64) -> String {
+    Line::new("store", topic)
+        .field("loaded", t.loaded())
+        .field("persisted", t.persisted())
+        .field("hits", hits)
+        .field("misses", misses)
+        .field("cold", t.recovered_cold())
+        .field("truncated", t.tail_truncated())
+        .render()
 }
 
 /// Prints the store-backed compile-cache telemetry lines (stderr, stable
@@ -144,37 +231,23 @@ pub fn report_store_telemetry(backend: &SimBackend) {
     let Some(prefix) = backend.prefix_store() else { return };
     let cache = backend.session().stats();
     let t = prefix.telemetry();
-    eprintln!(
-        "[store] prefix: loaded={} persisted={} hits={} misses={} cold={} truncated={}",
-        t.loaded(),
-        t.persisted(),
-        cache.hits,
-        cache.misses,
-        t.recovered_cold(),
-        t.tail_truncated()
-    );
+    eprintln!("{}", cache_table_line("prefix", t, cache.hits, cache.misses));
     for event in t.events() {
-        eprintln!("[store] event: {event}");
+        eprintln!("{}", event_line("store", &event));
     }
     let Some(sanitized) = backend.sanitized_store() else { return };
     let st = sanitized.telemetry();
-    eprintln!(
-        "[store] sanitized: loaded={} persisted={} hits={} misses={} cold={} truncated={}",
-        st.loaded(),
-        st.persisted(),
-        cache.san_hits,
-        cache.san_misses,
-        st.recovered_cold(),
-        st.tail_truncated()
-    );
+    eprintln!("{}", cache_table_line("sanitized", st, cache.san_hits, cache.san_misses));
     for event in st.events() {
-        eprintln!("[store] event: {event}");
+        eprintln!("{}", event_line("store", &event));
     }
     eprintln!(
-        "[store] size: prefix={} sanitized={} total={}",
-        prefix.size_bytes(),
-        sanitized.size_bytes(),
-        prefix.size_bytes() + sanitized.size_bytes()
+        "{}",
+        Line::new("store", "size")
+            .field("prefix", prefix.size_bytes())
+            .field("sanitized", sanitized.size_bytes())
+            .field("total", prefix.size_bytes() + sanitized.size_bytes())
+            .render()
     );
 }
 
@@ -186,13 +259,15 @@ pub fn report_frontier_telemetry(store_args: &StoreArgs) {
     let frontier = store::FrontierStore::open(dir);
     let t = frontier.telemetry();
     eprintln!(
-        "[store] frontier: points={} cold={} truncated={}",
-        frontier.len(),
-        t.recovered_cold(),
-        t.tail_truncated()
+        "{}",
+        Line::new("store", "frontier")
+            .field("points", frontier.len())
+            .field("cold", t.recovered_cold())
+            .field("truncated", t.tail_truncated())
+            .render()
     );
     for event in t.events() {
-        eprintln!("[store] event: {event}");
+        eprintln!("{}", event_line("store", &event));
     }
 }
 
@@ -310,8 +385,14 @@ pub fn compact_backend_stores(backend: &SimBackend, store_args: &StoreArgs) {
 pub fn report_compaction(prefix: &store::CompactStats, sanitized: &store::CompactStats) {
     for (table, s) in [("prefix", prefix), ("sanitized", sanitized)] {
         eprintln!(
-            "[store] compact: {table} before={} after={} kept={} evicted={}",
-            s.before_bytes, s.after_bytes, s.kept, s.evicted
+            "{}",
+            Line::new("store", "compact")
+                .text(table)
+                .field("before", s.before_bytes)
+                .field("after", s.after_bytes)
+                .field("kept", s.kept)
+                .field("evicted", s.evicted)
+                .render()
         );
     }
 }
@@ -327,5 +408,38 @@ mod tests {
         assert_eq!(arg_value(&args, "--seeds", 5), 42);
         assert_eq!(arg_value(&args, "--table", 0), 3);
         assert_eq!(arg_value(&args, "--missing", 7), 7);
+    }
+
+    /// The `[store] …` stderr lines are a CI interface: the persistence and
+    /// guided jobs grep them. Unifying the emitters behind [`Line`] must
+    /// not move a byte.
+    #[test]
+    fn telemetry_lines_keep_the_ci_grep_format() {
+        assert_eq!(
+            Line::new("store", "corpus")
+                .field("total", 3)
+                .field("new", 0)
+                .field("known", 3)
+                .render(),
+            "[store] corpus: total=3 new=0 known=3"
+        );
+        assert_eq!(
+            Line::new("store", "compact")
+                .text("prefix")
+                .field("before", 10)
+                .field("after", 5)
+                .field("kept", 1)
+                .field("evicted", 2)
+                .render(),
+            "[store] compact: prefix before=10 after=5 kept=1 evicted=2"
+        );
+        assert_eq!(
+            cache_table_line("prefix", &store::StoreTelemetry::default(), 4, 0),
+            "[store] prefix: loaded=0 persisted=0 hits=4 misses=0 cold=false truncated=false"
+        );
+        assert_eq!(
+            event_line("store", "prefix.bin: truncated torn tail"),
+            "[store] event: prefix.bin: truncated torn tail"
+        );
     }
 }

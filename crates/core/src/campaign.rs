@@ -15,6 +15,7 @@ use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::session::{ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_simcc::{san, Module, Sanitizer};
+use ubfuzz_obs::{self as obs, Stage};
 use ubfuzz_ubgen::{GenOptions, UbProgram};
 
 /// Which generator feeds the campaign (the §4.3 comparison).
@@ -74,6 +75,13 @@ pub struct CampaignConfig {
     /// ([`OracleStack::standard`]); ablations select a different stack
     /// ([`OracleStack::naive`]) instead of forking campaign code.
     pub oracle: Option<Arc<dyn CrashOracle>>,
+    /// Observability recorder receiving the campaign's stage spans and
+    /// counters (a [`ubfuzz_obs::MetricsSink`], a
+    /// [`ubfuzz_obs::TraceRecorder`], …). `None` (the default) leaves every
+    /// probe inert. Pure telemetry: excluded from the campaign fingerprint
+    /// (see `persist::config_fingerprint`'s explicit field list) and from
+    /// result equality — an attached recorder changes no output byte.
+    pub recorder: Option<Arc<dyn obs::Recorder>>,
 }
 
 impl Default for CampaignConfig {
@@ -89,6 +97,7 @@ impl Default for CampaignConfig {
             reduce: false,
             backend: None,
             oracle: None,
+            recorder: None,
         }
     }
 }
@@ -253,6 +262,13 @@ impl CampaignConfigBuilder {
     /// stack, [`OracleStack::standard`]).
     pub fn oracle(mut self, oracle: Arc<dyn CrashOracle>) -> Self {
         self.cfg.oracle = Some(oracle);
+        self
+    }
+
+    /// Observability recorder for the campaign's stage spans and counters
+    /// (pure telemetry — never affects results, fingerprints or equality).
+    pub fn recorder(mut self, recorder: Arc<dyn obs::Recorder>) -> Self {
+        self.cfg.recorder = Some(recorder);
         self
     }
 
@@ -435,6 +451,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignStats {
 /// cold frontier — exactly what a parallel guided run over a fresh (or
 /// absent) store does, preserving the sequential≡parallel property.
 pub fn run_campaign_on(backend: &dyn CompilerBackend, cfg: &CampaignConfig) -> CampaignStats {
+    let _obs = cfg.recorder.clone().map(obs::attach);
     let toolchains = backend.toolchains();
     let oracle = cfg.resolve_oracle();
     let ctx = CampaignCtx { cfg, backend, oracle: oracle.as_ref() };
@@ -533,6 +550,14 @@ impl ParallelCampaign {
         self
     }
 
+    /// Attaches an observability recorder for the run's stage spans and
+    /// counters (see [`CampaignConfig::recorder`]). Telemetry only: a
+    /// recorded run's results are byte-identical to an unrecorded one.
+    pub fn with_recorder(mut self, recorder: Arc<dyn obs::Recorder>) -> ParallelCampaign {
+        self.config.recorder = Some(recorder);
+        self
+    }
+
     /// Checkpoints every completed compile unit into the store directory
     /// `dir` (file `campaign.bin`), and resumes from any compatible log
     /// already there.
@@ -623,6 +648,7 @@ pub(crate) fn generate_programs(
     seed_id: u64,
     guidance: Option<&GuidePlan>,
 ) -> Vec<UbProgram> {
+    let _span = obs::Span::enter(Stage::Generate, seed_id);
     match cfg.generator {
         GeneratorChoice::Ubfuzz => {
             let seed = generate_seed(seed_id, &cfg.seed_options);
@@ -716,7 +742,8 @@ pub(crate) fn compile_cell(
     let (cell, delta) = cov::capture(|| {
         let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry };
         let artifact = backend.compile(fp, program, &req).ok()?;
-        let result = backend.execute(&artifact, &RunRequest::default());
+        let result =
+            obs::time(Stage::Run, 0, || backend.execute(&artifact, &RunRequest::default()));
         Some((artifact, result))
     });
     match cell {
@@ -772,6 +799,7 @@ pub(crate) fn oracle_one(
     stats: &mut CampaignStats,
     bug_index: &mut BTreeMap<String, usize>,
 ) {
+    let _span = obs::Span::enter(Stage::Oracle, 0);
     let verdicts = ctx.oracle.judge(
         ctx.backend,
         OracleInput { sanitizer, ub_kind: u.kind, ub_loc: u.ub_loc },

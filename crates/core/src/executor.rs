@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ubfuzz_backend::{Artifact, CompilerBackend, RunOutcome};
 use ubfuzz_exec::Executor;
 use ubfuzz_guide::{Frontier, GuidePlan};
+use ubfuzz_obs::{self as obs, Stage};
 use ubfuzz_simcc::cov::CovDelta;
 use ubfuzz_simcc::session::ProgramFingerprint;
 use ubfuzz_simcc::target::{CompilerId, OptLevel};
@@ -126,7 +127,12 @@ fn build_plan(
     // Stage 1: per-seed generation, results in canonical seed order (each
     // seed id derives its own RNG stream, so scheduling cannot perturb it).
     let seed_ids: Vec<u64> = (cfg.first_seed..cfg.first_seed + cfg.seeds as u64).collect();
-    let per_seed = exec.map(seed_ids, |_, seed_id| generate_programs(cfg, seed_id, guidance));
+    let per_seed = exec.map(seed_ids, |_, seed_id| {
+        // Executor worker threads carry no recorder of their own; each task
+        // scopes the campaign's recorder so generation spans land in it.
+        let _obs = cfg.recorder.clone().map(obs::attach);
+        generate_programs(cfg, seed_id, guidance)
+    });
     let programs: Vec<UbProgram> = per_seed.into_iter().flatten().collect();
     let fingerprints: Vec<_> =
         programs.iter().map(|u| backend.fingerprint(&u.program)).collect();
@@ -202,6 +208,7 @@ pub fn run_unit_range(
     shard: u64,
     range: std::ops::Range<usize>,
 ) -> RangeStats {
+    let _obs = cfg.recorder.clone().map(obs::attach);
     let exec = Executor::new(workers);
     let backend = cfg.resolve_backend(cache);
     let backend = backend.as_ref();
@@ -213,6 +220,7 @@ pub fn run_unit_range(
     let plan = &plan;
     let log = &log;
     let outcomes = exec.map(indices, |_, i| {
+        let _obs = cfg.recorder.clone().map(obs::attach);
         if log.has_replay(i) {
             return false;
         }
@@ -265,6 +273,10 @@ pub fn run_unit_campaign_checkpointed(
     store_dir: Option<&Path>,
     unit_budget: Option<u64>,
 ) -> Result<CampaignStats, CampaignInterrupted> {
+    // Scope the campaign's recorder to this (consumer) thread for the whole
+    // run: store opens, replay spans and oracle spans all land in it. Unit
+    // tasks re-attach per task — worker threads are executor-internal.
+    let _obs = cfg.recorder.clone().map(obs::attach);
     let exec = Executor::new(workers);
     let backend = cfg.resolve_backend(cache);
     let backend = backend.as_ref();
@@ -320,31 +332,37 @@ pub fn run_unit_campaign_checkpointed(
         units,
         window,
         |i, unit| {
+            let _obs = cfg.recorder.clone().map(obs::attach);
             // Replay beats recompute: a prior invocation already paid for
             // this unit. `take_replay` moves the outcome out of the log, so
             // replayed modules live only as long as their trip through the
             // bounded stream — resume memory stays O(window).
             if let Some(log) = &log {
-                match log.take_replay(i) {
-                    Some(UnitOutcome::Unsupported) => {
-                        return UnitResult::Cell(
-                            unit.compiler,
-                            unit.opt,
-                            None,
-                            true,
-                            CovDelta::new(),
-                        )
+                // Only an actual replay opens a `Replay` span — units with
+                // nothing logged fall through to the compute path unspanned.
+                if log.has_replay(i) {
+                    let _replay = obs::Span::enter(Stage::Replay, i as u64);
+                    match log.take_replay(i) {
+                        Some(UnitOutcome::Unsupported) => {
+                            return UnitResult::Cell(
+                                unit.compiler,
+                                unit.opt,
+                                None,
+                                true,
+                                CovDelta::new(),
+                            )
+                        }
+                        Some(UnitOutcome::Done(module, result, delta)) => {
+                            return UnitResult::Cell(
+                                unit.compiler,
+                                unit.opt,
+                                Some((Artifact::Sim(module), result)),
+                                true,
+                                delta,
+                            )
+                        }
+                        None => {}
                     }
-                    Some(UnitOutcome::Done(module, result, delta)) => {
-                        return UnitResult::Cell(
-                            unit.compiler,
-                            unit.opt,
-                            Some((Artifact::Sim(module), result)),
-                            true,
-                            delta,
-                        )
-                    }
-                    None => {}
                 }
             }
             // Claim budget *before* computing, so a "kill" stops work.

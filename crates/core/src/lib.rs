@@ -40,6 +40,7 @@ pub use ubfuzz_simcc::session::SessionStats;
 
 pub use ubfuzz_backend as backend;
 pub use ubfuzz_guide as guide;
+pub use ubfuzz_obs as obs;
 pub use ubfuzz_store as store;
 pub use ubfuzz_baselines as baselines;
 pub use ubfuzz_interp as interp;

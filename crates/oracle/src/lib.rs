@@ -459,6 +459,7 @@ pub fn trace_artifact(
     artifact: &Artifact,
     req: &RunRequest,
 ) -> Result<SiteTrace, DropReason> {
+    let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::Trace, 0);
     if let Some(m) = artifact.module() {
         let (_, trace) = ubfuzz_simvm::run_with_config(
             m,

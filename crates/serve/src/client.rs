@@ -56,6 +56,11 @@ pub fn status(socket: &Path) -> std::io::Result<String> {
     checked(request(socket, "STATUS")?)
 }
 
+/// The `METRICS` payload (per-campaign/per-stage latency lines).
+pub fn metrics(socket: &Path) -> std::io::Result<String> {
+    checked(request(socket, "METRICS")?)
+}
+
 /// The merged report of campaign `id` — raw bytes, byte-identical to the
 /// single-process rendering.
 pub fn report(socket: &Path, id: u64) -> std::io::Result<String> {

@@ -38,6 +38,7 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use ubfuzz::backend::SimBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::plan_campaign;
+use ubfuzz::obs::{self, MetricsSnapshot, Stage};
 use ubfuzz::store::{BugCorpus, CampaignLog, FrontierStore, LeaseRecord, LeaseState, LeaseTable};
 use ubfuzz::Strategy;
 use ubfuzz::{persist, report};
@@ -140,6 +141,11 @@ struct CampaignView {
     frontier: usize,
     report: Option<String>,
     leases: Vec<LeaseView>,
+    /// Per-stage latency histograms and counters: the scheduler thread's
+    /// own sink (lease lifecycle + merge) folded with every worker
+    /// receipt, in lease-completion order (histogram merge is commutative,
+    /// so the fold order cannot change the numbers).
+    metrics: MetricsSnapshot,
 }
 
 #[derive(Debug, Default)]
@@ -147,6 +153,15 @@ struct State {
     queue: VecDeque<u64>,
     campaigns: Vec<CampaignView>,
     shutdown: bool,
+    /// Unix-seconds timestamp of daemon start (`uptime_secs=` on `STATUS`).
+    started_unix: u64,
+    /// Lifetime lease counters across all campaigns, for the `STATUS`
+    /// daemon line: issued = spawned under a lease, reclaimed = range
+    /// re-issued after death/expiry, units_merged = units folded into
+    /// finished reports.
+    leases_issued: u64,
+    leases_reclaimed: u64,
+    units_merged: u64,
 }
 
 type Shared = Arc<Mutex<State>>;
@@ -175,6 +190,7 @@ pub fn run_daemon(config: DaemonConfig) -> std::io::Result<()> {
     let listener = UnixListener::bind(&config.socket)?;
     let config = Arc::new(config);
     let shared: Shared = Arc::new(Mutex::new(State::default()));
+    relock(&shared).started_unix = unix_now();
 
     let scheduler = {
         let config = Arc::clone(&config);
@@ -230,12 +246,14 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
                     frontier: 0,
                     report: None,
                     leases: Vec::new(),
+                    metrics: MetricsSnapshot::default(),
                 });
                 st.queue.push_back(id);
                 format!("ok id={id}\n")
             }
         }
         Ok(Request::Status) => render_status(&relock(shared)),
+        Ok(Request::Metrics) => render_metrics(&relock(shared)),
         Ok(Request::Report { id }) => {
             let st = relock(shared);
             match st.campaigns.iter().find(|c| c.id == id) {
@@ -271,10 +289,15 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
 fn render_status(st: &State) -> String {
     let mut out = String::from("ok\n");
     out.push_str(&format!(
-        "daemon pid={} queue={} campaigns={}\n",
+        "daemon pid={} queue={} campaigns={} uptime_secs={} leases_issued={} \
+         leases_reclaimed={} units_merged={}\n",
         std::process::id(),
         st.queue.len(),
-        st.campaigns.len()
+        st.campaigns.len(),
+        unix_now().saturating_sub(st.started_unix),
+        st.leases_issued,
+        st.leases_reclaimed,
+        st.units_merged
     ));
     for c in &st.campaigns {
         out.push_str(&format!(
@@ -297,6 +320,40 @@ fn render_status(st: &State) -> String {
                 "lease id={} campaign={} start={} end={} pid={} state={}\n",
                 l.id, c.id, l.start, l.end, l.pid, l.state
             ));
+        }
+    }
+    out
+}
+
+/// The machine-readable `METRICS` payload: one header line per campaign
+/// (frontier growth across the run), then one line per stage with
+/// bucket-resolution quantiles, then one line per counter (cache reuse,
+/// store telemetry). Stages and counters render in canonical order, so
+/// two daemons that folded the same samples answer byte-identically.
+fn render_metrics(st: &State) -> String {
+    let mut out = String::from("ok\n");
+    for c in &st.campaigns {
+        out.push_str(&format!(
+            "metrics campaign={} state={} units={} frontier={}\n",
+            c.id,
+            c.phase.name(),
+            c.units,
+            c.frontier
+        ));
+        for (stage, h) in &c.metrics.stages {
+            out.push_str(&format!(
+                "metrics campaign={} stage={} count={} p50_ns={} p95_ns={} max_ns={} sum_ns={}\n",
+                c.id,
+                stage.name(),
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.max_ns,
+                h.sum_ns
+            ));
+        }
+        for (name, value) in &c.metrics.counters {
+            out.push_str(&format!("metrics campaign={} counter={name} value={value}\n", c.id));
         }
     }
     out
@@ -327,6 +384,12 @@ struct Worker {
 
 /// Runs one campaign end to end: carve, spawn, reclaim, merge.
 fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
+    // The scheduler thread's own sink: lease lifecycle spans, store opens
+    // and the merge replay land here; per-stage compile/run samples arrive
+    // via worker receipts and are folded in as leases complete.
+    let sink = Arc::new(obs::MetricsSink::new());
+    let _obs = obs::attach(sink.clone());
+    let mut worker_metrics = MetricsSnapshot::default();
     let (seeds, first_seed, workers, strategy) = {
         let mut st = relock(shared);
         let c = campaign_mut(&mut st, id);
@@ -380,10 +443,12 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
         }
         if failed {
             for w in &mut active {
+                let _reclaim = obs::Span::enter(Stage::LeaseReclaim, w.lease_id);
                 let _ = w.child.kill();
                 let _ = w.child.wait();
                 ledger.fail(w.lease_id);
                 table.set_state(w.lease_id, LeaseState::Reclaimed);
+                relock(shared).leases_reclaimed += 1;
             }
             active.clear();
             break;
@@ -393,6 +458,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
         while active.len() < workers {
             let now = unix_now();
             let Some(lease) = ledger.claim(0, now, config.ttl_secs) else { break };
+            let _issue = obs::Span::enter(Stage::LeaseIssue, lease.id);
             match spawn_worker(config, seeds, first_seed, strategy, lease.id, &lease.range) {
                 Ok(child) => {
                     table.upsert(LeaseRecord {
@@ -406,11 +472,13 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
                         state: LeaseState::Active,
                     });
                     active.push(Worker { lease_id: lease.id, child });
+                    relock(shared).leases_issued += 1;
                 }
                 Err(e) => {
                     eprintln!("[serve] campaign {id}: worker spawn failed: {e}");
                     ledger.fail(lease.id);
                     reissued += 1;
+                    relock(shared).leases_reclaimed += 1;
                 }
             }
         }
@@ -422,6 +490,10 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
         std::thread::sleep(Duration::from_millis(20));
         let now = unix_now();
         let expired = ledger.expired(now);
+        // One heartbeat span per liveness sweep over live workers: its
+        // histogram is how long the daemon spends probing children, its
+        // count is the number of scheduling ticks the campaign took.
+        let _heartbeat = (!active.is_empty()).then(|| obs::Span::enter(Stage::LeaseHeartbeat, 0));
         let mut i = 0;
         while i < active.len() {
             let lease_id = active[i].lease_id;
@@ -442,6 +514,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
                         let (c, r) = parse_receipt(&receipt);
                         computed += c;
                         replayed += r;
+                        worker_metrics.merge(&parse_receipt_metrics(&receipt));
                     }
                     ledger.complete(lease_id);
                     table.set_state(lease_id, LeaseState::Done);
@@ -450,17 +523,21 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
                 Some(_) => {
                     // Nonzero exit or signal death (SIGKILL lands here):
                     // re-issue the range under a fresh lease id.
+                    let _reclaim = obs::Span::enter(Stage::LeaseReclaim, lease_id);
                     ledger.fail(lease_id);
                     table.set_state(lease_id, LeaseState::Reclaimed);
                     reissued += 1;
+                    relock(shared).leases_reclaimed += 1;
                     active.swap_remove(i);
                 }
                 None if expired.contains(&lease_id) => {
+                    let _reclaim = obs::Span::enter(Stage::LeaseReclaim, lease_id);
                     let _ = child.kill();
                     let _ = child.wait();
                     ledger.fail(lease_id);
                     table.set_state(lease_id, LeaseState::Reclaimed);
                     reissued += 1;
+                    relock(shared).leases_reclaimed += 1;
                     active.swap_remove(i);
                 }
                 None => i += 1,
@@ -473,7 +550,12 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     publish_leases(shared, id, &ledger, &table, computed, replayed, reissued);
     if failed {
         let mut st = relock(shared);
-        campaign_mut(&mut st, id).phase = Phase::Failed;
+        let c = campaign_mut(&mut st, id);
+        c.phase = Phase::Failed;
+        // Publish whatever was sampled before the failure — a reclaim
+        // storm's latency profile is exactly what METRICS is for.
+        c.metrics = sink.snapshot();
+        c.metrics.merge(&worker_metrics);
         return;
     }
 
@@ -481,14 +563,18 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     // path. Every unit is checkpointed, so this compiles nothing, and the
     // rendered report is bit-identical to a single-process run.
     let backend = SimBackend::with_store_capacity(&config.store, cfg.prefix_key_bound());
-    let stats = CampaignConfig::builder()
-        .seeds(seeds)
-        .first_seed(first_seed)
-        .strategy(strategy)
-        .backend(Arc::new(backend))
-        .checkpoint(&config.store)
-        .build_runner()
-        .run();
+    let stats = {
+        let _merge = obs::Span::enter(Stage::Merge, 0);
+        CampaignConfig::builder()
+            .seeds(seeds)
+            .first_seed(first_seed)
+            .strategy(strategy)
+            .backend(Arc::new(backend))
+            .checkpoint(&config.store)
+            .recorder(sink.clone())
+            .build_runner()
+            .run()
+    };
     let mut corpus = BugCorpus::open(&config.store);
     let merge = persist::merge_bugs(&mut corpus, &stats);
     eprintln!(
@@ -500,10 +586,13 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     let text = format!("{}{}", report::table3(&stats), report::oracle_stats(&stats));
 
     let mut st = relock(shared);
+    st.units_merged += units as u64;
     let c = campaign_mut(&mut st, id);
     c.phase = Phase::Done;
     c.frontier = stats.frontier_points;
     c.report = Some(text);
+    c.metrics = sink.snapshot();
+    c.metrics.merge(&worker_metrics);
 }
 
 fn campaign_mut(st: &mut State, id: u64) -> &mut CampaignView {
@@ -561,6 +650,22 @@ fn parse_receipt(receipt: &str) -> (usize, usize) {
             .unwrap_or(0)
     };
     (field("computed"), field("replayed"))
+}
+
+/// Folds a receipt's `metric …` lines into one snapshot; lines that parse
+/// as neither histogram nor counter are skipped with the same tolerance as
+/// [`parse_receipt`] — the checkpoint shard, not the telemetry, is the
+/// work.
+fn parse_receipt_metrics(receipt: &str) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for line in receipt.lines() {
+        if let Some((stage, h)) = obs::parse_metric_line(line) {
+            snap.stages.entry(stage).or_default().merge(&h);
+        } else if let Some((name, value)) = obs::parse_counter_line(line) {
+            *snap.counters.entry(name).or_insert(0) += value;
+        }
+    }
+    snap
 }
 
 fn spawn_worker(
@@ -630,11 +735,71 @@ mod tests {
             frontier: 12,
             report: None,
             leases: vec![LeaseView { id: 2, start: 0, end: 5, pid: 42, state: "active" }],
+            metrics: MetricsSnapshot::default(),
         });
         let s = render_status(&st);
         assert!(s.starts_with("ok\n"), "{s}");
+        assert!(s.contains(" uptime_secs="), "{s}");
+        assert!(s.contains(" leases_issued=0 leases_reclaimed=0 units_merged=0"), "{s}");
         assert!(s.contains("campaign id=1 state=running seeds=4"), "{s}");
         assert!(s.contains("strategy=guided frontier=12"), "{s}");
         assert!(s.contains("lease id=2 campaign=1 start=0 end=5 pid=42 state=active"), "{s}");
+    }
+
+    #[test]
+    fn receipt_metric_lines_fold_into_a_snapshot() {
+        let mut h = ubfuzz::obs::Histogram::new();
+        h.record(1_000);
+        h.record(3_000);
+        let receipt = format!(
+            "computed=2 replayed=0\nmetric stage=run {}\nmetric counter=prefix_hits value=5\nnoise\n",
+            h.encode()
+        );
+        assert_eq!(parse_receipt(&receipt), (2, 0));
+        let snap = parse_receipt_metrics(&receipt);
+        assert_eq!(snap.stages.get(&Stage::Run), Some(&h));
+        assert_eq!(snap.counter("prefix_hits"), 5);
+    }
+
+    #[test]
+    fn metrics_renders_quantiles_per_campaign_stage() {
+        let mut st = State::default();
+        let mut metrics = MetricsSnapshot::default();
+        let mut h = ubfuzz::obs::Histogram::new();
+        for nanos in [100, 200, 400, 90_000] {
+            h.record(nanos);
+        }
+        metrics.stages.insert(Stage::Run, h.clone());
+        metrics.counters.insert("prefix_hits".into(), 7);
+        st.campaigns.push(CampaignView {
+            id: 3,
+            seeds: 4,
+            first_seed: 0,
+            workers: 2,
+            strategy: Strategy::Uniform,
+            phase: Phase::Done,
+            fingerprint: 7,
+            units: 10,
+            computed: 10,
+            replayed: 0,
+            reissued: 0,
+            frontier: 9,
+            report: None,
+            leases: Vec::new(),
+            metrics,
+        });
+        let s = render_metrics(&st);
+        assert!(s.starts_with("ok\n"), "{s}");
+        assert!(s.contains("metrics campaign=3 state=done units=10 frontier=9\n"), "{s}");
+        let line = format!(
+            "metrics campaign=3 stage=run count=4 p50_ns={} p95_ns={} max_ns={} sum_ns={}\n",
+            h.p50(),
+            h.p95(),
+            h.max_ns,
+            h.sum_ns
+        );
+        assert!(s.contains(&line), "{s}");
+        assert!(h.p95() >= h.p50(), "quantiles are monotone");
+        assert!(s.contains("metrics campaign=3 counter=prefix_hits value=7\n"), "{s}");
     }
 }

@@ -10,6 +10,7 @@
 //! ubfuzz-serve submit --socket PATH --seeds N [--first-seed N] [--workers N]
 //!              [--strategy uniform|guided]
 //! ubfuzz-serve status --socket PATH
+//! ubfuzz-serve metrics --socket PATH
 //! ubfuzz-serve report --socket PATH --id N
 //! ubfuzz-serve corpus --socket PATH
 //! ubfuzz-serve shutdown --socket PATH
@@ -24,7 +25,10 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("worker") => ubfuzz_serve::worker::worker_main(&args),
         #[cfg(unix)]
-        Some(verb @ ("daemon" | "submit" | "status" | "report" | "corpus" | "shutdown")) => {
+        Some(
+            verb @ ("daemon" | "submit" | "status" | "metrics" | "report" | "corpus"
+            | "shutdown"),
+        ) => {
             unix::dispatch(verb, &args[1..])
         }
         _ => usage(),
@@ -34,7 +38,7 @@ fn main() {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: ubfuzz-serve <daemon|worker|submit|status|report|corpus|shutdown> [flags]\n\
+        "usage: ubfuzz-serve <daemon|worker|submit|status|metrics|report|corpus|shutdown> [flags]\n\
          see `cargo doc -p ubfuzz-serve` or README.md for the flag reference"
     );
     2
@@ -54,6 +58,7 @@ mod unix {
             "daemon" => daemon(args, socket),
             "submit" => submit(args, &socket),
             "status" => print_payload(client::status(&socket)),
+            "metrics" => print_payload(client::metrics(&socket)),
             "report" => {
                 let Some(Some(id)) = flag_value(args, "--id").map(|v| v.parse().ok()) else {
                     eprintln!("ubfuzz-serve report: --id N is required");

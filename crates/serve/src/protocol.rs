@@ -13,6 +13,7 @@
 //! |---|---|
 //! | `SUBMIT seeds=N [first_seed=N] [workers=N] [strategy=uniform\|guided]` | `ok id=N` or `err busy` |
 //! | `STATUS` | `ok` + daemon/campaign/lease lines |
+//! | `METRICS` | `ok` + per-campaign/per-stage latency lines |
 //! | `REPORT id=N` | `ok` + raw report bytes |
 //! | `CORPUS` | `ok` + one line per corpus entry |
 //! | `SHUTDOWN` | `ok` (the daemon exits after the running campaign stops) |
@@ -33,6 +34,9 @@ pub enum Request {
     Submit { seeds: usize, first_seed: u64, workers: Option<usize>, strategy: Strategy },
     /// Daemon, campaign and lease status, machine-readable.
     Status,
+    /// Per-campaign/per-stage latency histograms and counters,
+    /// machine-readable.
+    Metrics,
     /// The merged report of a finished campaign, raw bytes.
     Report { id: u64 },
     /// The store's bug corpus, one line per entry.
@@ -74,6 +78,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Submit { seeds, first_seed, workers, strategy })
         }
         "STATUS" => Ok(Request::Status),
+        "METRICS" => Ok(Request::Metrics),
         "REPORT" => Ok(Request::Report { id: num("id")?.ok_or("REPORT requires id=N")? }),
         "CORPUS" => Ok(Request::Corpus),
         "SHUTDOWN" => Ok(Request::Shutdown),
@@ -142,6 +147,7 @@ mod tests {
     #[test]
     fn verbs_parse() {
         assert_eq!(parse_request("STATUS"), Ok(Request::Status));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("CORPUS"), Ok(Request::Corpus));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(parse_request("REPORT id=4"), Ok(Request::Report { id: 4 }));

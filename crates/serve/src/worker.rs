@@ -8,15 +8,19 @@
 //! over a half-finished range only pays for the missing units.
 //!
 //! The worker runs [`ubfuzz::executor::run_unit_range`]: compile and
-//! record only, **no oracle** — merging is the daemon's job. Its one line
-//! of stdout (`computed=N replayed=N`) is the completion receipt the
-//! daemon parses; everything diagnostic goes to stderr.
+//! record only, **no oracle** — merging is the daemon's job. Its stdout is
+//! the completion receipt the daemon parses: one `computed=N replayed=N`
+//! line followed by `metric …` lines ([`ubfuzz::obs::MetricsSnapshot::
+//! encode_lines`]) carrying the per-stage latency histograms sampled in
+//! this process — the daemon cannot time compiles it never runs, so the
+//! receipt is the only road those samples have back to `METRICS`.
+//! Everything diagnostic goes to stderr.
 
 use std::sync::Arc;
 use ubfuzz::backend::SimBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::run_unit_range;
-use ubfuzz::Strategy;
+use ubfuzz::{obs, Strategy};
 
 use crate::{flag_num, flag_value};
 
@@ -75,10 +79,15 @@ pub fn worker_main(args: &[String]) -> i32 {
     }
 
     let store = std::path::PathBuf::from(store);
+    // Attach the metrics sink before the backend opens its stores, so the
+    // open-time replay scan is timed along with the compile stages.
+    let sink = Arc::new(obs::MetricsSink::new());
+    let _obs = obs::attach(sink.clone());
     let mut cfg = CampaignConfig::builder()
         .seeds(seeds)
         .first_seed(first_seed)
         .strategy(strategy)
+        .recorder(sink.clone())
         .build();
     // Store-backed compile session: staged prefixes persist to the shared
     // `prefix.bin` (O_APPEND, so concurrent workers interleave whole
@@ -87,5 +96,6 @@ pub fn worker_main(args: &[String]) -> i32 {
     cfg.backend = Some(Arc::new(backend));
     let stats = run_unit_range(&cfg, threads.max(1), true, &store, shard, start..end);
     println!("computed={} replayed={}", stats.computed, stats.replayed);
+    print!("{}", sink.snapshot().encode_lines());
     0
 }

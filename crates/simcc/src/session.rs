@@ -27,6 +27,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use ubfuzz_minic::{pretty, Program};
+use ubfuzz_obs::{self as obs, Stage};
 
 /// A program identity for cache lookups: a hash of the canonical
 /// pretty-printed source, plus the source itself so a hash collision can
@@ -570,11 +571,11 @@ impl CompileSession {
             // fall through to the uncached pipeline inside `prefix`.)
             _ => {
                 let mut module = self.prefix(fp, program, cfg.compiler, cfg.opt)?;
-                sanitize_stage(&mut module, cfg);
+                obs::time(Stage::Sanitize, 0, || sanitize_stage(&mut module, cfg));
                 module
             }
         };
-        late_opt_stage(&mut module, cfg.opt);
+        obs::time(Stage::LateOpt, 0, || late_opt_stage(&mut module, cfg.opt));
         Ok(module)
     }
 
@@ -599,6 +600,7 @@ impl CompileSession {
         if let Some(entries) = cache.lock().expect("sanitize cache lock").get(&key) {
             if let Some((_, module)) = entries.iter().find(|(src, _)| *src == fp.source) {
                 self.san_hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("san_hits", 1);
                 let module = module.clone();
                 // Recency feedback outside the lock (byte-budgeted
                 // backings rank eviction by last hit).
@@ -617,8 +619,9 @@ impl CompileSession {
             }
         }
         self.san_misses.fetch_add(1, Ordering::Relaxed);
+        obs::count("san_misses", 1);
         let mut module = self.prefix(fp, program, cfg.compiler, cfg.opt)?;
-        sanitize_stage(&mut module, cfg);
+        obs::time(Stage::Sanitize, 0, || sanitize_stage(&mut module, cfg));
         {
             let mut map = cache.lock().expect("sanitize cache lock");
             if map.len() >= self.san_capacity {
@@ -652,7 +655,7 @@ impl CompileSession {
         opt: OptLevel,
     ) -> Result<Module, CompileError> {
         let Some(cache) = &self.cache else {
-            return compile_prefix(program, compiler, opt);
+            return obs::time(Stage::PrefixCompile, 0, || compile_prefix(program, compiler, opt));
         };
         let key = PrefixKey { hash: fp.hash, compiler, opt };
         let cached = cache
@@ -663,6 +666,7 @@ impl CompileSession {
             .map(|(_, module)| module.clone());
         if let Some(module) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::count("prefix_hits", 1);
             // Recency feedback, outside the cache lock.
             if let Some(backing) = &self.backing {
                 backing.note_hit(fp.hash, compiler, opt);
@@ -670,7 +674,8 @@ impl CompileSession {
             return Ok(module);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let module = compile_prefix(program, compiler, opt)?;
+        obs::count("prefix_misses", 1);
+        let module = obs::time(Stage::PrefixCompile, 0, || compile_prefix(program, compiler, opt))?;
         {
             let mut map = cache.lock().expect("prefix cache lock");
             if map.len() >= self.capacity {

@@ -186,6 +186,7 @@ impl CampaignLog {
     }
 
     fn open_as(dir: &Path, config_fp: u64, units: usize, shard: Option<u64>) -> CampaignLog {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir);
         let primary = dir.join(CHECKPOINT_FILE);
@@ -406,6 +407,7 @@ impl CampaignLog {
     /// record on demand. Consuming rather than preloading keeps resumed
     /// campaigns' memory proportional to the in-flight streaming window.
     pub fn take_replay(&self, index: usize) -> Option<UnitOutcome> {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreReplay, index as u64);
         let (fi, offset, len) =
             relock_noting(self.prior.get(index)?, &self.telemetry, "replay slot lock")
                 .take()?;

@@ -139,6 +139,7 @@ fn dec_entry(payload: &[u8]) -> Result<CorpusEntry, wire::WireError> {
 impl BugCorpus {
     /// Opens (or creates) the corpus under `dir`.
     pub fn open(dir: impl AsRef<Path>) -> BugCorpus {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let path = dir.as_ref().join(CORPUS_FILE);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir.as_ref());

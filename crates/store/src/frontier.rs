@@ -76,6 +76,7 @@ pub struct FrontierStore {
 impl FrontierStore {
     /// Opens (or creates) the frontier under `dir`.
     pub fn open(dir: impl AsRef<Path>) -> FrontierStore {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let path = dir.as_ref().join(FRONTIER_FILE);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir.as_ref());

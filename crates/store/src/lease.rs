@@ -120,6 +120,7 @@ pub struct LeaseTable {
 impl LeaseTable {
     /// Opens (or creates) the lease table under `dir`.
     pub fn open(dir: impl AsRef<Path>) -> LeaseTable {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let path = dir.as_ref().join(LEASE_FILE);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir.as_ref());

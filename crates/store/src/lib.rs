@@ -41,6 +41,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
+use ubfuzz_obs::{self as obs, Stage};
 
 pub mod checkpoint;
 pub mod corpus;
@@ -130,13 +131,19 @@ impl StoreTelemetry {
 
     pub(crate) fn record_cold_start(&self) {
         self.cold_start.fetch_add(1, Ordering::Relaxed);
+        obs::count("store_cold_starts", 1);
     }
 
     pub(crate) fn record_tail_truncated(&self) {
         self.tail_truncated.fetch_add(1, Ordering::Relaxed);
+        obs::count("store_tails_truncated", 1);
     }
 
     pub(crate) fn record_corruption(&self, event: String) {
+        // Mirror the event to any attached recorder: read-only consumers
+        // (the offline compactor) report corruption through the recorder
+        // even when nothing later prints `events()`.
+        obs::note("store", &event);
         // The event list is the one lock that cannot self-report poisoning;
         // recover silently rather than lose the event being recorded.
         relock(&self.corruption).push(event);
@@ -194,6 +201,7 @@ impl<K: Eq + Hash + Copy> LogState<K> {
             return;
         }
         let Some(file) = self.file.as_mut() else { return };
+        let _span = obs::Span::enter(Stage::StorePersist, 0);
         let record = wire::frame(payload);
         // The handle is O_APPEND: one write_all lands the whole record at
         // the end of file regardless of concurrent appenders.
@@ -231,6 +239,7 @@ pub(crate) fn compact_log<K: Eq + Hash + Copy>(
     dec_key: impl Fn(&[u8]) -> Result<K, WireError>,
     telemetry: &StoreTelemetry,
 ) -> CompactStats {
+    let _span = obs::Span::enter(Stage::StoreCompact, 0);
     let before = state.bytes;
     let noop = CompactStats {
         before_bytes: before,

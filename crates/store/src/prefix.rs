@@ -92,6 +92,7 @@ impl PrefixStore {
     /// session's preload budget — see `CompileSession::preload_budget`);
     /// the rest are checksum-validated and key-indexed only.
     pub fn open_budgeted(dir: impl AsRef<Path>, budget: usize) -> PrefixStore {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let path = dir.as_ref().join(PREFIX_FILE);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir.as_ref());

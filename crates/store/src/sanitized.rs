@@ -99,6 +99,7 @@ impl SanitizedStore {
     /// (the session's sanitize-layer preload budget); the rest are
     /// checksum-validated and key-indexed only.
     pub fn open_budgeted(dir: impl AsRef<Path>, budget: usize) -> SanitizedStore {
+        let _span = ubfuzz_obs::Span::enter(ubfuzz_obs::Stage::StoreOpen, 0);
         let path = dir.as_ref().join(SANITIZED_FILE);
         let telemetry = StoreTelemetry::default();
         let _ = std::fs::create_dir_all(dir.as_ref());
