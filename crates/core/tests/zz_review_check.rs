@@ -1,0 +1,40 @@
+//! Review verification: span counts at workers=1 vs workers=2.
+
+use std::sync::Arc;
+use ubfuzz::campaign::{CampaignConfig, GeneratorChoice, ParallelCampaign};
+use ubfuzz::obs::{MetricsSink, Stage};
+
+fn small_config(first_seed: u64) -> CampaignConfig {
+    CampaignConfig::builder()
+        .first_seed(first_seed)
+        .seeds(3)
+        .generator(GeneratorChoice::Ubfuzz)
+        .seed_options(ubfuzz::seedgen::SeedOptions {
+            max_helpers: 1,
+            max_globals: 5,
+            max_stmts: 4,
+            max_depth: 2,
+            ..ubfuzz::seedgen::SeedOptions::default()
+        })
+        .gen_options(ubfuzz::ubgen::GenOptions {
+            max_per_kind: 2,
+            ..ubfuzz::ubgen::GenOptions::default()
+        })
+        .build()
+}
+
+#[test]
+fn generate_span_count_at_one_worker() {
+    let cfg = small_config(5);
+    for workers in [1usize, 2] {
+        let sink = Arc::new(MetricsSink::new());
+        let _ = ParallelCampaign::new(cfg.clone())
+            .with_recorder(sink.clone())
+            .with_shards(workers)
+            .run();
+        let snap = sink.snapshot();
+        let gen = snap.stages.get(&Stage::Generate).map(|h| h.count).unwrap_or(0);
+        eprintln!("workers={workers} generate_spans={gen}");
+        assert_eq!(gen, 3, "workers={workers}: expected one generate span per seed");
+    }
+}
