@@ -602,6 +602,7 @@ mod tests {
     use ubfuzz_simcc::defects::DefectRegistry;
     use ubfuzz_simcc::session::ProgramFingerprint;
     use ubfuzz_simcc::target::OptLevel;
+    use ubfuzz_simcc::SanPolicy;
 
     #[test]
     fn version_banners_parse() {
@@ -830,6 +831,7 @@ mod tests {
             opt: OptLevel::O0,
             sanitizer: None,
             registry: &registry,
+            san_policy: SanPolicy::Full,
         };
         let artifact =
             backend.compile(&ProgramFingerprint::empty(), &program, &req).expect("compiles");
@@ -858,6 +860,7 @@ mod tests {
             opt: OptLevel::O2,
             sanitizer: None,
             registry: &registry,
+            san_policy: SanPolicy::Full,
         };
         let artifact = backend
             .compile(&ProgramFingerprint::empty(), &program, &req)

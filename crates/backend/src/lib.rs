@@ -96,6 +96,10 @@ pub struct CompileRequest<'a> {
     pub sanitizer: Option<Sanitizer>,
     /// The injected-defect world (meaningful to simulated backends only).
     pub registry: &'a DefectRegistry,
+    /// Partial-sanitization policy for this cell
+    /// ([`ubfuzz_simcc::partition::SanPolicy::Full`] is the bit-identical
+    /// default).
+    pub san_policy: ubfuzz_simcc::partition::SanPolicy,
 }
 
 impl<'a> CompileRequest<'a> {
@@ -106,6 +110,7 @@ impl<'a> CompileRequest<'a> {
             opt: self.opt,
             sanitizer: self.sanitizer,
             registry: self.registry,
+            san_policy: self.san_policy,
         }
     }
 }

@@ -182,6 +182,7 @@ mod tests {
     use ubfuzz_simcc::Sanitizer;
     use ubfuzz_simcc::defects::DefectRegistry;
     use ubfuzz_simcc::pipeline::{compile, CompileConfig};
+    use ubfuzz_simcc::SanPolicy;
     use ubfuzz_simcc::target::OptLevel;
     use ubfuzz_simvm::run_module;
 
@@ -217,6 +218,7 @@ mod tests {
                         opt,
                         sanitizer,
                         registry: &registry,
+                        san_policy: SanPolicy::Full,
                     };
                     let direct = compile(
                         &p,
@@ -225,6 +227,7 @@ mod tests {
                             opt,
                             sanitizer,
                             registry: &registry,
+                            san_policy: SanPolicy::Full,
                         },
                     );
                     match (direct, backend.compile(&fp, &p, &req)) {
@@ -258,6 +261,7 @@ mod tests {
             opt: OptLevel::O2,
             sanitizer: Some(Sanitizer::Asan),
             registry: &registry,
+            san_policy: SanPolicy::Full,
         };
         let a = backend.compile_program(&p, &req).unwrap();
         assert!(a.module().is_some());
@@ -279,6 +283,7 @@ mod tests {
             opt: OptLevel::O2,
             sanitizer: Some(Sanitizer::Ubsan),
             registry: &registry,
+            san_policy: SanPolicy::Full,
         };
 
         let cold = SimBackend::with_store(&dir);
@@ -320,6 +325,7 @@ mod tests {
             opt: OptLevel::O0,
             sanitizer: Some(Sanitizer::Asan),
             registry: &registry,
+            san_policy: SanPolicy::Full,
         };
         let artifact = backend.compile_program(&p, &req).unwrap();
         let trace = backend.trace(&artifact, &RunRequest::default()).expect("sim traces");

@@ -11,6 +11,7 @@ use ubfuzz_minic::parse;
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::session::ProgramFingerprint;
 use ubfuzz_simcc::target::OptLevel;
+use ubfuzz_simcc::SanPolicy;
 
 #[test]
 fn native_line_trace_or_skip() {
@@ -46,6 +47,7 @@ fn native_line_trace_or_skip() {
         opt: OptLevel::O0,
         sanitizer: None,
         registry: &registry,
+        san_policy: SanPolicy::Full,
     };
     let artifact = backend
         .compile(&ProgramFingerprint::empty(), &program, &req)

@@ -121,7 +121,8 @@ fn emit_bench_json() {
         let prefix = ubfuzz::store::PrefixStore::open_budgeted(&dir, 0);
         let sanitized = ubfuzz::store::SanitizedStore::open_budgeted(&dir, 0);
         let before = prefix.size_bytes() + sanitized.size_bytes();
-        let (ps, ss) = ubfuzz_bench::compact_stores(&prefix, &sanitized, before / 2);
+        let frontier = ubfuzz::store::FrontierStore::open(&dir).size_bytes();
+        let (ps, ss) = ubfuzz_bench::compact_stores(&prefix, &sanitized, frontier, before / 2);
         (before, ps.after_bytes + ss.after_bytes)
     };
     let (_, compacted) = timed_run(Some(&dir));
@@ -147,6 +148,41 @@ fn emit_bench_json() {
     );
     let bugs_per_unit_uniform = ubfuzz_bench::StrategyComparison::bugs_per_unit(&cmp.uniform);
     let bugs_per_unit_guided = ubfuzz_bench::StrategyComparison::bugs_per_unit(&cmp.guided);
+    // Partial-sanitization legs: the same seeds under full / partial:500 /
+    // none over ONE store directory, run twice. The second pass replays the
+    // first from the warm store — the sanitized table keys by site-subset
+    // fingerprint, so the three policies must never alias each other's
+    // cached sanitize results.
+    let san_dir = std::env::temp_dir().join(format!("ubfuzz-bench-san-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&san_dir);
+    let pol = ubfuzz_bench::compare_policies(SEEDS, &san_dir);
+    let pol2 = ubfuzz_bench::compare_policies(SEEDS, &san_dir);
+    let _ = std::fs::remove_dir_all(&san_dir);
+    assert_eq!(pol.full, pol2.full, "warm store must replay the full-policy leg");
+    assert_eq!(
+        pol.partial, pol2.partial,
+        "warm store must replay partial-policy lookups without cross-subset aliasing"
+    );
+    assert_eq!(pol.none, pol2.none, "warm store must replay the none-policy leg");
+    assert!(
+        pol.partial.bugs.len() <= pol.full.bugs.len(),
+        "a partial subset's reports are a subset of full instrumentation's"
+    );
+    assert!(pol.none.bugs.is_empty(), "uninstrumented campaigns cannot report anything");
+    assert!(
+        pol.none.oracle.expected_miss_total() > 0,
+        "every skipped UB site must be accounted as an expected miss"
+    );
+    assert_eq!(
+        pol.full.oracle.expected_miss_total(),
+        0,
+        "full instrumentation skips nothing"
+    );
+    assert_eq!(pol.full, nostore, "the full policy default must be result-invisible");
+    let bugs_per_unit_partial_full = ubfuzz_bench::StrategyComparison::bugs_per_unit(&pol.full);
+    let bugs_per_unit_partial_half =
+        ubfuzz_bench::StrategyComparison::bugs_per_unit(&pol.partial);
+    let bugs_per_unit_partial_none = ubfuzz_bench::StrategyComparison::bugs_per_unit(&pol.none);
     assert!(
         bugs_per_unit_guided >= bugs_per_unit_uniform,
         "guided must not lower per-unit bug yield: \
@@ -229,6 +265,19 @@ fn emit_bench_json() {
     let _ = writeln!(json, "  \"store_bytes_after_compaction\": {store_after},");
     let _ = writeln!(json, "  \"bugs_per_unit_uniform\": {bugs_per_unit_uniform:.4},");
     let _ = writeln!(json, "  \"bugs_per_unit_guided\": {bugs_per_unit_guided:.4},");
+    let _ = writeln!(json, "  \"bugs_per_unit_partial_full\": {bugs_per_unit_partial_full:.4},");
+    let _ = writeln!(json, "  \"bugs_per_unit_partial_half\": {bugs_per_unit_partial_half:.4},");
+    let _ = writeln!(json, "  \"bugs_per_unit_partial_none\": {bugs_per_unit_partial_none:.4},");
+    let _ = writeln!(
+        json,
+        "  \"expected_misses_partial_half\": {},",
+        pol.partial.oracle.expected_miss_total()
+    );
+    let _ = writeln!(
+        json,
+        "  \"expected_misses_partial_none\": {},",
+        pol.none.oracle.expected_miss_total()
+    );
     let _ = writeln!(json, "  \"frontier_points_covered\": {},", cmp.guided.frontier_points);
     let _ = writeln!(
         json,

@@ -6,8 +6,10 @@
 //! test case across stable versions and levels, which re-hits the prefixes
 //! the campaign cached. The shared `--store DIR` / `--resume` /
 //! `--store-budget BYTES` persistence flags (see `ubfuzz_bench` and
-//! `make_tables`) apply here too, as does `--trace-out FILE` (JSONL event
-//! stream; an observer — figure bytes do not change).
+//! `make_tables`) apply here too, as do `--trace-out FILE` (JSONL event
+//! stream; an observer — figure bytes do not change), `--strategy`, and
+//! `--san full|none|partial[:ratio[:salt]]` (partial-sanitization policy
+//! of the campaign behind the figures).
 
 use std::sync::Arc;
 use ubfuzz::backend::CompilerBackend;
@@ -15,7 +17,7 @@ use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::report;
 use ubfuzz_bench::{
     arg_str, arg_value, compact_backend_stores, install_recorders, report_store_telemetry,
-    run_stored_campaign, shared_backend, store_args, strategy_arg,
+    run_stored_campaign, san_arg, shared_backend, store_args, strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -25,12 +27,14 @@ fn main() {
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_figures");
     let strategy = strategy_arg(&args, "make_figures");
+    let san = san_arg(&args, "make_figures");
     let trace_out = arg_str(&args, "--trace-out");
     install_recorders(trace_out.as_deref(), None, "make_figures");
     let registry = DefectRegistry::full();
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
-    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy);
+    let campaign =
+        || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy, san);
     match figure {
         9 => print!("{}", report::fig9()),
         7 | 10 | 11 => {
@@ -49,6 +53,6 @@ fn main() {
             print!("{}", report::fig11_with(&stats, &registry, backend.as_ref()));
         }
     }
-    report_store_telemetry(&backend);
+    report_store_telemetry(&backend, &store);
     compact_backend_stores(&backend, &store);
 }

@@ -1,4 +1,4 @@
-//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6|7|8 [--seeds N]`.
+//! Regenerates the paper's tables: `make_tables --table 2|3|4|5|6|7|8|9 [--seeds N]`.
 //! `--table 0` prints all byte-stable tables plus the §4.4 oracle statistics.
 //! Table 7 is this repo's extension table: the guided-vs-uniform strategy
 //! comparison (warm-up campaign persists a coverage frontier, then the same
@@ -6,12 +6,20 @@
 //! Table 8 is the per-stage latency breakdown of the standard campaign
 //! (wall-clock numbers, so it is excluded from `--table 0` and from the
 //! CI stdout diffs).
+//! Table 9 is the partial-sanitization comparison: the same seeds run under
+//! the full, `partial:500`, and none policies over one scratch store, with
+//! per-unit bug yield and expected-miss counts as columns.
 //! `--trace-out FILE` streams every pipeline event (spans, counters,
 //! store notes) as JSONL to `FILE` — an observer that changes no campaign
 //! output byte.
 //! `--strategy uniform|guided` selects the generation strategy of the
 //! campaign behind Tables 3/6 (guided only differs once `--store --resume`
 //! gives it a warm frontier to plan against).
+//! `--san full|none|partial[:ratio[:salt]]` selects the sanitization policy
+//! of the same campaign: non-full policies skip a deterministic site subset
+//! per function and report expected misses on stderr
+//! (`[oracle] expected-miss: …`). The default `full` is byte-identical to
+//! not passing the flag at all.
 //! `--ablation` prints the §4.4 oracle ablation (naive vs crash-site
 //! mapping in the pristine world) instead.
 //!
@@ -41,9 +49,10 @@ use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::obs::MetricsSink;
 use ubfuzz::report;
 use ubfuzz_bench::{
-    arg_str, arg_value, compact_backend_stores, compare_strategies, install_recorders,
-    render_stage_breakdown, report_frontier_telemetry, report_store_telemetry,
-    run_stored_campaign, shared_backend, store_args, strategy_arg,
+    arg_str, arg_value, compact_backend_stores, compare_policies, compare_strategies,
+    install_recorders, render_stage_breakdown, report_frontier_telemetry,
+    report_store_telemetry, run_stored_campaign, san_arg, shared_backend, store_args,
+    strategy_arg,
 };
 use ubfuzz_simcc::defects::DefectRegistry;
 
@@ -53,6 +62,7 @@ fn main() {
     let seeds = arg_value(&args, "--seeds", 30);
     let store = store_args(&args, "make_tables");
     let strategy = strategy_arg(&args, "make_tables");
+    let san = san_arg(&args, "make_tables");
     // `--trace-out FILE` streams every pipeline event as JSONL; table 8
     // additionally aggregates into per-stage histograms. Both observe via
     // the process-wide recorder — campaign output bytes do not change.
@@ -61,7 +71,7 @@ fn main() {
     install_recorders(trace_out.as_deref(), sink.as_ref(), "make_tables");
     let backend = shared_backend(&CampaignConfig::builder().seeds(seeds).build(), &store);
     let backend_dyn: Arc<dyn CompilerBackend> = backend.clone();
-    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy);
+    let campaign = || run_stored_campaign(seeds, Arc::clone(&backend_dyn), &store, strategy, san);
     if args.iter().any(|a| a == "--ablation") {
         // The ablation replaces the table output but not the persistence
         // contract: prefixes still flow through the (possibly store-backed)
@@ -79,7 +89,7 @@ fn main() {
         cache.misses,
         100.0 * cache.reuse_ratio()
     );
-    report_store_telemetry(&backend);
+    report_store_telemetry(&backend, &store);
     report_frontier_telemetry(&store);
     compact_backend_stores(&backend, &store);
 }
@@ -93,6 +103,17 @@ fn main() {
 fn table7(seeds: usize) -> String {
     let scratch = std::env::temp_dir().join(format!("ubfuzz_table7_{}", std::process::id()));
     let rendered = compare_strategies(seeds, (seeds / 2).max(2), &scratch).render();
+    let _ = std::fs::remove_dir_all(&scratch);
+    rendered
+}
+
+/// Runs the partial-sanitization comparison behind Table 9. Same scratch
+/// discipline as Table 7: the three policy legs share one throwaway store
+/// (so the prefix stage compiles once), never the `--store` directory, and
+/// the rendered table depends only on `--seeds`.
+fn table9(seeds: usize) -> String {
+    let scratch = std::env::temp_dir().join(format!("ubfuzz_table9_{}", std::process::id()));
+    let rendered = compare_policies(seeds, &scratch).render();
     let _ = std::fs::remove_dir_all(&scratch);
     rendered
 }
@@ -115,6 +136,7 @@ fn run_tables(
         5 => print!("{}", report::coverage_experiment_with(backend.as_ref(), seeds.min(20))),
         6 => print!("{}", report::table6(&campaign())),
         7 => print!("{}", table7(seeds)),
+        9 => print!("{}", table9(seeds)),
         8 => {
             // Stage-time breakdown of the standard campaign: run it under
             // the aggregating sink main installed, then render what it saw.
@@ -133,6 +155,7 @@ fn run_tables(
             );
             print!("{}", report::table6(&stats));
             print!("{}", table7((seeds / 3).max(2)));
+            print!("{}", table9((seeds / 3).max(2)));
             print!("{}", report::oracle_stats(&stats));
             let _ = DefectRegistry::full();
         }

@@ -19,7 +19,8 @@ use ubfuzz::campaign::{CampaignConfig, CampaignStats};
 use ubfuzz::obs::{
     self, event_line, Fanout, Line, MetricsSink, MetricsSnapshot, Recorder, Stage, TraceRecorder,
 };
-use ubfuzz::{persist, store, Strategy};
+use ubfuzz::{persist, store, SanPolicy, Strategy};
+use ubfuzz_simcc::Sanitizer;
 
 /// Parses `--flag value` style arguments with a default.
 pub fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
@@ -165,6 +166,23 @@ pub fn strategy_arg(args: &[String], binary: &str) -> Strategy {
     }
 }
 
+/// Parses `--san full|none|partial[:ratio[:salt]]` (default
+/// [`SanPolicy::Full`]), exiting with status 2 on an unknown value — the
+/// same misuse contract as `--strategy` (the CI partial job asserts
+/// `--san banana` exits 2).
+pub fn san_arg(args: &[String], binary: &str) -> SanPolicy {
+    match args.iter().position(|a| a == "--san") {
+        None => SanPolicy::Full,
+        Some(i) => match args.get(i + 1).and_then(|v| SanPolicy::parse(v)) {
+            Some(policy) => policy,
+            None => {
+                eprintln!("{binary}: --san requires full|none|partial[:ratio[:salt]]");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// The shared backend both binaries thread through every entry point:
 /// store-backed when `--store` was given, in-memory otherwise, session
 /// sized from the campaign configuration either way.
@@ -187,14 +205,19 @@ pub fn run_stored_campaign(
     backend: Arc<dyn CompilerBackend>,
     store_args: &StoreArgs,
     strategy: Strategy,
+    san: SanPolicy,
 ) -> CampaignStats {
-    let mut builder =
-        CampaignConfig::builder().seeds(seeds).backend(backend).strategy(strategy);
+    let mut builder = CampaignConfig::builder()
+        .seeds(seeds)
+        .backend(backend)
+        .strategy(strategy)
+        .san_policy(san);
     if store_args.resume {
         builder =
             builder.checkpoint(store_args.dir.as_deref().expect("--resume implies --store"));
     }
     let stats = builder.build_runner().run();
+    report_expected_misses(&stats);
     if let Some(dir) = &store_args.dir {
         let mut corpus = store::BugCorpus::open(dir);
         let merge = persist::merge_bugs(&mut corpus, &stats);
@@ -208,6 +231,22 @@ pub fn run_stored_campaign(
         );
     }
     stats
+}
+
+/// Prints the partial-sanitization expected-miss accounting (stderr,
+/// stable format — the CI partial job greps `[oracle] expected-miss:`).
+/// Only printed when at least one miss was recorded, so a full-policy
+/// leg's stderr stays byte-identical to the pre-partition harness.
+pub fn report_expected_misses(stats: &CampaignStats) {
+    if stats.oracle.expected_miss_total() == 0 {
+        return;
+    }
+    let mut line =
+        Line::new("oracle", "expected-miss").field("total", stats.oracle.expected_miss_total());
+    for s in Sanitizer::ALL {
+        line = line.field(&s.name().to_ascii_lowercase(), stats.oracle.expected_misses(s));
+    }
+    eprintln!("{}", line.render());
 }
 
 /// One compile-cache table's telemetry line (`[store] prefix: …` /
@@ -226,8 +265,10 @@ fn cache_table_line(topic: &str, t: &store::StoreTelemetry, hits: u64, misses: u
 
 /// Prints the store-backed compile-cache telemetry lines (stderr, stable
 /// format — the CI persistence job greps ` misses=0 ` and
-/// `sanitized: .* misses=0 `). No-op for in-memory backends.
-pub fn report_store_telemetry(backend: &SimBackend) {
+/// `sanitized: .* misses=0 `). No-op for in-memory backends. The size line
+/// covers every table in the directory — `frontier.bin` included, so the
+/// reported total is what the directory actually occupies.
+pub fn report_store_telemetry(backend: &SimBackend, store_args: &StoreArgs) {
     let Some(prefix) = backend.prefix_store() else { return };
     let cache = backend.session().stats();
     let t = prefix.telemetry();
@@ -241,12 +282,15 @@ pub fn report_store_telemetry(backend: &SimBackend) {
     for event in st.events() {
         eprintln!("{}", event_line("store", &event));
     }
+    let frontier =
+        store_args.dir.as_deref().map_or(0, |dir| store::FrontierStore::open(dir).size_bytes());
     eprintln!(
         "{}",
         Line::new("store", "size")
             .field("prefix", prefix.size_bytes())
             .field("sanitized", sanitized.size_bytes())
-            .field("total", prefix.size_bytes() + sanitized.size_bytes())
+            .field("frontier", frontier)
+            .field("total", prefix.size_bytes() + sanitized.size_bytes() + frontier)
             .render()
     );
 }
@@ -346,15 +390,93 @@ pub fn compare_strategies(warm_seeds: usize, eval_seeds: usize, dir: &Path) -> S
     StrategyComparison { uniform, guided }
 }
 
+/// One full-vs-partial-vs-none sanitization comparison run (see
+/// [`compare_policies`]).
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// The full-instrumentation leg (the pre-partition reference).
+    pub full: CampaignStats,
+    /// The `partial:500` leg: every other check site, deterministically.
+    pub partial: CampaignStats,
+    /// The uninstrumented leg (compile-overhead floor, zero detection).
+    pub none: CampaignStats,
+}
+
+impl PolicyComparison {
+    /// The legs in rendering order, labelled with their policy spelling.
+    pub fn legs(&self) -> [(SanPolicy, &CampaignStats); 3] {
+        [
+            (SanPolicy::Full, &self.full),
+            (SanPolicy::Partial { ratio_pm: 500, salt: 0 }, &self.partial),
+            (SanPolicy::None, &self.none),
+        ]
+    }
+
+    /// Renders the comparison as the `make_tables --table 9` text table:
+    /// one row per policy over the same seeds, with the per-unit bug yield
+    /// and the expected-miss count as the detection-vs-overhead columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 9: partial sanitization (overhead vs detection)\n");
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>6} {:>11} {:>10}\n",
+            "policy", "units", "bugs", "bugs/unit", "exp-miss"
+        ));
+        for (policy, stats) in self.legs() {
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>6} {:>11.4} {:>10}\n",
+                policy.to_string(),
+                stats.units,
+                stats.bugs.len(),
+                StrategyComparison::bugs_per_unit(stats),
+                stats.oracle.expected_miss_total()
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the overhead-vs-detection experiment behind `make_tables --table 9`
+/// and the `campaign_smoke` partial legs: the SAME seed range runs under
+/// the full, `partial:500`, and none policies over ONE store directory.
+/// The sanitizer-independent prefix stage compiles once and replays into
+/// the other legs; only the sanitize stage differs, and each partial subset
+/// keys the sanitized table by its site-subset fingerprint, so warm replays
+/// never alias across subsets. Every leg is a pure function of
+/// `(seeds, policy)`, so the rendered table is byte-stable.
+pub fn compare_policies(seeds: usize, dir: &Path) -> PolicyComparison {
+    let leg = |policy: SanPolicy| {
+        let capacity = CampaignConfig::builder().seeds(seeds).build().prefix_key_bound();
+        let backend: Arc<dyn CompilerBackend> =
+            Arc::new(SimBackend::with_store_capacity(dir, capacity));
+        CampaignConfig::builder()
+            .seeds(seeds)
+            .backend(backend)
+            .san_policy(policy)
+            .build_runner()
+            .run()
+    };
+    let full = leg(SanPolicy::Full);
+    let partial = leg(SanPolicy::Partial { ratio_pm: 500, salt: 0 });
+    let none = leg(SanPolicy::None);
+    PolicyComparison { full, partial, none }
+}
+
 /// Compacts both compile-cache tables down to a combined byte budget,
 /// split between `prefix.bin` and `sanitized.bin` proportionally to their
-/// current on-disk sizes (an empty pair splits evenly). Returns the
-/// per-table accounting in `(prefix, sanitized)` order.
+/// current on-disk sizes (an empty pair splits evenly). `frontier_bytes` is
+/// the on-disk size of `frontier.bin`, which is not compactable (bounded by
+/// the static coverage registry, rewritten wholesale) but still occupies
+/// the directory — its bytes are reserved off the top so the combined
+/// directory honours the requested budget. Returns the per-table accounting
+/// in `(prefix, sanitized)` order.
 pub fn compact_stores(
     prefix: &store::PrefixStore,
     sanitized: &store::SanitizedStore,
+    frontier_bytes: u64,
     budget: u64,
 ) -> (store::CompactStats, store::CompactStats) {
+    let budget = budget.saturating_sub(frontier_bytes);
     let p = prefix.size_bytes();
     let total = p + sanitized.size_bytes();
     let prefix_budget = if total == 0 {
@@ -376,7 +498,9 @@ pub fn compact_backend_stores(backend: &SimBackend, store_args: &StoreArgs) {
     else {
         return;
     };
-    let (ps, ss) = compact_stores(prefix, sanitized, budget);
+    let frontier =
+        store_args.dir.as_deref().map_or(0, |dir| store::FrontierStore::open(dir).size_bytes());
+    let (ps, ss) = compact_stores(prefix, sanitized, frontier, budget);
     report_compaction(&ps, &ss);
 }
 

@@ -14,7 +14,7 @@ use ubfuzz_simcc::cov::{self, CovDelta};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::session::{ProgramFingerprint, SessionStats};
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
-use ubfuzz_simcc::{san, Module, Sanitizer};
+use ubfuzz_simcc::{san, Module, SanPolicy, Sanitizer};
 use ubfuzz_obs::{self as obs, Stage};
 use ubfuzz_ubgen::{GenOptions, UbProgram};
 
@@ -64,6 +64,14 @@ pub struct CampaignConfig {
     pub strategy: Strategy,
     /// Reduce bug-triggering programs before reporting.
     pub reduce: bool,
+    /// Partial-sanitization policy for every compile cell (the
+    /// PartiSan-style overhead/detection trade-off). [`SanPolicy::Full`]
+    /// (the default) is bit-identical to the pre-partition pipeline. A
+    /// `Partial` policy has the campaign seed folded into its salt once, up
+    /// front ([`CampaignConfig::effective_san_policy`]), so distinct
+    /// campaigns sample distinct site subsets while any one campaign
+    /// replays the same subset at every worker count.
+    pub san_policy: SanPolicy,
     /// The compilation/execution backend. `None` (the default) lets each
     /// runner construct its own [`SimBackend`] whose cache matches the
     /// runner's cache toggle; an explicit backend is shared as-is — its
@@ -95,6 +103,7 @@ impl Default for CampaignConfig {
             generator: GeneratorChoice::Ubfuzz,
             strategy: Strategy::Uniform,
             reduce: false,
+            san_policy: SanPolicy::Full,
             backend: None,
             oracle: None,
             recorder: None,
@@ -165,6 +174,14 @@ impl CampaignConfig {
             Some(o) => Arc::clone(o),
             None => Arc::new(OracleStack::standard()),
         }
+    }
+
+    /// The site-subset policy compile cells actually run under: the
+    /// configured policy with the campaign seed folded into a `Partial`
+    /// salt. Pure function of the config — every worker and the sequential
+    /// reference derive the same subset.
+    pub fn effective_san_policy(&self) -> SanPolicy {
+        self.san_policy.seeded(self.first_seed)
     }
 
     /// The guided-generation plan this campaign runs under: `None` for the
@@ -249,6 +266,13 @@ impl CampaignConfigBuilder {
     /// Reduce bug-triggering programs before reporting.
     pub fn reduce(mut self, reduce: bool) -> Self {
         self.cfg.reduce = reduce;
+        self
+    }
+
+    /// Partial-sanitization policy (defaults to the bit-identical
+    /// [`SanPolicy::Full`]).
+    pub fn san_policy(mut self, san_policy: SanPolicy) -> Self {
+        self.cfg.san_policy = san_policy;
         self
     }
 
@@ -730,9 +754,11 @@ pub(crate) struct CampaignCtx<'a> {
 /// an *empty* delta even if hits fired before the failure: the checkpoint
 /// log replays failures as bare `Unsupported` records, and a fresh run and
 /// its resume must absorb identical coverage.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn compile_cell(
     backend: &dyn CompilerBackend,
     registry: &DefectRegistry,
+    san_policy: SanPolicy,
     fp: &ProgramFingerprint,
     program: &Program,
     sanitizer: Sanitizer,
@@ -740,7 +766,7 @@ pub(crate) fn compile_cell(
     opt: OptLevel,
 ) -> (Option<(Artifact, RunOutcome)>, CovDelta) {
     let (cell, delta) = cov::capture(|| {
-        let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry };
+        let req = CompileRequest { compiler, opt, sanitizer: Some(sanitizer), registry, san_policy };
         let artifact = backend.compile(fp, program, &req).ok()?;
         let result =
             obs::time(Stage::Run, 0, || backend.execute(&artifact, &RunRequest::default()));
@@ -770,6 +796,7 @@ fn test_one(
                 let (cell, delta) = compile_cell(
                     ctx.backend,
                     &ctx.cfg.registry,
+                    ctx.cfg.effective_san_policy(),
                     &fp,
                     &u.program,
                     sanitizer,
@@ -849,11 +876,20 @@ pub(crate) fn oracle_one(
             },
         );
     }
+    // Expected misses mostly arrive *without* a discrepancy — a skipped UB
+    // site silences every cell identically — so they are accounted from the
+    // stage's flag, not from the drop path (which only fires when some cell
+    // did report).
+    if verdicts.expected_miss {
+        stats.oracle.record_drop(sanitizer, ubfuzz_oracle::DropReason::ExpectedMiss);
+    }
     if verdicts.selected() {
         stats.selected += 1;
     } else if let Some(reason) = verdicts.drop_reason() {
         stats.dropped += 1;
-        stats.oracle.record_drop(sanitizer, reason);
+        if reason != ubfuzz_oracle::DropReason::ExpectedMiss {
+            stats.oracle.record_drop(sanitizer, reason);
+        }
     }
 }
 
@@ -938,12 +974,14 @@ fn record_bug(
             let registry = cfg.registry.clone();
             let vendor = obs.vendor;
             let opt = obs.opt;
+            let san_policy = cfg.effective_san_policy();
             let mut pred = move |q: &Program| {
                 let req = CompileRequest {
                     compiler: CompilerId::dev(vendor),
                     opt,
                     sanitizer: Some(sanitizer),
                     registry: &registry,
+                    san_policy,
                 };
                 match backend.compile_program(q, &req) {
                     Ok(artifact) => {

@@ -228,6 +228,7 @@ pub fn run_unit_range(
         let (cell, delta) = compile_cell(
             backend,
             &cfg.registry,
+            cfg.effective_san_policy(),
             &plan.fingerprints[unit.pi],
             &plan.programs[unit.pi].program,
             unit.sanitizer,
@@ -375,6 +376,7 @@ pub fn run_unit_campaign_checkpointed(
             let (cell, delta) = compile_cell(
                 backend,
                 &cfg.registry,
+                cfg.effective_san_policy(),
                 &fingerprints[unit.pi],
                 &programs[unit.pi].program,
                 unit.sanitizer,

@@ -37,6 +37,7 @@ pub use ubfuzz_backend::{CompilerBackend, SimBackend};
 pub use ubfuzz_guide::{Frontier, GuidePlan, Strategy};
 pub use ubfuzz_oracle::{CrashOracle, OracleStack, OracleTelemetry};
 pub use ubfuzz_simcc::session::SessionStats;
+pub use ubfuzz_simcc::SanPolicy;
 
 pub use ubfuzz_backend as backend;
 pub use ubfuzz_guide as guide;

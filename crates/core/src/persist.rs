@@ -19,7 +19,7 @@ use ubfuzz_store::{BugCorpus, BugRecord, MergeSummary};
 pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let backend_name =
         cfg.backend.as_ref().map(|b| b.name().to_string()).unwrap_or_else(|| "sim".into());
-    let plan = format!(
+    let mut plan = format!(
         "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{backend_name}",
         cfg.first_seed,
         cfg.seeds,
@@ -30,6 +30,11 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
         cfg.reduce,
         cfg.strategy,
     );
+    // Appended only for non-full policies so every pre-partition
+    // fingerprint — and the checkpoint logs keyed by it — stays valid.
+    if !cfg.san_policy.is_full() {
+        plan.push_str(&format!("|san:{}", cfg.san_policy));
+    }
     ubfuzz_store::wire::fnv1a(plan.as_bytes())
 }
 
@@ -101,6 +106,26 @@ mod tests {
         assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
         assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
         assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_separates_san_policies() {
+        use ubfuzz_simcc::SanPolicy;
+        let full = CampaignConfig::builder().seeds(3).build();
+        let explicit_full =
+            CampaignConfig::builder().seeds(3).san_policy(SanPolicy::Full).build();
+        let half = CampaignConfig::builder()
+            .seeds(3)
+            .san_policy(SanPolicy::Partial { ratio_pm: 500, salt: 0 })
+            .build();
+        let quarter = CampaignConfig::builder()
+            .seeds(3)
+            .san_policy(SanPolicy::Partial { ratio_pm: 250, salt: 0 })
+            .build();
+        // Full is the no-token default: pre-partition logs stay compatible.
+        assert_eq!(config_fingerprint(&full), config_fingerprint(&explicit_full));
+        assert_ne!(config_fingerprint(&full), config_fingerprint(&half));
+        assert_ne!(config_fingerprint(&half), config_fingerprint(&quarter));
     }
 
     #[test]

@@ -226,6 +226,7 @@ pub fn coverage_experiment_with(backend: &dyn CompilerBackend, seeds: usize) -> 
                                 opt,
                                 sanitizer: Some(sanitizer),
                                 registry: &registry,
+                                san_policy: ubfuzz_simcc::SanPolicy::Full,
                             };
                             if let Ok(a) = backend.compile(&fp, p, &req) {
                                 let _ = backend.execute(&a, &RunRequest::default());
@@ -378,6 +379,7 @@ pub fn fig10_with(
                     opt,
                     sanitizer: Some(bug.sanitizer),
                     registry,
+                    san_policy: ubfuzz_simcc::SanPolicy::Full,
                 };
                 let Ok(a) = backend.compile(&fp, &program, &req) else { continue };
                 if backend.execute(&a, &RunRequest::default()).is_normal_exit() {
@@ -419,6 +421,7 @@ pub fn fig11_with(
                 opt,
                 sanitizer: Some(bug.sanitizer),
                 registry,
+                san_policy: ubfuzz_simcc::SanPolicy::Full,
             };
             let Ok(a) = backend.compile(&fp, &program, &req) else { continue };
             if backend.execute(&a, &RunRequest::default()).is_normal_exit()

@@ -55,7 +55,13 @@ proptest! {
                         if !(compiler.vendor == Vendor::Gcc && sanitizer == Some(Sanitizer::Msan)) {
                             lookups += 1;
                         }
-                        let cfg = CompileConfig { compiler, opt, sanitizer, registry: &registry };
+                        let cfg = CompileConfig {
+                            compiler,
+                            opt,
+                            sanitizer,
+                            registry: &registry,
+                            san_policy: ubfuzz_simcc::SanPolicy::Full,
+                        };
                         let direct = compile(&u.program, &cfg);
                         let cached = session.compile_fp(&fp, &u.program, &cfg);
                         match (direct, cached) {

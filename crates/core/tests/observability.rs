@@ -118,7 +118,9 @@ fn structural_span_counts_are_schedule_independent() {
     // Each unit runs one oracle pass but executes one artifact per matrix
     // cell, so run spans dominate oracle spans.
     assert!(seq_run >= seq_oracle, "run spans at least cover the oracled units");
-    for workers in [2usize, 8, 16] {
+    // workers=1 exercises the executor's single-shard path, which must
+    // match the plain sequential loop span-for-span.
+    for workers in [1usize, 2, 8, 16] {
         let sink = Arc::new(MetricsSink::new());
         let par = ParallelCampaign::new(cfg.clone())
             .with_recorder(sink.clone())

@@ -314,6 +314,7 @@ pub fn run_memcheck_campaign(cfg: &DetectorCampaignConfig) -> DetectorCampaignSt
             opt,
             sanitizer: None,
             registry: &compiler_reg,
+            san_policy: ubfuzz_simcc::SanPolicy::Full,
         };
         let artifact = backend.compile_program(&programs[pi].program, &req).ok()?;
         let module = artifact.module()?;

@@ -178,20 +178,37 @@ pub fn set_global(recorder: Arc<dyn Recorder>) -> bool {
 /// Attaches `recorder` to the current thread until the guard drops.
 /// Pop-on-drop is panic-safe: an unwinding campaign unit cannot leak its
 /// recorder frame into unrelated later work on the same worker thread.
+///
+/// Attaching is idempotent per recorder instance: if this exact `Arc` is
+/// already on the thread's stack, no new frame is pushed and the guard is
+/// a no-op. Events are delivered to every frame, so without this a
+/// single-worker executor — whose tasks run inline on the already-attached
+/// consumer thread and re-attach the campaign recorder per task — would
+/// double-count every span. Distinct recorders still compose.
 #[must_use = "the recorder detaches when the guard drops"]
 pub fn attach(recorder: Arc<dyn Recorder>) -> AttachGuard {
-    RECORDERS.with(|r| r.borrow_mut().push(recorder));
-    AttachGuard { _priv: () }
+    let pushed = RECORDERS.with(|r| {
+        let mut stack = r.borrow_mut();
+        if stack.iter().any(|existing| Arc::ptr_eq(existing, &recorder)) {
+            return false;
+        }
+        stack.push(recorder);
+        true
+    });
+    AttachGuard { pushed }
 }
 
 /// Scope guard returned by [`attach`].
 #[derive(Debug)]
 pub struct AttachGuard {
-    _priv: (),
+    pushed: bool,
 }
 
 impl Drop for AttachGuard {
     fn drop(&mut self) {
+        if !self.pushed {
+            return;
+        }
         let _ = RECORDERS.try_with(|r| {
             r.borrow_mut().pop();
         });
@@ -784,6 +801,25 @@ mod tests {
         assert_eq!(inner.spans.load(Ordering::Relaxed), 2);
         assert_eq!(outer.counts.load(Ordering::Relaxed), 1);
         assert_eq!(inner.counts.load(Ordering::Relaxed), 0, "popped frame no longer records");
+        assert!(!active());
+    }
+
+    #[test]
+    fn reattaching_the_same_recorder_records_once() {
+        // The single-worker executor runs tasks inline on the consumer
+        // thread, which already holds the campaign recorder; the per-task
+        // re-attach must not add a second delivery frame — and its guard
+        // must not pop the outer frame when it drops.
+        let rec = Arc::new(CountingRecorder::default());
+        {
+            let _outer = attach(rec.clone());
+            {
+                let _inner = attach(rec.clone());
+                let _s = Span::enter(Stage::Generate, 0);
+            }
+            let _s = Span::enter(Stage::Generate, 1);
+        }
+        assert_eq!(rec.spans.load(Ordering::Relaxed), 2, "one delivery per span");
         assert!(!active());
     }
 

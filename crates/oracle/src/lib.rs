@@ -29,8 +29,9 @@
 //!   [`OracleStage`]s sharing a [`StageContext`] and accumulating
 //!   [`OracleVerdicts`]. The default stack is
 //!   [`WrongReportDetection`] → [`DiscrepancyAccounting`] →
-//!   [`CrashSiteMapping`]; the §4.4 ablation swaps the mapping stage for
-//!   [`NaiveSelection`] instead of forking campaign code.
+//!   [`CrashSiteMapping`] → [`PartialSanAwareness`]; the §4.4 ablation
+//!   swaps the mapping stage for [`NaiveSelection`] instead of forking
+//!   campaign code.
 //! * [`trace_artifact`] and [`arbitrate`] are the pair-level primitives the
 //!   stack is built from, usable standalone (the examples and the detector
 //!   campaigns do). They subsume the pre-redesign module-only free
@@ -92,6 +93,10 @@ pub enum DropReason {
     /// Unarbitratable: the backend is trace-capable but produced no trace
     /// for these artifacts (debugger missing a step, trace timeout, …).
     NoTrace,
+    /// Expected miss: the cell's partial-sanitization policy skipped the UB
+    /// check site, so the sanitizer never had a chance to report — the miss
+    /// is the policy working as configured, not a sanitizer FN bug.
+    ExpectedMiss,
 }
 
 impl DropReason {
@@ -101,6 +106,7 @@ impl DropReason {
             DropReason::OptimizationArtifact => "optimization-artifact",
             DropReason::NoModule => "no-module",
             DropReason::NoTrace => "no-trace",
+            DropReason::ExpectedMiss => "expected-miss",
         }
     }
 }
@@ -129,6 +135,12 @@ pub struct OracleVerdicts {
     /// Why nothing was selected, when a discrepancy existed but
     /// `sanitizer_bugs` stayed empty.
     pub dropped: Option<DropReason>,
+    /// The partial-sanitization policy skipped the ground-truth UB check
+    /// site in this matrix's modules. Usually there is then no discrepancy
+    /// at all — every cell misses identically — so this flag, not
+    /// [`OracleVerdicts::drop_reason`], is how expected misses reach the
+    /// campaign's telemetry. Always `false` under the full policy.
+    pub expected_miss: bool,
 }
 
 impl OracleVerdicts {
@@ -176,6 +188,18 @@ impl OracleTelemetry {
     /// on fully trace-capable backends like the simulated one.
     pub fn unarbitrated(&self) -> usize {
         self.dropped_for(DropReason::NoModule) + self.dropped_for(DropReason::NoTrace)
+    }
+
+    /// Expected misses for one sanitizer — discrepancies whose UB site the
+    /// partial-sanitization policy skipped. Separated from true FN bugs so
+    /// partial campaigns stay honest about what their detection loss is.
+    pub fn expected_misses(&self, sanitizer: Sanitizer) -> usize {
+        self.dropped(sanitizer, DropReason::ExpectedMiss)
+    }
+
+    /// Total expected misses across sanitizers.
+    pub fn expected_miss_total(&self) -> usize {
+        self.dropped_for(DropReason::ExpectedMiss)
     }
 
     /// The sanitizers with any drop on record, in stable order.
@@ -360,6 +384,51 @@ impl OracleStage for CrashSiteMapping {
     }
 }
 
+/// Partial-sanitization awareness: under a [`ubfuzz_simcc::SanPolicy`]
+/// other than `Full`, a cell whose module skipped the ground-truth UB check
+/// site could never have reported — its silence is an **expected miss**,
+/// not a sanitizer FN bug, and its (necessarily mislocated) report is not a
+/// wrong report. The stage prunes both selections and, when pruning empties
+/// the bug list, reclassifies the drop as [`DropReason::ExpectedMiss`] so
+/// campaign telemetry accounts it per sanitizer, away from true FNs.
+///
+/// Under `Full` every skipped-site set is empty, so the stage is a no-op
+/// and the standard stack stays bit-identical to the pre-partition oracle.
+/// Opaque artifacts (no module) carry no skipped-site set and are left
+/// untouched — native backends do not model partial instrumentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialSanAwareness;
+
+impl PartialSanAwareness {
+    fn skipped_ub_site(cx: &StageContext<'_>, cell: usize) -> bool {
+        cx.cells[cell].artifact.module().is_some_and(|m| {
+            // Line granularity, matching the wrong-report stage: check
+            // emissions inherit the UB instruction's line.
+            m.san.skipped_sites.iter().any(|l| l.line == cx.input.ub_loc.line)
+        })
+    }
+}
+
+impl OracleStage for PartialSanAwareness {
+    fn name(&self) -> &'static str {
+        "partial-san"
+    }
+
+    fn run(&self, cx: &StageContext<'_>, out: &mut OracleVerdicts) {
+        // The skip predicate is a pure function of (policy, function, site),
+        // so the whole matrix shares one subset: if any cell skipped the UB
+        // site, every module-carrying cell did, and the matrix as a whole
+        // could never have caught this program.
+        out.expected_miss = (0..cx.cells.len()).any(|i| Self::skipped_ub_site(cx, i));
+        out.wrong_reports.retain(|&i| !Self::skipped_ub_site(cx, i));
+        let before = out.sanitizer_bugs.len();
+        out.sanitizer_bugs.retain(|&i| !Self::skipped_ub_site(cx, i));
+        if before > 0 && out.sanitizer_bugs.is_empty() {
+            out.dropped = Some(DropReason::ExpectedMiss);
+        }
+    }
+}
+
 /// The §4.4 ablation's selection rule: *every* discrepancy is a bug, filed
 /// against every normal cell — the "practically infeasible" triage burden
 /// the paper motivates crash-site mapping with.
@@ -395,8 +464,10 @@ impl OracleStack {
     }
 
     /// The paper's oracle: wrong-report detection, discrepancy accounting,
-    /// crash-site mapping. This is the campaign default, bit-identical to
-    /// the pre-trait free-function oracle on module-carrying backends.
+    /// crash-site mapping, partial-sanitization awareness. This is the
+    /// campaign default, bit-identical to the pre-trait free-function
+    /// oracle on module-carrying backends (the awareness stage is a no-op
+    /// under the full policy).
     pub fn standard() -> OracleStack {
         OracleStack::new(
             "standard",
@@ -404,6 +475,7 @@ impl OracleStack {
                 Arc::new(WrongReportDetection),
                 Arc::new(DiscrepancyAccounting),
                 Arc::new(CrashSiteMapping),
+                Arc::new(PartialSanAwareness),
             ],
         )
     }
@@ -668,7 +740,62 @@ mod tests {
         assert!(naive.selected(), "the ablation stack files it");
         assert_eq!(naive.sanitizer_bugs, vec![1]);
         assert_eq!(OracleStack::naive().name(), "naive");
-        assert_eq!(OracleStack::standard().stages().len(), 3);
+        assert_eq!(OracleStack::standard().stages().len(), 4);
+    }
+
+    #[test]
+    fn policy_skipped_ub_site_is_an_expected_miss_not_a_bug() {
+        // The tent-pole scenario: the defect world would normally make the
+        // uninstrumented cell an FN-bug selection (the UB site is still
+        // executed), but its policy skipped the check site — the standard
+        // stack must account it as an expected miss, never file it.
+        let reg = DefectRegistry::full();
+        let p = parse(FIG1).unwrap();
+        let full = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg),
+        )
+        .unwrap();
+        let none = compile(
+            &p,
+            &CompileConfig::dev(Vendor::Gcc, OptLevel::O0, Some(Sanitizer::Asan), &reg)
+                .with_policy(ubfuzz_simcc::SanPolicy::None),
+        )
+        .unwrap();
+        let cells = vec![
+            CompiledCell {
+                compiler: CompilerId::dev(Vendor::Gcc),
+                opt: OptLevel::O0,
+                outcome: run_module(&full),
+                artifact: Artifact::Sim(full),
+            },
+            CompiledCell {
+                compiler: CompilerId::dev(Vendor::Gcc),
+                opt: OptLevel::O0,
+                outcome: run_module(&none),
+                artifact: Artifact::Sim(none),
+            },
+        ];
+        assert!(cells[0].outcome.is_report(), "full cell reports");
+        assert!(cells[1].outcome.is_normal_exit(), "uninstrumented cell runs through");
+        let backend = SimBackend::uncached();
+        let input = input_for(UbKind::BufOverflowPtr, 10);
+        let v = OracleStack::standard().judge(&backend, input, &cells);
+        assert!(v.discrepancy);
+        assert!(!v.selected(), "expected miss must never be filed as an FN bug");
+        assert!(v.wrong_reports.is_empty());
+        assert_eq!(v.drop_reason(), Some(DropReason::ExpectedMiss));
+        assert!(v.expected_miss, "the flag feeds campaign telemetry without a discrepancy");
+        // The telemetry spelling the campaign greps for.
+        assert_eq!(DropReason::ExpectedMiss.name(), "expected-miss");
+        let mut t = OracleTelemetry::default();
+        t.record_drop(input.sanitizer, v.drop_reason().unwrap());
+        assert_eq!(t.expected_misses(Sanitizer::Asan), 1);
+        assert_eq!(t.expected_miss_total(), 1);
+        assert_eq!(t.unarbitrated(), 0, "expected misses are not trace failures");
+        // The §4.4 ablation has no awareness stage and would have filed it
+        // — the exact triage noise the stage exists to prevent.
+        assert!(OracleStack::naive().judge(&backend, input, &cells).selected());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use ubfuzz_oracle::{CompiledCell, CrashOracle, OracleInput, OracleStack};
 use ubfuzz_seedgen::{generate_seed, SeedOptions};
 use ubfuzz_simcc::defects::DefectRegistry;
 use ubfuzz_simcc::san;
+use ubfuzz_simcc::SanPolicy;
 use ubfuzz_simcc::target::{CompilerId, OptLevel, Vendor};
 use ubfuzz_ubgen::{generate_all, GenOptions};
 
@@ -64,6 +65,7 @@ proptest! {
                             opt,
                             sanitizer: Some(sanitizer),
                             registry: &registry,
+                            san_policy: SanPolicy::Full,
                         };
                         let artifact = backend.compile(&fp, &u.program, &req).ok()?;
                         let outcome = backend.execute(&artifact, &Default::default());

@@ -11,7 +11,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use crate::protocol::submit_line;
-use ubfuzz::Strategy;
+use ubfuzz::{SanPolicy, Strategy};
 
 /// Sends one raw request line and returns the full response.
 pub fn request(socket: &Path, line: &str) -> std::io::Result<String> {
@@ -42,8 +42,9 @@ pub fn submit(
     first_seed: u64,
     workers: Option<usize>,
     strategy: Strategy,
+    san: SanPolicy,
 ) -> std::io::Result<u64> {
-    let response = request(socket, &submit_line(seeds, first_seed, workers, strategy))?;
+    let response = request(socket, &submit_line(seeds, first_seed, workers, strategy, san))?;
     let head = response.lines().next().unwrap_or("").trim();
     match head.strip_prefix("ok id=").and_then(|v| v.parse().ok()) {
         Some(id) => Ok(id),

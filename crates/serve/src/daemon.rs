@@ -40,7 +40,7 @@ use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::plan_campaign;
 use ubfuzz::obs::{self, MetricsSnapshot, Stage};
 use ubfuzz::store::{BugCorpus, CampaignLog, FrontierStore, LeaseRecord, LeaseState, LeaseTable};
-use ubfuzz::Strategy;
+use ubfuzz::{SanPolicy, Strategy};
 use ubfuzz::{persist, report};
 use ubfuzz_exec::LeaseLedger;
 
@@ -130,6 +130,7 @@ struct CampaignView {
     first_seed: u64,
     workers: usize,
     strategy: Strategy,
+    san: SanPolicy,
     phase: Phase,
     fingerprint: u64,
     units: usize,
@@ -223,7 +224,7 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
     }
     let response = match parse_request(line.trim()) {
         Err(reason) => format!("err {reason}\n"),
-        Ok(Request::Submit { seeds, first_seed, workers, strategy }) => {
+        Ok(Request::Submit { seeds, first_seed, workers, strategy, san }) => {
             let mut st = relock(shared);
             if st.shutdown {
                 "err shutting down\n".into()
@@ -237,6 +238,7 @@ fn handle_connection(stream: UnixStream, config: &DaemonConfig, shared: &Shared)
                     first_seed,
                     workers: workers.unwrap_or(config.workers).max(1),
                     strategy,
+                    san,
                     phase: Phase::Queued,
                     fingerprint: 0,
                     units: 0,
@@ -302,7 +304,7 @@ fn render_status(st: &State) -> String {
     for c in &st.campaigns {
         out.push_str(&format!(
             "campaign id={} state={} seeds={} first_seed={} workers={} units={} \
-             computed={} replayed={} reissued={} strategy={} frontier={}\n",
+             computed={} replayed={} reissued={} strategy={} san={} frontier={}\n",
             c.id,
             c.phase.name(),
             c.seeds,
@@ -313,6 +315,7 @@ fn render_status(st: &State) -> String {
             c.replayed,
             c.reissued,
             c.strategy,
+            c.san,
             c.frontier
         ));
         for l in &c.leases {
@@ -390,16 +393,17 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
     let sink = Arc::new(obs::MetricsSink::new());
     let _obs = obs::attach(sink.clone());
     let mut worker_metrics = MetricsSnapshot::default();
-    let (seeds, first_seed, workers, strategy) = {
+    let (seeds, first_seed, workers, strategy, san) = {
         let mut st = relock(shared);
         let c = campaign_mut(&mut st, id);
         c.phase = Phase::Running;
-        (c.seeds, c.first_seed, c.workers, c.strategy)
+        (c.seeds, c.first_seed, c.workers, c.strategy, c.san)
     };
     let cfg = CampaignConfig::builder()
         .seeds(seeds)
         .first_seed(first_seed)
         .strategy(strategy)
+        .san_policy(san)
         .build();
     // The plan depends on the store for guided campaigns: daemon and
     // workers all derive guidance from the persisted frontier, which is
@@ -459,7 +463,8 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
             let now = unix_now();
             let Some(lease) = ledger.claim(0, now, config.ttl_secs) else { break };
             let _issue = obs::Span::enter(Stage::LeaseIssue, lease.id);
-            match spawn_worker(config, seeds, first_seed, strategy, lease.id, &lease.range) {
+            match spawn_worker(config, seeds, first_seed, strategy, san, lease.id, &lease.range)
+            {
                 Ok(child) => {
                     table.upsert(LeaseRecord {
                         id: lease.id,
@@ -569,6 +574,7 @@ fn run_campaign_job(config: &DaemonConfig, shared: &Shared, id: u64) {
             .seeds(seeds)
             .first_seed(first_seed)
             .strategy(strategy)
+            .san_policy(san)
             .backend(Arc::new(backend))
             .checkpoint(&config.store)
             .recorder(sink.clone())
@@ -673,6 +679,7 @@ fn spawn_worker(
     seeds: usize,
     first_seed: u64,
     strategy: Strategy,
+    san: SanPolicy,
     lease_id: u64,
     range: &std::ops::Range<usize>,
 ) -> std::io::Result<Child> {
@@ -690,6 +697,8 @@ fn spawn_worker(
         .arg(first_seed.to_string())
         .arg("--strategy")
         .arg(strategy.name())
+        .arg("--san")
+        .arg(san.to_string())
         .arg("--shard")
         .arg(lease_id.to_string())
         .arg("--start")
@@ -726,6 +735,7 @@ mod tests {
             first_seed: 0,
             workers: 2,
             strategy: Strategy::Guided,
+            san: SanPolicy::Partial { ratio_pm: 500, salt: 3 },
             phase: Phase::Running,
             fingerprint: 7,
             units: 10,
@@ -742,7 +752,7 @@ mod tests {
         assert!(s.contains(" uptime_secs="), "{s}");
         assert!(s.contains(" leases_issued=0 leases_reclaimed=0 units_merged=0"), "{s}");
         assert!(s.contains("campaign id=1 state=running seeds=4"), "{s}");
-        assert!(s.contains("strategy=guided frontier=12"), "{s}");
+        assert!(s.contains("strategy=guided san=partial:500:3 frontier=12"), "{s}");
         assert!(s.contains("lease id=2 campaign=1 start=0 end=5 pid=42 state=active"), "{s}");
     }
 
@@ -777,6 +787,7 @@ mod tests {
             first_seed: 0,
             workers: 2,
             strategy: Strategy::Uniform,
+            san: SanPolicy::Full,
             phase: Phase::Done,
             fingerprint: 7,
             units: 10,

@@ -6,9 +6,9 @@
 //!              [--worker-bin PATH] [--stall-ms MS]
 //! ubfuzz-serve worker --store DIR --shard ID --start A --end B
 //!              [--seeds N] [--first-seed N] [--strategy uniform|guided]
-//!              [--threads N]
+//!              [--san full|none|partial[:ratio[:salt]]] [--threads N]
 //! ubfuzz-serve submit --socket PATH --seeds N [--first-seed N] [--workers N]
-//!              [--strategy uniform|guided]
+//!              [--strategy uniform|guided] [--san full|none|partial[:ratio[:salt]]]
 //! ubfuzz-serve status --socket PATH
 //! ubfuzz-serve metrics --socket PATH
 //! ubfuzz-serve report --socket PATH --id N
@@ -142,7 +142,19 @@ mod unix {
                 }
             },
         };
-        match client::submit(socket, seeds, first_seed, workers, strategy) {
+        let san = match flag_value(args, "--san") {
+            None => ubfuzz::SanPolicy::Full,
+            Some(v) => match ubfuzz::SanPolicy::parse(v) {
+                Some(p) => p,
+                None => {
+                    eprintln!(
+                        "ubfuzz-serve submit: bad --san (full|none|partial[:ratio[:salt]])"
+                    );
+                    return 2;
+                }
+            },
+        };
+        match client::submit(socket, seeds, first_seed, workers, strategy, san) {
             Ok(id) => {
                 println!("ok id={id}");
                 0

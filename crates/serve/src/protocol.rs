@@ -11,7 +11,7 @@
 //!
 //! | line | response |
 //! |---|---|
-//! | `SUBMIT seeds=N [first_seed=N] [workers=N] [strategy=uniform\|guided]` | `ok id=N` or `err busy` |
+//! | `SUBMIT seeds=N [first_seed=N] [workers=N] [strategy=uniform\|guided] [san=full\|none\|partial[:ratio[:salt]]]` | `ok id=N` or `err busy` |
 //! | `STATUS` | `ok` + daemon/campaign/lease lines |
 //! | `METRICS` | `ok` + per-campaign/per-stage latency lines |
 //! | `REPORT id=N` | `ok` + raw report bytes |
@@ -19,19 +19,31 @@
 //! | `SHUTDOWN` | `ok` (the daemon exits after the running campaign stops) |
 //!
 //! Keys are `key=value` tokens in any order. Unknown verbs and malformed
-//! values are `err …`, never a dropped connection; a `strategy=` value the
-//! daemon does not know is `err bad-request` specifically, so clients can
-//! distinguish their own misuse from daemon-side failures.
+//! values are `err …`, never a dropped connection; a `strategy=` or `san=`
+//! value the daemon does not know is `err bad-request` specifically, so
+//! clients can distinguish their own misuse from daemon-side failures.
 
-use ubfuzz::Strategy;
+use ubfuzz::{SanPolicy, Strategy};
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Submit a campaign: seed count, first seed id, worker-process count
-    /// (daemon default when `None`), and the generation strategy
-    /// (uniform unless `strategy=guided`).
-    Submit { seeds: usize, first_seed: u64, workers: Option<usize>, strategy: Strategy },
+    /// (daemon default when `None`), the generation strategy (uniform
+    /// unless `strategy=guided`), and the partial-sanitization policy
+    /// (full unless `san=…`).
+    Submit {
+        /// Seed count.
+        seeds: usize,
+        /// First seed id.
+        first_seed: u64,
+        /// Worker-process count (daemon default when `None`).
+        workers: Option<usize>,
+        /// Generation strategy.
+        strategy: Strategy,
+        /// Partial-sanitization policy.
+        san: SanPolicy,
+    },
     /// Daemon, campaign and lease status, machine-readable.
     Status,
     /// Per-campaign/per-stage latency histograms and counters,
@@ -75,7 +87,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => Strategy::Uniform,
                 Some(v) => Strategy::parse(v).ok_or("bad-request")?,
             };
-            Ok(Request::Submit { seeds, first_seed, workers, strategy })
+            let san = match lookup("san") {
+                None => SanPolicy::Full,
+                Some(v) => SanPolicy::parse(v).ok_or("bad-request")?,
+            };
+            Ok(Request::Submit { seeds, first_seed, workers, strategy, san })
         }
         "STATUS" => Ok(Request::Status),
         "METRICS" => Ok(Request::Metrics),
@@ -88,13 +104,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 /// Renders a `SUBMIT` line (the client side of [`parse_request`]). The
-/// default strategy is omitted, so uniform submissions are byte-identical
-/// to the pre-strategy wire format.
+/// default strategy and the full policy are omitted, so default
+/// submissions are byte-identical to the pre-strategy/pre-partition wire
+/// format.
 pub fn submit_line(
     seeds: usize,
     first_seed: u64,
     workers: Option<usize>,
     strategy: Strategy,
+    san: SanPolicy,
 ) -> String {
     let mut line = format!("SUBMIT seeds={seeds}");
     if first_seed != 0 {
@@ -105,6 +123,9 @@ pub fn submit_line(
     }
     if strategy != Strategy::Uniform {
         line.push_str(&format!(" strategy={strategy}"));
+    }
+    if !san.is_full() {
+        line.push_str(&format!(" san={san}"));
     }
     line
 }
@@ -117,18 +138,46 @@ mod tests {
     fn submit_round_trips() {
         for (seeds, first, workers) in [(8, 0, None), (3, 5, Some(2)), (1, 0, Some(16))] {
             for strategy in [Strategy::Uniform, Strategy::Guided] {
-                let line = submit_line(seeds, first, workers, strategy);
-                assert_eq!(
-                    parse_request(&line),
-                    Ok(Request::Submit { seeds, first_seed: first, workers, strategy })
-                );
+                for san in [SanPolicy::Full, SanPolicy::Partial { ratio_pm: 250, salt: 7 }] {
+                    let line = submit_line(seeds, first, workers, strategy, san);
+                    assert_eq!(
+                        parse_request(&line),
+                        Ok(Request::Submit { seeds, first_seed: first, workers, strategy, san })
+                    );
+                }
             }
         }
-        // Uniform submissions keep the pre-strategy wire format.
-        assert_eq!(submit_line(8, 0, None, Strategy::Uniform), "SUBMIT seeds=8");
+        // Default submissions keep the pre-strategy/pre-partition format.
         assert_eq!(
-            submit_line(8, 0, None, Strategy::Guided),
+            submit_line(8, 0, None, Strategy::Uniform, SanPolicy::Full),
+            "SUBMIT seeds=8"
+        );
+        assert_eq!(
+            submit_line(8, 0, None, Strategy::Guided, SanPolicy::Full),
             "SUBMIT seeds=8 strategy=guided"
+        );
+        assert_eq!(
+            submit_line(8, 0, None, Strategy::Uniform, SanPolicy::None),
+            "SUBMIT seeds=8 san=none"
+        );
+    }
+
+    #[test]
+    fn malformed_san_is_a_bad_request() {
+        for line in
+            ["SUBMIT seeds=4 san=banana", "SUBMIT seeds=4 san=", "SUBMIT seeds=4 san=partial:2.0"]
+        {
+            assert_eq!(parse_request(line), Err("bad-request".to_string()), "{line:?}");
+        }
+        assert_eq!(
+            parse_request("SUBMIT seeds=4 san=partial:0.5:9"),
+            Ok(Request::Submit {
+                seeds: 4,
+                first_seed: 0,
+                workers: None,
+                strategy: Strategy::Uniform,
+                san: SanPolicy::Partial { ratio_pm: 500, salt: 9 },
+            })
         );
     }
 
@@ -165,12 +214,13 @@ mod tests {
     #[test]
     fn token_order_is_free() {
         assert_eq!(
-            parse_request("SUBMIT strategy=guided workers=3 seeds=6 first_seed=2"),
+            parse_request("SUBMIT san=none strategy=guided workers=3 seeds=6 first_seed=2"),
             Ok(Request::Submit {
                 seeds: 6,
                 first_seed: 2,
                 workers: Some(3),
-                strategy: Strategy::Guided
+                strategy: Strategy::Guided,
+                san: SanPolicy::None,
             })
         );
     }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use ubfuzz::backend::SimBackend;
 use ubfuzz::campaign::CampaignConfig;
 use ubfuzz::executor::run_unit_range;
-use ubfuzz::{obs, Strategy};
+use ubfuzz::{obs, SanPolicy, Strategy};
 
 use crate::{flag_num, flag_value};
 
@@ -38,7 +38,7 @@ pub fn worker_main(args: &[String]) -> i32 {
         eprintln!(
             "usage: worker --store DIR --shard ID --start A --end B \
              [--seeds N] [--first-seed N] [--strategy uniform|guided] \
-             [--threads N] [--stall-ms MS]"
+             [--san full|none|partial[:ratio[:salt]]] [--threads N] [--stall-ms MS]"
         );
         2
     };
@@ -55,6 +55,13 @@ pub fn worker_main(args: &[String]) -> i32 {
         Some(v) => match Strategy::parse(v) {
             Some(s) => s,
             None => return misuse("bad --strategy (uniform|guided)"),
+        },
+    };
+    let san = match flag_value(args, "--san") {
+        None => SanPolicy::Full,
+        Some(v) => match SanPolicy::parse(v) {
+            Some(p) => p,
+            None => return misuse("bad --san (full|none|partial[:ratio[:salt]])"),
         },
     };
     let (Some(shard), Some(start), Some(end)) = (
@@ -87,6 +94,7 @@ pub fn worker_main(args: &[String]) -> i32 {
         .seeds(seeds)
         .first_seed(first_seed)
         .strategy(strategy)
+        .san_policy(san)
         .recorder(sink.clone())
         .build();
     // Store-backed compile session: staged prefixes persist to the shared

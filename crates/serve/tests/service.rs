@@ -111,7 +111,7 @@ fn daemon_report_is_bit_identical_and_resubmission_replays() {
     let reference = single_process_report();
     let (socket, daemon) = start_daemon(daemon_config("e2e"));
 
-    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("submit");
+    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full).expect("submit");
     assert_eq!(id, 1);
     let status = await_done(&socket, id, Duration::from_secs(120));
     assert_ne!(campaign_field(&status, id, "computed"), "0", "first run computes units");
@@ -120,7 +120,7 @@ fn daemon_report_is_bit_identical_and_resubmission_replays() {
 
     // Same campaign again: every unit replays out of the checkpoint
     // shards, so the workers compile nothing and the report is unchanged.
-    let again = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("resubmit");
+    let again = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full).expect("resubmit");
     assert_eq!(again, 2);
     let status = await_done(&socket, again, Duration::from_secs(120));
     assert_eq!(campaign_field(&status, again, "computed"), "0", "resubmission replays:\n{status}");
@@ -146,7 +146,7 @@ fn sigkilled_worker_is_reclaimed_and_merge_still_bit_identical() {
     config.worker_stall_ms = 1500;
     let (socket, daemon) = start_daemon(config);
 
-    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform).expect("submit");
+    let id = client::submit(&socket, 3, 0, Some(2), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full).expect("submit");
 
     // Find a live worker pid and SIGKILL it.
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -196,7 +196,7 @@ fn submissions_beyond_the_queue_bound_answer_busy() {
     config.worker_stall_ms = 1500;
     let (socket, daemon) = start_daemon(config);
 
-    let first = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform).expect("submit 1");
+    let first = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full).expect("submit 1");
     // Wait until the scheduler picked up campaign 1 (queue drained)…
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -208,8 +208,8 @@ fn submissions_beyond_the_queue_bound_answer_busy() {
         std::thread::sleep(Duration::from_millis(20));
     }
     // …so this fills the queue, and the next submission must bounce.
-    let second = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform).expect("submit 2");
-    let bounced = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform);
+    let second = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full).expect("submit 2");
+    let bounced = client::submit(&socket, 2, 0, Some(1), ubfuzz::Strategy::Uniform, ubfuzz::SanPolicy::Full);
     let err = bounced.expect_err("queue is full; submission must be rejected");
     assert!(err.to_string().contains("busy"), "expected err busy, got {err}");
 
@@ -233,7 +233,7 @@ fn guided_submission_reports_strategy_and_persists_the_frontier() {
     let bad = client::request(&socket, "SUBMIT seeds=2 strategy=greedy").expect("connect");
     assert_eq!(bad.trim(), "err bad-request", "malformed strategy is a bad request");
 
-    let id = client::submit(&socket, 2, 0, Some(2), ubfuzz::Strategy::Guided).expect("submit");
+    let id = client::submit(&socket, 2, 0, Some(2), ubfuzz::Strategy::Guided, ubfuzz::SanPolicy::Full).expect("submit");
     let status = await_done(&socket, id, Duration::from_secs(120));
     assert_eq!(campaign_field(&status, id, "strategy"), "guided");
     let frontier: usize = campaign_field(&status, id, "frontier").parse().expect("frontier=N");

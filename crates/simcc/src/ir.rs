@@ -605,6 +605,17 @@ pub struct SanMeta {
     /// Sites transformed by *legitimate* optimizations that remove UB while
     /// keeping the crash site executable (the Fig. 8 invalid-report shape).
     pub legit_transforms: Vec<Loc>,
+    /// Check sites the partial-sanitization policy skipped (empty under
+    /// `SanPolicy::Full`). The oracle reads this to classify a missing
+    /// report at one of these sites as an *expected miss*, not a true FN.
+    pub skipped_sites: Vec<Loc>,
+}
+
+impl SanMeta {
+    /// Was the check site at `loc` left uninstrumented by the policy?
+    pub fn site_skipped(&self, loc: Loc) -> bool {
+        self.skipped_sites.contains(&loc)
+    }
 }
 
 /// A compiled module ("binary" plus debug metadata).

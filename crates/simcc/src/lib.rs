@@ -46,6 +46,7 @@ pub mod cov;
 pub mod defects;
 pub mod ir;
 pub mod lower;
+pub mod partition;
 pub mod passes;
 pub mod pipeline;
 pub mod san;
@@ -56,6 +57,7 @@ pub use cov::{Collector, CovDelta, CovPoint};
 pub use defects::{BugStatus, Defect, DefectCategory, DefectRegistry, DEFECTS};
 pub use ir::{Module, Sanitizer};
 pub use lower::CompileError;
+pub use partition::SanPolicy;
 pub use pipeline::{compile, CompileConfig};
 pub use san::{sanitizers_for, supports};
 pub use session::{CompileSession, ProgramFingerprint, SessionStats};

@@ -19,6 +19,7 @@
 use crate::defects::DefectRegistry;
 use crate::ir::{Module, Sanitizer};
 use crate::lower::{lower, CompileError};
+use crate::partition::SanPolicy;
 use crate::passes;
 use crate::san::{self, SanCtx};
 use crate::target::{BuildInfo, CompilerId, OptLevel, Vendor};
@@ -35,6 +36,9 @@ pub struct CompileConfig<'a> {
     pub sanitizer: Option<Sanitizer>,
     /// The defect world (usually [`DefectRegistry::full`]).
     pub registry: &'a DefectRegistry,
+    /// Partial-sanitization policy ([`SanPolicy::Full`] is the bit-identical
+    /// default).
+    pub san_policy: SanPolicy,
 }
 
 impl<'a> CompileConfig<'a> {
@@ -45,7 +49,19 @@ impl<'a> CompileConfig<'a> {
         sanitizer: Option<Sanitizer>,
         registry: &'a DefectRegistry,
     ) -> CompileConfig<'a> {
-        CompileConfig { compiler: CompilerId::dev(vendor), opt, sanitizer, registry }
+        CompileConfig {
+            compiler: CompilerId::dev(vendor),
+            opt,
+            sanitizer,
+            registry,
+            san_policy: SanPolicy::Full,
+        }
+    }
+
+    /// The same configuration under `policy`.
+    pub fn with_policy(mut self, policy: SanPolicy) -> CompileConfig<'a> {
+        self.san_policy = policy;
+        self
     }
 }
 
@@ -107,6 +123,7 @@ pub fn sanitize_stage(module: &mut Module, cfg: &CompileConfig<'_>) {
             version: cfg.compiler.version,
             opt: cfg.opt,
             registry: cfg.registry,
+            policy: cfg.san_policy,
         };
         match s {
             Sanitizer::Asan => san::run_asan(module, &ctx),
@@ -319,12 +336,14 @@ mod tests {
             opt: OptLevel::O2,
             sanitizer: None,
             registry: &reg,
+            san_policy: SanPolicy::Full,
         };
         let new = CompileConfig {
             compiler: CompilerId { vendor: Vendor::Gcc, version: 13 },
             opt: OptLevel::O2,
             sanitizer: None,
             registry: &reg,
+            san_policy: SanPolicy::Full,
         };
         let m_old = compile(&p, &old).unwrap();
         let m_new = compile(&p, &new).unwrap();

@@ -31,9 +31,67 @@ pub fn supports(s: Sanitizer, kind: UbKind) -> bool {
     }
 }
 
-/// The sanitizers that detect `kind` (Table 2, reading column-wise).
-pub fn sanitizers_for(kind: UbKind) -> Vec<Sanitizer> {
-    Sanitizer::ALL.into_iter().filter(|s| supports(*s, kind)).collect()
+/// The sanitizers that detect `kind` (Table 2, reading column-wise) —
+/// allocation-free: a fixed-capacity list in `Sanitizer::ALL` order.
+pub fn sanitizers_for(kind: UbKind) -> SanList {
+    let mut sans = [Sanitizer::Asan; 3];
+    let mut len = 0;
+    for s in Sanitizer::ALL {
+        if supports(s, kind) {
+            sans[len] = s;
+            len += 1;
+        }
+    }
+    SanList { sans, len }
+}
+
+/// A fixed-capacity set of sanitizers (at most [`Sanitizer::ALL`], in that
+/// order). Returned by [`sanitizers_for`] so the planning hot path never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanList {
+    sans: [Sanitizer; 3],
+    len: usize,
+}
+
+impl SanList {
+    /// Number of sanitizers in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no sanitizer detects the kind.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sanitizers as a slice.
+    pub fn as_slice(&self) -> &[Sanitizer] {
+        &self.sans[..self.len]
+    }
+
+    /// Iterates the sanitizers by value.
+    pub fn iter(&self) -> impl Iterator<Item = Sanitizer> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl IntoIterator for SanList {
+    type Item = Sanitizer;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Sanitizer, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sans.into_iter().take(self.len)
+    }
+}
+
+impl<'a> IntoIterator for &'a SanList {
+    type Item = Sanitizer;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Sanitizer>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
 }
 
 /// Context for one instrumentation run.
@@ -46,6 +104,9 @@ pub struct SanCtx<'a> {
     pub opt: OptLevel,
     /// Defect registry in force.
     pub registry: &'a DefectRegistry,
+    /// Partial-sanitization policy: which would-be check sites actually get
+    /// their check. [`SanPolicy::Full`] leaves instrumentation untouched.
+    pub policy: crate::partition::SanPolicy,
 }
 
 impl<'a> SanCtx<'a> {
@@ -227,6 +288,7 @@ pub fn run_asan(m: &mut Module, ctx: &SanCtx<'_>) {
     }
     let mut applied: Vec<(&'static str, Loc)> = Vec::new();
     let mut legit: Vec<Loc> = Vec::new();
+    let mut skipped: Vec<Loc> = Vec::new();
     for f in &mut m.funcs {
         cov::hit(ctx.vendor, "asan.rs", "analyze_func");
         let defs = defs_of(f);
@@ -242,6 +304,12 @@ pub fn run_asan(m: &mut Module, ctx: &SanCtx<'_>) {
             for ins in b.instrs.drain(..) {
                 match &ins.op {
                     Op::Load { addr, size, .. } | Op::Store { addr, size, .. } => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "asan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         let write = matches!(ins.op, Op::Store { .. });
                         cov::hit(
                             ctx.vendor,
@@ -292,6 +360,12 @@ pub fn run_asan(m: &mut Module, ctx: &SanCtx<'_>) {
                         out.push(ins);
                     }
                     Op::MemCopy { dst, src, len } => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "asan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "asan.rs", "instrument_memcopy");
                         let tail = active.iter().find(|d| d.trigger == Trigger::StructCopyTail);
                         let checked = if let Some(d) = tail {
@@ -362,6 +436,7 @@ pub fn run_asan(m: &mut Module, ctx: &SanCtx<'_>) {
     }
     m.san.applied_defects.extend(applied);
     m.san.legit_transforms.extend(legit);
+    m.san.skipped_sites.extend(skipped);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -450,6 +525,7 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
     let active = ctx.active(Sanitizer::Ubsan);
     let globals: Vec<GlobalDef> = m.globals.clone();
     let mut applied: Vec<(&'static str, Loc)> = Vec::new();
+    let mut skipped: Vec<Loc> = Vec::new();
     for f in &mut m.funcs {
         let defs = defs_of(f);
         let metas = meta_of(f);
@@ -464,6 +540,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                             && ins.meta.sanitize
                             && ty.signed =>
                     {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "ubsan.rs", "arith_check");
                         let defect = active.iter().find(|d| match d.trigger {
                             // ArithFeedsGlobalStore is handled by the
@@ -495,6 +577,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                     }
                     // Division and remainder.
                     Op::Bin { op: op @ (BinKind::Div | BinKind::Rem), a, b: rb, ty } => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "ubsan.rs", "div_check");
                         let defect = active.iter().find(|d| match d.trigger {
                             Trigger::BoolWidenedDivisor => {
@@ -528,6 +616,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                     Op::Bin { op: BinKind::Shl | BinKind::Shr, a: _, b: rb, ty }
                         if ins.meta.sanitize =>
                     {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "ubsan.rs", "shift_check");
                         let bits = ty.promoted().width.bits() as u8;
                         let defect = active.iter().find(|d| match d.trigger {
@@ -550,6 +644,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                     }
                     // Negation overflow.
                     Op::Un { op: UnKind::Neg, a, ty } if ins.meta.sanitize && ty.signed => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "ubsan.rs", "neg_check");
                         let defect =
                             active.iter().find(|d| d.trigger == Trigger::NegationUnchecked);
@@ -566,6 +666,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                     Op::Load { addr, .. } | Op::Store { addr, .. } => {
                         let (root, _) = addr_root(&defs, *addr);
                         if let Some(Op::Load { .. }) = root {
+                            if !ctx.policy.keeps(&f.name, ins.loc) {
+                                cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                                skipped.push(ins.loc);
+                                out.push(ins);
+                                continue;
+                            }
                             cov::hit(ctx.vendor, "ubsan.rs", "null_check");
                             let rmw_defect = active.iter().find(|d| {
                                 d.trigger == Trigger::RmwNullCheck && ins.meta.rmw
@@ -611,6 +717,12 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
                             _ => None,
                         };
                         if let Some(bound) = bound {
+                            if !ctx.policy.keeps(&f.name, ins.loc) {
+                                cov::hit(ctx.vendor, "ubsan.rs", "policy_skip");
+                                skipped.push(ins.loc);
+                                out.push(ins);
+                                continue;
+                            }
                             cov::hit(ctx.vendor, "ubsan.rs", "bound_check");
                             let is_global_array =
                                 matches!(defs.get(br), Some(Op::AddrGlobal(_)));
@@ -652,6 +764,7 @@ pub fn run_ubsan(m: &mut Module, ctx: &SanCtx<'_>) {
         }
     }
     m.san.applied_defects.extend(applied);
+    m.san.skipped_sites.extend(skipped);
 }
 
 /// The root pointer value of an address chain (for null checks).
@@ -764,23 +877,35 @@ pub fn run_msan(m: &mut Module, ctx: &SanCtx<'_>) {
     } else {
         cov::hit(ctx.vendor, "msan.rs", "policy_correct");
     }
+    let mut skipped: Vec<Loc> = Vec::new();
     for f in &mut m.funcs {
         for b in &mut f.blocks {
             // Checks on branch conditions.
             if let Some(Term::Br { cond, .. }) = &b.term {
-                cov::hit(ctx.vendor, "msan.rs", "branch_check");
                 let cond = *cond;
                 let loc = b.instrs.last().map_or(Loc::UNKNOWN, |i| i.loc);
-                b.instrs.push(Instr::effect(
-                    Op::MsanCheck { val: cond, what: MsanUse::Branch },
-                    loc,
-                ));
+                if !ctx.policy.keeps(&f.name, loc) {
+                    cov::hit(ctx.vendor, "msan.rs", "policy_skip");
+                    skipped.push(loc);
+                } else {
+                    cov::hit(ctx.vendor, "msan.rs", "branch_check");
+                    b.instrs.push(Instr::effect(
+                        Op::MsanCheck { val: cond, what: MsanUse::Branch },
+                        loc,
+                    ));
+                }
             }
             // Checks on divisors and printed values.
             let mut out: Vec<Instr> = Vec::with_capacity(b.instrs.len() * 2);
             for ins in b.instrs.drain(..) {
                 match &ins.op {
                     Op::Bin { op: BinKind::Div | BinKind::Rem, b: rb, .. } => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "msan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "msan.rs", "div_check");
                         out.push(Instr::effect(
                             Op::MsanCheck { val: *rb, what: MsanUse::Divisor },
@@ -789,6 +914,12 @@ pub fn run_msan(m: &mut Module, ctx: &SanCtx<'_>) {
                         out.push(ins);
                     }
                     Op::Print { val } => {
+                        if !ctx.policy.keeps(&f.name, ins.loc) {
+                            cov::hit(ctx.vendor, "msan.rs", "policy_skip");
+                            skipped.push(ins.loc);
+                            out.push(ins);
+                            continue;
+                        }
                         cov::hit(ctx.vendor, "msan.rs", "output_check");
                         out.push(Instr::effect(
                             Op::MsanCheck { val: *val, what: MsanUse::Output },
@@ -802,6 +933,7 @@ pub fn run_msan(m: &mut Module, ctx: &SanCtx<'_>) {
             b.instrs = out;
         }
     }
+    m.san.skipped_sites.extend(skipped);
 }
 
 #[cfg(test)]
@@ -925,6 +1057,7 @@ mod tests {
         assert!(supports(Sanitizer::Msan, UninitUse));
         assert!(!supports(Sanitizer::Msan, NullDeref));
         assert_eq!(sanitizers_for(BufOverflowArray).len(), 2);
-        assert_eq!(sanitizers_for(UninitUse), vec![Sanitizer::Msan]);
+        assert_eq!(sanitizers_for(UninitUse).as_slice(), &[Sanitizer::Msan]);
+        assert!(sanitizers_for(BufOverflowPtr).iter().eq([Sanitizer::Asan]));
     }
 }

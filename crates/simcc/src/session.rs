@@ -214,8 +214,11 @@ pub trait PrefixBacking: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// The sanitize-stage cache key: a prefix key extended by the sanitizer
-/// and the defect-registry epoch (the sanitizer pass reads both).
+/// The sanitize-stage cache key: a prefix key extended by the sanitizer,
+/// the defect-registry epoch and the partial-sanitization site-subset
+/// fingerprint (the sanitizer pass reads all three). `subset_fp` is 0 for
+/// [`crate::partition::SanPolicy::Full`], so full-policy keys are unchanged;
+/// distinct policies get distinct fingerprints and can never alias.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct SanKey {
     hash: u64,
@@ -223,6 +226,7 @@ struct SanKey {
     opt: OptLevel,
     sanitizer: Sanitizer,
     registry_fp: u64,
+    subset_fp: u64,
 }
 
 /// One persisted sanitize-stage entry: the full key (hash + verifying
@@ -242,6 +246,10 @@ pub struct PersistedSanitized {
     /// Fingerprint of the defect-registry epoch the pass ran under
     /// ([`crate::defects::DefectRegistry::fingerprint`]).
     pub registry_fp: u64,
+    /// Site-subset fingerprint of the partial-sanitization policy the pass
+    /// ran under ([`crate::partition::SanPolicy::subset_fingerprint`]; 0 for
+    /// the full policy).
+    pub subset_fp: u64,
     /// Canonical pretty-printed source (collision guard).
     pub source: String,
     /// The cached post-sanitize module.
@@ -257,6 +265,7 @@ impl PersistedSanitized {
             opt: self.opt,
             sanitizer: self.sanitizer,
             registry_fp: self.registry_fp,
+            subset_fp: self.subset_fp,
             source: &self.source,
             module: &self.module,
         }
@@ -277,6 +286,9 @@ pub struct SanitizedEntryRef<'a> {
     pub sanitizer: Sanitizer,
     /// Fingerprint of the defect-registry epoch.
     pub registry_fp: u64,
+    /// Site-subset fingerprint of the partial-sanitization policy (0 for
+    /// the full policy).
+    pub subset_fp: u64,
     /// Canonical pretty-printed source.
     pub source: &'a str,
     /// The cached post-sanitize module.
@@ -441,6 +453,7 @@ impl CompileSession {
                     opt: entry.opt,
                     sanitizer: entry.sanitizer,
                     registry_fp: entry.registry_fp,
+                    subset_fp: entry.subset_fp,
                 };
                 let bucket: &mut PrefixBucket = san_map.entry(key).or_default();
                 if !bucket.iter().any(|(src, _)| *src == entry.source) {
@@ -596,6 +609,7 @@ impl CompileSession {
             opt: cfg.opt,
             sanitizer,
             registry_fp: cfg.registry.fingerprint(),
+            subset_fp: cfg.san_policy.subset_fingerprint(),
         };
         if let Some(entries) = cache.lock().expect("sanitize cache lock").get(&key) {
             if let Some((_, module)) = entries.iter().find(|(src, _)| *src == fp.source) {
@@ -611,6 +625,7 @@ impl CompileSession {
                         opt: key.opt,
                         sanitizer,
                         registry_fp: key.registry_fp,
+                        subset_fp: key.subset_fp,
                         source: &fp.source,
                         module: &module,
                     });
@@ -639,6 +654,7 @@ impl CompileSession {
                 opt: key.opt,
                 sanitizer,
                 registry_fp: key.registry_fp,
+                subset_fp: key.subset_fp,
                 source: &fp.source,
                 module: &module,
             });
@@ -736,6 +752,7 @@ mod tests {
                         opt,
                         sanitizer,
                         registry: &reg,
+                        san_policy: crate::partition::SanPolicy::Full,
                     };
                     let direct = compile(&p, &cfg);
                     let cached = session.compile_fp(&fp, &p, &cfg);
@@ -890,6 +907,7 @@ mod tests {
                     && e.opt == entry.opt
                     && e.sanitizer == entry.sanitizer
                     && e.registry_fp == entry.registry_fp
+                    && e.subset_fp == entry.subset_fp
                     && e.source == entry.source
             }) {
                 entries.push(PersistedSanitized {
@@ -898,6 +916,7 @@ mod tests {
                     opt: entry.opt,
                     sanitizer: entry.sanitizer,
                     registry_fp: entry.registry_fp,
+                    subset_fp: entry.subset_fp,
                     source: entry.source.to_string(),
                     module: entry.module.clone(),
                 });
@@ -962,6 +981,61 @@ mod tests {
         assert_eq!(session.compile(&p, &cfg_full).unwrap(), a);
         assert_eq!(session.compile(&p, &cfg_pristine).unwrap(), b);
         assert_eq!(session.stats().san_hits, 2);
+    }
+
+    #[test]
+    fn sanitize_cache_is_keyed_by_subset_fingerprint() {
+        // The same (program, compiler, opt, sanitizer, registry) under
+        // different partial-sanitization policies must not alias: the
+        // site-subset fingerprint is part of the key.
+        use crate::partition::SanPolicy;
+        let reg = DefectRegistry::full();
+        let p = program();
+        let session = CompileSession::new();
+        let full = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg);
+        let partial = full.clone().with_policy(SanPolicy::Partial { ratio_pm: 400, salt: 7 });
+        let none = full.clone().with_policy(SanPolicy::None);
+        let a = session.compile(&p, &full).unwrap();
+        let b = session.compile(&p, &partial).unwrap();
+        let c = session.compile(&p, &none).unwrap();
+        assert_eq!(session.stats().san_misses, 3, "distinct subsets, distinct entries");
+        assert_eq!(a, compile(&p, &full).unwrap());
+        assert_eq!(b, compile(&p, &partial).unwrap());
+        assert_eq!(c, compile(&p, &none).unwrap());
+        assert!(a.san.skipped_sites.is_empty(), "full policy skips nothing");
+        assert!(!c.san.skipped_sites.is_empty(), "none policy records every site");
+        // Replays of all three hit their own entry with no cross-subset
+        // pollution.
+        assert_eq!(session.compile(&p, &full).unwrap(), a);
+        assert_eq!(session.compile(&p, &partial).unwrap(), b);
+        assert_eq!(session.compile(&p, &none).unwrap(), c);
+        assert_eq!(session.stats().san_hits, 3);
+        assert_eq!(session.stats().san_misses, 3);
+    }
+
+    #[test]
+    fn full_ratio_partial_policy_is_byte_identical_to_full() {
+        use crate::partition::SanPolicy;
+        let reg = DefectRegistry::full();
+        let p = program();
+        for vendor in Vendor::ALL {
+            for opt in OptLevel::ALL {
+                for sanitizer in [Sanitizer::Asan, Sanitizer::Ubsan, Sanitizer::Msan] {
+                    let full = CompileConfig::dev(vendor, opt, Some(sanitizer), &reg);
+                    let saturated = full
+                        .clone()
+                        .with_policy(SanPolicy::Partial { ratio_pm: 1000, salt: 99 });
+                    match (compile(&p, &full), compile(&p, &saturated)) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a, b, "{vendor} {opt} {sanitizer:?}");
+                            assert!(b.san.skipped_sites.is_empty());
+                        }
+                        (Err(_), Err(_)) => {}
+                        (a, b) => panic!("outcome mismatch: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub fn shard_file(shard: u64) -> String {
 }
 
 /// One checkpointed unit outcome.
+// The size skew vs the payload-less `Unsupported` marker is fine: outcomes
+// are decoded one at a time during replay and consumed immediately, never
+// held in bulk, so boxing the module would only add a pointer hop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum UnitOutcome {
     /// The cell was unsupported or failed to compile (the campaign skips

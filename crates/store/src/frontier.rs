@@ -158,6 +158,15 @@ impl FrontierStore {
         self.covered.is_empty()
     }
 
+    /// On-disk size of `frontier.bin` in bytes (0 when no file exists
+    /// yet). The frontier is rewritten wholesale rather than appended, so
+    /// the file length IS the table size — no log accounting to consult.
+    /// Feeds the `[store] size:` line and the compaction budget split,
+    /// which must account every table in the directory.
+    pub fn size_bytes(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+
     /// The file backing this frontier.
     pub fn path(&self) -> &Path {
         &self.path
@@ -196,11 +205,13 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let mut store = FrontierStore::open(&dir);
         assert!(store.is_empty());
+        assert_eq!(store.size_bytes(), 0, "no file yet");
         store.save(&sample());
         drop(store);
         let store = FrontierStore::open(&dir);
         assert_eq!(store.covered(), &sample());
         assert_eq!(store.telemetry().loaded(), 3);
+        assert!(store.size_bytes() > 0, "size reads the on-disk file length");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

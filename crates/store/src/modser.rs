@@ -715,6 +715,10 @@ fn enc_san_meta(me: &mut ModEnc, s: &SanMeta) {
     for loc in &s.legit_transforms {
         me.iloc(*loc);
     }
+    me.body.vusize(s.skipped_sites.len());
+    for loc in &s.skipped_sites {
+        me.iloc(*loc);
+    }
 }
 
 fn dec_san_meta(md: &ModDec, d: &mut Dec<'_>) -> Result<SanMeta, WireError> {
@@ -745,7 +749,19 @@ fn dec_san_meta(md: &ModDec, d: &mut Dec<'_>) -> Result<SanMeta, WireError> {
     for _ in 0..n {
         legit_transforms.push(md.iloc(d)?);
     }
-    Ok(SanMeta { sanitizer, global_redzone_gaps, msan_policy, applied_defects, legit_transforms })
+    let n = d.vcount(1)?;
+    let mut skipped_sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        skipped_sites.push(md.iloc(d)?);
+    }
+    Ok(SanMeta {
+        sanitizer,
+        global_redzone_gaps,
+        msan_policy,
+        applied_defects,
+        legit_transforms,
+        skipped_sites,
+    })
 }
 
 fn enc_module_body(me: &mut ModEnc, m: &Module) {

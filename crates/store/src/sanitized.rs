@@ -1,6 +1,7 @@
 //! The persistent sanitize-stage cache: `(program fingerprint, vendor,
-//! version, opt, sanitizer, defect-registry epoch) → serialized
-//! post-sanitize Module`, amortizing the sanitizer pass across
+//! version, opt, sanitizer, defect-registry epoch, site-subset
+//! fingerprint) → serialized post-sanitize Module`, amortizing the
+//! sanitizer pass across
 //! *invocations* — the second cache layer behind
 //! [`CompileSession::with_backings`](ubfuzz_simcc::session::CompileSession).
 //!
@@ -28,11 +29,13 @@ use ubfuzz_simcc::target::{CompilerId, OptLevel};
 /// File name of the sanitized table inside a store directory.
 pub const SANITIZED_FILE: &str = "sanitized.bin";
 
-/// A resident-on-disk key.
-type SanitizedKey = (u64, CompilerId, OptLevel, Sanitizer, u64);
+/// A resident-on-disk key: the session's sanitize key — program hash,
+/// compiler, opt, sanitizer, registry epoch, partial-sanitization
+/// site-subset fingerprint.
+type SanitizedKey = (u64, CompilerId, OptLevel, Sanitizer, u64, u64);
 
 fn key_of(entry: &SanitizedEntryRef<'_>) -> SanitizedKey {
-    (entry.hash, entry.compiler, entry.opt, entry.sanitizer, entry.registry_fp)
+    (entry.hash, entry.compiler, entry.opt, entry.sanitizer, entry.registry_fp, entry.subset_fp)
 }
 
 #[derive(Debug)]
@@ -60,6 +63,7 @@ fn enc_entry(entry: SanitizedEntryRef<'_>) -> Vec<u8> {
     enc_opt(&mut e, entry.opt);
     enc_sanitizer(&mut e, entry.sanitizer);
     e.u64(entry.registry_fp);
+    e.u64(entry.subset_fp);
     e.str(entry.source);
     enc_module(&mut e, entry.module);
     e.into_bytes()
@@ -73,6 +77,7 @@ fn dec_entry(payload: &[u8]) -> Result<PersistedSanitized, wire::WireError> {
         opt: dec_opt(&mut d)?,
         sanitizer: dec_sanitizer(&mut d)?,
         registry_fp: d.u64()?,
+        subset_fp: d.u64()?,
         source: d.str()?,
         module: dec_module(&mut d)?,
     };
@@ -84,7 +89,14 @@ fn dec_entry(payload: &[u8]) -> Result<PersistedSanitized, wire::WireError> {
 /// the expensive module decode — what beyond-budget records pay at open.
 fn dec_key(payload: &[u8]) -> Result<SanitizedKey, wire::WireError> {
     let mut d = Dec::new(payload);
-    Ok((d.u64()?, dec_compiler(&mut d)?, dec_opt(&mut d)?, dec_sanitizer(&mut d)?, d.u64()?))
+    Ok((
+        d.u64()?,
+        dec_compiler(&mut d)?,
+        dec_opt(&mut d)?,
+        dec_sanitizer(&mut d)?,
+        d.u64()?,
+        d.u64()?,
+    ))
 }
 
 impl SanitizedStore {
@@ -374,6 +386,75 @@ mod tests {
         session.compile(&parse("int main(void) { return 3; }").unwrap(), &cfg).unwrap();
         drop(session);
         assert_eq!(SanitizedStore::open(&dir).telemetry().loaded(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subset_fingerprint_partitions_the_table() {
+        use ubfuzz_simcc::partition::SanPolicy;
+        let dir = tmp_dir("subset");
+        let reg = DefectRegistry::full();
+        let p = parse("int g[4]; int main(void) { g[1] = 2; return g[1]; }").unwrap();
+        let cfg_full = CompileConfig::dev(Vendor::Gcc, OptLevel::O2, Some(Sanitizer::Asan), &reg);
+        let cfg_partial =
+            cfg_full.clone().with_policy(SanPolicy::Partial { ratio_pm: 300, salt: 11 });
+
+        let first = sessions(&dir);
+        let a = first.compile(&p, &cfg_full).unwrap();
+        let b = first.compile(&p, &cfg_partial).unwrap();
+        assert_eq!(first.stats().san_misses, 2, "distinct subsets, distinct records");
+        drop(first);
+
+        // Warm replay: each policy hits its own record at reuse 1.0 — no
+        // cross-subset aliasing through the store.
+        let second = sessions(&dir);
+        assert_eq!(second.san_preloaded(), 2);
+        assert_eq!(second.compile(&p, &cfg_full).unwrap(), a);
+        assert_eq!(second.compile(&p, &cfg_partial).unwrap(), b);
+        let stats = second.stats();
+        assert_eq!(stats.san_hits, 2);
+        assert_eq!(stats.san_misses, 0);
+        assert_eq!(stats.san_reuse_ratio(), 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_file_cold_starts_with_telemetry_never_errors() {
+        // A pre-partition (format v2) sanitized.bin has neither the
+        // subset-fingerprint key column nor the skipped-site set; the
+        // extended codec must treat it as version skew: cold start plus a
+        // telemetry event, never an error.
+        let dir = tmp_dir("v2");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(SANITIZED_FILE);
+        let mut bytes = wire::header(TableKind::Sanitized);
+        bytes[8] = 2; // the pre-partition format version
+        // A plausible v2-shaped record body (shorter key head) — the header
+        // check must reject the file before any record is interpreted.
+        let mut e = Enc::new();
+        e.u64(0xDEAD_BEEF);
+        bytes.extend_from_slice(&wire::frame(&e.into_bytes()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = SanitizedStore::open(&dir);
+        assert_eq!(store.telemetry().loaded(), 0);
+        assert!(store.telemetry().recovered_cold());
+        assert!(store
+            .telemetry()
+            .events()
+            .iter()
+            .any(|e| e.contains("format version")), "{:?}", store.telemetry().events());
+        // And the recovered file is immediately usable for persistence.
+        let session = CompileSession::with_backings(
+            64,
+            Arc::new(crate::PrefixStore::open(&dir)),
+            Some(Arc::new(store)),
+        );
+        let reg = DefectRegistry::full();
+        let cfg = CompileConfig::dev(Vendor::Gcc, OptLevel::O1, Some(Sanitizer::Ubsan), &reg);
+        session.compile(&parse("int main(void) { return 9; }").unwrap(), &cfg).unwrap();
+        drop(session);
+        assert_eq!(SanitizedStore::open(&dir).telemetry().loaded(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

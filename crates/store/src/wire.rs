@@ -21,7 +21,11 @@
 ///
 /// v2: module payloads switched to varint ints + interned `Loc`/string side
 /// tables (see `modser`), and the `Sanitized` table kind was added.
-pub const FORMAT_VERSION: u8 = 2;
+///
+/// v3: `SanMeta` gained the partial-sanitization skipped-site set and the
+/// `Sanitized` table key gained the site-subset fingerprint — v2 stores
+/// cold-start with telemetry, never error.
+pub const FORMAT_VERSION: u8 = 3;
 
 /// File magic common to every store table.
 pub const MAGIC: [u8; 8] = *b"UBFZSTOR";
